@@ -1,0 +1,57 @@
+//! Criterion benches for the client path: partitioning a large tensor into
+//! shards and reconstructing it from pulled shards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_core::client::ParameterClient;
+use coarse_core::routing::RoutingTable;
+use coarse_simcore::prelude::*;
+
+fn client() -> ParameterClient {
+    let mut topo = coarse_fabric::topology::Topology::new();
+    let w = topo.add_device(coarse_fabric::device::DeviceKind::Gpu, "w", 0);
+    let a = topo.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "a", 0);
+    let b = topo.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "b", 0);
+    ParameterClient::new(
+        w,
+        RoutingTable {
+            lat_proxy: a,
+            bw_proxy: b,
+            threshold: ByteSize::kib(512),
+            shard_size: ByteSize::mib(2),
+            built_at: SimTime::ZERO,
+        },
+    )
+}
+
+fn bench_push_pull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_push_pull");
+    for &elems in &[1usize << 16, 1 << 22] {
+        group.throughput(Throughput::Bytes((elems * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, &elems| {
+            let mut cl = client();
+            let tensor = Tensor::new(TensorId(1), vec![0.5; elems]);
+            b.iter(|| {
+                cl.push(black_box(&tensor));
+                let mut rebuilt = None;
+                while let Some(req) = cl.dequeue() {
+                    rebuilt = cl.deliver(req.shard);
+                }
+                black_box(rebuilt)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_only(c: &mut Criterion) {
+    let tensor = Tensor::new(TensorId(1), vec![0.5; 1 << 22]);
+    c.bench_function("tensor_partition_16m", |b| {
+        b.iter(|| black_box(tensor.partition(1 << 19)));
+    });
+}
+
+criterion_group!(benches, bench_push_pull, bench_partition_only);
+criterion_main!(benches);

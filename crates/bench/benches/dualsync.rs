@@ -1,0 +1,50 @@
+//! Criterion benches for the dual-synchronization optimizer and the
+//! profiler's routing-table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coarse_core::dualsync::{optimize, sweep, DualSyncInputs};
+use coarse_core::profiler::build_routing_table;
+use coarse_fabric::machines::{aws_v100, PartitionScheme};
+use coarse_simcore::prelude::*;
+
+fn inputs() -> DualSyncInputs {
+    DualSyncInputs {
+        workers: 4,
+        total_bytes: ByteSize::mib(1280),
+        proxy_bandwidth: Bandwidth::gib_per_sec(11.7),
+        gpu_bandwidth: Bandwidth::gib_per_sec(22.0),
+        forward: SimDuration::from_millis(82),
+        backward: SimDuration::from_millis(163),
+    }
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let inp = inputs();
+    c.bench_function("dualsync_optimize", |b| {
+        b.iter(|| black_box(optimize(black_box(&inp))));
+    });
+    c.bench_function("dualsync_sweep_101", |b| {
+        b.iter(|| black_box(sweep(black_box(&inp), 101)));
+    });
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let topo = machine.topology().clone();
+    c.bench_function("build_routing_table_v100", |b| {
+        b.iter(|| {
+            black_box(build_routing_table(
+                &topo,
+                part.workers[0],
+                &part.mem_devices,
+                SimTime::ZERO,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_optimize, bench_profiler);
+criterion_main!(benches);

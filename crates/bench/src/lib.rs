@@ -1,0 +1,21 @@
+//! # coarse-bench
+//!
+//! The benchmark harness regenerating **every table and figure** of the
+//! COARSE paper's evaluation, plus the ablations called out in DESIGN.md:
+//!
+//! - [`micro`] — prototype bandwidth curves (Figs. 3/13/14) and machine
+//!   characterizations (Figs. 8/15);
+//! - [`mechanisms`] — tensor partitioning (Fig. 9), deadlock avoidance
+//!   (Fig. 10), ring-utilization / routing / dual-sync / bidirectional /
+//!   coherence ablations;
+//! - [`training`] — Table I, the motivation breakdown (Fig. 2), training
+//!   speedups (Fig. 16a–f) and blocked communication (Fig. 17).
+//!
+//! Run `cargo run -p coarse-bench --bin figures -- all` to print the whole
+//! evaluation with paper-reported values alongside measured ones.
+
+#![warn(missing_docs)]
+
+pub mod mechanisms;
+pub mod micro;
+pub mod training;

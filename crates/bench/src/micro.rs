@@ -1,0 +1,267 @@
+//! Probe-based micro-benchmark figures: the CCI prototype curves (Figs. 3,
+//! 13, 14) and the machine bandwidth characterizations (Figs. 8, 15).
+
+use coarse_cci::device::{AccessDir, AccessMode, PrototypeModel};
+use coarse_core::profiler::{profile_proxies, ProxyProfile};
+use coarse_fabric::machines::{self, Machine, PartitionScheme};
+use coarse_fabric::probe;
+use coarse_fabric::topology::{Link, LinkClass};
+use coarse_simcore::units::ByteSize;
+
+fn no_nvlink(l: &Link) -> bool {
+    l.class() == LinkClass::Pcie
+}
+
+/// Fig. 3: prototype peer-to-peer bandwidth of the three access modes at a
+/// large transfer, plus GPU-Direct speedups over load/store.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// `(mode label, read GiB/s, write GiB/s)` rows.
+    pub rows: Vec<(&'static str, f64, f64)>,
+    /// GPU-Direct ÷ CCI read speedup (paper: 17×).
+    pub read_speedup: f64,
+    /// GPU-Direct ÷ CCI write speedup (paper: 4×).
+    pub write_speedup: f64,
+}
+
+/// Generates Fig. 3.
+pub fn fig3() -> Fig3 {
+    let p = PrototypeModel::hpca_prototype();
+    let size = ByteSize::mib(64);
+    let rows = AccessMode::ALL
+        .iter()
+        .map(|&m| {
+            (
+                m.label(),
+                p.bandwidth(m, AccessDir::Read, size).as_gib_per_sec(),
+                p.bandwidth(m, AccessDir::Write, size).as_gib_per_sec(),
+            )
+        })
+        .collect();
+    Fig3 {
+        rows,
+        read_speedup: p.direct_speedup(AccessDir::Read, size),
+        write_speedup: p.direct_speedup(AccessDir::Write, size),
+    }
+}
+
+/// Fig. 13: prototype bandwidth vs access size for each mode and direction.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// Access sizes probed.
+    pub sizes: Vec<ByteSize>,
+    /// Per mode: `(label, read GiB/s per size, write GiB/s per size)`.
+    pub curves: Vec<(&'static str, Vec<f64>, Vec<f64>)>,
+}
+
+/// Generates Fig. 13.
+pub fn fig13() -> Fig13 {
+    let p = PrototypeModel::hpca_prototype();
+    let sizes = probe::standard_sizes();
+    let curves = AccessMode::ALL
+        .iter()
+        .map(|&m| {
+            let read = sizes
+                .iter()
+                .map(|&s| p.bandwidth(m, AccessDir::Read, s).as_gib_per_sec())
+                .collect();
+            let write = sizes
+                .iter()
+                .map(|&s| p.bandwidth(m, AccessDir::Write, s).as_gib_per_sec())
+                .collect();
+            (m.label(), read, write)
+        })
+        .collect();
+    Fig13 { sizes, curves }
+}
+
+/// Fig. 14: DMA bandwidth vs access size and the saturation point.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// `(size, read GiB/s, write GiB/s)` points.
+    pub points: Vec<(ByteSize, f64, f64)>,
+    /// Smallest size reaching ≥99% of peak read bandwidth (paper: 2 MiB).
+    pub saturation_size: ByteSize,
+}
+
+/// Generates Fig. 14.
+pub fn fig14() -> Fig14 {
+    let p = PrototypeModel::hpca_prototype();
+    let sizes = probe::standard_sizes();
+    let points: Vec<(ByteSize, f64, f64)> = sizes
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                p.bandwidth(AccessMode::GpuDirect, AccessDir::Read, s).as_gib_per_sec(),
+                p.bandwidth(AccessMode::GpuDirect, AccessDir::Write, s).as_gib_per_sec(),
+            )
+        })
+        .collect();
+    let peak = points.last().expect("non-empty sweep").1;
+    let saturation_size = points
+        .iter()
+        .find(|(_, r, _)| *r >= 0.99 * peak)
+        .map(|&(s, _, _)| s)
+        .expect("sweep reaches saturation");
+    Fig14 { points, saturation_size }
+}
+
+/// Fig. 8: all-pairs GPU bidirectional bandwidth matrix of one machine.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Machine name.
+    pub machine: String,
+    /// GiB/s between each GPU pair (diagonal zero).
+    pub matrix: Vec<Vec<f64>>,
+    /// §III-E check: unidirectional and bidirectional bandwidth of a local
+    /// pair (paper quotes 13 and 25 GiB/s on SDSC).
+    pub local_uni_gib: f64,
+    /// Aggregate bidirectional bandwidth of the same local pair.
+    pub local_bidir_gib: f64,
+}
+
+/// Generates Fig. 8 for one machine preset.
+pub fn fig8(machine: &Machine) -> Fig8 {
+    let gpus = machine.gpus().to_vec();
+    let matrix = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), no_nvlink);
+    let pair = probe::probe_pair(machine.topology(), gpus[0], gpus[1], ByteSize::mib(64), no_nvlink);
+    Fig8 {
+        machine: machine.name().to_string(),
+        matrix,
+        local_uni_gib: pair.uni_gib(),
+        local_bidir_gib: pair.bidir_gib(),
+    }
+}
+
+/// Both Fig. 8 panels: (a) AWS V100, (b) SDSC P100.
+pub fn fig8_all() -> Vec<Fig8> {
+    vec![fig8(&machines::aws_v100()), fig8(&machines::sdsc_p100())]
+}
+
+/// Fig. 15: one client's profile against its local proxy and the best
+/// remote proxy, per machine.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// Machine name.
+    pub machine: String,
+    /// Profile of the same-switch proxy.
+    pub local: ProxyProfile,
+    /// Profile of the best remote proxy.
+    pub best_remote: ProxyProfile,
+    /// Bandwidth-vs-size sweep to the local proxy (GiB/s).
+    pub local_sweep: Vec<(ByteSize, f64)>,
+    /// Bandwidth-vs-size sweep to the best remote proxy (GiB/s).
+    pub remote_sweep: Vec<(ByteSize, f64)>,
+}
+
+/// Generates Fig. 15 for one machine.
+pub fn fig15(machine: &Machine) -> Fig15 {
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let client = part.workers[0];
+    let local_proxy = part.proxy_for(0);
+    let profiles = profile_proxies(machine.topology(), client, &part.mem_devices);
+    let local = *profiles
+        .iter()
+        .find(|p| p.proxy == local_proxy)
+        .expect("local proxy profiled");
+    let best_remote = *profiles
+        .iter()
+        .filter(|p| p.proxy != local_proxy)
+        .max_by(|a, b| a.bandwidth.partial_cmp(&b.bandwidth).expect("finite"))
+        .expect("at least one remote proxy");
+    let sizes = probe::standard_sizes();
+    let to_gib = |pts: Vec<(ByteSize, f64)>| {
+        pts.into_iter()
+            .map(|(s, r)| (s, r / (1u64 << 30) as f64))
+            .collect()
+    };
+    Fig15 {
+        machine: machine.name().to_string(),
+        local,
+        best_remote,
+        local_sweep: to_gib(probe::bandwidth_sweep(
+            machine.topology(),
+            client,
+            local_proxy,
+            &sizes,
+            no_nvlink,
+        )),
+        remote_sweep: to_gib(probe::bandwidth_sweep(
+            machine.topology(),
+            client,
+            best_remote.proxy,
+            &sizes,
+            no_nvlink,
+        )),
+    }
+}
+
+/// Fig. 15 for all three Table I machines.
+pub fn fig15_all() -> Vec<Fig15> {
+    machines::table1().iter().map(fig15).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_paper_speedups() {
+        let f = fig3();
+        assert!((16.0..17.5).contains(&f.read_speedup), "read {}", f.read_speedup);
+        assert!((3.8..4.2).contains(&f.write_speedup), "write {}", f.write_speedup);
+        assert_eq!(f.rows.len(), 3);
+    }
+
+    #[test]
+    fn fig13_loadstore_flat_direct_ramps() {
+        let f = fig13();
+        let (label, read, _) = &f.curves[0];
+        assert_eq!(*label, "CCI");
+        assert!(read.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "CCI read flat");
+        let (label, read, _) = &f.curves[2];
+        assert_eq!(*label, "GPU Direct");
+        assert!(read.last().unwrap() > &(read[0] * 2.0), "direct read ramps");
+    }
+
+    #[test]
+    fn fig14_saturates_at_2mib() {
+        let f = fig14();
+        assert_eq!(f.saturation_size, ByteSize::mib(2));
+    }
+
+    #[test]
+    fn fig8_panels_have_expected_character() {
+        let panels = fig8_all();
+        let v100 = &panels[0];
+        // Anti-locality: remote (0,2) beats local (0,1).
+        assert!(v100.matrix[0][2] > v100.matrix[0][1] * 1.3);
+        let p100 = &panels[1];
+        assert!(p100.matrix[0][1] > p100.matrix[0][2] * 1.15);
+        // §III-E quote: 13 uni / ~25 bidir on the SDSC local pair.
+        assert!((p100.local_uni_gib - 13.0).abs() < 1.0);
+        assert!(p100.local_bidir_gib > 23.0);
+    }
+
+    #[test]
+    fn fig15_v100_remote_beats_local_bandwidth() {
+        let f = fig15(&machines::aws_v100());
+        assert!(f.best_remote.bandwidth > f.local.bandwidth * 1.4);
+        assert!(f.local.latency < f.best_remote.latency, "local latency always wins");
+    }
+
+    #[test]
+    fn fig15_p100_local_wins_both() {
+        let f = fig15(&machines::sdsc_p100());
+        assert!(f.local.bandwidth > f.best_remote.bandwidth);
+        assert!(f.local.latency < f.best_remote.latency);
+    }
+
+    #[test]
+    fn fig15_covers_all_machines() {
+        let all = fig15_all();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|f| f.local_sweep.len() == 15));
+    }
+}

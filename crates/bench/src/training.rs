@@ -1,0 +1,386 @@
+//! Training figures: Table I, the motivation breakdown (Fig. 2), training
+//! speedups (Fig. 16) and blocked-communication time (Fig. 17).
+
+use coarse_fabric::machines::{self, Machine, PartitionScheme};
+use coarse_models::profile::ModelProfile;
+use coarse_models::zoo;
+use coarse_trainsim::{simulate_allreduce, simulate_coarse, simulate_dense, TrainResult};
+
+/// Iterations per simulated run (steady state is exact, so few suffice).
+const ITERS: u32 = 3;
+
+/// One Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Machine name.
+    pub name: String,
+    /// GPU SKU.
+    pub sku: String,
+    /// Total GPUs.
+    pub gpus: usize,
+    /// Worker GPUs (half emulate memory devices).
+    pub workers: usize,
+    /// Emulated CCI memory devices.
+    pub mem_devices: usize,
+    /// Whether GPU peer-to-peer is supported.
+    pub p2p: bool,
+    /// Whether NVLink is present.
+    pub nvlink: bool,
+}
+
+/// Generates Table I.
+pub fn table1() -> Vec<Table1Row> {
+    machines::table1()
+        .into_iter()
+        .map(|m| {
+            let part = m.partition(PartitionScheme::OneToOne);
+            Table1Row {
+                name: m.name().to_string(),
+                sku: m.sku().name().to_string(),
+                gpus: m.gpus().len(),
+                workers: part.worker_count(),
+                mem_devices: part.mem_device_count(),
+                p2p: m.topology().p2p_enabled(),
+                nvlink: m.has_nvlink(),
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 2 row: the fraction of training time spent in blocking
+/// communication under a centralized parameter server.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Machine name.
+    pub machine: String,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch size.
+    pub batch: u32,
+    /// Fraction of the iteration blocked on communication.
+    pub comm_fraction: f64,
+}
+
+/// Generates Fig. 2: centralized-PS communication fractions across
+/// machines and models (the paper's "up to 76%").
+pub fn fig2() -> Vec<Fig2Row> {
+    let cases: Vec<(Machine, ModelProfile, u32)> = vec![
+        (machines::aws_t4(), zoo::resnet50(), 64),
+        (machines::aws_t4(), zoo::bert_base(), 2),
+        (machines::sdsc_p100(), zoo::bert_large(), 2),
+        (machines::aws_v100(), zoo::resnet50(), 64),
+        (machines::aws_v100(), zoo::bert_large(), 2),
+    ];
+    cases
+        .into_iter()
+        .map(|(m, model, batch)| {
+            let part = m.partition(PartitionScheme::OneToOne);
+            let r = simulate_dense(&m, &part, &model, batch, ITERS);
+            Fig2Row {
+                machine: m.name().to_string(),
+                model: model.name().to_string(),
+                batch,
+                comm_fraction: r.comm_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One training experiment's results across all three schemes.
+#[derive(Debug, Clone)]
+pub struct SchemeComparison {
+    /// Experiment id matching the paper's panel (e.g. `"fig16a"`).
+    pub id: &'static str,
+    /// Machine name.
+    pub machine: String,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch.
+    pub batch: u32,
+    /// DENSE result.
+    pub dense: TrainResult,
+    /// AllReduce result.
+    pub allreduce: TrainResult,
+    /// COARSE result.
+    pub coarse: TrainResult,
+}
+
+impl SchemeComparison {
+    /// AllReduce speedup over DENSE (a Fig. 16 bar).
+    pub fn allreduce_speedup(&self) -> f64 {
+        self.allreduce.speedup_over(&self.dense)
+    }
+
+    /// COARSE speedup over DENSE (a Fig. 16 bar).
+    pub fn coarse_speedup(&self) -> f64 {
+        self.coarse.speedup_over(&self.dense)
+    }
+
+    /// Blocked-communication time normalized to DENSE (a Fig. 17 bar).
+    pub fn normalized_blocked(&self, r: &TrainResult) -> f64 {
+        r.blocked_comm.as_secs_f64() / self.dense.blocked_comm.as_secs_f64()
+    }
+}
+
+fn compare(
+    id: &'static str,
+    machine: Machine,
+    partition: PartitionScheme,
+    model: ModelProfile,
+    batch: u32,
+) -> SchemeComparison {
+    let part = machine.partition(partition);
+    SchemeComparison {
+        id,
+        machine: machine.name().to_string(),
+        model: model.name().to_string(),
+        batch,
+        dense: simulate_dense(&machine, &part, &model, batch, ITERS),
+        allreduce: simulate_allreduce(&machine, &part, &model, batch, ITERS),
+        coarse: simulate_coarse(&machine, &part, &model, batch, ITERS),
+    }
+}
+
+/// Figs. 16a–d / 17a–d: the single-node scheme comparison on each machine,
+/// including the V100 two-workers-per-device variant.
+pub fn fig16_single_node() -> Vec<SchemeComparison> {
+    vec![
+        compare("fig16a", machines::aws_t4(), PartitionScheme::OneToOne, zoo::resnet50(), 64),
+        compare("fig16b", machines::aws_t4(), PartitionScheme::OneToOne, zoo::bert_base(), 2),
+        compare("fig16c", machines::sdsc_p100(), PartitionScheme::OneToOne, zoo::bert_large(), 2),
+        compare("fig16d", machines::aws_v100(), PartitionScheme::OneToOne, zoo::bert_large(), 2),
+        compare("fig16d-2to1", machines::aws_v100(), PartitionScheme::TwoToOne, zoo::bert_large(), 2),
+    ]
+}
+
+/// Fig. 16e: the batch-size experiment. AllReduce fits only batch 2 of
+/// BERT-Large in 16 GiB; COARSE offloads the master copy and optimizer
+/// state and fits batch 4, training substantially faster per sample.
+#[derive(Debug, Clone)]
+pub struct Fig16e {
+    /// AllReduce at its maximum feasible batch (2).
+    pub allreduce_b2: TrainResult,
+    /// COARSE at the same batch, for reference.
+    pub coarse_b2: TrainResult,
+    /// COARSE at batch 4 (infeasible for AllReduce).
+    pub coarse_b4: TrainResult,
+    /// Whether batch 4 fits under AllReduce residency (expected: no).
+    pub allreduce_b4_fits: bool,
+    /// Throughput speedup of COARSE(b4) over AllReduce(b2) — paper: 48.3%.
+    pub speedup: f64,
+}
+
+/// Generates Fig. 16e.
+pub fn fig16e() -> Fig16e {
+    use coarse_models::memory::{MemoryModel, Residency};
+    let machine = machines::aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = zoo::bert_large();
+    let allreduce_b2 = simulate_allreduce(&machine, &part, &model, 2, ITERS);
+    let coarse_b2 = simulate_coarse(&machine, &part, &model, 2, ITERS);
+    let coarse_b4 = simulate_coarse(&machine, &part, &model, 4, ITERS);
+    let mm = MemoryModel::new(&model, machine.sku().memory_gib());
+    Fig16e {
+        speedup: coarse_b4.throughput / allreduce_b2.throughput,
+        allreduce_b2,
+        coarse_b2,
+        coarse_b4,
+        allreduce_b4_fits: mm.fits(4, Residency::AllOnGpu),
+    }
+}
+
+/// Fig. 16f: multi-node training. Two V100 nodes joined by 25 Gbit/s.
+#[derive(Debug, Clone)]
+pub struct Fig16f {
+    /// Two-node AllReduce at batch 2 (the baseline).
+    pub allreduce_2node: TrainResult,
+    /// Two-node COARSE at batch 2.
+    pub coarse_2node: TrainResult,
+    /// Single-node COARSE at batch 4 (same global batch as the baseline).
+    pub coarse_1node_b4: TrainResult,
+    /// COARSE(2 nodes) speedup over AllReduce(2 nodes) — paper: ≤42.7%.
+    pub speedup_2node: f64,
+    /// COARSE(1 node, b4) throughput over AllReduce(2 nodes, b2) —
+    /// paper: 38.6%.
+    pub speedup_1node_b4: f64,
+}
+
+/// Generates Fig. 16f.
+pub fn fig16f() -> Fig16f {
+    let model = zoo::bert_large();
+    let cluster = machines::aws_v100_cluster(2);
+    let cpart = cluster.partition(PartitionScheme::OneToOne);
+    let allreduce_2node = simulate_allreduce(&cluster, &cpart, &model, 2, ITERS);
+    let coarse_2node = simulate_coarse(&cluster, &cpart, &model, 2, ITERS);
+    let single = machines::aws_v100();
+    let spart = single.partition(PartitionScheme::OneToOne);
+    let coarse_1node_b4 = simulate_coarse(&single, &spart, &model, 4, ITERS);
+    Fig16f {
+        speedup_2node: coarse_2node.throughput / allreduce_2node.throughput,
+        speedup_1node_b4: coarse_1node_b4.throughput / allreduce_2node.throughput,
+        allreduce_2node,
+        coarse_2node,
+        coarse_1node_b4,
+    }
+}
+
+/// Extension experiment: the capacity wall. GPT-2 XL (1.5 B parameters)
+/// cannot train on a 16 GiB GPU at all with on-GPU parameters + Adam state;
+/// with COARSE's offload it trains — the §VI capacity argument, pushed past
+/// the paper's largest model.
+#[derive(Debug, Clone)]
+pub struct CapacityWall {
+    /// Largest feasible per-GPU batch with everything on the GPU (0 = none).
+    pub allreduce_max_batch: u32,
+    /// Largest feasible per-GPU batch with COARSE's offload.
+    pub coarse_max_batch: u32,
+    /// COARSE training result at batch 1 (AllReduce has no feasible result).
+    pub coarse_b1: TrainResult,
+}
+
+/// Generates the capacity-wall experiment.
+pub fn capacity_wall() -> CapacityWall {
+    use coarse_models::memory::{MemoryModel, Residency};
+    let machine = machines::aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = zoo::gpt2_xl();
+    let mm = MemoryModel::new(&model, machine.sku().memory_gib());
+    CapacityWall {
+        allreduce_max_batch: mm.max_batch(Residency::AllOnGpu),
+        coarse_max_batch: mm.max_batch(Residency::OffloadedToCci),
+        coarse_b1: simulate_coarse(&machine, &part, &model, 1, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_three_machines_half_devices() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        for row in &t {
+            assert_eq!(row.workers, row.mem_devices);
+            assert_eq!(row.workers * 2, row.gpus);
+        }
+        assert!(!t[0].p2p, "T4 has no p2p");
+        assert!(t[2].nvlink, "V100 has NVLink");
+    }
+
+    #[test]
+    fn fig2_shows_heavy_comm_overhead() {
+        let rows = fig2();
+        let max = rows.iter().map(|r| r.comm_fraction).fold(0.0, f64::max);
+        // The paper's motivation: up to 76% of training time.
+        assert!(max > 0.7, "max comm fraction {max}");
+        // And it is model-dependent: ResNet on V100 is far less bound.
+        let min = rows.iter().map(|r| r.comm_fraction).fold(1.0, f64::min);
+        assert!(min < 0.6, "min comm fraction {min}");
+    }
+
+    #[test]
+    fn fig16_single_node_shapes() {
+        let rows = fig16_single_node();
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.coarse_speedup() > 1.5,
+                "{}: COARSE {}x over DENSE too small",
+                r.id,
+                r.coarse_speedup()
+            );
+            assert!(r.allreduce_speedup() > 1.5, "{}: AllReduce too slow", r.id);
+        }
+        // BERT panels show much larger speedups than the ResNet panel
+        // (communication dominance).
+        let resnet = rows.iter().find(|r| r.id == "fig16a").unwrap();
+        let bert_v100 = rows.iter().find(|r| r.id == "fig16d").unwrap();
+        assert!(bert_v100.coarse_speedup() > 2.0 * resnet.coarse_speedup());
+        // Paper band for Fig. 16d: 10.8–13.8x.
+        assert!(
+            (8.0..18.0).contains(&bert_v100.coarse_speedup()),
+            "fig16d speedup {}",
+            bert_v100.coarse_speedup()
+        );
+        // On T4 (fig16b), COARSE does not beat AllReduce meaningfully.
+        let t4_bert = rows.iter().find(|r| r.id == "fig16b").unwrap();
+        let ratio = t4_bert.coarse.blocked_comm.as_secs_f64()
+            / t4_bert.allreduce.blocked_comm.as_secs_f64();
+        assert!(
+            ratio > 0.8,
+            "on T4 COARSE must not dominate AllReduce: ratio {ratio}"
+        );
+        // On P100 and V100, COARSE reduces blocked communication vs NCCL.
+        for id in ["fig16c", "fig16d"] {
+            let r = rows.iter().find(|r| r.id == id).unwrap();
+            assert!(
+                r.coarse.blocked_comm < r.allreduce.blocked_comm,
+                "{id}: COARSE must reduce blocked comm"
+            );
+        }
+    }
+
+    #[test]
+    fn fig17_blocked_under_ten_percent_of_dense() {
+        for r in fig16_single_node() {
+            if r.id == "fig16a" {
+                // ResNet's tiny payload leaves DENSE less dominated.
+                continue;
+            }
+            // Paper Fig. 17 shows < 10%; the two-worker P100 panel lands a
+            // little higher here because its DENSE funnel is half as deep.
+            assert!(
+                r.normalized_blocked(&r.coarse) < 0.15,
+                "{}: COARSE normalized blocked {}",
+                r.id,
+                r.normalized_blocked(&r.coarse)
+            );
+            assert!(
+                r.normalized_blocked(&r.allreduce) < 0.20,
+                "{}: AllReduce normalized blocked {}",
+                r.id,
+                r.normalized_blocked(&r.allreduce)
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_wall_shapes() {
+        let c = capacity_wall();
+        assert_eq!(c.allreduce_max_batch, 0, "GPT-2 XL must not fit on-GPU");
+        assert!(c.coarse_max_batch >= 1);
+        assert!(c.coarse_b1.throughput > 0.0);
+        assert!(c.coarse_b1.gpu_utilization() > 0.3);
+    }
+
+    #[test]
+    fn fig16e_large_batch_wins() {
+        let f = fig16e();
+        assert!(!f.allreduce_b4_fits, "AllReduce must OOM at batch 4");
+        // Paper: 48.3% faster. Accept the 1.25–1.7x band.
+        assert!(
+            (1.25..1.7).contains(&f.speedup),
+            "fig16e speedup {}",
+            f.speedup
+        );
+        assert!(f.coarse_b4.throughput > f.coarse_b2.throughput);
+    }
+
+    #[test]
+    fn fig16f_multi_node_shapes() {
+        let f = fig16f();
+        // Paper: COARSE up to 42.7% faster than 2-node AllReduce.
+        assert!(
+            f.speedup_2node > 1.1,
+            "2-node COARSE speedup {}",
+            f.speedup_2node
+        );
+        // Paper: 1-node COARSE b4 beats 2-node AllReduce by 38.6%.
+        assert!(
+            f.speedup_1node_b4 > 1.2,
+            "1-node b4 speedup {}",
+            f.speedup_1node_b4
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The CCI-unified address space.
+//!
+//! Memory devices map their on-device DRAM into a single shared address
+//! space visible to the host CPU and to every other device (§II-C). This
+//! module provides the allocator and reverse mapping: given a CCI address,
+//! which device owns the backing memory?
+
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::units::ByteSize;
+
+/// A byte address in the unified CCI space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CciAddr(pub u64);
+
+impl std::fmt::Display for CciAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+/// A contiguous mapped region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub base: CciAddr,
+    /// Region length in bytes.
+    pub size: ByteSize,
+    /// The memory device exporting this region.
+    pub owner: DeviceId,
+}
+
+impl Region {
+    /// One past the last address.
+    pub fn end(&self) -> u64 {
+        self.base.0 + self.size.as_u64()
+    }
+
+    /// True if `addr` falls inside this region.
+    pub fn contains(&self, addr: CciAddr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.end()
+    }
+}
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressError {
+    /// The address is not mapped by any region.
+    Unmapped(CciAddr),
+    /// An access crosses a region boundary.
+    CrossesRegion {
+        /// Start of the faulting access.
+        addr: CciAddr,
+        /// Length of the faulting access.
+        len: ByteSize,
+    },
+}
+
+impl std::fmt::Display for AddressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddressError::Unmapped(a) => write!(f, "address {a} is not mapped"),
+            AddressError::CrossesRegion { addr, len } => {
+                write!(f, "access at {addr} (+{len}) crosses a region boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
+
+/// The allocator and map of the unified space. Regions are carved out
+/// sequentially; addresses are never reused within one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    next: u64,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            regions: Vec::new(),
+            // Leave page zero unmapped, like real systems do.
+            next: 0x1000,
+        }
+    }
+
+    /// Maps `size` bytes of `owner`'s DRAM into the space, returning the
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn map(&mut self, owner: DeviceId, size: ByteSize) -> Region {
+        assert!(!size.is_zero(), "cannot map an empty region");
+        let region = Region {
+            base: CciAddr(self.next),
+            size,
+            owner,
+        };
+        self.next += size.as_u64();
+        // 4 KiB-align the next base.
+        self.next = self.next.div_ceil(0x1000) * 0x1000;
+        self.regions.push(region.clone());
+        region
+    }
+
+    /// Resolves an address to its owning device and the offset within the
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError::Unmapped`] for an unmapped address.
+    pub fn resolve(&self, addr: CciAddr) -> Result<(DeviceId, u64), AddressError> {
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| (r.owner, addr.0 - r.base.0))
+            .ok_or(AddressError::Unmapped(addr))
+    }
+
+    /// Validates that an access of `len` bytes starting at `addr` stays
+    /// inside one region, returning the owner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError::Unmapped`] or [`AddressError::CrossesRegion`].
+    pub fn resolve_range(&self, addr: CciAddr, len: ByteSize) -> Result<DeviceId, AddressError> {
+        let region = self
+            .regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .ok_or(AddressError::Unmapped(addr))?;
+        if addr.0 + len.as_u64() > region.end() {
+            return Err(AddressError::CrossesRegion { addr, len });
+        }
+        Ok(region.owner)
+    }
+
+    /// All mapped regions, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> ByteSize {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(i: u32) -> DeviceId {
+        // Test-only: fabricate ids through a scratch topology.
+        let mut t = coarse_fabric::topology::Topology::new();
+        let mut id = None;
+        for k in 0..=i {
+            id = Some(t.add_device(
+                coarse_fabric::device::DeviceKind::MemoryDevice,
+                format!("m{k}"),
+                0,
+            ));
+        }
+        id.unwrap()
+    }
+
+    #[test]
+    fn map_and_resolve() {
+        let mut space = AddressSpace::new();
+        let d0 = dev(0);
+        let d1 = dev(1);
+        let r0 = space.map(d0, ByteSize::kib(8));
+        let r1 = space.map(d1, ByteSize::kib(8));
+        assert_ne!(r0.base, r1.base);
+        let (owner, off) = space.resolve(CciAddr(r0.base.0 + 100)).unwrap();
+        assert_eq!((owner, off), (d0, 100));
+        let (owner, _) = space.resolve(r1.base).unwrap();
+        assert_eq!(owner, d1);
+    }
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut space = AddressSpace::new();
+        let d = dev(0);
+        let a = space.map(d, ByteSize::bytes(100));
+        let b = space.map(d, ByteSize::bytes(100));
+        assert_eq!(a.base.0 % 0x1000, 0);
+        assert_eq!(b.base.0 % 0x1000, 0);
+        assert!(a.end() <= b.base.0);
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let space = AddressSpace::new();
+        assert_eq!(
+            space.resolve(CciAddr(0x42)),
+            Err(AddressError::Unmapped(CciAddr(0x42)))
+        );
+    }
+
+    #[test]
+    fn range_crossing_region_errors() {
+        let mut space = AddressSpace::new();
+        let d = dev(0);
+        let r = space.map(d, ByteSize::bytes(256));
+        let err = space
+            .resolve_range(CciAddr(r.base.0 + 200), ByteSize::bytes(100))
+            .unwrap_err();
+        assert!(matches!(err, AddressError::CrossesRegion { .. }));
+        assert!(space
+            .resolve_range(CciAddr(r.base.0), ByteSize::bytes(256))
+            .is_ok());
+    }
+
+    #[test]
+    fn mapped_bytes_totals() {
+        let mut space = AddressSpace::new();
+        let d = dev(0);
+        space.map(d, ByteSize::kib(4));
+        space.map(d, ByteSize::kib(12));
+        assert_eq!(space.mapped_bytes(), ByteSize::kib(16));
+    }
+}

@@ -1,0 +1,235 @@
+//! Directory-based coherence model.
+//!
+//! CCI protocols give CPU-transparent hardware coherence (§II-C), but the
+//! protocol traffic is not free: the paper notes that "coherence traffic
+//! also increases with more computation devices sharing the same memory
+//! region, reducing the bandwidth available to accommodate parameter data
+//! transfer" (§III-D). This module models a region-granularity MESI-style
+//! directory and reports the protocol cost of each access, so the DENSE
+//! baseline (many sharers on one global parameter region) pays
+//! proportionally more than COARSE (localized client–proxy–storage pairs).
+
+use std::collections::{BTreeSet, HashMap};
+
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::units::ByteSize;
+
+use crate::address::CciAddr;
+
+/// Size of one coherence protocol message on the wire.
+pub const MESSAGE_BYTES: u64 = 64;
+
+/// Fraction of the payload re-transferred per invalidated sharer
+/// (dirty-line writebacks and re-fetches under contention).
+pub const INVALIDATION_PAYLOAD_FRACTION: f64 = 0.05;
+
+/// Protocol cost of one coherent access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoherenceCost {
+    /// Number of protocol messages exchanged.
+    pub messages: u64,
+    /// Total protocol bytes (messages plus contention writebacks).
+    pub protocol_bytes: ByteSize,
+}
+
+impl CoherenceCost {
+    /// Accumulates another cost.
+    pub fn add(&mut self, other: CoherenceCost) {
+        self.messages += other.messages;
+        self.protocol_bytes += other.protocol_bytes;
+    }
+}
+
+/// The sharing state of one region.
+#[derive(Debug, Clone, Default)]
+struct RegionState {
+    /// Devices holding the region in shared state.
+    sharers: BTreeSet<DeviceId>,
+    /// Device holding the region exclusively, if any.
+    exclusive: Option<DeviceId>,
+}
+
+/// A region-granularity coherence directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    regions: HashMap<CciAddr, RegionState>,
+    total: CoherenceCost,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// A coherent read of `region` (keyed by base address) by `reader`.
+    /// Downgrades an exclusive holder if necessary.
+    pub fn read(&mut self, region: CciAddr, reader: DeviceId, payload: ByteSize) -> CoherenceCost {
+        let state = self.regions.entry(region).or_default();
+        let mut cost = CoherenceCost {
+            // Request + data response.
+            messages: 2,
+            protocol_bytes: ByteSize::bytes(2 * MESSAGE_BYTES),
+        };
+        if let Some(holder) = state.exclusive {
+            if holder != reader {
+                // Downgrade: writeback of the dirty data plus two messages.
+                cost.messages += 2;
+                cost.protocol_bytes += ByteSize::bytes(2 * MESSAGE_BYTES);
+                cost.protocol_bytes +=
+                    ByteSize::bytes((payload.as_f64() * INVALIDATION_PAYLOAD_FRACTION) as u64);
+                state.sharers.insert(holder);
+                state.exclusive = None;
+            }
+        }
+        state.sharers.insert(reader);
+        self.total.add(cost);
+        cost
+    }
+
+    /// A coherent write of `payload` bytes to `region` by `writer`.
+    /// Invalidates every other sharer; the cost grows with the sharer count.
+    pub fn write(&mut self, region: CciAddr, writer: DeviceId, payload: ByteSize) -> CoherenceCost {
+        let state = self.regions.entry(region).or_default();
+        let mut invalidated = 0u64;
+        for d in state.sharers.iter().copied().collect::<Vec<_>>() {
+            if d != writer {
+                state.sharers.remove(&d);
+                invalidated += 1;
+            }
+        }
+        if let Some(holder) = state.exclusive {
+            if holder != writer {
+                invalidated += 1;
+            }
+        }
+        state.exclusive = Some(writer);
+        state.sharers.clear();
+        state.sharers.insert(writer);
+        let messages = 2 + 2 * invalidated; // req/ack plus inv/inv-ack pairs
+        let contention =
+            (payload.as_f64() * INVALIDATION_PAYLOAD_FRACTION * invalidated as f64) as u64;
+        let cost = CoherenceCost {
+            messages,
+            protocol_bytes: ByteSize::bytes(messages * MESSAGE_BYTES + contention),
+        };
+        self.total.add(cost);
+        cost
+    }
+
+    /// Number of devices currently sharing `region` (including an exclusive
+    /// holder).
+    pub fn sharer_count(&self, region: CciAddr) -> usize {
+        self.regions
+            .get(&region)
+            .map(|s| s.sharers.len().max(usize::from(s.exclusive.is_some())))
+            .unwrap_or(0)
+    }
+
+    /// Accumulated protocol cost across all accesses.
+    pub fn total_cost(&self) -> CoherenceCost {
+        self.total
+    }
+}
+
+/// The bandwidth-inflation factor for payload traffic to a region with
+/// `sharers` concurrent sharers: protocol overhead consumes link capacity,
+/// so effective goodput shrinks as sharers grow (§III-D).
+pub fn sharing_overhead_factor(sharers: usize) -> f64 {
+    1.0 + INVALIDATION_PAYLOAD_FRACTION * sharers.saturating_sub(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices(n: usize) -> Vec<DeviceId> {
+        let mut t = coarse_fabric::topology::Topology::new();
+        (0..n)
+            .map(|i| {
+                t.add_device(
+                    coarse_fabric::device::DeviceKind::MemoryDevice,
+                    format!("m{i}"),
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    const REGION: CciAddr = CciAddr(0x1000);
+
+    #[test]
+    fn read_adds_sharer() {
+        let ds = devices(3);
+        let mut dir = Directory::new();
+        dir.read(REGION, ds[0], ByteSize::kib(4));
+        dir.read(REGION, ds[1], ByteSize::kib(4));
+        assert_eq!(dir.sharer_count(REGION), 2);
+    }
+
+    #[test]
+    fn write_invalidates_sharers_proportionally() {
+        let ds = devices(5);
+        let mut dir = Directory::new();
+        let payload = ByteSize::mib(1);
+        for &d in &ds[1..] {
+            dir.read(REGION, d, payload);
+        }
+        let cost = dir.write(REGION, ds[0], payload);
+        // Four sharers invalidated: 2 + 2*4 = 10 messages.
+        assert_eq!(cost.messages, 10);
+        assert_eq!(dir.sharer_count(REGION), 1);
+        // A second write by the same owner is cheap.
+        let cost2 = dir.write(REGION, ds[0], payload);
+        assert_eq!(cost2.messages, 2);
+        assert!(cost2.protocol_bytes < cost.protocol_bytes);
+    }
+
+    #[test]
+    fn contention_bytes_scale_with_sharers() {
+        let ds = devices(8);
+        let payload = ByteSize::mib(4);
+        let cost_of = |n: usize| {
+            let mut dir = Directory::new();
+            for &d in &ds[1..=n] {
+                dir.read(REGION, d, payload);
+            }
+            dir.write(REGION, ds[0], payload).protocol_bytes
+        };
+        let few = cost_of(1);
+        let many = cost_of(7);
+        assert!(
+            many.as_u64() > 6 * few.as_u64(),
+            "7 sharers ({many}) must cost much more than 1 ({few})"
+        );
+    }
+
+    #[test]
+    fn read_after_exclusive_downgrades() {
+        let ds = devices(2);
+        let mut dir = Directory::new();
+        let payload = ByteSize::kib(64);
+        dir.write(REGION, ds[0], payload);
+        let cost = dir.read(REGION, ds[1], payload);
+        assert!(cost.messages > 2, "downgrade costs extra messages");
+        assert_eq!(dir.sharer_count(REGION), 2);
+    }
+
+    #[test]
+    fn overhead_factor_monotone() {
+        assert_eq!(sharing_overhead_factor(0), 1.0);
+        assert_eq!(sharing_overhead_factor(1), 1.0);
+        assert!(sharing_overhead_factor(4) > sharing_overhead_factor(2));
+    }
+
+    #[test]
+    fn total_cost_accumulates() {
+        let ds = devices(2);
+        let mut dir = Directory::new();
+        dir.read(REGION, ds[0], ByteSize::kib(4));
+        dir.write(REGION, ds[1], ByteSize::kib(4));
+        let total = dir.total_cost();
+        assert!(total.messages >= 4);
+        assert!(total.protocol_bytes.as_u64() >= total.messages * MESSAGE_BYTES);
+    }
+}

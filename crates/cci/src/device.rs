@@ -1,0 +1,341 @@
+//! The CCI disaggregated memory device and the FPGA prototype performance
+//! model.
+//!
+//! [`PrototypeModel`] encodes the measured bandwidth curves of the paper's
+//! two-FPGA CCI prototype (Figs. 3, 13, 14): a flat, slow load/store path
+//! for fine-grained host access; an indirect path bounded by it; and a DMA
+//! peer-to-peer path that saturates at ≈2 MiB and reaches 9–17× (read) /
+//! 1.25–4× (write) the load/store rate. [`MemoryDevice`] couples that model
+//! with on-device DRAM capacity tracking and sync-core inventory.
+
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::time::SimDuration;
+use coarse_simcore::units::{Bandwidth, ByteSize};
+
+use coarse_fabric::bandwidth::BandwidthModel;
+
+/// How the CCI memory is reached (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Host CPU load/store instructions over the mmapped BAR.
+    CciLoadStore,
+    /// GPU access staged through host CPU memory.
+    GpuIndirect,
+    /// GPU peer-to-peer DMA straight to the device.
+    GpuDirect,
+}
+
+impl AccessMode {
+    /// All modes in the paper's plotting order.
+    pub const ALL: [AccessMode; 3] = [
+        AccessMode::CciLoadStore,
+        AccessMode::GpuIndirect,
+        AccessMode::GpuDirect,
+    ];
+
+    /// Label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessMode::CciLoadStore => "CCI",
+            AccessMode::GpuIndirect => "GPU Indirect",
+            AccessMode::GpuDirect => "GPU Direct",
+        }
+    }
+}
+
+/// Direction of an access relative to the memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessDir {
+    /// Reading from device DRAM.
+    Read,
+    /// Writing to device DRAM.
+    Write,
+}
+
+/// Calibrated bandwidth curves of the FPGA CCI prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrototypeModel {
+    cci_read: BandwidthModel,
+    cci_write: BandwidthModel,
+    indirect_read: BandwidthModel,
+    indirect_write: BandwidthModel,
+    direct_read: BandwidthModel,
+    direct_write: BandwidthModel,
+}
+
+impl PrototypeModel {
+    /// The calibration matching the paper's measurements:
+    ///
+    /// * GPU-Direct read reaches 9×–17× the load/store rate across
+    ///   16 KiB – 64 MiB (Fig. 13a), write 1.25×–4× (Fig. 13b);
+    /// * DMA saturates at ≈2 MiB (Fig. 14);
+    /// * large-transfer summary speedups are 17× read / 4× write (Fig. 3).
+    pub fn hpca_prototype() -> Self {
+        let direct_read = BandwidthModel::Saturating {
+            peak: Bandwidth::gib_per_sec(2.0),
+            half_size: ByteSize::kib(16),
+        };
+        let direct_write = BandwidthModel::Saturating {
+            peak: Bandwidth::gib_per_sec(2.0),
+            half_size: ByteSize::kib(32),
+        };
+        PrototypeModel {
+            cci_read: BandwidthModel::Flat {
+                rate: Bandwidth::gib_per_sec(2.0 / 17.0),
+            },
+            cci_write: BandwidthModel::Flat {
+                rate: Bandwidth::gib_per_sec(0.5),
+            },
+            // The indirect path is bounded by (and slightly below) the
+            // load/store rate: the CPU bounce costs a little extra.
+            indirect_read: BandwidthModel::Flat {
+                rate: Bandwidth::gib_per_sec(2.0 / 17.0 * 0.97),
+            },
+            indirect_write: BandwidthModel::Flat {
+                rate: Bandwidth::gib_per_sec(0.5 * 0.95),
+            },
+            direct_read,
+            direct_write,
+        }
+    }
+
+    /// The bandwidth model for `(mode, dir)`.
+    pub fn model(&self, mode: AccessMode, dir: AccessDir) -> &BandwidthModel {
+        match (mode, dir) {
+            (AccessMode::CciLoadStore, AccessDir::Read) => &self.cci_read,
+            (AccessMode::CciLoadStore, AccessDir::Write) => &self.cci_write,
+            (AccessMode::GpuIndirect, AccessDir::Read) => &self.indirect_read,
+            (AccessMode::GpuIndirect, AccessDir::Write) => &self.indirect_write,
+            (AccessMode::GpuDirect, AccessDir::Read) => &self.direct_read,
+            (AccessMode::GpuDirect, AccessDir::Write) => &self.direct_write,
+        }
+    }
+
+    /// Effective bandwidth at `size` for `(mode, dir)`.
+    pub fn bandwidth(&self, mode: AccessMode, dir: AccessDir, size: ByteSize) -> Bandwidth {
+        self.model(mode, dir).effective(size)
+    }
+
+    /// Time to move `size` bytes via `(mode, dir)`.
+    pub fn access_time(&self, mode: AccessMode, dir: AccessDir, size: ByteSize) -> SimDuration {
+        self.model(mode, dir).serialization_time(size)
+    }
+
+    /// Speedup of GPU-Direct over load/store for `dir` at `size` — the
+    /// quantity plotted in Fig. 13.
+    pub fn direct_speedup(&self, dir: AccessDir, size: ByteSize) -> f64 {
+        self.bandwidth(AccessMode::GpuDirect, dir, size)
+            .as_bytes_per_sec()
+            / self
+                .bandwidth(AccessMode::CciLoadStore, dir, size)
+                .as_bytes_per_sec()
+    }
+}
+
+impl Default for PrototypeModel {
+    fn default() -> Self {
+        PrototypeModel::hpca_prototype()
+    }
+}
+
+/// Errors from memory-device operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The allocation would exceed on-device DRAM capacity.
+    OutOfMemory {
+        /// Requested allocation size.
+        requested: ByteSize,
+        /// Remaining free DRAM.
+        available: ByteSize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested}, available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A CCI disaggregated memory device: on-device DRAM plus a set of sync
+/// cores (§IV-A).
+#[derive(Debug, Clone)]
+pub struct MemoryDevice {
+    fabric_id: DeviceId,
+    capacity: ByteSize,
+    allocated: ByteSize,
+    sync_cores: usize,
+    prototype: PrototypeModel,
+}
+
+impl MemoryDevice {
+    /// A device with `capacity` DRAM and `sync_cores` near-memory cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sync_cores` is zero.
+    pub fn new(fabric_id: DeviceId, capacity: ByteSize, sync_cores: usize) -> Self {
+        assert!(sync_cores > 0, "a memory device needs at least one sync core");
+        MemoryDevice {
+            fabric_id,
+            capacity,
+            allocated: ByteSize::ZERO,
+            sync_cores,
+            prototype: PrototypeModel::hpca_prototype(),
+        }
+    }
+
+    /// The fabric vertex this device occupies.
+    pub fn fabric_id(&self) -> DeviceId {
+        self.fabric_id
+    }
+
+    /// Total DRAM capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Currently allocated DRAM.
+    pub fn allocated(&self) -> ByteSize {
+        self.allocated
+    }
+
+    /// Free DRAM.
+    pub fn available(&self) -> ByteSize {
+        self.capacity - self.allocated
+    }
+
+    /// Number of sync cores.
+    pub fn sync_cores(&self) -> usize {
+        self.sync_cores
+    }
+
+    /// The prototype bandwidth curves of this device.
+    pub fn prototype(&self) -> &PrototypeModel {
+        &self.prototype
+    }
+
+    /// Reserves `size` bytes of DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] if the device is full.
+    pub fn allocate(&mut self, size: ByteSize) -> Result<(), DeviceError> {
+        if size > self.available() {
+            return Err(DeviceError::OutOfMemory {
+                requested: size,
+                available: self.available(),
+            });
+        }
+        self.allocated += size;
+        Ok(())
+    }
+
+    /// Releases `size` bytes of DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than was allocated.
+    pub fn free(&mut self, size: ByteSize) {
+        assert!(size <= self.allocated, "freeing more than allocated");
+        self.allocated = self.allocated - size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric_dev() -> DeviceId {
+        let mut t = coarse_fabric::topology::Topology::new();
+        t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "m0", 0)
+    }
+
+    #[test]
+    fn direct_read_speedup_matches_fig13a() {
+        let p = PrototypeModel::hpca_prototype();
+        let small = p.direct_speedup(AccessDir::Read, ByteSize::kib(16));
+        let large = p.direct_speedup(AccessDir::Read, ByteSize::mib(64));
+        assert!((8.0..10.0).contains(&small), "small-read speedup {small}");
+        assert!((16.0..17.5).contains(&large), "large-read speedup {large}");
+    }
+
+    #[test]
+    fn direct_write_speedup_matches_fig13b() {
+        let p = PrototypeModel::hpca_prototype();
+        let small = p.direct_speedup(AccessDir::Write, ByteSize::kib(16));
+        let large = p.direct_speedup(AccessDir::Write, ByteSize::mib(64));
+        assert!((1.1..1.6).contains(&small), "small-write speedup {small}");
+        assert!((3.8..4.1).contains(&large), "large-write speedup {large}");
+    }
+
+    #[test]
+    fn indirect_bounded_by_loadstore() {
+        let p = PrototypeModel::hpca_prototype();
+        for size in [ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)] {
+            assert!(
+                p.bandwidth(AccessMode::GpuIndirect, AccessDir::Read, size)
+                    <= p.bandwidth(AccessMode::CciLoadStore, AccessDir::Read, size)
+            );
+        }
+    }
+
+    #[test]
+    fn dma_saturates_at_2mib() {
+        let p = PrototypeModel::hpca_prototype();
+        let at2 = p
+            .bandwidth(AccessMode::GpuDirect, AccessDir::Read, ByteSize::mib(2))
+            .as_gib_per_sec();
+        assert!(at2 > 0.99 * 2.0, "≥99% of peak at 2MiB, got {at2}");
+    }
+
+    #[test]
+    fn loadstore_flat_across_sizes() {
+        let p = PrototypeModel::hpca_prototype();
+        let a = p.bandwidth(AccessMode::CciLoadStore, AccessDir::Read, ByteSize::kib(4));
+        let b = p.bandwidth(AccessMode::CciLoadStore, AccessDir::Read, ByteSize::mib(64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut d = MemoryDevice::new(fabric_dev(), ByteSize::gib(16), 8);
+        assert_eq!(d.available(), ByteSize::gib(16));
+        d.allocate(ByteSize::gib(10)).unwrap();
+        assert_eq!(d.available(), ByteSize::gib(6));
+        let err = d.allocate(ByteSize::gib(7)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        d.free(ByteSize::gib(10));
+        assert_eq!(d.allocated(), ByteSize::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more than allocated")]
+    fn over_free_panics() {
+        let mut d = MemoryDevice::new(fabric_dev(), ByteSize::gib(1), 1);
+        d.free(ByteSize::bytes(1));
+    }
+
+    #[test]
+    fn access_time_uses_curves() {
+        let p = PrototypeModel::hpca_prototype();
+        let direct = p.access_time(AccessMode::GpuDirect, AccessDir::Read, ByteSize::mib(64));
+        let ls = p.access_time(AccessMode::CciLoadStore, AccessDir::Read, ByteSize::mib(64));
+        assert!(ls > direct * 15);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(AccessMode::GpuDirect.label(), "GPU Direct");
+        assert_eq!(AccessMode::ALL.len(), 3);
+    }
+}

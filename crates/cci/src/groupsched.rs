@@ -1,0 +1,177 @@
+//! Multi-group chunk scheduling for sync cores (§IV-A "multiple groups
+//! synchronize different parameters in parallel").
+//!
+//! A memory device's sync cores are organized into several groups; a large
+//! payload is carved into chunks and dealt round-robin across the groups,
+//! adjacent groups running opposite ring directions (Fig. 11b). The
+//! functional result must equal a single-group reduction — tested here —
+//! while the timed layer gets per-group byte counts to price concurrency.
+
+use coarse_simcore::units::ByteSize;
+
+use crate::synccore::{RingDirection, SyncGroup, SyncStats};
+
+/// Per-group accounting from a multi-group reduction.
+#[derive(Debug, Clone, Default)]
+pub struct GroupScheduleStats {
+    /// One entry per group: that group's traffic counters.
+    pub per_group: Vec<SyncStats>,
+}
+
+impl GroupScheduleStats {
+    /// Total bytes sent across all groups and cores.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.per_group.iter().map(|s| s.total_bytes_sent).sum()
+    }
+
+    /// The largest per-group byte count — the critical-path group when all
+    /// groups run concurrently.
+    pub fn critical_group_bytes(&self) -> ByteSize {
+        self.per_group
+            .iter()
+            .map(|s| s.total_bytes_sent)
+            .max()
+            .unwrap_or(ByteSize::ZERO)
+    }
+}
+
+/// A scheduler dealing chunks across `groups` sync groups with alternating
+/// ring directions.
+#[derive(Debug)]
+pub struct GroupScheduler {
+    groups: Vec<SyncGroup>,
+    chunk_elems: usize,
+}
+
+impl GroupScheduler {
+    /// A scheduler over `devices` memory devices, `groups` groups, and
+    /// `chunk_elems`-element chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices < 2`, `groups == 0`, or `chunk_elems == 0`.
+    pub fn new(devices: usize, groups: usize, chunk_elems: usize) -> Self {
+        assert!(groups > 0, "need at least one group");
+        GroupScheduler {
+            groups: (0..groups)
+                .map(|g| SyncGroup::new(devices, chunk_elems, RingDirection::for_group(g)))
+                .collect(),
+            chunk_elems,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Sum-allreduce across per-device inputs, chunks dealt round-robin to
+    /// the groups. Numerically identical to a single-group reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input counts or lengths are inconsistent.
+    pub fn allreduce_sum(&mut self, inputs: &[Vec<f32>]) -> (Vec<f32>, GroupScheduleStats) {
+        let devices = self.groups[0].len();
+        assert_eq!(inputs.len(), devices, "one input per device");
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|v| v.len() == len),
+            "all inputs must have equal length"
+        );
+        let mut result = vec![0.0f32; len];
+        let mut stats = GroupScheduleStats {
+            per_group: vec![SyncStats::default(); self.groups.len()],
+        };
+        let mut offset = 0usize;
+        let mut next_group = 0usize;
+        while offset < len {
+            let end = (offset + self.chunk_elems).min(len);
+            let chunk_inputs: Vec<Vec<f32>> =
+                inputs.iter().map(|v| v[offset..end].to_vec()).collect();
+            let group = &mut self.groups[next_group];
+            let (reduced, s) = group.allreduce_sum(&chunk_inputs);
+            result[offset..end].copy_from_slice(&reduced);
+            let acc = &mut stats.per_group[next_group];
+            acc.steps += s.steps;
+            acc.chunks += s.chunks;
+            acc.total_bytes_sent += s.total_bytes_sent;
+            next_group = (next_group + 1) % self.groups.len();
+            offset = end;
+        }
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synccore::SyncGroup;
+
+    fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| ((i * 13 + j * 3) % 64) as f32 * 0.25).collect())
+            .collect()
+    }
+
+    #[test]
+    fn multi_group_matches_single_group() {
+        let data = inputs(4, 1000);
+        let mut single = SyncGroup::new(4, 128, RingDirection::Forward);
+        let (expect, _) = single.allreduce_sum(&data);
+        for groups in [1usize, 2, 3, 4] {
+            let mut sched = GroupScheduler::new(4, groups, 128);
+            let (got, _) = sched.allreduce_sum(&data);
+            assert_eq!(got, expect, "groups = {groups}");
+        }
+    }
+
+    #[test]
+    fn chunks_deal_round_robin() {
+        let data = inputs(4, 1024);
+        let mut sched = GroupScheduler::new(4, 2, 128); // 8 chunks → 4 each
+        let (_, stats) = sched.allreduce_sum(&data);
+        assert_eq!(stats.per_group.len(), 2);
+        assert_eq!(stats.per_group[0].chunks, 4);
+        assert_eq!(stats.per_group[1].chunks, 4);
+        // Equal chunks → equal traffic → the critical group carries half.
+        assert_eq!(
+            stats.critical_group_bytes() * 2,
+            stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn total_traffic_independent_of_group_count() {
+        let data = inputs(4, 2000);
+        let totals: Vec<u64> = [1usize, 2, 4]
+            .iter()
+            .map(|&g| {
+                let mut sched = GroupScheduler::new(4, g, 100);
+                sched.allreduce_sum(&data).1.total_bytes().as_u64()
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+    }
+
+    #[test]
+    fn directions_alternate() {
+        let sched = GroupScheduler::new(4, 3, 64);
+        assert_eq!(sched.group_count(), 3);
+        // (Direction alternation is set by RingDirection::for_group; the
+        // functional result is direction-invariant, verified above.)
+    }
+
+    #[test]
+    fn uneven_tail_chunk_handled() {
+        let data = inputs(3, 1001); // 1001 = 7×128 + 105
+        let mut single = SyncGroup::new(3, 128, RingDirection::Forward);
+        let (expect, _) = single.allreduce_sum(&data);
+        let mut sched = GroupScheduler::new(3, 2, 128);
+        let (got, stats) = sched.allreduce_sum(&data);
+        assert_eq!(got, expect);
+        let chunks: u64 = stats.per_group.iter().map(|s| s.chunks).sum();
+        assert_eq!(chunks, 8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Shard integrity: CRC32-sealed tensor shards and fault injection.
+//!
+//! CCI transports protect payloads with link-level CRC; a parameter system
+//! still wants end-to-end coverage across DMA engines, staging buffers, and
+//! device DRAM. [`SealedShard`] carries a CRC32 over a shard's identity and
+//! payload; proxies verify on receipt and reject corrupted pushes instead
+//! of folding bad data into the global reduction.
+
+use crate::tensor::{TensorId, TensorShard};
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 over a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The checksum of a shard's identity (tensor, index, offset) and payload.
+pub fn shard_checksum(shard: &TensorShard) -> u32 {
+    let mut bytes = Vec::with_capacity(20 + shard.data.len() * 4);
+    bytes.extend_from_slice(&shard.tensor.0.to_le_bytes());
+    bytes.extend_from_slice(&shard.index.to_le_bytes());
+    bytes.extend_from_slice(&(shard.offset as u64).to_le_bytes());
+    for v in &shard.data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+/// A corruption detected on receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The tensor whose shard failed verification.
+    pub tensor: TensorId,
+    /// The shard ordinal.
+    pub index: u32,
+    /// The checksum the sender sealed.
+    pub expected: u32,
+    /// The checksum computed on receipt.
+    pub got: u32,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {}[{}] corrupt: sealed {:#010x}, received {:#010x}",
+            self.tensor, self.index, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// A shard plus the checksum sealed at the sender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedShard {
+    shard: TensorShard,
+    checksum: u32,
+}
+
+impl SealedShard {
+    /// Seals a shard for transport.
+    pub fn seal(shard: TensorShard) -> Self {
+        let checksum = shard_checksum(&shard);
+        SealedShard { shard, checksum }
+    }
+
+    /// The sealed checksum.
+    pub fn checksum(&self) -> u32 {
+        self.checksum
+    }
+
+    /// Read-only view of the payload (e.g. for fault injection in tests).
+    pub fn shard(&self) -> &TensorShard {
+        &self.shard
+    }
+
+    /// Mutable access to the payload — the fault-injection surface. Any
+    /// modification after sealing will fail [`verify`](Self::verify).
+    pub fn shard_mut(&mut self) -> &mut TensorShard {
+        &mut self.shard
+    }
+
+    /// Verifies the seal and unwraps the shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if the shard no longer matches its seal.
+    pub fn verify(self) -> Result<TensorShard, IntegrityError> {
+        let got = shard_checksum(&self.shard);
+        if got != self.checksum {
+            return Err(IntegrityError {
+                tensor: self.shard.tensor,
+                index: self.shard.index,
+                expected: self.checksum,
+                got,
+            });
+        }
+        Ok(self.shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> TensorShard {
+        TensorShard {
+            tensor: TensorId(7),
+            index: 2,
+            offset: 1024,
+            data: (0..500).map(|i| (i as f32).sin()).collect(),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_verify_round_trip() {
+        let s = shard();
+        let sealed = SealedShard::seal(s.clone());
+        assert_eq!(sealed.verify().unwrap(), s);
+    }
+
+    #[test]
+    fn payload_bitflip_detected() {
+        let mut sealed = SealedShard::seal(shard());
+        let bits = sealed.shard_mut().data[123].to_bits() ^ 1;
+        sealed.shard_mut().data[123] = f32::from_bits(bits);
+        let err = sealed.verify().unwrap_err();
+        assert_eq!(err.tensor, TensorId(7));
+        assert_eq!(err.index, 2);
+        assert_ne!(err.expected, err.got);
+    }
+
+    #[test]
+    fn identity_tamper_detected() {
+        // Replaying a shard at a different offset must fail even though the
+        // payload is untouched.
+        let mut sealed = SealedShard::seal(shard());
+        sealed.shard_mut().offset += 4;
+        assert!(sealed.verify().is_err());
+    }
+
+    #[test]
+    fn every_single_bitflip_in_a_small_shard_is_caught() {
+        let small = TensorShard {
+            tensor: TensorId(1),
+            index: 0,
+            offset: 0,
+            data: vec![1.0, -2.0, 3.5],
+        };
+        for elem in 0..small.data.len() {
+            for bit in 0..32 {
+                let mut sealed = SealedShard::seal(small.clone());
+                let bits = sealed.shard_mut().data[elem].to_bits() ^ (1 << bit);
+                sealed.shard_mut().data[elem] = f32::from_bits(bits);
+                assert!(
+                    sealed.verify().is_err(),
+                    "flip of element {elem} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_shards_distinct_checksums() {
+        let a = SealedShard::seal(shard());
+        let mut other = shard();
+        other.index = 3;
+        let b = SealedShard::seal(other);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+}

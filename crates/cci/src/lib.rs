@@ -1,0 +1,40 @@
+//! # coarse-cci
+//!
+//! The cache-coherent-interconnect substrate of the COARSE reproduction:
+//!
+//! - [`tensor`] — flat `f32` tensors, sharding, reconstruction;
+//! - [`address`] — the CCI-unified address space memory devices map into;
+//! - [`coherence`] — a region-granularity directory whose protocol cost
+//!   grows with sharer count (the §III-D scalability argument);
+//! - [`device`] — memory devices and the FPGA prototype's measured
+//!   bandwidth curves (Figs. 3/13/14);
+//! - [`synccore`] — near-memory ring collectives on real data with
+//!   RecvBuf/LocalBuf/SendBuf semantics (§IV-A);
+//! - [`groupsched`] — chunk scheduling across multiple sync groups with
+//!   alternating ring directions (Fig. 11b);
+//! - [`storage`] — versioned copy-on-write parameter storage with
+//!   fine-grained snapshots for checkpointing;
+//! - [`persist`] — the on-disk checkpoint image format;
+//! - [`integrity`] — CRC32-sealed shards with end-to-end corruption
+//!   detection (fault injection).
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod coherence;
+pub mod device;
+pub mod groupsched;
+pub mod integrity;
+pub mod persist;
+pub mod storage;
+pub mod synccore;
+pub mod tensor;
+
+pub use address::{AddressSpace, CciAddr, Region};
+pub use coherence::{CoherenceCost, Directory};
+pub use device::{AccessDir, AccessMode, MemoryDevice, PrototypeModel};
+pub use groupsched::{GroupScheduleStats, GroupScheduler};
+pub use integrity::{IntegrityError, SealedShard};
+pub use storage::{ParameterStore, Snapshot};
+pub use synccore::{RingDirection, SyncGroup, SyncStats};
+pub use tensor::{Tensor, TensorId, TensorShard};

@@ -1,0 +1,197 @@
+//! Checkpoint persistence: serializing [`Snapshot`]s to a compact binary
+//! image, as the framework would write to disk at each epoch (§IV-A: "the
+//! memory device takes a snapshot of the current version of all parameters
+//! and saves it as a checkpoint").
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "CRSE" | version u32 | epoch u64 | tensor_count u64
+//! then per tensor (sorted by id): id u64 | len u64 | len × f32
+//! ```
+
+use std::collections::HashMap;
+
+use crate::storage::{ParameterStore, Snapshot};
+use crate::tensor::{Tensor, TensorId};
+
+const MAGIC: &[u8; 4] = b"CRSE";
+const VERSION: u32 = 1;
+
+/// Errors when decoding a checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The image does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is unsupported.
+    UnsupportedVersion(u32),
+    /// The image ended before the declared contents.
+    Truncated,
+    /// The image declared a duplicate tensor id.
+    DuplicateTensor(TensorId),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a COARSE checkpoint image"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            DecodeError::Truncated => write!(f, "checkpoint image is truncated"),
+            DecodeError::DuplicateTensor(id) => write!(f, "duplicate tensor {id} in image"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a snapshot to its on-disk image.
+pub fn encode_snapshot(snapshot: &Snapshot) -> Vec<u8> {
+    let tensors = snapshot.tensors_sorted();
+    let payload: usize = tensors.iter().map(|t| 16 + t.len() * 4).sum();
+    let mut out = Vec::with_capacity(4 + 4 + 8 + 8 + payload);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&snapshot.epoch().to_le_bytes());
+    out.extend_from_slice(&(tensors.len() as u64).to_le_bytes());
+    for t in tensors {
+        out.extend_from_slice(&t.id().0.to_le_bytes());
+        out.extend_from_slice(&(t.len() as u64).to_le_bytes());
+        for v in t.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Decodes a checkpoint image into a fresh [`ParameterStore`] positioned at
+/// the epoch after the snapshot (exactly like
+/// [`ParameterStore::restore`]).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(ParameterStore, u64), DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let epoch = r.u64()?;
+    let count = r.u64()?;
+    let mut seen: HashMap<u64, ()> = HashMap::new();
+    let mut store = ParameterStore::new();
+    for _ in 0..count {
+        let id = r.u64()?;
+        if seen.insert(id, ()).is_some() {
+            return Err(DecodeError::DuplicateTensor(TensorId(id)));
+        }
+        let len = r.u64()? as usize;
+        let raw = r.take(len * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        store.insert(&Tensor::new(TensorId(id), data));
+    }
+    Ok((store, epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_data() -> ParameterStore {
+        let mut store = ParameterStore::new();
+        store.insert(&Tensor::new(TensorId(3), vec![1.5, -2.25, 3.0]));
+        store.insert(&Tensor::new(TensorId(1), (0..3000).map(|i| i as f32).collect()));
+        store
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut store = store_with_data();
+        store.snapshot(); // epoch 0
+        let snap = store.snapshot(); // epoch 1
+        let image = encode_snapshot(&snap);
+        let (decoded, epoch) = decode_checkpoint(&image).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded.get(TensorId(3)), store.get(TensorId(3)));
+        assert_eq!(decoded.get(TensorId(1)), store.get(TensorId(1)));
+    }
+
+    #[test]
+    fn image_is_deterministic() {
+        let mut a = store_with_data();
+        let mut b = store_with_data();
+        assert_eq!(encode_snapshot(&a.snapshot()), encode_snapshot(&b.snapshot()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut store = store_with_data();
+        let mut image = encode_snapshot(&store.snapshot());
+        image[0] = b'X';
+        assert_eq!(decode_checkpoint(&image).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut store = store_with_data();
+        let image = encode_snapshot(&store.snapshot());
+        for cut in [3usize, 10, image.len() - 1] {
+            assert_eq!(
+                decode_checkpoint(&image[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut store = store_with_data();
+        let mut image = encode_snapshot(&store.snapshot());
+        image[4] = 99;
+        assert_eq!(
+            decode_checkpoint(&image).unwrap_err(),
+            DecodeError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let mut store = ParameterStore::new();
+        let image = encode_snapshot(&store.snapshot());
+        let (decoded, epoch) = decode_checkpoint(&image).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(epoch, 0);
+    }
+}

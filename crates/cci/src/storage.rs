@@ -1,0 +1,326 @@
+//! Versioned, copy-on-write parameter storage with fine-grained snapshots
+//! (§IV-A "Fault Tolerance").
+//!
+//! Parameters are stored as chunked buffers behind `Arc`s. Taking a snapshot
+//! clones only the `Arc`s (O(chunks) pointer copies); a later update copies
+//! just the chunks it actually changes, so checkpointing costs are
+//! proportional to the *delta* between epochs rather than the model size.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use coarse_simcore::units::ByteSize;
+
+use crate::tensor::{Tensor, TensorId};
+
+/// Elements per COW chunk.
+pub const CHUNK_ELEMS: usize = 1024;
+
+/// Cost accounting for one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CowStats {
+    /// Chunks physically copied (content changed while shared).
+    pub chunks_copied: u64,
+    /// Chunks mutated in place (not shared with any snapshot).
+    pub chunks_in_place: u64,
+    /// Chunks left untouched (content identical).
+    pub chunks_unchanged: u64,
+}
+
+impl CowStats {
+    /// Bytes physically copied by this update.
+    pub fn copied_bytes(&self) -> ByteSize {
+        ByteSize::bytes(self.chunks_copied * (CHUNK_ELEMS as u64) * 4)
+    }
+}
+
+/// One tensor's chunked, versioned value.
+#[derive(Debug, Clone)]
+struct VersionedTensor {
+    len: usize,
+    chunks: Vec<Arc<Vec<f32>>>,
+    version: u64,
+}
+
+impl VersionedTensor {
+    fn from_tensor(t: &Tensor) -> Self {
+        let chunks = t
+            .data()
+            .chunks(CHUNK_ELEMS)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect();
+        VersionedTensor {
+            len: t.len(),
+            chunks,
+            version: 0,
+        }
+    }
+
+    fn materialize(&self, id: TensorId) -> Tensor {
+        let mut data = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            data.extend_from_slice(c);
+        }
+        Tensor::new(id, data)
+    }
+}
+
+/// A point-in-time view of the whole store; cheap to take, cheap to hold.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    tensors: HashMap<TensorId, VersionedTensor>,
+}
+
+impl Snapshot {
+    /// The epoch number recorded at snapshot time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of tensors captured.
+    pub fn tensor_count(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Total logical bytes captured.
+    pub fn logical_bytes(&self) -> ByteSize {
+        self.tensors
+            .values()
+            .map(|v| ByteSize::bytes(v.len as u64 * 4))
+            .sum()
+    }
+
+    /// Materializes every captured tensor, sorted by id (for deterministic
+    /// serialization).
+    pub fn tensors_sorted(&self) -> Vec<crate::tensor::Tensor> {
+        let mut ids: Vec<TensorId> = self.tensors.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| self.tensors[&id].materialize(id))
+            .collect()
+    }
+}
+
+/// The parameter key-value store run by each memory device's storage
+/// service.
+#[derive(Debug, Clone, Default)]
+pub struct ParameterStore {
+    tensors: HashMap<TensorId, VersionedTensor>,
+    epoch: u64,
+}
+
+impl ParameterStore {
+    /// An empty store at epoch 0.
+    pub fn new() -> Self {
+        ParameterStore::default()
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if no tensors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Current epoch counter.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total logical bytes stored.
+    pub fn logical_bytes(&self) -> ByteSize {
+        self.tensors
+            .values()
+            .map(|v| ByteSize::bytes(v.len as u64 * 4))
+            .sum()
+    }
+
+    /// Inserts or replaces a tensor wholesale (initial placement).
+    pub fn insert(&mut self, tensor: &Tensor) {
+        self.tensors
+            .insert(tensor.id(), VersionedTensor::from_tensor(tensor));
+    }
+
+    /// Materializes a tensor's current value.
+    pub fn get(&self, id: TensorId) -> Option<Tensor> {
+        self.tensors.get(&id).map(|v| v.materialize(id))
+    }
+
+    /// The stored version counter of a tensor.
+    pub fn version(&self, id: TensorId) -> Option<u64> {
+        self.tensors.get(&id).map(|v| v.version)
+    }
+
+    /// Updates a tensor's value with copy-on-write semantics: unchanged
+    /// chunks are skipped, unshared chunks are mutated in place, and shared
+    /// chunks (held by a snapshot) are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is unknown or `data` has the wrong length.
+    pub fn update(&mut self, id: TensorId, data: &[f32]) -> CowStats {
+        let vt = self
+            .tensors
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("update of unknown tensor {id}"));
+        assert_eq!(vt.len, data.len(), "update length mismatch for {id}");
+        let mut stats = CowStats::default();
+        let mut changed = false;
+        for (chunk, new_data) in vt.chunks.iter_mut().zip(data.chunks(CHUNK_ELEMS)) {
+            if chunk.as_slice() == new_data {
+                stats.chunks_unchanged += 1;
+                continue;
+            }
+            changed = true;
+            match Arc::get_mut(chunk) {
+                Some(owned) => {
+                    owned.copy_from_slice(new_data);
+                    stats.chunks_in_place += 1;
+                }
+                None => {
+                    *chunk = Arc::new(new_data.to_vec());
+                    stats.chunks_copied += 1;
+                }
+            }
+        }
+        if changed {
+            vt.version += 1;
+        }
+        stats
+    }
+
+    /// Takes a snapshot of every parameter and advances the epoch — the
+    /// per-epoch checkpoint of §IV-A.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let snap = Snapshot {
+            epoch: self.epoch,
+            tensors: self.tensors.clone(),
+        };
+        self.epoch += 1;
+        snap
+    }
+
+    /// Restores the store to a snapshot's state (crash recovery).
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        self.tensors = snapshot.tensors.clone();
+        self.epoch = snapshot.epoch + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(id: u64, len: usize, fill: f32) -> Tensor {
+        Tensor::new(TensorId(id), vec![fill; len])
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut store = ParameterStore::new();
+        let t = tensor(1, 3000, 1.5);
+        store.insert(&t);
+        assert_eq!(store.get(TensorId(1)).unwrap(), t);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.logical_bytes(), ByteSize::bytes(12_000));
+    }
+
+    #[test]
+    fn unchanged_update_copies_nothing() {
+        let mut store = ParameterStore::new();
+        let t = tensor(1, 3000, 1.5);
+        store.insert(&t);
+        let stats = store.update(TensorId(1), t.data());
+        assert_eq!(stats.chunks_copied, 0);
+        assert_eq!(stats.chunks_in_place, 0);
+        assert_eq!(stats.chunks_unchanged, 3);
+        assert_eq!(store.version(TensorId(1)), Some(0), "no version bump");
+    }
+
+    #[test]
+    fn unshared_update_mutates_in_place() {
+        let mut store = ParameterStore::new();
+        store.insert(&tensor(1, 3000, 1.5));
+        let stats = store.update(TensorId(1), &vec![2.0; 3000]);
+        assert_eq!(stats.chunks_in_place, 3);
+        assert_eq!(stats.chunks_copied, 0);
+        assert_eq!(store.version(TensorId(1)), Some(1));
+    }
+
+    #[test]
+    fn shared_update_copies_only_changed_chunks() {
+        let mut store = ParameterStore::new();
+        store.insert(&tensor(1, 3000, 1.5));
+        let snap = store.snapshot();
+        // Change only the middle chunk.
+        let mut data = vec![1.5f32; 3000];
+        data[1500] = 9.0;
+        let stats = store.update(TensorId(1), &data);
+        assert_eq!(stats.chunks_copied, 1, "only the dirty chunk is copied");
+        assert_eq!(stats.chunks_unchanged, 2);
+        // The snapshot still sees the old value.
+        let mut restored = ParameterStore::new();
+        restored.restore(&snap);
+        assert_eq!(restored.get(TensorId(1)).unwrap().data()[1500], 1.5);
+        assert_eq!(store.get(TensorId(1)).unwrap().data()[1500], 9.0);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_epochs() {
+        let mut store = ParameterStore::new();
+        store.insert(&tensor(1, 10, 0.0));
+        let s0 = store.snapshot();
+        store.update(TensorId(1), &[1.0; 10]);
+        let s1 = store.snapshot();
+        store.update(TensorId(1), &[2.0; 10]);
+        assert_eq!(s0.epoch(), 0);
+        assert_eq!(s1.epoch(), 1);
+        let mut r = ParameterStore::new();
+        r.restore(&s0);
+        assert_eq!(r.get(TensorId(1)).unwrap().data()[0], 0.0);
+        r.restore(&s1);
+        assert_eq!(r.get(TensorId(1)).unwrap().data()[0], 1.0);
+        assert_eq!(store.get(TensorId(1)).unwrap().data()[0], 2.0);
+    }
+
+    #[test]
+    fn restore_advances_epoch_past_snapshot() {
+        let mut store = ParameterStore::new();
+        store.insert(&tensor(1, 10, 0.0));
+        let s0 = store.snapshot();
+        store.snapshot();
+        store.restore(&s0);
+        assert_eq!(store.epoch(), 1);
+    }
+
+    #[test]
+    fn copied_bytes_accounting() {
+        let stats = CowStats {
+            chunks_copied: 2,
+            chunks_in_place: 0,
+            chunks_unchanged: 0,
+        };
+        assert_eq!(stats.copied_bytes(), ByteSize::bytes(2 * 1024 * 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tensor")]
+    fn update_unknown_tensor_panics() {
+        let mut store = ParameterStore::new();
+        store.update(TensorId(99), &[1.0]);
+    }
+
+    #[test]
+    fn snapshot_metadata() {
+        let mut store = ParameterStore::new();
+        store.insert(&tensor(1, 100, 0.0));
+        store.insert(&tensor(2, 200, 0.0));
+        let s = store.snapshot();
+        assert_eq!(s.tensor_count(), 2);
+        assert_eq!(s.logical_bytes(), ByteSize::bytes(1200));
+    }
+}

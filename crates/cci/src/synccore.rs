@@ -1,0 +1,380 @@
+//! Near-memory sync cores and their ring collective (§IV-A).
+//!
+//! Each memory device carries a set of sync cores; a *group* is formed from
+//! one core per device and synchronizes a parameter chunk with a ring
+//! collective over the CCI. Each core keeps three buffers — `RecvBuf`,
+//! `LocalBuf`, `SendBuf` — mapped into CCI space so neighbors can write
+//! directly. Adjacent groups run their rings in opposite directions so every
+//! device-pair link carries traffic both ways at once (Fig. 11b).
+//!
+//! The reduction here is *functional*: real `f32` data is summed, and tests
+//! assert exact equivalence with a direct elementwise sum. The timed layer
+//! (in `coarse-collectives`) prices the same step/byte counts reported in
+//! [`SyncStats`].
+
+use coarse_simcore::units::ByteSize;
+
+/// Ring traversal direction of a sync group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingDirection {
+    /// Core `i` sends to core `(i + 1) mod n`.
+    Forward,
+    /// Core `i` sends to core `(i - 1) mod n`.
+    Reverse,
+}
+
+impl RingDirection {
+    /// The opposite direction.
+    pub fn opposite(self) -> RingDirection {
+        match self {
+            RingDirection::Forward => RingDirection::Reverse,
+            RingDirection::Reverse => RingDirection::Forward,
+        }
+    }
+
+    /// Direction assigned to group `g`: adjacent groups alternate so
+    /// pairwise links are used bidirectionally (Fig. 11b).
+    pub fn for_group(g: usize) -> RingDirection {
+        if g.is_multiple_of(2) {
+            RingDirection::Forward
+        } else {
+            RingDirection::Reverse
+        }
+    }
+}
+
+/// One sync core's buffer set (the paper's RecvBuf / LocalBuf / SendBuf).
+#[derive(Debug, Clone, Default)]
+pub struct SyncCore {
+    /// Data received from the previous core in the ring.
+    pub recv_buf: Vec<f32>,
+    /// This device's slice of the chunk being synchronized.
+    pub local_buf: Vec<f32>,
+    /// Data to send to the next core in the ring.
+    pub send_buf: Vec<f32>,
+}
+
+/// Traffic and step accounting for one collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    /// Ring steps executed (2·(n−1) per chunk).
+    pub steps: u64,
+    /// Chunks processed.
+    pub chunks: u64,
+    /// Total bytes sent across all cores. By the ring-allreduce identity
+    /// each core sends `2·(n−1)/n` of the synchronized payload (§III-F), so
+    /// the total is `2·(n−1)` times the payload.
+    pub total_bytes_sent: ByteSize,
+}
+
+impl SyncStats {
+    /// Bytes each individual core sent (`total_bytes_sent / n`).
+    pub fn bytes_per_core(&self, n: usize) -> ByteSize {
+        self.total_bytes_sent / n as u64
+    }
+}
+
+/// A group of sync cores, one per memory device, executing ring allreduce
+/// chunk by chunk.
+#[derive(Debug, Clone)]
+pub struct SyncGroup {
+    n: usize,
+    chunk_elems: usize,
+    direction: RingDirection,
+    cores: Vec<SyncCore>,
+}
+
+impl SyncGroup {
+    /// A group over `n` devices processing `chunk_elems` elements per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `chunk_elems == 0`.
+    pub fn new(n: usize, chunk_elems: usize, direction: RingDirection) -> Self {
+        assert!(n >= 2, "a ring needs at least two cores");
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        SyncGroup {
+            n,
+            chunk_elems,
+            direction,
+            cores: vec![SyncCore::default(); n],
+        }
+    }
+
+    /// Number of cores (= devices) in the group.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the group is empty (never; groups have ≥ 2 cores).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Ring direction.
+    pub fn direction(&self) -> RingDirection {
+        self.direction
+    }
+
+    /// The neighbor core `i` sends to.
+    pub fn neighbor_of(&self, i: usize) -> usize {
+        match self.direction {
+            RingDirection::Forward => (i + 1) % self.n,
+            RingDirection::Reverse => (i + self.n - 1) % self.n,
+        }
+    }
+
+    /// The buffer set of core `i` after the last collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn core(&self, i: usize) -> &SyncCore {
+        &self.cores[i]
+    }
+
+    /// Sum-allreduce across per-device inputs: every device contributed one
+    /// equal-length buffer; the returned buffer is their elementwise sum (as
+    /// left in every core's `LocalBuf`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the group size or the input
+    /// lengths are unequal.
+    pub fn allreduce_sum(&mut self, inputs: &[Vec<f32>]) -> (Vec<f32>, SyncStats) {
+        assert_eq!(inputs.len(), self.n, "one input per core required");
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|v| v.len() == len),
+            "all inputs must have equal length"
+        );
+        let mut stats = SyncStats::default();
+        let mut result = vec![0.0f32; len];
+        let mut offset = 0usize;
+        while offset < len {
+            let end = (offset + self.chunk_elems).min(len);
+            // Each core loads its slice of the chunk into LocalBuf.
+            for (core, input) in self.cores.iter_mut().zip(inputs) {
+                core.local_buf.clear();
+                core.local_buf.extend_from_slice(&input[offset..end]);
+            }
+            self.ring_chunk(&mut stats);
+            result[offset..end].copy_from_slice(&self.cores[0].local_buf);
+            stats.chunks += 1;
+            offset = end;
+        }
+        (result, stats)
+    }
+
+    /// Mean-allreduce: sum then divide by the group size (parameter
+    /// averaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`allreduce_sum`](Self::allreduce_sum).
+    pub fn allreduce_mean(&mut self, inputs: &[Vec<f32>]) -> (Vec<f32>, SyncStats) {
+        let (mut sum, stats) = self.allreduce_sum(inputs);
+        let inv = 1.0 / self.n as f32;
+        for x in &mut sum {
+            *x *= inv;
+        }
+        (sum, stats)
+    }
+
+    /// Segment boundaries: chunk of `len` elements split into `n` segments
+    /// whose sizes differ by at most one.
+    fn segment(&self, len: usize, k: usize) -> std::ops::Range<usize> {
+        let base = len / self.n;
+        let rem = len % self.n;
+        let start = k * base + k.min(rem);
+        let seg_len = base + usize::from(k < rem);
+        start..start + seg_len
+    }
+
+    /// Ring allreduce over the cores' `LocalBuf`s (one chunk).
+    fn ring_chunk(&mut self, stats: &mut SyncStats) {
+        let n = self.n;
+        let len = self.cores[0].local_buf.len();
+        // Direction is handled by relabeling: a reverse ring is a forward
+        // ring over reversed core order.
+        let order: Vec<usize> = match self.direction {
+            RingDirection::Forward => (0..n).collect(),
+            RingDirection::Reverse => (0..n).rev().collect(),
+        };
+        // Reduce-scatter: after n-1 steps, logical core i holds the full sum
+        // of segment (i+1) mod n.
+        for step in 0..n - 1 {
+            let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
+            for (li, &pi) in order.iter().enumerate() {
+                let k = (li + n - step) % n;
+                let range = self.segment(len, k);
+                let dst = order[(li + 1) % n];
+                let core = &mut self.cores[pi];
+                core.send_buf.clear();
+                core.send_buf.extend_from_slice(&core.local_buf[range]);
+                stats.total_bytes_sent += ByteSize::bytes(core.send_buf.len() as u64 * 4);
+                sends.push((dst, k, core.send_buf.clone()));
+            }
+            for (dst, k, data) in sends {
+                let range = self.segment(len, k);
+                let core = &mut self.cores[dst];
+                core.recv_buf.clear();
+                core.recv_buf.extend_from_slice(&data);
+                for (a, b) in core.local_buf[range].iter_mut().zip(&data) {
+                    *a += *b;
+                }
+            }
+            stats.steps += 1;
+        }
+        // All-gather: circulate the finished segments.
+        for step in 0..n - 1 {
+            let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
+            for (li, &pi) in order.iter().enumerate() {
+                let k = (li + 1 + n - step) % n;
+                let range = self.segment(len, k);
+                let dst = order[(li + 1) % n];
+                let core = &mut self.cores[pi];
+                core.send_buf.clear();
+                core.send_buf.extend_from_slice(&core.local_buf[range]);
+                stats.total_bytes_sent += ByteSize::bytes(core.send_buf.len() as u64 * 4);
+                sends.push((dst, k, core.send_buf.clone()));
+            }
+            for (dst, k, data) in sends {
+                let range = self.segment(len, k);
+                let core = &mut self.cores[dst];
+                core.recv_buf.clear();
+                core.recv_buf.extend_from_slice(&data);
+                core.local_buf[range].copy_from_slice(&data);
+            }
+            stats.steps += 1;
+        }
+    }
+}
+
+/// Builds `groups` sync groups over `n` devices with alternating ring
+/// directions, as in Fig. 11b.
+pub fn build_groups(n: usize, groups: usize, chunk_elems: usize) -> Vec<SyncGroup> {
+    (0..groups)
+        .map(|g| SyncGroup::new(n, chunk_elems, RingDirection::for_group(g)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut out = vec![0.0f32; inputs[0].len()];
+        for v in inputs {
+            for (a, b) in out.iter_mut().zip(v) {
+                *a += *b;
+            }
+        }
+        out
+    }
+
+    fn make_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) % 97) as f32 * 0.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_equals_direct_sum() {
+        for n in [2usize, 3, 4, 5, 8] {
+            for len in [1usize, 7, 64, 1000] {
+                let inputs = make_inputs(n, len);
+                let mut g = SyncGroup::new(n, 128, RingDirection::Forward);
+                let (result, _) = g.allreduce_sum(&inputs);
+                assert_eq!(result, direct_sum(&inputs), "n={n}, len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_direction_same_result() {
+        let inputs = make_inputs(4, 333);
+        let mut fwd = SyncGroup::new(4, 64, RingDirection::Forward);
+        let mut rev = SyncGroup::new(4, 64, RingDirection::Reverse);
+        assert_eq!(fwd.allreduce_sum(&inputs).0, rev.allreduce_sum(&inputs).0);
+    }
+
+    #[test]
+    fn mean_divides_by_group_size() {
+        let inputs = vec![vec![2.0, 4.0], vec![6.0, 8.0]];
+        let mut g = SyncGroup::new(2, 16, RingDirection::Forward);
+        let (mean, _) = g.allreduce_mean(&inputs);
+        assert_eq!(mean, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn steps_are_2n_minus_2_per_chunk() {
+        let n = 4;
+        let inputs = make_inputs(n, 100);
+        let mut g = SyncGroup::new(n, 50, RingDirection::Forward);
+        let (_, stats) = g.allreduce_sum(&inputs);
+        assert_eq!(stats.chunks, 2);
+        assert_eq!(stats.steps, 2 * (2 * (n as u64 - 1)));
+    }
+
+    #[test]
+    fn traffic_matches_ring_identity() {
+        // Total sent across cores = n · 2(n−1)/n · payload = 2(n−1)·payload.
+        let n = 4;
+        let len = 1024usize;
+        let inputs = make_inputs(n, len);
+        let mut g = SyncGroup::new(n, len, RingDirection::Forward);
+        let (_, stats) = g.allreduce_sum(&inputs);
+        let payload = (len * 4) as u64;
+        let expected_total = 2 * (n as u64 - 1) * payload;
+        assert_eq!(stats.total_bytes_sent.as_u64(), expected_total);
+        assert_eq!(
+            stats.bytes_per_core(n).as_u64(),
+            2 * (n as u64 - 1) * payload / n as u64
+        );
+    }
+
+    #[test]
+    fn neighbor_respects_direction() {
+        let fwd = SyncGroup::new(4, 16, RingDirection::Forward);
+        let rev = SyncGroup::new(4, 16, RingDirection::Reverse);
+        assert_eq!(fwd.neighbor_of(0), 1);
+        assert_eq!(fwd.neighbor_of(3), 0);
+        assert_eq!(rev.neighbor_of(0), 3);
+        assert_eq!(rev.neighbor_of(3), 2);
+    }
+
+    #[test]
+    fn alternating_group_directions() {
+        let groups = build_groups(4, 3, 64);
+        assert_eq!(groups[0].direction(), RingDirection::Forward);
+        assert_eq!(groups[1].direction(), RingDirection::Reverse);
+        assert_eq!(groups[2].direction(), RingDirection::Forward);
+    }
+
+    #[test]
+    fn buffers_populated_after_run() {
+        let inputs = make_inputs(3, 30);
+        let mut g = SyncGroup::new(3, 30, RingDirection::Forward);
+        g.allreduce_sum(&inputs);
+        for i in 0..3 {
+            let c = g.core(i);
+            assert!(!c.local_buf.is_empty());
+            assert!(!c.send_buf.is_empty());
+            assert!(!c.recv_buf.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_inputs_rejected() {
+        let mut g = SyncGroup::new(2, 16, RingDirection::Forward);
+        let _ = g.allreduce_sum(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two cores")]
+    fn tiny_ring_rejected() {
+        let _ = SyncGroup::new(1, 16, RingDirection::Forward);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tensors as flat `f32` buffers.
+//!
+//! The synchronization layer is oblivious to tensor shapes: a parameter
+//! tensor is a named, ordered buffer of `f32` values. Real reductions run on
+//! this data so numerical invariants (allreduce ≡ elementwise sum, partition
+//! ∘ reconstruct ≡ identity) are testable, not assumed.
+
+use std::fmt;
+
+use coarse_simcore::units::ByteSize;
+
+/// Identifies a parameter tensor within one training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TensorId(pub u64);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A named flat `f32` buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    id: TensorId,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Wraps a buffer.
+    pub fn new(id: TensorId, data: Vec<f32>) -> Self {
+        Tensor { id, data }
+    }
+
+    /// A zero-filled tensor of `len` elements.
+    pub fn zeros(id: TensorId, len: usize) -> Self {
+        Tensor {
+            id,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// This tensor's id.
+    pub fn id(&self) -> TensorId {
+        self.id
+    }
+
+    /// The elements.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the elements.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the payload in bytes (4 bytes per element).
+    pub fn byte_size(&self) -> ByteSize {
+        ByteSize::bytes(self.data.len() as u64 * 4)
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add_assign(&mut self, other: &[f32]) {
+        assert_eq!(self.data.len(), other.len(), "tensor length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other) {
+            *a += *b;
+        }
+    }
+
+    /// In-place scaling (e.g. averaging after a sum-reduce).
+    pub fn scale(&mut self, factor: f32) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Splits the buffer into shards of at most `shard_elems` elements,
+    /// preserving order. The final shard may be shorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_elems` is zero.
+    pub fn partition(&self, shard_elems: usize) -> Vec<TensorShard> {
+        assert!(shard_elems > 0, "shard size must be positive");
+        self.data
+            .chunks(shard_elems)
+            .enumerate()
+            .map(|(i, chunk)| TensorShard {
+                tensor: self.id,
+                index: i as u32,
+                offset: i * shard_elems,
+                data: chunk.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Reassembles a tensor from its shards (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards do not tile `[0, len)` exactly or belong to a
+    /// different tensor.
+    pub fn reconstruct(id: TensorId, len: usize, shards: &[TensorShard]) -> Tensor {
+        let mut data = vec![f32::NAN; len];
+        let mut covered = 0usize;
+        for s in shards {
+            assert_eq!(s.tensor, id, "shard belongs to a different tensor");
+            assert!(
+                s.offset + s.data.len() <= len,
+                "shard overruns the tensor: offset {} + {} > {}",
+                s.offset,
+                s.data.len(),
+                len
+            );
+            data[s.offset..s.offset + s.data.len()].copy_from_slice(&s.data);
+            covered += s.data.len();
+        }
+        assert_eq!(covered, len, "shards do not cover the tensor exactly");
+        Tensor { id, data }
+    }
+}
+
+/// A contiguous slice of a partitioned tensor in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorShard {
+    /// The tensor this shard belongs to.
+    pub tensor: TensorId,
+    /// Shard ordinal within the tensor.
+    pub index: u32,
+    /// Element offset of this shard in the original buffer.
+    pub offset: usize,
+    /// The shard's elements.
+    pub data: Vec<f32>,
+}
+
+impl TensorShard {
+    /// Payload size in bytes.
+    pub fn byte_size(&self) -> ByteSize {
+        ByteSize::bytes(self.data.len() as u64 * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f32]) -> Tensor {
+        Tensor::new(TensorId(1), vals.to_vec())
+    }
+
+    #[test]
+    fn byte_size_is_4x_len() {
+        assert_eq!(t(&[1.0, 2.0, 3.0]).byte_size(), ByteSize::bytes(12));
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = t(&[1.0, 2.0]);
+        a.add_assign(&[3.0, 4.0]);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_length_mismatch_panics() {
+        t(&[1.0]).add_assign(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn partition_reconstruct_round_trip() {
+        let orig = t(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let shards = orig.partition(3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[2].data.len(), 1, "last shard is the remainder");
+        let rebuilt = Tensor::reconstruct(TensorId(1), 7, &shards);
+        assert_eq!(rebuilt, orig);
+    }
+
+    #[test]
+    fn reconstruct_accepts_any_order() {
+        let orig = t(&[0.0, 1.0, 2.0, 3.0]);
+        let mut shards = orig.partition(2);
+        shards.reverse();
+        assert_eq!(Tensor::reconstruct(TensorId(1), 4, &shards), orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover")]
+    fn reconstruct_rejects_missing_shard() {
+        let orig = t(&[0.0, 1.0, 2.0, 3.0]);
+        let shards = orig.partition(2);
+        let _ = Tensor::reconstruct(TensorId(1), 4, &shards[..1]);
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let z = Tensor::zeros(TensorId(9), 5);
+        assert_eq!(z.len(), 5);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        assert!(!z.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the CCI substrate: storage, persistence, sync cores,
+//! coherence, and the address space.
+
+use proptest::prelude::*;
+
+use coarse_cci::address::{AddressSpace, CciAddr};
+use coarse_cci::persist::{decode_checkpoint, encode_snapshot};
+use coarse_cci::storage::ParameterStore;
+use coarse_cci::synccore::{RingDirection, SyncGroup};
+use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_simcore::units::ByteSize;
+
+fn scratch_devices(n: usize) -> Vec<coarse_fabric::device::DeviceId> {
+    let mut t = coarse_fabric::topology::Topology::new();
+    (0..n)
+        .map(|i| {
+            t.add_device(
+                coarse_fabric::device::DeviceKind::MemoryDevice,
+                format!("m{i}"),
+                0,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Checkpoint images round-trip any store contents exactly (bit-exact
+    /// floats, including negatives, infinities and NaN payload layouts are
+    /// avoided by construction of f32 from arbitrary bits being allowed —
+    /// we use finite values here since training parameters are finite).
+    #[test]
+    fn checkpoint_round_trip(
+        tensors in proptest::collection::vec(
+            (0u64..50, proptest::collection::vec(-1e30f32..1e30, 1..200)),
+            1..10
+        ),
+    ) {
+        let mut store = ParameterStore::new();
+        let mut expected: std::collections::HashMap<u64, Vec<f32>> = Default::default();
+        for (id, data) in tensors {
+            // Later duplicates overwrite earlier ones, like insert does.
+            expected.insert(id, data.clone());
+            store.insert(&Tensor::new(TensorId(id), data));
+        }
+        let image = encode_snapshot(&store.snapshot());
+        let (decoded, _) = decode_checkpoint(&image).unwrap();
+        prop_assert_eq!(decoded.len(), expected.len());
+        for (id, data) in expected {
+            prop_assert_eq!(decoded.get(TensorId(id)).unwrap().into_data(), data);
+        }
+    }
+
+    /// COW bookkeeping is conserved: copied + in-place + unchanged chunks
+    /// always equals the tensor's chunk count.
+    #[test]
+    fn cow_chunk_conservation(
+        len in 1usize..10_000,
+        snapshot_first in any::<bool>(),
+        flips in proptest::collection::vec(0usize..10_000, 0..30),
+    ) {
+        let mut store = ParameterStore::new();
+        store.insert(&Tensor::new(TensorId(0), vec![0.0; len]));
+        let snap = snapshot_first.then(|| store.snapshot());
+        let mut data = vec![0.0f32; len];
+        for f in flips {
+            data[f % len] = 1.0;
+        }
+        let stats = store.update(TensorId(0), &data);
+        let chunks = len.div_ceil(coarse_cci::storage::CHUNK_ELEMS) as u64;
+        prop_assert_eq!(
+            stats.chunks_copied + stats.chunks_in_place + stats.chunks_unchanged,
+            chunks
+        );
+        if snap.is_some() {
+            prop_assert_eq!(stats.chunks_in_place, 0, "shared chunks must copy");
+        } else {
+            prop_assert_eq!(stats.chunks_copied, 0, "unshared chunks mutate in place");
+        }
+    }
+
+    /// allreduce_mean is idempotent for identical inputs: the mean of p
+    /// copies of x is x.
+    #[test]
+    fn mean_of_identical_inputs_is_identity(
+        n in 2usize..6,
+        data in proptest::collection::vec(-1e3f32..1e3, 1..300),
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..n).map(|_| data.clone()).collect();
+        let mut g = SyncGroup::new(n, 64, RingDirection::Forward);
+        let (mean, _) = g.allreduce_mean(&inputs);
+        for (a, b) in mean.iter().zip(&data) {
+            prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// Address space: every mapped region resolves to its owner at every
+    /// offset boundary, and distinct regions never alias.
+    #[test]
+    fn address_space_no_aliasing(sizes in proptest::collection::vec(1u64..100_000, 1..20)) {
+        let devices = scratch_devices(sizes.len());
+        let mut space = AddressSpace::new();
+        let regions: Vec<_> = sizes
+            .iter()
+            .zip(&devices)
+            .map(|(&s, &d)| space.map(d, ByteSize::bytes(s)))
+            .collect();
+        for (r, &d) in regions.iter().zip(&devices) {
+            let (owner, off) = space.resolve(r.base).unwrap();
+            prop_assert_eq!(owner, d);
+            prop_assert_eq!(off, 0);
+            let last = CciAddr(r.end() - 1);
+            let (owner, off) = space.resolve(last).unwrap();
+            prop_assert_eq!(owner, d);
+            prop_assert_eq!(off, r.size.as_u64() - 1);
+        }
+    }
+
+    /// Coherence: a write round's message count is exactly 2 + 2·(other
+    /// current sharers), for any access history.
+    #[test]
+    fn coherence_message_arithmetic(readers in 1usize..8) {
+        use coarse_cci::coherence::Directory;
+        let devices = scratch_devices(readers + 1);
+        let mut dir = Directory::new();
+        let region = CciAddr(0x1000);
+        for &d in &devices[1..=readers] {
+            dir.read(region, d, ByteSize::kib(64));
+        }
+        let cost = dir.write(region, devices[0], ByteSize::kib(64));
+        prop_assert_eq!(cost.messages, 2 + 2 * readers as u64);
+    }
+}
+
+/// Snapshot chains: restoring checkpoints in reverse order replays history
+/// backwards exactly.
+#[test]
+fn snapshot_chain_replay() {
+    let mut store = ParameterStore::new();
+    store.insert(&Tensor::new(TensorId(0), vec![0.0; 2048]));
+    let mut snaps = Vec::new();
+    for epoch in 0..5 {
+        store.update(TensorId(0), &vec![epoch as f32; 2048]);
+        snaps.push(store.snapshot());
+    }
+    for (epoch, snap) in snaps.iter().enumerate().rev() {
+        store.restore(snap);
+        assert_eq!(store.get(TensorId(0)).unwrap().data()[0], epoch as f32);
+    }
+}

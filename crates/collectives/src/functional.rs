@@ -1,0 +1,117 @@
+//! Reference (untimed) collective implementations, used as numerical
+//! oracles for the sync-core and pipeline paths.
+
+/// Elementwise sum across per-member buffers.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or lengths differ.
+pub fn allreduce_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!inputs.is_empty(), "allreduce needs at least one input");
+    let len = inputs[0].len();
+    assert!(
+        inputs.iter().all(|v| v.len() == len),
+        "all inputs must have equal length"
+    );
+    let mut out = vec![0.0f32; len];
+    for v in inputs {
+        for (a, b) in out.iter_mut().zip(v) {
+            *a += *b;
+        }
+    }
+    out
+}
+
+/// Elementwise mean across per-member buffers (parameter averaging).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or lengths differ.
+pub fn allreduce_mean(inputs: &[Vec<f32>]) -> Vec<f32> {
+    let mut sum = allreduce_sum(inputs);
+    let inv = 1.0 / inputs.len() as f32;
+    for x in &mut sum {
+        *x *= inv;
+    }
+    sum
+}
+
+/// Reduce-scatter: member `i` receives the fully reduced `i`-th segment.
+/// Segments differ in size by at most one element.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or lengths differ.
+pub fn reduce_scatter(inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let sum = allreduce_sum(inputs);
+    let n = inputs.len();
+    let len = sum.len();
+    (0..n).map(|k| sum[segment(len, n, k)].to_vec()).collect()
+}
+
+/// All-gather: concatenates per-member segments into the full buffer on
+/// every member.
+pub fn all_gather(segments: &[Vec<f32>]) -> Vec<f32> {
+    segments.iter().flatten().copied().collect()
+}
+
+/// The standard balanced segment split used by ring collectives.
+pub fn segment(len: usize, n: usize, k: usize) -> std::ops::Range<usize> {
+    let base = len / n;
+    let rem = len % n;
+    let start = k * base + k.min(rem);
+    start..start + base + usize::from(k < rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let inputs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(allreduce_sum(&inputs), vec![4.0, 6.0]);
+        assert_eq!(allreduce_mean(&inputs), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_then_gather_is_allreduce() {
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..37).map(|j| (i * j) as f32).collect())
+            .collect();
+        let scattered = reduce_scatter(&inputs);
+        assert_eq!(all_gather(&scattered), allreduce_sum(&inputs));
+    }
+
+    #[test]
+    fn segments_tile_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for n in [1usize, 2, 3, 5, 8] {
+                let mut covered = 0;
+                for k in 0..n {
+                    let r = segment(len, n, k);
+                    assert_eq!(r.start, covered, "segments must be contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sync_core_group() {
+        use coarse_cci::synccore::{RingDirection, SyncGroup};
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..101).map(|j| ((i + 1) * (j + 3)) as f32 * 0.25).collect())
+            .collect();
+        let mut g = SyncGroup::new(4, 32, RingDirection::Forward);
+        let (ring_result, _) = g.allreduce_sum(&inputs);
+        assert_eq!(ring_result, allreduce_sum(&inputs));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_inputs_rejected() {
+        let _ = allreduce_sum(&[]);
+    }
+}

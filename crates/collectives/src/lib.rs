@@ -1,0 +1,23 @@
+//! # coarse-collectives
+//!
+//! Collective communication for the COARSE reproduction:
+//!
+//! - [`functional`] — untimed reference reductions (numerical oracles);
+//! - [`timed`] — fabric-scheduled ring allreduce (the NCCL/MPI baseline and
+//!   its blocking-synchronization semantics), the near-memory sync-core
+//!   group collective with alternating ring directions, and a hierarchical
+//!   multi-node allreduce;
+//! - [`tree`] — the latency-optimal binomial-tree alternative, with the
+//!   ring/tree crossover measurement.
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod timed;
+pub mod tree;
+
+pub use timed::{
+    hierarchical_allreduce, ring_allreduce, ring_bandwidth_utilization, sync_core_allreduce,
+    sync_waits, CollectiveResult,
+};
+pub use tree::{crossover_payload, tree_allreduce};

@@ -1,0 +1,426 @@
+//! Timed collectives over the fabric: ring allreduce (the NCCL / MPI
+//! baseline), the near-memory sync-core group collective, and a hierarchical
+//! multi-node variant.
+//!
+//! All of these schedule real transfers on a
+//! [`TransferEngine`], so collectives
+//! contend with any other traffic in flight and the two directions of each
+//! link are priced independently.
+
+use coarse_fabric::device::DeviceId;
+use coarse_fabric::engine::{TransferEngine, TransferError};
+use coarse_fabric::topology::Link;
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::units::ByteSize;
+
+use coarse_cci::synccore::RingDirection;
+
+/// Timing of one completed collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveResult {
+    /// When the collective began (all members ready).
+    pub start: SimTime,
+    /// When the last member finished.
+    pub end: SimTime,
+    /// Logical payload synchronized.
+    pub payload: ByteSize,
+}
+
+impl CollectiveResult {
+    /// Wall-clock duration of the collective.
+    pub fn elapsed(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Effective per-member synchronization rate in bytes/sec: payload over
+    /// elapsed time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collective took zero time.
+    pub fn rate_bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        assert!(secs > 0.0, "zero-duration collective");
+        self.payload.as_f64() / secs
+    }
+}
+
+/// The synchronization wait each member experienced before a collective
+/// could begin — the cost of MPI's synchronous point (§II-B).
+pub fn sync_waits(ready: &[SimTime]) -> Vec<SimDuration> {
+    let start = ready.iter().copied().max().unwrap_or(SimTime::ZERO);
+    ready
+        .iter()
+        .map(|&r| start.saturating_duration_since(r))
+        .collect()
+}
+
+/// Ring allreduce across `ring` members: `2·(p−1)` synchronous steps moving
+/// `payload/p` segments to the next neighbor. The collective begins only
+/// when every member is ready (`max(ready)`), modeling the blocking
+/// semantics of MPI/NCCL AllReduce.
+///
+/// `direction` selects which way segments travel; two concurrent calls with
+/// opposite directions use the two link directions of each pair
+/// simultaneously.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NoRoute`] if neighbors are not connected through
+/// allowed links.
+///
+/// # Panics
+///
+/// Panics if `ring` has fewer than two members or `ready` has the wrong
+/// length.
+pub fn ring_allreduce(
+    engine: &mut TransferEngine,
+    ring: &[DeviceId],
+    payload: ByteSize,
+    ready: &[SimTime],
+    direction: RingDirection,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Result<CollectiveResult, TransferError> {
+    let p = ring.len();
+    assert!(p >= 2, "a ring collective needs at least two members");
+    assert_eq!(ready.len(), p, "one ready time per member");
+    let start = ready.iter().copied().max().expect("non-empty ring");
+    let segment = ByteSize::bytes(payload.as_u64().div_ceil(p as u64));
+    let neighbor = |i: usize| -> usize {
+        match direction {
+            RingDirection::Forward => (i + 1) % p,
+            RingDirection::Reverse => (i + p - 1) % p,
+        }
+    };
+    let mut step_start = start;
+    for _step in 0..2 * (p - 1) {
+        let mut step_end = step_start;
+        for i in 0..p {
+            let rec = engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
+            step_end = step_end.max(rec.end);
+        }
+        step_start = step_end;
+    }
+    Ok(CollectiveResult {
+        start,
+        end: step_start,
+        payload,
+    })
+}
+
+/// The sync-core group collective of §IV-A: the payload is split across
+/// `groups` rings over the memory devices, adjacent groups running in
+/// opposite directions so device-pair links are driven bidirectionally
+/// (Fig. 11b). `wire_factor ≥ 1` inflates on-wire bytes for CCI protocol
+/// efficiency and coherence overhead.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NoRoute`] if the devices are not connected.
+///
+/// # Panics
+///
+/// Panics if `devices` has fewer than two members, `groups` is zero, or
+/// `wire_factor < 1`.
+pub fn sync_core_allreduce(
+    engine: &mut TransferEngine,
+    devices: &[DeviceId],
+    payload: ByteSize,
+    groups: usize,
+    ready: SimTime,
+    wire_factor: f64,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Result<CollectiveResult, TransferError> {
+    assert!(devices.len() >= 2, "need at least two memory devices");
+    assert!(groups >= 1, "need at least one sync group");
+    assert!(wire_factor >= 1.0, "wire factor must be ≥ 1");
+    let per_group = ByteSize::bytes(
+        ((payload.as_u64().div_ceil(groups as u64)) as f64 * wire_factor) as u64,
+    );
+    let ready_vec = vec![ready; devices.len()];
+    let mut end = ready;
+    // Groups run concurrently: each schedules its own transfers starting at
+    // `ready`; contention on shared links is resolved by the engine.
+    for g in 0..groups {
+        let result = ring_allreduce(
+            engine,
+            devices,
+            per_group,
+            &ready_vec,
+            RingDirection::for_group(g),
+            allow,
+        )?;
+        end = end.max(result.end);
+    }
+    Ok(CollectiveResult {
+        start: ready,
+        end,
+        payload,
+    })
+}
+
+/// One ring phase: `steps` synchronous rounds in which every member sends
+/// `segment` to its ring successor.
+fn ring_phase(
+    engine: &mut TransferEngine,
+    ring: &[DeviceId],
+    segment: ByteSize,
+    steps: usize,
+    mut step_start: SimTime,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Result<SimTime, TransferError> {
+    let p = ring.len();
+    for _ in 0..steps {
+        let mut step_end = step_start;
+        for i in 0..p {
+            let rec = engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
+            step_end = step_end.max(rec.end);
+        }
+        step_start = step_end;
+    }
+    Ok(step_start)
+}
+
+/// Hierarchical multi-node allreduce: intra-node ring reduce-scatter, then
+/// per-segment rings across nodes (every member exchanges its reduced
+/// segment with its peers on the other nodes, all sharing the network
+/// concurrently), then an intra-node ring all-gather — the standard
+/// bandwidth-optimal decomposition.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NoRoute`] on connectivity failures.
+///
+/// # Panics
+///
+/// Panics if `node_rings` is empty, nodes have unequal member counts, or
+/// `ready` does not match the total member count (flattened node order).
+pub fn hierarchical_allreduce(
+    engine: &mut TransferEngine,
+    node_rings: &[Vec<DeviceId>],
+    payload: ByteSize,
+    ready: &[SimTime],
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Result<CollectiveResult, TransferError> {
+    assert!(!node_rings.is_empty(), "need at least one node");
+    let local = node_rings[0].len();
+    assert!(local >= 1, "every node needs at least one member");
+    assert!(
+        node_rings.iter().all(|r| r.len() == local),
+        "nodes must have equal member counts"
+    );
+    let total: usize = node_rings.iter().map(Vec::len).sum();
+    assert_eq!(ready.len(), total, "one ready time per member");
+    let start = ready.iter().copied().max().expect("non-empty membership");
+    let nodes = node_rings.len();
+
+    // Phase 1: intra-node reduce-scatter (p−1 steps of payload/p).
+    let segment = ByteSize::bytes(payload.as_u64().div_ceil(local as u64));
+    let mut phase1_end = start;
+    if local >= 2 {
+        for ring in node_rings {
+            let end = ring_phase(engine, ring, segment, local - 1, start, allow)?;
+            phase1_end = phase1_end.max(end);
+        }
+    }
+
+    // Phase 2: cross-node allreduce of each segment, one ring per member
+    // slot, all contending for the network concurrently.
+    let mut phase2_end = phase1_end;
+    if nodes >= 2 {
+        let sub = ByteSize::bytes(segment.as_u64().div_ceil(nodes as u64));
+        for j in 0..local {
+            let cross: Vec<DeviceId> = node_rings.iter().map(|r| r[j]).collect();
+            let end = ring_phase(engine, &cross, sub, 2 * (nodes - 1), phase1_end, allow)?;
+            phase2_end = phase2_end.max(end);
+        }
+    }
+
+    // Phase 3: intra-node all-gather (p−1 steps of payload/p).
+    let mut end = phase2_end;
+    if local >= 2 {
+        for ring in node_rings {
+            let e = ring_phase(engine, ring, segment, local - 1, phase2_end, allow)?;
+            end = end.max(e);
+        }
+    }
+    Ok(CollectiveResult {
+        start,
+        end,
+        payload,
+    })
+}
+
+/// The bandwidth-utilization figure the paper quotes for ring AllReduce on
+/// DGX-1 (§II-B, "as low as 34%"): achieved algorithmic bandwidth
+/// `2·(p−1)/p · payload / elapsed` over the peak bandwidth of the slowest
+/// link used.
+pub fn ring_bandwidth_utilization(
+    result: &CollectiveResult,
+    members: usize,
+    peak_link_bytes_per_sec: f64,
+) -> f64 {
+    let algo_bytes = 2.0 * (members as f64 - 1.0) / members as f64 * result.payload.as_f64();
+    algo_bytes / result.elapsed().as_secs_f64() / peak_link_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::{aws_v100, sdsc_p100, PartitionScheme};
+    use coarse_fabric::topology::LinkClass;
+
+    fn pcie_only(l: &Link) -> bool {
+        l.class() != LinkClass::NvLink
+    }
+
+    fn all_links(_: &Link) -> bool {
+        true
+    }
+
+    #[test]
+    fn ring_allreduce_waits_for_all_members() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mut e = TransferEngine::new(m.into_topology());
+        let ready = vec![
+            SimTime::ZERO,
+            SimTime::from_nanos(500),
+            SimTime::from_nanos(10_000),
+            SimTime::ZERO,
+        ];
+        let r = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(16),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
+        assert_eq!(r.start, SimTime::from_nanos(10_000));
+        let waits = sync_waits(&ready);
+        assert_eq!(waits[0], SimDuration::from_nanos(10_000));
+        assert_eq!(waits[2], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ring_time_scales_with_payload() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mut e = TransferEngine::new(m.into_topology());
+        let ready = vec![SimTime::ZERO; 4];
+        let small = ring_allreduce(&mut e, &gpus, ByteSize::mib(4), &ready,
+                                   RingDirection::Forward, pcie_only).unwrap();
+        e.reset();
+        let large = ring_allreduce(&mut e, &gpus, ByteSize::mib(64), &ready,
+                                   RingDirection::Forward, pcie_only).unwrap();
+        let ratio = large.elapsed().as_secs_f64() / small.elapsed().as_secs_f64();
+        assert!(ratio > 8.0 && ratio < 24.0, "expected ~16x scaling, got {ratio}");
+    }
+
+    fn cci_only(l: &Link) -> bool {
+        l.class() == LinkClass::Cci
+    }
+
+    #[test]
+    fn opposite_direction_rings_overlap() {
+        // Two rings over the dedicated CCI device fabric (Fig. 11b): same
+        // direction contends on every directed link, opposite directions use
+        // disjoint directed links and overlap fully.
+        let mut m = aws_v100();
+        let part = m.partition(PartitionScheme::OneToOne);
+        m.augment_cci_ring(&part.mem_devices);
+        let devs = part.mem_devices.clone();
+        let ready = vec![SimTime::ZERO; devs.len()];
+        let payload = ByteSize::mib(32);
+
+        let mut e = TransferEngine::new(m.topology().clone());
+        let a = ring_allreduce(&mut e, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let b = ring_allreduce(&mut e, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let same_dir_end = a.end.max(b.end);
+
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let a2 = ring_allreduce(&mut e2, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let b2 = ring_allreduce(&mut e2, &devs, payload, &ready, RingDirection::Reverse, cci_only).unwrap();
+        let opp_dir_end = a2.end.max(b2.end);
+
+        assert!(
+            opp_dir_end.as_nanos() < same_dir_end.as_nanos() * 6 / 10,
+            "bidirectional rings ({opp_dir_end:?}) must beat unidirectional ({same_dir_end:?})"
+        );
+    }
+
+    #[test]
+    fn sync_core_groups_beat_single_group() {
+        let mut m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        m.augment_cci_ring(&p.mem_devices);
+        let payload = ByteSize::mib(64);
+
+        let mut e1 = TransferEngine::new(m.topology().clone());
+        let one = sync_core_allreduce(&mut e1, &p.mem_devices, payload, 1, SimTime::ZERO, 1.0, cci_only).unwrap();
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let two = sync_core_allreduce(&mut e2, &p.mem_devices, payload, 2, SimTime::ZERO, 1.0, cci_only).unwrap();
+        assert!(
+            two.elapsed() < one.elapsed().mul_f64(0.7),
+            "two bidirectional groups ({:?}) must beat one ({:?})",
+            two.elapsed(),
+            one.elapsed()
+        );
+    }
+
+    #[test]
+    fn wire_factor_slows_collective() {
+        let m = sdsc_p100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let payload = ByteSize::mib(32);
+        let mut e1 = TransferEngine::new(m.topology().clone());
+        let clean = sync_core_allreduce(&mut e1, &p.mem_devices, payload, 2, SimTime::ZERO, 1.0, pcie_only).unwrap();
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let noisy = sync_core_allreduce(&mut e2, &p.mem_devices, payload, 2, SimTime::ZERO, 1.3, pcie_only).unwrap();
+        assert!(noisy.elapsed() > clean.elapsed());
+    }
+
+    #[test]
+    fn nvlink_ring_beats_pcie_ring_on_v100() {
+        let m = aws_v100();
+        let part = m.partition(PartitionScheme::OneToOne);
+        let ring = m.nvlink_ring(&part.workers).expect("nvlink ring");
+        let ready = vec![SimTime::ZERO; ring.len()];
+        let payload = ByteSize::mib(64);
+        let mut e = TransferEngine::new(m.topology().clone());
+        let nv = ring_allreduce(&mut e, &ring, payload, &ready, RingDirection::Forward, all_links).unwrap();
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let pcie = ring_allreduce(&mut e2, &part.workers, payload, &ready, RingDirection::Forward, pcie_only).unwrap();
+        assert!(nv.elapsed() < pcie.elapsed());
+    }
+
+    #[test]
+    fn hierarchical_crosses_nodes() {
+        use coarse_fabric::machines::aws_v100_cluster;
+        let m = aws_v100_cluster(2);
+        let n0: Vec<DeviceId> = m.gpus_on_node(0)[..4].to_vec();
+        let n1: Vec<DeviceId> = m.gpus_on_node(1)[..4].to_vec();
+        let ready = vec![SimTime::ZERO; 8];
+        let payload = ByteSize::mib(64);
+        let mut e = TransferEngine::new(m.topology().clone());
+        let hier = hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready, all_links).unwrap();
+        // Single-node ring over n0 alone must be much faster than the
+        // network-bound two-node collective.
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let single = ring_allreduce(&mut e2, &n0, payload, &ready[..4], RingDirection::Forward, all_links).unwrap();
+        assert!(hier.elapsed() > single.elapsed() * 2);
+    }
+
+    #[test]
+    fn utilization_below_one() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mut e = TransferEngine::new(m.into_topology());
+        let ready = vec![SimTime::ZERO; 4];
+        let r = ring_allreduce(&mut e, &gpus, ByteSize::mib(64), &ready, RingDirection::Forward, pcie_only).unwrap();
+        let util = ring_bandwidth_utilization(&r, 4, 13.0 * (1u64 << 30) as f64);
+        assert!(util > 0.1 && util < 1.0, "utilization {util} out of range");
+    }
+}

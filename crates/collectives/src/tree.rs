@@ -1,0 +1,211 @@
+//! Tree allreduce: the latency-optimal alternative to the ring.
+//!
+//! A ring needs `2(p−1)` sequential steps; a binomial reduce-broadcast tree
+//! needs `2⌈log₂ p⌉` rounds but moves the *whole* payload on every hop.
+//! Small, latency-critical payloads therefore favor the tree while large
+//! payloads favor the ring — the same size-dependence COARSE's tensor
+//! routing exploits for proxy selection (§III-E). The crossover is measured
+//! in `crossover_payload` and exercised by the ablation tests.
+
+use coarse_fabric::device::DeviceId;
+use coarse_fabric::engine::{TransferEngine, TransferError};
+use coarse_fabric::topology::Link;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::units::ByteSize;
+
+use crate::timed::CollectiveResult;
+
+/// Binomial-tree allreduce: reduce up to member 0 in ⌈log₂ p⌉ rounds, then
+/// broadcast back down. Each hop carries the full payload.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NoRoute`] if members are not connected through
+/// allowed links.
+///
+/// # Panics
+///
+/// Panics if `members` has fewer than two entries or `ready` has the wrong
+/// length.
+pub fn tree_allreduce(
+    engine: &mut TransferEngine,
+    members: &[DeviceId],
+    payload: ByteSize,
+    ready: &[SimTime],
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Result<CollectiveResult, TransferError> {
+    let p = members.len();
+    assert!(p >= 2, "a tree collective needs at least two members");
+    assert_eq!(ready.len(), p, "one ready time per member");
+    let start = ready.iter().copied().max().expect("non-empty members");
+
+    // Reduce phase: in round r, member i (with i mod 2^(r+1) == 2^r) sends
+    // to member i - 2^r.
+    let mut done = vec![start; p];
+    let mut stride = 1usize;
+    while stride < p {
+        let mut next_done = done.clone();
+        let mut i = stride;
+        while i < p {
+            let parent = i - stride;
+            let rec = engine.transfer_filtered(
+                members[i],
+                members[parent],
+                payload,
+                done[i].max(done[parent]),
+                allow,
+            )?;
+            next_done[parent] = next_done[parent].max(rec.end);
+            i += stride * 2;
+        }
+        done = next_done;
+        stride *= 2;
+    }
+
+    // Broadcast phase: mirror of the reduce.
+    let mut avail = vec![SimTime::MAX; p];
+    avail[0] = done[0];
+    let mut stride = stride / 2;
+    while stride >= 1 {
+        let mut i = stride;
+        while i < p {
+            let parent = i - stride;
+            let rec = engine.transfer_filtered(members[parent], members[i], payload, avail[parent], allow)?;
+            avail[i] = rec.end;
+            i += stride * 2;
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    let end = avail.into_iter().max().expect("non-empty members");
+    Ok(CollectiveResult {
+        start,
+        end,
+        payload,
+    })
+}
+
+/// Finds the smallest payload (among `candidates`, ascending) at which the
+/// ring beats the tree on the given membership, or `None` if the tree wins
+/// throughout. Each measurement runs on a fresh engine.
+pub fn crossover_payload(
+    make_engine: impl Fn() -> TransferEngine,
+    members: &[DeviceId],
+    candidates: &[ByteSize],
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Option<ByteSize> {
+    use crate::timed::ring_allreduce;
+    use coarse_cci::synccore::RingDirection;
+    let ready = vec![SimTime::ZERO; members.len()];
+    candidates.iter().copied().find(|&size| {
+        let mut e1 = make_engine();
+        let ring = ring_allreduce(&mut e1, members, size, &ready, RingDirection::Forward, allow)
+            .expect("connected");
+        let mut e2 = make_engine();
+        let tree = tree_allreduce(&mut e2, members, size, &ready, allow).expect("connected");
+        ring.elapsed() <= tree.elapsed()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed::ring_allreduce;
+    use coarse_cci::synccore::RingDirection;
+    use coarse_fabric::machines::{aws_v100, PartitionScheme};
+    use coarse_fabric::topology::LinkClass;
+
+    fn cci_only(l: &Link) -> bool {
+        l.class() == LinkClass::Cci
+    }
+
+    fn cci_machine() -> (coarse_fabric::machines::Machine, Vec<DeviceId>) {
+        let mut m = aws_v100();
+        let part = m.partition(PartitionScheme::OneToOne);
+        // A full mesh: tree hops are not ring-adjacent.
+        m.augment_cci_mesh(&part.mem_devices);
+        let devs = part.mem_devices.clone();
+        (m, devs)
+    }
+
+    #[test]
+    fn tree_completes_and_scales_with_payload() {
+        let (m, devs) = cci_machine();
+        let ready = vec![SimTime::ZERO; devs.len()];
+        let mut e = TransferEngine::new(m.topology().clone());
+        let small = tree_allreduce(&mut e, &devs, ByteSize::kib(4), &ready, cci_only).unwrap();
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let large = tree_allreduce(&mut e2, &devs, ByteSize::mib(64), &ready, cci_only).unwrap();
+        assert!(large.elapsed() > small.elapsed() * 100);
+    }
+
+    #[test]
+    fn tree_wins_small_ring_wins_large() {
+        let (m, devs) = cci_machine();
+        let ready = vec![SimTime::ZERO; devs.len()];
+        // Small payload: the ring's 6 latency-bound steps lose to the
+        // tree's 4.
+        let tiny = ByteSize::bytes(256);
+        let mut e1 = TransferEngine::new(m.topology().clone());
+        let ring_s = ring_allreduce(&mut e1, &devs, tiny, &ready, RingDirection::Forward, cci_only).unwrap();
+        let mut e2 = TransferEngine::new(m.topology().clone());
+        let tree_s = tree_allreduce(&mut e2, &devs, tiny, &ready, cci_only).unwrap();
+        assert!(
+            tree_s.elapsed() < ring_s.elapsed(),
+            "tree {:?} must beat ring {:?} on tiny payloads",
+            tree_s.elapsed(),
+            ring_s.elapsed()
+        );
+        // Large payload: the ring's 2(p-1)/p bytes-per-link beat the tree's
+        // full-payload hops.
+        let big = ByteSize::mib(64);
+        let mut e3 = TransferEngine::new(m.topology().clone());
+        let ring_l = ring_allreduce(&mut e3, &devs, big, &ready, RingDirection::Forward, cci_only).unwrap();
+        let mut e4 = TransferEngine::new(m.topology().clone());
+        let tree_l = tree_allreduce(&mut e4, &devs, big, &ready, cci_only).unwrap();
+        assert!(
+            ring_l.elapsed() < tree_l.elapsed(),
+            "ring {:?} must beat tree {:?} on large payloads",
+            ring_l.elapsed(),
+            tree_l.elapsed()
+        );
+    }
+
+    #[test]
+    fn crossover_exists_and_is_monotone() {
+        let (m, devs) = cci_machine();
+        let candidates: Vec<ByteSize> = (8..=26).map(|p| ByteSize::bytes(1 << p)).collect();
+        let topo = m.topology().clone();
+        let crossover = crossover_payload(
+            || TransferEngine::new(topo.clone()),
+            &devs,
+            &candidates,
+            cci_only,
+        )
+        .expect("a crossover point exists");
+        assert!(crossover > ByteSize::bytes(256));
+        assert!(crossover < ByteSize::mib(64));
+    }
+
+    #[test]
+    fn tree_handles_non_power_of_two() {
+        let (m, devs) = cci_machine();
+        let three = &devs[..3];
+        let ready = vec![SimTime::ZERO; 3];
+        let mut e = TransferEngine::new(m.topology().clone());
+        let r = tree_allreduce(&mut e, three, ByteSize::mib(1), &ready, cci_only).unwrap();
+        assert!(r.end > r.start);
+    }
+
+    #[test]
+    fn tree_respects_ready_times() {
+        let (m, devs) = cci_machine();
+        let mut ready = vec![SimTime::ZERO; devs.len()];
+        ready[2] = SimTime::from_nanos(1_000_000);
+        let mut e = TransferEngine::new(m.topology().clone());
+        let r = tree_allreduce(&mut e, &devs, ByteSize::kib(64), &ready, cci_only).unwrap();
+        assert_eq!(r.start, SimTime::from_nanos(1_000_000));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the collectives layer.
+
+use proptest::prelude::*;
+
+use coarse_cci::synccore::RingDirection;
+use coarse_collectives::functional;
+use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
+use coarse_collectives::tree::tree_allreduce;
+use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::machines::{aws_v100, aws_v100_cluster, PartitionScheme};
+use coarse_fabric::topology::{Link, LinkClass};
+use coarse_simcore::prelude::*;
+
+fn cci_only(l: &Link) -> bool {
+    l.class() == LinkClass::Cci
+}
+
+proptest! {
+    /// Functional reduce-scatter + all-gather equals allreduce for any
+    /// inputs and member counts.
+    #[test]
+    fn scatter_gather_identity(
+        n in 1usize..8,
+        len in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..len).map(|_| rng.range_f64(-8.0, 8.0) as f32).collect())
+            .collect();
+        let scattered = functional::reduce_scatter(&inputs);
+        prop_assert_eq!(
+            functional::all_gather(&scattered),
+            functional::allreduce_sum(&inputs)
+        );
+    }
+
+    /// Timed ring allreduce elapsed time is monotone in payload and never
+    /// starts before the slowest member is ready.
+    #[test]
+    fn ring_time_monotone_and_respects_ready(
+        small_kib in 1u64..1000,
+        factor in 2u64..16,
+        slow_ready_us in 0u64..10_000,
+    ) {
+        let mut machine = aws_v100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        machine.augment_cci_ring(&part.mem_devices);
+        let devs = part.mem_devices.clone();
+        let mut ready = vec![SimTime::ZERO; devs.len()];
+        ready[2] = SimTime::ZERO + SimDuration::from_micros(slow_ready_us);
+
+        let mut e1 = TransferEngine::new(machine.topology().clone());
+        let a = ring_allreduce(&mut e1, &devs, ByteSize::kib(small_kib), &ready,
+                               RingDirection::Forward, cci_only).unwrap();
+        let mut e2 = TransferEngine::new(machine.topology().clone());
+        let b = ring_allreduce(&mut e2, &devs, ByteSize::kib(small_kib * factor), &ready,
+                               RingDirection::Forward, cci_only).unwrap();
+        prop_assert!(b.elapsed() >= a.elapsed());
+        prop_assert_eq!(a.start, ready[2]);
+    }
+
+    /// Tree and ring allreduce both respect ready times and complete, for
+    /// arbitrary member subsets of the CCI mesh.
+    #[test]
+    fn tree_and_ring_always_complete(
+        members in 2usize..5,
+        payload_kib in 1u64..4096,
+    ) {
+        let mut machine = aws_v100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        machine.augment_cci_mesh(&part.mem_devices);
+        let devs: Vec<_> = part.mem_devices[..members].to_vec();
+        let ready = vec![SimTime::ZERO; members];
+        let payload = ByteSize::kib(payload_kib);
+        let mut e1 = TransferEngine::new(machine.topology().clone());
+        let ring = ring_allreduce(&mut e1, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let mut e2 = TransferEngine::new(machine.topology().clone());
+        let tree = tree_allreduce(&mut e2, &devs, payload, &ready, cci_only).unwrap();
+        prop_assert!(ring.end > ring.start);
+        prop_assert!(tree.end > tree.start);
+    }
+
+    /// Hierarchical allreduce over a cluster is never faster than the same
+    /// payload's single-node intra ring (the network can only add time).
+    #[test]
+    fn hierarchy_dominated_by_network(payload_mib in 1u64..64) {
+        let machine = aws_v100_cluster(2);
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let n0: Vec<_> = part
+            .workers
+            .iter()
+            .copied()
+            .filter(|&w| machine.topology().device(w).node() == 0)
+            .collect();
+        let n1: Vec<_> = part
+            .workers
+            .iter()
+            .copied()
+            .filter(|&w| machine.topology().device(w).node() == 1)
+            .collect();
+        let payload = ByteSize::mib(payload_mib);
+        let ready2 = vec![SimTime::ZERO; 8];
+        let mut e = TransferEngine::new(machine.topology().clone());
+        let hier = hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, |_| true).unwrap();
+        let ready1 = vec![SimTime::ZERO; 4];
+        let mut e2 = TransferEngine::new(machine.topology().clone());
+        let single = ring_allreduce(&mut e2, &n0, payload, &ready1, RingDirection::Forward, |_| true).unwrap();
+        prop_assert!(hier.elapsed() >= single.elapsed());
+    }
+}

@@ -1,0 +1,199 @@
+//! Baseline synchronization schemes: the DENSE centralized CCI parameter
+//! server (Fig. 5) and a conventional CPU parameter server.
+//!
+//! DENSE keeps the global parameters on a *single* memory device; every
+//! worker updates them coherently over CCI. All parameter traffic funnels
+//! through that device's serial-bus link, and the coherence directory pays
+//! invalidation costs that grow with the number of sharers (§III-D) — the
+//! two scalability problems COARSE's disaggregation removes.
+
+use std::collections::HashMap;
+
+use coarse_cci::address::{AddressSpace, CciAddr};
+use coarse_cci::coherence::{CoherenceCost, Directory};
+use coarse_cci::storage::ParameterStore;
+use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::units::ByteSize;
+
+/// The DENSE baseline: one memory device, one global parameter region,
+/// coherent updates from every worker.
+#[derive(Debug)]
+pub struct DenseSystem {
+    device: DeviceId,
+    workers: Vec<DeviceId>,
+    store: ParameterStore,
+    directory: Directory,
+    region: CciAddr,
+    pending: HashMap<TensorId, (Vec<f32>, usize)>,
+}
+
+impl DenseSystem {
+    /// A DENSE deployment: `workers` share the parameter region exported by
+    /// `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty.
+    pub fn new(device: DeviceId, workers: &[DeviceId]) -> Self {
+        assert!(!workers.is_empty(), "need at least one worker");
+        let mut space = AddressSpace::new();
+        let region = space.map(device, ByteSize::gib(16)).base;
+        DenseSystem {
+            device,
+            workers: workers.to_vec(),
+            store: ParameterStore::new(),
+            directory: Directory::new(),
+            region,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The memory device hosting the global parameters.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The global parameter store.
+    pub fn store(&self) -> &ParameterStore {
+        &self.store
+    }
+
+    /// Worker `w` pushes its gradient for one tensor; the update is applied
+    /// coherently (exclusive write to the shared region). Returns the
+    /// coherence cost of this access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or tensor lengths disagree.
+    pub fn push(&mut self, w: usize, tensor: &Tensor) -> CoherenceCost {
+        let writer = self.workers[w];
+        let cost = self
+            .directory
+            .write(self.region, writer, tensor.byte_size());
+        let entry = self
+            .pending
+            .entry(tensor.id())
+            .or_insert_with(|| (vec![0.0; tensor.len()], 0));
+        assert_eq!(entry.0.len(), tensor.len(), "tensor length mismatch");
+        for (a, b) in entry.0.iter_mut().zip(tensor.data()) {
+            *a += *b;
+        }
+        entry.1 += 1;
+        // Once every worker contributed, the server averages and publishes.
+        if entry.1 == self.workers.len() {
+            let (mut sum, _) = self.pending.remove(&tensor.id()).expect("entry exists");
+            let inv = 1.0 / self.workers.len() as f32;
+            for x in &mut sum {
+                *x *= inv;
+            }
+            let t = Tensor::new(tensor.id(), sum);
+            if self.store.get(t.id()).is_none() {
+                self.store.insert(&t);
+            } else {
+                self.store.update(t.id(), t.data());
+            }
+        }
+        cost
+    }
+
+    /// Worker `w` pulls the published value (coherent shared read). Returns
+    /// the tensor and the read's coherence cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has not been published yet.
+    pub fn pull(&mut self, w: usize, tensor: TensorId) -> (Tensor, CoherenceCost) {
+        let t = self
+            .store
+            .get(tensor)
+            .unwrap_or_else(|| panic!("pull of unpublished tensor {tensor}"));
+        let cost = self
+            .directory
+            .read(self.region, self.workers[w], t.byte_size());
+        (t, cost)
+    }
+
+    /// Total coherence protocol traffic so far.
+    pub fn coherence_traffic(&self) -> CoherenceCost {
+        self.directory.total_cost()
+    }
+
+    /// Bytes crossing the single device's serial-bus link per full
+    /// synchronization round of `payload` (every worker pushes and pulls the
+    /// whole model) — the DENSE bandwidth funnel.
+    pub fn link_bytes_per_round(&self, payload: ByteSize) -> ByteSize {
+        payload * (2 * self.workers.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(workers: usize) -> (DenseSystem, Vec<DeviceId>) {
+        let mut t = coarse_fabric::topology::Topology::new();
+        let dev = t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "m", 0);
+        let ws: Vec<DeviceId> = (0..workers)
+            .map(|i| t.add_device(coarse_fabric::device::DeviceKind::Gpu, format!("g{i}"), 0))
+            .collect();
+        (DenseSystem::new(dev, &ws), ws)
+    }
+
+    #[test]
+    fn publishes_average_after_all_pushes() {
+        let (mut d, _) = setup(4);
+        for w in 0..4 {
+            let t = Tensor::new(TensorId(1), vec![(w + 1) as f32; 8]);
+            d.push(w, &t);
+        }
+        let (t, _) = d.pull(0, TensorId(1));
+        assert_eq!(t.data(), &[2.5; 8]); // mean of 1..4
+    }
+
+    #[test]
+    fn partial_pushes_do_not_publish() {
+        let (mut d, _) = setup(2);
+        d.push(0, &Tensor::new(TensorId(1), vec![1.0; 4]));
+        assert!(d.store().get(TensorId(1)).is_none());
+    }
+
+    #[test]
+    fn coherence_cost_grows_with_sharers() {
+        // More workers reading the shared region → pricier writes.
+        let traffic = |n: usize| {
+            let (mut d, _) = setup(n);
+            // Everyone reads first (becomes a sharer), then one writes.
+            for w in 0..n {
+                d.push(w, &Tensor::new(TensorId(1), vec![1.0; 1024]));
+                if d.store().get(TensorId(1)).is_some() {
+                    d.pull(w, TensorId(1));
+                }
+            }
+            // Second round: every write invalidates the other sharers.
+            for w in 0..n {
+                d.push(w, &Tensor::new(TensorId(1), vec![2.0; 1024]));
+            }
+            d.coherence_traffic().protocol_bytes
+        };
+        assert!(traffic(8) > traffic(2));
+    }
+
+    #[test]
+    fn link_funnel_scales_with_workers() {
+        let (d4, _) = setup(4);
+        let (d8, _) = setup(8);
+        let payload = ByteSize::mib(100);
+        assert_eq!(
+            d8.link_bytes_per_round(payload).as_u64(),
+            2 * d4.link_bytes_per_round(payload).as_u64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unpublished tensor")]
+    fn pull_before_publish_panics() {
+        let (mut d, _) = setup(2);
+        d.pull(0, TensorId(9));
+    }
+}

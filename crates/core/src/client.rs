@@ -1,0 +1,272 @@
+//! The parameter client running on each worker GPU (§III-D, §IV-B).
+//!
+//! A client exposes the conventional parameter-server `push`/`pull`
+//! interface to the training framework. Internally it maintains a tensor
+//! queue, partitions large tensors into routing-table-sized shards so push
+//! and pull pipeline on the bus's two directions (Fig. 9), routes each
+//! piece to the latency- or bandwidth-friendly proxy, and reconstructs
+//! pulled tensors from the partition history.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::units::ByteSize;
+
+use crate::routing::RoutingTable;
+
+/// One wire request emitted by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushRequest {
+    /// Destination proxy.
+    pub proxy: DeviceId,
+    /// The shard (whole tensors travel as a single shard).
+    pub shard: TensorShard,
+    /// Total number of shards of this tensor (for reassembly bookkeeping).
+    pub shard_count: u32,
+    /// Full element count of the tensor (so proxies can size buffers).
+    pub tensor_len: usize,
+}
+
+impl PushRequest {
+    /// Payload size of this request.
+    pub fn byte_size(&self) -> ByteSize {
+        self.shard.byte_size()
+    }
+}
+
+/// Reassembly record for one in-flight tensor.
+#[derive(Debug, Clone)]
+struct PartitionRecord {
+    len: usize,
+    shard_count: u32,
+    received: Vec<TensorShard>,
+}
+
+/// The per-worker parameter client.
+#[derive(Debug)]
+pub struct ParameterClient {
+    worker: DeviceId,
+    table: RoutingTable,
+    queue: VecDeque<PushRequest>,
+    partitions: HashMap<TensorId, PartitionRecord>,
+}
+
+impl ParameterClient {
+    /// A client for `worker` with a profiled routing table.
+    pub fn new(worker: DeviceId, table: RoutingTable) -> Self {
+        ParameterClient {
+            worker,
+            table,
+            queue: VecDeque::new(),
+            partitions: HashMap::new(),
+        }
+    }
+
+    /// The worker GPU this client runs on.
+    pub fn worker(&self) -> DeviceId {
+        self.worker
+    }
+
+    /// The active routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Installs a re-profiled routing table (dynamic profiling, §III-E).
+    pub fn set_table(&mut self, table: RoutingTable) {
+        self.table = table;
+    }
+
+    /// Pushes a tensor: small tensors are enqueued whole toward the
+    /// latency proxy; large tensors are partitioned into shards of at least
+    /// the routing table's shard size and enqueued toward the bandwidth
+    /// proxy. Returns how many wire requests were enqueued.
+    pub fn push(&mut self, tensor: &Tensor) -> usize {
+        let size = tensor.byte_size();
+        let shard_elems = (self.table.shard_size.as_u64() / 4).max(1) as usize;
+        // Partition only when at least two full shards result; each shard
+        // must be *at least* the threshold size to keep full bandwidth
+        // (§IV-B: "equal to or larger than the threshold").
+        let requests: Vec<PushRequest> = if size < self.table.threshold
+            || tensor.len() < 2 * shard_elems
+        {
+            let proxy = self.table.route_for(size);
+            vec![PushRequest {
+                proxy,
+                shard: TensorShard {
+                    tensor: tensor.id(),
+                    index: 0,
+                    offset: 0,
+                    data: tensor.data().to_vec(),
+                },
+                shard_count: 1,
+                tensor_len: tensor.len(),
+            }]
+        } else {
+            let shards = tensor.partition(shard_elems);
+            let count = shards.len() as u32;
+            shards
+                .into_iter()
+                .map(|shard| PushRequest {
+                    proxy: self.table.bw_proxy,
+                    shard,
+                    shard_count: count,
+                    tensor_len: tensor.len(),
+                })
+                .collect()
+        };
+        self.partitions.insert(
+            tensor.id(),
+            PartitionRecord {
+                len: tensor.len(),
+                shard_count: requests.len() as u32,
+                received: Vec::new(),
+            },
+        );
+        let n = requests.len();
+        self.queue.extend(requests);
+        n
+    }
+
+    /// Dequeues the next wire request, if any (clients actively drain their
+    /// queue, §IV-B).
+    pub fn dequeue(&mut self) -> Option<PushRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued wire requests.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers one updated shard pulled back from a proxy. Returns the
+    /// reassembled tensor once all shards have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard belongs to a tensor this client never pushed.
+    pub fn deliver(&mut self, shard: TensorShard) -> Option<Tensor> {
+        let id = shard.tensor;
+        let record = self
+            .partitions
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("pull of unknown tensor {id}"));
+        record.received.push(shard);
+        if record.received.len() as u32 == record.shard_count {
+            let record = self.partitions.remove(&id).expect("record exists");
+            Some(Tensor::reconstruct(id, record.len, &record.received))
+        } else {
+            None
+        }
+    }
+
+    /// Tensors still awaiting shards.
+    pub fn pending_pulls(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_simcore::time::SimTime;
+
+    fn ids() -> (DeviceId, DeviceId, DeviceId) {
+        let mut t = coarse_fabric::topology::Topology::new();
+        let w = t.add_device(coarse_fabric::device::DeviceKind::Gpu, "w", 0);
+        let a = t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "a", 0);
+        let b = t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "b", 0);
+        (w, a, b)
+    }
+
+    fn split_table(lat: DeviceId, bw: DeviceId) -> RoutingTable {
+        RoutingTable {
+            lat_proxy: lat,
+            bw_proxy: bw,
+            threshold: ByteSize::kib(1),
+            shard_size: ByteSize::kib(1), // 256 elements
+            built_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn small_tensor_goes_whole_to_lat_proxy() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        let t = Tensor::new(TensorId(1), vec![1.0; 10]);
+        assert_eq!(c.push(&t), 1);
+        let req = c.dequeue().unwrap();
+        assert_eq!(req.proxy, lat);
+        assert_eq!(req.shard_count, 1);
+        assert_eq!(req.shard.data.len(), 10);
+    }
+
+    #[test]
+    fn large_tensor_partitioned_to_bw_proxy() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        let t = Tensor::new(TensorId(2), (0..1000).map(|i| i as f32).collect());
+        let n = c.push(&t); // 1000 elems / 256 per shard → 4 shards
+        assert_eq!(n, 4);
+        let reqs: Vec<PushRequest> = std::iter::from_fn(|| c.dequeue()).collect();
+        assert!(reqs.iter().all(|r| r.proxy == bw));
+        assert!(reqs.iter().all(|r| r.shard_count == 4));
+        // Shards except the last are exactly the shard size.
+        assert!(reqs[..3].iter().all(|r| r.shard.data.len() == 256));
+    }
+
+    #[test]
+    fn push_pull_round_trip_preserves_data() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        let t = Tensor::new(TensorId(3), (0..777).map(|i| (i as f32).sin()).collect());
+        c.push(&t);
+        let reqs: Vec<PushRequest> = std::iter::from_fn(|| c.dequeue()).collect();
+        assert_eq!(c.pending_pulls(), 1);
+        let mut result = None;
+        // Deliver in reverse order to exercise out-of-order reassembly.
+        for r in reqs.into_iter().rev() {
+            result = c.deliver(r.shard);
+        }
+        assert_eq!(result.unwrap(), t);
+        assert_eq!(c.pending_pulls(), 0);
+    }
+
+    #[test]
+    fn medium_tensor_not_worth_partitioning_stays_whole() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        // 300 elems = 1.2KiB: above threshold but below two full shards.
+        let t = Tensor::new(TensorId(4), vec![0.5; 300]);
+        assert_eq!(c.push(&t), 1);
+        let req = c.dequeue().unwrap();
+        assert_eq!(req.proxy, bw, "routes by size even when unpartitioned");
+        assert_eq!(req.shard_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tensor")]
+    fn delivering_unknown_tensor_panics() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        c.deliver(TensorShard {
+            tensor: TensorId(9),
+            index: 0,
+            offset: 0,
+            data: vec![1.0],
+        });
+    }
+
+    #[test]
+    fn table_swap_takes_effect() {
+        let (w, lat, bw) = ids();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        c.set_table(RoutingTable::single(lat, ByteSize::kib(1), SimTime::ZERO));
+        let t = Tensor::new(TensorId(5), vec![1.0; 5000]);
+        c.push(&t);
+        let req = c.dequeue().unwrap();
+        assert_eq!(req.proxy, lat);
+    }
+}

@@ -1,0 +1,306 @@
+//! Proxy scheduling and deadlock avoidance (§III-F, Fig. 10).
+//!
+//! Synchronizing a tensor is a *collective*: every client's contribution to
+//! tensor `t` must be serviced by the proxy it was pushed to before `t` can
+//! be reduced. Under first-come-first-serve a proxy services only the head
+//! of its single arrival-ordered queue, so two proxies whose heads disagree
+//! wait on each other forever (Fig. 10). COARSE instead keeps one queue per
+//! client and services all of their heads concurrently; because every
+//! client pushes tensors in the same (backward) order, the globally first
+//! outstanding tensor is always at the head of every client queue, so the
+//! "waits-for" relation is acyclic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use coarse_cci::tensor::TensorId;
+
+/// How a proxy picks which contributions it is willing to service next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// One FIFO queue per proxy; only its head is serviceable
+    /// (deadlock-prone).
+    Fcfs,
+    /// One FIFO queue per client; all heads are serviceable concurrently
+    /// (COARSE's queue-based scheme).
+    PerClientQueues,
+}
+
+/// A client's contribution to one tensor, parked at a proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contribution {
+    /// The contributing client (by worker index).
+    pub client: usize,
+    /// The tensor contributed to.
+    pub tensor: TensorId,
+}
+
+/// One proxy's pending work under a given policy.
+#[derive(Debug, Clone)]
+struct ProxyQueues {
+    /// FCFS: single arrival-ordered queue.
+    fifo: VecDeque<Contribution>,
+    /// Queue-based: one queue per client.
+    per_client: BTreeMap<usize, VecDeque<Contribution>>,
+}
+
+impl ProxyQueues {
+    fn new() -> Self {
+        ProxyQueues {
+            fifo: VecDeque::new(),
+            per_client: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, c: Contribution) {
+        self.fifo.push_back(c);
+        self.per_client.entry(c.client).or_default().push_back(c);
+    }
+
+    /// Whether this proxy is currently willing to service `c`.
+    fn serviceable(&self, c: Contribution, policy: SchedulingPolicy) -> bool {
+        match policy {
+            SchedulingPolicy::Fcfs => self.fifo.front() == Some(&c),
+            SchedulingPolicy::PerClientQueues => self
+                .per_client
+                .get(&c.client)
+                .and_then(|q| q.front())
+                == Some(&c),
+        }
+    }
+
+    /// Removes every queued contribution to `t`.
+    fn complete(&mut self, t: TensorId) {
+        self.fifo.retain(|c| c.tensor != t);
+        for q in self.per_client.values_mut() {
+            q.retain(|c| c.tensor != t);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+/// Outcome of running the synchronization scheduler to quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// Tensors fully synchronized, in completion order.
+    pub completed: Vec<TensorId>,
+    /// Tensors stuck in a circular wait when the scheduler stalled.
+    pub deadlocked: Vec<TensorId>,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+}
+
+impl ScheduleOutcome {
+    /// True if every pushed tensor completed.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.deadlocked.is_empty()
+    }
+}
+
+/// A synchronization scheduler over a set of proxies.
+#[derive(Debug)]
+pub struct SyncScheduler {
+    proxies: Vec<ProxyQueues>,
+    /// For each tensor, every (client, proxy) contribution recorded.
+    contributions: BTreeMap<TensorId, Vec<(usize, usize)>>,
+    policy: SchedulingPolicy,
+}
+
+impl SyncScheduler {
+    /// A scheduler over `proxies` proxies using `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxies` is zero.
+    pub fn new(proxies: usize, policy: SchedulingPolicy) -> Self {
+        assert!(proxies > 0, "need at least one proxy");
+        SyncScheduler {
+            proxies: (0..proxies).map(|_| ProxyQueues::new()).collect(),
+            contributions: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// Client `client` pushes its contribution to `tensor` at `proxy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range.
+    pub fn push(&mut self, proxy: usize, client: usize, tensor: TensorId) {
+        assert!(proxy < self.proxies.len(), "unknown proxy {proxy}");
+        self.proxies[proxy].push(Contribution { client, tensor });
+        self.contributions
+            .entry(tensor)
+            .or_default()
+            .push((client, proxy));
+    }
+
+    /// Runs collectives until quiescence: in each round, every tensor all of
+    /// whose contributions are serviceable completes. Stalling with pending
+    /// work means deadlock.
+    pub fn run(mut self) -> ScheduleOutcome {
+        let mut completed = Vec::new();
+        let mut rounds = 0u64;
+        loop {
+            rounds += 1;
+            let ready: Vec<TensorId> = self
+                .contributions
+                .iter()
+                .filter(|(&t, contribs)| {
+                    contribs.iter().all(|&(client, proxy)| {
+                        self.proxies[proxy]
+                            .serviceable(Contribution { client, tensor: t }, self.policy)
+                    })
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for t in ready {
+                for p in &mut self.proxies {
+                    p.complete(t);
+                }
+                self.contributions.remove(&t);
+                completed.push(t);
+            }
+        }
+        let deadlocked: Vec<TensorId> = self.contributions.keys().copied().collect();
+        debug_assert_eq!(
+            deadlocked.is_empty(),
+            self.proxies.iter().all(ProxyQueues::is_empty),
+            "contribution map and queues must agree"
+        );
+        ScheduleOutcome {
+            completed,
+            deadlocked,
+            rounds,
+        }
+    }
+}
+
+/// The exact Fig. 10 scenario: both clients push tensor 1 then tensor 2,
+/// but route them to opposite proxies, and client 1's pushes land after
+/// client 0's — so the two FCFS queue heads disagree.
+pub fn figure10_scenario(policy: SchedulingPolicy) -> ScheduleOutcome {
+    let mut s = SyncScheduler::new(2, policy);
+    let t1 = TensorId(1);
+    let t2 = TensorId(2);
+    // Client 0: tensor 1 → proxy 0, tensor 2 → proxy 1.
+    s.push(0, 0, t1);
+    s.push(1, 0, t2);
+    // Client 1: tensor 1 → proxy 1, tensor 2 → proxy 0.
+    s.push(1, 1, t1);
+    s.push(0, 1, t2);
+    s.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_simcore::rng::SimRng;
+
+    #[test]
+    fn fcfs_deadlocks_on_figure10() {
+        let out = figure10_scenario(SchedulingPolicy::Fcfs);
+        assert!(!out.is_deadlock_free());
+        assert_eq!(out.completed, vec![]);
+        assert_eq!(out.deadlocked, vec![TensorId(1), TensorId(2)]);
+    }
+
+    #[test]
+    fn per_client_queues_complete_figure10() {
+        let out = figure10_scenario(SchedulingPolicy::PerClientQueues);
+        assert!(out.is_deadlock_free());
+        assert_eq!(out.completed.len(), 2);
+    }
+
+    #[test]
+    fn fcfs_fine_when_arrivals_agree() {
+        // Round-robin arrival of the same tensor order: heads agree.
+        let mut s = SyncScheduler::new(2, SchedulingPolicy::Fcfs);
+        for t in [TensorId(1), TensorId(2), TensorId(3)] {
+            s.push(0, 0, t);
+            s.push(1, 1, t);
+        }
+        let out = s.run();
+        assert!(out.is_deadlock_free());
+        assert_eq!(out.completed.len(), 3);
+    }
+
+    /// Clients all push in the same (backward) order; proxies and arrival
+    /// interleaving are random — the realistic COARSE workload shape.
+    fn random_workload(
+        rng: &mut SimRng,
+        proxies: usize,
+        clients: usize,
+        tensors: u64,
+        policy: SchedulingPolicy,
+    ) -> ScheduleOutcome {
+        let mut order: Vec<u64> = (0..tensors).collect();
+        rng.shuffle(&mut order);
+        // Random proxy for each (client, tensor).
+        let dest: Vec<Vec<usize>> = (0..clients)
+            .map(|_| {
+                (0..tensors)
+                    .map(|_| rng.next_below(proxies as u64) as usize)
+                    .collect()
+            })
+            .collect();
+        // Random interleaving of arrivals that respects each client's order.
+        let mut next_idx = vec![0usize; clients];
+        let mut s = SyncScheduler::new(proxies, policy);
+        let mut remaining: u64 = clients as u64 * tensors;
+        while remaining > 0 {
+            let c = rng.next_below(clients as u64) as usize;
+            if next_idx[c] >= tensors as usize {
+                continue;
+            }
+            let t = order[next_idx[c]];
+            s.push(dest[c][next_idx[c]], c, TensorId(t));
+            next_idx[c] += 1;
+            remaining -= 1;
+        }
+        s.run()
+    }
+
+    #[test]
+    fn queue_based_never_deadlocks_on_consistent_orders() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let out = random_workload(&mut rng, 4, 6, 40, SchedulingPolicy::PerClientQueues);
+            assert!(
+                out.is_deadlock_free(),
+                "trial {trial}: queue-based scheduling deadlocked on {:?}",
+                out.deadlocked
+            );
+            assert_eq!(out.completed.len(), 40);
+        }
+    }
+
+    #[test]
+    fn fcfs_usually_deadlocks_under_random_interleaving() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut deadlocks = 0;
+        for _ in 0..20 {
+            if !random_workload(&mut rng, 3, 4, 10, SchedulingPolicy::Fcfs).is_deadlock_free() {
+                deadlocks += 1;
+            }
+        }
+        assert!(deadlocks > 10, "FCFS should deadlock often, saw {deadlocks}/20");
+    }
+
+    #[test]
+    fn single_proxy_single_client_never_deadlocks() {
+        let mut s = SyncScheduler::new(1, SchedulingPolicy::Fcfs);
+        for t in [TensorId(2), TensorId(1), TensorId(3)] {
+            s.push(0, 0, t);
+        }
+        let out = s.run();
+        assert!(out.is_deadlock_free());
+        // FCFS completes in arrival order.
+        assert_eq!(out.completed, vec![TensorId(2), TensorId(1), TensorId(3)]);
+    }
+}

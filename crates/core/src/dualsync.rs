@@ -1,0 +1,237 @@
+//! Dual parameter synchronization (§III-F).
+//!
+//! The first `m` bytes of gradients (in backward emission order — the
+//! *deepest* layers, available earliest) are pushed to the proxies and
+//! synchronized by the memory devices, overlapping the rest of the backward
+//! pass; the remaining `n − m` bytes (the shallow layers, needed first by
+//! the next forward pass) are synchronized directly by the worker GPUs.
+//!
+//! COARSE picks `m` to minimize the paper's estimate
+//!
+//! ```text
+//! T_train = max( T_FP + T_BP + T_sync_gpu(n − m),
+//!                T_FP + T_sync_proxy(m) )
+//! T_sync(x) = 2(p−1)/p · x / B
+//! ```
+
+use coarse_simcore::time::SimDuration;
+use coarse_simcore::units::{Bandwidth, ByteSize};
+
+/// Measured inputs to the dual-sync optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSyncInputs {
+    /// Number of worker GPUs (`p`).
+    pub workers: usize,
+    /// Total gradient payload per iteration (`n`).
+    pub total_bytes: ByteSize,
+    /// Proxy-to-proxy collective bandwidth (`B_proxy`).
+    pub proxy_bandwidth: Bandwidth,
+    /// GPU-to-GPU collective bandwidth (`B_GPU`).
+    pub gpu_bandwidth: Bandwidth,
+    /// Forward-pass time (`T_FP`).
+    pub forward: SimDuration,
+    /// Backward-pass time (`T_BP`).
+    pub backward: SimDuration,
+}
+
+/// The chosen split and its predicted iteration time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSyncPlan {
+    /// Bytes offloaded to the proxies (`m`), from the *front* of the
+    /// backward emission order (deepest layers).
+    pub proxy_bytes: ByteSize,
+    /// Bytes synchronized by the GPUs (`n − m`).
+    pub gpu_bytes: ByteSize,
+    /// Predicted `T_train` at this split.
+    pub estimate: SimDuration,
+}
+
+/// `T_sync(x) = 2(p−1)/p · x / B`, the ring-allreduce time.
+pub fn sync_time(bytes: ByteSize, workers: usize, bandwidth: Bandwidth) -> SimDuration {
+    assert!(workers >= 1, "need at least one worker");
+    if workers == 1 || bytes.is_zero() {
+        return SimDuration::ZERO;
+    }
+    let factor = 2.0 * (workers as f64 - 1.0) / workers as f64;
+    SimDuration::from_secs_f64(factor * bytes.as_f64() / bandwidth.as_bytes_per_sec())
+}
+
+/// The paper's training-time estimate for a given proxy share `m`.
+pub fn estimate_iteration(inputs: &DualSyncInputs, proxy_bytes: ByteSize) -> SimDuration {
+    assert!(
+        proxy_bytes <= inputs.total_bytes,
+        "proxy share exceeds the payload"
+    );
+    let gpu_bytes = inputs.total_bytes - proxy_bytes;
+    let gpu_path = inputs.forward
+        + inputs.backward
+        + sync_time(gpu_bytes, inputs.workers, inputs.gpu_bandwidth);
+    let proxy_path = inputs.forward + sync_time(proxy_bytes, inputs.workers, inputs.proxy_bandwidth);
+    gpu_path.max(proxy_path)
+}
+
+/// Finds the `m` minimizing [`estimate_iteration`].
+///
+/// The estimate is the max of a decreasing and an increasing affine function
+/// of `m`, so the optimum is at their intersection (clamped to `[0, n]`);
+/// we solve it in closed form and verify against the neighbors.
+pub fn optimize(inputs: &DualSyncInputs) -> DualSyncPlan {
+    let n = inputs.total_bytes.as_f64();
+    let p = inputs.workers;
+    let plan_for = |m_bytes: ByteSize| DualSyncPlan {
+        proxy_bytes: m_bytes,
+        gpu_bytes: inputs.total_bytes - m_bytes,
+        estimate: estimate_iteration(inputs, m_bytes),
+    };
+    if p <= 1 {
+        // No peers to synchronize with.
+        return plan_for(ByteSize::ZERO);
+    }
+    let factor = 2.0 * (p as f64 - 1.0) / p as f64;
+    let kg = factor / inputs.gpu_bandwidth.as_bytes_per_sec(); // sec per gpu-byte
+    let kp = factor / inputs.proxy_bandwidth.as_bytes_per_sec(); // sec per proxy-byte
+    // Balance: T_BP + (n − m)·kg = m·kp  ⇒  m* = (T_BP + n·kg) / (kg + kp).
+    let m_star = (inputs.backward.as_secs_f64() + n * kg) / (kg + kp);
+    let m_clamped = m_star.clamp(0.0, n) as u64;
+    // Check the closed-form point and its byte-neighbors (integer rounding).
+    // Ties break toward the larger proxy share: offloading more keeps the
+    // GPUs freer, which is the point of the scheme.
+    let candidates = [
+        inputs.total_bytes,
+        ByteSize::bytes((m_clamped + 1).min(inputs.total_bytes.as_u64())),
+        ByteSize::bytes(m_clamped),
+        ByteSize::bytes(m_clamped.saturating_sub(1)),
+        ByteSize::ZERO,
+    ];
+    candidates
+        .into_iter()
+        .map(plan_for)
+        .min_by_key(|plan| plan.estimate)
+        .expect("non-empty candidates")
+}
+
+/// Sweeps `m` over `points` evenly spaced shares for the ablation bench.
+pub fn sweep(inputs: &DualSyncInputs, points: usize) -> Vec<DualSyncPlan> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    (0..points)
+        .map(|i| {
+            let m = ByteSize::bytes(
+                (inputs.total_bytes.as_f64() * i as f64 / (points - 1) as f64) as u64,
+            );
+            DualSyncPlan {
+                proxy_bytes: m,
+                gpu_bytes: inputs.total_bytes - m,
+                estimate: estimate_iteration(inputs, m),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> DualSyncInputs {
+        DualSyncInputs {
+            workers: 4,
+            total_bytes: ByteSize::mib(1280), // BERT-Large-ish
+            proxy_bandwidth: Bandwidth::gib_per_sec(9.0),
+            gpu_bandwidth: Bandwidth::gib_per_sec(5.0),
+            forward: SimDuration::from_millis(80),
+            backward: SimDuration::from_millis(160),
+        }
+    }
+
+    #[test]
+    fn sync_time_matches_formula() {
+        let t = sync_time(ByteSize::gib(1), 4, Bandwidth::gib_per_sec(1.0));
+        // 2·3/4 · 1 GiB / 1 GiB/s = 1.5 s
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_worker_needs_no_sync() {
+        assert_eq!(sync_time(ByteSize::gib(1), 1, Bandwidth::gib_per_sec(1.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn optimum_beats_all_or_nothing() {
+        let inp = inputs();
+        let plan = optimize(&inp);
+        let all_gpu = estimate_iteration(&inp, ByteSize::ZERO);
+        let all_proxy = estimate_iteration(&inp, inp.total_bytes);
+        assert!(plan.estimate <= all_gpu, "optimum must not lose to all-GPU");
+        assert!(plan.estimate <= all_proxy, "optimum must not lose to all-proxy");
+        assert!(plan.proxy_bytes > ByteSize::ZERO, "a mixed split should win here");
+        assert!(plan.gpu_bytes > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn optimum_is_global_minimum_of_sweep() {
+        let inp = inputs();
+        let plan = optimize(&inp);
+        for pt in sweep(&inp, 101) {
+            assert!(
+                plan.estimate <= pt.estimate,
+                "sweep point m={} beats the optimizer ({} < {})",
+                pt.proxy_bytes,
+                pt.estimate,
+                plan.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn fast_proxies_take_everything() {
+        let mut inp = inputs();
+        inp.proxy_bandwidth = Bandwidth::gib_per_sec(10_000.0);
+        let plan = optimize(&inp);
+        // With near-infinite proxy bandwidth the proxy path hides entirely
+        // behind T_BP, so all bytes go to the proxies.
+        assert_eq!(plan.proxy_bytes, inp.total_bytes);
+    }
+
+    #[test]
+    fn slow_proxies_get_little() {
+        let mut inp = inputs();
+        inp.proxy_bandwidth = Bandwidth::mib_per_sec(10.0);
+        let plan = optimize(&inp);
+        // m stays small: the proxy path is nearly useless.
+        assert!(plan.proxy_bytes.as_f64() < 0.05 * inp.total_bytes.as_f64());
+    }
+
+    #[test]
+    fn estimate_covers_both_paths() {
+        let inp = inputs();
+        // All-GPU: the GPU path dominates.
+        let t = estimate_iteration(&inp, ByteSize::ZERO);
+        let expected = inp.forward + inp.backward + sync_time(inp.total_bytes, 4, inp.gpu_bandwidth);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn sweep_is_convexish() {
+        // The estimate decreases to the optimum then increases.
+        let inp = inputs();
+        let pts = sweep(&inp, 51);
+        let min_idx = pts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.estimate)
+            .map(|(i, _)| i)
+            .unwrap();
+        for w in pts[..min_idx].windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+        for w in pts[min_idx..].windows(2) {
+            assert!(w[0].estimate <= w[1].estimate);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the payload")]
+    fn oversized_share_rejected() {
+        let inp = inputs();
+        let _ = estimate_iteration(&inp, inp.total_bytes + ByteSize::bytes(1));
+    }
+}

@@ -1,0 +1,51 @@
+//! # coarse-core
+//!
+//! The paper's primary contribution: **COARSE**, a decentralized parameter
+//! synchronization scheme offloaded to cache-coherent disaggregated memory.
+//!
+//! - [`routing`] / [`profiler`] — measured routing tables: `LatProxy`,
+//!   `BwProxy`, the size threshold `S`, and the partition shard size `S'`
+//!   (§III-E);
+//! - [`client`] — the per-worker parameter client: push/pull interface,
+//!   tensor partitioning and reconstruction (§IV-B);
+//! - [`proxy`] — the per-memory-device proxy: per-client queues,
+//!   scatter-add accumulation, pull service, co-located COW storage
+//!   (§III-D);
+//! - [`dualsync`] — the dual-synchronization optimizer choosing how many
+//!   bytes the proxies synchronize vs. the GPUs (§III-F);
+//! - [`optim`] — the SGD/momentum/Adam update rules the memory devices run
+//!   on the master weights (optimizer state stays in device DRAM);
+//! - [`deadlock`] — FCFS vs. queue-based collective scheduling (Fig. 10);
+//! - [`service`] — the timed proxy-service model: throughput of the two
+//!   policies as a function of sync-core count (§IV-A);
+//! - [`system`] — the assembled functional system, verified to produce
+//!   exact gradient means end-to-end;
+//! - [`baselines`] — the DENSE centralized CCI parameter server (Fig. 5);
+//! - [`strategy`] — the framework-facing drop-in distribution strategy
+//!   with automatic epoch checkpointing (§IV-B).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod client;
+pub mod deadlock;
+pub mod dualsync;
+pub mod optim;
+pub mod profiler;
+pub mod proxy;
+pub mod routing;
+pub mod service;
+pub mod strategy;
+pub mod system;
+
+pub use baselines::DenseSystem;
+pub use client::{ParameterClient, PushRequest};
+pub use deadlock::{ScheduleOutcome, SchedulingPolicy, SyncScheduler};
+pub use dualsync::{DualSyncInputs, DualSyncPlan};
+pub use optim::{Adam, Optimizer, Sgd, SgdMomentum};
+pub use profiler::{build_routing_table, profile_proxies, ProxyProfile};
+pub use proxy::ParameterProxy;
+pub use routing::RoutingTable;
+pub use service::{round_robin_jobs, run_service, ServiceJob, ServiceOutcome};
+pub use strategy::CoarseStrategy;
+pub use system::CoarseSystem;

@@ -1,0 +1,319 @@
+//! The parameter proxy running on each memory device (§III-D).
+//!
+//! A proxy is the communication bridge between its clients and the
+//! parameter storage co-located on the same memory device. It keeps one
+//! FIFO queue per client (the deadlock-avoidance scheme of §III-F),
+//! scatter-adds arriving gradient shards into per-tensor accumulation
+//! buffers, joins the cross-device reduction, and serves the updated shards
+//! back on pull.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use coarse_cci::storage::ParameterStore;
+use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
+use coarse_fabric::device::DeviceId;
+
+use crate::client::PushRequest;
+
+/// Metadata of one shard parked for pull service.
+#[derive(Debug, Clone)]
+struct ShardRecord {
+    client: usize,
+    index: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// A proxy plus its co-located parameter storage.
+#[derive(Debug)]
+pub struct ParameterProxy {
+    device: DeviceId,
+    /// Per-client FIFO queues (deadlock avoidance, §III-F).
+    queues: BTreeMap<usize, VecDeque<PushRequest>>,
+    /// Per-tensor local accumulation: sum of this proxy's clients' shards.
+    accum: HashMap<TensorId, Vec<f32>>,
+    /// Which shards each tensor's clients parked here (for pull service).
+    shards: HashMap<TensorId, Vec<ShardRecord>>,
+    /// The co-located storage partition (COW, snapshottable).
+    store: ParameterStore,
+    /// Parameter cache: latest reduced values.
+    cache: HashMap<TensorId, Vec<f32>>,
+}
+
+impl ParameterProxy {
+    /// A proxy bound to memory device `device`.
+    pub fn new(device: DeviceId) -> Self {
+        ParameterProxy {
+            device,
+            queues: BTreeMap::new(),
+            accum: HashMap::new(),
+            shards: HashMap::new(),
+            store: ParameterStore::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The memory device hosting this proxy.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The co-located parameter storage.
+    pub fn store(&self) -> &ParameterStore {
+        &self.store
+    }
+
+    /// Mutable access to the co-located storage (checkpointing).
+    pub fn store_mut(&mut self) -> &mut ParameterStore {
+        &mut self.store
+    }
+
+    /// Enqueues a push request whose shard travelled under a CRC32 seal,
+    /// verifying integrity on receipt. A corrupted shard is rejected before
+    /// it can contaminate the global reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`coarse_cci::integrity::IntegrityError`] if the seal does
+    /// not match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is addressed to a different device.
+    pub fn enqueue_sealed(
+        &mut self,
+        client: usize,
+        sealed: coarse_cci::integrity::SealedShard,
+        shard_count: u32,
+        tensor_len: usize,
+    ) -> Result<(), coarse_cci::integrity::IntegrityError> {
+        let shard = sealed.verify()?;
+        self.enqueue(
+            client,
+            PushRequest {
+                proxy: self.device,
+                shard,
+                shard_count,
+                tensor_len,
+            },
+        );
+        Ok(())
+    }
+
+    /// Enqueues a push request from `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is addressed to a different device.
+    pub fn enqueue(&mut self, client: usize, request: PushRequest) {
+        assert_eq!(
+            request.proxy, self.device,
+            "request addressed to {} arrived at {}",
+            request.proxy, self.device
+        );
+        self.queues.entry(client).or_default().push_back(request);
+    }
+
+    /// Total queued requests across clients.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Drains all client queues, scatter-adding shard data into per-tensor
+    /// accumulation buffers. Returns the set of tensors touched.
+    pub fn absorb(&mut self) -> Vec<TensorId> {
+        let mut touched = Vec::new();
+        for (&client, queue) in &mut self.queues {
+            while let Some(req) = queue.pop_front() {
+                let id = req.shard.tensor;
+                let buf = self
+                    .accum
+                    .entry(id)
+                    .or_insert_with(|| vec![0.0; req.tensor_len]);
+                assert_eq!(buf.len(), req.tensor_len, "tensor length changed mid-flight");
+                for (i, v) in req.shard.data.iter().enumerate() {
+                    buf[req.shard.offset + i] += v;
+                }
+                self.shards.entry(id).or_default().push(ShardRecord {
+                    client,
+                    index: req.shard.index,
+                    offset: req.shard.offset,
+                    len: req.shard.data.len(),
+                });
+                if !touched.contains(&id) {
+                    touched.push(id);
+                }
+            }
+        }
+        touched
+    }
+
+    /// Takes the local accumulation buffer for `tensor` (this proxy's input
+    /// to the cross-device reduction), or a zero buffer if no client pushed
+    /// here.
+    pub fn take_contribution(&mut self, tensor: TensorId, len: usize) -> Vec<f32> {
+        self.accum.remove(&tensor).unwrap_or_else(|| vec![0.0; len])
+    }
+
+    /// Installs the globally reduced value: updates the COW storage and the
+    /// pull cache.
+    pub fn store_reduced(&mut self, tensor: TensorId, data: Vec<f32>) {
+        if self.store.get(tensor).is_none() {
+            self.store.insert(&Tensor::new(tensor, data.clone()));
+        } else {
+            self.store.update(tensor, &data);
+        }
+        self.cache.insert(tensor, data);
+    }
+
+    /// Serves `client`'s pull of `tensor`: the updated values of exactly the
+    /// shards that client parked here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has not been reduced yet.
+    pub fn serve_pull(&mut self, client: usize, tensor: TensorId) -> Vec<TensorShard> {
+        let values = self
+            .cache
+            .get(&tensor)
+            .unwrap_or_else(|| panic!("pull of unreduced tensor {tensor}"));
+        let Some(records) = self.shards.get_mut(&tensor) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        records.retain(|r| {
+            if r.client == client {
+                out.push(TensorShard {
+                    tensor,
+                    index: r.index,
+                    offset: r.offset,
+                    data: values[r.offset..r.offset + r.len].to_vec(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// The latest reduced value of a tensor, if this proxy participated.
+    pub fn cached(&self, tensor: TensorId) -> Option<&[f32]> {
+        self.cache.get(&tensor).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceId {
+        let mut t = coarse_fabric::topology::Topology::new();
+        t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "m", 0)
+    }
+
+    fn request(dev: DeviceId, tensor: u64, index: u32, offset: usize, data: Vec<f32>, len: usize) -> PushRequest {
+        PushRequest {
+            proxy: dev,
+            shard: TensorShard {
+                tensor: TensorId(tensor),
+                index,
+                offset,
+                data,
+            },
+            shard_count: 0,
+            tensor_len: len,
+        }
+    }
+
+    #[test]
+    fn absorb_scatter_adds_across_clients() {
+        let dev = device();
+        let mut p = ParameterProxy::new(dev);
+        p.enqueue(0, request(dev, 1, 0, 0, vec![1.0, 2.0], 4));
+        p.enqueue(1, request(dev, 1, 1, 2, vec![3.0, 4.0], 4));
+        p.enqueue(1, request(dev, 1, 0, 0, vec![10.0, 10.0], 4));
+        let touched = p.absorb();
+        assert_eq!(touched, vec![TensorId(1)]);
+        let contrib = p.take_contribution(TensorId(1), 4);
+        assert_eq!(contrib, vec![11.0, 12.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_contribution_is_zero() {
+        let mut p = ParameterProxy::new(device());
+        assert_eq!(p.take_contribution(TensorId(7), 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn pull_returns_client_specific_shards() {
+        let dev = device();
+        let mut p = ParameterProxy::new(dev);
+        p.enqueue(0, request(dev, 1, 0, 0, vec![1.0, 1.0], 4));
+        p.enqueue(1, request(dev, 1, 1, 2, vec![2.0, 2.0], 4));
+        p.absorb();
+        p.store_reduced(TensorId(1), vec![5.0, 6.0, 7.0, 8.0]);
+        let shards0 = p.serve_pull(0, TensorId(1));
+        assert_eq!(shards0.len(), 1);
+        assert_eq!(shards0[0].offset, 0);
+        assert_eq!(shards0[0].data, vec![5.0, 6.0]);
+        let shards1 = p.serve_pull(1, TensorId(1));
+        assert_eq!(shards1[0].offset, 2);
+        assert_eq!(shards1[0].data, vec![7.0, 8.0]);
+        // Second pull finds nothing left.
+        assert!(p.serve_pull(0, TensorId(1)).is_empty());
+    }
+
+    #[test]
+    fn store_reduced_versions_parameters() {
+        let mut p = ParameterProxy::new(device());
+        p.store_reduced(TensorId(3), vec![1.0; 2048]);
+        assert_eq!(p.store().version(TensorId(3)), Some(0));
+        p.store_reduced(TensorId(3), vec![2.0; 2048]);
+        assert_eq!(p.store().version(TensorId(3)), Some(1));
+        assert_eq!(p.cached(TensorId(3)).unwrap()[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreduced tensor")]
+    fn pull_before_reduce_panics() {
+        let mut p = ParameterProxy::new(device());
+        p.serve_pull(0, TensorId(1));
+    }
+
+    #[test]
+    fn sealed_enqueue_accepts_clean_rejects_corrupt() {
+        use coarse_cci::integrity::SealedShard;
+        let dev = device();
+        let mut p = ParameterProxy::new(dev);
+        let shard = TensorShard {
+            tensor: TensorId(5),
+            index: 0,
+            offset: 0,
+            data: vec![1.0, 2.0, 3.0],
+        };
+        // Clean shard lands in the queue.
+        p.enqueue_sealed(0, SealedShard::seal(shard.clone()), 1, 3)
+            .unwrap();
+        assert_eq!(p.queued(), 1);
+        // A bit flipped in flight is rejected and never enqueued.
+        let mut corrupted = SealedShard::seal(shard);
+        corrupted.shard_mut().data[1] = 99.0;
+        let err = p.enqueue_sealed(1, corrupted, 1, 3).unwrap_err();
+        assert_eq!(err.tensor, TensorId(5));
+        assert_eq!(p.queued(), 1, "corrupt shard must not be queued");
+    }
+
+    #[test]
+    #[should_panic(expected = "addressed to")]
+    fn misaddressed_request_rejected() {
+        let dev = device();
+        let other = {
+            let mut t = coarse_fabric::topology::Topology::new();
+            t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "x", 0);
+            t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "y", 0)
+        };
+        let mut p = ParameterProxy::new(dev);
+        p.enqueue(0, request(other, 1, 0, 0, vec![1.0], 1));
+    }
+}

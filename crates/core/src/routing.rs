@@ -1,0 +1,108 @@
+//! Tensor routing tables (§III-E).
+//!
+//! Each client owns a routing table with three entries: a size threshold
+//! `S`, a latency-friendly proxy (`LatProxy`) for tensors smaller than `S`,
+//! and a bandwidth-friendly proxy (`BwProxy`) for the rest. On machines
+//! with PCIe anti-locality the `BwProxy` is a *remote* device — routing
+//! around the slow local hairpin is precisely COARSE's trick.
+
+use coarse_fabric::device::DeviceId;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::units::ByteSize;
+
+/// A client's routing decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// Destination for small (latency-critical) tensors.
+    pub lat_proxy: DeviceId,
+    /// Destination for large (bandwidth-critical) tensors.
+    pub bw_proxy: DeviceId,
+    /// Tensors strictly smaller than this go to `lat_proxy`.
+    pub threshold: ByteSize,
+    /// Partition shard size `S'`: the smallest transfer achieving full
+    /// bandwidth to `bw_proxy`.
+    pub shard_size: ByteSize,
+    /// When this table was built (for dynamic re-profiling).
+    pub built_at: SimTime,
+}
+
+impl RoutingTable {
+    /// A degenerate table sending everything to one proxy (used when the
+    /// latency- and bandwidth-optimal proxies coincide).
+    pub fn single(proxy: DeviceId, shard_size: ByteSize, built_at: SimTime) -> Self {
+        RoutingTable {
+            lat_proxy: proxy,
+            bw_proxy: proxy,
+            threshold: ByteSize::ZERO,
+            shard_size,
+            built_at,
+        }
+    }
+
+    /// The proxy a tensor of `size` should be pushed to.
+    pub fn route_for(&self, size: ByteSize) -> DeviceId {
+        if size < self.threshold {
+            self.lat_proxy
+        } else {
+            self.bw_proxy
+        }
+    }
+
+    /// True if the table distinguishes latency from bandwidth traffic.
+    pub fn is_split(&self) -> bool {
+        self.lat_proxy != self.bw_proxy
+    }
+
+    /// Whether the table is older than `interval` at `now` and should be
+    /// rebuilt (§III-E "dynamic profiling mechanism").
+    pub fn is_stale(&self, now: SimTime, interval: coarse_simcore::time::SimDuration) -> bool {
+        now.saturating_duration_since(self.built_at) >= interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_simcore::time::SimDuration;
+
+    fn two_devices() -> (DeviceId, DeviceId) {
+        let mut t = coarse_fabric::topology::Topology::new();
+        let a = t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "a", 0);
+        let b = t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "b", 0);
+        (a, b)
+    }
+
+    #[test]
+    fn routes_by_threshold() {
+        let (lat, bw) = two_devices();
+        let table = RoutingTable {
+            lat_proxy: lat,
+            bw_proxy: bw,
+            threshold: ByteSize::mib(2),
+            shard_size: ByteSize::mib(2),
+            built_at: SimTime::ZERO,
+        };
+        assert_eq!(table.route_for(ByteSize::kib(4)), lat);
+        assert_eq!(table.route_for(ByteSize::mib(2)), bw);
+        assert_eq!(table.route_for(ByteSize::mib(64)), bw);
+        assert!(table.is_split());
+    }
+
+    #[test]
+    fn single_proxy_table() {
+        let (p, _) = two_devices();
+        let table = RoutingTable::single(p, ByteSize::mib(2), SimTime::ZERO);
+        assert_eq!(table.route_for(ByteSize::ZERO), p);
+        assert_eq!(table.route_for(ByteSize::gib(1)), p);
+        assert!(!table.is_split());
+    }
+
+    #[test]
+    fn staleness() {
+        let (p, _) = two_devices();
+        let table = RoutingTable::single(p, ByteSize::mib(2), SimTime::from_nanos(1000));
+        let interval = SimDuration::from_micros(1);
+        assert!(!table.is_stale(SimTime::from_nanos(1500), interval));
+        assert!(table.is_stale(SimTime::from_nanos(2000), interval));
+    }
+}

@@ -1,0 +1,342 @@
+//! Timed proxy service: how fast proxies drain their tensor queues under
+//! each scheduling policy (§III-F), on the event-driven kernel.
+//!
+//! The static [`deadlock`](crate::deadlock) scheduler answers *whether*
+//! a workload completes; this model answers *how fast*. Each proxy owns a
+//! set of **sync cores** (§IV-A); a tensor's collective occupies one core
+//! on every participating proxy for the tensor's service time. Under FCFS a
+//! proxy only offers the head of its single arrival queue — one stalled
+//! collective idles every core. Under COARSE's per-client queues, each
+//! client stream can be serviced concurrently, so cores stay busy and
+//! throughput scales with the core count.
+
+use std::collections::BTreeMap;
+
+use coarse_cci::tensor::TensorId;
+use coarse_simcore::prelude::*;
+
+use crate::deadlock::SchedulingPolicy;
+
+/// One client's contribution to a tensor, parked at a proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Parked {
+    client: usize,
+    tensor: TensorId,
+}
+
+/// A tensor service job: which proxies hold contributions and how long the
+/// collective takes.
+#[derive(Debug, Clone)]
+pub struct ServiceJob {
+    /// The tensor to synchronize.
+    pub tensor: TensorId,
+    /// `(client, proxy)` pairs, in each client's push order.
+    pub contributions: Vec<(usize, usize)>,
+    /// Duration of the collective once it starts.
+    pub service: SimDuration,
+}
+
+/// Results of a timed service run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// When the last collective finished (`SimTime::MAX`-free; zero jobs ⇒
+    /// zero).
+    pub makespan: SimDuration,
+    /// Collectives completed.
+    pub completed: usize,
+    /// Jobs left stuck (deadlock) when the simulation quiesced.
+    pub stuck: usize,
+}
+
+#[derive(Debug)]
+struct ProxyState {
+    /// Arrival-ordered queue (FCFS view).
+    fifo: Vec<Parked>,
+    /// Per-client queues (COARSE view).
+    per_client: BTreeMap<usize, Vec<Parked>>,
+    /// Free sync cores.
+    free_cores: usize,
+}
+
+impl ProxyState {
+    fn willing(&self, p: Parked, policy: SchedulingPolicy) -> bool {
+        if self.free_cores == 0 {
+            return false;
+        }
+        match policy {
+            SchedulingPolicy::Fcfs => self.fifo.first() == Some(&p),
+            SchedulingPolicy::PerClientQueues => self
+                .per_client
+                .get(&p.client)
+                .and_then(|q| q.first())
+                == Some(&p),
+        }
+    }
+
+    fn remove(&mut self, p: Parked) {
+        self.fifo.retain(|&x| x != p);
+        if let Some(q) = self.per_client.get_mut(&p.client) {
+            q.retain(|&x| x != p);
+        }
+    }
+}
+
+struct ServiceModel {
+    policy: SchedulingPolicy,
+    proxies: Vec<ProxyState>,
+    jobs: BTreeMap<TensorId, ServiceJob>,
+    running: BTreeMap<TensorId, Vec<usize>>,
+    completed: usize,
+    finished_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Try to launch every currently launchable collective.
+    Kick,
+    /// A tensor's collective completed.
+    Done(TensorId),
+}
+
+impl ServiceModel {
+    fn launchable(&self, job: &ServiceJob) -> bool {
+        if self.running.contains_key(&job.tensor) {
+            return false;
+        }
+        // Every contribution must be at a serviceable position AND every
+        // distinct participating proxy must have a free core.
+        let mut proxies: Vec<usize> = job.contributions.iter().map(|&(_, p)| p).collect();
+        proxies.sort_unstable();
+        proxies.dedup();
+        job.contributions.iter().all(|&(client, proxy)| {
+            self.proxies[proxy].willing(
+                Parked {
+                    client,
+                    tensor: job.tensor,
+                },
+                self.policy,
+            )
+        }) && proxies.iter().all(|&p| self.proxies[p].free_cores > 0)
+    }
+}
+
+impl Model for ServiceModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
+        if let Ev::Done(tensor) = ev {
+            let proxies = self.running.remove(&tensor).expect("job was running");
+            for p in proxies {
+                self.proxies[p].free_cores += 1;
+            }
+            self.jobs.remove(&tensor);
+            self.completed += 1;
+            self.finished_at = now;
+        }
+        // Launch everything now launchable, re-checking before each launch
+        // (an earlier launch in this round may have consumed the cores a
+        // later candidate needed).
+        let candidates: Vec<TensorId> = self.jobs.keys().copied().collect();
+        for t in candidates {
+            let job = &self.jobs[&t];
+            if !self.launchable(job) {
+                continue;
+            }
+            let mut proxies: Vec<usize> = job.contributions.iter().map(|&(_, p)| p).collect();
+            proxies.sort_unstable();
+            proxies.dedup();
+            let service = job.service;
+            let contributions = job.contributions.clone();
+            for &p in &proxies {
+                self.proxies[p].free_cores -= 1;
+            }
+            for (client, proxy) in contributions {
+                self.proxies[proxy].remove(Parked { client, tensor: t });
+            }
+            self.running.insert(t, proxies);
+            queue.schedule_after(service, Ev::Done(t));
+        }
+    }
+}
+
+/// Runs the timed service simulation.
+///
+/// # Panics
+///
+/// Panics if `proxies` or `cores_per_proxy` is zero, or a job references an
+/// out-of-range proxy.
+pub fn run_service(
+    proxies: usize,
+    cores_per_proxy: usize,
+    policy: SchedulingPolicy,
+    jobs: Vec<ServiceJob>,
+) -> ServiceOutcome {
+    assert!(proxies > 0, "need at least one proxy");
+    assert!(cores_per_proxy > 0, "need at least one sync core");
+    let mut states: Vec<ProxyState> = (0..proxies)
+        .map(|_| ProxyState {
+            fifo: Vec::new(),
+            per_client: BTreeMap::new(),
+            free_cores: cores_per_proxy,
+        })
+        .collect();
+    // Arrivals interleave across clients (they push concurrently): the
+    // k-th contribution of every job lands before any job's (k+1)-th.
+    // Each client's own stream stays in job order, as the backward pass
+    // guarantees.
+    let max_contribs = jobs.iter().map(|j| j.contributions.len()).max().unwrap_or(0);
+    for k in 0..max_contribs {
+        for job in &jobs {
+            if let Some(&(client, proxy)) = job.contributions.get(k) {
+                assert!(proxy < proxies, "job references unknown proxy {proxy}");
+                let parked = Parked {
+                    client,
+                    tensor: job.tensor,
+                };
+                states[proxy].fifo.push(parked);
+                states[proxy]
+                    .per_client
+                    .entry(client)
+                    .or_default()
+                    .push(parked);
+            }
+        }
+    }
+    let mut job_map = BTreeMap::new();
+    for job in jobs {
+        job_map.insert(job.tensor, job);
+    }
+    let total = job_map.len();
+    let mut sim = Simulation::new(ServiceModel {
+        policy,
+        proxies: states,
+        jobs: job_map,
+        running: BTreeMap::new(),
+        completed: 0,
+        finished_at: SimTime::ZERO,
+    });
+    sim.queue_mut().schedule_now(Ev::Kick);
+    sim.run_to_completion();
+    let m = sim.model();
+    ServiceOutcome {
+        makespan: m.finished_at - SimTime::ZERO,
+        completed: m.completed,
+        stuck: total - m.completed,
+    }
+}
+
+/// A realistic workload: `tensors` tensors pushed by `clients` clients in a
+/// common backward order, routed round-robin across `proxies`, each
+/// collective costing `service`.
+pub fn round_robin_jobs(
+    tensors: u64,
+    clients: usize,
+    proxies: usize,
+    service: SimDuration,
+) -> Vec<ServiceJob> {
+    (0..tensors)
+        .map(|t| ServiceJob {
+            tensor: TensorId(t),
+            contributions: (0..clients)
+                .map(|c| (c, ((t as usize) + c) % proxies))
+                .collect(),
+            service,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn empty_workload_trivially_done() {
+        let out = run_service(2, 1, SchedulingPolicy::PerClientQueues, vec![]);
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.stuck, 0);
+        assert_eq!(out.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_tensor_takes_one_service_time() {
+        let jobs = round_robin_jobs(1, 2, 2, MS);
+        let out = run_service(2, 1, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(out.completed, 1);
+        assert_eq!(out.makespan, MS);
+    }
+
+    #[test]
+    fn queue_based_drains_everything() {
+        let jobs = round_robin_jobs(40, 4, 4, MS);
+        let out = run_service(4, 4, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(out.stuck, 0);
+        assert_eq!(out.completed, 40);
+    }
+
+    #[test]
+    fn more_sync_cores_raise_throughput() {
+        let jobs = round_robin_jobs(64, 2, 4, MS);
+        let one = run_service(4, 1, SchedulingPolicy::PerClientQueues, jobs.clone());
+        let four = run_service(4, 4, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(one.stuck, 0);
+        assert_eq!(four.stuck, 0);
+        assert!(
+            four.makespan < one.makespan,
+            "4 cores ({:?}) must beat 1 ({:?})",
+            four.makespan,
+            one.makespan
+        );
+    }
+
+    #[test]
+    fn fcfs_stalls_on_crossed_heads() {
+        // The Fig. 10 shape, timed: FCFS leaves both tensors stuck.
+        let jobs = vec![
+            ServiceJob {
+                tensor: TensorId(1),
+                contributions: vec![(0, 0), (1, 1)],
+                service: MS,
+            },
+            ServiceJob {
+                tensor: TensorId(2),
+                contributions: vec![(0, 1), (1, 0)],
+                service: MS,
+            },
+        ];
+        // Client-interleaved arrival gives proxy 0 the fifo [t1(c0), t2(c1)]
+        // and proxy 1 [t2(c0), t1(c1)]: crossed heads.
+        let fcfs = run_service(2, 1, SchedulingPolicy::Fcfs, jobs.clone());
+        assert!(fcfs.stuck > 0, "FCFS should wedge: {fcfs:?}");
+        let queued = run_service(2, 1, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(queued.stuck, 0);
+        assert_eq!(queued.completed, 2);
+    }
+
+    #[test]
+    fn queue_based_beats_fcfs_throughput() {
+        // Heads agree (no deadlock), but FCFS still serializes on the single
+        // arrival queue while per-client queues exploit all cores.
+        let jobs = round_robin_jobs(32, 4, 2, MS);
+        let fcfs = run_service(2, 4, SchedulingPolicy::Fcfs, jobs.clone());
+        let queued = run_service(2, 4, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(queued.stuck, 0);
+        if fcfs.stuck == 0 {
+            assert!(
+                queued.makespan <= fcfs.makespan,
+                "queue-based {:?} must not lose to FCFS {:?}",
+                queued.makespan,
+                fcfs.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let jobs = round_robin_jobs(20, 3, 3, MS);
+        let a = run_service(3, 2, SchedulingPolicy::PerClientQueues, jobs.clone());
+        let b = run_service(3, 2, SchedulingPolicy::PerClientQueues, jobs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! The framework-facing distribution strategy (§IV-B "TensorFlow
+//! Integration").
+//!
+//! The paper ships COARSE as a drop-in distribution strategy: "the user
+//! just needs to import COARSE Python library and replace the original
+//! distribution strategy with COARSE strategy, which typically requires 2
+//! lines of code change." [`CoarseStrategy`] is that surface: construct it
+//! from a machine partition, then drive training with
+//! [`run_step`](CoarseStrategy::run_step) — gradients in, averaged
+//! parameters out, checkpointing on epoch boundaries.
+
+use coarse_cci::storage::Snapshot;
+use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_fabric::device::DeviceId;
+use coarse_fabric::topology::Topology;
+
+use crate::system::CoarseSystem;
+
+/// Errors surfaced by the strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// `run_step` was called with the wrong number of gradient sets.
+    WorkerCountMismatch {
+        /// Workers the strategy was built with.
+        expected: usize,
+        /// Gradient sets supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::WorkerCountMismatch { expected, got } => {
+                write!(f, "expected {expected} gradient sets, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// A drop-in data-parallel distribution strategy backed by COARSE.
+#[derive(Debug)]
+pub struct CoarseStrategy {
+    system: CoarseSystem,
+    steps: u64,
+    steps_per_epoch: u64,
+    checkpoints: Vec<Vec<Snapshot>>,
+}
+
+impl CoarseStrategy {
+    /// Builds the strategy over a machine's fabric, profiling routing
+    /// tables for every worker (the strategy's "2 lines": construct, then
+    /// call [`run_step`](Self::run_step)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `mem_devices` is empty.
+    pub fn new(
+        topo: &Topology,
+        workers: &[DeviceId],
+        mem_devices: &[DeviceId],
+        steps_per_epoch: u64,
+    ) -> Self {
+        assert!(steps_per_epoch > 0, "an epoch needs at least one step");
+        CoarseStrategy {
+            system: CoarseSystem::new(topo, workers, mem_devices),
+            steps: 0,
+            steps_per_epoch,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.system.worker_count()
+    }
+
+    /// Installs an optimizer: steps now apply the update rule to the
+    /// registered master weights and return the *new weights* (see
+    /// [`CoarseSystem::set_optimizer`](crate::system::CoarseSystem::set_optimizer)).
+    pub fn set_optimizer(&mut self, optimizer: Box<dyn crate::optim::Optimizer>) {
+        self.system.set_optimizer(optimizer);
+    }
+
+    /// Registers initial master weights on the memory devices (required
+    /// before optimizer-mode steps).
+    pub fn register_parameters(&mut self, params: &[Tensor]) {
+        self.system.register_parameters(params);
+    }
+
+    /// Steps run so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Checkpoints taken so far (one per completed epoch).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Runs one training step: synchronizes every worker's gradients and
+    /// returns the averaged tensors each worker applies. Takes an automatic
+    /// epoch checkpoint every `steps_per_epoch` steps (§IV-A fault
+    /// tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::WorkerCountMismatch`] if `gradients` has the
+    /// wrong length.
+    pub fn run_step(&mut self, gradients: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>, StrategyError> {
+        if gradients.len() != self.system.worker_count() {
+            return Err(StrategyError::WorkerCountMismatch {
+                expected: self.system.worker_count(),
+                got: gradients.len(),
+            });
+        }
+        let result = self.system.synchronize(gradients);
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.steps_per_epoch) {
+            self.checkpoints.push(self.system.checkpoint());
+        }
+        Ok(result)
+    }
+
+    /// Recovers from a worker failure by rolling the parameter storage back
+    /// to the latest epoch checkpoint. Returns the epoch rolled back to, or
+    /// `None` if no checkpoint exists yet.
+    pub fn recover(&mut self) -> Option<u64> {
+        let snapshot = self.checkpoints.last()?;
+        self.system.restore(snapshot);
+        Some(snapshot[0].epoch())
+    }
+
+    /// The stored value of a tensor on the first memory device, if present
+    /// (test/debug aid).
+    pub fn stored(&self, id: TensorId) -> Option<Tensor> {
+        self.system.stored(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::{sdsc_p100, PartitionScheme};
+
+    fn strategy(steps_per_epoch: u64) -> CoarseStrategy {
+        let m = sdsc_p100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        CoarseStrategy::new(m.topology(), &p.workers, &p.mem_devices, steps_per_epoch)
+    }
+
+    fn grads(workers: usize, value: f32) -> Vec<Vec<Tensor>> {
+        (0..workers)
+            .map(|w| vec![Tensor::new(TensorId(0), vec![value + w as f32; 100])])
+            .collect()
+    }
+
+    #[test]
+    fn run_step_returns_average() {
+        let mut s = strategy(10);
+        let result = s.run_step(&grads(2, 1.0)).unwrap();
+        // mean of 1.0 and 2.0.
+        assert_eq!(result[0][0].data()[0], 1.5);
+        assert_eq!(s.steps(), 1);
+    }
+
+    #[test]
+    fn epoch_checkpoints_taken() {
+        let mut s = strategy(2);
+        for i in 0..5 {
+            s.run_step(&grads(2, i as f32)).unwrap();
+        }
+        assert_eq!(s.checkpoint_count(), 2);
+    }
+
+    #[test]
+    fn recover_rolls_back_to_epoch() {
+        let mut s = strategy(1);
+        s.run_step(&grads(2, 1.0)).unwrap(); // epoch 0 checkpoint: value 1.5
+        s.run_step(&grads(2, 9.0)).unwrap(); // epoch 1 checkpoint: value 9.5
+        let before = s.stored(TensorId(0)).unwrap();
+        assert_eq!(before.data()[0], 9.5);
+        let epoch = s.recover().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(s.stored(TensorId(0)).unwrap().data()[0], 9.5);
+    }
+
+    #[test]
+    fn optimizer_mode_publishes_updated_weights() {
+        use crate::optim::Sgd;
+        let mut s = strategy(100);
+        s.set_optimizer(Box::new(Sgd::new(0.5)));
+        s.register_parameters(&[Tensor::new(TensorId(0), vec![1.0; 100])]);
+        // Both workers push gradient 0.4 → mean 0.4 → w ← 1.0 − 0.5·0.4.
+        let grads: Vec<Vec<Tensor>> = (0..2)
+            .map(|_| vec![Tensor::new(TensorId(0), vec![0.4; 100])])
+            .collect();
+        let out = s.run_step(&grads).unwrap();
+        assert_eq!(out[0][0].data()[0], 0.8);
+        assert_eq!(s.stored(TensorId(0)).unwrap().data()[0], 0.8);
+    }
+
+    #[test]
+    fn recover_without_checkpoint_is_none() {
+        let mut s = strategy(10);
+        assert_eq!(s.recover(), None);
+    }
+
+    #[test]
+    fn mismatched_worker_count_rejected() {
+        let mut s = strategy(10);
+        let err = s.run_step(&grads(3, 1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            StrategyError::WorkerCountMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! The assembled COARSE system: clients, proxies, storage, routing, and the
+//! cross-device reduction, wired together functionally.
+//!
+//! [`CoarseSystem::synchronize`] runs one full parameter-synchronization
+//! round on real data: every worker pushes its gradient tensors (partitioned
+//! and routed per its profiled table), proxies scatter-add local
+//! contributions, the sync-core ring reduces across memory devices, storage
+//! is updated copy-on-write, and every worker pulls back and reconstructs
+//! the averaged tensors. Tests assert the result equals the elementwise
+//! mean — the same guarantee AllReduce gives.
+
+use std::collections::HashMap;
+
+use coarse_cci::storage::Snapshot;
+use coarse_cci::synccore::{RingDirection, SyncGroup};
+use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_fabric::device::DeviceId;
+use coarse_fabric::topology::Topology;
+use coarse_simcore::time::SimTime;
+
+use crate::client::ParameterClient;
+use crate::optim::Optimizer;
+use crate::profiler::build_routing_table_for;
+use crate::proxy::ParameterProxy;
+
+/// Elements per sync-core chunk in the cross-device reduction.
+const SYNC_CHUNK_ELEMS: usize = 4096;
+
+/// A fully wired COARSE deployment over one machine.
+#[derive(Debug)]
+pub struct CoarseSystem {
+    clients: Vec<ParameterClient>,
+    proxies: Vec<ParameterProxy>,
+    proxy_index: HashMap<DeviceId, usize>,
+    /// When set, the memory devices run this update rule on the master
+    /// weights instead of publishing raw gradient means (§II-A).
+    optimizer: Option<Box<dyn Optimizer>>,
+}
+
+impl CoarseSystem {
+    /// Builds the system: profiles each worker against every memory device
+    /// and installs the resulting routing tables (§III-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `mem_devices` is empty.
+    pub fn new(topo: &Topology, workers: &[DeviceId], mem_devices: &[DeviceId]) -> Self {
+        assert!(!workers.is_empty(), "need at least one worker");
+        assert!(!mem_devices.is_empty(), "need at least one memory device");
+        let clients = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                ParameterClient::new(
+                    w,
+                    build_routing_table_for(topo, w, mem_devices, i, SimTime::ZERO),
+                )
+            })
+            .collect();
+        let proxies: Vec<ParameterProxy> =
+            mem_devices.iter().map(|&d| ParameterProxy::new(d)).collect();
+        let proxy_index = mem_devices
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i))
+            .collect();
+        CoarseSystem {
+            clients,
+            proxies,
+            proxy_index,
+            optimizer: None,
+        }
+    }
+
+    /// Installs an optimizer: synchronization rounds now apply the update
+    /// rule to registered master weights and publish the *new weights*
+    /// rather than the gradient mean. Optimizer state lives with the
+    /// parameter storage on the memory devices — the residency that frees
+    /// GPU memory in Fig. 16e.
+    pub fn set_optimizer(&mut self, optimizer: Box<dyn Optimizer>) {
+        self.optimizer = Some(optimizer);
+    }
+
+    /// Registers initial master weights on every memory device's storage
+    /// (required before optimizer-mode synchronization).
+    pub fn register_parameters(&mut self, params: &[Tensor]) {
+        for p in &mut self.proxies {
+            for t in params {
+                p.store_reduced(t.id(), t.data().to_vec());
+            }
+        }
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of memory devices.
+    pub fn proxy_count(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// The routing table of worker `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn routing_table(&self, w: usize) -> &crate::routing::RoutingTable {
+        self.clients[w].table()
+    }
+
+    /// Re-runs the profiler against `topo` (which may reflect changed
+    /// conditions — congestion, degraded links) and installs fresh routing
+    /// tables — the dynamic profiling of §III-E. Returns how many workers'
+    /// tables changed.
+    pub fn reprofile(&mut self, topo: &Topology, now: SimTime) -> usize {
+        let mem_devices: Vec<DeviceId> = {
+            let mut pairs: Vec<(usize, DeviceId)> =
+                self.proxy_index.iter().map(|(&d, &i)| (i, d)).collect();
+            pairs.sort_unstable();
+            pairs.into_iter().map(|(_, d)| d).collect()
+        };
+        let mut changed = 0;
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let fresh =
+                build_routing_table_for(topo, client.worker(), &mem_devices, i, now);
+            let old = *client.table();
+            if fresh.lat_proxy != old.lat_proxy
+                || fresh.bw_proxy != old.bw_proxy
+                || fresh.threshold != old.threshold
+                || fresh.shard_size != old.shard_size
+            {
+                changed += 1;
+            }
+            client.set_table(fresh);
+        }
+        changed
+    }
+
+    /// Re-profiles only if every table is older than `interval` at `now`.
+    /// Returns `Some(changed)` when a re-profile ran.
+    pub fn maybe_reprofile(
+        &mut self,
+        topo: &Topology,
+        now: SimTime,
+        interval: coarse_simcore::time::SimDuration,
+    ) -> Option<usize> {
+        if self.clients.iter().all(|c| c.table().is_stale(now, interval)) {
+            Some(self.reprofile(topo, now))
+        } else {
+            None
+        }
+    }
+
+    /// Synchronizes one round of gradients: `gradients[w]` is worker `w`'s
+    /// tensor list (all workers push the same tensor ids). Returns, per
+    /// worker, the averaged tensors pulled back, in push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker counts mismatch or tensor sets differ.
+    pub fn synchronize(&mut self, gradients: &[Vec<Tensor>]) -> Vec<Vec<Tensor>> {
+        assert_eq!(
+            gradients.len(),
+            self.clients.len(),
+            "one gradient set per worker"
+        );
+        let tensor_meta: Vec<(TensorId, usize)> = gradients[0]
+            .iter()
+            .map(|t| (t.id(), t.len()))
+            .collect();
+        for set in gradients {
+            let meta: Vec<(TensorId, usize)> = set.iter().map(|t| (t.id(), t.len())).collect();
+            assert_eq!(meta, tensor_meta, "workers must push identical tensor sets");
+        }
+
+        // Phase 1: push. Clients partition/route; requests land in the
+        // per-client queues of the destination proxies.
+        for (w, set) in gradients.iter().enumerate() {
+            for tensor in set {
+                self.clients[w].push(tensor);
+            }
+            while let Some(req) = self.clients[w].dequeue() {
+                let pi = self.proxy_index[&req.proxy];
+                self.proxies[pi].enqueue(w, req);
+            }
+        }
+
+        // Phase 2: proxies absorb their queues (scatter-add per tensor).
+        for p in &mut self.proxies {
+            p.absorb();
+        }
+
+        // Phase 3: cross-device reduction per tensor. With one device the
+        // local accumulation already is the global sum. In optimizer mode
+        // the devices then run the update rule on the master weights and
+        // publish the new values (§II-A).
+        let workers = self.clients.len() as f32;
+        for (round, &(id, len)) in tensor_meta.iter().enumerate() {
+            let mut reduced = if self.proxies.len() == 1 {
+                self.proxies[0].take_contribution(id, len)
+            } else {
+                let inputs: Vec<Vec<f32>> = self
+                    .proxies
+                    .iter_mut()
+                    .map(|p| p.take_contribution(id, len))
+                    .collect();
+                // Alternate ring direction per tensor (Fig. 11b).
+                let mut group =
+                    SyncGroup::new(self.proxies.len(), SYNC_CHUNK_ELEMS, RingDirection::for_group(round));
+                group.allreduce_sum(&inputs).0
+            };
+            for x in &mut reduced {
+                *x /= workers;
+            }
+            let publish = match &mut self.optimizer {
+                Some(opt) => {
+                    let mut master = self.proxies[0]
+                        .store()
+                        .get(id)
+                        .unwrap_or_else(|| {
+                            panic!("optimizer mode requires registered parameters for {id}")
+                        })
+                        .into_data();
+                    opt.step(id, &mut master, &reduced);
+                    master
+                }
+                None => reduced,
+            };
+            for p in &mut self.proxies {
+                p.store_reduced(id, publish.clone());
+            }
+        }
+
+        // Phase 4: pull. Each client collects its shards back from the
+        // proxies it pushed to and reconstructs full tensors.
+        let mut results = Vec::with_capacity(self.clients.len());
+        for w in 0..self.clients.len() {
+            let mut done: HashMap<TensorId, Tensor> = HashMap::new();
+            for &(id, _) in &tensor_meta {
+                for pi in 0..self.proxies.len() {
+                    for shard in self.proxies[pi].serve_pull(w, id) {
+                        if let Some(t) = self.clients[w].deliver(shard) {
+                            done.insert(t.id(), t);
+                        }
+                    }
+                }
+            }
+            results.push(
+                tensor_meta
+                    .iter()
+                    .map(|&(id, _)| done.remove(&id).expect("every tensor reconstructs"))
+                    .collect(),
+            );
+        }
+        results
+    }
+
+    /// The stored value of a tensor on the first memory device's storage,
+    /// if it has been synchronized.
+    pub fn stored(&self, id: TensorId) -> Option<Tensor> {
+        self.proxies[0].store().get(id)
+    }
+
+    /// Takes a coordinated checkpoint: snapshots every proxy's storage
+    /// (§IV-A fault tolerance).
+    pub fn checkpoint(&mut self) -> Vec<Snapshot> {
+        self.proxies.iter_mut().map(|p| p.store_mut().snapshot()).collect()
+    }
+
+    /// Restores every proxy's storage from a coordinated checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot count differs from the proxy count.
+    pub fn restore(&mut self, snapshots: &[Snapshot]) {
+        assert_eq!(snapshots.len(), self.proxies.len(), "snapshot per proxy");
+        for (p, s) in self.proxies.iter_mut().zip(snapshots) {
+            p.store_mut().restore(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::{aws_t4, aws_v100, sdsc_p100, PartitionScheme};
+
+    /// Integer-valued gradients so ring-order summation is exact.
+    fn gradient_sets(workers: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+        (0..workers)
+            .map(|w| {
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &len)| {
+                        Tensor::new(
+                            TensorId(i as u64),
+                            (0..len).map(|j| ((w * 3 + i + j) % 16) as f32).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn expected_mean(gradients: &[Vec<Tensor>]) -> Vec<Tensor> {
+        let workers = gradients.len() as f32;
+        gradients[0]
+            .iter()
+            .enumerate()
+            .map(|(i, t0)| {
+                let mut acc = vec![0.0f32; t0.len()];
+                for set in gradients {
+                    for (a, b) in acc.iter_mut().zip(set[i].data()) {
+                        *a += *b;
+                    }
+                }
+                for x in &mut acc {
+                    *x /= workers;
+                }
+                Tensor::new(t0.id(), acc)
+            })
+            .collect()
+    }
+
+    fn check_machine(machine: coarse_fabric::machines::Machine, scheme: PartitionScheme) {
+        let part = machine.partition(scheme);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        // Mixed sizes: tiny (lat-routed), medium, large (partitioned).
+        let grads = gradient_sets(part.workers.len(), &[64, 5_000, 1_000_000]);
+        let results = sys.synchronize(&grads);
+        let expect = expected_mean(&grads);
+        for per_worker in &results {
+            assert_eq!(per_worker.len(), expect.len());
+            for (got, want) in per_worker.iter().zip(&expect) {
+                assert_eq!(got.id(), want.id());
+                for (a, b) in got.data().iter().zip(want.data()) {
+                    assert!((a - b).abs() < 1e-4, "mismatch: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synchronize_equals_mean_on_v100() {
+        check_machine(aws_v100(), PartitionScheme::OneToOne);
+    }
+
+    #[test]
+    fn synchronize_equals_mean_on_p100() {
+        check_machine(sdsc_p100(), PartitionScheme::OneToOne);
+    }
+
+    #[test]
+    fn synchronize_equals_mean_on_t4() {
+        check_machine(aws_t4(), PartitionScheme::OneToOne);
+    }
+
+    #[test]
+    fn synchronize_equals_mean_with_shared_devices() {
+        check_machine(aws_v100(), PartitionScheme::TwoToOne);
+    }
+
+    #[test]
+    fn repeated_rounds_accumulate_versions() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let g1 = gradient_sets(part.workers.len(), &[1000]);
+        sys.synchronize(&g1);
+        let mut g2 = gradient_sets(part.workers.len(), &[1000]);
+        for set in &mut g2 {
+            set[0].scale(2.0);
+        }
+        let r2 = sys.synchronize(&g2);
+        let expect = expected_mean(&g2);
+        assert_eq!(r2[0][0].data(), expect[0].data());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let g1 = gradient_sets(part.workers.len(), &[2048]);
+        let r1 = sys.synchronize(&g1);
+        let ckpt = sys.checkpoint();
+        // Another round perturbs storage.
+        let mut g2 = gradient_sets(part.workers.len(), &[2048]);
+        for set in &mut g2 {
+            set[0].scale(5.0);
+        }
+        sys.synchronize(&g2);
+        // Restore: storage holds the first round's values again.
+        sys.restore(&ckpt);
+        let stored = sys.proxies[0].store().get(TensorId(0)).unwrap();
+        assert_eq!(stored.data(), r1[0][0].data());
+    }
+
+    #[test]
+    fn dynamic_reprofiling_follows_fabric_changes() {
+        use coarse_fabric::machines::aws_v100_custom;
+        // Start on the anti-local fabric: large tensors route remotely.
+        let machine = aws_v100_custom(5.0, 9.0);
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        assert!(sys.routing_table(0).is_split());
+        // The uplinks degrade below the hairpin (congestion): the local
+        // proxy now wins bandwidth too.
+        let congested = aws_v100_custom(5.0, 2.0);
+        let changed = sys.reprofile(congested.topology(), SimTime::from_nanos(1));
+        assert!(changed >= 1, "tables must change under congestion");
+        assert!(!sys.routing_table(0).is_split());
+        assert_eq!(sys.routing_table(0).lat_proxy, part.proxy_for(0));
+        // Synchronization still produces exact means on the new tables.
+        let grads = gradient_sets(part.workers.len(), &[1000, 800_000]);
+        let results = sys.synchronize(&grads);
+        let expect = expected_mean(&grads);
+        for (got, want) in results[0].iter().zip(&expect) {
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn maybe_reprofile_respects_interval() {
+        use coarse_simcore::time::SimDuration;
+        let machine = aws_v100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let interval = SimDuration::from_millis(100);
+        // Too early: tables were built at t=0.
+        assert_eq!(
+            sys.maybe_reprofile(machine.topology(), SimTime::from_nanos(10), interval),
+            None
+        );
+        // Past the interval: runs (and finds nothing changed on the same
+        // fabric).
+        assert_eq!(
+            sys.maybe_reprofile(
+                machine.topology(),
+                SimTime::ZERO + SimDuration::from_millis(150),
+                interval
+            ),
+            Some(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identical tensor sets")]
+    fn mismatched_tensor_sets_rejected() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let mut grads = gradient_sets(part.workers.len(), &[100]);
+        grads[1][0] = Tensor::new(TensorId(42), vec![0.0; 100]);
+        sys.synchronize(&grads);
+    }
+}

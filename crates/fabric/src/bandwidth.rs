@@ -1,0 +1,200 @@
+//! Size-dependent effective-bandwidth models.
+//!
+//! Serial-bus transfers do not reach peak bandwidth at small sizes: per-
+//! transaction overheads dominate until the payload is large enough. The
+//! paper's Fig. 14 measures exactly this — FPGA DMA bandwidth ramps with
+//! access size and saturates at ≈2 MiB. [`BandwidthModel::Saturating`]
+//! captures that ramp; [`BandwidthModel::Flat`] models interfaces whose
+//! bandwidth is size-independent, like CPU load/store over CCI (Fig. 13's
+//! flat "CCI" line).
+
+use coarse_simcore::time::SimDuration;
+use coarse_simcore::units::{Bandwidth, ByteSize};
+
+/// Effective bandwidth as a function of transfer size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandwidthModel {
+    /// `eff(s) = peak · s / (s + half_size)`: reaches half of `peak` at
+    /// `half_size` and saturates for `s ≫ half_size`.
+    Saturating {
+        /// Asymptotic peak bandwidth.
+        peak: Bandwidth,
+        /// Size at which half the peak is achieved.
+        half_size: ByteSize,
+    },
+    /// Size-independent rate (fine-grained load/store interfaces).
+    Flat {
+        /// The constant rate.
+        rate: Bandwidth,
+    },
+}
+
+impl BandwidthModel {
+    /// A saturating model calibrated so that ~97% of peak is reached at
+    /// 2 MiB, matching the paper's DMA measurements (Fig. 14).
+    pub fn pcie_like(peak: Bandwidth) -> Self {
+        BandwidthModel::Saturating {
+            peak,
+            half_size: ByteSize::kib(64),
+        }
+    }
+
+    /// The effective rate for a transfer of `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero (a zero-byte transfer has no meaningful rate).
+    pub fn effective(&self, size: ByteSize) -> Bandwidth {
+        assert!(!size.is_zero(), "effective bandwidth of a zero-size transfer");
+        match *self {
+            BandwidthModel::Saturating { peak, half_size } => {
+                let s = size.as_f64();
+                let h = half_size.as_f64();
+                peak.scale(s / (s + h))
+            }
+            BandwidthModel::Flat { rate } => rate,
+        }
+    }
+
+    /// The asymptotic (large-transfer) rate.
+    pub fn peak(&self) -> Bandwidth {
+        match *self {
+            BandwidthModel::Saturating { peak, .. } => peak,
+            BandwidthModel::Flat { rate } => rate,
+        }
+    }
+
+    /// Serialization time of `size` at the effective rate (zero for zero
+    /// bytes).
+    pub fn serialization_time(&self, size: ByteSize) -> SimDuration {
+        if size.is_zero() {
+            return SimDuration::ZERO;
+        }
+        self.effective(size).transfer_time(size)
+    }
+
+    /// Returns a copy with the peak rate scaled by `factor` (e.g. the CCI
+    /// protocol's ~90% of underlying serial-bus peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_peak(&self, factor: f64) -> BandwidthModel {
+        match *self {
+            BandwidthModel::Saturating { peak, half_size } => BandwidthModel::Saturating {
+                peak: peak.scale(factor),
+                half_size,
+            },
+            BandwidthModel::Flat { rate } => BandwidthModel::Flat {
+                rate: rate.scale(factor),
+            },
+        }
+    }
+
+    /// The smallest size in `candidates` whose effective bandwidth is at
+    /// least `fraction` of peak — the paper's `S'` (smallest full-bandwidth
+    /// shard size, §III-E). Returns `None` if no candidate qualifies.
+    pub fn smallest_saturating_size(
+        &self,
+        candidates: &[ByteSize],
+        fraction: f64,
+    ) -> Option<ByteSize> {
+        let threshold = self.peak().as_bytes_per_sec() * fraction;
+        candidates
+            .iter()
+            .copied()
+            .filter(|s| !s.is_zero())
+            .find(|&s| self.effective(s).as_bytes_per_sec() >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcie16() -> BandwidthModel {
+        BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0))
+    }
+
+    #[test]
+    fn saturating_reaches_half_at_half_size() {
+        let m = BandwidthModel::Saturating {
+            peak: Bandwidth::gib_per_sec(10.0),
+            half_size: ByteSize::kib(64),
+        };
+        let eff = m.effective(ByteSize::kib(64));
+        assert!((eff.as_gib_per_sec() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_like_saturates_by_2mib() {
+        let m = pcie16();
+        let at_2mib = m.effective(ByteSize::mib(2)).as_gib_per_sec();
+        assert!(
+            at_2mib > 0.96 * 13.0,
+            "expected ≥96% of peak at 2MiB, got {at_2mib}"
+        );
+        let at_4kib = m.effective(ByteSize::kib(4)).as_gib_per_sec();
+        assert!(at_4kib < 0.1 * 13.0, "small transfers must be far from peak");
+    }
+
+    #[test]
+    fn effective_is_monotonic_in_size() {
+        let m = pcie16();
+        let sizes = [1u64, 512, 4096, 65536, 1 << 20, 1 << 24];
+        let rates: Vec<f64> = sizes
+            .iter()
+            .map(|&s| m.effective(ByteSize::bytes(s)).as_bytes_per_sec())
+            .collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flat_ignores_size() {
+        let m = BandwidthModel::Flat {
+            rate: Bandwidth::gib_per_sec(1.5),
+        };
+        assert_eq!(
+            m.effective(ByteSize::bytes(64)),
+            m.effective(ByteSize::gib(1))
+        );
+    }
+
+    #[test]
+    fn serialization_time_zero_for_empty() {
+        assert_eq!(pcie16().serialization_time(ByteSize::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_transfers_slower_than_naive_peak() {
+        let m = pcie16();
+        let naive = m.peak().transfer_time(ByteSize::kib(4));
+        let actual = m.serialization_time(ByteSize::kib(4));
+        assert!(actual > naive * 10);
+    }
+
+    #[test]
+    fn scale_peak_scales() {
+        let m = pcie16().scale_peak(0.9);
+        assert!((m.peak().as_gib_per_sec() - 13.0 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smallest_saturating_size_finds_2mib() {
+        let m = pcie16();
+        let candidates: Vec<ByteSize> = (10..=26).map(|p| ByteSize::bytes(1 << p)).collect();
+        let s = m.smallest_saturating_size(&candidates, 0.95).unwrap();
+        // 64KiB half-size → 95% of peak needs s ≥ 19·64KiB ≈ 1.2MiB → first
+        // power of two is 2MiB.
+        assert_eq!(s, ByteSize::mib(2));
+    }
+
+    #[test]
+    fn smallest_saturating_size_none_when_unreachable() {
+        let m = pcie16();
+        assert_eq!(
+            m.smallest_saturating_size(&[ByteSize::bytes(512)], 0.95),
+            None
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Devices: the vertices of the interconnect fabric.
+
+use std::fmt;
+
+/// Identifies a device within one [`Topology`](crate::topology::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// The raw index of this device in its topology.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// What a device is; determines which roles it can play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU socket (also acts as the PCIe host bridge / root complex).
+    Cpu,
+    /// A worker accelerator.
+    Gpu,
+    /// A CCI disaggregated memory device (on-device DRAM + processor).
+    MemoryDevice,
+    /// A serial-bus (PCIe) switch.
+    Switch,
+    /// A network interface card connecting nodes.
+    Nic,
+}
+
+impl DeviceKind {
+    /// True for devices that terminate transfers (not switches).
+    pub fn is_endpoint(self) -> bool {
+        !matches!(self, DeviceKind::Switch)
+    }
+
+    /// True for devices that forward traffic not addressed to them: PCIe
+    /// switches, the CPU (root complex / host bridge) and NICs. GPUs and
+    /// memory devices only terminate transfers.
+    pub fn can_forward(self) -> bool {
+        matches!(self, DeviceKind::Switch | DeviceKind::Cpu | DeviceKind::Nic)
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::MemoryDevice => "memdev",
+            DeviceKind::Switch => "switch",
+            DeviceKind::Nic => "nic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A vertex of the fabric graph.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub(crate) id: DeviceId,
+    pub(crate) kind: DeviceKind,
+    pub(crate) name: String,
+    /// Which server node this device belongs to (multi-node topologies).
+    pub(crate) node: u32,
+}
+
+impl Device {
+    /// This device's identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// This device's kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Human-readable name (e.g. `"gpu0"`, `"pcie-sw1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The server node index this device belongs to.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_classification() {
+        assert!(DeviceKind::Gpu.is_endpoint());
+        assert!(DeviceKind::Cpu.is_endpoint());
+        assert!(DeviceKind::MemoryDevice.is_endpoint());
+        assert!(DeviceKind::Nic.is_endpoint());
+        assert!(!DeviceKind::Switch.is_endpoint());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DeviceId(3).to_string(), "dev3");
+        assert_eq!(DeviceKind::MemoryDevice.to_string(), "memdev");
+    }
+}

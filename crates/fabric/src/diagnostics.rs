@@ -1,0 +1,235 @@
+//! Fabric diagnostics: structural validation and Graphviz export.
+
+use std::fmt::Write as _;
+
+use crate::device::DeviceKind;
+use crate::topology::{LinkClass, Topology};
+
+/// A structural problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyIssue {
+    /// A device has no links at all.
+    IsolatedDevice {
+        /// The isolated device's name.
+        device: String,
+    },
+    /// A directed link has no reverse partner (serial buses are duplex).
+    SimplexLink {
+        /// Source device name.
+        src: String,
+        /// Destination device name.
+        dst: String,
+    },
+    /// Two endpoints cannot reach each other at all.
+    Partitioned {
+        /// One endpoint's name.
+        a: String,
+        /// The unreachable endpoint's name.
+        b: String,
+    },
+    /// A node has no CPU (staging and host-bridge routing need one).
+    NodeWithoutCpu {
+        /// The node index.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for TopologyIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyIssue::IsolatedDevice { device } => write!(f, "device {device} has no links"),
+            TopologyIssue::SimplexLink { src, dst } => {
+                write!(f, "link {src}->{dst} has no reverse direction")
+            }
+            TopologyIssue::Partitioned { a, b } => write!(f, "{a} cannot reach {b}"),
+            TopologyIssue::NodeWithoutCpu { node } => write!(f, "node {node} has no CPU"),
+        }
+    }
+}
+
+/// Checks a topology for the structural invariants every machine preset
+/// must satisfy. Returns all problems found (empty = healthy).
+pub fn validate(topo: &Topology) -> Vec<TopologyIssue> {
+    let mut issues = Vec::new();
+
+    // Isolated devices.
+    for d in topo.devices() {
+        let touched = topo
+            .links()
+            .any(|l| l.src() == d.id() || l.dst() == d.id());
+        if !touched {
+            issues.push(TopologyIssue::IsolatedDevice {
+                device: d.name().to_string(),
+            });
+        }
+    }
+
+    // Simplex links.
+    for l in topo.links() {
+        let has_reverse = topo
+            .links()
+            .any(|r| r.src() == l.dst() && r.dst() == l.src() && r.class() == l.class());
+        if !has_reverse {
+            issues.push(TopologyIssue::SimplexLink {
+                src: topo.device(l.src()).name().to_string(),
+                dst: topo.device(l.dst()).name().to_string(),
+            });
+        }
+    }
+
+    // Endpoint reachability (first endpoint to every other endpoint).
+    let endpoints: Vec<_> = topo
+        .devices()
+        .filter(|d| d.kind().is_endpoint())
+        .map(|d| d.id())
+        .collect();
+    if let Some(&first) = endpoints.first() {
+        for &other in &endpoints[1..] {
+            if topo.route(first, other).is_none() {
+                issues.push(TopologyIssue::Partitioned {
+                    a: topo.device(first).name().to_string(),
+                    b: topo.device(other).name().to_string(),
+                });
+            }
+        }
+    }
+
+    // Every node has a CPU.
+    let mut nodes: Vec<u32> = topo.devices().map(|d| d.node()).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in nodes {
+        let has_cpu = topo
+            .devices()
+            .any(|d| d.kind() == DeviceKind::Cpu && d.node() == node);
+        if !has_cpu {
+            issues.push(TopologyIssue::NodeWithoutCpu { node });
+        }
+    }
+    issues
+}
+
+/// Renders the topology as a Graphviz `dot` graph (one edge per duplex
+/// pair; link class encoded as edge style).
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph fabric {\n  rankdir=TB;\n");
+    for d in topo.devices() {
+        let shape = match d.kind() {
+            DeviceKind::Cpu => "doubleoctagon",
+            DeviceKind::Gpu => "box",
+            DeviceKind::MemoryDevice => "cylinder",
+            DeviceKind::Switch => "diamond",
+            DeviceKind::Nic => "parallelogram",
+        };
+        let _ = writeln!(out, "  \"{}\" [shape={shape}];", d.name());
+    }
+    // Emit each duplex pair once (src id < dst id).
+    for l in topo.links() {
+        if l.src() >= l.dst() {
+            continue;
+        }
+        let (style, color) = match l.class() {
+            LinkClass::Pcie => ("solid", "black"),
+            LinkClass::NvLink => ("bold", "green4"),
+            LinkClass::Cci => ("dashed", "blue"),
+            LinkClass::Network => ("dotted", "red"),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [style={style}, color={color}, label=\"{:.0}G\"];",
+            topo.device(l.src()).name(),
+            topo.device(l.dst()).name(),
+            l.model().peak().as_gib_per_sec(),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthModel;
+    use crate::machines;
+    use coarse_simcore::time::SimDuration;
+    use coarse_simcore::units::Bandwidth;
+
+    #[test]
+    fn presets_validate_clean() {
+        for m in machines::table1() {
+            let issues = validate(m.topology());
+            assert!(issues.is_empty(), "{}: {issues:?}", m.name());
+        }
+        let cluster = machines::aws_v100_cluster(2);
+        assert!(validate(cluster.topology()).is_empty());
+    }
+
+    #[test]
+    fn augmented_machines_validate_clean() {
+        let mut m = machines::aws_v100();
+        let part = m.partition(machines::PartitionScheme::OneToOne);
+        m.augment_cci_ring(&part.mem_devices);
+        assert!(validate(m.topology()).is_empty());
+    }
+
+    #[test]
+    fn detects_isolated_device() {
+        let mut t = Topology::new();
+        t.add_device(DeviceKind::Gpu, "lonely", 0);
+        t.add_device(DeviceKind::Cpu, "cpu", 0);
+        let issues = validate(&t);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TopologyIssue::IsolatedDevice { device } if device == "lonely")));
+    }
+
+    #[test]
+    fn detects_simplex_link_and_partition() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let b = t.add_device(DeviceKind::Gpu, "b", 0);
+        let cpu = t.add_device(DeviceKind::Cpu, "cpu", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(1.0));
+        t.add_link(a, b, m, SimDuration::ZERO, crate::topology::LinkClass::Pcie);
+        t.add_duplex(b, cpu, m, SimDuration::ZERO, crate::topology::LinkClass::Pcie);
+        let issues = validate(&t);
+        assert!(issues.iter().any(|i| matches!(i, TopologyIssue::SimplexLink { .. })));
+        // a (endpoint) cannot reach cpu: b does not forward.
+        assert!(issues.iter().any(|i| matches!(i, TopologyIssue::Partitioned { .. })));
+    }
+
+    #[test]
+    fn detects_missing_cpu() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let b = t.add_device(DeviceKind::Gpu, "b", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(1.0));
+        t.add_duplex(a, b, m, SimDuration::ZERO, crate::topology::LinkClass::Pcie);
+        let issues = validate(&t);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TopologyIssue::NodeWithoutCpu { node: 0 })));
+    }
+
+    #[test]
+    fn dot_export_mentions_every_device() {
+        let m = machines::sdsc_p100();
+        let dot = to_dot(m.topology());
+        for d in m.topology().devices() {
+            assert!(dot.contains(d.name()), "missing {}", d.name());
+        }
+        assert!(dot.starts_with("graph fabric {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_distinguishes_link_classes() {
+        let mut m = machines::aws_v100();
+        let part = m.partition(machines::PartitionScheme::OneToOne);
+        m.augment_cci_ring(&part.mem_devices);
+        let dot = to_dot(m.topology());
+        assert!(dot.contains("style=bold"), "NVLink edges");
+        assert!(dot.contains("style=dashed"), "CCI edges");
+        assert!(dot.contains("style=solid"), "PCIe edges");
+    }
+}

@@ -1,0 +1,407 @@
+//! The transfer engine: resolves transfers to routes, arbitrates link
+//! occupancy, and returns exact start/finish times.
+//!
+//! Each directed link owns a FIFO [`ResourceTimeline`]; a transfer occupies
+//! every hop of its route for the bottleneck serialization window (a
+//! cut-through approximation), and delivery completes after the route's
+//! total latency on top of serialization. When the topology has peer-to-peer
+//! disabled, endpoint-to-endpoint transfers are staged through the host CPU
+//! as two back-to-back transfers (the paper's "GPU Indirect" path).
+
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::timeline::ResourceTimeline;
+use coarse_simcore::units::ByteSize;
+
+use crate::device::{DeviceId, DeviceKind};
+use crate::topology::{Link, LinkId, Route, Topology};
+
+/// The outcome of one transfer: when it started service and when the last
+/// byte arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// When the first hop began serializing.
+    pub start: SimTime,
+    /// When delivery completed at the destination.
+    pub end: SimTime,
+    /// Bytes moved.
+    pub size: ByteSize,
+}
+
+impl TransferRecord {
+    /// Total elapsed time from service start to delivery.
+    pub fn elapsed(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Achieved rate over the whole transfer, in bytes/sec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer took zero time.
+    pub fn achieved_bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        assert!(secs > 0.0, "zero-duration transfer has no rate");
+        self.size.as_f64() / secs
+    }
+}
+
+/// Errors from [`TransferEngine`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferError {
+    /// No route exists between the endpoints under the active filter.
+    NoRoute {
+        /// Transfer source.
+        src: DeviceId,
+        /// Transfer destination.
+        dst: DeviceId,
+    },
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::NoRoute { src, dst } => {
+                write!(f, "no route from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Resolves and schedules transfers over a [`Topology`].
+#[derive(Debug)]
+pub struct TransferEngine {
+    topo: Topology,
+    /// One FIFO timeline per directed link.
+    schedules: Vec<ResourceTimeline>,
+}
+
+impl TransferEngine {
+    /// Wraps a topology with idle link schedules.
+    pub fn new(topo: Topology) -> Self {
+        let schedules = (0..topo.link_count())
+            .map(|_| ResourceTimeline::new())
+            .collect();
+        TransferEngine { topo, schedules }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Clears all link schedules (fresh experiment, same fabric).
+    pub fn reset(&mut self) {
+        for s in &mut self.schedules {
+            *s = ResourceTimeline::new();
+        }
+    }
+
+    /// Schedules a transfer of `size` bytes from `src` to `dst`, arriving at
+    /// the engine at `arrival`. Honors the topology's peer-to-peer setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::NoRoute`] if the endpoints are not connected.
+    pub fn transfer(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        size: ByteSize,
+        arrival: SimTime,
+    ) -> Result<TransferRecord, TransferError> {
+        self.transfer_filtered(src, dst, size, arrival, |_| true)
+    }
+
+    /// Like [`transfer`](Self::transfer) but restricted to links accepted by
+    /// `allow` (e.g. excluding NVLink to probe the PCIe path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::NoRoute`] if no allowed route exists.
+    pub fn transfer_filtered(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        size: ByteSize,
+        arrival: SimTime,
+        allow: impl Fn(&Link) -> bool + Copy,
+    ) -> Result<TransferRecord, TransferError> {
+        if src == dst {
+            return Ok(TransferRecord {
+                start: arrival,
+                end: arrival,
+                size,
+            });
+        }
+        if self.needs_staging(src, dst) {
+            let cpu = self.topo.host_cpu(self.topo.device(src).node());
+            let first = self.transfer_direct(src, cpu, size, arrival, allow)?;
+            let second = self.transfer_direct(cpu, dst, size, first.end, allow)?;
+            return Ok(TransferRecord {
+                start: first.start,
+                end: second.end,
+                size,
+            });
+        }
+        self.transfer_direct(src, dst, size, arrival, allow)
+    }
+
+    /// Whether a `src`→`dst` transfer must be staged through the host CPU.
+    /// Peers joined by a dedicated CCI path never stage: CCI provides
+    /// hardware peer-to-peer regardless of the PCIe tree's p2p support.
+    pub fn needs_staging(&self, src: DeviceId, dst: DeviceId) -> bool {
+        if self.topo.p2p_enabled() {
+            return false;
+        }
+        let src_kind = self.topo.device(src).kind();
+        let dst_kind = self.topo.device(dst).kind();
+        // CPU-terminated transfers never need staging; only peer transfers
+        // between non-CPU endpoints do.
+        if src_kind == DeviceKind::Cpu || dst_kind == DeviceKind::Cpu {
+            return false;
+        }
+        self.topo
+            .route_filtered(src, dst, |l| {
+                matches!(l.class(), crate::topology::LinkClass::Cci)
+            })
+            .is_none()
+    }
+
+    fn transfer_direct(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        size: ByteSize,
+        arrival: SimTime,
+        allow: impl Fn(&Link) -> bool,
+    ) -> Result<TransferRecord, TransferError> {
+        let route = self
+            .topo
+            .route_filtered(src, dst, &allow)
+            .ok_or(TransferError::NoRoute { src, dst })?;
+        Ok(self.transfer_on_route(&route, size, arrival))
+    }
+
+    /// Schedules a transfer along an explicit route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty and `size` is non-zero... an empty route
+    /// means src == dst and completes instantly.
+    pub fn transfer_on_route(
+        &mut self,
+        route: &Route,
+        size: ByteSize,
+        arrival: SimTime,
+    ) -> TransferRecord {
+        if route.links().is_empty() {
+            return TransferRecord {
+                start: arrival,
+                end: arrival,
+                size,
+            };
+        }
+        // Bottleneck serialization: the slowest hop paces the cut-through
+        // pipeline; every hop is occupied for that window.
+        let occupancy = route
+            .links()
+            .iter()
+            .map(|&l| self.topo.link(l).model().serialization_time(size))
+            .max()
+            .expect("non-empty route");
+        let start = route
+            .links()
+            .iter()
+            .map(|&l| self.schedules[l.index()].earliest_start(arrival))
+            .max()
+            .expect("non-empty route");
+        for &l in route.links() {
+            self.schedules[l.index()].reserve(start, occupancy);
+        }
+        TransferRecord {
+            start,
+            end: start + occupancy + route.total_latency(),
+            size,
+        }
+    }
+
+    /// When the given directed link next becomes free.
+    pub fn link_busy_until(&self, link: LinkId) -> SimTime {
+        self.schedules[link.index()].busy_until()
+    }
+
+    /// Busy time accumulated on the given directed link.
+    pub fn link_busy_time(&self, link: LinkId) -> SimDuration {
+        self.schedules[link.index()].busy_time()
+    }
+
+    /// Busy fraction of a link over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn link_utilization(&self, link: LinkId, horizon: SimTime) -> f64 {
+        self.schedules[link.index()].utilization(horizon)
+    }
+
+    /// The `n` busiest directed links over `[0, horizon)`, as
+    /// `(link, utilization)` in descending order — the congestion hotspots
+    /// of whatever workload ran on this engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn busiest_links(&self, horizon: SimTime, n: usize) -> Vec<(LinkId, f64)> {
+        let mut all: Vec<(LinkId, f64)> = (0..self.schedules.len())
+            .map(|i| {
+                let id = LinkId(i as u32);
+                (id, self.schedules[i].utilization(horizon))
+            })
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("utilizations are finite"));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthModel;
+    use crate::topology::LinkClass;
+    use coarse_simcore::units::Bandwidth;
+
+    /// 1 byte/ns flat links for exact arithmetic.
+    fn flat() -> BandwidthModel {
+        BandwidthModel::Flat {
+            rate: Bandwidth::bytes_per_sec(1e9),
+        }
+    }
+
+    fn lat(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    /// g0 — sw — g1 and sw — cpu, all flat 1B/ns, 10ns latency per hop.
+    fn topo() -> (Topology, DeviceId, DeviceId, DeviceId) {
+        let mut t = Topology::new();
+        let g0 = t.add_device(DeviceKind::Gpu, "g0", 0);
+        let g1 = t.add_device(DeviceKind::Gpu, "g1", 0);
+        let sw = t.add_device(DeviceKind::Switch, "sw", 0);
+        let cpu = t.add_device(DeviceKind::Cpu, "cpu", 0);
+        t.add_duplex(g0, sw, flat(), lat(10), LinkClass::Pcie);
+        t.add_duplex(g1, sw, flat(), lat(10), LinkClass::Pcie);
+        t.add_duplex(sw, cpu, flat(), lat(10), LinkClass::Pcie);
+        (t, g0, g1, cpu)
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        // serialization 1000ns + 2 hops × 10ns latency
+        assert_eq!(r.start, SimTime::ZERO);
+        assert_eq!(r.end, SimTime::from_nanos(1020));
+    }
+
+    #[test]
+    fn same_direction_transfers_serialize() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let a = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let b = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        assert_eq!(a.end, SimTime::from_nanos(1020));
+        // b waits for the g0→sw hop to free.
+        assert_eq!(b.start, SimTime::from_nanos(1000));
+        assert_eq!(b.end, SimTime::from_nanos(2020));
+    }
+
+    #[test]
+    fn opposite_directions_run_concurrently() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let push = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let pull = e.transfer(g1, g0, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        // Full-duplex links: both directions complete in parallel.
+        assert_eq!(push.end, SimTime::from_nanos(1020));
+        assert_eq!(pull.end, SimTime::from_nanos(1020));
+    }
+
+    #[test]
+    fn staging_through_cpu_when_p2p_disabled() {
+        let (mut t, g0, g1, _) = topo();
+        t.set_p2p(false);
+        let mut e = TransferEngine::new(t);
+        let r = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        // Two sequential 2-hop transfers: (1000+20) + (1000+20).
+        assert_eq!(r.end, SimTime::from_nanos(2040));
+        assert!(e.needs_staging(g0, g1));
+    }
+
+    #[test]
+    fn cpu_transfers_never_staged() {
+        let (mut t, g0, _, cpu) = topo();
+        t.set_p2p(false);
+        let e = TransferEngine::new(t);
+        assert!(!e.needs_staging(g0, cpu));
+        assert!(!e.needs_staging(cpu, g0));
+    }
+
+    #[test]
+    fn no_route_reported() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let b = t.add_device(DeviceKind::Gpu, "b", 0);
+        let mut e = TransferEngine::new(t);
+        let err = e
+            .transfer(a, b, ByteSize::bytes(1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, TransferError::NoRoute { src: a, dst: b });
+    }
+
+    #[test]
+    fn self_transfer_instant() {
+        let (t, g0, _, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let r = e
+            .transfer(g0, g0, ByteSize::gib(1), SimTime::from_nanos(5))
+            .unwrap();
+        assert_eq!(r.start, r.end);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let (t, g0, g1, _) = topo();
+        let first_link = t.route(g0, g1).unwrap().links()[0];
+        let mut e = TransferEngine::new(t);
+        e.transfer(g0, g1, ByteSize::bytes(500), SimTime::ZERO).unwrap();
+        assert_eq!(e.link_busy_time(first_link), SimDuration::from_nanos(500));
+        let u = e.link_utilization(first_link, SimTime::from_nanos(1000));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_schedules() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        e.reset();
+        let r = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        assert_eq!(r.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn achieved_rate() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let r = e.transfer(g0, g1, ByteSize::bytes(10_000), SimTime::ZERO).unwrap();
+        let rate = r.achieved_bytes_per_sec();
+        // 10000 bytes over 10020 ns ≈ 0.998 GB/s.
+        assert!(rate < 1e9 && rate > 0.99e9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # coarse-fabric
+//!
+//! The interconnect-fabric substrate of the COARSE reproduction: device and
+//! link graphs ([`topology`]), size-dependent effective-bandwidth models
+//! ([`bandwidth`]), a FIFO cut-through transfer engine ([`engine`]), the
+//! paper's three evaluation machines plus multi-node clusters
+//! ([`machines`]), and profiler measurement kernels ([`probe`]).
+//!
+//! ```
+//! use coarse_fabric::machines::sdsc_p100;
+//! use coarse_fabric::engine::TransferEngine;
+//! use coarse_simcore::prelude::*;
+//!
+//! let machine = sdsc_p100();
+//! let gpus = machine.gpus().to_vec();
+//! let mut engine = TransferEngine::new(machine.into_topology());
+//! let rec = engine.transfer(gpus[0], gpus[1], ByteSize::mib(64), SimTime::ZERO)?;
+//! assert!(rec.elapsed() > SimDuration::ZERO);
+//! # Ok::<(), coarse_fabric::engine::TransferError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod device;
+pub mod diagnostics;
+pub mod engine;
+pub mod machines;
+pub mod probe;
+pub mod topology;
+
+pub use bandwidth::BandwidthModel;
+pub use device::{Device, DeviceId, DeviceKind};
+pub use engine::{TransferEngine, TransferError, TransferRecord};
+pub use machines::{Machine, Partition, PartitionScheme};
+pub use topology::{Link, LinkClass, LinkId, Route, Topology};

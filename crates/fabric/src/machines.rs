@@ -1,0 +1,689 @@
+//! Machine presets reproducing Table I of the paper plus the multi-node
+//! configuration of §V-D.
+//!
+//! Three single-node instances are modeled:
+//!
+//! | name | GPUs | interconnect | bandwidth character |
+//! |---|---|---|---|
+//! | `aws_t4` | 8× T4 | PCIe, **no peer-to-peer** | uniform (all traffic staged via CPU) |
+//! | `sdsc_p100` | 4× P100 | PCIe | **locality**: same-switch > remote |
+//! | `aws_v100` | 8× V100 | PCIe + NVLink | **anti-locality** on PCIe: remote > local |
+//!
+//! Anti-locality (paper Fig. 8a, footnote 1) is modeled by giving each
+//! same-switch GPU pair a dedicated *hairpin* peer link whose bandwidth is
+//! below the switch-uplink path — reproducing the measured effect of
+//! unbalanced signal paths in the switch chipset. The min-hop router always
+//! prefers this 1-hop peer path for local pairs, exactly as real PCIe p2p
+//! does.
+//!
+//! Half of each machine's GPUs emulate CCI memory devices (§IV-B); the
+//! [`Partition`] type captures worker/memory-device role assignment
+//! including the V100 2-workers-per-device variant.
+
+use coarse_simcore::time::SimDuration;
+use coarse_simcore::units::Bandwidth;
+
+use crate::bandwidth::BandwidthModel;
+use crate::device::{DeviceId, DeviceKind};
+use crate::topology::{LinkClass, Topology};
+
+/// GPU model installed in a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuSku {
+    /// NVIDIA T4 (AWS g4dn-class instance).
+    T4,
+    /// NVIDIA P100 (SDSC instance).
+    P100,
+    /// NVIDIA V100 (AWS p3-class instance).
+    V100,
+}
+
+impl GpuSku {
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuSku::T4 => "T4",
+            GpuSku::P100 => "P100",
+            GpuSku::V100 => "V100",
+        }
+    }
+
+    /// On-device memory capacity in GiB (all three SKUs ship 16 GiB in the
+    /// evaluated instances).
+    pub fn memory_gib(self) -> u64 {
+        16
+    }
+}
+
+impl std::fmt::Display for GpuSku {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The real DGX-1/p3 NVLink hybrid-cube-mesh edge list.
+pub const DGX1_NVLINK_EDGES: [(usize, usize); 16] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 2),
+    (1, 3),
+    (1, 5),
+    (2, 3),
+    (2, 6),
+    (3, 7),
+    (4, 5),
+    (4, 6),
+    (4, 7),
+    (5, 6),
+    (5, 7),
+    (6, 7),
+];
+
+/// A complete machine description: fabric plus GPU inventory.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    name: String,
+    topo: Topology,
+    gpus: Vec<DeviceId>,
+    sku: GpuSku,
+    nodes: u32,
+    gpus_per_switch: usize,
+}
+
+impl Machine {
+    /// Machine name as used in the paper's figures (e.g. `"AWS V100"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fabric graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Consumes the machine, returning its fabric (for a
+    /// [`TransferEngine`](crate::engine::TransferEngine)).
+    pub fn into_topology(self) -> Topology {
+        self.topo
+    }
+
+    /// All GPU device ids, in PCIe order.
+    pub fn gpus(&self) -> &[DeviceId] {
+        &self.gpus
+    }
+
+    /// GPUs belonging to server node `node`.
+    pub fn gpus_on_node(&self, node: u32) -> Vec<DeviceId> {
+        self.gpus
+            .iter()
+            .copied()
+            .filter(|&g| self.topo.device(g).node() == node)
+            .collect()
+    }
+
+    /// Installed GPU model.
+    pub fn sku(&self) -> GpuSku {
+        self.sku
+    }
+
+    /// Number of server nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// GPUs attached to each PCIe switch.
+    pub fn gpus_per_switch(&self) -> usize {
+        self.gpus_per_switch
+    }
+
+    /// Whether this machine has any NVLink links.
+    pub fn has_nvlink(&self) -> bool {
+        self.topo.links().any(|l| l.class() == LinkClass::NvLink)
+    }
+
+    /// Splits the GPUs into workers and emulated CCI memory devices.
+    ///
+    /// With [`PartitionScheme::OneToOne`], each PCIe switch contributes its
+    /// first GPU as a worker and its second as that worker's memory device —
+    /// the paper's default "half the GPUs emulate memory devices".
+    ///
+    /// With [`PartitionScheme::TwoToOne`] (V100 only in the paper), half the
+    /// memory devices are dropped and each remaining one serves two workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not have exactly two GPUs per switch.
+    pub fn partition(&self, scheme: PartitionScheme) -> Partition {
+        assert_eq!(
+            self.gpus_per_switch, 2,
+            "partitioning assumes two GPUs per switch"
+        );
+        let mut workers = Vec::new();
+        let mut mem_devices = Vec::new();
+        let mut proxy_of = Vec::new();
+        match scheme {
+            PartitionScheme::OneToOne => {
+                for pair in self.gpus.chunks(2) {
+                    workers.push(pair[0]);
+                    mem_devices.push(pair[1]);
+                    proxy_of.push(mem_devices.len() - 1);
+                }
+            }
+            PartitionScheme::TwoToOne => {
+                // Switch pairs (w0,m0),(w1,_),(w2,m1),(w3,_): workers keep
+                // their slots; every other memory device is retained and
+                // shared with the neighboring switch's worker.
+                for (i, pair) in self.gpus.chunks(2).enumerate() {
+                    workers.push(pair[0]);
+                    if i % 2 == 0 {
+                        mem_devices.push(pair[1]);
+                    }
+                    proxy_of.push(i / 2);
+                }
+            }
+        }
+        Partition {
+            workers,
+            mem_devices,
+            proxy_of,
+        }
+    }
+
+    /// Interconnects `members` (the emulated CCI memory devices) with a ring
+    /// of dedicated duplex CCI links — the dashed proxy-to-proxy path of the
+    /// paper's Fig. 4. CCI reuses the serial-bus physical layer at ~90% of
+    /// its peak (§II-C) but with a lower small-transfer penalty, and its
+    /// links are independent of the PCIe tree, so opposite-direction sync
+    /// groups (Fig. 11b) drive each pair bidirectionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two members are given.
+    pub fn augment_cci_ring(&mut self, members: &[DeviceId]) {
+        assert!(members.len() >= 2, "a CCI ring needs at least two devices");
+        let cci = BandwidthModel::Saturating {
+            peak: Bandwidth::gib_per_sec(13.0 * 0.9),
+            half_size: coarse_simcore::units::ByteSize::kib(16),
+        };
+        for i in 0..members.len() {
+            let a = members[i];
+            let b = members[(i + 1) % members.len()];
+            if members.len() == 2 && i == 1 {
+                break; // avoid a duplicate pair for two-member rings
+            }
+            self.topo
+                .add_duplex(a, b, cci, SimDuration::from_nanos(800), LinkClass::Cci);
+        }
+    }
+
+    /// Interconnects `members` with a full mesh of duplex CCI links (every
+    /// pair directly connected) — the richest CCI switch fabric, needed by
+    /// tree-shaped collectives whose hops are not ring-adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two members are given.
+    pub fn augment_cci_mesh(&mut self, members: &[DeviceId]) {
+        assert!(members.len() >= 2, "a CCI mesh needs at least two devices");
+        let cci = BandwidthModel::Saturating {
+            peak: Bandwidth::gib_per_sec(13.0 * 0.9),
+            half_size: coarse_simcore::units::ByteSize::kib(16),
+        };
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                self.topo.add_duplex(
+                    members[i],
+                    members[j],
+                    cci,
+                    SimDuration::from_nanos(800),
+                    LinkClass::Cci,
+                );
+            }
+        }
+    }
+
+    /// Searches for a ring over `members` in which every consecutive pair is
+    /// joined by a direct NVLink; used by the NCCL-style AllReduce baseline.
+    /// Brute-force over permutations (member counts are ≤ 8).
+    pub fn nvlink_ring(&self, members: &[DeviceId]) -> Option<Vec<DeviceId>> {
+        if members.len() < 2 {
+            return None;
+        }
+        let direct = |a: DeviceId, b: DeviceId| {
+            self.topo
+                .links()
+                .any(|l| l.class() == LinkClass::NvLink && l.src() == a && l.dst() == b)
+        };
+        // Fix the first member; permute the rest.
+        let mut rest: Vec<DeviceId> = members[1..].to_vec();
+        let first = members[0];
+        fn permute(
+            rest: &mut Vec<DeviceId>,
+            chosen: &mut Vec<DeviceId>,
+            first: DeviceId,
+            direct: &impl Fn(DeviceId, DeviceId) -> bool,
+        ) -> Option<Vec<DeviceId>> {
+            if rest.is_empty() {
+                let last = *chosen.last().unwrap_or(&first);
+                if direct(last, first) {
+                    let mut ring = vec![first];
+                    ring.extend_from_slice(chosen);
+                    return Some(ring);
+                }
+                return None;
+            }
+            for i in 0..rest.len() {
+                let cand = rest[i];
+                let prev = *chosen.last().unwrap_or(&first);
+                if !direct(prev, cand) {
+                    continue;
+                }
+                rest.remove(i);
+                chosen.push(cand);
+                if let Some(ring) = permute(rest, chosen, first, direct) {
+                    return Some(ring);
+                }
+                chosen.pop();
+                rest.insert(i, cand);
+            }
+            None
+        }
+        permute(&mut rest, &mut Vec::new(), first, &direct)
+    }
+}
+
+/// How GPUs are split between workers and emulated memory devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// One memory device per worker (paper default).
+    OneToOne,
+    /// Each memory device shared by two workers (paper's extra V100 config).
+    TwoToOne,
+}
+
+/// Role assignment produced by [`Machine::partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Worker GPUs, in PCIe order.
+    pub workers: Vec<DeviceId>,
+    /// GPUs emulating CCI memory devices.
+    pub mem_devices: Vec<DeviceId>,
+    /// For each worker index, the index in `mem_devices` of its proxy.
+    pub proxy_of: Vec<usize>,
+}
+
+impl Partition {
+    /// The memory device serving worker `w` (by worker index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn proxy_for(&self, w: usize) -> DeviceId {
+        self.mem_devices[self.proxy_of[w]]
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of memory devices.
+    pub fn mem_device_count(&self) -> usize {
+        self.mem_devices.len()
+    }
+}
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+fn pcie(peak_gib: f64) -> BandwidthModel {
+    BandwidthModel::pcie_like(Bandwidth::gib_per_sec(peak_gib))
+}
+
+/// Same-switch peer (hairpin) paths complete small transactions without
+/// traversing the root complex, so they ramp to peak much earlier than the
+/// CPU path — local latency is always better even when local *bandwidth* is
+/// not (the §III-E observation).
+fn hairpin(peak_gib: f64) -> BandwidthModel {
+    BandwidthModel::Saturating {
+        peak: Bandwidth::gib_per_sec(peak_gib),
+        half_size: coarse_simcore::units::ByteSize::kib(8),
+    }
+}
+
+/// Builds one node's PCIe tree: `gpus_per_switch` GPUs under each of
+/// `switches` switches, all switches under the node CPU. Returns the GPU ids
+/// in PCIe order.
+#[allow(clippy::too_many_arguments)]
+fn build_pcie_node(
+    topo: &mut Topology,
+    node: u32,
+    switches: usize,
+    gpus_per_switch: usize,
+    gpu_link: BandwidthModel,
+    uplink: BandwidthModel,
+    hairpin: Option<BandwidthModel>,
+    hop_latency: SimDuration,
+) -> Vec<DeviceId> {
+    let cpu = topo.add_device(DeviceKind::Cpu, format!("n{node}-cpu"), node);
+    let mut gpus = Vec::new();
+    for s in 0..switches {
+        let sw = topo.add_device(DeviceKind::Switch, format!("n{node}-sw{s}"), node);
+        topo.add_duplex(sw, cpu, uplink, hop_latency, LinkClass::Pcie);
+        let mut switch_gpus = Vec::new();
+        for g in 0..gpus_per_switch {
+            let idx = s * gpus_per_switch + g;
+            let gpu = topo.add_device(DeviceKind::Gpu, format!("n{node}-gpu{idx}"), node);
+            topo.add_duplex(gpu, sw, gpu_link, hop_latency, LinkClass::Pcie);
+            switch_gpus.push(gpu);
+            gpus.push(gpu);
+        }
+        if let Some(hp) = hairpin {
+            // Dedicated same-switch peer path (models measured p2p hairpin
+            // bandwidth, including anti-locality when slower than the
+            // uplink route).
+            for i in 0..switch_gpus.len() {
+                for j in (i + 1)..switch_gpus.len() {
+                    topo.add_duplex(switch_gpus[i], switch_gpus[j], hp, hop_latency, LinkClass::Pcie);
+                }
+            }
+        }
+    }
+    gpus
+}
+
+/// AWS instance with 8× T4: PCIe only, **no GPU peer-to-peer**, uniform
+/// bandwidth (every GPU-to-GPU path is staged through the CPU).
+pub fn aws_t4() -> Machine {
+    let mut topo = Topology::new();
+    let gpus = build_pcie_node(
+        &mut topo,
+        0,
+        4,
+        2,
+        pcie(6.0),  // T4 sits on a PCIe x8-equivalent slot
+        pcie(12.0), // switch uplink
+        None,
+        us(2),
+    );
+    topo.set_p2p(false);
+    Machine {
+        name: "AWS T4".to_string(),
+        topo,
+        gpus,
+        sku: GpuSku::T4,
+        nodes: 1,
+        gpus_per_switch: 2,
+    }
+}
+
+/// SDSC instance with 4× P100: PCIe with normal locality — same-switch
+/// bandwidth (13 GiB/s per direction, ≈25 GiB/s bidirectional, §III-E)
+/// exceeds the cross-switch path (10 GiB/s uplink bottleneck).
+pub fn sdsc_p100() -> Machine {
+    let mut topo = Topology::new();
+    let gpus = build_pcie_node(
+        &mut topo,
+        0,
+        2,
+        2,
+        pcie(13.0),
+        pcie(10.0),
+        Some(hairpin(13.0)), // local hairpin at full x16: locality preserved
+        us(1),
+    );
+    Machine {
+        name: "SDSC P100".to_string(),
+        topo,
+        gpus,
+        sku: GpuSku::P100,
+        nodes: 1,
+        gpus_per_switch: 2,
+    }
+}
+
+/// AWS p3-class instance with 8× V100: PCIe shows **anti-locality** (local
+/// hairpin 5 GiB/s per direction vs 9 GiB/s through the CPU path, Fig. 8a)
+/// and the GPUs are additionally joined by the DGX-1 NVLink cube mesh.
+pub fn aws_v100() -> Machine {
+    aws_v100_custom(5.0, 9.0)
+}
+
+/// The V100 machine with custom hairpin and uplink bandwidths (GiB/s per
+/// direction). Device ids match [`aws_v100`] exactly, so routing tables
+/// profiled against one variant remain addressable against another — the
+/// basis of the dynamic re-profiling experiments (§III-E: "while training
+/// is in progress, COARSE periodically profiles the communication and
+/// updates the routing and partitioning strategies").
+///
+/// # Panics
+///
+/// Panics if either bandwidth is not positive.
+pub fn aws_v100_custom(local_hairpin_gib: f64, uplink_gib: f64) -> Machine {
+    let mut topo = Topology::new();
+    let gpus = build_pcie_node(
+        &mut topo,
+        0,
+        4,
+        2,
+        pcie(13.0),
+        pcie(uplink_gib),
+        Some(hairpin(local_hairpin_gib)), // unbalanced switch signal paths
+        us(1),
+    );
+    add_nvlink_mesh(&mut topo, &gpus);
+    Machine {
+        name: "AWS V100".to_string(),
+        topo,
+        gpus,
+        sku: GpuSku::V100,
+        nodes: 1,
+        gpus_per_switch: 2,
+    }
+}
+
+fn add_nvlink_mesh(topo: &mut Topology, gpus: &[DeviceId]) {
+    let nv = BandwidthModel::Saturating {
+        peak: Bandwidth::gib_per_sec(22.0),
+        half_size: coarse_simcore::units::ByteSize::kib(32),
+    };
+    for &(a, b) in DGX1_NVLINK_EDGES.iter() {
+        if a < gpus.len() && b < gpus.len() {
+            topo.add_duplex(gpus[a], gpus[b], nv, SimDuration::from_nanos(700), LinkClass::NvLink);
+        }
+    }
+}
+
+/// A cluster of `nodes` AWS V100 machines joined by a 25 Gbit/s network
+/// (§V-D's multi-node evaluation).
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn aws_v100_cluster(nodes: u32) -> Machine {
+    assert!(nodes >= 1, "cluster needs at least one node");
+    let mut topo = Topology::new();
+    let mut gpus = Vec::new();
+    let mut nics = Vec::new();
+    for node in 0..nodes {
+        let node_gpus = build_pcie_node(&mut topo, node, 4, 2, pcie(13.0), pcie(9.0), Some(hairpin(5.0)), us(1));
+        add_nvlink_mesh(&mut topo, &node_gpus);
+        gpus.extend_from_slice(&node_gpus);
+        let nic = topo.add_device(DeviceKind::Nic, format!("n{node}-nic"), node);
+        let cpu = topo.host_cpu(node);
+        topo.add_duplex(nic, cpu, pcie(12.0), us(1), LinkClass::Pcie);
+        nics.push(nic);
+    }
+    if nodes > 1 {
+        // A network switch joining all NICs at 25 Gbit/s per port.
+        let net = BandwidthModel::Saturating {
+            peak: Bandwidth::gbit_per_sec(25.0),
+            half_size: coarse_simcore::units::ByteSize::kib(256),
+        };
+        let netsw = topo.add_device(DeviceKind::Switch, "net-switch", 0);
+        for &nic in &nics {
+            topo.add_duplex(nic, netsw, net, us(15), LinkClass::Network);
+        }
+    }
+    Machine {
+        name: if nodes == 1 {
+            "AWS V100".to_string()
+        } else {
+            format!("AWS V100 x{nodes}")
+        },
+        topo,
+        gpus,
+        sku: GpuSku::V100,
+        nodes,
+        gpus_per_switch: 2,
+    }
+}
+
+/// All three Table I machines, in the paper's order.
+pub fn table1() -> Vec<Machine> {
+    vec![aws_t4(), sdsc_p100(), aws_v100()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TransferEngine;
+    use coarse_simcore::time::SimTime;
+    use coarse_simcore::units::ByteSize;
+
+    fn p2p_bw_gib(machine: Machine, a: usize, b: usize) -> f64 {
+        let gpus = machine.gpus().to_vec();
+        let mut eng = TransferEngine::new(machine.into_topology());
+        let rec = eng
+            .transfer_filtered(gpus[a], gpus[b], ByteSize::mib(64), SimTime::ZERO, |l| {
+                l.class() != LinkClass::NvLink
+            })
+            .unwrap();
+        rec.achieved_bytes_per_sec() / (1u64 << 30) as f64
+    }
+
+    #[test]
+    fn t4_machine_shape() {
+        let m = aws_t4();
+        assert_eq!(m.gpus().len(), 8);
+        assert!(!m.topology().p2p_enabled());
+        assert!(!m.has_nvlink());
+        assert_eq!(m.sku(), GpuSku::T4);
+    }
+
+    #[test]
+    fn t4_bandwidth_uniform() {
+        let local = p2p_bw_gib(aws_t4(), 0, 1);
+        let remote = p2p_bw_gib(aws_t4(), 0, 7);
+        assert!(
+            (local - remote).abs() / local < 0.01,
+            "T4 paths must be uniform: local {local} vs remote {remote}"
+        );
+    }
+
+    #[test]
+    fn p100_has_locality() {
+        let local = p2p_bw_gib(sdsc_p100(), 0, 1);
+        let remote = p2p_bw_gib(sdsc_p100(), 0, 2);
+        assert!(
+            local > remote * 1.15,
+            "P100 local ({local}) must exceed remote ({remote})"
+        );
+        assert!((local - 13.0).abs() < 1.0, "local ≈ 13 GiB/s, got {local}");
+    }
+
+    #[test]
+    fn v100_has_anti_locality() {
+        let local = p2p_bw_gib(aws_v100(), 0, 1);
+        let remote = p2p_bw_gib(aws_v100(), 0, 2);
+        assert!(
+            remote > local * 1.4,
+            "V100 remote ({remote}) must exceed local ({local})"
+        );
+    }
+
+    #[test]
+    fn v100_nvlink_present_and_fast() {
+        let m = aws_v100();
+        assert!(m.has_nvlink());
+        let gpus = m.gpus().to_vec();
+        let mut eng = TransferEngine::new(m.into_topology());
+        let rec = eng
+            .transfer(gpus[0], gpus[1], ByteSize::mib(64), SimTime::ZERO)
+            .unwrap();
+        let bw = rec.achieved_bytes_per_sec() / (1u64 << 30) as f64;
+        assert!(bw > 18.0, "NVLink path should exceed 18 GiB/s, got {bw}");
+    }
+
+    #[test]
+    fn one_to_one_partition_pairs_by_switch() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        assert_eq!(p.worker_count(), 4);
+        assert_eq!(p.mem_device_count(), 4);
+        // Worker i's proxy sits under the same switch.
+        for (i, &w) in p.workers.iter().enumerate() {
+            let proxy = p.proxy_for(i);
+            assert_eq!(w.index() + 1, proxy.index(), "pairing must be same-switch");
+        }
+    }
+
+    #[test]
+    fn two_to_one_partition_halves_devices() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::TwoToOne);
+        assert_eq!(p.worker_count(), 4);
+        assert_eq!(p.mem_device_count(), 2);
+        assert_eq!(p.proxy_of, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn nvlink_ring_among_workers_exists() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let ring = m.nvlink_ring(&p.workers).expect("workers form an NVLink ring");
+        assert_eq!(ring.len(), 4);
+        // Every consecutive pair (and the wrap-around) is NVLink-adjacent.
+        for i in 0..ring.len() {
+            let a = ring[i];
+            let b = ring[(i + 1) % ring.len()];
+            assert!(m
+                .topology()
+                .links()
+                .any(|l| l.class() == LinkClass::NvLink && l.src() == a && l.dst() == b));
+        }
+    }
+
+    #[test]
+    fn no_nvlink_ring_on_p100() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        assert!(m.nvlink_ring(&gpus).is_none());
+    }
+
+    #[test]
+    fn cluster_spans_nodes() {
+        let m = aws_v100_cluster(2);
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.gpus().len(), 16);
+        assert_eq!(m.gpus_on_node(0).len(), 8);
+        assert_eq!(m.gpus_on_node(1).len(), 8);
+        // Cross-node transfer possible but slow.
+        let gpus = m.gpus().to_vec();
+        let mut eng = TransferEngine::new(m.into_topology());
+        let rec = eng
+            .transfer(gpus[0], gpus[8], ByteSize::mib(64), SimTime::ZERO)
+            .unwrap();
+        let bw = rec.achieved_bytes_per_sec() / 1e9;
+        assert!(bw < 3.2, "cross-node must bottleneck on the 25 Gbit NIC, got {bw} GB/s");
+    }
+
+    #[test]
+    fn table1_lists_three_machines() {
+        let names: Vec<String> = table1().iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, vec!["AWS T4", "SDSC P100", "AWS V100"]);
+    }
+}

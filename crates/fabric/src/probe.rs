@@ -1,0 +1,245 @@
+//! Communication micro-benchmarks ("the profiler's measurement kernels").
+//!
+//! COARSE builds its routing tables from measured point-to-point latency and
+//! bandwidth (§III-E). These probes run transfers on a scratch
+//! [`TransferEngine`] and report achieved figures; they also regenerate the
+//! paper's Fig. 8 bandwidth matrices and the Fig. 13/14/15 size sweeps.
+
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::units::ByteSize;
+
+use crate::device::DeviceId;
+use crate::engine::TransferEngine;
+use crate::topology::{Link, Topology};
+
+/// Number of back-to-back transfers per measurement; enough to amortize the
+/// first transfer's latency.
+const PROBE_REPEATS: u64 = 8;
+
+/// One point-to-point measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// Achieved one-direction bandwidth, bytes/sec.
+    pub unidirectional: f64,
+    /// Achieved two-direction aggregate bandwidth, bytes/sec.
+    pub bidirectional: f64,
+    /// Delivery latency of a minimal (4 KiB) transfer.
+    pub latency: SimDuration,
+}
+
+impl ProbeResult {
+    /// Unidirectional bandwidth in GiB/s.
+    pub fn uni_gib(&self) -> f64 {
+        self.unidirectional / (1u64 << 30) as f64
+    }
+
+    /// Bidirectional bandwidth in GiB/s.
+    pub fn bidir_gib(&self) -> f64 {
+        self.bidirectional / (1u64 << 30) as f64
+    }
+}
+
+/// Measures achieved one-direction bandwidth `a → b` at `size`, in
+/// bytes/sec, over links accepted by `allow`.
+///
+/// # Panics
+///
+/// Panics if no allowed route exists between the endpoints.
+pub fn measure_unidirectional(
+    topo: &Topology,
+    a: DeviceId,
+    b: DeviceId,
+    size: ByteSize,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> f64 {
+    let mut eng = TransferEngine::new(topo.clone());
+    let mut first_start = None;
+    let mut last_end = SimTime::ZERO;
+    for _ in 0..PROBE_REPEATS {
+        let rec = eng
+            .transfer_filtered(a, b, size, last_end, allow)
+            .expect("probe endpoints must be connected");
+        first_start.get_or_insert(rec.start);
+        last_end = rec.end;
+    }
+    let elapsed = last_end - first_start.expect("at least one transfer ran");
+    (size.as_f64() * PROBE_REPEATS as f64) / elapsed.as_secs_f64()
+}
+
+/// Measures achieved aggregate bandwidth with both directions saturated
+/// (`a → b` and `b → a` concurrently), in bytes/sec.
+///
+/// # Panics
+///
+/// Panics if no allowed route exists between the endpoints.
+pub fn measure_bidirectional(
+    topo: &Topology,
+    a: DeviceId,
+    b: DeviceId,
+    size: ByteSize,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> f64 {
+    let mut eng = TransferEngine::new(topo.clone());
+    let mut fwd_end = SimTime::ZERO;
+    let mut rev_end = SimTime::ZERO;
+    for _ in 0..PROBE_REPEATS {
+        fwd_end = eng
+            .transfer_filtered(a, b, size, fwd_end, allow)
+            .expect("probe endpoints must be connected")
+            .end;
+        rev_end = eng
+            .transfer_filtered(b, a, size, rev_end, allow)
+            .expect("probe endpoints must be connected")
+            .end;
+    }
+    let makespan = fwd_end.max(rev_end);
+    (size.as_f64() * 2.0 * PROBE_REPEATS as f64) / makespan.as_secs_f64()
+}
+
+/// Measures delivery latency of a minimal transfer `a → b`.
+///
+/// # Panics
+///
+/// Panics if no allowed route exists between the endpoints.
+pub fn measure_latency(
+    topo: &Topology,
+    a: DeviceId,
+    b: DeviceId,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> SimDuration {
+    let mut eng = TransferEngine::new(topo.clone());
+    let rec = eng
+        .transfer_filtered(a, b, ByteSize::kib(4), SimTime::ZERO, allow)
+        .expect("probe endpoints must be connected");
+    rec.elapsed()
+}
+
+/// Full point-to-point probe between `a` and `b` at `size`.
+pub fn probe_pair(
+    topo: &Topology,
+    a: DeviceId,
+    b: DeviceId,
+    size: ByteSize,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> ProbeResult {
+    ProbeResult {
+        unidirectional: measure_unidirectional(topo, a, b, size, allow),
+        bidirectional: measure_bidirectional(topo, a, b, size, allow),
+        latency: measure_latency(topo, a, b, allow),
+    }
+}
+
+/// The all-pairs bidirectional bandwidth matrix of Fig. 8, in GiB/s.
+/// `matrix[i][j]` is the aggregate bidirectional bandwidth between
+/// `devices[i]` and `devices[j]`; the diagonal is 0.
+pub fn bidirectional_matrix(
+    topo: &Topology,
+    devices: &[DeviceId],
+    size: ByteSize,
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Vec<Vec<f64>> {
+    let n = devices.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                m[i][j] =
+                    measure_bidirectional(topo, devices[i], devices[j], size, allow) / (1u64 << 30) as f64;
+            }
+        }
+    }
+    m
+}
+
+/// Bandwidth-vs-size sweep between two endpoints: the Fig. 13/14/15 curve
+/// shape. Returns `(size, bytes_per_sec)` pairs.
+pub fn bandwidth_sweep(
+    topo: &Topology,
+    a: DeviceId,
+    b: DeviceId,
+    sizes: &[ByteSize],
+    allow: impl Fn(&Link) -> bool + Copy,
+) -> Vec<(ByteSize, f64)> {
+    sizes
+        .iter()
+        .map(|&s| (s, measure_unidirectional(topo, a, b, s, allow)))
+        .collect()
+}
+
+/// Standard probe sizes: powers of two from 4 KiB to 64 MiB.
+pub fn standard_sizes() -> Vec<ByteSize> {
+    (12..=26).map(|p| ByteSize::bytes(1u64 << p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{aws_v100, sdsc_p100};
+    use crate::topology::LinkClass;
+
+    fn no_nvlink(l: &Link) -> bool {
+        l.class() != LinkClass::NvLink
+    }
+
+    #[test]
+    fn bidirectional_roughly_doubles_unidirectional() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let r = probe_pair(m.topology(), gpus[0], gpus[1], ByteSize::mib(64), no_nvlink);
+        // §III-E: 13 GiB/s unidirectional, ~25 GiB/s bidirectional.
+        assert!((r.uni_gib() - 13.0).abs() < 1.0, "uni {}", r.uni_gib());
+        assert!(
+            r.bidir_gib() > 1.8 * r.uni_gib(),
+            "bidir {} should be near 2x uni {}",
+            r.bidir_gib(),
+            r.uni_gib()
+        );
+    }
+
+    #[test]
+    fn latency_positive_and_small() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let lat = measure_latency(m.topology(), gpus[0], gpus[1], no_nvlink);
+        assert!(lat > SimDuration::ZERO);
+        assert!(lat < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn matrix_symmetric_and_zero_diagonal() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mat = bidirectional_matrix(m.topology(), &gpus, ByteSize::mib(16), no_nvlink);
+        for (i, row) in mat.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - mat[j][i]).abs() < 0.2);
+            }
+        }
+    }
+
+    #[test]
+    fn v100_matrix_shows_anti_locality() {
+        let m = aws_v100();
+        let gpus = m.gpus().to_vec();
+        let mat = bidirectional_matrix(m.topology(), &gpus[..4], ByteSize::mib(16), no_nvlink);
+        // gpus 0,1 share a switch; 0,2 do not.
+        assert!(
+            mat[0][2] > mat[0][1] * 1.3,
+            "remote {} must exceed local {}",
+            mat[0][2],
+            mat[0][1]
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotonic() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let pts = bandwidth_sweep(m.topology(), gpus[0], gpus[1], &standard_sizes(), no_nvlink);
+        assert_eq!(pts.len(), 15);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.999, "bandwidth must not drop with size");
+        }
+    }
+}

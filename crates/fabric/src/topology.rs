@@ -1,0 +1,504 @@
+//! The fabric graph: devices joined by directed links, with deterministic
+//! shortest-path routing.
+
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use coarse_simcore::time::SimDuration;
+
+use crate::bandwidth::BandwidthModel;
+use crate::device::{Device, DeviceId, DeviceKind};
+
+/// Identifies one *directed* link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The raw index of this link in its topology.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The physical technology of a link; routing can be restricted by class
+/// (e.g. the profiler measures PCIe paths with NVLink disabled, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Serial bus (PCIe) lane bundle.
+    Pcie,
+    /// NVLink point-to-point GPU interconnect.
+    NvLink,
+    /// Cache-coherent interconnect path between memory devices.
+    Cci,
+    /// Inter-node network (Ethernet / InfiniBand).
+    Network,
+}
+
+/// A directed edge of the fabric graph.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub(crate) id: LinkId,
+    pub(crate) src: DeviceId,
+    pub(crate) dst: DeviceId,
+    pub(crate) model: BandwidthModel,
+    pub(crate) latency: SimDuration,
+    pub(crate) class: LinkClass,
+}
+
+impl Link {
+    /// This link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+    /// Source device.
+    pub fn src(&self) -> DeviceId {
+        self.src
+    }
+    /// Destination device.
+    pub fn dst(&self) -> DeviceId {
+        self.dst
+    }
+    /// The bandwidth model of this link.
+    pub fn model(&self) -> &BandwidthModel {
+        &self.model
+    }
+    /// Propagation + protocol latency of this hop.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+    /// Physical technology class.
+    pub fn class(&self) -> LinkClass {
+        self.class
+    }
+}
+
+/// A loop-free directed path through the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    pub(crate) links: Vec<LinkId>,
+    pub(crate) total_latency: SimDuration,
+}
+
+impl Route {
+    /// The links along the path, in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Sum of per-hop latencies.
+    pub fn total_latency(&self) -> SimDuration {
+        self.total_latency
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// The interconnect fabric of one or more server nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    /// Outgoing link ids per device.
+    adjacency: Vec<Vec<LinkId>>,
+    /// Whether endpoints may transfer peer-to-peer (bypassing CPU staging).
+    p2p: bool,
+}
+
+impl Topology {
+    /// An empty fabric with peer-to-peer transfers enabled.
+    pub fn new() -> Self {
+        Topology {
+            devices: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+            p2p: true,
+        }
+    }
+
+    /// Disables endpoint peer-to-peer transfers: GPU↔GPU and GPU↔memory-
+    /// device traffic must be staged through the host CPU (the paper's AWS
+    /// T4 machine, §V-D).
+    pub fn set_p2p(&mut self, enabled: bool) {
+        self.p2p = enabled;
+    }
+
+    /// Whether peer-to-peer endpoint transfers are supported.
+    pub fn p2p_enabled(&self) -> bool {
+        self.p2p
+    }
+
+    /// Adds a device and returns its id.
+    pub fn add_device(&mut self, kind: DeviceKind, name: impl Into<String>, node: u32) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device {
+            id,
+            kind,
+            name: name.into(),
+            node,
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds one directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a device of this topology, or if they
+    /// are equal.
+    pub fn add_link(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        model: BandwidthModel,
+        latency: SimDuration,
+        class: LinkClass,
+    ) -> LinkId {
+        assert!(src.index() < self.devices.len(), "unknown src device");
+        assert!(dst.index() < self.devices.len(), "unknown dst device");
+        assert_ne!(src, dst, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            model,
+            latency,
+            class,
+        });
+        self.adjacency[src.index()].push(id);
+        id
+    }
+
+    /// Adds a full-duplex pair of links (one per direction) with identical
+    /// characteristics — the normal shape of serial buses, whose two
+    /// directions carry independent traffic (§III-E "bidirectional data
+    /// transfer").
+    pub fn add_duplex(
+        &mut self,
+        a: DeviceId,
+        b: DeviceId,
+        model: BandwidthModel,
+        latency: SimDuration,
+        class: LinkClass,
+    ) -> (LinkId, LinkId) {
+        let fwd = self.add_link(a, b, model, latency, class);
+        let rev = self.add_link(b, a, model, latency, class);
+        (fwd, rev)
+    }
+
+    /// The device with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// All devices of a given kind, in id order.
+    pub fn devices_of_kind(&self, kind: DeviceKind) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.kind == kind)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// The host CPU of server node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no CPU device.
+    pub fn host_cpu(&self, node: u32) -> DeviceId {
+        self.devices
+            .iter()
+            .find(|d| d.kind == DeviceKind::Cpu && d.node == node)
+            .map(|d| d.id)
+            .expect("node has no CPU device")
+    }
+
+    /// The link with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Deterministic min-cost route from `src` to `dst` over links accepted
+    /// by `allow`. Cost is lexicographic `(hops, total latency)`; ties break
+    /// on link insertion order, so routes are stable across runs.
+    ///
+    /// Returns `None` if `dst` is unreachable through allowed links.
+    pub fn route_filtered(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        allow: impl Fn(&Link) -> bool,
+    ) -> Option<Route> {
+        if src == dst {
+            return Some(Route {
+                links: Vec::new(),
+                total_latency: SimDuration::ZERO,
+            });
+        }
+        // Dijkstra over (hops, latency_ns).
+        #[derive(PartialEq, Eq)]
+        struct State {
+            cost: (u32, u64),
+            device: DeviceId,
+        }
+        impl Ord for State {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // min-heap: reverse cost, then stable device order.
+                other
+                    .cost
+                    .cmp(&self.cost)
+                    .then_with(|| other.device.cmp(&self.device))
+            }
+        }
+        impl PartialOrd for State {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.devices.len();
+        let mut best: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
+        let mut via: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        best[src.index()] = (0, 0);
+        heap.push(State {
+            cost: (0, 0),
+            device: src,
+        });
+        while let Some(State { cost, device }) = heap.pop() {
+            if cost > best[device.index()] {
+                continue;
+            }
+            if device == dst {
+                break;
+            }
+            for &lid in &self.adjacency[device.index()] {
+                let link = &self.links[lid.index()];
+                if !allow(link) {
+                    continue;
+                }
+                // Transfers terminate at non-forwarding endpoints: an
+                // intermediate hop through e.g. a GPU is not a valid route
+                // (that would require staging, handled above this layer).
+                if device != src && !self.devices[device.index()].kind.can_forward() {
+                    continue;
+                }
+                let next = (cost.0 + 1, cost.1 + link.latency.as_nanos());
+                if next < best[link.dst.index()] {
+                    best[link.dst.index()] = next;
+                    via[link.dst.index()] = Some(lid);
+                    heap.push(State {
+                        cost: next,
+                        device: link.dst,
+                    });
+                }
+            }
+        }
+        if best[dst.index()].0 == u32::MAX {
+            return None;
+        }
+        let mut links = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let lid = via[cur.index()].expect("route reconstruction broke");
+            links.push(lid);
+            cur = self.links[lid.index()].src;
+        }
+        links.reverse();
+        let total_latency = links
+            .iter()
+            .map(|&l| self.links[l.index()].latency)
+            .sum();
+        Some(Route {
+            links,
+            total_latency,
+        })
+    }
+
+    /// Deterministic min-cost route over all links.
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> Option<Route> {
+        self.route_filtered(src, dst, |_| true)
+    }
+
+    /// The bottleneck (minimum) effective bandwidth along `route` for a
+    /// transfer of `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or `size` is zero.
+    pub fn bottleneck(&self, route: &Route, size: coarse_simcore::units::ByteSize) -> coarse_simcore::units::Bandwidth {
+        assert!(!route.links.is_empty(), "bottleneck of an empty route");
+        route
+            .links
+            .iter()
+            .map(|&l| self.links[l.index()].model.effective(size))
+            .reduce(|a, b| a.min(b))
+            .expect("non-empty route")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_simcore::units::{Bandwidth, ByteSize};
+
+    fn latency_us(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    /// gpu0 — sw — gpu1, sw — cpu.
+    fn small_topo() -> (Topology, DeviceId, DeviceId, DeviceId, DeviceId) {
+        let mut t = Topology::new();
+        let g0 = t.add_device(DeviceKind::Gpu, "gpu0", 0);
+        let g1 = t.add_device(DeviceKind::Gpu, "gpu1", 0);
+        let sw = t.add_device(DeviceKind::Switch, "sw0", 0);
+        let cpu = t.add_device(DeviceKind::Cpu, "cpu0", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        t.add_duplex(g0, sw, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(g1, sw, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(sw, cpu, m, latency_us(1), LinkClass::Pcie);
+        (t, g0, g1, sw, cpu)
+    }
+
+    #[test]
+    fn route_through_switch() {
+        let (t, g0, g1, _, _) = small_topo();
+        let r = t.route(g0, g1).unwrap();
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.total_latency(), latency_us(2));
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (t, g0, ..) = small_topo();
+        let r = t.route(g0, g0).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.total_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn endpoints_do_not_forward() {
+        // gpu0 — gpu1 — cpu: no switch, so gpu0 cannot reach cpu *through*
+        // gpu1.
+        let mut t = Topology::new();
+        let g0 = t.add_device(DeviceKind::Gpu, "gpu0", 0);
+        let g1 = t.add_device(DeviceKind::Gpu, "gpu1", 0);
+        let cpu = t.add_device(DeviceKind::Cpu, "cpu0", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        t.add_duplex(g0, g1, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(g1, cpu, m, latency_us(1), LinkClass::Pcie);
+        assert!(t.route(g0, cpu).is_none());
+        assert!(t.route(g0, g1).is_some());
+    }
+
+    #[test]
+    fn filtered_route_excludes_class() {
+        let mut t = Topology::new();
+        let g0 = t.add_device(DeviceKind::Gpu, "gpu0", 0);
+        let g1 = t.add_device(DeviceKind::Gpu, "gpu1", 0);
+        let sw = t.add_device(DeviceKind::Switch, "sw", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        // Fast NVLink direct, slower PCIe through the switch.
+        t.add_duplex(g0, g1, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(25.0)),
+                     latency_us(1), LinkClass::NvLink);
+        t.add_duplex(g0, sw, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(g1, sw, m, latency_us(1), LinkClass::Pcie);
+        let direct = t.route(g0, g1).unwrap();
+        assert_eq!(direct.hops(), 1);
+        let pcie_only = t
+            .route_filtered(g0, g1, |l| l.class() != LinkClass::NvLink)
+            .unwrap();
+        assert_eq!(pcie_only.hops(), 2);
+    }
+
+    #[test]
+    fn prefers_lower_latency_on_equal_hops() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let b = t.add_device(DeviceKind::Gpu, "b", 0);
+        let s1 = t.add_device(DeviceKind::Switch, "s1", 0);
+        let s2 = t.add_device(DeviceKind::Switch, "s2", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        t.add_duplex(a, s1, m, latency_us(10), LinkClass::Pcie);
+        t.add_duplex(s1, b, m, latency_us(10), LinkClass::Pcie);
+        t.add_duplex(a, s2, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(s2, b, m, latency_us(1), LinkClass::Pcie);
+        let r = t.route(a, b).unwrap();
+        assert_eq!(r.total_latency(), latency_us(2));
+    }
+
+    #[test]
+    fn bottleneck_is_minimum() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let b = t.add_device(DeviceKind::Gpu, "b", 0);
+        let s = t.add_device(DeviceKind::Switch, "s", 0);
+        t.add_duplex(a, s, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0)),
+                     latency_us(1), LinkClass::Pcie);
+        t.add_duplex(s, b, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(5.0)),
+                     latency_us(1), LinkClass::Pcie);
+        let r = t.route(a, b).unwrap();
+        let bw = t.bottleneck(&r, ByteSize::mib(64));
+        assert!(bw.as_gib_per_sec() < 5.0);
+        assert!(bw.as_gib_per_sec() > 4.8);
+    }
+
+    #[test]
+    fn host_cpu_lookup() {
+        let (t, _, _, _, cpu) = small_topo();
+        assert_eq!(t.host_cpu(0), cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceKind::Gpu, "a", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        t.add_link(a, a, m, SimDuration::ZERO, LinkClass::Pcie);
+    }
+
+    #[test]
+    fn devices_of_kind_in_order() {
+        let (t, g0, g1, ..) = small_topo();
+        assert_eq!(t.devices_of_kind(DeviceKind::Gpu), vec![g0, g1]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the fabric: bandwidth curves, routing, and transfer
+//! scheduling invariants.
+
+use proptest::prelude::*;
+
+use coarse_fabric::bandwidth::BandwidthModel;
+use coarse_fabric::device::DeviceKind;
+use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::machines;
+use coarse_fabric::topology::{LinkClass, Topology};
+use coarse_simcore::prelude::*;
+
+proptest! {
+    /// Effective bandwidth is monotone nondecreasing in size and bounded by
+    /// the peak for any saturating model.
+    #[test]
+    fn saturating_model_monotone(
+        peak_mib in 1u64..100_000,
+        half_kib in 1u64..10_000,
+        a in 1u64..u32::MAX as u64,
+        b in 1u64..u32::MAX as u64,
+    ) {
+        let m = BandwidthModel::Saturating {
+            peak: Bandwidth::mib_per_sec(peak_mib as f64),
+            half_size: ByteSize::kib(half_kib),
+        };
+        let (lo, hi) = (a.min(b), a.max(b));
+        let e_lo = m.effective(ByteSize::bytes(lo)).as_bytes_per_sec();
+        let e_hi = m.effective(ByteSize::bytes(hi)).as_bytes_per_sec();
+        prop_assert!(e_lo <= e_hi);
+        prop_assert!(e_hi <= m.peak().as_bytes_per_sec());
+    }
+
+    /// On any of the preset machines, a transfer between two random GPUs
+    /// succeeds, starts no earlier than its arrival, and its duration is at
+    /// least the payload over the fastest link's peak.
+    #[test]
+    fn transfers_well_formed(
+        machine_idx in 0usize..3,
+        src in 0usize..8,
+        dst in 0usize..8,
+        size_kib in 1u64..100_000,
+        arrival_ns in 0u64..1_000_000,
+    ) {
+        let machine = machines::table1().swap_remove(machine_idx);
+        let gpus = machine.gpus().to_vec();
+        let (src, dst) = (src % gpus.len(), dst % gpus.len());
+        prop_assume!(src != dst);
+        let mut engine = TransferEngine::new(machine.into_topology());
+        let arrival = SimTime::from_nanos(arrival_ns);
+        let size = ByteSize::kib(size_kib);
+        let rec = engine.transfer(gpus[src], gpus[dst], size, arrival).unwrap();
+        prop_assert!(rec.start >= arrival);
+        prop_assert!(rec.end > rec.start);
+        // Nothing moves faster than 26 GiB/s on any preset link.
+        let floor = Bandwidth::gib_per_sec(26.0).transfer_time(size);
+        prop_assert!(rec.elapsed() >= floor);
+    }
+
+    /// Back-to-back same-direction transfers never finish earlier than a
+    /// single transfer of the combined size (FIFO link capacity).
+    #[test]
+    fn serialization_conservation(
+        size_a in 1u64..10_000,
+        size_b in 1u64..10_000,
+    ) {
+        let machine = machines::sdsc_p100();
+        let gpus = machine.gpus().to_vec();
+        let topo = machine.into_topology();
+        let mut e1 = TransferEngine::new(topo.clone());
+        let a = e1.transfer(gpus[0], gpus[1], ByteSize::kib(size_a), SimTime::ZERO).unwrap();
+        let b = e1.transfer(gpus[0], gpus[1], ByteSize::kib(size_b), SimTime::ZERO).unwrap();
+        let pair_end = a.end.max(b.end);
+        let mut e2 = TransferEngine::new(topo);
+        let combined = e2
+            .transfer(gpus[0], gpus[1], ByteSize::kib(size_a + size_b), SimTime::ZERO)
+            .unwrap();
+        // Two transfers pay two latencies but the same serialization, so
+        // they can never beat the combined transfer minus one hop latency
+        // allowance; assert the weaker, always-true direction:
+        prop_assert!(pair_end.as_nanos() + 10_000 >= combined.end.as_nanos());
+    }
+
+    /// Routes never traverse a non-forwarding endpoint mid-path.
+    #[test]
+    fn routes_respect_forwarding(
+        machine_idx in 0usize..3,
+        src in 0usize..8,
+        dst in 0usize..8,
+    ) {
+        let machine = machines::table1().swap_remove(machine_idx);
+        let gpus = machine.gpus().to_vec();
+        let (src, dst) = (src % gpus.len(), dst % gpus.len());
+        prop_assume!(src != dst);
+        let topo = machine.topology();
+        if let Some(route) = topo.route(gpus[src], gpus[dst]) {
+            for &lid in &route.links()[1..] {
+                let hop_src = topo.link(lid).src();
+                prop_assert!(
+                    topo.device(hop_src).kind().can_forward(),
+                    "route forwards through {:?}",
+                    topo.device(hop_src).kind()
+                );
+            }
+        }
+    }
+}
+
+/// Adding links never disconnects anything: augmenting a machine with a
+/// CCI ring or mesh keeps all presets validation-clean.
+#[test]
+fn augmentation_preserves_validity() {
+    for scheme in [machines::PartitionScheme::OneToOne, machines::PartitionScheme::TwoToOne] {
+        let mut m = machines::aws_v100();
+        let part = m.partition(scheme);
+        m.augment_cci_ring(&part.mem_devices);
+        assert!(coarse_fabric::diagnostics::validate(m.topology()).is_empty());
+        let mut m2 = machines::aws_v100();
+        m2.augment_cci_mesh(&part.mem_devices);
+        assert!(coarse_fabric::diagnostics::validate(m2.topology()).is_empty());
+    }
+}
+
+/// The transfer engine and a hand-built two-hop chain agree on exact
+/// timing: start at max busy, duration = latency + bottleneck serialization.
+#[test]
+fn engine_timing_exact() {
+    let mut t = Topology::new();
+    let a = t.add_device(DeviceKind::Gpu, "a", 0);
+    let b = t.add_device(DeviceKind::Gpu, "b", 0);
+    let sw = t.add_device(DeviceKind::Switch, "sw", 0);
+    let fast = BandwidthModel::Flat {
+        rate: Bandwidth::bytes_per_sec(2e9),
+    };
+    let slow = BandwidthModel::Flat {
+        rate: Bandwidth::bytes_per_sec(1e9),
+    };
+    t.add_duplex(a, sw, fast, SimDuration::from_nanos(5), LinkClass::Pcie);
+    t.add_duplex(sw, b, slow, SimDuration::from_nanos(7), LinkClass::Pcie);
+    let mut e = TransferEngine::new(t);
+    let rec = e
+        .transfer(a, b, ByteSize::bytes(1000), SimTime::from_nanos(100))
+        .unwrap();
+    // serialization at bottleneck (1 B/ns): 1000 ns; latency 12 ns.
+    assert_eq!(rec.start, SimTime::from_nanos(100));
+    assert_eq!(rec.end, SimTime::from_nanos(100 + 1000 + 12));
+}

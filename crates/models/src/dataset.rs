@@ -1,0 +1,85 @@
+//! Dataset descriptors for the evaluated workloads.
+//!
+//! Only aggregate shape matters to the synchronization layer: sample count
+//! (iterations per epoch) and per-sample input bytes (input pipeline load).
+
+use coarse_simcore::units::ByteSize;
+
+/// A training dataset's aggregate shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    name: &'static str,
+    samples: u64,
+    sample_bytes: ByteSize,
+}
+
+impl Dataset {
+    /// ImageNet-1k training split (ResNet-50's workload).
+    pub fn imagenet() -> Self {
+        Dataset {
+            name: "ImageNet",
+            samples: 1_281_167,
+            // 224×224×3 float input after decode/augment.
+            sample_bytes: ByteSize::bytes(224 * 224 * 3 * 4),
+        }
+    }
+
+    /// SQuAD 1.1 training split (BERT fine-tuning's workload).
+    pub fn squad11() -> Self {
+        Dataset {
+            name: "SQuAD 1.1",
+            samples: 87_599,
+            // 384 tokens × (ids, mask, type) × i32.
+            sample_bytes: ByteSize::bytes(384 * 3 * 4),
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of training samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Bytes per preprocessed sample.
+    pub fn sample_bytes(&self) -> ByteSize {
+        self.sample_bytes
+    }
+
+    /// Iterations per epoch at a global batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_batch` is zero.
+    pub fn iterations_per_epoch(&self, global_batch: u32) -> u64 {
+        assert!(global_batch > 0, "batch size must be positive");
+        self.samples.div_ceil(global_batch as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_epoch_length() {
+        let d = Dataset::imagenet();
+        // 8 workers × batch 64 = 512 global.
+        assert_eq!(d.iterations_per_epoch(512), 2503);
+    }
+
+    #[test]
+    fn squad_epoch_length() {
+        let d = Dataset::squad11();
+        assert_eq!(d.iterations_per_epoch(8), 10_950);
+    }
+
+    #[test]
+    fn sample_sizes() {
+        assert_eq!(Dataset::imagenet().sample_bytes(), ByteSize::bytes(602_112));
+        assert_eq!(Dataset::squad11().sample_bytes(), ByteSize::bytes(4_608));
+    }
+}

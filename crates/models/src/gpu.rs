@@ -1,0 +1,143 @@
+//! GPU compute-time model.
+//!
+//! COARSE's dual-sync optimizer needs only `T_FP` and `T_BP` (§III-F), which
+//! the paper itself measures and plugs into an analytical model. We derive
+//! them from a FLOPs budget and a sustained-throughput figure per GPU SKU.
+
+use coarse_simcore::time::SimDuration;
+
+use crate::profile::ModelProfile;
+
+/// Fraction of peak FP32 throughput sustained by real training kernels.
+pub const DEFAULT_EFFICIENCY: f64 = 0.52;
+
+/// Fixed per-iteration overhead (kernel launches, small-batch
+/// underutilization), expressed in sample-equivalents. Makes compute time
+/// sub-linear in batch size: doubling BERT-Large's batch from 2 to 4 costs
+/// ~1.77× — the effect behind Fig. 16e's large-batch win.
+pub const BATCH_FIXED_OVERHEAD: f64 = 0.6;
+
+/// Backward-pass cost relative to forward (weight + input gradients).
+pub const BACKWARD_FACTOR: f64 = 2.0;
+
+/// A GPU's compute capability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCompute {
+    /// SKU name.
+    pub name: &'static str,
+    /// Peak FP32 throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Sustained fraction of peak.
+    pub efficiency: f64,
+}
+
+impl GpuCompute {
+    /// NVIDIA T4.
+    pub fn t4() -> Self {
+        GpuCompute {
+            name: "T4",
+            fp32_tflops: 8.1,
+            efficiency: DEFAULT_EFFICIENCY,
+        }
+    }
+
+    /// NVIDIA P100.
+    pub fn p100() -> Self {
+        GpuCompute {
+            name: "P100",
+            fp32_tflops: 9.3,
+            efficiency: DEFAULT_EFFICIENCY,
+        }
+    }
+
+    /// NVIDIA V100.
+    pub fn v100() -> Self {
+        GpuCompute {
+            name: "V100",
+            fp32_tflops: 15.7,
+            efficiency: DEFAULT_EFFICIENCY,
+        }
+    }
+
+    /// Sustained throughput in FLOPs per second.
+    pub fn sustained_flops(&self) -> f64 {
+        self.fp32_tflops * 1e12 * self.efficiency
+    }
+
+    /// Time to execute `flops` floating-point operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flops` is negative.
+    pub fn compute_time(&self, flops: f64) -> SimDuration {
+        assert!(flops >= 0.0, "negative FLOPs");
+        SimDuration::from_secs_f64(flops / self.sustained_flops())
+    }
+
+    /// Forward-pass time for one iteration of `model` at `batch` samples
+    /// (sub-linear in batch: a fixed overhead of
+    /// [`BATCH_FIXED_OVERHEAD`] sample-equivalents is added).
+    pub fn forward_time(&self, model: &ModelProfile, batch: u32) -> SimDuration {
+        self.compute_time(model.fwd_flops_per_sample() * (batch as f64 + BATCH_FIXED_OVERHEAD))
+    }
+
+    /// Backward-pass time for one iteration of `model` at `batch` samples.
+    pub fn backward_time(&self, model: &ModelProfile, batch: u32) -> SimDuration {
+        self.compute_time(
+            model.fwd_flops_per_sample() * (batch as f64 + BATCH_FIXED_OVERHEAD) * BACKWARD_FACTOR,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{bert_large, resnet50};
+
+    #[test]
+    fn sku_ordering() {
+        assert!(GpuCompute::v100().sustained_flops() > GpuCompute::p100().sustained_flops());
+        assert!(GpuCompute::p100().sustained_flops() > GpuCompute::t4().sustained_flops());
+    }
+
+    #[test]
+    fn resnet50_iteration_time_plausible() {
+        let v100 = GpuCompute::v100();
+        let m = resnet50();
+        let fwd = v100.forward_time(&m, 64);
+        let bwd = v100.backward_time(&m, 64);
+        // ~84ms forward, ~167ms backward at 40% of 15.7 TFLOPS.
+        assert!(fwd.as_millis_f64() > 40.0 && fwd.as_millis_f64() < 200.0, "fwd {fwd}");
+        // Backward is 2x forward up to nanosecond rounding.
+        assert!(bwd.as_nanos().abs_diff(fwd.as_nanos() * 2) <= 2);
+    }
+
+    #[test]
+    fn bert_large_heavier_than_resnet_per_sample() {
+        let v100 = GpuCompute::v100();
+        let per_bert = v100.forward_time(&bert_large(), 1);
+        let per_resnet = v100.forward_time(&resnet50(), 1);
+        assert!(per_bert > per_resnet * 10);
+    }
+
+    #[test]
+    fn compute_time_sublinear_in_batch() {
+        let t4 = GpuCompute::t4();
+        let m = resnet50();
+        let b1 = t4.forward_time(&m, 1);
+        let b8 = t4.forward_time(&m, 8);
+        let ratio = b8.as_secs_f64() / b1.as_secs_f64();
+        // (8 + 0.6) / (1 + 0.6) = 5.375: amortizing the fixed overhead.
+        assert!((ratio - 5.375).abs() < 0.01, "got {ratio}");
+        // BERT-Large batch 2 → 4 costs ~1.77x, not 2x (Fig. 16e).
+        let v100 = GpuCompute::v100();
+        let bl = crate::zoo::bert_large();
+        let r = v100.forward_time(&bl, 4).as_secs_f64() / v100.forward_time(&bl, 2).as_secs_f64();
+        assert!((r - 1.77).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn zero_flops_zero_time() {
+        assert_eq!(GpuCompute::t4().compute_time(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,23 @@
+//! # coarse-models
+//!
+//! Workload substrate of the COARSE reproduction: exact tensor inventories
+//! of the evaluated DL models ([`zoo`]: ResNet-50, BERT-Base/Large, VGG-16),
+//! a GPU compute-time model ([`gpu`]), the GPU memory-capacity model behind
+//! the paper's batch-size constraints ([`memory`]), per-iteration gradient /
+//! parameter-deadline schedules ([`training`]), and dataset descriptors
+//! ([`dataset`]).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gpu;
+pub mod memory;
+pub mod profile;
+pub mod training;
+pub mod zoo;
+
+pub use dataset::Dataset;
+pub use gpu::GpuCompute;
+pub use memory::{MemoryModel, Residency};
+pub use profile::{ModelProfile, TensorSpec};
+pub use training::{ForwardNeed, GradientEvent, IterationPlan};

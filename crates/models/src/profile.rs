@@ -1,0 +1,170 @@
+//! Model profiles: the tensor inventory of a DL model.
+//!
+//! Parameter synchronization only cares about tensor *sizes, grouping into
+//! layers, and ordering* — gradients are produced in reverse layer order
+//! during the backward pass (§III-F). A [`ModelProfile`] captures exactly
+//! that, generated from the real architectures in [`crate::zoo`].
+
+use coarse_simcore::units::ByteSize;
+
+/// One named parameter tensor of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorSpec {
+    /// Human-readable name (e.g. `"layer3.2.conv2.weight"`).
+    pub name: String,
+    /// Number of `f32` elements.
+    pub elems: u64,
+    /// Layer index: 0 is closest to the input. Gradients are produced in
+    /// *descending* layer order.
+    pub layer: u32,
+}
+
+impl TensorSpec {
+    /// Payload size in bytes (4 bytes per element).
+    pub fn byte_size(&self) -> ByteSize {
+        ByteSize::bytes(self.elems * 4)
+    }
+}
+
+/// A complete model description for the synchronization layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    name: String,
+    tensors: Vec<TensorSpec>,
+    layers: u32,
+    fwd_flops_per_sample: f64,
+}
+
+impl ModelProfile {
+    /// Builds a profile from a tensor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty or `fwd_flops_per_sample` is not
+    /// positive.
+    pub fn new(
+        name: impl Into<String>,
+        tensors: Vec<TensorSpec>,
+        fwd_flops_per_sample: f64,
+    ) -> Self {
+        assert!(!tensors.is_empty(), "a model needs at least one tensor");
+        assert!(
+            fwd_flops_per_sample > 0.0,
+            "forward FLOPs must be positive"
+        );
+        let layers = tensors.iter().map(|t| t.layer).max().unwrap_or(0) + 1;
+        ModelProfile {
+            name: name.into(),
+            tensors,
+            layers,
+            fwd_flops_per_sample,
+        }
+    }
+
+    /// Model name (e.g. `"ResNet-50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All parameter tensors, in layer order.
+    pub fn tensors(&self) -> &[TensorSpec] {
+        &self.tensors
+    }
+
+    /// Number of logical layers.
+    pub fn layers(&self) -> u32 {
+        self.layers
+    }
+
+    /// Forward-pass FLOPs for one sample.
+    pub fn fwd_flops_per_sample(&self) -> f64 {
+        self.fwd_flops_per_sample
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.tensors.iter().map(|t| t.elems).sum()
+    }
+
+    /// Total parameter payload (the paper's `n`).
+    pub fn total_bytes(&self) -> ByteSize {
+        ByteSize::bytes(self.total_params() * 4)
+    }
+
+    /// Tensors of one layer.
+    pub fn layer_tensors(&self, layer: u32) -> impl Iterator<Item = &TensorSpec> {
+        self.tensors.iter().filter(move |t| t.layer == layer)
+    }
+
+    /// Parameter bytes per layer, indexed by layer.
+    pub fn layer_bytes(&self) -> Vec<ByteSize> {
+        let mut v = vec![ByteSize::ZERO; self.layers as usize];
+        for t in &self.tensors {
+            v[t.layer as usize] += t.byte_size();
+        }
+        v
+    }
+
+    /// Tensor indices in gradient production order (descending layer; stable
+    /// within a layer).
+    pub fn backward_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.tensors.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.tensors[i].layer));
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ModelProfile {
+        ModelProfile::new(
+            "toy",
+            vec![
+                TensorSpec { name: "a".into(), elems: 10, layer: 0 },
+                TensorSpec { name: "b".into(), elems: 20, layer: 1 },
+                TensorSpec { name: "c".into(), elems: 30, layer: 1 },
+                TensorSpec { name: "d".into(), elems: 40, layer: 2 },
+            ],
+            1e9,
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let p = profile();
+        assert_eq!(p.total_params(), 100);
+        assert_eq!(p.total_bytes(), ByteSize::bytes(400));
+        assert_eq!(p.layers(), 3);
+    }
+
+    #[test]
+    fn layer_bytes_grouping() {
+        let p = profile();
+        assert_eq!(
+            p.layer_bytes(),
+            vec![ByteSize::bytes(40), ByteSize::bytes(200), ByteSize::bytes(160)]
+        );
+    }
+
+    #[test]
+    fn backward_order_is_reverse_layers() {
+        let p = profile();
+        let order = p.backward_order();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn layer_tensors_filtered() {
+        let p = profile();
+        let names: Vec<&str> = p.layer_tensors(1).map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tensor")]
+    fn empty_model_rejected() {
+        let _ = ModelProfile::new("empty", vec![], 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-iteration training schedule: when each gradient becomes available
+//! during the backward pass, and when each updated parameter is needed by
+//! the next forward pass.
+//!
+//! "In a DL model backward pass, parameters are updated in reverse order.
+//! Therefore, tensors from the first few layers are updated at the end of a
+//! training iteration while immediately consumed by the forward pass of the
+//! next iteration" (§III-F). This module turns a [`ModelProfile`] plus
+//! measured `T_FP`/`T_BP` into those exact event offsets, apportioning
+//! per-layer time proportionally to the layer's parameter volume.
+
+use coarse_simcore::time::SimDuration;
+
+use crate::gpu::GpuCompute;
+use crate::profile::ModelProfile;
+
+/// One tensor's gradient becoming available during the backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradientEvent {
+    /// Index into [`ModelProfile::tensors`].
+    pub tensor: usize,
+    /// Offset from the *start of the backward pass* at which the gradient is
+    /// ready to be pushed.
+    pub ready: SimDuration,
+}
+
+/// One tensor's updated value being required by the next forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardNeed {
+    /// Index into [`ModelProfile::tensors`].
+    pub tensor: usize,
+    /// Offset from the *start of the forward pass* by which the updated
+    /// parameter must have arrived.
+    pub needed: SimDuration,
+}
+
+/// The timing skeleton of one training iteration.
+#[derive(Debug, Clone)]
+pub struct IterationPlan {
+    forward_time: SimDuration,
+    backward_time: SimDuration,
+    gradients: Vec<GradientEvent>,
+    needs: Vec<ForwardNeed>,
+}
+
+impl IterationPlan {
+    /// Builds the plan for `model` on `gpu` at `batch` samples per GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn new(model: &ModelProfile, gpu: &GpuCompute, batch: u32) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let forward_time = gpu.forward_time(model, batch);
+        let backward_time = gpu.backward_time(model, batch);
+        Self::with_times(model, forward_time, backward_time)
+    }
+
+    /// Builds the plan from externally measured pass times (the paper
+    /// measures `T_FP`/`T_BP` by running a few iterations, §III-F).
+    pub fn with_times(
+        model: &ModelProfile,
+        forward_time: SimDuration,
+        backward_time: SimDuration,
+    ) -> Self {
+        let layer_bytes = model.layer_bytes();
+        let total_bytes: u64 = layer_bytes.iter().map(|b| b.as_u64()).sum();
+        let layers = layer_bytes.len();
+
+        // Cumulative byte share of layers [0, l): forward progress when
+        // layer l starts; backward progress mirrors it.
+        let mut prefix = vec![0u64; layers + 1];
+        for l in 0..layers {
+            prefix[l + 1] = prefix[l] + layer_bytes[l].as_u64();
+        }
+        let frac = |bytes: u64| bytes as f64 / total_bytes as f64;
+
+        // Gradient of layer l is ready once the backward pass has consumed
+        // all layers above it (layers l+1..) plus layer l itself.
+        let mut gradients = Vec::with_capacity(model.tensors().len());
+        for (idx, t) in model.tensors().iter().enumerate() {
+            let l = t.layer as usize;
+            let done_bytes = total_bytes - prefix[l];
+            gradients.push(GradientEvent {
+                tensor: idx,
+                ready: backward_time.mul_f64(frac(done_bytes)),
+            });
+        }
+        // Emission order: descending layer.
+        gradients.sort_by_key(|g| (g.ready, g.tensor));
+
+        // The next forward pass needs layer l's parameters when it reaches
+        // layer l, i.e. after the layers below have run.
+        let needs = model
+            .tensors()
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| {
+                let l = t.layer as usize;
+                ForwardNeed {
+                    tensor: idx,
+                    needed: forward_time.mul_f64(frac(prefix[l])),
+                }
+            })
+            .collect();
+
+        IterationPlan {
+            forward_time,
+            backward_time,
+            gradients,
+            needs,
+        }
+    }
+
+    /// Forward-pass duration (`T_FP`).
+    pub fn forward_time(&self) -> SimDuration {
+        self.forward_time
+    }
+
+    /// Backward-pass duration (`T_BP`).
+    pub fn backward_time(&self) -> SimDuration {
+        self.backward_time
+    }
+
+    /// Pure compute time of one iteration (`T_FP + T_BP`).
+    pub fn compute_time(&self) -> SimDuration {
+        self.forward_time + self.backward_time
+    }
+
+    /// Gradient availability events, in emission order (descending layer).
+    pub fn gradients(&self) -> &[GradientEvent] {
+        &self.gradients
+    }
+
+    /// Parameter deadlines for the next forward pass, in tensor order.
+    pub fn forward_needs(&self) -> &[ForwardNeed] {
+        &self.needs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{bert_base, resnet50};
+
+    #[test]
+    fn gradients_emitted_in_reverse_layer_order() {
+        let model = resnet50();
+        let plan = IterationPlan::new(&model, &GpuCompute::v100(), 64);
+        let layers: Vec<u32> = plan
+            .gradients()
+            .iter()
+            .map(|g| model.tensors()[g.tensor].layer)
+            .collect();
+        assert!(
+            layers.windows(2).all(|w| w[0] >= w[1]),
+            "gradient emission must be reverse-layer ordered"
+        );
+    }
+
+    #[test]
+    fn first_gradient_is_last_layer_nonzero_offset() {
+        let model = bert_base();
+        let plan = IterationPlan::new(&model, &GpuCompute::v100(), 2);
+        let first = plan.gradients()[0];
+        assert_eq!(
+            model.tensors()[first.tensor].layer,
+            model.layers() - 1
+        );
+        assert!(first.ready > SimDuration::ZERO);
+        // The earliest-layer gradient lands exactly at the end of backward.
+        let last = *plan.gradients().last().unwrap();
+        assert_eq!(last.ready, plan.backward_time());
+    }
+
+    #[test]
+    fn forward_needs_ordered_by_layer() {
+        let model = resnet50();
+        let plan = IterationPlan::new(&model, &GpuCompute::p100(), 32);
+        // Layer-0 tensors are needed immediately.
+        let t0 = plan
+            .forward_needs()
+            .iter()
+            .find(|n| model.tensors()[n.tensor].layer == 0)
+            .unwrap();
+        assert_eq!(t0.needed, SimDuration::ZERO);
+        // Deeper layers are needed strictly later.
+        let deep = plan
+            .forward_needs()
+            .iter()
+            .find(|n| model.tensors()[n.tensor].layer == model.layers() - 1)
+            .unwrap();
+        assert!(deep.needed > SimDuration::ZERO);
+        assert!(deep.needed < plan.forward_time());
+    }
+
+    #[test]
+    fn compute_time_sums_passes() {
+        let model = resnet50();
+        let plan = IterationPlan::new(&model, &GpuCompute::t4(), 64);
+        assert_eq!(plan.compute_time(), plan.forward_time() + plan.backward_time());
+    }
+
+    #[test]
+    fn measured_times_override() {
+        let model = resnet50();
+        let plan = IterationPlan::with_times(
+            &model,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+        );
+        assert_eq!(plan.forward_time(), SimDuration::from_millis(100));
+        assert_eq!(plan.backward_time(), SimDuration::from_millis(200));
+    }
+}

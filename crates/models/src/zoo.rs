@@ -1,0 +1,287 @@
+//! The model zoo: tensor inventories generated from the real architectures.
+//!
+//! The paper evaluates ResNet-50 (ImageNet, batch 64/GPU) and BERT
+//! fine-tuning (SQuAD 1.1, batch 2/GPU) (§V-D). We generate the exact
+//! per-layer tensor shapes of ResNet-50 v1.5, BERT-Base and BERT-Large, plus
+//! VGG-16 as an additional communication-heavy workload.
+
+use crate::profile::{ModelProfile, TensorSpec};
+
+/// ResNet-50 (v1.5): ≈25.6 M parameters in ≈161 tensors.
+/// Forward cost ≈ 8.2 GFLOPs per 224×224 sample.
+pub fn resnet50() -> ModelProfile {
+    let mut tensors = Vec::new();
+    let mut layer = 0u32;
+    let mut push = |name: String, elems: u64, layer: u32| {
+        tensors.push(TensorSpec { name, elems, layer });
+    };
+
+    // Stem.
+    push("conv1.weight".into(), 64 * 3 * 7 * 7, layer);
+    push("bn1.weight".into(), 64, layer);
+    push("bn1.bias".into(), 64, layer);
+    layer += 1;
+
+    // Bottleneck stages: widths and block counts of ResNet-50.
+    let stages: [(u64, u32); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    let mut in_ch: u64 = 64;
+    for (s, &(w, blocks)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let prefix = format!("layer{}.{}", s + 1, b);
+            push(format!("{prefix}.conv1.weight"), in_ch * w, layer);
+            push(format!("{prefix}.bn1.weight"), w, layer);
+            push(format!("{prefix}.bn1.bias"), w, layer);
+            push(format!("{prefix}.conv2.weight"), w * w * 9, layer);
+            push(format!("{prefix}.bn2.weight"), w, layer);
+            push(format!("{prefix}.bn2.bias"), w, layer);
+            push(format!("{prefix}.conv3.weight"), w * (w * 4), layer);
+            push(format!("{prefix}.bn3.weight"), w * 4, layer);
+            push(format!("{prefix}.bn3.bias"), w * 4, layer);
+            if b == 0 {
+                // Projection shortcut on the first block of each stage.
+                push(format!("{prefix}.downsample.0.weight"), in_ch * (w * 4), layer);
+                push(format!("{prefix}.downsample.1.weight"), w * 4, layer);
+                push(format!("{prefix}.downsample.1.bias"), w * 4, layer);
+            }
+            in_ch = w * 4;
+            layer += 1;
+        }
+    }
+
+    // Classifier.
+    push("fc.weight".into(), 2048 * 1000, layer);
+    push("fc.bias".into(), 1000, layer);
+
+    ModelProfile::new("ResNet-50", tensors, 8.2e9)
+}
+
+/// BERT encoder profile parameterized by depth and width.
+fn bert(
+    name: &str,
+    hidden: u64,
+    layers: u32,
+    intermediate: u64,
+    seq_len: u64,
+    vocab: u64,
+) -> ModelProfile {
+    let mut tensors = Vec::new();
+    let mut layer = 0u32;
+    let mut push = |name: String, elems: u64, layer: u32| {
+        tensors.push(TensorSpec { name, elems, layer });
+    };
+
+    // Embeddings.
+    push("embeddings.word".into(), vocab * hidden, layer);
+    push("embeddings.position".into(), 512 * hidden, layer);
+    push("embeddings.token_type".into(), 2 * hidden, layer);
+    push("embeddings.ln.weight".into(), hidden, layer);
+    push("embeddings.ln.bias".into(), hidden, layer);
+    layer += 1;
+
+    for l in 0..layers {
+        let p = format!("encoder.layer.{l}");
+        for head in ["query", "key", "value"] {
+            push(format!("{p}.attention.{head}.weight"), hidden * hidden, layer);
+            push(format!("{p}.attention.{head}.bias"), hidden, layer);
+        }
+        push(format!("{p}.attention.output.weight"), hidden * hidden, layer);
+        push(format!("{p}.attention.output.bias"), hidden, layer);
+        push(format!("{p}.attention.ln.weight"), hidden, layer);
+        push(format!("{p}.attention.ln.bias"), hidden, layer);
+        push(format!("{p}.intermediate.weight"), hidden * intermediate, layer);
+        push(format!("{p}.intermediate.bias"), intermediate, layer);
+        push(format!("{p}.output.weight"), intermediate * hidden, layer);
+        push(format!("{p}.output.bias"), hidden, layer);
+        push(format!("{p}.output.ln.weight"), hidden, layer);
+        push(format!("{p}.output.ln.bias"), hidden, layer);
+        layer += 1;
+    }
+
+    // SQuAD span-prediction head.
+    push("qa_outputs.weight".into(), hidden * 2, layer);
+    push("qa_outputs.bias".into(), 2, layer);
+
+    // Transformer forward cost ≈ 2 FLOPs per parameter per token.
+    let params: u64 = tensors.iter().map(|t| t.elems).sum();
+    let flops = 2.0 * params as f64 * seq_len as f64;
+    ModelProfile::new(name, tensors, flops)
+}
+
+/// BERT-Base (SQuAD fine-tuning, sequence length 384): ≈110 M parameters.
+pub fn bert_base() -> ModelProfile {
+    bert("BERT-Base", 768, 12, 3072, 384, 30_522)
+}
+
+/// BERT-Large (SQuAD fine-tuning, sequence length 384): ≈335 M parameters.
+pub fn bert_large() -> ModelProfile {
+    bert("BERT-Large", 1024, 24, 4096, 384, 30_522)
+}
+
+/// GPT-2 XL (1.5 B parameters): an *extension* workload beyond the paper's
+/// evaluation. Its resident footprint with on-GPU parameters + Adam state
+/// exceeds a 16 GiB GPU at any batch size, so it is only trainable with
+/// COARSE's parameter/optimizer offload — the capacity argument of §VI
+/// ("COARSE leverages CCI memory devices to enable larger models to be
+/// trained").
+pub fn gpt2_xl() -> ModelProfile {
+    let hidden: u64 = 1600;
+    let layers: u32 = 48;
+    let vocab: u64 = 50_257;
+    let mut tensors = Vec::new();
+    let mut layer = 0u32;
+    let mut push = |name: String, elems: u64, layer: u32| {
+        tensors.push(TensorSpec { name, elems, layer });
+    };
+    push("wte".into(), vocab * hidden, layer);
+    push("wpe".into(), 1024 * hidden, layer);
+    layer += 1;
+    for l in 0..layers {
+        let p = format!("h.{l}");
+        push(format!("{p}.ln_1.weight"), hidden, layer);
+        push(format!("{p}.ln_1.bias"), hidden, layer);
+        push(format!("{p}.attn.c_attn.weight"), hidden * 3 * hidden, layer);
+        push(format!("{p}.attn.c_attn.bias"), 3 * hidden, layer);
+        push(format!("{p}.attn.c_proj.weight"), hidden * hidden, layer);
+        push(format!("{p}.attn.c_proj.bias"), hidden, layer);
+        push(format!("{p}.ln_2.weight"), hidden, layer);
+        push(format!("{p}.ln_2.bias"), hidden, layer);
+        push(format!("{p}.mlp.c_fc.weight"), hidden * 4 * hidden, layer);
+        push(format!("{p}.mlp.c_fc.bias"), 4 * hidden, layer);
+        push(format!("{p}.mlp.c_proj.weight"), 4 * hidden * hidden, layer);
+        push(format!("{p}.mlp.c_proj.bias"), hidden, layer);
+        layer += 1;
+    }
+    push("ln_f.weight".into(), hidden, layer);
+    push("ln_f.bias".into(), hidden, layer);
+    let params: u64 = tensors.iter().map(|t| t.elems).sum();
+    // 2 FLOPs per parameter per token, sequence length 1024.
+    let flops = 2.0 * params as f64 * 1024.0;
+    ModelProfile::new("GPT-2 XL", tensors, flops)
+}
+
+/// VGG-16: ≈138 M parameters dominated by two huge FC tensors — a stress
+/// test for tensor partitioning.
+pub fn vgg16() -> ModelProfile {
+    let mut tensors = Vec::new();
+    let mut layer = 0u32;
+    let mut push = |name: String, elems: u64, layer: u32| {
+        tensors.push(TensorSpec { name, elems, layer });
+    };
+    let cfg: [(u64, u64); 13] = [
+        (3, 64),
+        (64, 64),
+        (64, 128),
+        (128, 128),
+        (128, 256),
+        (256, 256),
+        (256, 256),
+        (256, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+    ];
+    for (i, &(cin, cout)) in cfg.iter().enumerate() {
+        push(format!("features.{i}.weight"), cin * cout * 9, layer);
+        push(format!("features.{i}.bias"), cout, layer);
+        layer += 1;
+    }
+    push("classifier.0.weight".into(), 512 * 7 * 7 * 4096, layer);
+    push("classifier.0.bias".into(), 4096, layer);
+    layer += 1;
+    push("classifier.3.weight".into(), 4096 * 4096, layer);
+    push("classifier.3.bias".into(), 4096, layer);
+    layer += 1;
+    push("classifier.6.weight".into(), 4096 * 1000, layer);
+    push("classifier.6.bias".into(), 1000, layer);
+    ModelProfile::new("VGG-16", tensors, 31.0e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_matches_published_size() {
+        let m = resnet50();
+        let p = m.total_params();
+        assert!(
+            (25_400_000..25_700_000).contains(&p),
+            "ResNet-50 must have ≈25.56M params, got {p}"
+        );
+        assert!(
+            (150..=170).contains(&m.tensors().len()),
+            "ResNet-50 has ≈161 tensors, got {}",
+            m.tensors().len()
+        );
+    }
+
+    #[test]
+    fn bert_base_matches_published_size() {
+        let p = bert_base().total_params();
+        assert!(
+            (108_000_000..111_000_000).contains(&p),
+            "BERT-Base ≈109.5M params, got {p}"
+        );
+    }
+
+    #[test]
+    fn bert_large_matches_published_size() {
+        let p = bert_large().total_params();
+        assert!(
+            (333_000_000..338_000_000).contains(&p),
+            "BERT-Large ≈335M params, got {p}"
+        );
+    }
+
+    #[test]
+    fn gpt2_xl_matches_published_size() {
+        let p = gpt2_xl().total_params();
+        assert!(
+            (1_540_000_000..1_580_000_000).contains(&p),
+            "GPT-2 XL ≈1.56B params, got {p}"
+        );
+    }
+
+    #[test]
+    fn vgg16_matches_published_size() {
+        let p = vgg16().total_params();
+        assert!(
+            (138_000_000..139_000_000).contains(&p),
+            "VGG-16 ≈138.4M params, got {p}"
+        );
+    }
+
+    #[test]
+    fn bert_large_payload_dominates_resnet() {
+        // The paper's BERT results are communication-dominated precisely
+        // because the payload is ~13x ResNet-50's.
+        let r = resnet50().total_bytes().as_u64();
+        let b = bert_large().total_bytes().as_u64();
+        assert!(b > 12 * r);
+    }
+
+    #[test]
+    fn layers_are_monotonically_used() {
+        for m in [resnet50(), bert_base(), bert_large(), vgg16()] {
+            let lb = m.layer_bytes();
+            assert!(
+                lb.iter().all(|b| !b.is_zero()),
+                "{}: every layer index must own parameters",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_names_unique() {
+        for m in [resnet50(), bert_base(), vgg16()] {
+            let mut names: Vec<&str> = m.tensors().iter().map(|t| t.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "{} has duplicate tensor names", m.name());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the workload substrate: model profiles, iteration
+//! schedules, and the memory model.
+
+use proptest::prelude::*;
+
+use coarse_models::gpu::GpuCompute;
+use coarse_models::memory::{MemoryModel, Residency};
+use coarse_models::profile::{ModelProfile, TensorSpec};
+use coarse_models::training::IterationPlan;
+use coarse_models::zoo;
+use coarse_simcore::time::SimDuration;
+
+fn zoo_models() -> Vec<ModelProfile> {
+    vec![
+        zoo::resnet50(),
+        zoo::bert_base(),
+        zoo::bert_large(),
+        zoo::vgg16(),
+        zoo::gpt2_xl(),
+    ]
+}
+
+#[test]
+fn zoo_layer_bytes_conserve_totals() {
+    for m in zoo_models() {
+        let sum: u64 = m.layer_bytes().iter().map(|b| b.as_u64()).sum();
+        assert_eq!(sum, m.total_bytes().as_u64(), "{}", m.name());
+        // Backward order visits every tensor exactly once.
+        let mut order = m.backward_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..m.tensors().len()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn zoo_schedules_are_well_formed() {
+    for m in zoo_models() {
+        let plan = IterationPlan::new(&m, &GpuCompute::v100(), 2);
+        for g in plan.gradients() {
+            assert!(g.ready <= plan.backward_time(), "{}", m.name());
+            assert!(g.ready > SimDuration::ZERO);
+        }
+        for n in plan.forward_needs() {
+            assert!(n.needed < plan.forward_time(), "{}", m.name());
+        }
+        // Deeper layers' parameters are needed later.
+        let needs = plan.forward_needs();
+        for w in needs.windows(2) {
+            let (a, b) = (&m.tensors()[w[0].tensor], &m.tensors()[w[1].tensor]);
+            if a.layer < b.layer {
+                assert!(w[0].needed <= w[1].needed);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// For any synthetic model, gradient-ready offsets are antitone in
+    /// layer (deeper layers emit first) and cover the full backward window.
+    #[test]
+    fn gradient_offsets_antitone_in_layer(
+        layer_elems in proptest::collection::vec(1u64..100_000, 2..30),
+    ) {
+        let tensors: Vec<TensorSpec> = layer_elems
+            .iter()
+            .enumerate()
+            .map(|(i, &elems)| TensorSpec {
+                name: format!("t{i}"),
+                elems,
+                layer: i as u32,
+            })
+            .collect();
+        let model = ModelProfile::new("synthetic", tensors, 1e9);
+        let plan = IterationPlan::with_times(
+            &model,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+        let grads = plan.gradients();
+        // Emission order is nondecreasing in ready time...
+        for w in grads.windows(2) {
+            prop_assert!(w[0].ready <= w[1].ready);
+        }
+        // ...and descending in layer.
+        for w in grads.windows(2) {
+            prop_assert!(
+                model.tensors()[w[0].tensor].layer >= model.tensors()[w[1].tensor].layer
+            );
+        }
+        // The last gradient lands exactly at the end of backward.
+        prop_assert_eq!(grads.last().unwrap().ready, plan.backward_time());
+    }
+
+    /// The memory model is monotone: more batch never shrinks the resident
+    /// footprint, and offload never exceeds the on-GPU footprint.
+    #[test]
+    fn memory_model_monotone(batch in 1u32..64) {
+        let mm = MemoryModel::new(&zoo::bert_large(), 16);
+        prop_assert!(
+            mm.resident_bytes(batch + 1, Residency::AllOnGpu)
+                > mm.resident_bytes(batch, Residency::AllOnGpu)
+        );
+        prop_assert!(
+            mm.resident_bytes(batch, Residency::OffloadedToCci)
+                < mm.resident_bytes(batch, Residency::AllOnGpu)
+        );
+        // max_batch is consistent with fits().
+        let max = mm.max_batch(Residency::AllOnGpu);
+        if max > 0 {
+            prop_assert!(mm.fits(max, Residency::AllOnGpu));
+        }
+        prop_assert!(!mm.fits(max + 1, Residency::AllOnGpu));
+    }
+
+    /// Compute time scales with the fixed-overhead-corrected batch exactly.
+    #[test]
+    fn compute_time_scaling_exact(b1 in 1u32..128, b2 in 1u32..128) {
+        let gpu = GpuCompute::v100();
+        let m = zoo::resnet50();
+        let t1 = gpu.forward_time(&m, b1).as_secs_f64();
+        let t2 = gpu.forward_time(&m, b2).as_secs_f64();
+        let expect = (b1 as f64 + coarse_models::gpu::BATCH_FIXED_OVERHEAD)
+            / (b2 as f64 + coarse_models::gpu::BATCH_FIXED_OVERHEAD);
+        // Nanosecond rounding bounds the relative error.
+        prop_assert!((t1 / t2 - expect).abs() < 1e-4);
+    }
+}

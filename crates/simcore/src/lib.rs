@@ -1,0 +1,53 @@
+//! # coarse-simcore
+//!
+//! The deterministic discrete-event simulation kernel underpinning the COARSE
+//! reproduction. It provides:
+//!
+//! - exact integer-nanosecond [`time`] (instants and durations),
+//! - a tie-stable [`queue::EventQueue`] and the [`sim::Simulation`] driver,
+//! - reproducible randomness ([`rng::SimRng`]),
+//! - data-size and bandwidth [`units`] whose division yields exact durations,
+//! - measurement collectors in [`stats`], and
+//! - FIFO resource bookkeeping in [`timeline`].
+//!
+//! Everything is deterministic: the same program and seed produce the same
+//! event trace on every run and platform.
+//!
+//! ```
+//! use coarse_simcore::prelude::*;
+//!
+//! // A one-shot timer model.
+//! struct Timer { fired_at: Option<SimTime> }
+//! impl Model for Timer {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _e: (), _q: &mut EventQueue<()>) {
+//!         self.fired_at = Some(now);
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Timer { fired_at: None });
+//! sim.queue_mut().schedule_after(SimDuration::from_micros(5), ());
+//! sim.run_to_completion();
+//! assert_eq!(sim.model().fired_at, Some(SimTime::from_nanos(5_000)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+pub mod units;
+
+/// Convenient glob-import of the kernel's common types.
+pub mod prelude {
+    pub use crate::queue::{EventHandle, EventQueue};
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{Model, RunOutcome, Simulation};
+    pub use crate::stats::{BusyTracker, Histogram, OnlineStats, QuantileEstimator, Series};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::timeline::{Grant, ResourceTimeline};
+    pub use crate::units::{Bandwidth, ByteSize};
+}

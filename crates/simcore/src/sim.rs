@@ -1,0 +1,216 @@
+//! The simulation driver: couples a user-defined model (state machine) to the
+//! event calendar and runs it to completion or to a time bound.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulated system: application state plus an event handler.
+///
+/// The kernel pops events in timestamp order and passes each to
+/// [`Model::handle`], which may schedule further events on the queue. This is
+/// the classic event-oriented world view; higher-level "process" style
+/// helpers are built on top in downstream crates.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to `event` occurring at `now`, scheduling follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a [`Simulation::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The calendar drained: no events remain.
+    Drained,
+    /// The time bound was reached with events still pending.
+    DeadlineReached,
+    /// The event budget was exhausted with events still pending.
+    BudgetExhausted,
+}
+
+/// An executable simulation: a [`Model`] plus its event calendar.
+///
+/// ```
+/// use coarse_simcore::sim::{Model, Simulation};
+/// use coarse_simcore::queue::EventQueue;
+/// use coarse_simcore::time::{SimDuration, SimTime};
+///
+/// struct Counter { ticks: u32 }
+/// impl Model for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _t: SimTime, _e: (), q: &mut EventQueue<()>) {
+///         self.ticks += 1;
+///         if self.ticks < 3 {
+///             q.schedule_after(SimDuration::from_nanos(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter { ticks: 0 });
+/// sim.queue_mut().schedule_now(());
+/// sim.run_to_completion();
+/// assert_eq!(sim.model().ticks, 3);
+/// assert_eq!(sim.now().as_nanos(), 20);
+/// ```
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Wraps `model` with an empty calendar at time zero.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Shared access to the model state.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model state.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Exclusive access to the calendar (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Consumes the simulation, returning the final model state.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Processes a single event. Returns `false` if the calendar was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((t, event)) => {
+                self.model.handle(t, event, &mut self.queue);
+                self.events_processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the calendar drains.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        while self.step() {}
+        RunOutcome::Drained
+    }
+
+    /// Runs until the calendar drains, the next event would be after
+    /// `deadline`, or `max_events` events have been processed.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let mut processed = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > deadline => return RunOutcome::DeadlineReached,
+                Some(_) => {}
+            }
+            if processed >= max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            self.step();
+            processed += 1;
+        }
+    }
+}
+
+impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .field("events_processed", &self.events_processed)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A ping-pong model: two logical actors bouncing a token.
+    #[derive(Debug)]
+    struct PingPong {
+        bounces: u32,
+        limit: u32,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    impl Model for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, _t: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+            self.bounces += 1;
+            if self.bounces >= self.limit {
+                return;
+            }
+            match ev {
+                Ev::Ping => q.schedule_after(SimDuration::from_nanos(3), Ev::Pong),
+                Ev::Pong => q.schedule_after(SimDuration::from_nanos(7), Ev::Ping),
+            };
+        }
+    }
+
+    #[test]
+    fn ping_pong_alternates_and_terminates() {
+        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 5 });
+        sim.queue_mut().schedule_now(Ev::Ping);
+        assert_eq!(sim.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(sim.model().bounces, 5);
+        // ping@0, pong@3, ping@10, pong@13, ping@20
+        assert_eq!(sim.now().as_nanos(), 20);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn run_until_deadline_stops_early() {
+        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 100 });
+        sim.queue_mut().schedule_now(Ev::Ping);
+        let outcome = sim.run_until(SimTime::from_nanos(10), u64::MAX);
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        // Events at 0, 3, 10 processed; 13 is beyond the deadline.
+        assert_eq!(sim.model().bounces, 3);
+    }
+
+    #[test]
+    fn run_until_event_budget() {
+        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 100 });
+        sim.queue_mut().schedule_now(Ev::Ping);
+        let outcome = sim.run_until(SimTime::MAX, 2);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(sim.model().bounces, 2);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 1 });
+        assert!(!sim.step());
+    }
+}

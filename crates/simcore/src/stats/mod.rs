@@ -1,0 +1,360 @@
+//! Measurement collectors: online summaries, histograms, time series, and a
+//! busy-interval tracker for utilization accounting.
+
+use crate::time::{SimDuration, SimTime};
+
+pub mod quantile;
+
+pub use quantile::QuantileEstimator;
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+///
+/// ```
+/// use coarse_simcore::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.record(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-boundary histogram over `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram whose buckets are `(-inf, b0], (b0, b1], ...,
+    /// (b_last, +inf)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+        }
+    }
+
+    /// Adds an observation.
+    pub fn record(&mut self, x: f64) {
+        let idx = self.bounds.partition_point(|&b| b < x);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A (time, value) series recorder for figure generation.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Series { points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous sample (series must be
+    /// time-ordered).
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "series samples must be time-ordered");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The final value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// Tracks busy intervals of a resource to compute utilization.
+///
+/// Intervals may be reported out of order and may overlap; overlapping busy
+/// time is merged so utilization never exceeds 1.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl BusyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        BusyTracker { intervals: Vec::new() }
+    }
+
+    /// Records that the resource was busy on `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        assert!(end >= start, "busy interval must not be reversed");
+        if end > start {
+            self.intervals.push((start, end));
+        }
+    }
+
+    /// Total busy time after merging overlaps.
+    pub fn busy_time(&self) -> SimDuration {
+        let mut iv = self.intervals.clone();
+        iv.sort_unstable();
+        let mut total = SimDuration::ZERO;
+        let mut cur: Option<(SimTime, SimTime)> = None;
+        for (s, e) in iv {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Busy fraction over `[SimTime::ZERO, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        self.busy_time().as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        data.iter().for_each(|&x| whole.record(x));
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        data[..37].iter().for_each(|&x| left.record(x));
+        data[37..].iter().for_each(|&x| right.record(x));
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0, 3.0]);
+        for x in [0.5, 1.0, 1.5, 2.5, 10.0] {
+            h.record(x);
+        }
+        // (-inf,1]: 0.5, 1.0  (1,2]: 1.5  (2,3]: 2.5  (3,inf): 10.0
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::with_bounds(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn series_ordering_enforced() {
+        let mut s = Series::new();
+        s.record(SimTime::from_nanos(1), 10.0);
+        s.record(SimTime::from_nanos(1), 11.0);
+        s.record(SimTime::from_nanos(5), 12.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), Some(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn series_rejects_out_of_order() {
+        let mut s = Series::new();
+        s.record(SimTime::from_nanos(5), 1.0);
+        s.record(SimTime::from_nanos(1), 2.0);
+    }
+
+    #[test]
+    fn busy_tracker_merges_overlaps() {
+        let mut b = BusyTracker::new();
+        b.record(SimTime::from_nanos(0), SimTime::from_nanos(10));
+        b.record(SimTime::from_nanos(5), SimTime::from_nanos(15));
+        b.record(SimTime::from_nanos(20), SimTime::from_nanos(30));
+        assert_eq!(b.busy_time(), SimDuration::from_nanos(25));
+        assert!((b.utilization(SimTime::from_nanos(50)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracker_adjacent_intervals() {
+        let mut b = BusyTracker::new();
+        b.record(SimTime::from_nanos(0), SimTime::from_nanos(10));
+        b.record(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        assert_eq!(b.busy_time(), SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    fn busy_tracker_ignores_empty_intervals() {
+        let mut b = BusyTracker::new();
+        b.record(SimTime::from_nanos(3), SimTime::from_nanos(3));
+        assert_eq!(b.busy_time(), SimDuration::ZERO);
+    }
+}

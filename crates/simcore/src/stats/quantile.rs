@@ -1,0 +1,149 @@
+//! Exact quantile estimation over recorded samples.
+//!
+//! Experiment reports quote tail latencies (p95/p99 synchronization waits,
+//! straggler stalls). Sample counts in this simulator are modest, so an
+//! exact sorted-sample estimator is both simpler and more trustworthy than
+//! a streaming sketch.
+
+/// Collects samples and answers quantile queries exactly.
+///
+/// ```
+/// use coarse_simcore::stats::QuantileEstimator;
+/// let mut q = QuantileEstimator::new();
+/// for x in 1..=100 {
+///     q.record(x as f64);
+/// }
+/// assert_eq!(q.quantile(0.5), Some(50.5));
+/// assert_eq!(q.quantile(1.0), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuantileEstimator {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl QuantileEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        QuantileEstimator {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN (quantiles over NaN are meaningless).
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot rank NaN");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile (linear interpolation between order statistics), or
+    /// `None` if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let mut q = QuantileEstimator::new();
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut q = QuantileEstimator::new();
+        q.record(7.0);
+        assert_eq!(q.quantile(0.0), Some(7.0));
+        assert_eq!(q.quantile(0.5), Some(7.0));
+        assert_eq!(q.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let mut q = QuantileEstimator::new();
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            q.record(x);
+        }
+        assert_eq!(q.quantile(0.0), Some(10.0));
+        assert_eq!(q.median(), Some(25.0));
+        assert_eq!(q.quantile(1.0), Some(40.0));
+        // pos = 1/3 · 3 = 1 → exactly the second sample.
+        assert_eq!(q.quantile(1.0 / 3.0), Some(20.0));
+    }
+
+    #[test]
+    fn unsorted_insertion_order_is_fine() {
+        let mut q = QuantileEstimator::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            q.record(x);
+        }
+        assert_eq!(q.median(), Some(3.0));
+        // Recording after a query re-sorts lazily.
+        q.record(0.0);
+        assert_eq!(q.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn p99_tracks_the_tail() {
+        let mut q = QuantileEstimator::new();
+        for _ in 0..99 {
+            q.record(1.0);
+        }
+        q.record(100.0);
+        let p99 = q.p99().unwrap();
+        assert!(p99 > 1.0 && p99 <= 100.0, "p99 {p99}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rank NaN")]
+    fn nan_rejected() {
+        QuantileEstimator::new().record(f64::NAN);
+    }
+}

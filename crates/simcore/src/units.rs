@@ -1,0 +1,304 @@
+//! Data-size and bandwidth units.
+//!
+//! Transfers are described by a [`ByteSize`] and links by a [`Bandwidth`];
+//! dividing one by the other yields a [`SimDuration`]
+//! exactly (integer nanoseconds), keeping the simulation deterministic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::time::SimDuration;
+
+/// A size in bytes.
+///
+/// ```
+/// use coarse_simcore::units::ByteSize;
+/// assert_eq!(ByteSize::mib(2).as_u64(), 2 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// `n` bytes.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as a float (for bandwidth math).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Size in mebibytes as a float.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// True if zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(other.0))
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+
+    /// Ceiling division: how many `chunk`-sized pieces cover this size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn div_ceil(self, chunk: ByteSize) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be positive");
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(rhs.0).expect("byte size overflow"))
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_sub(rhs.0).expect("byte size underflow"))
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.checked_mul(rhs).expect("byte size overflow"))
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 {
+            write!(f, "{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+        } else if b >= 1 << 20 {
+            write!(f, "{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+        } else if b >= 1 << 10 {
+            write!(f, "{:.2}KiB", b as f64 / (1u64 << 10) as f64)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+///
+/// ```
+/// use coarse_simcore::units::{Bandwidth, ByteSize};
+/// let bw = Bandwidth::gib_per_sec(1.0);
+/// let t = bw.transfer_time(ByteSize::gib(1));
+/// assert_eq!(t.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth of `bytes_per_sec` bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive, got {bytes_per_sec}"
+        );
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// `n` GiB/s.
+    pub fn gib_per_sec(n: f64) -> Self {
+        Bandwidth::bytes_per_sec(n * (1u64 << 30) as f64)
+    }
+
+    /// `n` MiB/s.
+    pub fn mib_per_sec(n: f64) -> Self {
+        Bandwidth::bytes_per_sec(n * (1u64 << 20) as f64)
+    }
+
+    /// `n` Gbit/s (network convention, 1 Gbit = 1e9 bits).
+    pub fn gbit_per_sec(n: f64) -> Self {
+        Bandwidth::bytes_per_sec(n * 1e9 / 8.0)
+    }
+
+    /// The rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in GiB/s.
+    pub fn as_gib_per_sec(self) -> f64 {
+        self.0 / (1u64 << 30) as f64
+    }
+
+    /// Time to move `size` at this rate, rounded up to whole nanoseconds so a
+    /// non-empty transfer never takes zero time.
+    pub fn transfer_time(self, size: ByteSize) -> SimDuration {
+        if size.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let ns = (size.as_f64() / self.0 * 1e9).ceil().max(1.0);
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Scales the rate by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would not be positive and finite.
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.0 * factor)
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GiB/s", self.as_gib_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_constructors() {
+        assert_eq!(ByteSize::kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::mib(1), ByteSize::kib(1024));
+        assert_eq!(ByteSize::gib(1), ByteSize::mib(1024));
+    }
+
+    #[test]
+    fn size_arithmetic() {
+        let a = ByteSize::bytes(100);
+        let b = ByteSize::bytes(40);
+        assert_eq!(a + b, ByteSize::bytes(140));
+        assert_eq!(a - b, ByteSize::bytes(60));
+        assert_eq!(a * 3, ByteSize::bytes(300));
+        assert_eq!(a / 3, ByteSize::bytes(33));
+        assert_eq!(a.saturating_sub(ByteSize::bytes(200)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn div_ceil_counts_chunks() {
+        assert_eq!(ByteSize::bytes(10).div_ceil(ByteSize::bytes(4)), 3);
+        assert_eq!(ByteSize::bytes(8).div_ceil(ByteSize::bytes(4)), 2);
+        assert_eq!(ByteSize::ZERO.div_ceil(ByteSize::bytes(4)), 0);
+    }
+
+    #[test]
+    fn transfer_time_exact() {
+        let bw = Bandwidth::bytes_per_sec(1e9); // 1 byte per ns
+        assert_eq!(
+            bw.transfer_time(ByteSize::bytes(1234)),
+            SimDuration::from_nanos(1234)
+        );
+        assert_eq!(bw.transfer_time(ByteSize::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_never_zero_for_nonempty() {
+        let bw = Bandwidth::gib_per_sec(1000.0);
+        assert!(bw.transfer_time(ByteSize::bytes(1)).as_nanos() >= 1);
+    }
+
+    #[test]
+    fn gbit_convention() {
+        // 100 Gbit/s = 12.5 GB/s = 12.5e9 bytes/s
+        let bw = Bandwidth::gbit_per_sec(100.0);
+        assert!((bw.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::bytes(12).to_string(), "12B");
+        assert_eq!(ByteSize::kib(2).to_string(), "2.00KiB");
+        assert_eq!(ByteSize::mib(3).to_string(), "3.00MiB");
+        assert_eq!(ByteSize::gib(4).to_string(), "4.00GiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite and positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn sum_of_sizes() {
+        let total: ByteSize = [1u64, 2, 3].into_iter().map(ByteSize::bytes).sum();
+        assert_eq!(total, ByteSize::bytes(6));
+    }
+}

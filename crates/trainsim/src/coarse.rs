@@ -1,0 +1,724 @@
+//! The COARSE training simulator: streaming pushes overlapped with the
+//! backward pass, per-tensor proxy collectives over the dedicated CCI
+//! device fabric, dual synchronization of the shallow layers on the worker
+//! GPUs, and pulls racing the pushes on the opposite bus direction.
+//!
+//! The dual-sync split `m` is chosen the way the paper's profiler does:
+//! the closed-form optimum of §III-F seeds a small candidate grid, and
+//! short pilot runs (a few timed iterations each) pick the split that
+//! actually minimizes the iteration period on this fabric — capturing the
+//! push/pull contention the analytic model abstracts away.
+
+use std::collections::HashMap;
+
+use coarse_cci::synccore::RingDirection;
+use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
+use coarse_core::dualsync::{self, DualSyncInputs};
+use coarse_core::profiler::build_routing_table_for;
+use coarse_core::routing::RoutingTable;
+use coarse_fabric::device::DeviceId;
+use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::machines::{Machine, Partition};
+use coarse_fabric::probe;
+use coarse_fabric::topology::{Link, LinkClass};
+use coarse_models::profile::ModelProfile;
+use coarse_models::training::IterationPlan;
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::units::{Bandwidth, ByteSize};
+
+use crate::config::TrainResult;
+use crate::gpu_for;
+
+/// Proxy-path gradients are fused into buckets of at least this many bytes
+/// before the cross-device collective (the standard gradient-fusion
+/// optimization; keeps ring segments large enough to run links at full
+/// effective bandwidth).
+const BUCKET_TARGET: ByteSize = ByteSize::mib(32);
+
+fn pcie_only(l: &Link) -> bool {
+    l.class() == LinkClass::Pcie
+}
+
+fn cci_only(l: &Link) -> bool {
+    l.class() == LinkClass::Cci
+}
+
+fn cci_or_network(l: &Link) -> bool {
+    matches!(l.class(), LinkClass::Cci | LinkClass::Network | LinkClass::Pcie)
+}
+
+/// Everything fixed about a deployment, shared by pilot and final runs.
+struct Deployment<'a> {
+    machine: &'a Machine,
+    /// Link filter for proxy-to-proxy collectives: the dedicated CCI fabric
+    /// normally; the staged PCIe path on machines whose emulation cannot do
+    /// peer-to-peer (the paper's AWS T4, §V-D).
+    proxy_filter: fn(&Link) -> bool,
+    deployed: Machine,
+    plan: IterationPlan,
+    model: &'a ModelProfile,
+    workers: Vec<DeviceId>,
+    mem_devices: Vec<DeviceId>,
+    node_mem_rings: Vec<Vec<DeviceId>>,
+    tables: Vec<RoutingTable>,
+    gpu_ring: Vec<DeviceId>,
+    /// Per-node worker rings for the hierarchical GPU-path collective on
+    /// clusters (NCCL's intra-node-then-network decomposition).
+    node_gpu_rings: Vec<Vec<DeviceId>>,
+    needed: HashMap<usize, SimDuration>,
+    /// Host-to-worker input bytes prefetched each iteration (0 = input
+    /// pipeline not modeled).
+    input_bytes: ByteSize,
+}
+
+impl Deployment<'_> {
+    /// Runs `iterations` and returns the steady-state period for a given
+    /// proxy-path byte budget `m`.
+    fn run(&self, proxy_budget: ByteSize, iterations: u32) -> SimDuration {
+        self.run_collecting(proxy_budget, iterations).0
+    }
+
+    /// Like [`run`](Self::run), but also returns the engine so callers can
+    /// inspect link utilization (congestion hotspots).
+    fn run_collecting(
+        &self,
+        proxy_budget: ByteSize,
+        iterations: u32,
+    ) -> (SimDuration, TransferEngine) {
+        let (period, engine, _) = self.run_inner(proxy_budget, iterations, false);
+        (period, engine)
+    }
+
+    /// Full-detail run: also records the phase spans of the **last**
+    /// iteration for timeline rendering.
+    fn run_inner(
+        &self,
+        proxy_budget: ByteSize,
+        iterations: u32,
+        trace_last: bool,
+    ) -> (SimDuration, TransferEngine, Vec<crate::timeline::PhaseSpan>) {
+        let plan = &self.plan;
+        let model = self.model;
+        // Assign the first `m` emitted bytes to the proxy path.
+        let mut proxy_path = vec![false; model.tensors().len()];
+        let mut cum = ByteSize::ZERO;
+        for ev in plan.gradients() {
+            if cum < proxy_budget {
+                proxy_path[ev.tensor] = true;
+                cum += model.tensors()[ev.tensor].byte_size();
+            }
+        }
+        let gpu_bytes: ByteSize = model
+            .tensors()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !proxy_path[i])
+            .map(|(_, t)| t.byte_size())
+            .sum();
+
+        let mut engine = TransferEngine::new(self.deployed.topology().clone());
+        let multi_node = self.machine.nodes() > 1;
+        let mut start = SimTime::ZERO;
+        let mut first_period_end = SimTime::ZERO;
+        let mut spans: Vec<crate::timeline::PhaseSpan> = Vec::new();
+        for k in 0..iterations {
+            use crate::timeline::{PhaseKind, PhaseSpan};
+            let tracing = trace_last && k + 1 == iterations;
+            let forward_end = start + plan.forward_time();
+            let backward_end = forward_end + plan.backward_time();
+            let mut next_start = backward_end;
+            if tracing {
+                spans.push(PhaseSpan::new(PhaseKind::Forward, start, forward_end, "forward pass"));
+                spans.push(PhaseSpan::new(PhaseKind::Backward, forward_end, backward_end, "backward pass"));
+            }
+            // Input pipeline: prefetch the next iteration's batch from host
+            // memory to each worker, contending with parameter traffic on
+            // the PCIe tree. It must land before the next forward starts.
+            if !self.input_bytes.is_zero() {
+                for &worker in &self.workers {
+                    let cpu = self
+                        .deployed
+                        .topology()
+                        .host_cpu(self.deployed.topology().device(worker).node());
+                    let rec = engine
+                        .transfer_filtered(cpu, worker, self.input_bytes, start, pcie_only)
+                        .expect("host reaches its workers");
+                    next_start = next_start.max(rec.end);
+                }
+            }
+
+            // Fuse proxy-path gradients into emission-ordered buckets.
+            let mut buckets: Vec<Vec<&coarse_models::training::GradientEvent>> = Vec::new();
+            let mut bucket_bytes = ByteSize::ZERO;
+            for ev in plan.gradients() {
+                if !proxy_path[ev.tensor] {
+                    continue;
+                }
+                let size = model.tensors()[ev.tensor].byte_size();
+                if buckets.is_empty() || bucket_bytes >= BUCKET_TARGET {
+                    buckets.push(Vec::new());
+                    bucket_bytes = ByteSize::ZERO;
+                }
+                buckets.last_mut().expect("just pushed").push(ev);
+                bucket_bytes += size;
+            }
+
+            for (round, bucket) in buckets.iter().enumerate() {
+                // Push: each worker streams each tensor's shards to its
+                // routed proxy as the backward pass emits it. Track
+                // per-proxy arrival so the collective pipelines.
+                let mut proxy_ready: HashMap<DeviceId, SimTime> = HashMap::new();
+                let mut latest_emit = forward_end;
+                let mut total = ByteSize::ZERO;
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    total += size;
+                    let emitted = forward_end + ev.ready;
+                    latest_emit = latest_emit.max(emitted);
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let table = &self.tables[w];
+                        let dest = table.route_for(size);
+                        let mut t = emitted;
+                        for s in shard_sizes(size, table.shard_size) {
+                            let rec = engine
+                                .transfer_filtered(worker, dest, s, t, pcie_only)
+                                .expect("worker reaches its proxy");
+                            t = rec.end;
+                        }
+                        let e = proxy_ready.entry(dest).or_insert(t);
+                        *e = (*e).max(t);
+                    }
+                }
+                // Proxies with no local contribution are ready immediately.
+                let ready_of =
+                    |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
+
+                // Proxy collective over the CCI device fabric; alternate
+                // ring direction per bucket (Fig. 11b).
+                let sync_end = if multi_node {
+                    let ready: Vec<SimTime> = self
+                        .node_mem_rings
+                        .iter()
+                        .flatten()
+                        .map(|&d| ready_of(d))
+                        .collect();
+                    hierarchical_allreduce(&mut engine, &self.node_mem_rings, total, &ready, cci_or_network)
+                        .expect("memory devices are connected")
+                        .end
+                } else {
+                    let ready: Vec<SimTime> =
+                        self.mem_devices.iter().map(|&d| ready_of(d)).collect();
+                    ring_allreduce(
+                        &mut engine,
+                        &self.mem_devices,
+                        total,
+                        &ready,
+                        RingDirection::for_group(round),
+                        self.proxy_filter,
+                    )
+                    .expect("memory devices are connected")
+                    .end
+                };
+                // Pull: updated values flow back on the opposite direction.
+                let mut pull_end = sync_end;
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let table = &self.tables[w];
+                        let src = table.route_for(size);
+                        let mut t = sync_end;
+                        for s in shard_sizes(size, table.shard_size) {
+                            let rec = engine
+                                .transfer_filtered(src, worker, s, t, pcie_only)
+                                .expect("proxy reaches its worker");
+                            t = rec.end;
+                        }
+                        pull_end = pull_end.max(t);
+                        // The tensor must be back before the next forward
+                        // pass reaches its layer.
+                        next_start = next_start.max(t - self.needed[&ev.tensor]);
+                    }
+                }
+                if tracing {
+                    let first_emit = forward_end + bucket[0].ready;
+                    let ready_min = self
+                        .mem_devices
+                        .iter()
+                        .map(|&d| ready_of(d))
+                        .min()
+                        .unwrap_or(latest_emit);
+                    spans.push(PhaseSpan::new(
+                        PhaseKind::Push,
+                        first_emit,
+                        latest_emit.max(*proxy_ready.values().max().unwrap_or(&latest_emit)),
+                        format!("bucket {round} push ({total})"),
+                    ));
+                    spans.push(PhaseSpan::new(
+                        PhaseKind::Collective,
+                        ready_min.max(first_emit),
+                        sync_end,
+                        format!("bucket {round} collective"),
+                    ));
+                    spans.push(PhaseSpan::new(
+                        PhaseKind::Pull,
+                        sync_end,
+                        pull_end,
+                        format!("bucket {round} pull"),
+                    ));
+                }
+            }
+
+            // Dual sync: shallow layers reduced by the GPUs, blocking, at
+            // the end of the backward pass. On clusters the workers use the
+            // hierarchical decomposition (intra-node NVLink, then network).
+            let gpu_sync_end = if gpu_bytes.is_zero() {
+                backward_end
+            } else if multi_node {
+                let total: usize = self.node_gpu_rings.iter().map(Vec::len).sum();
+                hierarchical_allreduce(
+                    &mut engine,
+                    &self.node_gpu_rings,
+                    gpu_bytes,
+                    &vec![backward_end; total],
+                    |_| true,
+                )
+                .expect("workers are connected")
+                .end
+            } else if self.gpu_ring.len() >= 2 {
+                ring_allreduce(
+                    &mut engine,
+                    &self.gpu_ring,
+                    gpu_bytes,
+                    &vec![backward_end; self.gpu_ring.len()],
+                    RingDirection::Forward,
+                    |_| true,
+                )
+                .expect("workers are connected")
+                .end
+            } else {
+                backward_end
+            };
+            if tracing && gpu_sync_end > backward_end {
+                spans.push(PhaseSpan::new(
+                    PhaseKind::GpuSync,
+                    backward_end,
+                    gpu_sync_end,
+                    format!("GPU ring allreduce ({gpu_bytes})"),
+                ));
+            }
+            next_start = next_start.max(gpu_sync_end);
+
+            if k == 0 {
+                first_period_end = next_start;
+            }
+            start = next_start;
+        }
+        (
+            (start - first_period_end) / (iterations as u64 - 1).max(1),
+            engine,
+            spans,
+        )
+    }
+}
+
+/// Simulates COARSE training on `machine`.
+///
+/// # Panics
+///
+/// Panics if the partition has fewer than two memory devices or
+/// `iterations < 2`.
+pub fn simulate_coarse(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+) -> TrainResult {
+    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    let period = deployment.run(best_m, iterations);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    TrainResult::new(period, deployment.plan.compute_time(), global_batch)
+}
+
+/// Builds the deployment (fabric, tables, bandwidths, dual-sync pilot) for
+/// a COARSE run and returns it with the chosen proxy budget.
+fn prepare<'a>(
+    machine: &'a Machine,
+    partition: &Partition,
+    model: &'a ModelProfile,
+    batch_per_gpu: u32,
+) -> (Deployment<'a>, ByteSize) {
+    assert!(
+        partition.mem_devices.len() >= 2,
+        "COARSE needs at least two memory devices"
+    );
+    let gpu = gpu_for(machine.sku());
+    let plan = IterationPlan::new(model, &gpu, batch_per_gpu);
+    let workers = partition.workers.clone();
+    let mem_devices = partition.mem_devices.clone();
+
+    // Deploy the dedicated CCI fabric between each node's memory devices
+    // (Fig. 4's dashed links). The paper's evaluation *emulates* memory
+    // devices with GPUs (§IV-B); on a machine without GPU peer-to-peer (the
+    // AWS T4 instance) that emulation cannot provide a device-to-device
+    // fabric, so proxy collectives fall back to the staged PCIe path — the
+    // reason COARSE trails AllReduce slightly there (§V-D).
+    let emulated_p2p = machine.topology().p2p_enabled();
+    let mut deployed = machine.clone();
+    let mut node_mem_rings: Vec<Vec<DeviceId>> = Vec::new();
+    for n in 0..machine.nodes() {
+        let on_node: Vec<DeviceId> = mem_devices
+            .iter()
+            .copied()
+            .filter(|&d| machine.topology().device(d).node() == n)
+            .collect();
+        if on_node.len() >= 2 && emulated_p2p {
+            deployed.augment_cci_ring(&on_node);
+        }
+        if !on_node.is_empty() {
+            node_mem_rings.push(on_node);
+        }
+    }
+    let proxy_filter: fn(&Link) -> bool = if emulated_p2p { cci_only } else { pcie_only };
+
+    // Profile routing tables against the deployed fabric (PCIe paths only,
+    // §IV-B), spreading bandwidth ties across clients.
+    let tables: Vec<RoutingTable> = workers
+        .iter()
+        .enumerate()
+        .map(|(w, &worker)| {
+            build_routing_table_for(deployed.topology(), worker, &mem_devices, w, SimTime::ZERO)
+        })
+        .collect();
+
+    // Measured collective bandwidths seed the analytic optimizer.
+    let proxy_bw = {
+        let intra = probe::measure_unidirectional(
+            deployed.topology(),
+            node_mem_rings[0][0],
+            node_mem_rings[0][std::cmp::min(1, node_mem_rings[0].len() - 1)],
+            ByteSize::mib(64),
+            proxy_filter,
+        );
+        let cross = if node_mem_rings.len() > 1 {
+            probe::measure_unidirectional(
+                deployed.topology(),
+                node_mem_rings[0][0],
+                node_mem_rings[1][0],
+                ByteSize::mib(64),
+                cci_or_network,
+            )
+        } else {
+            f64::INFINITY
+        };
+        Bandwidth::bytes_per_sec(intra.min(cross))
+    };
+    let gpu_ring = deployed
+        .nvlink_ring(&workers)
+        .unwrap_or_else(|| workers.clone());
+    // Per-node worker rings for the hierarchical GPU collective.
+    let node_gpu_rings: Vec<Vec<DeviceId>> = (0..machine.nodes())
+        .map(|n| {
+            let on_node: Vec<DeviceId> = workers
+                .iter()
+                .copied()
+                .filter(|&w| machine.topology().device(w).node() == n)
+                .collect();
+            deployed.nvlink_ring(&on_node).unwrap_or(on_node)
+        })
+        .filter(|r| !r.is_empty())
+        .collect();
+    let gpu_bw = if gpu_ring.len() >= 2 {
+        Bandwidth::bytes_per_sec(probe::measure_unidirectional(
+            deployed.topology(),
+            gpu_ring[0],
+            gpu_ring[1],
+            ByteSize::mib(64),
+            |_| true,
+        ))
+    } else {
+        Bandwidth::gib_per_sec(1000.0)
+    };
+
+    let analytic = dualsync::optimize(&DualSyncInputs {
+        workers: workers.len(),
+        total_bytes: model.total_bytes(),
+        proxy_bandwidth: proxy_bw,
+        gpu_bandwidth: gpu_bw,
+        forward: plan.forward_time(),
+        backward: plan.backward_time(),
+    });
+
+    let needed: HashMap<usize, SimDuration> = plan
+        .forward_needs()
+        .iter()
+        .map(|n| (n.tensor, n.needed))
+        .collect();
+
+    let deployment = Deployment {
+        machine,
+        proxy_filter,
+        deployed,
+        plan,
+        model,
+        workers: workers.clone(),
+        mem_devices,
+        node_mem_rings,
+        tables,
+        gpu_ring,
+        node_gpu_rings,
+        needed,
+        input_bytes: ByteSize::ZERO,
+    };
+
+    // Pilot runs pick the m that minimizes the *measured* period.
+    let n = model.total_bytes();
+    let mut candidates = vec![analytic.proxy_bytes, ByteSize::ZERO, n];
+    for eighths in 1..8u64 {
+        candidates.push(ByteSize::bytes(n.as_u64() * eighths / 8));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let debug = std::env::var("COARSE_DEBUG").is_ok();
+    let best_m = candidates
+        .into_iter()
+        .map(|m| {
+            let period = deployment.run(m, 2);
+            if debug {
+                eprintln!("[coarse]   pilot m={m} -> period={period}");
+            }
+            (period, m)
+        })
+        .min()
+        .map(|(_, m)| m)
+        .expect("non-empty candidate grid");
+
+    if std::env::var("COARSE_DEBUG").is_ok() {
+        eprintln!(
+            "[coarse] {}: proxy_bw={:.1}GiB/s gpu_bw={:.1}GiB/s analytic_m={} chosen_m={} of n={}",
+            machine.name(),
+            proxy_bw.as_gib_per_sec(),
+            gpu_bw.as_gib_per_sec(),
+            analytic.proxy_bytes,
+            best_m,
+            n,
+        );
+    }
+
+    (deployment, best_m)
+}
+
+/// Simulates COARSE with the input pipeline modeled: every iteration each
+/// worker prefetches its batch (`batch × dataset sample bytes`) from host
+/// memory over the same PCIe tree the parameter traffic uses.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn simulate_coarse_with_input(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    dataset: &coarse_models::dataset::Dataset,
+    batch_per_gpu: u32,
+    iterations: u32,
+) -> TrainResult {
+    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.input_bytes =
+        ByteSize::bytes(dataset.sample_bytes().as_u64() * batch_per_gpu as u64);
+    let period = deployment.run(best_m, iterations);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    TrainResult::new(period, deployment.plan.compute_time(), global_batch)
+}
+
+/// Runs COARSE for three iterations and returns the phase timeline of the
+/// final (steady-state) iteration plus its period — the data behind the
+/// Gantt rendering in [`crate::timeline`].
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn trace_coarse(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+) -> crate::timeline::IterationTrace {
+    let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    let (period, _, spans) = deployment.run_inner(best_m, 3, true);
+    crate::timeline::IterationTrace::new(spans, period)
+}
+
+/// Runs COARSE and reports the `top_n` busiest directed links — the
+/// congestion hotspots of one training run (diagnostic companion to
+/// [`simulate_coarse`]). Returns `(link description, utilization)` rows in
+/// descending order.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn coarse_hotspots(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    top_n: usize,
+) -> Vec<(String, f64)> {
+    let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    let (period, engine) = deployment.run_collecting(best_m, 3);
+    let horizon = SimTime::ZERO + period * 3;
+    engine
+        .busiest_links(horizon, top_n)
+        .into_iter()
+        .map(|(lid, util)| {
+            let topo = engine.topology();
+            let link = topo.link(lid);
+            (
+                format!(
+                    "{} -> {} ({:?})",
+                    topo.device(link.src()).name(),
+                    topo.device(link.dst()).name(),
+                    link.class()
+                ),
+                util,
+            )
+        })
+        .collect()
+}
+
+/// Splits a payload into wire shards of `shard` bytes (remainder last); a
+/// payload smaller than two full shards travels whole.
+fn shard_sizes(size: ByteSize, shard: ByteSize) -> Vec<ByteSize> {
+    if size.as_u64() < 2 * shard.as_u64() {
+        return vec![size];
+    }
+    let full = size.as_u64() / shard.as_u64();
+    let mut v = vec![shard; full as usize];
+    let rem = size.as_u64() % shard.as_u64();
+    if rem > 0 {
+        v.push(ByteSize::bytes(rem));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::simulate_allreduce;
+    use crate::dense::simulate_dense;
+    use coarse_fabric::machines::{aws_t4, aws_v100, sdsc_p100, PartitionScheme};
+    use coarse_models::zoo::{bert_large, resnet50};
+
+    #[test]
+    fn shard_sizes_tile_payload() {
+        let total: u64 = shard_sizes(ByteSize::bytes(10_000), ByteSize::bytes(3000))
+            .iter()
+            .map(|s| s.as_u64())
+            .sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).len(), 1);
+    }
+
+    #[test]
+    fn coarse_beats_dense_everywhere() {
+        for (machine, model, batch) in [
+            (aws_v100(), bert_large(), 2u32),
+            (sdsc_p100(), bert_large(), 2),
+            (aws_t4(), resnet50(), 64),
+        ] {
+            let part = machine.partition(PartitionScheme::OneToOne);
+            let coarse = simulate_coarse(&machine, &part, &model, batch, 3);
+            let dense = simulate_dense(&machine, &part, &model, batch, 3);
+            let speedup = coarse.speedup_over(&dense);
+            assert!(
+                speedup > 1.5,
+                "{}: COARSE must clearly beat DENSE, got {speedup:.2}x",
+                machine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_beats_allreduce_on_p100() {
+        // §V-D: on SDSC P100 COARSE reduces blocked communication vs NCCL.
+        let m = sdsc_p100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let coarse = simulate_coarse(&m, &p, &model, 2, 3);
+        let allreduce = simulate_allreduce(&m, &p, &model, 2, 3);
+        assert!(
+            coarse.blocked_comm < allreduce.blocked_comm,
+            "COARSE {:?} must beat AllReduce {:?} on P100",
+            coarse.blocked_comm,
+            allreduce.blocked_comm
+        );
+    }
+
+    #[test]
+    fn coarse_beats_allreduce_on_v100() {
+        // §V-D Fig. 17d: COARSE reduces blocked communication 20–42% on the
+        // V100 machine despite NCCL running over NVLink.
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let coarse = simulate_coarse(&m, &p, &model, 2, 3);
+        let allreduce = simulate_allreduce(&m, &p, &model, 2, 3);
+        assert!(
+            coarse.blocked_comm < allreduce.blocked_comm,
+            "COARSE {:?} must beat AllReduce {:?} on V100",
+            coarse.blocked_comm,
+            allreduce.blocked_comm
+        );
+    }
+
+    #[test]
+    fn input_pipeline_costs_little_for_these_workloads() {
+        use coarse_models::dataset::Dataset;
+        // ResNet-50's 37 MB/iteration input stream is small next to its
+        // compute; the paper is justified in ignoring the input pipeline.
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = coarse_models::zoo::resnet50();
+        let clean = simulate_coarse(&m, &p, &model, 64, 3);
+        let with_input =
+            simulate_coarse_with_input(&m, &p, &model, &Dataset::imagenet(), 64, 3);
+        assert!(with_input.iteration_time >= clean.iteration_time);
+        let overhead = with_input.iteration_time.as_secs_f64()
+            / clean.iteration_time.as_secs_f64()
+            - 1.0;
+        assert!(
+            overhead < 0.05,
+            "input pipeline should cost <5%, got {:.1}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn hotspots_identify_busy_links() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let hot = coarse_hotspots(&m, &p, &bert_large(), 2, 5);
+        assert_eq!(hot.len(), 5);
+        // Utilizations are sorted descending and sane.
+        for w in hot.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(hot[0].1 > 0.2, "top hotspot should be busy: {:?}", hot[0]);
+        assert!(hot.iter().all(|(_, u)| *u <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn coarse_overlaps_most_communication() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let r = simulate_coarse(&m, &p, &bert_large(), 2, 3);
+        // Most of the 1.25 GiB sync hides behind compute.
+        assert!(
+            r.gpu_utilization() > 0.6,
+            "GPU utilization {:.2} too low",
+            r.gpu_utilization()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment configuration and result types.
+
+use coarse_fabric::machines::{Machine, PartitionScheme};
+use coarse_models::profile::ModelProfile;
+use coarse_simcore::time::SimDuration;
+
+/// The parameter-synchronization scheme under test (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Naive centralized CCI parameter server (Fig. 5).
+    Dense,
+    /// NCCL-style ring AllReduce among the worker GPUs, no CCI memory.
+    AllReduce,
+    /// COARSE: decentralized synchronization over CCI memory devices.
+    Coarse,
+}
+
+impl Scheme {
+    /// Label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Dense => "DENSE",
+            Scheme::AllReduce => "AllReduce",
+            Scheme::Coarse => "COARSE",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One training experiment.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// The machine (consumed per run; clone the preset).
+    pub machine: Machine,
+    /// Worker / memory-device split.
+    pub partition: PartitionScheme,
+    /// The DL model.
+    pub model: ModelProfile,
+    /// Per-GPU batch size.
+    pub batch_per_gpu: u32,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Iterations to simulate (steady state is measured over the tail).
+    pub iterations: u32,
+}
+
+/// Steady-state results of one simulated training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainResult {
+    /// Steady-state time per iteration.
+    pub iteration_time: SimDuration,
+    /// Pure compute per iteration (`T_FP + T_BP`).
+    pub compute_time: SimDuration,
+    /// Communication time that blocks training compute per iteration
+    /// (Fig. 17's metric): `iteration_time − compute_time`.
+    pub blocked_comm: SimDuration,
+    /// Samples per second across all workers.
+    pub throughput: f64,
+}
+
+impl TrainResult {
+    /// Builds a result from period and compute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is shorter than the compute time.
+    pub fn new(iteration_time: SimDuration, compute_time: SimDuration, global_batch: u32) -> Self {
+        let blocked_comm = iteration_time
+            .saturating_sub(compute_time);
+        TrainResult {
+            iteration_time,
+            compute_time,
+            blocked_comm,
+            throughput: global_batch as f64 / iteration_time.as_secs_f64(),
+        }
+    }
+
+    /// GPU compute utilization: compute / iteration time.
+    pub fn gpu_utilization(&self) -> f64 {
+        self.compute_time.as_secs_f64() / self.iteration_time.as_secs_f64()
+    }
+
+    /// Fraction of the iteration spent in blocking communication.
+    pub fn comm_fraction(&self) -> f64 {
+        self.blocked_comm.as_secs_f64() / self.iteration_time.as_secs_f64()
+    }
+
+    /// Speedup of this result over `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &TrainResult) -> f64 {
+        baseline.iteration_time.as_secs_f64() / self.iteration_time.as_secs_f64()
+    }
+}
+
+/// Errors from experiment setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The requested batch does not fit in GPU memory under this scheme.
+    OutOfMemory {
+        /// The requested per-GPU batch size.
+        batch: u32,
+        /// The largest batch that would fit.
+        max_batch: u32,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::OutOfMemory { batch, max_batch } => write!(
+                f,
+                "batch {batch} exceeds GPU memory (max {max_batch} for this scheme)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_arithmetic() {
+        let r = TrainResult::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(400),
+            256,
+        );
+        assert_eq!(r.blocked_comm, SimDuration::from_millis(100));
+        assert!((r.gpu_utilization() - 0.8).abs() < 1e-12);
+        assert!((r.comm_fraction() - 0.2).abs() < 1e-12);
+        assert!((r.throughput - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let fast = TrainResult::new(SimDuration::from_millis(100), SimDuration::from_millis(90), 8);
+        let slow = TrainResult::new(SimDuration::from_millis(400), SimDuration::from_millis(90), 8);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!(slow.speedup_over(&fast) < 1.0);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::Dense.label(), "DENSE");
+        assert_eq!(Scheme::Coarse.to_string(), "COARSE");
+    }
+}

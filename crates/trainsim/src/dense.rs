@@ -1,0 +1,165 @@
+//! The DENSE baseline (Fig. 5): a single CCI memory device hosts the global
+//! parameters; every worker updates them coherently and pulls the published
+//! values back. All parameter traffic funnels through that one device.
+//!
+//! Rate derivation follows §V-B: "we assume the GPU Direct method achieves
+//! full serial bus bandwidth, and use correlated speedup/slowdown to derive
+//! CCI and GPU Indirect bandwidth in the DENSE system". Concretely, the
+//! coherent CCI access path runs at the prototype's measured ratio of the
+//! machine's own bus bandwidth (the ~4× slowdown of CCI writes vs. direct
+//! DMA, Figs. 3/13b), further inflated by the coherence cost of `p` sharers
+//! on one region (§III-D). On the no-p2p T4 machine the probe measures the
+//! staged GPU→CPU→device path, which halves the base rate automatically.
+
+use coarse_cci::coherence::sharing_overhead_factor;
+use coarse_fabric::machines::{Machine, Partition};
+use coarse_fabric::probe;
+use coarse_fabric::topology::{Link, LinkClass};
+use coarse_models::profile::ModelProfile;
+use coarse_models::training::IterationPlan;
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::units::ByteSize;
+use coarse_simcore::timeline::ResourceTimeline;
+
+use crate::config::TrainResult;
+use crate::gpu_for;
+
+/// The prototype's measured slowdown of coherent CCI access relative to
+/// direct DMA at large transfers (Fig. 3: 4× on writes).
+pub const CCI_COHERENT_SLOWDOWN: f64 = 4.0;
+
+fn pcie_only(l: &Link) -> bool {
+    l.class() == LinkClass::Pcie
+}
+
+/// Simulates DENSE training. Pushes stream out as the backward pass emits
+/// gradients (they still serialize on the device's single ingress path);
+/// pulls follow once a tensor has every worker's contribution; the next
+/// iteration starts when the slowest pull lands.
+pub fn simulate_dense(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+) -> TrainResult {
+    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    let gpu = gpu_for(machine.sku());
+    let plan = IterationPlan::new(model, &gpu, batch_per_gpu);
+    let workers = partition.workers.len();
+    // The single global parameter device of the DENSE design.
+    let device = partition.mem_devices[0];
+
+    // Base rates: what the bus actually delivers from each worker to the
+    // device (staged through the CPU on non-p2p machines; the local worker
+    // may sit on a slower hairpin path than remote ones).
+    let coherence = sharing_overhead_factor(workers + 1);
+    let rates: Vec<f64> = partition
+        .workers
+        .iter()
+        .map(|&w| {
+            let bus = probe::measure_unidirectional(
+                machine.topology(),
+                w,
+                device,
+                ByteSize::mib(64),
+                pcie_only,
+            );
+            // Coherent-access rate, per the prototype's correlated slowdown
+            // plus sharer-dependent coherence traffic.
+            bus / CCI_COHERENT_SLOWDOWN / coherence
+        })
+        .collect();
+    let access_time =
+        |size: ByteSize, w: usize| SimDuration::from_secs_f64(size.as_f64() / rates[w]);
+
+    // The device's serial-bus interface: one timeline per direction.
+    let mut ingress = ResourceTimeline::new();
+    let mut egress = ResourceTimeline::new();
+
+    let mut start = SimTime::ZERO;
+    let mut first_period_end = SimTime::ZERO;
+    for k in 0..iterations {
+        let forward_end = start + plan.forward_time();
+        let mut iter_end = start + plan.compute_time();
+        for ev in plan.gradients() {
+            let tensor = &model.tensors()[ev.tensor];
+            // Each worker pushes this tensor when its backward pass emits it.
+            let emitted = forward_end + ev.ready;
+            let mut all_pushed = emitted;
+            for w in 0..workers {
+                let grant = ingress.reserve(emitted, access_time(tensor.byte_size(), w));
+                all_pushed = all_pushed.max(grant.end);
+            }
+            // Publication, then every worker pulls the averaged value.
+            for w in 0..workers {
+                let grant = egress.reserve(all_pushed, access_time(tensor.byte_size(), w));
+                iter_end = iter_end.max(grant.end);
+            }
+        }
+        if k == 0 {
+            first_period_end = iter_end;
+        }
+        start = iter_end;
+    }
+    let period = (start - first_period_end) / (iterations as u64 - 1).max(1);
+    let global_batch = batch_per_gpu * workers as u32;
+    TrainResult::new(period, plan.compute_time(), global_batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::{aws_t4, aws_v100, PartitionScheme};
+    use coarse_models::zoo::{bert_large, resnet50};
+
+    #[test]
+    fn dense_is_communication_bound_for_bert() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let r = simulate_dense(&m, &p, &bert_large(), 2, 3);
+        // 4 workers × 2 × 1.25 GiB through a ~2.7 GiB/s coherent path:
+        // seconds of blocked communication vs ~0.25 s compute.
+        assert!(r.comm_fraction() > 0.8, "comm fraction {}", r.comm_fraction());
+        assert!(r.blocked_comm.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn indirect_path_hurts_t4() {
+        let t4 = aws_t4();
+        let pt = t4.partition(PartitionScheme::OneToOne);
+        let v100 = aws_v100();
+        let pv = v100.partition(PartitionScheme::OneToOne);
+        let model = resnet50();
+        let t = simulate_dense(&t4, &pt, &model, 64, 3);
+        let v = simulate_dense(&v100, &pv, &model, 64, 3);
+        assert!(
+            t.blocked_comm > v.blocked_comm,
+            "staged T4 pushes must cost more: {:?} vs {:?}",
+            t.blocked_comm,
+            v.blocked_comm
+        );
+    }
+
+    #[test]
+    fn blocked_comm_scales_with_payload() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let small = simulate_dense(&m, &p, &resnet50(), 64, 3);
+        let large = simulate_dense(&m, &p, &bert_large(), 2, 3);
+        let ratio = large.blocked_comm.as_secs_f64() / small.blocked_comm.as_secs_f64();
+        // BERT-Large's payload is ~13x ResNet-50's.
+        assert!(ratio > 8.0, "expected payload-proportional comm, got {ratio}");
+    }
+
+    #[test]
+    fn steady_state_periods_equal() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let a = simulate_dense(&m, &p, &resnet50(), 64, 2);
+        let b = simulate_dense(&m, &p, &resnet50(), 64, 5);
+        let rel = (a.iteration_time.as_secs_f64() - b.iteration_time.as_secs_f64()).abs()
+            / b.iteration_time.as_secs_f64();
+        assert!(rel < 0.05, "periods should be stable, got {rel}");
+    }
+}

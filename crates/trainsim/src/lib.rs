@@ -1,0 +1,116 @@
+//! # coarse-trainsim
+//!
+//! The end-to-end distributed-training simulator: binds the model zoo, the
+//! fabric, and the synchronization schemes into per-iteration timelines and
+//! reports the paper's metrics — iteration time, blocked communication, GPU
+//! utilization, and throughput (Figs. 2, 16, 17).
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod coarse;
+pub mod config;
+pub mod dense;
+pub mod scaling;
+pub mod straggler;
+pub mod timeline;
+
+pub use allreduce::simulate_allreduce;
+pub use coarse::{coarse_hotspots, simulate_coarse, simulate_coarse_with_input, trace_coarse};
+pub use timeline::{IterationTrace, PhaseKind, PhaseSpan};
+pub use config::{Scheme, TrainConfig, TrainError, TrainResult};
+pub use dense::simulate_dense;
+pub use scaling::{node_scaling, ScalingPoint};
+pub use straggler::{compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel};
+
+use coarse_fabric::machines::GpuSku;
+use coarse_models::gpu::GpuCompute;
+use coarse_models::memory::{MemoryModel, Residency};
+
+/// The compute model for a machine's GPU SKU.
+pub fn gpu_for(sku: GpuSku) -> GpuCompute {
+    match sku {
+        GpuSku::T4 => GpuCompute::t4(),
+        GpuSku::P100 => GpuCompute::p100(),
+        GpuSku::V100 => GpuCompute::v100(),
+    }
+}
+
+/// Runs one experiment, checking GPU memory feasibility first: AllReduce
+/// and DENSE keep parameters and optimizer state on the GPU; COARSE
+/// offloads them to the memory devices (§V-D, Fig. 16e).
+///
+/// # Errors
+///
+/// Returns [`TrainError::OutOfMemory`] if the batch does not fit.
+pub fn simulate(config: &TrainConfig) -> Result<TrainResult, TrainError> {
+    let residency = match config.scheme {
+        Scheme::Coarse => Residency::OffloadedToCci,
+        Scheme::Dense | Scheme::AllReduce => Residency::AllOnGpu,
+    };
+    let mm = MemoryModel::new(&config.model, config.machine.sku().memory_gib());
+    if !mm.fits(config.batch_per_gpu, residency) {
+        return Err(TrainError::OutOfMemory {
+            batch: config.batch_per_gpu,
+            max_batch: mm.max_batch(residency),
+        });
+    }
+    let partition = config.machine.partition(config.partition);
+    Ok(match config.scheme {
+        Scheme::Dense => simulate_dense(
+            &config.machine,
+            &partition,
+            &config.model,
+            config.batch_per_gpu,
+            config.iterations,
+        ),
+        Scheme::AllReduce => simulate_allreduce(
+            &config.machine,
+            &partition,
+            &config.model,
+            config.batch_per_gpu,
+            config.iterations,
+        ),
+        Scheme::Coarse => simulate_coarse(
+            &config.machine,
+            &partition,
+            &config.model,
+            config.batch_per_gpu,
+            config.iterations,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::{aws_v100, PartitionScheme};
+    use coarse_models::zoo::bert_large;
+
+    #[test]
+    fn oom_detected_for_allreduce_batch4() {
+        let cfg = TrainConfig {
+            machine: aws_v100(),
+            partition: PartitionScheme::OneToOne,
+            model: bert_large(),
+            batch_per_gpu: 4,
+            scheme: Scheme::AllReduce,
+            iterations: 2,
+        };
+        let err = simulate(&cfg).unwrap_err();
+        assert!(matches!(err, TrainError::OutOfMemory { max_batch: 3, .. }));
+    }
+
+    #[test]
+    fn coarse_fits_batch4() {
+        let cfg = TrainConfig {
+            machine: aws_v100(),
+            partition: PartitionScheme::OneToOne,
+            model: bert_large(),
+            batch_per_gpu: 4,
+            scheme: Scheme::Coarse,
+            iterations: 2,
+        };
+        assert!(simulate(&cfg).is_ok());
+    }
+}

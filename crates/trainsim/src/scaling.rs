@@ -1,0 +1,79 @@
+//! Node-count scaling sweeps: how AllReduce and COARSE behave as the
+//! cluster grows across the 25 Gbit/s network (extends Fig. 16f).
+
+use coarse_fabric::machines::{aws_v100_cluster, PartitionScheme};
+use coarse_models::profile::ModelProfile;
+
+use crate::config::TrainResult;
+use crate::{simulate_allreduce, simulate_coarse};
+
+/// One point of the node-scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Cluster size in nodes (4 workers each).
+    pub nodes: u32,
+    /// AllReduce result at this size.
+    pub allreduce: TrainResult,
+    /// COARSE result at this size.
+    pub coarse: TrainResult,
+}
+
+impl ScalingPoint {
+    /// COARSE throughput advantage at this size.
+    pub fn coarse_gain(&self) -> f64 {
+        self.coarse.throughput / self.allreduce.throughput
+    }
+}
+
+/// Sweeps cluster sizes for `model` at `batch` per GPU.
+///
+/// # Panics
+///
+/// Panics if `node_counts` is empty or contains zero.
+pub fn node_scaling(model: &ModelProfile, batch: u32, node_counts: &[u32]) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty(), "need at least one cluster size");
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            assert!(nodes >= 1, "cluster sizes must be positive");
+            let machine = aws_v100_cluster(nodes);
+            let part = machine.partition(PartitionScheme::OneToOne);
+            ScalingPoint {
+                nodes,
+                allreduce: simulate_allreduce(&machine, &part, model, batch, 2),
+                coarse: simulate_coarse(&machine, &part, model, batch, 2),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_models::zoo::bert_large;
+
+    #[test]
+    fn scaling_sweep_shapes() {
+        let points = node_scaling(&bert_large(), 2, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        // Per-iteration time grows sharply: sync is network-bound. This is
+        // exactly the paper's Fig. 16f point — scaling BERT-Large across a
+        // 25 Gbit network is so inefficient that a single node with a
+        // larger batch wins.
+        assert!(points[1].coarse.iteration_time > points[0].coarse.iteration_time * 2);
+        assert!(points[1].allreduce.iteration_time > points[0].allreduce.iteration_time * 2);
+        // Scaling efficiency is below 1: doubling workers does not double
+        // aggregate throughput.
+        let efficiency = points[1].coarse.throughput / (2.0 * points[0].coarse.throughput);
+        assert!(efficiency < 0.75, "efficiency {efficiency}");
+        // COARSE keeps an advantage at both sizes.
+        for p in &points {
+            assert!(
+                p.coarse_gain() > 1.0,
+                "{} nodes: gain {}",
+                p.nodes,
+                p.coarse_gain()
+            );
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Straggler sensitivity (§II-B).
+//!
+//! "MPI creates a synchronous point that forces the faster workers to wait
+//! for the slower ones, hence degrading the computation utilization of
+//! worker devices." This module quantifies that: per-iteration compute
+//! times jitter per worker, and we compare a barrier collective (AllReduce)
+//! against COARSE's overlapped proxy synchronization, where a fast worker
+//! may run ahead into its next forward pass up to the parameter-deadline
+//! slack before it actually needs the slowest worker's contribution.
+//!
+//! Implemented on the deterministic event-driven kernel
+//! ([`coarse_simcore::sim::Simulation`]).
+
+use coarse_simcore::prelude::*;
+
+/// How workers synchronize at the end of each iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncModel {
+    /// Blocking collective: everyone waits for the slowest, then pays
+    /// `sync` together (MPI/NCCL AllReduce).
+    Barrier {
+        /// Duration of the blocking collective.
+        sync: SimDuration,
+    },
+    /// COARSE: each worker pays only its local `tail` (the GPU-synced
+    /// shallow layers), and may run `slack` deep into the next iteration
+    /// before the slowest worker's contributions are actually needed.
+    Overlapped {
+        /// Local blocking tail per worker.
+        tail: SimDuration,
+        /// How far a worker can run ahead before needing the global sync.
+        slack: SimDuration,
+    },
+}
+
+/// Configuration of one straggler experiment.
+#[derive(Debug, Clone)]
+pub struct StragglerConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// Nominal per-iteration compute time.
+    pub compute: SimDuration,
+    /// Multiplicative jitter: each worker-iteration's compute is
+    /// `compute × (1 + |N(0, σ)|)`.
+    pub jitter_sigma: f64,
+    /// The synchronization model.
+    pub sync: SyncModel,
+    /// RNG seed (same seed ⇒ identical jitter across sync models).
+    pub seed: u64,
+}
+
+/// Results of a straggler run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerResult {
+    /// Total makespan of all iterations.
+    pub makespan: SimDuration,
+    /// Mean time per worker-iteration spent waiting on others.
+    pub mean_wait: SimDuration,
+    /// 99th-percentile wait (the tail a single slow worker inflicts).
+    pub p99_wait: SimDuration,
+    /// Aggregate compute utilization: compute time / (workers × makespan).
+    pub utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Worker `w` finished the compute of iteration `k`.
+    ComputeDone { worker: usize, iter: u32 },
+}
+
+struct StragglerModel {
+    cfg: StragglerConfig,
+    /// Pre-drawn compute durations, indexed `[iter][worker]`.
+    durations: Vec<Vec<SimDuration>>,
+    /// Completion time of each worker's compute in the current iteration.
+    done_at: Vec<Vec<Option<SimTime>>>,
+    total_wait: SimDuration,
+    waits: coarse_simcore::stats::QuantileEstimator,
+    waits_recorded: u64,
+    finished_at: SimTime,
+    total_compute: SimDuration,
+}
+
+impl StragglerModel {
+    fn new(cfg: StragglerConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let durations: Vec<Vec<SimDuration>> = (0..cfg.iterations)
+            .map(|_| {
+                (0..cfg.workers)
+                    .map(|_| {
+                        let jitter = rng.next_gaussian().abs() * cfg.jitter_sigma;
+                        cfg.compute.mul_f64(1.0 + jitter)
+                    })
+                    .collect()
+            })
+            .collect();
+        let total_compute = durations.iter().flatten().copied().sum();
+        StragglerModel {
+            done_at: vec![vec![None; cfg.workers]; cfg.iterations as usize],
+            durations,
+            cfg,
+            total_wait: SimDuration::ZERO,
+            waits: coarse_simcore::stats::QuantileEstimator::new(),
+            waits_recorded: 0,
+            finished_at: SimTime::ZERO,
+            total_compute,
+        }
+    }
+}
+
+impl Model for StragglerModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
+        let Ev::ComputeDone { worker, iter } = ev;
+        self.done_at[iter as usize][worker] = Some(now);
+        let iter_done = self.done_at[iter as usize]
+            .iter()
+            .all(Option::is_some);
+        match self.cfg.sync {
+            SyncModel::Barrier { sync } => {
+                // The barrier releases everyone once the slowest arrives.
+                if iter_done {
+                    let slowest = now; // last arrival is `now`
+                    for (w, &d) in self.done_at[iter as usize].iter().enumerate() {
+                        let arrived = d.expect("all arrived");
+                        self.total_wait += slowest - arrived;
+                        self.waits.record((slowest - arrived).as_secs_f64());
+                        self.waits_recorded += 1;
+                        let next = iter + 1;
+                        if next < self.cfg.iterations {
+                            let dur = self.durations[next as usize][w];
+                            queue.schedule_at(slowest + sync + dur, Ev::ComputeDone { worker: w, iter: next });
+                        }
+                    }
+                    self.finished_at = slowest + sync;
+                }
+            }
+            SyncModel::Overlapped { tail, slack } => {
+                // Each worker proceeds after its own tail; it only stalls if
+                // it outruns the slowest worker by more than the slack.
+                if iter_done {
+                    let slowest = now;
+                    for (w, &d) in self.done_at[iter as usize].iter().enumerate() {
+                        let arrived = d.expect("all arrived");
+                        let own_next = arrived + tail;
+                        let gated = (slowest + tail).saturating_duration_since(own_next + slack);
+                        let start = own_next + gated;
+                        self.total_wait += gated;
+                        self.waits.record(gated.as_secs_f64());
+                        self.waits_recorded += 1;
+                        let next = iter + 1;
+                        if next < self.cfg.iterations {
+                            let dur = self.durations[next as usize][w];
+                            queue.schedule_at(start + dur, Ev::ComputeDone { worker: w, iter: next });
+                        }
+                    }
+                    self.finished_at = slowest + tail;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one straggler experiment.
+///
+/// # Panics
+///
+/// Panics if `workers` or `iterations` is zero.
+pub fn run_straggler(cfg: StragglerConfig) -> StragglerResult {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let workers = cfg.workers;
+    let model = StragglerModel::new(cfg);
+    let mut sim = Simulation::new(model);
+    for w in 0..workers {
+        let dur = sim.model().durations[0][w];
+        sim.queue_mut()
+            .schedule_at(SimTime::ZERO + dur, Ev::ComputeDone { worker: w, iter: 0 });
+    }
+    sim.run_to_completion();
+    let m = sim.model_mut();
+    let makespan = m.finished_at - SimTime::ZERO;
+    let mean_wait = if m.waits_recorded == 0 {
+        SimDuration::ZERO
+    } else {
+        m.total_wait / m.waits_recorded
+    };
+    let p99_wait = m
+        .waits
+        .p99()
+        .map(SimDuration::from_secs_f64)
+        .unwrap_or(SimDuration::ZERO);
+    let utilization =
+        m.total_compute.as_secs_f64() / (workers as f64 * makespan.as_secs_f64());
+    StragglerResult {
+        makespan,
+        mean_wait,
+        p99_wait,
+        utilization,
+    }
+}
+
+/// Convenience comparison at one jitter level: returns
+/// `(barrier, overlapped)` results with identical draws.
+pub fn compare_straggler(workers: usize, jitter_sigma: f64) -> (StragglerResult, StragglerResult) {
+    let base = StragglerConfig {
+        workers,
+        iterations: 50,
+        compute: SimDuration::from_millis(245),
+        jitter_sigma,
+        sync: SyncModel::Barrier {
+            sync: SimDuration::from_millis(85),
+        },
+        seed: 7,
+    };
+    let barrier = run_straggler(base.clone());
+    let overlapped = run_straggler(StragglerConfig {
+        sync: SyncModel::Overlapped {
+            tail: SimDuration::from_millis(20),
+            slack: SimDuration::from_millis(80),
+        },
+        ..base
+    });
+    (barrier, overlapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_jitter_no_waiting() {
+        let cfg = StragglerConfig {
+            workers: 4,
+            iterations: 10,
+            compute: SimDuration::from_millis(100),
+            jitter_sigma: 0.0,
+            sync: SyncModel::Barrier {
+                sync: SimDuration::from_millis(10),
+            },
+            seed: 1,
+        };
+        let r = run_straggler(cfg);
+        assert_eq!(r.mean_wait, SimDuration::ZERO);
+        // 10 iterations × (100 + 10) ms.
+        assert_eq!(r.makespan, SimDuration::from_millis(1100));
+    }
+
+    #[test]
+    fn jitter_makes_barrier_wait() {
+        let (barrier, _) = compare_straggler(4, 0.2);
+        assert!(barrier.mean_wait > SimDuration::from_millis(5));
+        assert!(barrier.utilization < 0.85);
+        // The tail is far worse than the mean.
+        assert!(barrier.p99_wait > barrier.mean_wait * 2);
+    }
+
+    #[test]
+    fn overlap_absorbs_stragglers() {
+        let (barrier, overlapped) = compare_straggler(4, 0.2);
+        assert!(
+            overlapped.mean_wait < barrier.mean_wait / 2,
+            "overlapped wait {:?} should be far below barrier {:?}",
+            overlapped.mean_wait,
+            barrier.mean_wait
+        );
+        assert!(overlapped.makespan < barrier.makespan);
+        assert!(overlapped.utilization > barrier.utilization);
+    }
+
+    #[test]
+    fn waiting_grows_with_worker_count() {
+        let (b2, _) = compare_straggler(2, 0.2);
+        let (b8, _) = compare_straggler(8, 0.2);
+        assert!(
+            b8.mean_wait > b2.mean_wait,
+            "more workers → worse stragglers: {:?} vs {:?}",
+            b8.mean_wait,
+            b2.mean_wait
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, _) = compare_straggler(4, 0.3);
+        let (b, _) = compare_straggler(4, 0.3);
+        assert_eq!(a, b);
+    }
+}

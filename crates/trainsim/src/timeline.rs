@@ -1,0 +1,241 @@
+//! Iteration timelines: the phase spans of one training iteration and an
+//! ASCII Gantt renderer showing how COARSE overlaps communication with
+//! compute (the visual intuition behind Figs. 9 and 17).
+
+use coarse_simcore::time::{SimDuration, SimTime};
+
+/// What a span of simulated time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Forward pass compute.
+    Forward,
+    /// Backward pass compute.
+    Backward,
+    /// Clients pushing gradient shards to proxies.
+    Push,
+    /// Proxy collective over the CCI device fabric.
+    Collective,
+    /// Workers pulling updated values back.
+    Pull,
+    /// The blocking GPU-path ring of dual synchronization.
+    GpuSync,
+}
+
+impl PhaseKind {
+    /// Row order and label for the Gantt rendering.
+    pub const ALL: [PhaseKind; 6] = [
+        PhaseKind::Forward,
+        PhaseKind::Backward,
+        PhaseKind::Push,
+        PhaseKind::Collective,
+        PhaseKind::Pull,
+        PhaseKind::GpuSync,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Forward => "forward",
+            PhaseKind::Backward => "backward",
+            PhaseKind::Push => "push",
+            PhaseKind::Collective => "collective",
+            PhaseKind::Pull => "pull",
+            PhaseKind::GpuSync => "gpu sync",
+        }
+    }
+}
+
+/// One phase interval of an iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// What happened.
+    pub kind: PhaseKind,
+    /// Span start.
+    pub start: SimTime,
+    /// Span end.
+    pub end: SimTime,
+    /// Human-readable detail (bucket id, payload, ...).
+    pub detail: String,
+}
+
+impl PhaseSpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(kind: PhaseKind, start: SimTime, end: SimTime, detail: impl Into<String>) -> Self {
+        assert!(end >= start, "span must not be reversed");
+        PhaseSpan {
+            kind,
+            start,
+            end,
+            detail: detail.into(),
+        }
+    }
+
+    /// Span duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// The recorded timeline of one steady-state iteration.
+#[derive(Debug, Clone)]
+pub struct IterationTrace {
+    spans: Vec<PhaseSpan>,
+    period: SimDuration,
+}
+
+impl IterationTrace {
+    /// Wraps recorded spans.
+    pub fn new(spans: Vec<PhaseSpan>, period: SimDuration) -> Self {
+        IterationTrace { spans, period }
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// The iteration period the spans belong to.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Spans of one kind.
+    pub fn of_kind(&self, kind: PhaseKind) -> impl Iterator<Item = &PhaseSpan> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Total busy time per kind (overlaps within a kind merged).
+    pub fn busy_by_kind(&self, kind: PhaseKind) -> SimDuration {
+        let mut tracker = coarse_simcore::stats::BusyTracker::new();
+        for s in self.of_kind(kind) {
+            tracker.record(s.start, s.end);
+        }
+        tracker.busy_time()
+    }
+
+    /// Renders an ASCII Gantt chart: one row per phase kind, `width`
+    /// columns over the span of the traced iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or no spans were recorded.
+    pub fn render_gantt(&self, width: usize) -> String {
+        assert!(width > 0, "need at least one column");
+        assert!(!self.spans.is_empty(), "no spans recorded");
+        let t0 = self.spans.iter().map(|s| s.start).min().expect("non-empty");
+        let t1 = self.spans.iter().map(|s| s.end).max().expect("non-empty");
+        let total = (t1 - t0).as_secs_f64().max(1e-12);
+        let mut out = String::new();
+        for kind in PhaseKind::ALL {
+            let mut row = vec![' '; width];
+            let mut any = false;
+            for s in self.of_kind(kind) {
+                any = true;
+                let a = ((s.start - t0).as_secs_f64() / total * width as f64) as usize;
+                let b = (((s.end - t0).as_secs_f64() / total * width as f64).ceil() as usize)
+                    .clamp(a + 1, width);
+                for c in row.iter_mut().take(b).skip(a.min(width - 1)) {
+                    *c = '#';
+                }
+            }
+            if any {
+                out.push_str(&format!(
+                    "{:>10} |{}| {}\n",
+                    kind.label(),
+                    row.into_iter().collect::<String>(),
+                    crate::timeline::fmt_dur(self.busy_by_kind(kind)),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{:>10}  0 {:>width$}\n",
+            "",
+            fmt_dur(t1 - t0),
+            width = width
+        ));
+        out
+    }
+}
+
+/// Compact duration formatting for the Gantt margin.
+fn fmt_dur(d: SimDuration) -> String {
+    d.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn busy_by_kind_merges_overlaps() {
+        let trace = IterationTrace::new(
+            vec![
+                PhaseSpan::new(PhaseKind::Push, t(0), t(10), "a"),
+                PhaseSpan::new(PhaseKind::Push, t(5), t(15), "b"),
+                PhaseSpan::new(PhaseKind::Pull, t(20), t(25), "c"),
+            ],
+            SimDuration::from_nanos(25),
+        );
+        assert_eq!(trace.busy_by_kind(PhaseKind::Push), SimDuration::from_nanos(15));
+        assert_eq!(trace.busy_by_kind(PhaseKind::Pull), SimDuration::from_nanos(5));
+        assert_eq!(trace.busy_by_kind(PhaseKind::GpuSync), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gantt_renders_rows_for_present_kinds() {
+        let trace = IterationTrace::new(
+            vec![
+                PhaseSpan::new(PhaseKind::Forward, t(0), t(50), "fwd"),
+                PhaseSpan::new(PhaseKind::Backward, t(50), t(150), "bwd"),
+                PhaseSpan::new(PhaseKind::Push, t(60), t(140), "push"),
+            ],
+            SimDuration::from_nanos(150),
+        );
+        let g = trace.render_gantt(40);
+        assert!(g.contains("forward"));
+        assert!(g.contains("backward"));
+        assert!(g.contains("push"));
+        assert!(!g.contains("gpu sync"), "absent kinds draw no row");
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_span_rejected() {
+        let _ = PhaseSpan::new(PhaseKind::Pull, t(5), t(1), "bad");
+    }
+
+    #[test]
+    fn trace_coarse_end_to_end() {
+        use coarse_fabric::machines::{aws_v100, PartitionScheme};
+        use coarse_models::zoo::bert_large;
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let trace = crate::coarse::trace_coarse(&m, &p, &bert_large(), 2);
+        // Exactly one forward and one backward span.
+        assert_eq!(trace.of_kind(PhaseKind::Forward).count(), 1);
+        assert_eq!(trace.of_kind(PhaseKind::Backward).count(), 1);
+        // The proxy path produced pushes, collectives, and pulls.
+        assert!(trace.of_kind(PhaseKind::Push).count() > 5);
+        assert!(trace.of_kind(PhaseKind::Collective).count() > 5);
+        assert!(trace.of_kind(PhaseKind::Pull).count() > 5);
+        // Overlap is the whole point: push busy time overlaps the backward
+        // window substantially.
+        let bwd = trace.of_kind(PhaseKind::Backward).next().unwrap().clone();
+        let overlapping_pushes = trace
+            .of_kind(PhaseKind::Push)
+            .filter(|s| s.start < bwd.end && s.end > bwd.start)
+            .count();
+        assert!(overlapping_pushes > 5, "pushes must overlap backward");
+        let g = trace.render_gantt(72);
+        assert!(g.contains("collective"));
+    }
+}

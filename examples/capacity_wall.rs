@@ -1,0 +1,56 @@
+//! The capacity wall: GPT-2 XL (1.5 B parameters) does not fit on a 16 GiB
+//! GPU with on-device parameters and optimizer state at *any* batch size —
+//! but trains under COARSE's offload, with the congestion hotspots shown.
+//!
+//! ```text
+//! cargo run --release --example capacity_wall
+//! ```
+
+use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
+use coarse_repro::models::memory::{MemoryModel, Residency};
+use coarse_repro::models::zoo::gpt2_xl;
+use coarse_repro::trainsim::{coarse_hotspots, simulate_coarse};
+
+fn main() {
+    let machine = aws_v100();
+    let partition = machine.partition(PartitionScheme::OneToOne);
+    let model = gpt2_xl();
+    println!(
+        "{}: {:.2}B parameters, {} tensors, payload {}",
+        model.name(),
+        model.total_params() as f64 / 1e9,
+        model.tensors().len(),
+        model.total_bytes()
+    );
+
+    let mm = MemoryModel::new(&model, machine.sku().memory_gib());
+    println!("\nresident footprint at batch 1 on a 16 GiB GPU:");
+    println!(
+        "  params + grads + Adam + activations (AllReduce): {}",
+        mm.resident_bytes(1, Residency::AllOnGpu)
+    );
+    println!(
+        "  params + shard buffer + activations (COARSE):    {}",
+        mm.resident_bytes(1, Residency::OffloadedToCci)
+    );
+    println!(
+        "  max feasible batch: AllReduce = {}, COARSE = {}",
+        mm.max_batch(Residency::AllOnGpu),
+        mm.max_batch(Residency::OffloadedToCci)
+    );
+
+    println!("\nsimulating COARSE at batch 1 on {}...", machine.name());
+    let r = simulate_coarse(&machine, &partition, &model, 1, 3);
+    println!(
+        "  iteration {} | blocked comm {} | GPU utilization {:.0}% | {:.1} samples/s",
+        r.iteration_time,
+        r.blocked_comm,
+        r.gpu_utilization() * 100.0,
+        r.throughput
+    );
+
+    println!("\ncongestion hotspots (busiest directed links):");
+    for (link, util) in coarse_hotspots(&machine, &partition, &model, 1, 6) {
+        println!("  {:>5.1}%  {link}", util * 100.0);
+    }
+}

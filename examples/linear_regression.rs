@@ -1,0 +1,107 @@
+//! End-to-end data-parallel training through COARSE: linear regression to
+//! convergence. Each worker computes gradients on its own data shard,
+//! pushes them through the full client→proxy→sync-core→storage pipeline
+//! (where the memory devices run the optimizer step), and pulls back the
+//! updated weights — exactly how COARSE plugs into a training framework.
+//!
+//! ```text
+//! cargo run --example linear_regression
+//! ```
+
+use coarse_repro::cci::tensor::{Tensor, TensorId};
+use coarse_repro::core::optim::SgdMomentum;
+use coarse_repro::core::strategy::CoarseStrategy;
+use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
+use coarse_repro::simcore::rng::SimRng;
+
+const FEATURES: usize = 8;
+const SAMPLES_PER_WORKER: usize = 256;
+
+/// One worker's shard of the synthetic regression dataset.
+struct Shard {
+    xs: Vec<[f32; FEATURES]>,
+    ys: Vec<f32>,
+}
+
+fn make_data(rng: &mut SimRng, true_w: &[f32; FEATURES], workers: usize) -> Vec<Shard> {
+    (0..workers)
+        .map(|_| {
+            let xs: Vec<[f32; FEATURES]> = (0..SAMPLES_PER_WORKER)
+                .map(|_| std::array::from_fn(|_| rng.range_f64(-1.0, 1.0) as f32))
+                .collect();
+            let ys = xs
+                .iter()
+                .map(|x| {
+                    let clean: f32 = x.iter().zip(true_w).map(|(a, b)| a * b).sum();
+                    clean + rng.next_gaussian() as f32 * 0.01
+                })
+                .collect();
+            Shard { xs, ys }
+        })
+        .collect()
+}
+
+/// Mean-squared-error loss and gradient of `w` on one shard.
+fn loss_and_grad(shard: &Shard, w: &[f32]) -> (f32, Vec<f32>) {
+    let n = shard.xs.len() as f32;
+    let mut grad = vec![0.0f32; FEATURES];
+    let mut loss = 0.0f32;
+    for (x, &y) in shard.xs.iter().zip(&shard.ys) {
+        let pred: f32 = x.iter().zip(w).map(|(a, b)| a * b).sum();
+        let err = pred - y;
+        loss += err * err;
+        for (g, xi) in grad.iter_mut().zip(x) {
+            *g += 2.0 * err * xi / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+fn main() {
+    let machine = aws_v100();
+    let partition = machine.partition(PartitionScheme::OneToOne);
+    let workers = partition.worker_count();
+
+    let mut rng = SimRng::seed_from_u64(42);
+    let true_w: [f32; FEATURES] = std::array::from_fn(|i| (i as f32 - 3.5) * 0.4);
+    let shards = make_data(&mut rng, &true_w, workers);
+
+    let mut strategy = CoarseStrategy::new(
+        machine.topology(),
+        &partition.workers,
+        &partition.mem_devices,
+        50,
+    );
+    strategy.set_optimizer(Box::new(SgdMomentum::new(0.05, 0.9)));
+    strategy.register_parameters(&[Tensor::new(TensorId(0), vec![0.0; FEATURES])]);
+
+    let mut w = vec![0.0f32; FEATURES];
+    println!("training linear regression on {workers} workers ({SAMPLES_PER_WORKER} samples each)\n");
+    for step in 0..=60 {
+        let mut total_loss = 0.0;
+        let gradients: Vec<Vec<Tensor>> = shards
+            .iter()
+            .map(|shard| {
+                let (loss, grad) = loss_and_grad(shard, &w);
+                total_loss += loss / workers as f32;
+                vec![Tensor::new(TensorId(0), grad)]
+            })
+            .collect();
+        if step % 10 == 0 {
+            println!("step {step:>3}: mean loss {total_loss:.6}");
+        }
+        let updated = strategy.run_step(&gradients).expect("worker count matches");
+        w = updated[0][0].data().to_vec();
+    }
+
+    let max_err = w
+        .iter()
+        .zip(&true_w)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("\nrecovered weights: {w:?}");
+    println!("true weights:      {true_w:?}");
+    println!("max |error| = {max_err:.4}");
+    assert!(max_err < 0.05, "training must converge");
+    println!("converged — the full COARSE pipeline trains a real model.");
+}

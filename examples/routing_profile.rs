@@ -1,0 +1,50 @@
+//! Profiles every machine and prints the routing tables COARSE builds —
+//! the mechanism behind Fig. 15 and §III-E's tensor routing.
+//!
+//! ```text
+//! cargo run --example routing_profile
+//! ```
+
+use coarse_repro::core::profiler::{build_routing_table_for, profile_proxies};
+use coarse_repro::fabric::machines::{table1, PartitionScheme};
+use coarse_repro::simcore::time::SimTime;
+
+fn main() {
+    for machine in table1() {
+        let partition = machine.partition(PartitionScheme::OneToOne);
+        println!("== {} ==", machine.name());
+        let client = partition.workers[0];
+        println!("profiling worker 0 against every memory device:");
+        for p in profile_proxies(machine.topology(), client, &partition.mem_devices) {
+            println!(
+                "  proxy {:>6}: latency {:>10} bandwidth {:>6.2} GiB/s",
+                p.proxy.to_string(),
+                p.latency.to_string(),
+                p.bandwidth / (1u64 << 30) as f64
+            );
+        }
+        for (w, &worker) in partition.workers.iter().enumerate() {
+            let table = build_routing_table_for(
+                machine.topology(),
+                worker,
+                &partition.mem_devices,
+                w,
+                SimTime::ZERO,
+            );
+            if table.is_split() {
+                println!(
+                    "  worker {w}: LatProxy={} BwProxy={} threshold={} shard={}",
+                    table.lat_proxy, table.bw_proxy, table.threshold, table.shard_size
+                );
+            } else {
+                println!(
+                    "  worker {w}: single proxy {} shard={}",
+                    table.lat_proxy, table.shard_size
+                );
+            }
+        }
+        println!();
+    }
+    println!("(on the anti-local V100, large tensors route to *remote* proxies;");
+    println!(" on P100/T4 a single proxy wins both latency and bandwidth)");
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the COARSE reproduction workspace.
+pub use coarse_cci as cci;
+pub use coarse_collectives as collectives;
+pub use coarse_core as core;
+pub use coarse_fabric as fabric;
+pub use coarse_models as models;
+pub use coarse_simcore as simcore;
+pub use coarse_trainsim as trainsim;

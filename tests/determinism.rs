@@ -1,0 +1,56 @@
+//! Cross-crate integration: bit-reproducibility. Every experiment in the
+//! repository is deterministic — identical inputs produce identical event
+//! traces, timings, and numbers on every run.
+
+use coarse_repro::fabric::machines::{aws_v100, sdsc_p100, PartitionScheme};
+use coarse_repro::fabric::probe;
+use coarse_repro::models::zoo::bert_large;
+use coarse_repro::simcore::units::ByteSize;
+use coarse_repro::trainsim::{
+    compare_straggler, simulate_allreduce, simulate_coarse, simulate_dense,
+};
+
+#[test]
+fn training_simulations_are_reproducible() {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = bert_large();
+    let a1 = simulate_allreduce(&machine, &part, &model, 2, 3);
+    let a2 = simulate_allreduce(&machine, &part, &model, 2, 3);
+    assert_eq!(a1, a2);
+    let d1 = simulate_dense(&machine, &part, &model, 2, 3);
+    let d2 = simulate_dense(&machine, &part, &model, 2, 3);
+    assert_eq!(d1, d2);
+    let c1 = simulate_coarse(&machine, &part, &model, 2, 3);
+    let c2 = simulate_coarse(&machine, &part, &model, 2, 3);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn probes_are_reproducible() {
+    let machine = sdsc_p100();
+    let gpus = machine.gpus().to_vec();
+    let m1 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), |_| true);
+    let m2 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), |_| true);
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn straggler_study_is_seeded() {
+    let (b1, o1) = compare_straggler(4, 0.25);
+    let (b2, o2) = compare_straggler(4, 0.25);
+    assert_eq!(b1, b2);
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn machine_presets_are_stable() {
+    // Device and link counts are part of the public contract: experiments
+    // reference devices by id order.
+    let v = aws_v100();
+    assert_eq!(v.topology().device_count(), 13); // 1 cpu + 4 switches + 8 gpus
+    let p = sdsc_p100();
+    assert_eq!(p.topology().device_count(), 7); // 1 cpu + 2 switches + 4 gpus
+    assert_eq!(v.gpus().len(), 8);
+    assert_eq!(p.gpus().len(), 4);
+}

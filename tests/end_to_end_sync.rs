@@ -1,0 +1,173 @@
+//! Cross-crate integration: the full COARSE pipeline (client partitioning →
+//! routing → proxy queues → sync-core ring → COW storage → pull/reconstruct)
+//! must agree numerically with the functional AllReduce oracle, on every
+//! machine model and partition scheme.
+
+use coarse_repro::cci::tensor::{Tensor, TensorId};
+use coarse_repro::collectives::functional;
+use coarse_repro::core::strategy::CoarseStrategy;
+use coarse_repro::core::system::CoarseSystem;
+use coarse_repro::fabric::machines::{aws_t4, aws_v100, sdsc_p100, Machine, PartitionScheme};
+use coarse_repro::simcore::rng::SimRng;
+
+/// Random gradients with magnitudes that keep ring-order summation within
+/// tight floating-point tolerance.
+fn random_gradients(rng: &mut SimRng, workers: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+    (0..workers)
+        .map(|_| {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    Tensor::new(
+                        TensorId(i as u64),
+                        (0..len).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect(),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn oracle_mean(gradients: &[Vec<Tensor>]) -> Vec<Vec<f32>> {
+    (0..gradients[0].len())
+        .map(|i| {
+            let inputs: Vec<Vec<f32>> = gradients.iter().map(|g| g[i].data().to_vec()).collect();
+            functional::allreduce_mean(&inputs)
+        })
+        .collect()
+}
+
+fn check(machine: Machine, scheme: PartitionScheme, seed: u64) {
+    let part = machine.partition(scheme);
+    let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+    let mut rng = SimRng::seed_from_u64(seed);
+    // Sizes spanning the routing regimes: tiny, threshold-ish, huge.
+    let sizes = [16usize, 40_000, 3_000_000];
+    for _round in 0..2 {
+        let grads = random_gradients(&mut rng, part.workers.len(), &sizes);
+        let expect = oracle_mean(&grads);
+        let results = sys.synchronize(&grads);
+        for per_worker in &results {
+            for (tensor, want) in per_worker.iter().zip(&expect) {
+                assert_eq!(tensor.len(), want.len());
+                for (a, b) in tensor.data().iter().zip(want) {
+                    assert!(
+                        (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                        "{}: value mismatch {a} vs {b}",
+                        machine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coarse_matches_oracle_on_v100() {
+    check(aws_v100(), PartitionScheme::OneToOne, 1);
+}
+
+#[test]
+fn coarse_matches_oracle_on_v100_shared_devices() {
+    check(aws_v100(), PartitionScheme::TwoToOne, 2);
+}
+
+#[test]
+fn coarse_matches_oracle_on_p100() {
+    check(sdsc_p100(), PartitionScheme::OneToOne, 3);
+}
+
+#[test]
+fn coarse_matches_oracle_on_t4() {
+    check(aws_t4(), PartitionScheme::OneToOne, 4);
+}
+
+#[test]
+fn strategy_lifecycle_with_recovery() {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let mut strategy =
+        CoarseStrategy::new(machine.topology(), &part.workers, &part.mem_devices, 2);
+    let workers = part.worker_count();
+    let grads = |v: f32| -> Vec<Vec<Tensor>> {
+        (0..workers)
+            .map(|w| vec![Tensor::new(TensorId(0), vec![v + w as f32; 2048])])
+            .collect()
+    };
+    // Two steps → one epoch checkpoint.
+    strategy.run_step(&grads(1.0)).unwrap();
+    strategy.run_step(&grads(2.0)).unwrap();
+    assert_eq!(strategy.checkpoint_count(), 1);
+    let checkpointed = strategy.stored(TensorId(0)).unwrap();
+    // A destructive mid-epoch step, then recovery.
+    strategy.run_step(&grads(1e9)).unwrap();
+    assert_ne!(strategy.stored(TensorId(0)).unwrap(), checkpointed);
+    strategy.recover().unwrap();
+    assert_eq!(strategy.stored(TensorId(0)).unwrap(), checkpointed);
+}
+
+#[test]
+fn sync_core_ring_agrees_with_functional_oracle() {
+    use coarse_repro::cci::synccore::{RingDirection, SyncGroup};
+    let mut rng = SimRng::seed_from_u64(10);
+    for n in [2usize, 3, 5, 8] {
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..1337).map(|_| (rng.next_below(64) as f32) / 4.0).collect())
+            .collect();
+        let mut group = SyncGroup::new(n, 100, RingDirection::Reverse);
+        let (ring, _) = group.allreduce_sum(&inputs);
+        assert_eq!(ring, functional::allreduce_sum(&inputs), "n = {n}");
+    }
+}
+
+#[test]
+fn corrupted_shards_are_rejected_before_reduction() {
+    use coarse_repro::cci::integrity::SealedShard;
+    use coarse_repro::core::client::ParameterClient;
+    use coarse_repro::core::proxy::ParameterProxy;
+    use coarse_repro::core::routing::RoutingTable;
+    use coarse_repro::simcore::time::SimTime;
+    use coarse_repro::simcore::units::ByteSize;
+
+    // A client partitions a tensor into sealed shards; a "flaky link" flips
+    // one bit in one shard; the proxy accepts the clean shards and rejects
+    // exactly the corrupted one.
+    let mut topo = coarse_repro::fabric::topology::Topology::new();
+    let w = topo.add_device(coarse_repro::fabric::device::DeviceKind::Gpu, "w", 0);
+    let m = topo.add_device(
+        coarse_repro::fabric::device::DeviceKind::MemoryDevice,
+        "m",
+        0,
+    );
+    let mut client = ParameterClient::new(
+        w,
+        RoutingTable::single(m, ByteSize::kib(1), SimTime::ZERO),
+    );
+    let tensor = Tensor::new(TensorId(1), (0..2000).map(|i| i as f32).collect());
+    client.push(&tensor);
+
+    let mut proxy = ParameterProxy::new(m);
+    let mut rejected = 0;
+    let mut accepted = 0;
+    let mut i = 0;
+    while let Some(req) = client.dequeue() {
+        let mut sealed = SealedShard::seal(req.shard);
+        if i == 3 {
+            // Inject a single-bit fault in flight.
+            let bits = sealed.shard_mut().data[0].to_bits() ^ (1 << 7);
+            sealed.shard_mut().data[0] = f32::from_bits(bits);
+        }
+        match proxy.enqueue_sealed(0, sealed, req.shard_count, req.tensor_len) {
+            Ok(()) => accepted += 1,
+            Err(err) => {
+                rejected += 1;
+                assert_eq!(err.tensor, TensorId(1));
+            }
+        }
+        i += 1;
+    }
+    assert_eq!(rejected, 1, "exactly the injected fault is caught");
+    assert!(accepted >= 6, "clean shards flow through");
+    assert_eq!(proxy.queued(), accepted);
+}

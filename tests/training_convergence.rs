@@ -1,0 +1,137 @@
+//! Cross-crate integration: actual model training through the complete
+//! COARSE pipeline converges — gradients partition, route, reduce on sync
+//! cores, pass through the optimizer at the storage, and come back as
+//! updated weights that minimize a real loss.
+
+use coarse_repro::cci::tensor::{Tensor, TensorId};
+use coarse_repro::core::optim::{Adam, Optimizer, Sgd, SgdMomentum};
+use coarse_repro::core::strategy::CoarseStrategy;
+use coarse_repro::fabric::machines::{sdsc_p100, PartitionScheme};
+use coarse_repro::simcore::rng::SimRng;
+
+const FEATURES: usize = 6;
+
+struct Shard {
+    xs: Vec<Vec<f32>>,
+    ys: Vec<f32>,
+}
+
+fn make_shards(seed: u64, workers: usize, true_w: &[f32]) -> Vec<Shard> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..workers)
+        .map(|_| {
+            let xs: Vec<Vec<f32>> = (0..128)
+                .map(|_| (0..FEATURES).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect())
+                .collect();
+            let ys = xs
+                .iter()
+                .map(|x| x.iter().zip(true_w).map(|(a, b)| a * b).sum())
+                .collect();
+            Shard { xs, ys }
+        })
+        .collect()
+}
+
+fn grad(shard: &Shard, w: &[f32]) -> (f32, Vec<f32>) {
+    let n = shard.xs.len() as f32;
+    let mut g = vec![0.0f32; FEATURES];
+    let mut loss = 0.0;
+    for (x, &y) in shard.xs.iter().zip(&shard.ys) {
+        let err: f32 = x.iter().zip(w).map(|(a, b)| a * b).sum::<f32>() - y;
+        loss += err * err / n;
+        for (gi, xi) in g.iter_mut().zip(x) {
+            *gi += 2.0 * err * xi / n;
+        }
+    }
+    (loss, g)
+}
+
+fn train_with(optimizer: Box<dyn Optimizer>, steps: u32) -> (f32, f32) {
+    let machine = sdsc_p100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let workers = part.worker_count();
+    let true_w: Vec<f32> = (0..FEATURES).map(|i| 0.3 * i as f32 - 0.7).collect();
+    let shards = make_shards(7, workers, &true_w);
+
+    let mut strategy =
+        CoarseStrategy::new(machine.topology(), &part.workers, &part.mem_devices, 1000);
+    strategy.set_optimizer(optimizer);
+    strategy.register_parameters(&[Tensor::new(TensorId(0), vec![0.0; FEATURES])]);
+
+    let mut w = vec![0.0f32; FEATURES];
+    let mut first_loss = 0.0;
+    let mut last_loss = 0.0;
+    for step in 0..steps {
+        let mut total = 0.0;
+        let grads: Vec<Vec<Tensor>> = shards
+            .iter()
+            .map(|s| {
+                let (loss, g) = grad(s, &w);
+                total += loss / workers as f32;
+                vec![Tensor::new(TensorId(0), g)]
+            })
+            .collect();
+        if step == 0 {
+            first_loss = total;
+        }
+        last_loss = total;
+        let updated = strategy.run_step(&grads).unwrap();
+        w = updated[0][0].data().to_vec();
+    }
+    (first_loss, last_loss)
+}
+
+#[test]
+fn sgd_converges_through_the_pipeline() {
+    let (first, last) = train_with(Box::new(Sgd::new(0.1)), 80);
+    assert!(last < first / 100.0, "loss {first} → {last}");
+}
+
+#[test]
+fn momentum_converges_through_the_pipeline() {
+    let (first, last) = train_with(Box::new(SgdMomentum::new(0.05, 0.9)), 80);
+    assert!(last < first / 100.0, "loss {first} → {last}");
+}
+
+#[test]
+fn adam_converges_through_the_pipeline() {
+    let (first, last) = train_with(Box::new(Adam::new(0.1)), 150);
+    assert!(last < first / 50.0, "loss {first} → {last}");
+}
+
+#[test]
+fn recovery_mid_training_resumes_correctly() {
+    // Train, checkpoint each step, corrupt by an absurd step, recover, and
+    // confirm the loss trajectory continues downward.
+    let machine = sdsc_p100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let workers = part.worker_count();
+    let true_w: Vec<f32> = vec![0.5; FEATURES];
+    let shards = make_shards(9, workers, &true_w);
+    // Epoch = 30 steps: the checkpoint lands right before the corruption.
+    let mut strategy =
+        CoarseStrategy::new(machine.topology(), &part.workers, &part.mem_devices, 30);
+    strategy.set_optimizer(Box::new(Sgd::new(0.1)));
+    strategy.register_parameters(&[Tensor::new(TensorId(0), vec![0.0; FEATURES])]);
+
+    let mut w = vec![0.0f32; FEATURES];
+    for _ in 0..30 {
+        let grads: Vec<Vec<Tensor>> = shards
+            .iter()
+            .map(|s| vec![Tensor::new(TensorId(0), grad(s, &w).1)])
+            .collect();
+        w = strategy.run_step(&grads).unwrap()[0][0].data().to_vec();
+    }
+    let good = w.clone();
+    // A bogus gradient blows the weights up...
+    let bogus: Vec<Vec<Tensor>> = (0..workers)
+        .map(|_| vec![Tensor::new(TensorId(0), vec![1e9; FEATURES])])
+        .collect();
+    strategy.run_step(&bogus).unwrap();
+    // ...recovery rolls the storage back to the last epoch checkpoint.
+    strategy.recover().unwrap();
+    let restored = strategy.stored(TensorId(0)).unwrap();
+    for (a, b) in restored.data().iter().zip(&good) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
