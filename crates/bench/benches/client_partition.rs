@@ -1,9 +1,9 @@
-//! Criterion benches for the client path: partitioning a large tensor into
+//! Micro-benchmarks for the client path: partitioning a large tensor into
 //! shards and reconstructing it from pulled shards.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_cci::tensor::{Tensor, TensorId};
 use coarse_core::client::ParameterClient;
 use coarse_core::routing::RoutingTable;
@@ -26,32 +26,29 @@ fn client() -> ParameterClient {
     )
 }
 
-fn bench_push_pull(c: &mut Criterion) {
-    let mut group = c.benchmark_group("client_push_pull");
+fn bench_push_pull() {
+    let b = Bench::group("client_push_pull");
     for &elems in &[1usize << 16, 1 << 22] {
-        group.throughput(Throughput::Bytes((elems * 4) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, &elems| {
-            let mut cl = client();
-            let tensor = Tensor::new(TensorId(1), vec![0.5; elems]);
-            b.iter(|| {
-                cl.push(black_box(&tensor));
-                let mut rebuilt = None;
-                while let Some(req) = cl.dequeue() {
-                    rebuilt = cl.deliver(req.shard);
-                }
-                black_box(rebuilt)
-            });
+        let mut cl = client();
+        let tensor = Tensor::new(TensorId(1), vec![0.5; elems]);
+        b.run_bytes(&format!("{elems}_elems"), (elems * 4) as u64, || {
+            cl.push(black_box(&tensor));
+            let mut rebuilt = None;
+            while let Some(req) = cl.dequeue() {
+                rebuilt = cl.deliver(req.shard);
+            }
+            black_box(rebuilt)
         });
     }
-    group.finish();
 }
 
-fn bench_partition_only(c: &mut Criterion) {
+fn bench_partition_only() {
+    let b = Bench::group("tensor_partition");
     let tensor = Tensor::new(TensorId(1), vec![0.5; 1 << 22]);
-    c.bench_function("tensor_partition_16m", |b| {
-        b.iter(|| black_box(tensor.partition(1 << 19)));
-    });
+    b.run("partition_16m", || black_box(tensor.partition(1 << 19)));
 }
 
-criterion_group!(benches, bench_push_pull, bench_partition_only);
-criterion_main!(benches);
+fn main() {
+    bench_push_pull();
+    bench_partition_only();
+}

@@ -1,15 +1,15 @@
-//! Criterion benches for the collective layer: the functional sync-core
+//! Micro-benchmarks for the collective layer: the functional sync-core
 //! ring on real data, and the timed ring collective on the fabric.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_cci::synccore::{RingDirection, SyncGroup};
-use coarse_collectives::functional::allreduce_sum;
+use coarse_collectives::functional;
 use coarse_collectives::timed::ring_allreduce;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, PartitionScheme};
-use coarse_fabric::topology::LinkClass;
+use coarse_fabric::topology::{Link, LinkClass};
 use coarse_simcore::prelude::*;
 
 fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
@@ -18,51 +18,51 @@ fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
-fn bench_sync_core_ring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_core_ring");
-    for &len in &[4_096usize, 65_536, 1_048_576] {
-        group.throughput(Throughput::Bytes((len * 4) as u64));
-        group.bench_with_input(BenchmarkId::new("allreduce_sum", len), &len, |b, &len| {
-            let data = inputs(4, len);
-            let mut ring = SyncGroup::new(4, 4096, RingDirection::Forward);
-            b.iter(|| black_box(ring.allreduce_sum(black_box(&data))));
-        });
-        group.bench_with_input(BenchmarkId::new("direct_sum", len), &len, |b, &len| {
-            let data = inputs(4, len);
-            b.iter(|| black_box(allreduce_sum(black_box(&data))));
-        });
-    }
-    group.finish();
+fn cci_only(l: &Link) -> bool {
+    l.class() == LinkClass::Cci
 }
 
-fn bench_timed_ring(c: &mut Criterion) {
+fn bench_sync_core_ring() {
+    let b = Bench::group("sync_core_ring");
+    for &len in &[4096usize, 65_536, 1_048_576] {
+        let data = inputs(4, len);
+        let bytes = (4 * len * 4) as u64;
+        b.run_bytes(&format!("ring/{len}"), bytes, || {
+            let mut group = SyncGroup::new(4, 4096, RingDirection::Forward);
+            black_box(group.allreduce_sum(black_box(&data)))
+        });
+        b.run_bytes(&format!("functional/{len}"), bytes, || {
+            black_box(functional::allreduce_sum(black_box(&data)))
+        });
+    }
+}
+
+fn bench_timed_ring() {
+    let b = Bench::group("timed_ring");
     let mut machine = aws_v100();
     let part = machine.partition(PartitionScheme::OneToOne);
     machine.augment_cci_ring(&part.mem_devices);
     let devs = part.mem_devices.clone();
-    let topo = machine.into_topology();
     let ready = vec![SimTime::ZERO; devs.len()];
-    let mut group = c.benchmark_group("timed_ring_allreduce");
     for &mib in &[1u64, 16, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
-            b.iter(|| {
-                let mut e = TransferEngine::new(topo.clone());
-                black_box(
-                    ring_allreduce(
-                        &mut e,
-                        &devs,
-                        ByteSize::mib(mib),
-                        &ready,
-                        RingDirection::Forward,
-                        |l| l.class() == LinkClass::Cci,
-                    )
-                    .unwrap(),
+        b.run(&format!("{mib}_mib"), || {
+            let mut engine = TransferEngine::new(machine.topology().clone());
+            black_box(
+                ring_allreduce(
+                    &mut engine,
+                    &devs,
+                    ByteSize::mib(mib),
+                    &ready,
+                    RingDirection::Forward,
+                    cci_only,
                 )
-            });
+                .unwrap(),
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sync_core_ring, bench_timed_ring);
-criterion_main!(benches);
+fn main() {
+    bench_sync_core_ring();
+    bench_timed_ring();
+}

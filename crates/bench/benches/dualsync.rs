@@ -1,9 +1,9 @@
-//! Criterion benches for the dual-synchronization optimizer and the
+//! Micro-benchmarks for the dual-synchronization optimizer and the
 //! profiler's routing-table construction.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_core::dualsync::{optimize, sweep, DualSyncInputs};
 use coarse_core::profiler::build_routing_table;
 use coarse_fabric::machines::{aws_v100, PartitionScheme};
@@ -20,31 +20,29 @@ fn inputs() -> DualSyncInputs {
     }
 }
 
-fn bench_optimize(c: &mut Criterion) {
+fn bench_optimize() {
+    let b = Bench::group("dualsync");
     let inp = inputs();
-    c.bench_function("dualsync_optimize", |b| {
-        b.iter(|| black_box(optimize(black_box(&inp))));
-    });
-    c.bench_function("dualsync_sweep_101", |b| {
-        b.iter(|| black_box(sweep(black_box(&inp), 101)));
-    });
+    b.run("optimize", || black_box(optimize(black_box(&inp))));
+    b.run("sweep_101", || black_box(sweep(black_box(&inp), 101)));
 }
 
-fn bench_profiler(c: &mut Criterion) {
+fn bench_profiler() {
+    let b = Bench::group("profiler");
     let machine = aws_v100();
     let part = machine.partition(PartitionScheme::OneToOne);
     let topo = machine.topology().clone();
-    c.bench_function("build_routing_table_v100", |b| {
-        b.iter(|| {
-            black_box(build_routing_table(
-                &topo,
-                part.workers[0],
-                &part.mem_devices,
-                SimTime::ZERO,
-            ))
-        });
+    b.run("build_routing_table_v100", || {
+        black_box(build_routing_table(
+            &topo,
+            part.workers[0],
+            &part.mem_devices,
+            SimTime::ZERO,
+        ))
     });
 }
 
-criterion_group!(benches, bench_optimize, bench_profiler);
-criterion_main!(benches);
+fn main() {
+    bench_optimize();
+    bench_profiler();
+}

@@ -1,60 +1,60 @@
-//! Criterion benches for the fabric: routing, single transfers, and the
+//! Micro-benchmarks for the fabric: routing, single transfers, and the
 //! all-pairs probe matrix.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, sdsc_p100};
 use coarse_fabric::probe;
 use coarse_fabric::topology::LinkClass;
 use coarse_simcore::prelude::*;
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
+    let b = Bench::group("routing");
     let machine = aws_v100();
     let gpus = machine.gpus().to_vec();
     let topo = machine.into_topology();
-    c.bench_function("route_remote_pair", |b| {
-        b.iter(|| black_box(topo.route(black_box(gpus[0]), black_box(gpus[7]))));
+    b.run("route_remote_pair", || {
+        black_box(topo.route(black_box(gpus[0]), black_box(gpus[7])))
     });
 }
 
-fn bench_transfer(c: &mut Criterion) {
+fn bench_transfer() {
+    let b = Bench::group("transfer");
     let machine = aws_v100();
     let gpus = machine.gpus().to_vec();
     let topo = machine.into_topology();
-    let mut group = c.benchmark_group("transfer");
     for &mib in &[1u64, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
-            let mut engine = TransferEngine::new(topo.clone());
-            let mut t = SimTime::ZERO;
-            b.iter(|| {
-                let rec = engine
-                    .transfer(gpus[0], gpus[2], ByteSize::mib(mib), t)
-                    .unwrap();
-                t = rec.end;
-                black_box(rec)
-            });
+        let mut engine = TransferEngine::new(topo.clone());
+        let mut t = SimTime::ZERO;
+        b.run(&format!("{mib}_mib"), || {
+            let rec = engine
+                .transfer(gpus[0], gpus[2], ByteSize::mib(mib), t)
+                .unwrap();
+            t = rec.end;
+            black_box(rec)
         });
     }
-    group.finish();
 }
 
-fn bench_probe_matrix(c: &mut Criterion) {
+fn bench_probe_matrix() {
+    let b = Bench::group("probe_matrix");
     let machine = sdsc_p100();
     let gpus = machine.gpus().to_vec();
     let topo = machine.into_topology();
-    c.bench_function("fig8_matrix_p100", |b| {
-        b.iter(|| {
-            black_box(probe::bidirectional_matrix(
-                &topo,
-                &gpus,
-                ByteSize::mib(16),
-                |l| l.class() == LinkClass::Pcie,
-            ))
-        });
+    b.run("fig8_matrix_p100", || {
+        black_box(probe::bidirectional_matrix(
+            &topo,
+            &gpus,
+            ByteSize::mib(16),
+            |l| l.class() == LinkClass::Pcie,
+        ))
     });
 }
 
-criterion_group!(benches, bench_routing, bench_transfer, bench_probe_matrix);
-criterion_main!(benches);
+fn main() {
+    bench_routing();
+    bench_transfer();
+    bench_probe_matrix();
+}

@@ -1,9 +1,9 @@
-//! Criterion benches for the copy-on-write parameter storage: snapshot
+//! Micro-benchmarks for the copy-on-write parameter storage: snapshot
 //! cost, sparse-update cost, and the dense-update worst case.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::tensor::{Tensor, TensorId};
 
@@ -17,50 +17,52 @@ fn store_with(tensors: u64) -> ParameterStore {
     store
 }
 
-fn bench_snapshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cow_snapshot");
+fn bench_snapshot() {
+    let b = Bench::group("cow_snapshot");
     for &tensors in &[8u64, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(tensors), &tensors, |b, &t| {
-            let mut store = store_with(t);
-            b.iter(|| black_box(store.snapshot()));
+        let mut store = store_with(tensors);
+        b.run(&format!("{tensors}_tensors"), || {
+            black_box(store.snapshot())
         });
     }
-    group.finish();
 }
 
-fn bench_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cow_update");
-    group.throughput(Throughput::Bytes((ELEMS * 4) as u64));
+fn bench_update() {
+    let b = Bench::group("cow_update");
+    let bytes = (ELEMS * 4) as u64;
 
-    group.bench_function("unchanged", |b| {
+    {
         let mut store = store_with(1);
         let data = vec![1.0f32; ELEMS];
-        b.iter(|| black_box(store.update(TensorId(0), black_box(&data))));
-    });
+        b.run_bytes("unchanged", bytes, || {
+            black_box(store.update(TensorId(0), black_box(&data)))
+        });
+    }
 
-    group.bench_function("sparse_after_snapshot", |b| {
+    {
         let mut store = store_with(1);
         let mut data = vec![1.0f32; ELEMS];
         let mut toggle = 2.0f32;
-        b.iter(|| {
+        b.run_bytes("sparse_after_snapshot", bytes, || {
             let _snap = store.snapshot();
             data[ELEMS / 2] = toggle;
             toggle += 1.0;
             black_box(store.update(TensorId(0), &data))
         });
-    });
+    }
 
-    group.bench_function("dense_in_place", |b| {
+    {
         let mut store = store_with(1);
         let mut fill = 2.0f32;
-        b.iter(|| {
+        b.run_bytes("dense_in_place", bytes, || {
             let data = vec![fill; ELEMS];
             fill += 1.0;
             black_box(store.update(TensorId(0), &data))
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_snapshot, bench_update);
-criterion_main!(benches);
+fn main() {
+    bench_snapshot();
+    bench_update();
+}

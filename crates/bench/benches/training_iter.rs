@@ -1,43 +1,26 @@
-//! Criterion benches for the end-to-end training simulators themselves:
+//! Micro-benchmarks for the end-to-end training simulators themselves:
 //! how fast each scheme's per-iteration timeline can be computed.
+//!
+//! Run with `cargo bench -p coarse-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use coarse_bench::harness::{black_box, Bench};
 use coarse_fabric::machines::{aws_v100, PartitionScheme};
 use coarse_models::zoo::{bert_large, resnet50};
 use coarse_trainsim::{simulate_allreduce, simulate_coarse, simulate_dense};
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
+    let b = Bench::group("simulate_training");
     let machine = aws_v100();
     let part = machine.partition(PartitionScheme::OneToOne);
-    let mut group = c.benchmark_group("simulate_training");
-    group.sample_size(10);
     for (model, batch) in [(resnet50(), 64u32), (bert_large(), 2)] {
-        group.bench_with_input(
-            BenchmarkId::new("dense", model.name()),
-            &model,
-            |b, model| {
-                b.iter(|| black_box(simulate_dense(&machine, &part, model, batch, 3)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("allreduce", model.name()),
-            &model,
-            |b, model| {
-                b.iter(|| black_box(simulate_allreduce(&machine, &part, model, batch, 3)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("coarse", model.name()),
-            &model,
-            |b, model| {
-                b.iter(|| black_box(simulate_coarse(&machine, &part, model, batch, 3)));
-            },
-        );
+        b.run(&format!("dense/{}", model.name()), || {
+            black_box(simulate_dense(&machine, &part, &model, batch, 3))
+        });
+        b.run(&format!("allreduce/{}", model.name()), || {
+            black_box(simulate_allreduce(&machine, &part, &model, batch, 3))
+        });
+        b.run(&format!("coarse/{}", model.name()), || {
+            black_box(simulate_coarse(&machine, &part, &model, batch, 3))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

@@ -31,7 +31,10 @@ fn table1() {
 fn fig2() {
     hr("FIG 2 — Communication overhead of centralized parameter-server training");
     println!("paper: communication blocks up to 76% of training time (§II-B)");
-    println!("{:<12} {:<12} {:>6} {:>16}", "machine", "model", "batch", "comm fraction");
+    println!(
+        "{:<12} {:<12} {:>6} {:>16}",
+        "machine", "model", "batch", "comm fraction"
+    );
     for r in training::fig2() {
         println!(
             "{:<12} {:<12} {:>6} {:>15.1}%",
@@ -112,7 +115,11 @@ fn fig13() {
     let f = micro::fig13();
     print!("{:>10}", "size");
     for (label, _, _) in &f.curves {
-        print!(" {:>16} {:>8}", format!("{label} rd"), format!("{label} wr"));
+        print!(
+            " {:>16} {:>8}",
+            format!("{label} rd"),
+            format!("{label} wr")
+        );
     }
     println!();
     for (i, s) in f.sizes.iter().enumerate() {
@@ -248,16 +255,17 @@ fn fig17() {
     // Panels e-f: blocked communication normalized to AllReduce.
     let f = training::fig16f();
     let e = training::fig16e();
-    println!("
--- fig17e/f: normalized to AllReduce --");
+    println!(
+        "
+-- fig17e/f: normalized to AllReduce --"
+    );
     println!(
         "single node (b4 COARSE vs b2 AllReduce): COARSE blocked = {:.0}% of AllReduce",
         e.coarse_b4.blocked_comm.as_secs_f64() / e.allreduce_b2.blocked_comm.as_secs_f64() * 100.0
     );
     println!(
         "two nodes: COARSE blocked = {:.0}% of AllReduce (paper: −23…−46%)",
-        f.coarse_2node.blocked_comm.as_secs_f64()
-            / f.allreduce_2node.blocked_comm.as_secs_f64()
+        f.coarse_2node.blocked_comm.as_secs_f64() / f.allreduce_2node.blocked_comm.as_secs_f64()
             * 100.0
     );
 }
@@ -277,7 +285,11 @@ fn ablations() {
     let (sweep, opt) = mechanisms::ablation_dualsync();
     println!("dual-sync estimate sweep (m -> T_train):");
     for p in sweep.iter().step_by(4) {
-        println!("  m = {:>10}  T_train = {}", p.proxy_bytes.to_string(), p.estimate);
+        println!(
+            "  m = {:>10}  T_train = {}",
+            p.proxy_bytes.to_string(),
+            p.estimate
+        );
     }
     println!(
         "  optimizer choice: m = {} (T_train = {})",
@@ -297,9 +309,14 @@ fn ablations() {
     if let Some(c) = mechanisms::ablation_ring_tree_crossover() {
         println!("ring-vs-tree collective crossover on the CCI mesh: {c}");
     }
-    println!("
-straggler sensitivity (50 iters, 245 ms compute, jitter sigma sweep):");
-    println!("{:>8} {:>16} {:>16} {:>12} {:>12}", "sigma", "barrier wait", "overlap wait", "barrier util", "overlap util");
+    println!(
+        "
+straggler sensitivity (50 iters, 245 ms compute, jitter sigma sweep):"
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>12} {:>12}",
+        "sigma", "barrier wait", "overlap wait", "barrier util", "overlap util"
+    );
     for sigma in [0.0f64, 0.1, 0.2, 0.4] {
         let (b, o) = coarse_trainsim::compare_straggler(4, sigma);
         println!(
@@ -310,9 +327,14 @@ straggler sensitivity (50 iters, 245 ms compute, jitter sigma sweep):");
             o.utilization * 100.0
         );
     }
-    println!("
-node scaling (BERT-Large b2, 25 Gbit/s network):");
-    println!("{:>6} {:>18} {:>18} {:>14}", "nodes", "AllReduce iter", "COARSE iter", "COARSE gain");
+    println!(
+        "
+node scaling (BERT-Large b2, 25 Gbit/s network):"
+    );
+    println!(
+        "{:>6} {:>18} {:>18} {:>14}",
+        "nodes", "AllReduce iter", "COARSE iter", "COARSE gain"
+    );
     for p in coarse_trainsim::node_scaling(&coarse_models::zoo::bert_large(), 2, &[1, 2, 4]) {
         println!(
             "{:>6} {:>18} {:>18} {:>13.1}%",
@@ -329,12 +351,8 @@ fn timeline() {
     use coarse_fabric::machines::{aws_v100, PartitionScheme};
     let machine = aws_v100();
     let part = machine.partition(PartitionScheme::OneToOne);
-    let trace = coarse_trainsim::trace_coarse(
-        &machine,
-        &part,
-        &coarse_models::zoo::bert_large(),
-        2,
-    );
+    let trace =
+        coarse_trainsim::trace_coarse(&machine, &part, &coarse_models::zoo::bert_large(), 2);
     print!("{}", trace.render_gantt(76));
     println!("(the overlap structure behind Fig. 17d: pushes and proxy collectives ride");
     println!(" inside the backward window; only the dual-sync GPU ring and the final");
@@ -344,8 +362,14 @@ fn timeline() {
 fn capacity() {
     hr("EXTENSION — the capacity wall (GPT-2 XL, 1.5B params, 16 GiB GPUs)");
     let c = training::capacity_wall();
-    println!("max feasible per-GPU batch, everything on GPU:  {}", c.allreduce_max_batch);
-    println!("max feasible per-GPU batch, COARSE offload:     {}", c.coarse_max_batch);
+    println!(
+        "max feasible per-GPU batch, everything on GPU:  {}",
+        c.allreduce_max_batch
+    );
+    println!(
+        "max feasible per-GPU batch, COARSE offload:     {}",
+        c.coarse_max_batch
+    );
     println!(
         "COARSE batch 1: iter {} | blocked {} | util {:.0}% | {:.1} samples/s",
         c.coarse_b1.iteration_time,
@@ -357,9 +381,53 @@ fn capacity() {
     println!(" to be trained\" — at 1.5B parameters only the offloaded residency fits)");
 }
 
+/// `figures -- trace <scenario>`: records a fully traced COARSE run and
+/// writes `trace-<scenario>.json` (Chrome trace-event format, loadable in
+/// Perfetto or `chrome://tracing`) plus `trace-<scenario>.txt` (the text
+/// summary, also printed).
+fn trace_scenario(scenario: &str) {
+    use coarse_fabric::machines::{aws_v100, sdsc_p100, PartitionScheme};
+    let (machine, model, batch) = match scenario {
+        "resnet50-coarse" => (aws_v100(), coarse_models::zoo::resnet50(), 64u32),
+        "bert-coarse" => (aws_v100(), coarse_models::zoo::bert_large(), 2),
+        "bert-p100-coarse" => (sdsc_p100(), coarse_models::zoo::bert_large(), 2),
+        other => {
+            eprintln!(
+                "unknown trace scenario '{other}'; expected one of: \
+                 resnet50-coarse bert-coarse bert-p100-coarse"
+            );
+            std::process::exit(2);
+        }
+    };
+    hr(&format!(
+        "TRACE — {} ({}, batch {batch}, 3 iterations)",
+        scenario,
+        machine.name()
+    ));
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let (result, trace) = coarse_trainsim::record_coarse_trace(&machine, &part, &model, batch, 3);
+    println!(
+        "iteration {} | blocked {} | {:.1} samples/s",
+        result.iteration_time, result.blocked_comm, result.throughput
+    );
+    let summary = coarse_trainsim::summary_table(&trace, 10);
+    print!("\n{summary}");
+    let json_path = format!("trace-{scenario}.json");
+    let txt_path = format!("trace-{scenario}.txt");
+    std::fs::write(&json_path, coarse_trainsim::chrome_trace_json(&trace))
+        .expect("write trace JSON");
+    std::fs::write(&txt_path, &summary).expect("write trace summary");
+    println!("\nwrote {json_path} (open in Perfetto / chrome://tracing) and {txt_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
+    if what == "trace" {
+        let scenario = args.get(1).map(String::as_str).unwrap_or("resnet50-coarse");
+        trace_scenario(scenario);
+        return;
+    }
     let mut ran = false;
     let mut run = |name: &str, f: &dyn Fn()| {
         if what == "all" || what == name {
@@ -383,7 +451,7 @@ fn main() {
     run("timeline", &timeline);
     if !ran {
         eprintln!(
-            "unknown figure '{what}'; expected one of: all table1 fig2 fig3 fig8 fig9 fig10 fig13 fig14 fig15 fig16 fig17 ablations capacity timeline"
+            "unknown figure '{what}'; expected one of: all table1 fig2 fig3 fig8 fig9 fig10 fig13 fig14 fig15 fig16 fig17 ablations capacity timeline trace"
         );
         std::process::exit(2);
     }

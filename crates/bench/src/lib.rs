@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod mechanisms;
 pub mod micro;
 pub mod training;

@@ -49,9 +49,15 @@ pub fn fig9() -> Fig9 {
     // next push has nothing to overlap with.
     let fifo = {
         let mut e = TransferEngine::new(topo.clone());
-        let push0 = e.transfer_filtered(client, proxy, t0, SimTime::ZERO, pcie_only).expect("route");
-        let push1 = e.transfer_filtered(client, proxy, t1, push0.end, pcie_only).expect("route");
-        let pull0 = e.transfer_filtered(proxy, client, t0, push0.end, pcie_only).expect("route");
+        let push0 = e
+            .transfer_filtered(client, proxy, t0, SimTime::ZERO, pcie_only)
+            .expect("route");
+        let push1 = e
+            .transfer_filtered(client, proxy, t1, push0.end, pcie_only)
+            .expect("route");
+        let pull0 = e
+            .transfer_filtered(proxy, client, t0, push0.end, pcie_only)
+            .expect("route");
         let pull1 = e
             .transfer_filtered(proxy, client, t1, push1.end.max(pull0.end), pcie_only)
             .expect("route");
@@ -70,7 +76,9 @@ pub fn fig9() -> Fig9 {
             while !left.is_zero() {
                 let s = left.min(shard);
                 left = left - s;
-                let push = e.transfer_filtered(client, proxy, s, push_t, pcie_only).expect("route");
+                let push = e
+                    .transfer_filtered(client, proxy, s, push_t, pcie_only)
+                    .expect("route");
                 push_t = push.end;
                 let pull = e
                     .transfer_filtered(proxy, client, s, push.end.max(pull_t), pcie_only)
@@ -126,7 +134,11 @@ pub fn ablation_ring_bandwidth_utilization() -> f64 {
     )
     .expect("workers connected");
     // Full-duplex capacity of the GPU's own PCIe link (2 × 13 GiB/s).
-    ring_bandwidth_utilization(&result, part.workers.len(), 2.0 * 13.0 * (1u64 << 30) as f64)
+    ring_bandwidth_utilization(
+        &result,
+        part.workers.len(),
+        2.0 * 13.0 * (1u64 << 30) as f64,
+    )
 }
 
 /// Routing ablation: achieved bandwidth pushing a large payload to the
@@ -188,9 +200,17 @@ pub fn ablation_bidirectional_groups() -> (SimDuration, SimDuration) {
     let payload = ByteSize::mib(32);
     let run = |second: RingDirection| {
         let mut e = TransferEngine::new(machine.topology().clone());
-        let a = ring_allreduce(&mut e, &devs, payload, &ready, RingDirection::Forward, cci_only)
-            .expect("connected");
-        let b = ring_allreduce(&mut e, &devs, payload, &ready, second, cci_only).expect("connected");
+        let a = ring_allreduce(
+            &mut e,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .expect("connected");
+        let b =
+            ring_allreduce(&mut e, &devs, payload, &ready, second, cci_only).expect("connected");
         a.end.max(b.end) - SimTime::ZERO
     };
     (run(RingDirection::Forward), run(RingDirection::Reverse))
@@ -201,13 +221,7 @@ pub fn ablation_bidirectional_groups() -> (SimDuration, SimDuration) {
 pub fn ablation_coherence_scaling(max_sharers: usize) -> Vec<(usize, u64)> {
     let mut topo = coarse_fabric::topology::Topology::new();
     let devices: Vec<_> = (0..max_sharers.max(2))
-        .map(|i| {
-            topo.add_device(
-                coarse_fabric::device::DeviceKind::Gpu,
-                format!("g{i}"),
-                0,
-            )
-        })
+        .map(|i| topo.add_device(coarse_fabric::device::DeviceKind::Gpu, format!("g{i}"), 0))
         .collect();
     let region = coarse_cci::address::CciAddr(0x1000);
     let payload = ByteSize::mib(4);

@@ -93,8 +93,10 @@ pub fn fig14() -> Fig14 {
         .map(|&s| {
             (
                 s,
-                p.bandwidth(AccessMode::GpuDirect, AccessDir::Read, s).as_gib_per_sec(),
-                p.bandwidth(AccessMode::GpuDirect, AccessDir::Write, s).as_gib_per_sec(),
+                p.bandwidth(AccessMode::GpuDirect, AccessDir::Read, s)
+                    .as_gib_per_sec(),
+                p.bandwidth(AccessMode::GpuDirect, AccessDir::Write, s)
+                    .as_gib_per_sec(),
             )
         })
         .collect();
@@ -104,7 +106,10 @@ pub fn fig14() -> Fig14 {
         .find(|(_, r, _)| *r >= 0.99 * peak)
         .map(|&(s, _, _)| s)
         .expect("sweep reaches saturation");
-    Fig14 { points, saturation_size }
+    Fig14 {
+        points,
+        saturation_size,
+    }
 }
 
 /// Fig. 8: all-pairs GPU bidirectional bandwidth matrix of one machine.
@@ -124,8 +129,15 @@ pub struct Fig8 {
 /// Generates Fig. 8 for one machine preset.
 pub fn fig8(machine: &Machine) -> Fig8 {
     let gpus = machine.gpus().to_vec();
-    let matrix = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), no_nvlink);
-    let pair = probe::probe_pair(machine.topology(), gpus[0], gpus[1], ByteSize::mib(64), no_nvlink);
+    let matrix =
+        probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), no_nvlink);
+    let pair = probe::probe_pair(
+        machine.topology(),
+        gpus[0],
+        gpus[1],
+        ByteSize::mib(64),
+        no_nvlink,
+    );
     Fig8 {
         machine: machine.name().to_string(),
         matrix,
@@ -209,8 +221,16 @@ mod tests {
     #[test]
     fn fig3_matches_paper_speedups() {
         let f = fig3();
-        assert!((16.0..17.5).contains(&f.read_speedup), "read {}", f.read_speedup);
-        assert!((3.8..4.2).contains(&f.write_speedup), "write {}", f.write_speedup);
+        assert!(
+            (16.0..17.5).contains(&f.read_speedup),
+            "read {}",
+            f.read_speedup
+        );
+        assert!(
+            (3.8..4.2).contains(&f.write_speedup),
+            "write {}",
+            f.write_speedup
+        );
         assert_eq!(f.rows.len(), 3);
     }
 
@@ -219,7 +239,10 @@ mod tests {
         let f = fig13();
         let (label, read, _) = &f.curves[0];
         assert_eq!(*label, "CCI");
-        assert!(read.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "CCI read flat");
+        assert!(
+            read.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "CCI read flat"
+        );
         let (label, read, _) = &f.curves[2];
         assert_eq!(*label, "GPU Direct");
         assert!(read.last().unwrap() > &(read[0] * 2.0), "direct read ramps");
@@ -248,7 +271,10 @@ mod tests {
     fn fig15_v100_remote_beats_local_bandwidth() {
         let f = fig15(&machines::aws_v100());
         assert!(f.best_remote.bandwidth > f.local.bandwidth * 1.4);
-        assert!(f.local.latency < f.best_remote.latency, "local latency always wins");
+        assert!(
+            f.local.latency < f.best_remote.latency,
+            "local latency always wins"
+        );
     }
 
     #[test]

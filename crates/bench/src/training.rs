@@ -145,11 +145,41 @@ fn compare(
 /// including the V100 two-workers-per-device variant.
 pub fn fig16_single_node() -> Vec<SchemeComparison> {
     vec![
-        compare("fig16a", machines::aws_t4(), PartitionScheme::OneToOne, zoo::resnet50(), 64),
-        compare("fig16b", machines::aws_t4(), PartitionScheme::OneToOne, zoo::bert_base(), 2),
-        compare("fig16c", machines::sdsc_p100(), PartitionScheme::OneToOne, zoo::bert_large(), 2),
-        compare("fig16d", machines::aws_v100(), PartitionScheme::OneToOne, zoo::bert_large(), 2),
-        compare("fig16d-2to1", machines::aws_v100(), PartitionScheme::TwoToOne, zoo::bert_large(), 2),
+        compare(
+            "fig16a",
+            machines::aws_t4(),
+            PartitionScheme::OneToOne,
+            zoo::resnet50(),
+            64,
+        ),
+        compare(
+            "fig16b",
+            machines::aws_t4(),
+            PartitionScheme::OneToOne,
+            zoo::bert_base(),
+            2,
+        ),
+        compare(
+            "fig16c",
+            machines::sdsc_p100(),
+            PartitionScheme::OneToOne,
+            zoo::bert_large(),
+            2,
+        ),
+        compare(
+            "fig16d",
+            machines::aws_v100(),
+            PartitionScheme::OneToOne,
+            zoo::bert_large(),
+            2,
+        ),
+        compare(
+            "fig16d-2to1",
+            machines::aws_v100(),
+            PartitionScheme::TwoToOne,
+            zoo::bert_large(),
+            2,
+        ),
     ]
 }
 

@@ -12,6 +12,8 @@
 use std::collections::{BTreeSet, HashMap};
 
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
 
 use crate::address::CciAddr;
@@ -54,12 +56,53 @@ struct RegionState {
 pub struct Directory {
     regions: HashMap<CciAddr, RegionState>,
     total: CoherenceCost,
+    /// Trace sink plus the directory's interned track, when tracing is on.
+    trace: Option<(SharedTracer, TrackId)>,
+    /// Externally supplied clock for trace stamps: the directory is an
+    /// untimed cost model, so callers set the time of the access they are
+    /// accounting for.
+    clock: SimTime,
 }
 
 impl Directory {
     /// An empty directory.
     pub fn new() -> Self {
         Directory::default()
+    }
+
+    /// Attaches a tracer under the given track label; every access then
+    /// samples the cumulative `messages` / `protocol_bytes` counters, and
+    /// writes that invalidate sharers emit an instant event.
+    pub fn set_tracer(&mut self, tracer: SharedTracer, label: &str) {
+        if tracer.is_enabled() {
+            let track = tracer.track(label);
+            self.trace = Some((tracer, track));
+        }
+    }
+
+    /// Sets the timestamp used for subsequent trace events.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
+    /// Samples the cumulative protocol counters onto the trace.
+    fn trace_totals(&self) {
+        if let Some((tracer, track)) = &self.trace {
+            tracer.counter(
+                self.clock,
+                category::COHERENCE,
+                *track,
+                "messages",
+                self.total.messages as f64,
+            );
+            tracer.counter(
+                self.clock,
+                category::COHERENCE,
+                *track,
+                "protocol_bytes",
+                self.total.protocol_bytes.as_f64(),
+            );
+        }
     }
 
     /// A coherent read of `region` (keyed by base address) by `reader`.
@@ -84,6 +127,7 @@ impl Directory {
         }
         state.sharers.insert(reader);
         self.total.add(cost);
+        self.trace_totals();
         cost
     }
 
@@ -114,6 +158,17 @@ impl Directory {
             protocol_bytes: ByteSize::bytes(messages * MESSAGE_BYTES + contention),
         };
         self.total.add(cost);
+        if invalidated > 0 {
+            if let Some((tracer, track)) = &self.trace {
+                tracer.instant(
+                    self.clock,
+                    category::COHERENCE,
+                    *track,
+                    &format!("write {region:?} invalidated {invalidated} sharer(s)"),
+                );
+            }
+        }
+        self.trace_totals();
         cost
     }
 
@@ -220,6 +275,45 @@ mod tests {
         assert_eq!(sharing_overhead_factor(0), 1.0);
         assert_eq!(sharing_overhead_factor(1), 1.0);
         assert!(sharing_overhead_factor(4) > sharing_overhead_factor(2));
+    }
+
+    #[test]
+    fn tracing_samples_protocol_counters() {
+        use coarse_simcore::time::SimTime;
+        use coarse_simcore::trace::{RecordingTracer, TraceEventKind};
+
+        let ds = devices(3);
+        let rec = RecordingTracer::new();
+        let mut dir = Directory::new();
+        dir.set_tracer(rec.handle(), "coherence dir");
+        dir.read(REGION, ds[1], ByteSize::kib(4));
+        dir.read(REGION, ds[2], ByteSize::kib(4));
+        dir.set_time(SimTime::from_nanos(100));
+        dir.write(REGION, ds[0], ByteSize::kib(4));
+        let total = dir.total_cost();
+
+        let trace = rec.take();
+        // Two counters per access, three accesses.
+        let counters: Vec<_> = trace
+            .events_in(coarse_simcore::trace::category::COHERENCE)
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Counter { value } => Some((e.name.clone(), e.time, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters.len(), 6);
+        let (name, time, value) = counters[counters.len() - 2].clone();
+        assert_eq!(name, "messages");
+        assert_eq!(time, SimTime::from_nanos(100));
+        assert_eq!(value, total.messages as f64);
+        // The invalidating write emits an instant.
+        assert_eq!(
+            trace
+                .events_in(coarse_simcore::trace::category::COHERENCE)
+                .filter(|e| e.kind == TraceEventKind::Instant)
+                .count(),
+            1
+        );
     }
 
     #[test]

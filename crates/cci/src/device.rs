@@ -184,7 +184,10 @@ impl MemoryDevice {
     ///
     /// Panics if `sync_cores` is zero.
     pub fn new(fabric_id: DeviceId, capacity: ByteSize, sync_cores: usize) -> Self {
-        assert!(sync_cores > 0, "a memory device needs at least one sync core");
+        assert!(
+            sync_cores > 0,
+            "a memory device needs at least one sync core"
+        );
         MemoryDevice {
             fabric_id,
             capacity,

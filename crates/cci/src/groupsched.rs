@@ -110,7 +110,11 @@ mod tests {
 
     fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|i| (0..len).map(|j| ((i * 13 + j * 3) % 64) as f32 * 0.25).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 13 + j * 3) % 64) as f32 * 0.25)
+                    .collect()
+            })
             .collect()
     }
 
@@ -135,10 +139,7 @@ mod tests {
         assert_eq!(stats.per_group[0].chunks, 4);
         assert_eq!(stats.per_group[1].chunks, 4);
         // Equal chunks → equal traffic → the critical group carries half.
-        assert_eq!(
-            stats.critical_group_bytes() * 2,
-            stats.total_bytes()
-        );
+        assert_eq!(stats.critical_group_bytes() * 2, stats.total_bytes());
     }
 
     #[test]

@@ -79,11 +79,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -130,7 +134,10 @@ mod tests {
     fn store_with_data() -> ParameterStore {
         let mut store = ParameterStore::new();
         store.insert(&Tensor::new(TensorId(3), vec![1.5, -2.25, 3.0]));
-        store.insert(&Tensor::new(TensorId(1), (0..3000).map(|i| i as f32).collect()));
+        store.insert(&Tensor::new(
+            TensorId(1),
+            (0..3000).map(|i| i as f32).collect(),
+        ));
         store
     }
 
@@ -151,7 +158,10 @@ mod tests {
     fn image_is_deterministic() {
         let mut a = store_with_data();
         let mut b = store_with_data();
-        assert_eq!(encode_snapshot(&a.snapshot()), encode_snapshot(&b.snapshot()));
+        assert_eq!(
+            encode_snapshot(&a.snapshot()),
+            encode_snapshot(&b.snapshot())
+        );
     }
 
     #[test]
@@ -159,7 +169,10 @@ mod tests {
         let mut store = store_with_data();
         let mut image = encode_snapshot(&store.snapshot());
         image[0] = b'X';
-        assert_eq!(decode_checkpoint(&image).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode_checkpoint(&image).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! (in `coarse-collectives`) prices the same step/byte counts reported in
 //! [`SyncStats`].
 
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
 
 /// Ring traversal direction of a sync group.
@@ -82,6 +84,11 @@ pub struct SyncGroup {
     chunk_elems: usize,
     direction: RingDirection,
     cores: Vec<SyncCore>,
+    /// Trace sink plus this group's interned track, when tracing is on.
+    trace: Option<(SharedTracer, TrackId)>,
+    /// Logical clock for trace stamps: the functional ring has no real
+    /// timing, so each ring step advances one nanosecond of "step time".
+    clock: SimTime,
 }
 
 impl SyncGroup {
@@ -98,7 +105,29 @@ impl SyncGroup {
             chunk_elems,
             direction,
             cores: vec![SyncCore::default(); n],
+            trace: None,
+            clock: SimTime::ZERO,
         }
+    }
+
+    /// Attaches a tracer under the given track label; the group then emits
+    /// one span per ring step plus a cumulative `bytes_sent` counter on its
+    /// own track, stamped by a logical step clock (1 ns per step).
+    pub fn set_tracer(&mut self, tracer: SharedTracer, label: &str) {
+        if tracer.is_enabled() {
+            let dir = match self.direction {
+                RingDirection::Forward => "fwd",
+                RingDirection::Reverse => "rev",
+            };
+            let track = tracer.track(&format!("{label} ({dir})"));
+            self.trace = Some((tracer, track));
+        }
+    }
+
+    /// Advances the logical trace clock, aligning subsequent step spans
+    /// with an external schedule.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
     }
 
     /// Number of cores (= devices) in the group.
@@ -191,6 +220,34 @@ impl SyncGroup {
         start..start + seg_len
     }
 
+    /// Emits a trace span for one finished ring step and advances the
+    /// logical clock.
+    fn trace_step(&mut self, phase: &str, step: usize, stats: &SyncStats) {
+        let Some((tracer, track)) = self.trace.clone() else {
+            return;
+        };
+        let dir = match self.direction {
+            RingDirection::Forward => "fwd",
+            RingDirection::Reverse => "rev",
+        };
+        let end = self.clock + SimDuration::from_nanos(1);
+        tracer.span(
+            self.clock,
+            end,
+            category::SYNC,
+            track,
+            &format!("{phase} step {} ({dir})", step + 1),
+        );
+        tracer.counter(
+            end,
+            category::SYNC,
+            track,
+            "bytes_sent",
+            stats.total_bytes_sent.as_f64(),
+        );
+        self.clock = end;
+    }
+
     /// Ring allreduce over the cores' `LocalBuf`s (one chunk).
     fn ring_chunk(&mut self, stats: &mut SyncStats) {
         let n = self.n;
@@ -225,6 +282,7 @@ impl SyncGroup {
                 }
             }
             stats.steps += 1;
+            self.trace_step("reduce-scatter", step, stats);
         }
         // All-gather: circulate the finished segments.
         for step in 0..n - 1 {
@@ -247,6 +305,7 @@ impl SyncGroup {
                 core.local_buf[range].copy_from_slice(&data);
             }
             stats.steps += 1;
+            self.trace_step("all-gather", step, stats);
         }
     }
 }
@@ -275,7 +334,11 @@ mod tests {
 
     fn make_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) % 97) as f32 * 0.5).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 7) % 97) as f32 * 0.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -363,6 +426,40 @@ mod tests {
             assert!(!c.send_buf.is_empty());
             assert!(!c.recv_buf.is_empty());
         }
+    }
+
+    #[test]
+    fn tracing_records_ring_steps_without_changing_result() {
+        use coarse_simcore::trace::RecordingTracer;
+
+        let inputs = make_inputs(4, 100);
+        let mut plain = SyncGroup::new(4, 50, RingDirection::Reverse);
+        let (expected, _) = plain.allreduce_sum(&inputs);
+
+        let rec = RecordingTracer::new();
+        let mut traced = SyncGroup::new(4, 50, RingDirection::Reverse);
+        traced.set_tracer(rec.handle(), "group 0");
+        let (got, stats) = traced.allreduce_sum(&inputs);
+        assert_eq!(got, expected, "tracing must not perturb the reduction");
+
+        let trace = rec.take();
+        let spans = trace
+            .events_in(coarse_simcore::trace::category::SYNC)
+            .filter(|e| matches!(e.kind, coarse_simcore::trace::TraceEventKind::Span { .. }))
+            .count();
+        assert_eq!(spans as u64, stats.steps, "one span per ring step");
+        assert!(trace.find_track("group 0 (rev)").is_some());
+        // The cumulative bytes counter ends at the ring-identity total.
+        let last_counter = trace
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match e.kind {
+                coarse_simcore::trace::TraceEventKind::Counter { value } => Some(value),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_counter, stats.total_bytes_sent.as_f64());
     }
 
     #[test]

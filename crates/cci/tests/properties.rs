@@ -1,13 +1,13 @@
 //! Property tests for the CCI substrate: storage, persistence, sync cores,
-//! coherence, and the address space.
-
-use proptest::prelude::*;
+//! coherence, and the address space, driven by the in-repo deterministic
+//! harness.
 
 use coarse_cci::address::{AddressSpace, CciAddr};
 use coarse_cci::persist::{decode_checkpoint, encode_snapshot};
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::synccore::{RingDirection, SyncGroup};
 use coarse_cci::tensor::{Tensor, TensorId};
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::units::ByteSize;
 
 fn scratch_devices(n: usize) -> Vec<coarse_fabric::device::DeviceId> {
@@ -23,18 +23,16 @@ fn scratch_devices(n: usize) -> Vec<coarse_fabric::device::DeviceId> {
         .collect()
 }
 
-proptest! {
-    /// Checkpoint images round-trip any store contents exactly (bit-exact
-    /// floats, including negatives, infinities and NaN payload layouts are
-    /// avoided by construction of f32 from arbitrary bits being allowed —
-    /// we use finite values here since training parameters are finite).
-    #[test]
-    fn checkpoint_round_trip(
-        tensors in proptest::collection::vec(
-            (0u64..50, proptest::collection::vec(-1e30f32..1e30, 1..200)),
-            1..10
-        ),
-    ) {
+/// Checkpoint images round-trip any store contents exactly (training
+/// parameters are finite, so we generate finite values).
+#[test]
+fn checkpoint_round_trip() {
+    run_cases("checkpoint_round_trip", 48, |g: &mut Gen| {
+        let tensors = g.vec_of(1..10, |g| {
+            let id = g.u64_in(0..50);
+            let data = g.vec_of(1..200, |g| g.f32_in(-1e30, 1e30));
+            (id, data)
+        });
         let mut store = ParameterStore::new();
         let mut expected: std::collections::HashMap<u64, Vec<f32>> = Default::default();
         for (id, data) in tensors {
@@ -44,20 +42,21 @@ proptest! {
         }
         let image = encode_snapshot(&store.snapshot());
         let (decoded, _) = decode_checkpoint(&image).unwrap();
-        prop_assert_eq!(decoded.len(), expected.len());
+        assert_eq!(decoded.len(), expected.len());
         for (id, data) in expected {
-            prop_assert_eq!(decoded.get(TensorId(id)).unwrap().into_data(), data);
+            assert_eq!(decoded.get(TensorId(id)).unwrap().into_data(), data);
         }
-    }
+    });
+}
 
-    /// COW bookkeeping is conserved: copied + in-place + unchanged chunks
-    /// always equals the tensor's chunk count.
-    #[test]
-    fn cow_chunk_conservation(
-        len in 1usize..10_000,
-        snapshot_first in any::<bool>(),
-        flips in proptest::collection::vec(0usize..10_000, 0..30),
-    ) {
+/// COW bookkeeping is conserved: copied + in-place + unchanged chunks
+/// always equals the tensor's chunk count.
+#[test]
+fn cow_chunk_conservation() {
+    run_cases("cow_chunk_conservation", 64, |g: &mut Gen| {
+        let len = g.usize_in(1..10_000);
+        let snapshot_first = g.bool();
+        let flips = g.vec_of(0..30, |g| g.usize_in(0..10_000));
         let mut store = ParameterStore::new();
         store.insert(&Tensor::new(TensorId(0), vec![0.0; len]));
         let snap = snapshot_first.then(|| store.snapshot());
@@ -67,36 +66,40 @@ proptest! {
         }
         let stats = store.update(TensorId(0), &data);
         let chunks = len.div_ceil(coarse_cci::storage::CHUNK_ELEMS) as u64;
-        prop_assert_eq!(
+        assert_eq!(
             stats.chunks_copied + stats.chunks_in_place + stats.chunks_unchanged,
             chunks
         );
         if snap.is_some() {
-            prop_assert_eq!(stats.chunks_in_place, 0, "shared chunks must copy");
+            assert_eq!(stats.chunks_in_place, 0, "shared chunks must copy");
         } else {
-            prop_assert_eq!(stats.chunks_copied, 0, "unshared chunks mutate in place");
+            assert_eq!(stats.chunks_copied, 0, "unshared chunks mutate in place");
         }
-    }
+    });
+}
 
-    /// allreduce_mean is idempotent for identical inputs: the mean of p
-    /// copies of x is x.
-    #[test]
-    fn mean_of_identical_inputs_is_identity(
-        n in 2usize..6,
-        data in proptest::collection::vec(-1e3f32..1e3, 1..300),
-    ) {
+/// allreduce_mean is idempotent for identical inputs: the mean of p copies
+/// of x is x.
+#[test]
+fn mean_of_identical_inputs_is_identity() {
+    run_cases("mean_of_identical_inputs_is_identity", 48, |g: &mut Gen| {
+        let n = g.usize_in(2..6);
+        let data = g.vec_of(1..300, |g| g.f32_in(-1e3, 1e3));
         let inputs: Vec<Vec<f32>> = (0..n).map(|_| data.clone()).collect();
-        let mut g = SyncGroup::new(n, 64, RingDirection::Forward);
-        let (mean, _) = g.allreduce_mean(&inputs);
+        let mut grp = SyncGroup::new(n, 64, RingDirection::Forward);
+        let (mean, _) = grp.allreduce_mean(&inputs);
         for (a, b) in mean.iter().zip(&data) {
-            prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+            assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
         }
-    }
+    });
+}
 
-    /// Address space: every mapped region resolves to its owner at every
-    /// offset boundary, and distinct regions never alias.
-    #[test]
-    fn address_space_no_aliasing(sizes in proptest::collection::vec(1u64..100_000, 1..20)) {
+/// Address space: every mapped region resolves to its owner at every
+/// offset boundary, and distinct regions never alias.
+#[test]
+fn address_space_no_aliasing() {
+    run_cases("address_space_no_aliasing", 64, |g: &mut Gen| {
+        let sizes = g.vec_of(1..20, |g| g.u64_in(1..100_000));
         let devices = scratch_devices(sizes.len());
         let mut space = AddressSpace::new();
         let regions: Vec<_> = sizes
@@ -106,20 +109,23 @@ proptest! {
             .collect();
         for (r, &d) in regions.iter().zip(&devices) {
             let (owner, off) = space.resolve(r.base).unwrap();
-            prop_assert_eq!(owner, d);
-            prop_assert_eq!(off, 0);
+            assert_eq!(owner, d);
+            assert_eq!(off, 0);
             let last = CciAddr(r.end() - 1);
             let (owner, off) = space.resolve(last).unwrap();
-            prop_assert_eq!(owner, d);
-            prop_assert_eq!(off, r.size.as_u64() - 1);
+            assert_eq!(owner, d);
+            assert_eq!(off, r.size.as_u64() - 1);
         }
-    }
+    });
+}
 
-    /// Coherence: a write round's message count is exactly 2 + 2·(other
-    /// current sharers), for any access history.
-    #[test]
-    fn coherence_message_arithmetic(readers in 1usize..8) {
+/// Coherence: a write round's message count is exactly 2 + 2·(other
+/// current sharers), for any access history.
+#[test]
+fn coherence_message_arithmetic() {
+    run_cases("coherence_message_arithmetic", 32, |g: &mut Gen| {
         use coarse_cci::coherence::Directory;
+        let readers = g.usize_in(1..8);
         let devices = scratch_devices(readers + 1);
         let mut dir = Directory::new();
         let region = CciAddr(0x1000);
@@ -127,8 +133,8 @@ proptest! {
             dir.read(region, d, ByteSize::kib(64));
         }
         let cost = dir.write(region, devices[0], ByteSize::kib(64));
-        prop_assert_eq!(cost.messages, 2 + 2 * readers as u64);
-    }
+        assert_eq!(cost.messages, 2 + 2 * readers as u64);
+    });
 }
 
 /// Snapshot chains: restoring checkpoints in reverse order replays history

@@ -102,7 +102,11 @@ mod tests {
     fn matches_sync_core_group() {
         use coarse_cci::synccore::{RingDirection, SyncGroup};
         let inputs: Vec<Vec<f32>> = (0..4)
-            .map(|i| (0..101).map(|j| ((i + 1) * (j + 3)) as f32 * 0.25).collect())
+            .map(|i| {
+                (0..101)
+                    .map(|j| ((i + 1) * (j + 3)) as f32 * 0.25)
+                    .collect()
+            })
             .collect();
         let mut g = SyncGroup::new(4, 32, RingDirection::Forward);
         let (ring_result, _) = g.allreduce_sum(&inputs);

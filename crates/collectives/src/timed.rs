@@ -11,6 +11,7 @@ use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::topology::Link;
 use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::trace::category;
 use coarse_simcore::units::ByteSize;
 
 use coarse_cci::synccore::RingDirection;
@@ -92,12 +93,42 @@ pub fn ring_allreduce(
             RingDirection::Reverse => (i + p - 1) % p,
         }
     };
+    // One trace track per ring identity: every step span of this collective
+    // lands on the same row, named "<phase> step k/n (dir)".
+    let ring_track = engine.tracer().cloned().map(|t| {
+        let name = format!(
+            "sync ring {}..{} x{p}",
+            engine.topology().device(ring[0]).name(),
+            engine.topology().device(ring[p - 1]).name(),
+        );
+        (t.track(&name), t)
+    });
+    let steps = 2 * (p - 1);
     let mut step_start = start;
-    for _step in 0..2 * (p - 1) {
+    for step in 0..steps {
         let mut step_end = step_start;
         for i in 0..p {
-            let rec = engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
+            let rec =
+                engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+        }
+        if let Some((track, tracer)) = &ring_track {
+            let phase = if step < p - 1 {
+                "reduce-scatter"
+            } else {
+                "all-gather"
+            };
+            let dir = match direction {
+                RingDirection::Forward => "fwd",
+                RingDirection::Reverse => "rev",
+            };
+            tracer.span(
+                step_start,
+                step_end,
+                category::SYNC,
+                *track,
+                &format!("{phase} step {}/{steps} ({dir})", step + 1),
+            );
         }
         step_start = step_end;
     }
@@ -134,9 +165,8 @@ pub fn sync_core_allreduce(
     assert!(devices.len() >= 2, "need at least two memory devices");
     assert!(groups >= 1, "need at least one sync group");
     assert!(wire_factor >= 1.0, "wire factor must be ≥ 1");
-    let per_group = ByteSize::bytes(
-        ((payload.as_u64().div_ceil(groups as u64)) as f64 * wire_factor) as u64,
-    );
+    let per_group =
+        ByteSize::bytes(((payload.as_u64().div_ceil(groups as u64)) as f64 * wire_factor) as u64);
     let ready_vec = vec![ready; devices.len()];
     let mut end = ready;
     // Groups run concurrently: each schedules its own transfers starting at
@@ -170,11 +200,29 @@ fn ring_phase(
     allow: impl Fn(&Link) -> bool + Copy,
 ) -> Result<SimTime, TransferError> {
     let p = ring.len();
-    for _ in 0..steps {
+    let ring_track = engine.tracer().cloned().map(|t| {
+        let name = format!(
+            "hier ring {}..{} x{p}",
+            engine.topology().device(ring[0]).name(),
+            engine.topology().device(ring[p - 1]).name(),
+        );
+        (t.track(&name), t)
+    });
+    for step in 0..steps {
         let mut step_end = step_start;
         for i in 0..p {
-            let rec = engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
+            let rec =
+                engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+        }
+        if let Some((track, tracer)) = &ring_track {
+            tracer.span(
+                step_start,
+                step_end,
+                category::SYNC,
+                *track,
+                &format!("phase step {}/{steps}", step + 1),
+            );
         }
         step_start = step_end;
     }
@@ -310,13 +358,30 @@ mod tests {
         let gpus = m.gpus().to_vec();
         let mut e = TransferEngine::new(m.into_topology());
         let ready = vec![SimTime::ZERO; 4];
-        let small = ring_allreduce(&mut e, &gpus, ByteSize::mib(4), &ready,
-                                   RingDirection::Forward, pcie_only).unwrap();
+        let small = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(4),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
         e.reset();
-        let large = ring_allreduce(&mut e, &gpus, ByteSize::mib(64), &ready,
-                                   RingDirection::Forward, pcie_only).unwrap();
+        let large = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(64),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
         let ratio = large.elapsed().as_secs_f64() / small.elapsed().as_secs_f64();
-        assert!(ratio > 8.0 && ratio < 24.0, "expected ~16x scaling, got {ratio}");
+        assert!(
+            ratio > 8.0 && ratio < 24.0,
+            "expected ~16x scaling, got {ratio}"
+        );
     }
 
     fn cci_only(l: &Link) -> bool {
@@ -336,13 +401,45 @@ mod tests {
         let payload = ByteSize::mib(32);
 
         let mut e = TransferEngine::new(m.topology().clone());
-        let a = ring_allreduce(&mut e, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
-        let b = ring_allreduce(&mut e, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let a = ring_allreduce(
+            &mut e,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
+        let b = ring_allreduce(
+            &mut e,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
         let same_dir_end = a.end.max(b.end);
 
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let a2 = ring_allreduce(&mut e2, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
-        let b2 = ring_allreduce(&mut e2, &devs, payload, &ready, RingDirection::Reverse, cci_only).unwrap();
+        let a2 = ring_allreduce(
+            &mut e2,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
+        let b2 = ring_allreduce(
+            &mut e2,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Reverse,
+            cci_only,
+        )
+        .unwrap();
         let opp_dir_end = a2.end.max(b2.end);
 
         assert!(
@@ -359,9 +456,27 @@ mod tests {
         let payload = ByteSize::mib(64);
 
         let mut e1 = TransferEngine::new(m.topology().clone());
-        let one = sync_core_allreduce(&mut e1, &p.mem_devices, payload, 1, SimTime::ZERO, 1.0, cci_only).unwrap();
+        let one = sync_core_allreduce(
+            &mut e1,
+            &p.mem_devices,
+            payload,
+            1,
+            SimTime::ZERO,
+            1.0,
+            cci_only,
+        )
+        .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let two = sync_core_allreduce(&mut e2, &p.mem_devices, payload, 2, SimTime::ZERO, 1.0, cci_only).unwrap();
+        let two = sync_core_allreduce(
+            &mut e2,
+            &p.mem_devices,
+            payload,
+            2,
+            SimTime::ZERO,
+            1.0,
+            cci_only,
+        )
+        .unwrap();
         assert!(
             two.elapsed() < one.elapsed().mul_f64(0.7),
             "two bidirectional groups ({:?}) must beat one ({:?})",
@@ -376,9 +491,27 @@ mod tests {
         let p = m.partition(PartitionScheme::OneToOne);
         let payload = ByteSize::mib(32);
         let mut e1 = TransferEngine::new(m.topology().clone());
-        let clean = sync_core_allreduce(&mut e1, &p.mem_devices, payload, 2, SimTime::ZERO, 1.0, pcie_only).unwrap();
+        let clean = sync_core_allreduce(
+            &mut e1,
+            &p.mem_devices,
+            payload,
+            2,
+            SimTime::ZERO,
+            1.0,
+            pcie_only,
+        )
+        .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let noisy = sync_core_allreduce(&mut e2, &p.mem_devices, payload, 2, SimTime::ZERO, 1.3, pcie_only).unwrap();
+        let noisy = sync_core_allreduce(
+            &mut e2,
+            &p.mem_devices,
+            payload,
+            2,
+            SimTime::ZERO,
+            1.3,
+            pcie_only,
+        )
+        .unwrap();
         assert!(noisy.elapsed() > clean.elapsed());
     }
 
@@ -390,9 +523,25 @@ mod tests {
         let ready = vec![SimTime::ZERO; ring.len()];
         let payload = ByteSize::mib(64);
         let mut e = TransferEngine::new(m.topology().clone());
-        let nv = ring_allreduce(&mut e, &ring, payload, &ready, RingDirection::Forward, all_links).unwrap();
+        let nv = ring_allreduce(
+            &mut e,
+            &ring,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            all_links,
+        )
+        .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let pcie = ring_allreduce(&mut e2, &part.workers, payload, &ready, RingDirection::Forward, pcie_only).unwrap();
+        let pcie = ring_allreduce(
+            &mut e2,
+            &part.workers,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
         assert!(nv.elapsed() < pcie.elapsed());
     }
 
@@ -405,11 +554,20 @@ mod tests {
         let ready = vec![SimTime::ZERO; 8];
         let payload = ByteSize::mib(64);
         let mut e = TransferEngine::new(m.topology().clone());
-        let hier = hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready, all_links).unwrap();
+        let hier =
+            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready, all_links).unwrap();
         // Single-node ring over n0 alone must be much faster than the
         // network-bound two-node collective.
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let single = ring_allreduce(&mut e2, &n0, payload, &ready[..4], RingDirection::Forward, all_links).unwrap();
+        let single = ring_allreduce(
+            &mut e2,
+            &n0,
+            payload,
+            &ready[..4],
+            RingDirection::Forward,
+            all_links,
+        )
+        .unwrap();
         assert!(hier.elapsed() > single.elapsed() * 2);
     }
 
@@ -419,7 +577,15 @@ mod tests {
         let gpus = m.gpus().to_vec();
         let mut e = TransferEngine::new(m.into_topology());
         let ready = vec![SimTime::ZERO; 4];
-        let r = ring_allreduce(&mut e, &gpus, ByteSize::mib(64), &ready, RingDirection::Forward, pcie_only).unwrap();
+        let r = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(64),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
         let util = ring_bandwidth_utilization(&r, 4, 13.0 * (1u64 << 30) as f64);
         assert!(util > 0.1 && util < 1.0, "utilization {util} out of range");
     }

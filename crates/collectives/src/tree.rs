@@ -70,7 +70,13 @@ pub fn tree_allreduce(
         let mut i = stride;
         while i < p {
             let parent = i - stride;
-            let rec = engine.transfer_filtered(members[parent], members[i], payload, avail[parent], allow)?;
+            let rec = engine.transfer_filtered(
+                members[parent],
+                members[i],
+                payload,
+                avail[parent],
+                allow,
+            )?;
             avail[i] = rec.end;
             i += stride * 2;
         }
@@ -101,8 +107,15 @@ pub fn crossover_payload(
     let ready = vec![SimTime::ZERO; members.len()];
     candidates.iter().copied().find(|&size| {
         let mut e1 = make_engine();
-        let ring = ring_allreduce(&mut e1, members, size, &ready, RingDirection::Forward, allow)
-            .expect("connected");
+        let ring = ring_allreduce(
+            &mut e1,
+            members,
+            size,
+            &ready,
+            RingDirection::Forward,
+            allow,
+        )
+        .expect("connected");
         let mut e2 = make_engine();
         let tree = tree_allreduce(&mut e2, members, size, &ready, allow).expect("connected");
         ring.elapsed() <= tree.elapsed()
@@ -149,7 +162,15 @@ mod tests {
         // tree's 4.
         let tiny = ByteSize::bytes(256);
         let mut e1 = TransferEngine::new(m.topology().clone());
-        let ring_s = ring_allreduce(&mut e1, &devs, tiny, &ready, RingDirection::Forward, cci_only).unwrap();
+        let ring_s = ring_allreduce(
+            &mut e1,
+            &devs,
+            tiny,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
         let tree_s = tree_allreduce(&mut e2, &devs, tiny, &ready, cci_only).unwrap();
         assert!(
@@ -162,7 +183,15 @@ mod tests {
         // full-payload hops.
         let big = ByteSize::mib(64);
         let mut e3 = TransferEngine::new(m.topology().clone());
-        let ring_l = ring_allreduce(&mut e3, &devs, big, &ready, RingDirection::Forward, cci_only).unwrap();
+        let ring_l = ring_allreduce(
+            &mut e3,
+            &devs,
+            big,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
         let mut e4 = TransferEngine::new(m.topology().clone());
         let tree_l = tree_allreduce(&mut e4, &devs, big, &ready, cci_only).unwrap();
         assert!(

@@ -1,6 +1,5 @@
-//! Property tests for the collectives layer.
-
-use proptest::prelude::*;
+//! Property tests for the collectives layer, driven by the in-repo
+//! deterministic harness.
 
 use coarse_cci::synccore::RingDirection;
 use coarse_collectives::functional;
@@ -9,64 +8,82 @@ use coarse_collectives::tree::tree_allreduce;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, aws_v100_cluster, PartitionScheme};
 use coarse_fabric::topology::{Link, LinkClass};
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::prelude::*;
 
 fn cci_only(l: &Link) -> bool {
     l.class() == LinkClass::Cci
 }
 
-proptest! {
-    /// Functional reduce-scatter + all-gather equals allreduce for any
-    /// inputs and member counts.
-    #[test]
-    fn scatter_gather_identity(
-        n in 1usize..8,
-        len in 0usize..300,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Functional reduce-scatter + all-gather equals allreduce for any inputs
+/// and member counts.
+#[test]
+fn scatter_gather_identity() {
+    run_cases("scatter_gather_identity", 64, |g: &mut Gen| {
+        let n = g.usize_in(1..8);
+        let len = g.usize_in(0..300);
         let inputs: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..len).map(|_| rng.range_f64(-8.0, 8.0) as f32).collect())
+            .map(|_| (0..len).map(|_| g.f32_in(-8.0, 8.0)).collect())
             .collect();
         let scattered = functional::reduce_scatter(&inputs);
-        prop_assert_eq!(
+        assert_eq!(
             functional::all_gather(&scattered),
             functional::allreduce_sum(&inputs)
         );
-    }
+    });
+}
 
-    /// Timed ring allreduce elapsed time is monotone in payload and never
-    /// starts before the slowest member is ready.
-    #[test]
-    fn ring_time_monotone_and_respects_ready(
-        small_kib in 1u64..1000,
-        factor in 2u64..16,
-        slow_ready_us in 0u64..10_000,
-    ) {
-        let mut machine = aws_v100();
-        let part = machine.partition(PartitionScheme::OneToOne);
-        machine.augment_cci_ring(&part.mem_devices);
-        let devs = part.mem_devices.clone();
-        let mut ready = vec![SimTime::ZERO; devs.len()];
-        ready[2] = SimTime::ZERO + SimDuration::from_micros(slow_ready_us);
+/// Timed ring allreduce elapsed time is monotone in payload and never
+/// starts before the slowest member is ready.
+#[test]
+fn ring_time_monotone_and_respects_ready() {
+    run_cases(
+        "ring_time_monotone_and_respects_ready",
+        32,
+        |g: &mut Gen| {
+            let small_kib = g.u64_in(1..1000);
+            let factor = g.u64_in(2..16);
+            let slow_ready_us = g.u64_in(0..10_000);
+            let mut machine = aws_v100();
+            let part = machine.partition(PartitionScheme::OneToOne);
+            machine.augment_cci_ring(&part.mem_devices);
+            let devs = part.mem_devices.clone();
+            let mut ready = vec![SimTime::ZERO; devs.len()];
+            ready[2] = SimTime::ZERO + SimDuration::from_micros(slow_ready_us);
 
-        let mut e1 = TransferEngine::new(machine.topology().clone());
-        let a = ring_allreduce(&mut e1, &devs, ByteSize::kib(small_kib), &ready,
-                               RingDirection::Forward, cci_only).unwrap();
-        let mut e2 = TransferEngine::new(machine.topology().clone());
-        let b = ring_allreduce(&mut e2, &devs, ByteSize::kib(small_kib * factor), &ready,
-                               RingDirection::Forward, cci_only).unwrap();
-        prop_assert!(b.elapsed() >= a.elapsed());
-        prop_assert_eq!(a.start, ready[2]);
-    }
+            let mut e1 = TransferEngine::new(machine.topology().clone());
+            let a = ring_allreduce(
+                &mut e1,
+                &devs,
+                ByteSize::kib(small_kib),
+                &ready,
+                RingDirection::Forward,
+                cci_only,
+            )
+            .unwrap();
+            let mut e2 = TransferEngine::new(machine.topology().clone());
+            let b = ring_allreduce(
+                &mut e2,
+                &devs,
+                ByteSize::kib(small_kib * factor),
+                &ready,
+                RingDirection::Forward,
+                cci_only,
+            )
+            .unwrap();
+            assert!(b.elapsed() >= a.elapsed());
+            assert_eq!(a.start, ready[2]);
+        },
+    );
+}
 
-    /// Tree and ring allreduce both respect ready times and complete, for
-    /// arbitrary member subsets of the CCI mesh.
-    #[test]
-    fn tree_and_ring_always_complete(
-        members in 2usize..5,
-        payload_kib in 1u64..4096,
-    ) {
+/// Tree and ring allreduce both respect ready times and complete, for
+/// arbitrary member subsets of the CCI mesh.
+#[test]
+fn tree_and_ring_always_complete() {
+    run_cases("tree_and_ring_always_complete", 32, |g: &mut Gen| {
+        let members = g.usize_in(2..5);
+        let payload_kib = g.u64_in(1..4096);
         let mut machine = aws_v100();
         let part = machine.partition(PartitionScheme::OneToOne);
         machine.augment_cci_mesh(&part.mem_devices);
@@ -74,17 +91,28 @@ proptest! {
         let ready = vec![SimTime::ZERO; members];
         let payload = ByteSize::kib(payload_kib);
         let mut e1 = TransferEngine::new(machine.topology().clone());
-        let ring = ring_allreduce(&mut e1, &devs, payload, &ready, RingDirection::Forward, cci_only).unwrap();
+        let ring = ring_allreduce(
+            &mut e1,
+            &devs,
+            payload,
+            &ready,
+            RingDirection::Forward,
+            cci_only,
+        )
+        .unwrap();
         let mut e2 = TransferEngine::new(machine.topology().clone());
         let tree = tree_allreduce(&mut e2, &devs, payload, &ready, cci_only).unwrap();
-        prop_assert!(ring.end > ring.start);
-        prop_assert!(tree.end > tree.start);
-    }
+        assert!(ring.end > ring.start);
+        assert!(tree.end > tree.start);
+    });
+}
 
-    /// Hierarchical allreduce over a cluster is never faster than the same
-    /// payload's single-node intra ring (the network can only add time).
-    #[test]
-    fn hierarchy_dominated_by_network(payload_mib in 1u64..64) {
+/// Hierarchical allreduce over a cluster is never faster than the same
+/// payload's single-node intra ring (the network can only add time).
+#[test]
+fn hierarchy_dominated_by_network() {
+    run_cases("hierarchy_dominated_by_network", 16, |g: &mut Gen| {
+        let payload_mib = g.u64_in(1..64);
         let machine = aws_v100_cluster(2);
         let part = machine.partition(PartitionScheme::OneToOne);
         let n0: Vec<_> = part
@@ -102,10 +130,19 @@ proptest! {
         let payload = ByteSize::mib(payload_mib);
         let ready2 = vec![SimTime::ZERO; 8];
         let mut e = TransferEngine::new(machine.topology().clone());
-        let hier = hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, |_| true).unwrap();
+        let hier =
+            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, |_| true).unwrap();
         let ready1 = vec![SimTime::ZERO; 4];
         let mut e2 = TransferEngine::new(machine.topology().clone());
-        let single = ring_allreduce(&mut e2, &n0, payload, &ready1, RingDirection::Forward, |_| true).unwrap();
-        prop_assert!(hier.elapsed() >= single.elapsed());
-    }
+        let single = ring_allreduce(
+            &mut e2,
+            &n0,
+            payload,
+            &ready1,
+            RingDirection::Forward,
+            |_| true,
+        )
+        .unwrap();
+        assert!(hier.elapsed() >= single.elapsed());
+    });
 }

@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
 
 use crate::routing::RoutingTable;
@@ -51,6 +53,11 @@ pub struct ParameterClient {
     table: RoutingTable,
     queue: VecDeque<PushRequest>,
     partitions: HashMap<TensorId, PartitionRecord>,
+    /// Trace sink plus this client's interned track, when tracing is on.
+    trace: Option<(SharedTracer, TrackId)>,
+    /// Externally supplied clock for trace stamps (the client itself is
+    /// untimed; the surrounding simulation owns the clock).
+    clock: SimTime,
 }
 
 impl ParameterClient {
@@ -61,6 +68,35 @@ impl ParameterClient {
             table,
             queue: VecDeque::new(),
             partitions: HashMap::new(),
+            trace: None,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches a tracer; push/partition/pull activity is then recorded on
+    /// a track named `"client <worker>"`.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        if tracer.is_enabled() {
+            let track = tracer.track(&format!("client {}", self.worker));
+            self.trace = Some((tracer, track));
+        }
+    }
+
+    /// Sets the timestamp used for subsequent trace events.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
+    /// Samples the wire-queue depth onto the trace.
+    fn trace_queue_depth(&self) {
+        if let Some((tracer, track)) = &self.trace {
+            tracer.counter(
+                self.clock,
+                category::CLIENT,
+                *track,
+                "queue_depth",
+                self.queue.len() as f64,
+            );
         }
     }
 
@@ -89,34 +125,33 @@ impl ParameterClient {
         // Partition only when at least two full shards result; each shard
         // must be *at least* the threshold size to keep full bandwidth
         // (§IV-B: "equal to or larger than the threshold").
-        let requests: Vec<PushRequest> = if size < self.table.threshold
-            || tensor.len() < 2 * shard_elems
-        {
-            let proxy = self.table.route_for(size);
-            vec![PushRequest {
-                proxy,
-                shard: TensorShard {
-                    tensor: tensor.id(),
-                    index: 0,
-                    offset: 0,
-                    data: tensor.data().to_vec(),
-                },
-                shard_count: 1,
-                tensor_len: tensor.len(),
-            }]
-        } else {
-            let shards = tensor.partition(shard_elems);
-            let count = shards.len() as u32;
-            shards
-                .into_iter()
-                .map(|shard| PushRequest {
-                    proxy: self.table.bw_proxy,
-                    shard,
-                    shard_count: count,
+        let requests: Vec<PushRequest> =
+            if size < self.table.threshold || tensor.len() < 2 * shard_elems {
+                let proxy = self.table.route_for(size);
+                vec![PushRequest {
+                    proxy,
+                    shard: TensorShard {
+                        tensor: tensor.id(),
+                        index: 0,
+                        offset: 0,
+                        data: tensor.data().to_vec(),
+                    },
+                    shard_count: 1,
                     tensor_len: tensor.len(),
-                })
-                .collect()
-        };
+                }]
+            } else {
+                let shards = tensor.partition(shard_elems);
+                let count = shards.len() as u32;
+                shards
+                    .into_iter()
+                    .map(|shard| PushRequest {
+                        proxy: self.table.bw_proxy,
+                        shard,
+                        shard_count: count,
+                        tensor_len: tensor.len(),
+                    })
+                    .collect()
+            };
         self.partitions.insert(
             tensor.id(),
             PartitionRecord {
@@ -127,13 +162,27 @@ impl ParameterClient {
         );
         let n = requests.len();
         self.queue.extend(requests);
+        if let Some((tracer, track)) = &self.trace {
+            let kind = if n == 1 { "whole" } else { "partitioned" };
+            tracer.instant(
+                self.clock,
+                category::CLIENT,
+                *track,
+                &format!("push {} ({size}, {n} {kind} shard(s))", tensor.id()),
+            );
+        }
+        self.trace_queue_depth();
         n
     }
 
     /// Dequeues the next wire request, if any (clients actively drain their
     /// queue, §IV-B).
     pub fn dequeue(&mut self) -> Option<PushRequest> {
-        self.queue.pop_front()
+        let req = self.queue.pop_front();
+        if req.is_some() {
+            self.trace_queue_depth();
+        }
+        req
     }
 
     /// Number of queued wire requests.
@@ -156,6 +205,14 @@ impl ParameterClient {
         record.received.push(shard);
         if record.received.len() as u32 == record.shard_count {
             let record = self.partitions.remove(&id).expect("record exists");
+            if let Some((tracer, track)) = &self.trace {
+                tracer.instant(
+                    self.clock,
+                    category::CLIENT,
+                    *track,
+                    &format!("pull {id} complete ({} shard(s))", record.shard_count),
+                );
+            }
             Some(Tensor::reconstruct(id, record.len, &record.received))
         } else {
             None

@@ -60,11 +60,9 @@ impl ProxyQueues {
     fn serviceable(&self, c: Contribution, policy: SchedulingPolicy) -> bool {
         match policy {
             SchedulingPolicy::Fcfs => self.fifo.front() == Some(&c),
-            SchedulingPolicy::PerClientQueues => self
-                .per_client
-                .get(&c.client)
-                .and_then(|q| q.front())
-                == Some(&c),
+            SchedulingPolicy::PerClientQueues => {
+                self.per_client.get(&c.client).and_then(|q| q.front()) == Some(&c)
+            }
         }
     }
 
@@ -289,7 +287,10 @@ mod tests {
                 deadlocks += 1;
             }
         }
-        assert!(deadlocks > 10, "FCFS should deadlock often, saw {deadlocks}/20");
+        assert!(
+            deadlocks > 10,
+            "FCFS should deadlock often, saw {deadlocks}/20"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! T_sync(x) = 2(p−1)/p · x / B
 //! ```
 
-use coarse_simcore::time::SimDuration;
+use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::trace::{category, SharedTracer};
 use coarse_simcore::units::{Bandwidth, ByteSize};
 
 /// Measured inputs to the dual-sync optimizer.
@@ -66,7 +67,8 @@ pub fn estimate_iteration(inputs: &DualSyncInputs, proxy_bytes: ByteSize) -> Sim
     let gpu_path = inputs.forward
         + inputs.backward
         + sync_time(gpu_bytes, inputs.workers, inputs.gpu_bandwidth);
-    let proxy_path = inputs.forward + sync_time(proxy_bytes, inputs.workers, inputs.proxy_bandwidth);
+    let proxy_path =
+        inputs.forward + sync_time(proxy_bytes, inputs.workers, inputs.proxy_bandwidth);
     gpu_path.max(proxy_path)
 }
 
@@ -90,7 +92,7 @@ pub fn optimize(inputs: &DualSyncInputs) -> DualSyncPlan {
     let factor = 2.0 * (p as f64 - 1.0) / p as f64;
     let kg = factor / inputs.gpu_bandwidth.as_bytes_per_sec(); // sec per gpu-byte
     let kp = factor / inputs.proxy_bandwidth.as_bytes_per_sec(); // sec per proxy-byte
-    // Balance: T_BP + (n − m)·kg = m·kp  ⇒  m* = (T_BP + n·kg) / (kg + kp).
+                                                                 // Balance: T_BP + (n − m)·kg = m·kp  ⇒  m* = (T_BP + n·kg) / (kg + kp).
     let m_star = (inputs.backward.as_secs_f64() + n * kg) / (kg + kp);
     let m_clamped = m_star.clamp(0.0, n) as u64;
     // Check the closed-form point and its byte-neighbors (integer rounding).
@@ -108,6 +110,38 @@ pub fn optimize(inputs: &DualSyncInputs) -> DualSyncPlan {
         .map(plan_for)
         .min_by_key(|plan| plan.estimate)
         .expect("non-empty candidates")
+}
+
+/// [`optimize`], additionally recording each candidate `m` and the chosen
+/// `m*` as decision events on a `"dualsync"` track stamped at `at`.
+pub fn optimize_traced(
+    inputs: &DualSyncInputs,
+    tracer: &SharedTracer,
+    at: SimTime,
+) -> DualSyncPlan {
+    let plan = optimize(inputs);
+    if tracer.is_enabled() {
+        let track = tracer.track("dualsync");
+        for pt in sweep(inputs, 9) {
+            tracer.counter(
+                at,
+                category::DUALSYNC,
+                track,
+                &format!("estimate(m={})", pt.proxy_bytes),
+                pt.estimate.as_secs_f64(),
+            );
+        }
+        tracer.instant(
+            at,
+            category::DUALSYNC,
+            track,
+            &format!(
+                "m* = {} of {} (est {})",
+                plan.proxy_bytes, inputs.total_bytes, plan.estimate
+            ),
+        );
+    }
+    plan
 }
 
 /// Sweeps `m` over `points` evenly spaced shares for the ablation bench.
@@ -151,7 +185,10 @@ mod tests {
 
     #[test]
     fn single_worker_needs_no_sync() {
-        assert_eq!(sync_time(ByteSize::gib(1), 1, Bandwidth::gib_per_sec(1.0)), SimDuration::ZERO);
+        assert_eq!(
+            sync_time(ByteSize::gib(1), 1, Bandwidth::gib_per_sec(1.0)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -161,8 +198,14 @@ mod tests {
         let all_gpu = estimate_iteration(&inp, ByteSize::ZERO);
         let all_proxy = estimate_iteration(&inp, inp.total_bytes);
         assert!(plan.estimate <= all_gpu, "optimum must not lose to all-GPU");
-        assert!(plan.estimate <= all_proxy, "optimum must not lose to all-proxy");
-        assert!(plan.proxy_bytes > ByteSize::ZERO, "a mixed split should win here");
+        assert!(
+            plan.estimate <= all_proxy,
+            "optimum must not lose to all-proxy"
+        );
+        assert!(
+            plan.proxy_bytes > ByteSize::ZERO,
+            "a mixed split should win here"
+        );
         assert!(plan.gpu_bytes > ByteSize::ZERO);
     }
 
@@ -205,7 +248,8 @@ mod tests {
         let inp = inputs();
         // All-GPU: the GPU path dominates.
         let t = estimate_iteration(&inp, ByteSize::ZERO);
-        let expected = inp.forward + inp.backward + sync_time(inp.total_bytes, 4, inp.gpu_bandwidth);
+        let expected =
+            inp.forward + inp.backward + sync_time(inp.total_bytes, 4, inp.gpu_bandwidth);
         assert_eq!(t, expected);
     }
 
@@ -226,6 +270,32 @@ mod tests {
         for w in pts[min_idx..].windows(2) {
             assert!(w[0].estimate <= w[1].estimate);
         }
+    }
+
+    #[test]
+    fn traced_optimize_matches_and_records_decision() {
+        use coarse_simcore::trace::{RecordingTracer, SharedTracer, TraceEventKind};
+        use std::rc::Rc;
+
+        let inp = inputs();
+        let plain = optimize(&inp);
+        let rec = RecordingTracer::new();
+        let handle: SharedTracer = Rc::new(rec.clone());
+        let traced = optimize_traced(&inp, &handle, SimTime::from_nanos(7));
+        assert_eq!(plain, traced, "tracing must not change the decision");
+
+        let trace = rec.take();
+        let counters = trace
+            .events_in(coarse_simcore::trace::category::DUALSYNC)
+            .filter(|e| matches!(e.kind, TraceEventKind::Counter { .. }))
+            .count();
+        assert_eq!(counters, 9, "candidate grid is recorded");
+        let decision = trace
+            .events_in(coarse_simcore::trace::category::DUALSYNC)
+            .find(|e| e.kind == TraceEventKind::Instant)
+            .expect("chosen m* is recorded");
+        assert!(decision.name.starts_with("m* = "));
+        assert_eq!(decision.time, SimTime::from_nanos(7));
     }
 
     #[test]

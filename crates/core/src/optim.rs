@@ -50,7 +50,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, _id: TensorId, params: &mut [f32], grad: &[f32]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         for (p, g) in params.iter_mut().zip(grad) {
             *p -= self.lr * g;
         }
@@ -90,7 +94,11 @@ impl SgdMomentum {
 
 impl Optimizer for SgdMomentum {
     fn step(&mut self, id: TensorId, params: &mut [f32], grad: &[f32]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         let v = self
             .velocity
             .entry(id)
@@ -146,7 +154,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, id: TensorId, params: &mut [f32], grad: &[f32]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         // One logical step per tensor update; bias correction uses the
         // per-tensor count implicitly via the global counter advanced once
         // per (tensor, step) pair — adequate since every tensor updates
@@ -163,7 +175,12 @@ impl Optimizer for Adam {
             .or_insert_with(|| vec![0.0; params.len()]);
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        for (((p, g), mi), vi) in params.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+        for (((p, g), mi), vi) in params
+            .iter_mut()
+            .zip(grad)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
             let m_hat = *mi / bc1;

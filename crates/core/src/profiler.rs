@@ -58,7 +58,12 @@ pub fn profile_proxies(
 
 /// End-to-end time of one transfer of `size` from `client` to `proxy` on an
 /// otherwise idle fabric.
-fn transfer_time(topo: &Topology, client: DeviceId, proxy: DeviceId, size: ByteSize) -> SimDuration {
+fn transfer_time(
+    topo: &Topology,
+    client: DeviceId,
+    proxy: DeviceId,
+    size: ByteSize,
+) -> SimDuration {
     let mut eng = TransferEngine::new(topo.clone());
     eng.transfer_filtered(client, proxy, size, SimTime::ZERO, profiler_links)
         .expect("client and proxy must be connected")
@@ -111,10 +116,7 @@ pub fn build_routing_table_for(
         .filter(|p| p.latency <= best_latency.mul_f64(1.02))
         .collect();
     let lat = lat_ties[ordinal % lat_ties.len()];
-    let best_bw = profiles
-        .iter()
-        .map(|p| p.bandwidth)
-        .fold(0.0f64, f64::max);
+    let best_bw = profiles.iter().map(|p| p.bandwidth).fold(0.0f64, f64::max);
     let ties: Vec<&ProxyProfile> = profiles
         .iter()
         .filter(|p| p.bandwidth >= best_bw * 0.98)
@@ -194,8 +196,12 @@ mod tests {
     fn t4_uniform_bandwidth_single_proxy() {
         let m = aws_t4();
         let part = m.partition(PartitionScheme::OneToOne);
-        let table =
-            build_routing_table(m.topology(), part.workers[0], &part.mem_devices, SimTime::ZERO);
+        let table = build_routing_table(
+            m.topology(),
+            part.workers[0],
+            &part.mem_devices,
+            SimTime::ZERO,
+        );
         // All paths stage through the CPU: no bandwidth diversity to exploit.
         assert!(!table.is_split());
     }

@@ -12,6 +12,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::trace::{category, SharedTracer, TrackId};
 
 use crate::client::PushRequest;
 
@@ -38,6 +40,10 @@ pub struct ParameterProxy {
     store: ParameterStore,
     /// Parameter cache: latest reduced values.
     cache: HashMap<TensorId, Vec<f32>>,
+    /// Trace sink plus this proxy's interned track, when tracing is on.
+    trace: Option<(SharedTracer, TrackId)>,
+    /// Externally supplied clock for trace stamps (the proxy is untimed).
+    clock: SimTime,
 }
 
 impl ParameterProxy {
@@ -50,6 +56,45 @@ impl ParameterProxy {
             shards: HashMap::new(),
             store: ParameterStore::new(),
             cache: HashMap::new(),
+            trace: None,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches a tracer; queue-depth gauges (total and per client) and
+    /// service spans are then recorded on a track named `"proxy <device>"`.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        if tracer.is_enabled() {
+            let track = tracer.track(&format!("proxy {}", self.device));
+            self.trace = Some((tracer, track));
+        }
+    }
+
+    /// Sets the timestamp used for subsequent trace events.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
+    /// Samples the total queue depth, plus `client`'s own depth when given.
+    fn trace_queue_depth(&self, client: Option<usize>) {
+        if let Some((tracer, track)) = &self.trace {
+            tracer.counter(
+                self.clock,
+                category::PROXY,
+                *track,
+                "queue_depth",
+                self.queued() as f64,
+            );
+            if let Some(c) = client {
+                let depth = self.queues.get(&c).map_or(0, VecDeque::len);
+                tracer.counter(
+                    self.clock,
+                    category::PROXY,
+                    *track,
+                    &format!("queue_depth client {c}"),
+                    depth as f64,
+                );
+            }
         }
     }
 
@@ -112,6 +157,7 @@ impl ParameterProxy {
             request.proxy, self.device
         );
         self.queues.entry(client).or_default().push_back(request);
+        self.trace_queue_depth(Some(client));
     }
 
     /// Total queued requests across clients.
@@ -122,6 +168,15 @@ impl ParameterProxy {
     /// Drains all client queues, scatter-adding shard data into per-tensor
     /// accumulation buffers. Returns the set of tensors touched.
     pub fn absorb(&mut self) -> Vec<TensorId> {
+        let served = self.queued();
+        if let Some((tracer, track)) = &self.trace {
+            tracer.begin_span(
+                self.clock,
+                category::PROXY,
+                *track,
+                &format!("absorb {served} request(s)"),
+            );
+        }
         let mut touched = Vec::new();
         for (&client, queue) in &mut self.queues {
             while let Some(req) = queue.pop_front() {
@@ -130,7 +185,11 @@ impl ParameterProxy {
                     .accum
                     .entry(id)
                     .or_insert_with(|| vec![0.0; req.tensor_len]);
-                assert_eq!(buf.len(), req.tensor_len, "tensor length changed mid-flight");
+                assert_eq!(
+                    buf.len(),
+                    req.tensor_len,
+                    "tensor length changed mid-flight"
+                );
                 for (i, v) in req.shard.data.iter().enumerate() {
                     buf[req.shard.offset + i] += v;
                 }
@@ -145,6 +204,10 @@ impl ParameterProxy {
                 }
             }
         }
+        if let Some((tracer, track)) = &self.trace {
+            tracer.end_span(self.clock, *track);
+        }
+        self.trace_queue_depth(None);
         touched
     }
 
@@ -194,6 +257,17 @@ impl ParameterProxy {
                 true
             }
         });
+        if let Some((tracer, track)) = &self.trace {
+            tracer.instant(
+                self.clock,
+                category::PROXY,
+                *track,
+                &format!(
+                    "serve pull {tensor} for client {client} ({} shard(s))",
+                    out.len()
+                ),
+            );
+        }
         out
     }
 
@@ -212,7 +286,14 @@ mod tests {
         t.add_device(coarse_fabric::device::DeviceKind::MemoryDevice, "m", 0)
     }
 
-    fn request(dev: DeviceId, tensor: u64, index: u32, offset: usize, data: Vec<f32>, len: usize) -> PushRequest {
+    fn request(
+        dev: DeviceId,
+        tensor: u64,
+        index: u32,
+        offset: usize,
+        data: Vec<f32>,
+        len: usize,
+    ) -> PushRequest {
         PushRequest {
             proxy: dev,
             shard: TensorShard {
@@ -302,6 +383,39 @@ mod tests {
         let err = p.enqueue_sealed(1, corrupted, 1, 3).unwrap_err();
         assert_eq!(err.tensor, TensorId(5));
         assert_eq!(p.queued(), 1, "corrupt shard must not be queued");
+    }
+
+    #[test]
+    fn tracing_gauges_queue_depth_and_service() {
+        use coarse_simcore::trace::{RecordingTracer, TraceEventKind};
+
+        let dev = device();
+        let rec = RecordingTracer::new();
+        let mut p = ParameterProxy::new(dev);
+        p.set_tracer(rec.handle());
+        p.enqueue(0, request(dev, 1, 0, 0, vec![1.0, 1.0], 4));
+        p.enqueue(1, request(dev, 1, 1, 2, vec![2.0, 2.0], 4));
+        p.set_time(SimTime::from_nanos(50));
+        p.absorb();
+        p.store_reduced(TensorId(1), vec![5.0, 6.0, 7.0, 8.0]);
+        p.serve_pull(0, TensorId(1));
+
+        let trace = rec.take();
+        let depths: Vec<f64> = trace
+            .events_in(coarse_simcore::trace::category::PROXY)
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Counter { value } if e.name == "queue_depth" => Some(value),
+                _ => None,
+            })
+            .collect();
+        // 1 after first enqueue, 2 after second, 0 after absorb.
+        assert_eq!(depths, vec![1.0, 2.0, 0.0]);
+        let absorb_span = trace
+            .events_in(coarse_simcore::trace::category::PROXY)
+            .find(|e| matches!(e.kind, TraceEventKind::Span { .. }))
+            .expect("absorb records a service span");
+        assert_eq!(absorb_span.name, "absorb 2 request(s)");
+        assert_eq!(absorb_span.time, SimTime::from_nanos(50));
     }
 
     #[test]

@@ -65,11 +65,9 @@ impl ProxyState {
         }
         match policy {
             SchedulingPolicy::Fcfs => self.fifo.first() == Some(&p),
-            SchedulingPolicy::PerClientQueues => self
-                .per_client
-                .get(&p.client)
-                .and_then(|q| q.first())
-                == Some(&p),
+            SchedulingPolicy::PerClientQueues => {
+                self.per_client.get(&p.client).and_then(|q| q.first()) == Some(&p)
+            }
         }
     }
 
@@ -184,7 +182,11 @@ pub fn run_service(
     // k-th contribution of every job lands before any job's (k+1)-th.
     // Each client's own stream stays in job order, as the backward pass
     // guarantees.
-    let max_contribs = jobs.iter().map(|j| j.contributions.len()).max().unwrap_or(0);
+    let max_contribs = jobs
+        .iter()
+        .map(|j| j.contributions.len())
+        .max()
+        .unwrap_or(0);
     for k in 0..max_contribs {
         for job in &jobs {
             if let Some(&(client, proxy)) = job.contributions.get(k) {

@@ -109,7 +109,10 @@ impl CoarseStrategy {
     ///
     /// Returns [`StrategyError::WorkerCountMismatch`] if `gradients` has the
     /// wrong length.
-    pub fn run_step(&mut self, gradients: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>, StrategyError> {
+    pub fn run_step(
+        &mut self,
+        gradients: &[Vec<Tensor>],
+    ) -> Result<Vec<Vec<Tensor>>, StrategyError> {
         if gradients.len() != self.system.worker_count() {
             return Err(StrategyError::WorkerCountMismatch {
                 expected: self.system.worker_count(),

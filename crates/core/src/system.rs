@@ -57,8 +57,10 @@ impl CoarseSystem {
                 )
             })
             .collect();
-        let proxies: Vec<ParameterProxy> =
-            mem_devices.iter().map(|&d| ParameterProxy::new(d)).collect();
+        let proxies: Vec<ParameterProxy> = mem_devices
+            .iter()
+            .map(|&d| ParameterProxy::new(d))
+            .collect();
         let proxy_index = mem_devices
             .iter()
             .enumerate()
@@ -123,8 +125,7 @@ impl CoarseSystem {
         };
         let mut changed = 0;
         for (i, client) in self.clients.iter_mut().enumerate() {
-            let fresh =
-                build_routing_table_for(topo, client.worker(), &mem_devices, i, now);
+            let fresh = build_routing_table_for(topo, client.worker(), &mem_devices, i, now);
             let old = *client.table();
             if fresh.lat_proxy != old.lat_proxy
                 || fresh.bw_proxy != old.bw_proxy
@@ -146,7 +147,11 @@ impl CoarseSystem {
         now: SimTime,
         interval: coarse_simcore::time::SimDuration,
     ) -> Option<usize> {
-        if self.clients.iter().all(|c| c.table().is_stale(now, interval)) {
+        if self
+            .clients
+            .iter()
+            .all(|c| c.table().is_stale(now, interval))
+        {
             Some(self.reprofile(topo, now))
         } else {
             None
@@ -166,10 +171,8 @@ impl CoarseSystem {
             self.clients.len(),
             "one gradient set per worker"
         );
-        let tensor_meta: Vec<(TensorId, usize)> = gradients[0]
-            .iter()
-            .map(|t| (t.id(), t.len()))
-            .collect();
+        let tensor_meta: Vec<(TensorId, usize)> =
+            gradients[0].iter().map(|t| (t.id(), t.len())).collect();
         for set in gradients {
             let meta: Vec<(TensorId, usize)> = set.iter().map(|t| (t.id(), t.len())).collect();
             assert_eq!(meta, tensor_meta, "workers must push identical tensor sets");
@@ -207,8 +210,11 @@ impl CoarseSystem {
                     .map(|p| p.take_contribution(id, len))
                     .collect();
                 // Alternate ring direction per tensor (Fig. 11b).
-                let mut group =
-                    SyncGroup::new(self.proxies.len(), SYNC_CHUNK_ELEMS, RingDirection::for_group(round));
+                let mut group = SyncGroup::new(
+                    self.proxies.len(),
+                    SYNC_CHUNK_ELEMS,
+                    RingDirection::for_group(round),
+                );
                 group.allreduce_sum(&inputs).0
             };
             for x in &mut reduced {
@@ -266,7 +272,10 @@ impl CoarseSystem {
     /// Takes a coordinated checkpoint: snapshots every proxy's storage
     /// (§IV-A fault tolerance).
     pub fn checkpoint(&mut self) -> Vec<Snapshot> {
-        self.proxies.iter_mut().map(|p| p.store_mut().snapshot()).collect()
+        self.proxies
+            .iter_mut()
+            .map(|p| p.store_mut().snapshot())
+            .collect()
     }
 
     /// Restores every proxy's storage from a coordinated checkpoint.

@@ -1,7 +1,6 @@
 //! Property tests for the COARSE core: client partitioning/reassembly
-//! against arbitrary routing tables, and system-level synchronization.
-
-use proptest::prelude::*;
+//! against arbitrary routing tables, and system-level synchronization,
+//! driven by the in-repo deterministic harness.
 
 use coarse_cci::tensor::{Tensor, TensorId};
 use coarse_core::client::ParameterClient;
@@ -9,7 +8,7 @@ use coarse_core::routing::RoutingTable;
 use coarse_core::system::CoarseSystem;
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::machines::{sdsc_p100, PartitionScheme};
-use coarse_simcore::rng::SimRng;
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::units::ByteSize;
 
@@ -21,17 +20,15 @@ fn scratch() -> (DeviceId, DeviceId, DeviceId) {
     (w, a, b)
 }
 
-proptest! {
-    /// For any routing table and tensor, the client's push requests tile
-    /// the tensor exactly, all target a single proxy consistent with the
-    /// table, and reassembly reproduces the tensor bit-for-bit.
-    #[test]
-    fn client_requests_tile_and_route(
-        len in 1usize..50_000,
-        threshold_kib in 0u64..64,
-        shard_kib in 1u64..64,
-        seed in any::<u64>(),
-    ) {
+/// For any routing table and tensor, the client's push requests tile the
+/// tensor exactly, all target a single proxy consistent with the table,
+/// and reassembly reproduces the tensor bit-for-bit.
+#[test]
+fn client_requests_tile_and_route() {
+    run_cases("client_requests_tile_and_route", 64, |g: &mut Gen| {
+        let len = g.usize_in(1..50_000);
+        let threshold_kib = g.u64_in(0..64);
+        let shard_kib = g.u64_in(1..64);
         let (w, lat, bw) = scratch();
         let table = RoutingTable {
             lat_proxy: lat,
@@ -41,23 +38,19 @@ proptest! {
             built_at: SimTime::ZERO,
         };
         let mut client = ParameterClient::new(w, table);
-        let mut rng = SimRng::seed_from_u64(seed);
-        let tensor = Tensor::new(
-            TensorId(1),
-            (0..len).map(|_| rng.next_f32()).collect(),
-        );
+        let tensor = Tensor::new(TensorId(1), (0..len).map(|_| g.rng().next_f32()).collect());
         client.push(&tensor);
         let reqs: Vec<_> = std::iter::from_fn(|| client.dequeue()).collect();
         // All requests go to exactly one proxy.
-        prop_assert!(reqs.iter().all(|r| r.proxy == reqs[0].proxy));
+        assert!(reqs.iter().all(|r| r.proxy == reqs[0].proxy));
         // That proxy is consistent with the table: below threshold and
         // unpartitioned → route_for decides; partitioned → BwProxy.
         if reqs.len() > 1 {
-            prop_assert_eq!(reqs[0].proxy, bw);
+            assert_eq!(reqs[0].proxy, bw);
             // Every shard except the last is at least the shard size.
             let shard_elems = (table.shard_size.as_u64() / 4).max(1) as usize;
             for r in &reqs[..reqs.len() - 1] {
-                prop_assert!(r.shard.data.len() >= shard_elems);
+                assert!(r.shard.data.len() >= shard_elems);
             }
         }
         // Tiling: offsets cover [0, len) without overlap.
@@ -69,31 +62,30 @@ proptest! {
                 .skip(r.shard.offset)
                 .take(r.shard.data.len())
             {
-                prop_assert!(!*slot, "overlap at {i}");
+                assert!(!*slot, "overlap at {i}");
                 *slot = true;
             }
         }
-        prop_assert!(covered.iter().all(|&c| c));
+        assert!(covered.iter().all(|&c| c));
         // Reassembly is the identity.
         let mut rebuilt = None;
         for r in reqs {
             rebuilt = client.deliver(r.shard);
         }
-        prop_assert_eq!(rebuilt.unwrap(), tensor);
-    }
+        assert_eq!(rebuilt.unwrap(), tensor);
+    });
+}
 
-    /// End-to-end synchronization equals the elementwise mean within
-    /// floating-point tolerance, for arbitrary tensor sizes and values.
-    #[test]
-    fn system_synchronize_is_mean(
-        sizes in proptest::collection::vec(1usize..30_000, 1..4),
-        seed in any::<u64>(),
-    ) {
+/// End-to-end synchronization equals the elementwise mean within
+/// floating-point tolerance, for arbitrary tensor sizes and values.
+#[test]
+fn system_synchronize_is_mean() {
+    run_cases("system_synchronize_is_mean", 24, |g: &mut Gen| {
+        let sizes = g.vec_of(1..4, |g| g.usize_in(1..30_000));
         let machine = sdsc_p100();
         let part = machine.partition(PartitionScheme::OneToOne);
         let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
         let workers = part.workers.len();
-        let mut rng = SimRng::seed_from_u64(seed);
         let grads: Vec<Vec<Tensor>> = (0..workers)
             .map(|_| {
                 sizes
@@ -102,7 +94,7 @@ proptest! {
                     .map(|(i, &len)| {
                         Tensor::new(
                             TensorId(i as u64),
-                            (0..len).map(|_| rng.range_f64(-10.0, 10.0) as f32).collect(),
+                            (0..len).map(|_| g.f32_in(-10.0, 10.0)).collect(),
                         )
                     })
                     .collect()
@@ -112,15 +104,15 @@ proptest! {
         for (i, &len) in sizes.iter().enumerate() {
             for j in 0..len {
                 let mean: f32 =
-                    grads.iter().map(|g| g[i].data()[j]).sum::<f32>() / workers as f32;
+                    grads.iter().map(|gr| gr[i].data()[j]).sum::<f32>() / workers as f32;
                 for r in &results {
                     let got = r[i].data()[j];
-                    prop_assert!(
+                    assert!(
                         (got - mean).abs() <= 1e-4 * mean.abs().max(1.0),
                         "tensor {i}[{j}]: {got} vs {mean}"
                     );
                 }
             }
         }
-    }
+    });
 }

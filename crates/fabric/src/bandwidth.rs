@@ -45,7 +45,10 @@ impl BandwidthModel {
     ///
     /// Panics if `size` is zero (a zero-byte transfer has no meaningful rate).
     pub fn effective(&self, size: ByteSize) -> Bandwidth {
-        assert!(!size.is_zero(), "effective bandwidth of a zero-size transfer");
+        assert!(
+            !size.is_zero(),
+            "effective bandwidth of a zero-size transfer"
+        );
         match *self {
             BandwidthModel::Saturating { peak, half_size } => {
                 let s = size.as_f64();
@@ -135,7 +138,10 @@ mod tests {
             "expected ≥96% of peak at 2MiB, got {at_2mib}"
         );
         let at_4kib = m.effective(ByteSize::kib(4)).as_gib_per_sec();
-        assert!(at_4kib < 0.1 * 13.0, "small transfers must be far from peak");
+        assert!(
+            at_4kib < 0.1 * 13.0,
+            "small transfers must be far from peak"
+        );
     }
 
     #[test]
@@ -162,7 +168,10 @@ mod tests {
 
     #[test]
     fn serialization_time_zero_for_empty() {
-        assert_eq!(pcie16().serialization_time(ByteSize::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            pcie16().serialization_time(ByteSize::ZERO),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -54,9 +54,7 @@ pub fn validate(topo: &Topology) -> Vec<TopologyIssue> {
 
     // Isolated devices.
     for d in topo.devices() {
-        let touched = topo
-            .links()
-            .any(|l| l.src() == d.id() || l.dst() == d.id());
+        let touched = topo.links().any(|l| l.src() == d.id() || l.dst() == d.id());
         if !touched {
             issues.push(TopologyIssue::IsolatedDevice {
                 device: d.name().to_string(),
@@ -191,11 +189,21 @@ mod tests {
         let cpu = t.add_device(DeviceKind::Cpu, "cpu", 0);
         let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(1.0));
         t.add_link(a, b, m, SimDuration::ZERO, crate::topology::LinkClass::Pcie);
-        t.add_duplex(b, cpu, m, SimDuration::ZERO, crate::topology::LinkClass::Pcie);
+        t.add_duplex(
+            b,
+            cpu,
+            m,
+            SimDuration::ZERO,
+            crate::topology::LinkClass::Pcie,
+        );
         let issues = validate(&t);
-        assert!(issues.iter().any(|i| matches!(i, TopologyIssue::SimplexLink { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TopologyIssue::SimplexLink { .. })));
         // a (endpoint) cannot reach cpu: b does not forward.
-        assert!(issues.iter().any(|i| matches!(i, TopologyIssue::Partitioned { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TopologyIssue::Partitioned { .. })));
     }
 
     #[test]

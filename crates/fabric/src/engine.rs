@@ -10,6 +10,7 @@
 
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
+use coarse_simcore::trace::{active, category, SharedTracer};
 use coarse_simcore::units::ByteSize;
 
 use crate::device::{DeviceId, DeviceKind};
@@ -75,6 +76,10 @@ pub struct TransferEngine {
     topo: Topology,
     /// One FIFO timeline per directed link.
     schedules: Vec<ResourceTimeline>,
+    /// Optional trace sink; `None` means tracing is off (the default).
+    tracer: Option<SharedTracer>,
+    /// Interned trace track per directed link (lazily populated).
+    link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
 }
 
 impl TransferEngine {
@@ -83,12 +88,48 @@ impl TransferEngine {
         let schedules = (0..topo.link_count())
             .map(|_| ResourceTimeline::new())
             .collect();
-        TransferEngine { topo, schedules }
+        let link_tracks = vec![None; topo.link_count()];
+        TransferEngine {
+            topo,
+            schedules,
+            tracer: None,
+            link_tracks,
+        }
     }
 
     /// The underlying topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Attaches a tracer: subsequent transfers emit one occupancy span per
+    /// route link plus a delivery instant on the destination device's track.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any. Layers built on the engine (timed
+    /// collectives, the training simulator) emit into the same sink.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        active(&self.tracer)
+    }
+
+    /// The trace track for a directed link, named
+    /// `"link <src> -> <dst> (<class>)"`. Interned once per link.
+    fn link_track(&mut self, tracer: &SharedTracer, l: LinkId) -> coarse_simcore::trace::TrackId {
+        if let Some(id) = self.link_tracks[l.index()] {
+            return id;
+        }
+        let link = self.topo.link(l);
+        let name = format!(
+            "link {} -> {} ({:?})",
+            self.topo.device(link.src()).name(),
+            self.topo.device(link.dst()).name(),
+            link.class()
+        );
+        let id = tracer.track(&name);
+        self.link_tracks[l.index()] = Some(id);
+        id
     }
 
     /// Clears all link schedules (fresh experiment, same fabric).
@@ -220,11 +261,26 @@ impl TransferEngine {
         for &l in route.links() {
             self.schedules[l.index()].reserve(start, occupancy);
         }
-        TransferRecord {
-            start,
-            end: start + occupancy + route.total_latency(),
-            size,
+        let end = start + occupancy + route.total_latency();
+        if let Some(tracer) = active(&self.tracer).cloned() {
+            let flow = format!("{size}");
+            for &l in route.links() {
+                let track = self.link_track(&tracer, l);
+                tracer.span(start, start + occupancy, category::FABRIC, track, &flow);
+            }
+            let dst = self
+                .topo
+                .link(*route.links().last().expect("non-empty route"))
+                .dst();
+            let track = tracer.track(&format!("device {}", self.topo.device(dst).name()));
+            tracer.instant(
+                end,
+                category::FABRIC,
+                track,
+                &format!("delivered {size} ({} hops)", route.hops()),
+            );
         }
+        TransferRecord { start, end, size }
     }
 
     /// When the given directed link next becomes free.
@@ -313,8 +369,12 @@ mod tests {
     fn same_direction_transfers_serialize() {
         let (t, g0, g1, _) = topo();
         let mut e = TransferEngine::new(t);
-        let a = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
-        let b = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let a = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let b = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
         assert_eq!(a.end, SimTime::from_nanos(1020));
         // b waits for the g0→sw hop to free.
         assert_eq!(b.start, SimTime::from_nanos(1000));
@@ -325,8 +385,12 @@ mod tests {
     fn opposite_directions_run_concurrently() {
         let (t, g0, g1, _) = topo();
         let mut e = TransferEngine::new(t);
-        let push = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
-        let pull = e.transfer(g1, g0, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let push = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let pull = e
+            .transfer(g1, g0, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
         // Full-duplex links: both directions complete in parallel.
         assert_eq!(push.end, SimTime::from_nanos(1020));
         assert_eq!(pull.end, SimTime::from_nanos(1020));
@@ -337,7 +401,9 @@ mod tests {
         let (mut t, g0, g1, _) = topo();
         t.set_p2p(false);
         let mut e = TransferEngine::new(t);
-        let r = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
         // Two sequential 2-hop transfers: (1000+20) + (1000+20).
         assert_eq!(r.end, SimTime::from_nanos(2040));
         assert!(e.needs_staging(g0, g1));
@@ -379,7 +445,8 @@ mod tests {
         let (t, g0, g1, _) = topo();
         let first_link = t.route(g0, g1).unwrap().links()[0];
         let mut e = TransferEngine::new(t);
-        e.transfer(g0, g1, ByteSize::bytes(500), SimTime::ZERO).unwrap();
+        e.transfer(g0, g1, ByteSize::bytes(500), SimTime::ZERO)
+            .unwrap();
         assert_eq!(e.link_busy_time(first_link), SimDuration::from_nanos(500));
         let u = e.link_utilization(first_link, SimTime::from_nanos(1000));
         assert!((u - 0.5).abs() < 1e-12);
@@ -389,17 +456,57 @@ mod tests {
     fn reset_clears_schedules() {
         let (t, g0, g1, _) = topo();
         let mut e = TransferEngine::new(t);
-        e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
         e.reset();
-        let r = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO).unwrap();
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_records_link_spans() {
+        use coarse_simcore::trace::{RecordingTracer, TraceEventKind};
+
+        let (t, g0, g1, _) = topo();
+        let mut plain = TransferEngine::new(t.clone());
+        let untraced = plain
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+
+        let rec = RecordingTracer::new();
+        let mut e = TransferEngine::new(t);
+        e.set_tracer(rec.handle());
+        let traced = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(untraced, traced, "tracing must not perturb timing");
+
+        let trace = rec.take();
+        let spans: Vec<_> = trace
+            .events_in(coarse_simcore::trace::category::FABRIC)
+            .filter(|e| matches!(e.kind, TraceEventKind::Span { .. }))
+            .collect();
+        // Two hops g0→sw→g1, one occupancy span each.
+        assert_eq!(spans.len(), 2);
+        assert!(trace.find_track("link g0 -> sw (Pcie)").is_some());
+        assert_eq!(
+            trace
+                .events_in(coarse_simcore::trace::category::FABRIC)
+                .filter(|e| e.kind == TraceEventKind::Instant)
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn achieved_rate() {
         let (t, g0, g1, _) = topo();
         let mut e = TransferEngine::new(t);
-        let r = e.transfer(g0, g1, ByteSize::bytes(10_000), SimTime::ZERO).unwrap();
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(10_000), SimTime::ZERO)
+            .unwrap();
         let rate = r.achieved_bytes_per_sec();
         // 10000 bytes over 10020 ns ≈ 0.998 GB/s.
         assert!(rate < 1e9 && rate > 0.99e9);

@@ -387,7 +387,13 @@ fn build_pcie_node(
             // uplink route).
             for i in 0..switch_gpus.len() {
                 for j in (i + 1)..switch_gpus.len() {
-                    topo.add_duplex(switch_gpus[i], switch_gpus[j], hp, hop_latency, LinkClass::Pcie);
+                    topo.add_duplex(
+                        switch_gpus[i],
+                        switch_gpus[j],
+                        hp,
+                        hop_latency,
+                        LinkClass::Pcie,
+                    );
                 }
             }
         }
@@ -492,7 +498,13 @@ fn add_nvlink_mesh(topo: &mut Topology, gpus: &[DeviceId]) {
     };
     for &(a, b) in DGX1_NVLINK_EDGES.iter() {
         if a < gpus.len() && b < gpus.len() {
-            topo.add_duplex(gpus[a], gpus[b], nv, SimDuration::from_nanos(700), LinkClass::NvLink);
+            topo.add_duplex(
+                gpus[a],
+                gpus[b],
+                nv,
+                SimDuration::from_nanos(700),
+                LinkClass::NvLink,
+            );
         }
     }
 }
@@ -509,7 +521,16 @@ pub fn aws_v100_cluster(nodes: u32) -> Machine {
     let mut gpus = Vec::new();
     let mut nics = Vec::new();
     for node in 0..nodes {
-        let node_gpus = build_pcie_node(&mut topo, node, 4, 2, pcie(13.0), pcie(9.0), Some(hairpin(5.0)), us(1));
+        let node_gpus = build_pcie_node(
+            &mut topo,
+            node,
+            4,
+            2,
+            pcie(13.0),
+            pcie(9.0),
+            Some(hairpin(5.0)),
+            us(1),
+        );
         add_nvlink_mesh(&mut topo, &node_gpus);
         gpus.extend_from_slice(&node_gpus);
         let nic = topo.add_device(DeviceKind::Nic, format!("n{node}-nic"), node);
@@ -644,7 +665,9 @@ mod tests {
     fn nvlink_ring_among_workers_exists() {
         let m = aws_v100();
         let p = m.partition(PartitionScheme::OneToOne);
-        let ring = m.nvlink_ring(&p.workers).expect("workers form an NVLink ring");
+        let ring = m
+            .nvlink_ring(&p.workers)
+            .expect("workers form an NVLink ring");
         assert_eq!(ring.len(), 4);
         // Every consecutive pair (and the wrap-around) is NVLink-adjacent.
         for i in 0..ring.len() {
@@ -678,7 +701,10 @@ mod tests {
             .transfer(gpus[0], gpus[8], ByteSize::mib(64), SimTime::ZERO)
             .unwrap();
         let bw = rec.achieved_bytes_per_sec() / 1e9;
-        assert!(bw < 3.2, "cross-node must bottleneck on the 25 Gbit NIC, got {bw} GB/s");
+        assert!(
+            bw < 3.2,
+            "cross-node must bottleneck on the 25 Gbit NIC, got {bw} GB/s"
+        );
     }
 
     #[test]

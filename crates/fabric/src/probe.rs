@@ -143,8 +143,8 @@ pub fn bidirectional_matrix(
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                m[i][j] =
-                    measure_bidirectional(topo, devices[i], devices[j], size, allow) / (1u64 << 30) as f64;
+                m[i][j] = measure_bidirectional(topo, devices[i], devices[j], size, allow)
+                    / (1u64 << 30) as f64;
             }
         }
     }
@@ -239,7 +239,10 @@ mod tests {
         let pts = bandwidth_sweep(m.topology(), gpus[0], gpus[1], &standard_sizes(), no_nvlink);
         assert_eq!(pts.len(), 15);
         for w in pts.windows(2) {
-            assert!(w[1].1 >= w[0].1 * 0.999, "bandwidth must not drop with size");
+            assert!(
+                w[1].1 >= w[0].1 * 0.999,
+                "bandwidth must not drop with size"
+            );
         }
     }
 }

@@ -343,10 +343,7 @@ impl Topology {
             cur = self.links[lid.index()].src;
         }
         links.reverse();
-        let total_latency = links
-            .iter()
-            .map(|&l| self.links[l.index()].latency)
-            .sum();
+        let total_latency = links.iter().map(|&l| self.links[l.index()].latency).sum();
         Some(Route {
             links,
             total_latency,
@@ -364,7 +361,11 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if the route is empty or `size` is zero.
-    pub fn bottleneck(&self, route: &Route, size: coarse_simcore::units::ByteSize) -> coarse_simcore::units::Bandwidth {
+    pub fn bottleneck(
+        &self,
+        route: &Route,
+        size: coarse_simcore::units::ByteSize,
+    ) -> coarse_simcore::units::Bandwidth {
         assert!(!route.links.is_empty(), "bottleneck of an empty route");
         route
             .links
@@ -437,8 +438,13 @@ mod tests {
         let sw = t.add_device(DeviceKind::Switch, "sw", 0);
         let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
         // Fast NVLink direct, slower PCIe through the switch.
-        t.add_duplex(g0, g1, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(25.0)),
-                     latency_us(1), LinkClass::NvLink);
+        t.add_duplex(
+            g0,
+            g1,
+            BandwidthModel::pcie_like(Bandwidth::gib_per_sec(25.0)),
+            latency_us(1),
+            LinkClass::NvLink,
+        );
         t.add_duplex(g0, sw, m, latency_us(1), LinkClass::Pcie);
         t.add_duplex(g1, sw, m, latency_us(1), LinkClass::Pcie);
         let direct = t.route(g0, g1).unwrap();
@@ -471,10 +477,20 @@ mod tests {
         let a = t.add_device(DeviceKind::Gpu, "a", 0);
         let b = t.add_device(DeviceKind::Gpu, "b", 0);
         let s = t.add_device(DeviceKind::Switch, "s", 0);
-        t.add_duplex(a, s, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0)),
-                     latency_us(1), LinkClass::Pcie);
-        t.add_duplex(s, b, BandwidthModel::pcie_like(Bandwidth::gib_per_sec(5.0)),
-                     latency_us(1), LinkClass::Pcie);
+        t.add_duplex(
+            a,
+            s,
+            BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0)),
+            latency_us(1),
+            LinkClass::Pcie,
+        );
+        t.add_duplex(
+            s,
+            b,
+            BandwidthModel::pcie_like(Bandwidth::gib_per_sec(5.0)),
+            latency_us(1),
+            LinkClass::Pcie,
+        );
         let r = t.route(a, b).unwrap();
         let bw = t.bottleneck(&r, ByteSize::mib(64));
         assert!(bw.as_gib_per_sec() < 5.0);

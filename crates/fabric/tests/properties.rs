@@ -1,116 +1,127 @@
 //! Property tests for the fabric: bandwidth curves, routing, and transfer
-//! scheduling invariants.
-
-use proptest::prelude::*;
+//! scheduling invariants, driven by the in-repo deterministic harness.
 
 use coarse_fabric::bandwidth::BandwidthModel;
 use coarse_fabric::device::DeviceKind;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines;
 use coarse_fabric::topology::{LinkClass, Topology};
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::prelude::*;
 
-proptest! {
-    /// Effective bandwidth is monotone nondecreasing in size and bounded by
-    /// the peak for any saturating model.
-    #[test]
-    fn saturating_model_monotone(
-        peak_mib in 1u64..100_000,
-        half_kib in 1u64..10_000,
-        a in 1u64..u32::MAX as u64,
-        b in 1u64..u32::MAX as u64,
-    ) {
+/// Effective bandwidth is monotone nondecreasing in size and bounded by
+/// the peak for any saturating model.
+#[test]
+fn saturating_model_monotone() {
+    run_cases("saturating_model_monotone", 128, |g: &mut Gen| {
         let m = BandwidthModel::Saturating {
-            peak: Bandwidth::mib_per_sec(peak_mib as f64),
-            half_size: ByteSize::kib(half_kib),
+            peak: Bandwidth::mib_per_sec(g.u64_in(1..100_000) as f64),
+            half_size: ByteSize::kib(g.u64_in(1..10_000)),
         };
+        let a = g.u64_in(1..u32::MAX as u64);
+        let b = g.u64_in(1..u32::MAX as u64);
         let (lo, hi) = (a.min(b), a.max(b));
         let e_lo = m.effective(ByteSize::bytes(lo)).as_bytes_per_sec();
         let e_hi = m.effective(ByteSize::bytes(hi)).as_bytes_per_sec();
-        prop_assert!(e_lo <= e_hi);
-        prop_assert!(e_hi <= m.peak().as_bytes_per_sec());
-    }
+        assert!(e_lo <= e_hi);
+        assert!(e_hi <= m.peak().as_bytes_per_sec());
+    });
+}
 
-    /// On any of the preset machines, a transfer between two random GPUs
-    /// succeeds, starts no earlier than its arrival, and its duration is at
-    /// least the payload over the fastest link's peak.
-    #[test]
-    fn transfers_well_formed(
-        machine_idx in 0usize..3,
-        src in 0usize..8,
-        dst in 0usize..8,
-        size_kib in 1u64..100_000,
-        arrival_ns in 0u64..1_000_000,
-    ) {
-        let machine = machines::table1().swap_remove(machine_idx);
+/// On any of the preset machines, a transfer between two random GPUs
+/// succeeds, starts no earlier than its arrival, and its duration is at
+/// least the payload over the fastest link's peak.
+#[test]
+fn transfers_well_formed() {
+    run_cases("transfers_well_formed", 48, |g: &mut Gen| {
+        let machine = machines::table1().swap_remove(g.usize_in(0..3));
         let gpus = machine.gpus().to_vec();
-        let (src, dst) = (src % gpus.len(), dst % gpus.len());
-        prop_assume!(src != dst);
+        let src = g.usize_in(0..8) % gpus.len();
+        let dst = g.usize_in(0..8) % gpus.len();
+        if src == dst {
+            return;
+        }
         let mut engine = TransferEngine::new(machine.into_topology());
-        let arrival = SimTime::from_nanos(arrival_ns);
-        let size = ByteSize::kib(size_kib);
-        let rec = engine.transfer(gpus[src], gpus[dst], size, arrival).unwrap();
-        prop_assert!(rec.start >= arrival);
-        prop_assert!(rec.end > rec.start);
+        let arrival = SimTime::from_nanos(g.u64_in(0..1_000_000));
+        let size = ByteSize::kib(g.u64_in(1..100_000));
+        let rec = engine
+            .transfer(gpus[src], gpus[dst], size, arrival)
+            .unwrap();
+        assert!(rec.start >= arrival);
+        assert!(rec.end > rec.start);
         // Nothing moves faster than 26 GiB/s on any preset link.
         let floor = Bandwidth::gib_per_sec(26.0).transfer_time(size);
-        prop_assert!(rec.elapsed() >= floor);
-    }
+        assert!(rec.elapsed() >= floor);
+    });
+}
 
-    /// Back-to-back same-direction transfers never finish earlier than a
-    /// single transfer of the combined size (FIFO link capacity).
-    #[test]
-    fn serialization_conservation(
-        size_a in 1u64..10_000,
-        size_b in 1u64..10_000,
-    ) {
+/// Back-to-back same-direction transfers never finish earlier than a
+/// single transfer of the combined size (FIFO link capacity).
+#[test]
+fn serialization_conservation() {
+    run_cases("serialization_conservation", 64, |g: &mut Gen| {
+        let size_a = g.u64_in(1..10_000);
+        let size_b = g.u64_in(1..10_000);
         let machine = machines::sdsc_p100();
         let gpus = machine.gpus().to_vec();
         let topo = machine.into_topology();
         let mut e1 = TransferEngine::new(topo.clone());
-        let a = e1.transfer(gpus[0], gpus[1], ByteSize::kib(size_a), SimTime::ZERO).unwrap();
-        let b = e1.transfer(gpus[0], gpus[1], ByteSize::kib(size_b), SimTime::ZERO).unwrap();
+        let a = e1
+            .transfer(gpus[0], gpus[1], ByteSize::kib(size_a), SimTime::ZERO)
+            .unwrap();
+        let b = e1
+            .transfer(gpus[0], gpus[1], ByteSize::kib(size_b), SimTime::ZERO)
+            .unwrap();
         let pair_end = a.end.max(b.end);
         let mut e2 = TransferEngine::new(topo);
         let combined = e2
-            .transfer(gpus[0], gpus[1], ByteSize::kib(size_a + size_b), SimTime::ZERO)
+            .transfer(
+                gpus[0],
+                gpus[1],
+                ByteSize::kib(size_a + size_b),
+                SimTime::ZERO,
+            )
             .unwrap();
         // Two transfers pay two latencies but the same serialization, so
         // they can never beat the combined transfer minus one hop latency
         // allowance; assert the weaker, always-true direction:
-        prop_assert!(pair_end.as_nanos() + 10_000 >= combined.end.as_nanos());
-    }
+        assert!(pair_end.as_nanos() + 10_000 >= combined.end.as_nanos());
+    });
+}
 
-    /// Routes never traverse a non-forwarding endpoint mid-path.
-    #[test]
-    fn routes_respect_forwarding(
-        machine_idx in 0usize..3,
-        src in 0usize..8,
-        dst in 0usize..8,
-    ) {
-        let machine = machines::table1().swap_remove(machine_idx);
+/// Routes never traverse a non-forwarding endpoint mid-path.
+#[test]
+fn routes_respect_forwarding() {
+    run_cases("routes_respect_forwarding", 64, |g: &mut Gen| {
+        let machine = machines::table1().swap_remove(g.usize_in(0..3));
         let gpus = machine.gpus().to_vec();
-        let (src, dst) = (src % gpus.len(), dst % gpus.len());
-        prop_assume!(src != dst);
+        let src = g.usize_in(0..8) % gpus.len();
+        let dst = g.usize_in(0..8) % gpus.len();
+        if src == dst {
+            return;
+        }
         let topo = machine.topology();
         if let Some(route) = topo.route(gpus[src], gpus[dst]) {
             for &lid in &route.links()[1..] {
                 let hop_src = topo.link(lid).src();
-                prop_assert!(
+                assert!(
                     topo.device(hop_src).kind().can_forward(),
                     "route forwards through {:?}",
                     topo.device(hop_src).kind()
                 );
             }
         }
-    }
+    });
 }
 
 /// Adding links never disconnects anything: augmenting a machine with a
 /// CCI ring or mesh keeps all presets validation-clean.
 #[test]
 fn augmentation_preserves_validity() {
-    for scheme in [machines::PartitionScheme::OneToOne, machines::PartitionScheme::TwoToOne] {
+    for scheme in [
+        machines::PartitionScheme::OneToOne,
+        machines::PartitionScheme::TwoToOne,
+    ] {
         let mut m = machines::aws_v100();
         let part = m.partition(scheme);
         m.augment_cci_ring(&part.mem_devices);
@@ -118,6 +129,45 @@ fn augmentation_preserves_validity() {
         let mut m2 = machines::aws_v100();
         m2.augment_cci_mesh(&part.mem_devices);
         assert!(coarse_fabric::diagnostics::validate(m2.topology()).is_empty());
+    }
+}
+
+/// Every shipped machine preset — the Table I instances, the custom
+/// builder, and the multi-node cluster — passes topology validation, both
+/// bare and with the CCI augmentations COARSE deploys.
+#[test]
+fn all_presets_validate() {
+    let mut presets: Vec<(String, machines::Machine)> = machines::table1()
+        .into_iter()
+        .map(|m| (m.name().to_string(), m))
+        .collect();
+    presets.push(("aws_v100_cluster(2)".into(), machines::aws_v100_cluster(2)));
+    presets.push(("aws_v100_cluster(4)".into(), machines::aws_v100_cluster(4)));
+    presets.push((
+        "aws_v100_custom".into(),
+        machines::aws_v100_custom(10.0, 12.0),
+    ));
+    assert!(presets.len() >= 5, "expected the full preset roster");
+    for (name, machine) in presets {
+        let issues = coarse_fabric::diagnostics::validate(machine.topology());
+        assert!(issues.is_empty(), "{name}: {issues:?}");
+        for scheme in [
+            machines::PartitionScheme::OneToOne,
+            machines::PartitionScheme::TwoToOne,
+        ] {
+            let part = machine.partition(scheme);
+            if part.mem_devices.len() < 2 {
+                continue;
+            }
+            let mut ringed = machine.clone();
+            ringed.augment_cci_ring(&part.mem_devices);
+            let issues = coarse_fabric::diagnostics::validate(ringed.topology());
+            assert!(issues.is_empty(), "{name} + ring ({scheme:?}): {issues:?}");
+            let mut meshed = machine.clone();
+            meshed.augment_cci_mesh(&part.mem_devices);
+            let issues = coarse_fabric::diagnostics::validate(meshed.topology());
+            assert!(issues.is_empty(), "{name} + mesh ({scheme:?}): {issues:?}");
+        }
     }
 }
 

@@ -107,7 +107,10 @@ mod tests {
         let fwd = v100.forward_time(&m, 64);
         let bwd = v100.backward_time(&m, 64);
         // ~84ms forward, ~167ms backward at 40% of 15.7 TFLOPS.
-        assert!(fwd.as_millis_f64() > 40.0 && fwd.as_millis_f64() < 200.0, "fwd {fwd}");
+        assert!(
+            fwd.as_millis_f64() > 40.0 && fwd.as_millis_f64() < 200.0,
+            "fwd {fwd}"
+        );
         // Backward is 2x forward up to nanosecond rounding.
         assert!(bwd.as_nanos().abs_diff(fwd.as_nanos() * 2) <= 2);
     }

@@ -48,10 +48,7 @@ impl ModelProfile {
         fwd_flops_per_sample: f64,
     ) -> Self {
         assert!(!tensors.is_empty(), "a model needs at least one tensor");
-        assert!(
-            fwd_flops_per_sample > 0.0,
-            "forward FLOPs must be positive"
-        );
+        assert!(fwd_flops_per_sample > 0.0, "forward FLOPs must be positive");
         let layers = tensors.iter().map(|t| t.layer).max().unwrap_or(0) + 1;
         ModelProfile {
             name: name.into(),
@@ -122,10 +119,26 @@ mod tests {
         ModelProfile::new(
             "toy",
             vec![
-                TensorSpec { name: "a".into(), elems: 10, layer: 0 },
-                TensorSpec { name: "b".into(), elems: 20, layer: 1 },
-                TensorSpec { name: "c".into(), elems: 30, layer: 1 },
-                TensorSpec { name: "d".into(), elems: 40, layer: 2 },
+                TensorSpec {
+                    name: "a".into(),
+                    elems: 10,
+                    layer: 0,
+                },
+                TensorSpec {
+                    name: "b".into(),
+                    elems: 20,
+                    layer: 1,
+                },
+                TensorSpec {
+                    name: "c".into(),
+                    elems: 30,
+                    layer: 1,
+                },
+                TensorSpec {
+                    name: "d".into(),
+                    elems: 40,
+                    layer: 2,
+                },
             ],
             1e9,
         )
@@ -144,7 +157,11 @@ mod tests {
         let p = profile();
         assert_eq!(
             p.layer_bytes(),
-            vec![ByteSize::bytes(40), ByteSize::bytes(200), ByteSize::bytes(160)]
+            vec![
+                ByteSize::bytes(40),
+                ByteSize::bytes(200),
+                ByteSize::bytes(160)
+            ]
         );
     }
 

@@ -163,10 +163,7 @@ mod tests {
         let model = bert_base();
         let plan = IterationPlan::new(&model, &GpuCompute::v100(), 2);
         let first = plan.gradients()[0];
-        assert_eq!(
-            model.tensors()[first.tensor].layer,
-            model.layers() - 1
-        );
+        assert_eq!(model.tensors()[first.tensor].layer, model.layers() - 1);
         assert!(first.ready > SimDuration::ZERO);
         // The earliest-layer gradient lands exactly at the end of backward.
         let last = *plan.gradients().last().unwrap();
@@ -198,7 +195,10 @@ mod tests {
     fn compute_time_sums_passes() {
         let model = resnet50();
         let plan = IterationPlan::new(&model, &GpuCompute::t4(), 64);
-        assert_eq!(plan.compute_time(), plan.forward_time() + plan.backward_time());
+        assert_eq!(
+            plan.compute_time(),
+            plan.forward_time() + plan.backward_time()
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub fn resnet50() -> ModelProfile {
             push(format!("{prefix}.bn3.bias"), w * 4, layer);
             if b == 0 {
                 // Projection shortcut on the first block of each stage.
-                push(format!("{prefix}.downsample.0.weight"), in_ch * (w * 4), layer);
+                push(
+                    format!("{prefix}.downsample.0.weight"),
+                    in_ch * (w * 4),
+                    layer,
+                );
                 push(format!("{prefix}.downsample.1.weight"), w * 4, layer);
                 push(format!("{prefix}.downsample.1.bias"), w * 4, layer);
             }
@@ -81,14 +85,26 @@ fn bert(
     for l in 0..layers {
         let p = format!("encoder.layer.{l}");
         for head in ["query", "key", "value"] {
-            push(format!("{p}.attention.{head}.weight"), hidden * hidden, layer);
+            push(
+                format!("{p}.attention.{head}.weight"),
+                hidden * hidden,
+                layer,
+            );
             push(format!("{p}.attention.{head}.bias"), hidden, layer);
         }
-        push(format!("{p}.attention.output.weight"), hidden * hidden, layer);
+        push(
+            format!("{p}.attention.output.weight"),
+            hidden * hidden,
+            layer,
+        );
         push(format!("{p}.attention.output.bias"), hidden, layer);
         push(format!("{p}.attention.ln.weight"), hidden, layer);
         push(format!("{p}.attention.ln.bias"), hidden, layer);
-        push(format!("{p}.intermediate.weight"), hidden * intermediate, layer);
+        push(
+            format!("{p}.intermediate.weight"),
+            hidden * intermediate,
+            layer,
+        );
         push(format!("{p}.intermediate.bias"), intermediate, layer);
         push(format!("{p}.output.weight"), intermediate * hidden, layer);
         push(format!("{p}.output.bias"), hidden, layer);
@@ -139,7 +155,11 @@ pub fn gpt2_xl() -> ModelProfile {
         let p = format!("h.{l}");
         push(format!("{p}.ln_1.weight"), hidden, layer);
         push(format!("{p}.ln_1.bias"), hidden, layer);
-        push(format!("{p}.attn.c_attn.weight"), hidden * 3 * hidden, layer);
+        push(
+            format!("{p}.attn.c_attn.weight"),
+            hidden * 3 * hidden,
+            layer,
+        );
         push(format!("{p}.attn.c_attn.bias"), 3 * hidden, layer);
         push(format!("{p}.attn.c_proj.weight"), hidden * hidden, layer);
         push(format!("{p}.attn.c_proj.bias"), hidden, layer);
@@ -281,7 +301,12 @@ mod tests {
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(before, names.len(), "{} has duplicate tensor names", m.name());
+            assert_eq!(
+                before,
+                names.len(),
+                "{} has duplicate tensor names",
+                m.name()
+            );
         }
     }
 }

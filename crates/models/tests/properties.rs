@@ -1,13 +1,13 @@
 //! Property tests for the workload substrate: model profiles, iteration
-//! schedules, and the memory model.
-
-use proptest::prelude::*;
+//! schedules, and the memory model, driven by the in-repo deterministic
+//! harness.
 
 use coarse_models::gpu::GpuCompute;
 use coarse_models::memory::{MemoryModel, Residency};
 use coarse_models::profile::{ModelProfile, TensorSpec};
 use coarse_models::training::IterationPlan;
 use coarse_models::zoo;
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::time::SimDuration;
 
 fn zoo_models() -> Vec<ModelProfile> {
@@ -54,13 +54,12 @@ fn zoo_schedules_are_well_formed() {
     }
 }
 
-proptest! {
-    /// For any synthetic model, gradient-ready offsets are antitone in
-    /// layer (deeper layers emit first) and cover the full backward window.
-    #[test]
-    fn gradient_offsets_antitone_in_layer(
-        layer_elems in proptest::collection::vec(1u64..100_000, 2..30),
-    ) {
+/// For any synthetic model, gradient-ready offsets are antitone in layer
+/// (deeper layers emit first) and cover the full backward window.
+#[test]
+fn gradient_offsets_antitone_in_layer() {
+    run_cases("gradient_offsets_antitone_in_layer", 64, |g: &mut Gen| {
+        let layer_elems = g.vec_of(2..30, |g| g.u64_in(1..100_000));
         let tensors: Vec<TensorSpec> = layer_elems
             .iter()
             .enumerate()
@@ -79,42 +78,47 @@ proptest! {
         let grads = plan.gradients();
         // Emission order is nondecreasing in ready time...
         for w in grads.windows(2) {
-            prop_assert!(w[0].ready <= w[1].ready);
+            assert!(w[0].ready <= w[1].ready);
         }
         // ...and descending in layer.
         for w in grads.windows(2) {
-            prop_assert!(
-                model.tensors()[w[0].tensor].layer >= model.tensors()[w[1].tensor].layer
-            );
+            assert!(model.tensors()[w[0].tensor].layer >= model.tensors()[w[1].tensor].layer);
         }
         // The last gradient lands exactly at the end of backward.
-        prop_assert_eq!(grads.last().unwrap().ready, plan.backward_time());
-    }
+        assert_eq!(grads.last().unwrap().ready, plan.backward_time());
+    });
+}
 
-    /// The memory model is monotone: more batch never shrinks the resident
-    /// footprint, and offload never exceeds the on-GPU footprint.
-    #[test]
-    fn memory_model_monotone(batch in 1u32..64) {
+/// The memory model is monotone: more batch never shrinks the resident
+/// footprint, and offload never exceeds the on-GPU footprint.
+#[test]
+fn memory_model_monotone() {
+    run_cases("memory_model_monotone", 64, |g: &mut Gen| {
+        let batch = g.u64_in(1..64) as u32;
         let mm = MemoryModel::new(&zoo::bert_large(), 16);
-        prop_assert!(
+        assert!(
             mm.resident_bytes(batch + 1, Residency::AllOnGpu)
                 > mm.resident_bytes(batch, Residency::AllOnGpu)
         );
-        prop_assert!(
+        assert!(
             mm.resident_bytes(batch, Residency::OffloadedToCci)
                 < mm.resident_bytes(batch, Residency::AllOnGpu)
         );
         // max_batch is consistent with fits().
         let max = mm.max_batch(Residency::AllOnGpu);
         if max > 0 {
-            prop_assert!(mm.fits(max, Residency::AllOnGpu));
+            assert!(mm.fits(max, Residency::AllOnGpu));
         }
-        prop_assert!(!mm.fits(max + 1, Residency::AllOnGpu));
-    }
+        assert!(!mm.fits(max + 1, Residency::AllOnGpu));
+    });
+}
 
-    /// Compute time scales with the fixed-overhead-corrected batch exactly.
-    #[test]
-    fn compute_time_scaling_exact(b1 in 1u32..128, b2 in 1u32..128) {
+/// Compute time scales with the fixed-overhead-corrected batch exactly.
+#[test]
+fn compute_time_scaling_exact() {
+    run_cases("compute_time_scaling_exact", 64, |g: &mut Gen| {
+        let b1 = g.u64_in(1..128) as u32;
+        let b2 = g.u64_in(1..128) as u32;
         let gpu = GpuCompute::v100();
         let m = zoo::resnet50();
         let t1 = gpu.forward_time(&m, b1).as_secs_f64();
@@ -122,6 +126,6 @@ proptest! {
         let expect = (b1 as f64 + coarse_models::gpu::BATCH_FIXED_OVERHEAD)
             / (b2 as f64 + coarse_models::gpu::BATCH_FIXED_OVERHEAD);
         // Nanosecond rounding bounds the relative error.
-        prop_assert!((t1 / t2 - expect).abs() < 1e-4);
-    }
+        assert!((t1 / t2 - expect).abs() < 1e-4);
+    });
 }

@@ -7,8 +7,10 @@
 //! - a tie-stable [`queue::EventQueue`] and the [`sim::Simulation`] driver,
 //! - reproducible randomness ([`rng::SimRng`]),
 //! - data-size and bandwidth [`units`] whose division yields exact durations,
-//! - measurement collectors in [`stats`], and
-//! - FIFO resource bookkeeping in [`timeline`].
+//! - measurement collectors in [`stats`],
+//! - FIFO resource bookkeeping in [`timeline`],
+//! - structured tracing (spans/instants/counters) in [`trace`], and
+//! - an offline deterministic property-test harness in [`check`].
 //!
 //! Everything is deterministic: the same program and seed produce the same
 //! event trace on every run and platform.
@@ -33,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 pub mod units;
 
 /// Convenient glob-import of the kernel's common types.
@@ -49,5 +53,9 @@ pub mod prelude {
     pub use crate::stats::{BusyTracker, Histogram, OnlineStats, QuantileEstimator, Series};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::timeline::{Grant, ResourceTimeline};
+    pub use crate::trace::{
+        null_tracer, NullTracer, RecordingTracer, SharedTracer, Trace, TraceEvent, TraceEventKind,
+        Tracer, TrackId,
+    };
     pub use crate::units::{Bandwidth, ByteSize};
 }

@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn ping_pong_alternates_and_terminates() {
-        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 5 });
+        let mut sim = Simulation::new(PingPong {
+            bounces: 0,
+            limit: 5,
+        });
         sim.queue_mut().schedule_now(Ev::Ping);
         assert_eq!(sim.run_to_completion(), RunOutcome::Drained);
         assert_eq!(sim.model().bounces, 5);
@@ -191,7 +194,10 @@ mod tests {
 
     #[test]
     fn run_until_deadline_stops_early() {
-        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 100 });
+        let mut sim = Simulation::new(PingPong {
+            bounces: 0,
+            limit: 100,
+        });
         sim.queue_mut().schedule_now(Ev::Ping);
         let outcome = sim.run_until(SimTime::from_nanos(10), u64::MAX);
         assert_eq!(outcome, RunOutcome::DeadlineReached);
@@ -201,7 +207,10 @@ mod tests {
 
     #[test]
     fn run_until_event_budget() {
-        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 100 });
+        let mut sim = Simulation::new(PingPong {
+            bounces: 0,
+            limit: 100,
+        });
         sim.queue_mut().schedule_now(Ev::Ping);
         let outcome = sim.run_until(SimTime::MAX, 2);
         assert_eq!(outcome, RunOutcome::BudgetExhausted);
@@ -210,7 +219,10 @@ mod tests {
 
     #[test]
     fn step_on_empty_returns_false() {
-        let mut sim = Simulation::new(PingPong { bounces: 0, limit: 1 });
+        let mut sim = Simulation::new(PingPong {
+            bounces: 0,
+            limit: 1,
+        });
         assert!(!sim.step());
     }
 }

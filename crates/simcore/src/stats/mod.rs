@@ -208,7 +208,9 @@ pub struct BusyTracker {
 impl BusyTracker {
     /// An empty tracker.
     pub fn new() -> Self {
-        BusyTracker { intervals: Vec::new() }
+        BusyTracker {
+            intervals: Vec::new(),
+        }
     }
 
     /// Records that the resource was busy on `[start, end)`.

@@ -188,11 +188,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("simulated time underflow"),
-        )
+        SimTime(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
     }
 }
 
@@ -310,8 +306,14 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_to_nanos() {
-        assert_eq!(SimDuration::from_secs_f64(1.5e-9), SimDuration::from_nanos(2));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5e-9),
+            SimDuration::from_nanos(2)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
@@ -332,10 +334,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_nanos)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_nanos).sum();
         assert_eq!(total, SimDuration::from_nanos(6));
     }
 

@@ -133,7 +133,10 @@ mod tests {
     fn earliest_start_does_not_reserve() {
         let mut r = ResourceTimeline::new();
         r.reserve(SimTime::ZERO, SimDuration::from_nanos(10));
-        assert_eq!(r.earliest_start(SimTime::from_nanos(2)), SimTime::from_nanos(10));
+        assert_eq!(
+            r.earliest_start(SimTime::from_nanos(2)),
+            SimTime::from_nanos(10)
+        );
         assert_eq!(r.busy_until(), SimTime::from_nanos(10));
     }
 }

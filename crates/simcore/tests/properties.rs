@@ -1,17 +1,16 @@
-//! Property tests for the simulation kernel.
+//! Property tests for the simulation kernel, driven by the in-repo
+//! deterministic harness ([`coarse_simcore::check`]).
 
-use proptest::prelude::*;
-
+use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::prelude::*;
 
-proptest! {
-    /// Cancelling any subset of events removes exactly those events and
-    /// preserves the order of the rest.
-    #[test]
-    fn queue_cancellation(
-        times in proptest::collection::vec(0u64..100, 1..60),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 60),
-    ) {
+/// Cancelling any subset of events removes exactly those events and
+/// preserves the order of the rest.
+#[test]
+fn queue_cancellation() {
+    run_cases("queue_cancellation", 64, |g: &mut Gen| {
+        let times = g.vec_of(1..60, |g| g.u64_in(0..100));
+        let cancel_mask = g.vec_of(60..61, |g| g.bool());
         let mut q = EventQueue::new();
         let handles: Vec<_> = times
             .iter()
@@ -21,12 +20,12 @@ proptest! {
         let mut kept: Vec<usize> = Vec::new();
         for (i, h) in handles {
             if cancel_mask[i % cancel_mask.len()] {
-                prop_assert!(q.cancel(h));
+                assert!(q.cancel(h));
             } else {
                 kept.push(i);
             }
         }
-        prop_assert_eq!(q.len(), kept.len());
+        assert_eq!(q.len(), kept.len());
         let mut popped: Vec<usize> = Vec::new();
         while let Some((_, i)) = q.pop() {
             popped.push(i);
@@ -34,28 +33,34 @@ proptest! {
         // Same multiset, ordered by (time, insertion).
         let mut expected = kept.clone();
         expected.sort_by_key(|&i| (times[i], i));
-        prop_assert_eq!(popped, expected);
-    }
+        assert_eq!(popped, expected);
+    });
+}
 
-    /// The RNG's `next_below` is always in range and `range_inclusive`
-    /// honors both bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000, lo in 0u64..1000, span in 0u64..1000) {
+/// The RNG's `next_below` is always in range and `range_inclusive` honors
+/// both bounds.
+#[test]
+fn rng_bounds() {
+    run_cases("rng_bounds", 64, |g: &mut Gen| {
+        let seed = g.any_u64();
+        let bound = g.u64_in(1..1_000_000);
+        let lo = g.u64_in(0..1000);
+        let span = g.u64_in(0..1000);
         let mut rng = SimRng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
             let v = rng.range_inclusive(lo, lo + span);
-            prop_assert!(v >= lo && v <= lo + span);
+            assert!(v >= lo && v <= lo + span);
         }
-    }
+    });
+}
 
-    /// Merging OnlineStats in any split equals the unsplit stream.
-    #[test]
-    fn stats_merge_associative(
-        data in proptest::collection::vec(-1e6f64..1e6, 2..200),
-        split in 1usize..199,
-    ) {
-        let split = split.min(data.len() - 1);
+/// Merging OnlineStats in any split equals the unsplit stream.
+#[test]
+fn stats_merge_associative() {
+    run_cases("stats_merge_associative", 64, |g: &mut Gen| {
+        let data = g.vec_of(2..200, |g| g.f64_in(-1e6, 1e6));
+        let split = g.usize_in(1..199).min(data.len() - 1);
         let mut whole = OnlineStats::new();
         data.iter().for_each(|&x| whole.record(x));
         let mut left = OnlineStats::new();
@@ -63,45 +68,55 @@ proptest! {
         data[..split].iter().for_each(|&x| left.record(x));
         data[split..].iter().for_each(|&x| right.record(x));
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
-        prop_assert!((left.variance() - whole.variance()).abs() <= 1e-5 * whole.variance().abs().max(1.0));
-    }
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        assert!(
+            (left.variance() - whole.variance()).abs() <= 1e-5 * whole.variance().abs().max(1.0)
+        );
+    });
+}
 
-    /// BusyTracker utilization never exceeds 1 regardless of overlap.
-    #[test]
-    fn busy_utilization_bounded(
-        intervals in proptest::collection::vec((0u64..1000, 0u64..100), 0..50),
-    ) {
+/// BusyTracker utilization never exceeds 1 regardless of overlap.
+#[test]
+fn busy_utilization_bounded() {
+    run_cases("busy_utilization_bounded", 64, |g: &mut Gen| {
+        let intervals = g.vec_of(0..50, |g| (g.u64_in(0..1000), g.u64_in(0..100)));
         let mut b = BusyTracker::new();
         for (start, len) in intervals {
             b.record(SimTime::from_nanos(start), SimTime::from_nanos(start + len));
         }
         let u = b.utilization(SimTime::from_nanos(1100));
-        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
-    }
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    });
+}
 
-    /// Histogram totals equal the number of observations and every bucket
-    /// boundary behaves as (lo, hi].
-    #[test]
-    fn histogram_conservation(samples in proptest::collection::vec(-100.0f64..100.0, 0..200)) {
+/// Histogram totals equal the number of observations and every bucket
+/// boundary behaves as (lo, hi].
+#[test]
+fn histogram_conservation() {
+    run_cases("histogram_conservation", 64, |g: &mut Gen| {
+        let samples = g.vec_of(0..200, |g| g.f64_in(-100.0, 100.0));
         let mut h = Histogram::with_bounds(vec![-50.0, 0.0, 50.0]);
         for &x in &samples {
             h.record(x);
         }
-        prop_assert_eq!(h.total(), samples.len() as u64);
-        prop_assert_eq!(h.counts().len(), 4);
-    }
+        assert_eq!(h.total(), samples.len() as u64);
+        assert_eq!(h.counts().len(), 4);
+    });
+}
 
-    /// ByteSize div_ceil covers the payload with the minimal chunk count.
-    #[test]
-    fn div_ceil_minimal_cover(size in 0u64..1_000_000, chunk in 1u64..10_000) {
+/// ByteSize div_ceil covers the payload with the minimal chunk count.
+#[test]
+fn div_ceil_minimal_cover() {
+    run_cases("div_ceil_minimal_cover", 128, |g: &mut Gen| {
+        let size = g.u64_in(0..1_000_000);
+        let chunk = g.u64_in(1..10_000);
         let n = ByteSize::bytes(size).div_ceil(ByteSize::bytes(chunk));
-        prop_assert!(n * chunk >= size);
+        assert!(n * chunk >= size);
         if n > 0 {
-            prop_assert!((n - 1) * chunk < size);
+            assert!((n - 1) * chunk < size);
         }
-    }
+    });
 }
 
 /// A deterministic multi-event model: N timers that re-arm a fixed number

@@ -23,7 +23,10 @@ pub fn simulate_allreduce(
     batch_per_gpu: u32,
     iterations: u32,
 ) -> TrainResult {
-    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
     let gpu = gpu_for(machine.sku());
     let plan = IterationPlan::new(model, &gpu, batch_per_gpu);
     let payload = model.total_bytes();

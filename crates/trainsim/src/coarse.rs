@@ -9,7 +9,7 @@
 //! actually minimizes the iteration period on this fabric — capturing the
 //! push/pull contention the analytic model abstracts away.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use coarse_cci::synccore::RingDirection;
 use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
@@ -24,6 +24,7 @@ use coarse_fabric::topology::{Link, LinkClass};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::time::{SimDuration, SimTime};
+use coarse_simcore::trace::{category, RecordingTracer, SharedTracer, Trace, TrackId};
 use coarse_simcore::units::{Bandwidth, ByteSize};
 
 use crate::config::TrainResult;
@@ -44,7 +45,10 @@ fn cci_only(l: &Link) -> bool {
 }
 
 fn cci_or_network(l: &Link) -> bool {
-    matches!(l.class(), LinkClass::Cci | LinkClass::Network | LinkClass::Pcie)
+    matches!(
+        l.class(),
+        LinkClass::Cci | LinkClass::Network | LinkClass::Pcie
+    )
 }
 
 /// Everything fixed about a deployment, shared by pilot and final runs.
@@ -69,6 +73,19 @@ struct Deployment<'a> {
     /// Host-to-worker input bytes prefetched each iteration (0 = input
     /// pipeline not modeled).
     input_bytes: ByteSize,
+    /// Trace sink for full-detail runs; pilots run untraced.
+    tracer: Option<SharedTracer>,
+}
+
+/// Interned training-phase tracks of one traced run.
+struct TrainTracks {
+    iter: TrackId,
+    compute: TrackId,
+    push: TrackId,
+    collective: TrackId,
+    pull: TrackId,
+    /// Per-proxy queue-occupancy tracks, interned on first arrival.
+    proxies: HashMap<DeviceId, TrackId>,
 }
 
 impl Deployment<'_> {
@@ -117,6 +134,22 @@ impl Deployment<'_> {
             .sum();
 
         let mut engine = TransferEngine::new(self.deployed.topology().clone());
+        let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
+        let mut tracks = tracer.as_ref().map(|t| {
+            engine.set_tracer(t.clone());
+            TrainTracks {
+                iter: t.track("train: iteration"),
+                compute: t.track("train: compute"),
+                push: t.track("train: push"),
+                collective: t.track("train: collective"),
+                pull: t.track("train: pull"),
+                proxies: HashMap::new(),
+            }
+        });
+        // Shards parked at each proxy since its last collective (the
+        // analytic run never instantiates ParameterProxy objects, so the
+        // queue-depth gauge is synthesized from shard arrivals here).
+        let mut parked: BTreeMap<DeviceId, u64> = BTreeMap::new();
         let multi_node = self.machine.nodes() > 1;
         let mut start = SimTime::ZERO;
         let mut first_period_end = SimTime::ZERO;
@@ -128,8 +161,34 @@ impl Deployment<'_> {
             let backward_end = forward_end + plan.backward_time();
             let mut next_start = backward_end;
             if tracing {
-                spans.push(PhaseSpan::new(PhaseKind::Forward, start, forward_end, "forward pass"));
-                spans.push(PhaseSpan::new(PhaseKind::Backward, forward_end, backward_end, "backward pass"));
+                spans.push(PhaseSpan::new(
+                    PhaseKind::Forward,
+                    start,
+                    forward_end,
+                    "forward pass",
+                ));
+                spans.push(PhaseSpan::new(
+                    PhaseKind::Backward,
+                    forward_end,
+                    backward_end,
+                    "backward pass",
+                ));
+            }
+            if let (Some(t), Some(tt)) = (&tracer, &tracks) {
+                t.span(
+                    start,
+                    forward_end,
+                    category::TRAIN,
+                    tt.compute,
+                    &format!("forward (iter {k})"),
+                );
+                t.span(
+                    forward_end,
+                    backward_end,
+                    category::TRAIN,
+                    tt.compute,
+                    &format!("backward (iter {k})"),
+                );
             }
             // Input pipeline: prefetch the next iteration's batch from host
             // memory to each worker, contending with parameter traffic on
@@ -187,11 +246,21 @@ impl Deployment<'_> {
                         }
                         let e = proxy_ready.entry(dest).or_insert(t);
                         *e = (*e).max(t);
+                        if let (Some(tr), Some(tt)) = (&tracer, &mut tracks) {
+                            let depth = parked.entry(dest).or_insert(0);
+                            *depth += 1;
+                            let track = *tt.proxies.entry(dest).or_insert_with(|| {
+                                tr.track(&format!(
+                                    "proxy {} queue",
+                                    self.deployed.topology().device(dest).name()
+                                ))
+                            });
+                            tr.counter(t, category::PROXY, track, "queue_depth", *depth as f64);
+                        }
                     }
                 }
                 // Proxies with no local contribution are ready immediately.
-                let ready_of =
-                    |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
+                let ready_of = |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
 
                 // Proxy collective over the CCI device fabric; alternate
                 // ring direction per bucket (Fig. 11b).
@@ -202,9 +271,15 @@ impl Deployment<'_> {
                         .flatten()
                         .map(|&d| ready_of(d))
                         .collect();
-                    hierarchical_allreduce(&mut engine, &self.node_mem_rings, total, &ready, cci_or_network)
-                        .expect("memory devices are connected")
-                        .end
+                    hierarchical_allreduce(
+                        &mut engine,
+                        &self.node_mem_rings,
+                        total,
+                        &ready,
+                        cci_or_network,
+                    )
+                    .expect("memory devices are connected")
+                    .end
                 } else {
                     let ready: Vec<SimTime> =
                         self.mem_devices.iter().map(|&d| ready_of(d)).collect();
@@ -239,7 +314,7 @@ impl Deployment<'_> {
                         next_start = next_start.max(t - self.needed[&ev.tensor]);
                     }
                 }
-                if tracing {
+                if tracing || tracks.is_some() {
                     let first_emit = forward_end + bucket[0].ready;
                     let ready_min = self
                         .mem_devices
@@ -247,24 +322,58 @@ impl Deployment<'_> {
                         .map(|&d| ready_of(d))
                         .min()
                         .unwrap_or(latest_emit);
-                    spans.push(PhaseSpan::new(
-                        PhaseKind::Push,
-                        first_emit,
-                        latest_emit.max(*proxy_ready.values().max().unwrap_or(&latest_emit)),
-                        format!("bucket {round} push ({total})"),
-                    ));
-                    spans.push(PhaseSpan::new(
-                        PhaseKind::Collective,
-                        ready_min.max(first_emit),
-                        sync_end,
-                        format!("bucket {round} collective"),
-                    ));
-                    spans.push(PhaseSpan::new(
-                        PhaseKind::Pull,
-                        sync_end,
-                        pull_end,
-                        format!("bucket {round} pull"),
-                    ));
+                    let push_end =
+                        latest_emit.max(*proxy_ready.values().max().unwrap_or(&latest_emit));
+                    let coll_start = ready_min.max(first_emit);
+                    if tracing {
+                        spans.push(PhaseSpan::new(
+                            PhaseKind::Push,
+                            first_emit,
+                            push_end,
+                            format!("bucket {round} push ({total})"),
+                        ));
+                        spans.push(PhaseSpan::new(
+                            PhaseKind::Collective,
+                            coll_start,
+                            sync_end,
+                            format!("bucket {round} collective"),
+                        ));
+                        spans.push(PhaseSpan::new(
+                            PhaseKind::Pull,
+                            sync_end,
+                            pull_end,
+                            format!("bucket {round} pull"),
+                        ));
+                    }
+                    if let (Some(t), Some(tt)) = (&tracer, &mut tracks) {
+                        t.span(
+                            first_emit,
+                            push_end,
+                            category::TRAIN,
+                            tt.push,
+                            &format!("bucket {round} push ({total})"),
+                        );
+                        t.span(
+                            coll_start,
+                            sync_end,
+                            category::TRAIN,
+                            tt.collective,
+                            &format!("bucket {round} collective"),
+                        );
+                        t.span(
+                            sync_end,
+                            pull_end,
+                            category::TRAIN,
+                            tt.pull,
+                            &format!("bucket {round} pull"),
+                        );
+                        // The collective consumed every parked shard.
+                        for (&d, depth) in parked.iter_mut().filter(|(_, d)| **d > 0) {
+                            *depth = 0;
+                            let track = tt.proxies[&d];
+                            t.counter(sync_end, category::PROXY, track, "queue_depth", 0.0);
+                        }
+                    }
                 }
             }
 
@@ -306,7 +415,36 @@ impl Deployment<'_> {
                     format!("GPU ring allreduce ({gpu_bytes})"),
                 ));
             }
+            if let (Some(t), Some(tt)) = (&tracer, &tracks) {
+                if gpu_sync_end > backward_end {
+                    t.span(
+                        backward_end,
+                        gpu_sync_end,
+                        category::TRAIN,
+                        tt.compute,
+                        &format!("gpu sync (iter {k}, {gpu_bytes})"),
+                    );
+                }
+            }
             next_start = next_start.max(gpu_sync_end);
+            if let (Some(t), Some(tt)) = (&tracer, &tracks) {
+                t.span(
+                    start,
+                    next_start,
+                    category::TRAIN,
+                    tt.iter,
+                    &format!("iteration {k}"),
+                );
+                let blocked =
+                    (next_start - start).saturating_sub(plan.forward_time() + plan.backward_time());
+                t.counter(
+                    next_start,
+                    category::TRAIN,
+                    tt.iter,
+                    "blocked_us",
+                    blocked.as_micros_f64(),
+                );
+            }
 
             if k == 0 {
                 first_period_end = next_start;
@@ -334,7 +472,10 @@ pub fn simulate_coarse(
     batch_per_gpu: u32,
     iterations: u32,
 ) -> TrainResult {
-    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
     let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
     let period = deployment.run(best_m, iterations);
     let global_batch = batch_per_gpu * partition.workers.len() as u32;
@@ -348,6 +489,20 @@ fn prepare<'a>(
     partition: &Partition,
     model: &'a ModelProfile,
     batch_per_gpu: u32,
+) -> (Deployment<'a>, ByteSize) {
+    prepare_traced(machine, partition, model, batch_per_gpu, None)
+}
+
+/// [`prepare`], optionally recording the dual-sync decision process
+/// (analytic candidates, pilot timings, chosen `m*`) on `tracer`. The
+/// pilot runs themselves stay untraced so the final trace holds exactly
+/// one run's events.
+fn prepare_traced<'a>(
+    machine: &'a Machine,
+    partition: &Partition,
+    model: &'a ModelProfile,
+    batch_per_gpu: u32,
+    tracer: Option<&SharedTracer>,
 ) -> (Deployment<'a>, ByteSize) {
     assert!(
         partition.mem_devices.len() >= 2,
@@ -441,14 +596,21 @@ fn prepare<'a>(
         Bandwidth::gib_per_sec(1000.0)
     };
 
-    let analytic = dualsync::optimize(&DualSyncInputs {
+    let inputs = DualSyncInputs {
         workers: workers.len(),
         total_bytes: model.total_bytes(),
         proxy_bandwidth: proxy_bw,
         gpu_bandwidth: gpu_bw,
         forward: plan.forward_time(),
         backward: plan.backward_time(),
-    });
+    };
+    // Decision events are stamped at SimTime::ZERO: the deployment decision
+    // logically precedes the traced run, and a fixed stamp keeps traces
+    // byte-identical across runs.
+    let analytic = match tracer {
+        Some(t) if t.is_enabled() => dualsync::optimize_traced(&inputs, t, SimTime::ZERO),
+        _ => dualsync::optimize(&inputs),
+    };
 
     let needed: HashMap<usize, SimDuration> = plan
         .forward_needs()
@@ -470,6 +632,7 @@ fn prepare<'a>(
         node_gpu_rings,
         needed,
         input_bytes: ByteSize::ZERO,
+        tracer: None,
     };
 
     // Pilot runs pick the m that minimizes the *measured* period.
@@ -488,11 +651,30 @@ fn prepare<'a>(
             if debug {
                 eprintln!("[coarse]   pilot m={m} -> period={period}");
             }
+            if let Some(t) = tracer.filter(|t| t.is_enabled()) {
+                let track = t.track("dualsync");
+                t.counter(
+                    SimTime::ZERO,
+                    coarse_simcore::trace::category::DUALSYNC,
+                    track,
+                    &format!("pilot period(m={m})"),
+                    period.as_secs_f64(),
+                );
+            }
             (period, m)
         })
         .min()
         .map(|(_, m)| m)
         .expect("non-empty candidate grid");
+    if let Some(t) = tracer.filter(|t| t.is_enabled()) {
+        let track = t.track("dualsync");
+        t.instant(
+            SimTime::ZERO,
+            coarse_simcore::trace::category::DUALSYNC,
+            track,
+            &format!("pilot chose m* = {best_m} of {}", model.total_bytes()),
+        );
+    }
 
     if std::env::var("COARSE_DEBUG").is_ok() {
         eprintln!(
@@ -524,7 +706,10 @@ pub fn simulate_coarse_with_input(
     batch_per_gpu: u32,
     iterations: u32,
 ) -> TrainResult {
-    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
     let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
     deployment.input_bytes =
         ByteSize::bytes(dataset.sample_bytes().as_u64() * batch_per_gpu as u64);
@@ -549,6 +734,39 @@ pub fn trace_coarse(
     let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
     let (period, _, spans) = deployment.run_inner(best_m, 3, true);
     crate::timeline::IterationTrace::new(spans, period)
+}
+
+/// Runs COARSE with a recording tracer attached and returns the training
+/// result together with the full structured trace: fabric link-occupancy
+/// spans, sync-core ring steps, synthesized proxy queue-depth gauges,
+/// per-iteration training phases, and the dual-sync decision events from
+/// the pilot grid. Pilot runs stay untraced, so the trace holds exactly
+/// one run's simulated events; attaching the tracer never changes the
+/// simulated timings (the returned result equals [`simulate_coarse`]'s).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn record_coarse_trace(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+) -> (TrainResult, Trace) {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let rec = RecordingTracer::new();
+    let handle: SharedTracer = rec.handle();
+    let (mut deployment, best_m) =
+        prepare_traced(machine, partition, model, batch_per_gpu, Some(&handle));
+    deployment.tracer = Some(handle);
+    let period = deployment.run(best_m, iterations);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let result = TrainResult::new(period, deployment.plan.compute_time(), global_batch);
+    (result, rec.take())
 }
 
 /// Runs COARSE and reports the `top_n` busiest directed links — the
@@ -618,7 +836,10 @@ mod tests {
             .map(|s| s.as_u64())
             .sum();
         assert_eq!(total, 10_000);
-        assert_eq!(shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).len(), 1);
+        assert_eq!(
+            shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).len(),
+            1
+        );
     }
 
     #[test]
@@ -682,12 +903,10 @@ mod tests {
         let p = m.partition(PartitionScheme::OneToOne);
         let model = coarse_models::zoo::resnet50();
         let clean = simulate_coarse(&m, &p, &model, 64, 3);
-        let with_input =
-            simulate_coarse_with_input(&m, &p, &model, &Dataset::imagenet(), 64, 3);
+        let with_input = simulate_coarse_with_input(&m, &p, &model, &Dataset::imagenet(), 64, 3);
         assert!(with_input.iteration_time >= clean.iteration_time);
-        let overhead = with_input.iteration_time.as_secs_f64()
-            / clean.iteration_time.as_secs_f64()
-            - 1.0;
+        let overhead =
+            with_input.iteration_time.as_secs_f64() / clean.iteration_time.as_secs_f64() - 1.0;
         assert!(
             overhead < 0.05,
             "input pipeline should cost <5%, got {:.1}%",

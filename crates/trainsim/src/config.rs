@@ -70,8 +70,7 @@ impl TrainResult {
     ///
     /// Panics if the period is shorter than the compute time.
     pub fn new(iteration_time: SimDuration, compute_time: SimDuration, global_batch: u32) -> Self {
-        let blocked_comm = iteration_time
-            .saturating_sub(compute_time);
+        let blocked_comm = iteration_time.saturating_sub(compute_time);
         TrainResult {
             iteration_time,
             compute_time,
@@ -140,8 +139,16 @@ mod tests {
 
     #[test]
     fn speedup_direction() {
-        let fast = TrainResult::new(SimDuration::from_millis(100), SimDuration::from_millis(90), 8);
-        let slow = TrainResult::new(SimDuration::from_millis(400), SimDuration::from_millis(90), 8);
+        let fast = TrainResult::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(90),
+            8,
+        );
+        let slow = TrainResult::new(
+            SimDuration::from_millis(400),
+            SimDuration::from_millis(90),
+            8,
+        );
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
         assert!(slow.speedup_over(&fast) < 1.0);
     }

@@ -18,8 +18,8 @@ use coarse_fabric::topology::{Link, LinkClass};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::time::{SimDuration, SimTime};
-use coarse_simcore::units::ByteSize;
 use coarse_simcore::timeline::ResourceTimeline;
+use coarse_simcore::units::ByteSize;
 
 use crate::config::TrainResult;
 use crate::gpu_for;
@@ -43,7 +43,10 @@ pub fn simulate_dense(
     batch_per_gpu: u32,
     iterations: u32,
 ) -> TrainResult {
-    assert!(iterations >= 2, "need ≥2 iterations for a steady-state period");
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
     let gpu = gpu_for(machine.sku());
     let plan = IterationPlan::new(model, &gpu, batch_per_gpu);
     let workers = partition.workers.len();
@@ -120,7 +123,11 @@ mod tests {
         let r = simulate_dense(&m, &p, &bert_large(), 2, 3);
         // 4 workers × 2 × 1.25 GiB through a ~2.7 GiB/s coherent path:
         // seconds of blocked communication vs ~0.25 s compute.
-        assert!(r.comm_fraction() > 0.8, "comm fraction {}", r.comm_fraction());
+        assert!(
+            r.comm_fraction() > 0.8,
+            "comm fraction {}",
+            r.comm_fraction()
+        );
         assert!(r.blocked_comm.as_secs_f64() > 2.0);
     }
 
@@ -149,7 +156,10 @@ mod tests {
         let large = simulate_dense(&m, &p, &bert_large(), 2, 3);
         let ratio = large.blocked_comm.as_secs_f64() / small.blocked_comm.as_secs_f64();
         // BERT-Large's payload is ~13x ResNet-50's.
-        assert!(ratio > 8.0, "expected payload-proportional comm, got {ratio}");
+        assert!(
+            ratio > 8.0,
+            "expected payload-proportional comm, got {ratio}"
+        );
     }
 
     #[test]

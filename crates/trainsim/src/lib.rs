@@ -14,14 +14,20 @@ pub mod dense;
 pub mod scaling;
 pub mod straggler;
 pub mod timeline;
+pub mod traceexport;
 
 pub use allreduce::simulate_allreduce;
-pub use coarse::{coarse_hotspots, simulate_coarse, simulate_coarse_with_input, trace_coarse};
-pub use timeline::{IterationTrace, PhaseKind, PhaseSpan};
+pub use coarse::{
+    coarse_hotspots, record_coarse_trace, simulate_coarse, simulate_coarse_with_input, trace_coarse,
+};
 pub use config::{Scheme, TrainConfig, TrainError, TrainResult};
 pub use dense::simulate_dense;
 pub use scaling::{node_scaling, ScalingPoint};
-pub use straggler::{compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel};
+pub use straggler::{
+    compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel,
+};
+pub use timeline::{IterationTrace, PhaseKind, PhaseSpan};
+pub use traceexport::{chrome_trace_json, summary_table};
 
 use coarse_fabric::machines::GpuSku;
 use coarse_models::gpu::GpuCompute;

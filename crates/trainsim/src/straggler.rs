@@ -116,9 +116,7 @@ impl Model for StragglerModel {
     fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
         let Ev::ComputeDone { worker, iter } = ev;
         self.done_at[iter as usize][worker] = Some(now);
-        let iter_done = self.done_at[iter as usize]
-            .iter()
-            .all(Option::is_some);
+        let iter_done = self.done_at[iter as usize].iter().all(Option::is_some);
         match self.cfg.sync {
             SyncModel::Barrier { sync } => {
                 // The barrier releases everyone once the slowest arrives.
@@ -132,7 +130,13 @@ impl Model for StragglerModel {
                         let next = iter + 1;
                         if next < self.cfg.iterations {
                             let dur = self.durations[next as usize][w];
-                            queue.schedule_at(slowest + sync + dur, Ev::ComputeDone { worker: w, iter: next });
+                            queue.schedule_at(
+                                slowest + sync + dur,
+                                Ev::ComputeDone {
+                                    worker: w,
+                                    iter: next,
+                                },
+                            );
                         }
                     }
                     self.finished_at = slowest + sync;
@@ -154,7 +158,13 @@ impl Model for StragglerModel {
                         let next = iter + 1;
                         if next < self.cfg.iterations {
                             let dur = self.durations[next as usize][w];
-                            queue.schedule_at(start + dur, Ev::ComputeDone { worker: w, iter: next });
+                            queue.schedule_at(
+                                start + dur,
+                                Ev::ComputeDone {
+                                    worker: w,
+                                    iter: next,
+                                },
+                            );
                         }
                     }
                     self.finished_at = slowest + tail;
@@ -193,8 +203,7 @@ pub fn run_straggler(cfg: StragglerConfig) -> StragglerResult {
         .p99()
         .map(SimDuration::from_secs_f64)
         .unwrap_or(SimDuration::ZERO);
-    let utilization =
-        m.total_compute.as_secs_f64() / (workers as f64 * makespan.as_secs_f64());
+    let utilization = m.total_compute.as_secs_f64() / (workers as f64 * makespan.as_secs_f64());
     StragglerResult {
         makespan,
         mean_wait,

@@ -184,8 +184,14 @@ mod tests {
             ],
             SimDuration::from_nanos(25),
         );
-        assert_eq!(trace.busy_by_kind(PhaseKind::Push), SimDuration::from_nanos(15));
-        assert_eq!(trace.busy_by_kind(PhaseKind::Pull), SimDuration::from_nanos(5));
+        assert_eq!(
+            trace.busy_by_kind(PhaseKind::Push),
+            SimDuration::from_nanos(15)
+        );
+        assert_eq!(
+            trace.busy_by_kind(PhaseKind::Pull),
+            SimDuration::from_nanos(5)
+        );
         assert_eq!(trace.busy_by_kind(PhaseKind::GpuSync), SimDuration::ZERO);
     }
 

@@ -1,0 +1,444 @@
+//! Exporters for recorded simulation traces.
+//!
+//! Two consumers of a [`Trace`]:
+//!
+//! - [`chrome_trace_json`] renders the Chrome trace-event JSON format
+//!   (loadable in Perfetto / `chrome://tracing`), one timeline row per
+//!   track — links, devices, sync rings, proxies, training phases.
+//! - [`summary_table`] renders a plain-text report: the busiest links by
+//!   occupancy, proxy queue-depth percentiles, ring-step counts, and the
+//!   per-iteration phase totals.
+//!
+//! Both are fully deterministic: given the same trace they produce
+//! byte-identical output (ordering comes from the trace's emission order
+//! plus stable sorts and `BTreeMap`s, never from hash iteration).
+
+use std::collections::BTreeMap;
+
+use coarse_simcore::stats::QuantileEstimator;
+use coarse_simcore::trace::{category, Trace, TraceEventKind};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an integer nanosecond count as exact microseconds ("1234.567").
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+/// Renders an `f64` as a JSON number (non-finite values, which no
+/// instrumented layer emits, degrade to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serializes `trace` as Chrome trace-event JSON.
+///
+/// The output is one JSON object with a `traceEvents` array:
+///
+/// - every track becomes a named thread (`M`/`thread_name` metadata) of a
+///   single `coarse-sim` process, so each track renders as its own row;
+/// - spans become complete events (`ph: "X"`) with exact microsecond
+///   `ts`/`dur` derived from the integer-nanosecond simulated clock;
+/// - instants become thread-scoped instant events (`ph: "i"`);
+/// - counters become counter events (`ph: "C"`), prefixed with their track
+///   name so per-device gauges chart separately.
+///
+/// Events are stably sorted by timestamp, so equal-time events keep their
+/// emission order and the output is byte-identical across identical runs.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(trace.events.len() + trace.tracks.len() + 1);
+    lines.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"coarse-sim\"}}"
+            .to_string(),
+    );
+    for (i, name) in trace.tracks.iter().enumerate() {
+        lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            i + 1,
+            json_escape(name)
+        ));
+        lines.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"sort_index\":{}}}}}",
+            i + 1,
+            i + 1
+        ));
+    }
+    let mut ordered: Vec<&coarse_simcore::trace::TraceEvent> = trace.events.iter().collect();
+    ordered.sort_by_key(|e| e.time); // stable: preserves emission order at equal times
+    for e in &ordered {
+        let tid = e.track.0 + 1;
+        match e.kind {
+            TraceEventKind::Span { duration } => lines.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                json_escape(&e.name),
+                e.category,
+                micros(e.time.as_nanos()),
+                micros(duration.as_nanos()),
+                tid
+            )),
+            TraceEventKind::Instant => lines.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                json_escape(&e.name),
+                e.category,
+                micros(e.time.as_nanos()),
+                tid
+            )),
+            TraceEventKind::Counter { value } => lines.push(format!(
+                "{{\"name\":\"{}: {}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                json_escape(trace.track_name(e.track)),
+                json_escape(&e.name),
+                e.category,
+                micros(e.time.as_nanos()),
+                tid,
+                json_f64(value)
+            )),
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a plain-text summary of `trace`:
+///
+/// - the `top_n` busiest fabric links by occupancy (busy time over the
+///   trace horizon);
+/// - queue-depth percentiles (p50/p95/max) per gauged track, from every
+///   counter whose name starts with `queue_depth`;
+/// - sync-core ring-step span counts per ring track;
+/// - training totals: iterations, per-phase span time, and total blocked
+///   time from the `blocked_us` gauge.
+pub fn summary_table(trace: &Trace, top_n: usize) -> String {
+    let horizon = trace.horizon();
+    let horizon_s = horizon.as_secs_f64();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary: {} event(s) on {} track(s), horizon {}\n",
+        trace.len(),
+        trace.tracks.len(),
+        horizon
+    ));
+
+    // Busiest links: occupancy of FABRIC spans per track.
+    let mut busy: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in trace.events_in(category::FABRIC) {
+        if let TraceEventKind::Span { duration } = e.kind {
+            *busy.entry(trace.track_name(e.track)).or_default() += duration.as_nanos();
+        }
+    }
+    let mut rows: Vec<(&str, u64)> = busy.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    out.push_str(&format!("\nbusiest links (top {top_n})\n"));
+    if rows.is_empty() {
+        out.push_str("  (no fabric spans recorded)\n");
+    }
+    for (name, ns) in rows.iter().take(top_n) {
+        let util = if horizon_s > 0.0 {
+            *ns as f64 / 1e9 / horizon_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:5.1}%  {:9.3} ms  {}\n",
+            util * 100.0,
+            *ns as f64 / 1e6,
+            name
+        ));
+    }
+
+    // Queue-depth percentiles per gauged track.
+    let mut depths: BTreeMap<&str, QuantileEstimator> = BTreeMap::new();
+    for e in &trace.events {
+        if let TraceEventKind::Counter { value } = e.kind {
+            if e.name.starts_with("queue_depth") {
+                depths
+                    .entry(trace.track_name(e.track))
+                    .or_default()
+                    .record(value);
+            }
+        }
+    }
+    out.push_str("\nqueue depth (samples, p50, p95, max)\n");
+    if depths.is_empty() {
+        out.push_str("  (no queue gauges recorded)\n");
+    }
+    for (name, q) in depths.iter_mut() {
+        let n = q.count();
+        let p50 = q.quantile(0.5).unwrap_or(0.0);
+        let p95 = q.quantile(0.95).unwrap_or(0.0);
+        let max = q.quantile(1.0).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {n:6}  {p50:6.1}  {p95:6.1}  {max:6.1}  {name}\n"
+        ));
+    }
+
+    // Ring steps per sync track.
+    let mut steps: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in trace.events_in(category::SYNC) {
+        if matches!(e.kind, TraceEventKind::Span { .. }) {
+            *steps.entry(trace.track_name(e.track)).or_default() += 1;
+        }
+    }
+    out.push_str("\nsync-core ring steps\n");
+    if steps.is_empty() {
+        out.push_str("  (no ring steps recorded)\n");
+    }
+    for (name, n) in &steps {
+        out.push_str(&format!("  {n:6} step(s)  {name}\n"));
+    }
+
+    // Training totals.
+    let mut phase_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut iterations = 0u64;
+    let mut blocked_us = 0.0f64;
+    for e in trace.events_in(category::TRAIN) {
+        match e.kind {
+            TraceEventKind::Span { duration } => {
+                let track = trace.track_name(e.track);
+                if track == "train: iteration" {
+                    iterations += 1;
+                } else {
+                    *phase_ns.entry(track).or_default() += duration.as_nanos();
+                }
+            }
+            TraceEventKind::Counter { value } if e.name == "blocked_us" => blocked_us += value,
+            _ => {}
+        }
+    }
+    out.push_str("\ntraining\n");
+    out.push_str(&format!("  {iterations:6} iteration span(s)\n"));
+    for (name, ns) in &phase_ns {
+        out.push_str(&format!("  {:9.3} ms total  {}\n", *ns as f64 / 1e6, name));
+    }
+    out.push_str(&format!(
+        "  {:9.3} ms total blocked (outside FP+BP)\n",
+        blocked_us / 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_simcore::time::SimTime;
+    use coarse_simcore::trace::{RecordingTracer, Tracer};
+
+    /// A minimal JSON syntax checker: returns true iff `s` parses as one
+    /// JSON value. Enough to guarantee the exporter emits loadable output
+    /// without pulling in a JSON dependency.
+    fn is_valid_json(s: &str) -> bool {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Option<usize> {
+            let i = skip_ws(b, i);
+            match b.get(i)? {
+                b'{' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i))?;
+                        i = skip_ws(b, i);
+                        if b.get(i) != Some(&b':') {
+                            return None;
+                        }
+                        i = value(b, i + 1)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b'}' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'[' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = value(b, i)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b']' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                b't' => b[i..].starts_with(b"true").then_some(i + 4),
+                b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+                b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+                _ => number(b, i),
+            }
+        }
+        fn string(b: &[u8], i: usize) -> Option<usize> {
+            if b.get(i) != Some(&b'"') {
+                return None;
+            }
+            let mut i = i + 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Some(i + 1),
+                    b'\\' => i += 2,
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        fn number(b: &[u8], mut i: usize) -> Option<usize> {
+            let start = i;
+            if b.get(i) == Some(&b'-') {
+                i += 1;
+            }
+            let mut any = false;
+            while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                any = true;
+                i += 1;
+            }
+            (any && i > start).then_some(i)
+        }
+        let b = s.as_bytes();
+        match value(b, 0) {
+            Some(end) => skip_ws(b, end) == b.len(),
+            None => false,
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        use coarse_simcore::trace::category;
+        let rec = RecordingTracer::new();
+        let link = rec.track("link 0 -> 1 (Pcie)");
+        let ring = rec.track("sync ring 2..3 x2");
+        let proxy = rec.track("proxy m0 queue");
+        let iter = rec.track("train: iteration");
+        rec.span(
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(1500),
+            category::FABRIC,
+            link,
+            "64KiB \"quoted\"",
+        );
+        rec.span(
+            SimTime::from_nanos(1500),
+            SimTime::from_nanos(1501),
+            category::SYNC,
+            ring,
+            "reduce-scatter step 1/1 (fwd)",
+        );
+        for (t, d) in [(100u64, 1.0), (200, 2.0), (300, 0.0)] {
+            rec.counter(
+                SimTime::from_nanos(t),
+                category::PROXY,
+                proxy,
+                "queue_depth",
+                d,
+            );
+        }
+        rec.span(
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(2000),
+            category::TRAIN,
+            iter,
+            "iteration 0",
+        );
+        rec.counter(
+            SimTime::from_nanos(2000),
+            category::TRAIN,
+            iter,
+            "blocked_us",
+            0.5,
+        );
+        rec.take()
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_all_event_kinds() {
+        let json = chrome_trace_json(&sample_trace());
+        assert!(is_valid_json(&json), "exporter must emit valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""), "spans exported");
+        assert!(json.contains("\"ph\":\"C\""), "counters exported");
+        assert!(json.contains("\"thread_name\""), "tracks named");
+        assert!(json.contains("64KiB \\\"quoted\\\""), "names escaped");
+        // Exact-microsecond timestamps: 1500 ns = 1.500 µs.
+        assert!(json.contains("\"ts\":1.500"));
+        // Counters are prefixed with their track.
+        assert!(json.contains("proxy m0 queue: queue_depth"));
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic() {
+        let a = chrome_trace_json(&sample_trace());
+        let b = chrome_trace_json(&sample_trace());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_validator_rejects_garbage() {
+        assert!(is_valid_json("{\"a\":[1,2.5e3,\"x\"],\"b\":null}"));
+        assert!(!is_valid_json("{\"a\":}"));
+        assert!(!is_valid_json("{\"a\":1} trailing"));
+        assert!(!is_valid_json("[1,2"));
+    }
+
+    #[test]
+    fn summary_reports_each_section() {
+        let text = summary_table(&sample_trace(), 5);
+        assert!(text.contains("busiest links"));
+        assert!(text.contains("link 0 -> 1 (Pcie)"));
+        // 1.5 µs busy over a 2 µs horizon = 75%.
+        assert!(text.contains("75.0%"), "utilization computed:\n{text}");
+        assert!(text.contains("queue depth"));
+        // 3 samples, p50 = 1.0, max = 2.0.
+        assert!(text.contains("     3     1.0"), "percentiles:\n{text}");
+        assert!(text.contains("ring steps"));
+        assert!(text.contains("sync ring 2..3 x2"));
+        assert!(text.contains("1 iteration span(s)"));
+        assert!(text.contains("blocked"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = Trace::default();
+        assert!(is_valid_json(&chrome_trace_json(&t)));
+        let s = summary_table(&t, 3);
+        assert!(s.contains("no fabric spans"));
+        assert!(s.contains("no queue gauges"));
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
     let epoch = strategy.recover().expect("checkpoint exists");
     let restored = strategy.stored(TensorId(0)).unwrap().data()[0];
     println!("recovered to epoch {epoch}: stored value {restored}");
-    assert_eq!(restored, at_checkpoint, "recovery must restore the snapshot");
+    assert_eq!(
+        restored, at_checkpoint,
+        "recovery must restore the snapshot"
+    );
 
     // Training resumes from the restored state.
     strategy.run_step(&grads(7.0)).unwrap();

@@ -76,7 +76,9 @@ fn main() {
     strategy.register_parameters(&[Tensor::new(TensorId(0), vec![0.0; FEATURES])]);
 
     let mut w = vec![0.0f32; FEATURES];
-    println!("training linear regression on {workers} workers ({SAMPLES_PER_WORKER} samples each)\n");
+    println!(
+        "training linear regression on {workers} workers ({SAMPLES_PER_WORKER} samples each)\n"
+    );
     for step in 0..=60 {
         let mut total_loss = 0.0;
         let gradients: Vec<Vec<Tensor>> = shards

@@ -42,9 +42,7 @@ fn main() {
                 ]
             })
             .collect();
-        let averaged = strategy
-            .run_step(&gradients)
-            .expect("worker count matches");
+        let averaged = strategy.run_step(&gradients).expect("worker count matches");
         let got = averaged[0][0].data()[0];
         let expect = (0..partition.worker_count())
             .map(|w| (w + step) as f32)

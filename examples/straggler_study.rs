@@ -27,7 +27,10 @@ fn main() {
         );
     }
     println!("\nworker-count scaling at 20% jitter:");
-    println!("{:>8} | {:>14} | {:>14}", "workers", "barrier wait", "overlap wait");
+    println!(
+        "{:>8} | {:>14} | {:>14}",
+        "workers", "barrier wait", "overlap wait"
+    );
     for workers in [2usize, 4, 8, 16] {
         let (barrier, overlapped) = compare_straggler(workers, 0.2);
         println!(

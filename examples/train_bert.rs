@@ -7,9 +7,7 @@
 
 use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
 use coarse_repro::models::zoo::bert_large;
-use coarse_repro::trainsim::{
-    simulate_allreduce, simulate_coarse, simulate_dense, trace_coarse,
-};
+use coarse_repro::trainsim::{simulate_allreduce, simulate_coarse, simulate_dense, trace_coarse};
 
 fn main() {
     let machine = aws_v100();
@@ -33,7 +31,11 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
         "scheme", "iteration", "blocked comm", "GPU util", "samples/s"
     );
-    for (name, r) in [("DENSE", &dense), ("AllReduce", &allreduce), ("COARSE", &coarse)] {
+    for (name, r) in [
+        ("DENSE", &dense),
+        ("AllReduce", &allreduce),
+        ("COARSE", &coarse),
+    ] {
         println!(
             "{:<10} {:>14} {:>14} {:>11.0}% {:>12.1}",
             name,
@@ -52,8 +54,10 @@ fn main() {
         (1.0 - coarse.blocked_comm.as_secs_f64() / allreduce.blocked_comm.as_secs_f64()) * 100.0
     );
 
-    println!("
-one steady-state COARSE iteration (each row's total busy time at right):");
+    println!(
+        "
+one steady-state COARSE iteration (each row's total busy time at right):"
+    );
     let trace = trace_coarse(&machine, &partition, &model, batch);
     print!("{}", trace.render_gantt(76));
     println!("(pushes and collectives ride inside the backward window; only the short");

@@ -87,8 +87,7 @@ fn coarse_matches_oracle_on_t4() {
 fn strategy_lifecycle_with_recovery() {
     let machine = aws_v100();
     let part = machine.partition(PartitionScheme::OneToOne);
-    let mut strategy =
-        CoarseStrategy::new(machine.topology(), &part.workers, &part.mem_devices, 2);
+    let mut strategy = CoarseStrategy::new(machine.topology(), &part.workers, &part.mem_devices, 2);
     let workers = part.worker_count();
     let grads = |v: f32| -> Vec<Vec<Tensor>> {
         (0..workers)
@@ -113,7 +112,11 @@ fn sync_core_ring_agrees_with_functional_oracle() {
     let mut rng = SimRng::seed_from_u64(10);
     for n in [2usize, 3, 5, 8] {
         let inputs: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..1337).map(|_| (rng.next_below(64) as f32) / 4.0).collect())
+            .map(|_| {
+                (0..1337)
+                    .map(|_| (rng.next_below(64) as f32) / 4.0)
+                    .collect()
+            })
             .collect();
         let mut group = SyncGroup::new(n, 100, RingDirection::Reverse);
         let (ring, _) = group.allreduce_sum(&inputs);
@@ -140,10 +143,8 @@ fn corrupted_shards_are_rejected_before_reduction() {
         "m",
         0,
     );
-    let mut client = ParameterClient::new(
-        w,
-        RoutingTable::single(m, ByteSize::kib(1), SimTime::ZERO),
-    );
+    let mut client =
+        ParameterClient::new(w, RoutingTable::single(m, ByteSize::kib(1), SimTime::ZERO));
     let tensor = Tensor::new(TensorId(1), (0..2000).map(|i| i as f32).collect());
     client.push(&tensor);
 

@@ -2,7 +2,9 @@
 //! paper, asserted end-to-end through the public APIs — who wins, in which
 //! regime, and by roughly what factor.
 
-use coarse_repro::fabric::machines::{aws_t4, aws_v100, aws_v100_cluster, sdsc_p100, PartitionScheme};
+use coarse_repro::fabric::machines::{
+    aws_t4, aws_v100, aws_v100_cluster, sdsc_p100, PartitionScheme,
+};
 use coarse_repro::models::memory::{MemoryModel, Residency};
 use coarse_repro::models::zoo::{bert_base, bert_large, resnet50};
 use coarse_repro::trainsim::{

@@ -1,0 +1,71 @@
+//! Tracing is observation-only and deterministic: attaching a tracer must
+//! not perturb the simulated timings, and the exported trace of a fixed
+//! scenario must be byte-identical across runs.
+
+use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
+use coarse_repro::models::zoo::resnet50;
+use coarse_repro::simcore::trace::category;
+use coarse_repro::trainsim::{
+    chrome_trace_json, record_coarse_trace, simulate_coarse, summary_table,
+};
+
+/// Same scenario, two recordings: the exported Chrome trace and the text
+/// summary are byte-identical (the golden-determinism guarantee exporters
+/// and CI diffing rely on).
+#[test]
+fn exported_trace_is_byte_identical_across_runs() {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = resnet50();
+    let (res_a, trace_a) = record_coarse_trace(&machine, &part, &model, 64, 2);
+    let (res_b, trace_b) = record_coarse_trace(&machine, &part, &model, 64, 2);
+    assert_eq!(res_a, res_b, "simulated results must match");
+    assert_eq!(trace_a, trace_b, "recorded events must match exactly");
+    assert_eq!(
+        chrome_trace_json(&trace_a),
+        chrome_trace_json(&trace_b),
+        "Chrome export must be byte-identical"
+    );
+    assert_eq!(summary_table(&trace_a, 10), summary_table(&trace_b, 10));
+}
+
+/// A traced run reports exactly the same simulated timings as an untraced
+/// one: tracing observes the simulation, never steers it.
+#[test]
+fn tracing_does_not_change_simulated_timings() {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = resnet50();
+    let untraced = simulate_coarse(&machine, &part, &model, 64, 2);
+    let (traced, trace) = record_coarse_trace(&machine, &part, &model, 64, 2);
+    assert_eq!(untraced, traced);
+    assert!(!trace.is_empty(), "the traced run did record events");
+}
+
+/// The recorded trace covers every instrumented layer the exporter's
+/// timeline promises: fabric links, sync-core ring steps, proxy queue
+/// gauges, dual-sync decisions, and training iterations.
+#[test]
+fn trace_covers_all_instrumented_layers() {
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let (_, trace) = record_coarse_trace(&machine, &part, &resnet50(), 64, 2);
+    for cat in [
+        category::FABRIC,
+        category::SYNC,
+        category::PROXY,
+        category::DUALSYNC,
+        category::TRAIN,
+    ] {
+        assert!(
+            trace.events_in(cat).next().is_some(),
+            "no events recorded in category {cat}"
+        );
+    }
+    assert!(trace.find_track("train: iteration").is_some());
+    let json = chrome_trace_json(&trace);
+    assert!(json.contains("\"cat\":\"fabric\""));
+    assert!(json.contains("\"cat\":\"cci.sync\""));
+    assert!(json.contains("queue_depth"));
+    assert!(json.contains("iteration 0"));
+}

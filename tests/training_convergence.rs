@@ -21,7 +21,11 @@ fn make_shards(seed: u64, workers: usize, true_w: &[f32]) -> Vec<Shard> {
     (0..workers)
         .map(|_| {
             let xs: Vec<Vec<f32>> = (0..128)
-                .map(|_| (0..FEATURES).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect())
+                .map(|_| {
+                    (0..FEATURES)
+                        .map(|_| rng.range_f64(-1.0, 1.0) as f32)
+                        .collect()
+                })
                 .collect();
             let ys = xs
                 .iter()
