@@ -1,11 +1,16 @@
-//! Regenerates every table and figure of the COARSE paper's evaluation.
+//! Regenerates every table and figure of the COARSE paper's evaluation,
+//! validates them against the paper-expectation registry, and produces
+//! machine-readable fidelity and perf artifacts.
 //!
 //! ```text
-//! cargo run --release -p coarse-bench --bin figures -- all
+//! cargo run --release -p coarse-bench --bin figures -- list
 //! cargo run --release -p coarse-bench --bin figures -- fig16
+//! cargo run --release -p coarse-bench --bin figures -- validate all
+//! cargo run --release -p coarse-bench --bin figures -- report --json out.json
+//! cargo run --release -p coarse-bench --bin figures -- bench ci
 //! ```
 
-use coarse_bench::{mechanisms, micro, training};
+use coarse_bench::{expectations, mechanisms, micro, selfbench, training};
 
 fn hr(title: &str) {
     println!("\n================================================================");
@@ -420,39 +425,216 @@ fn trace_scenario(scenario: &str) {
     println!("\nwrote {json_path} (open in Perfetto / chrome://tracing) and {txt_path}");
 }
 
+/// Every figure generator, in paper order.
+const FIGURES: &[(&str, fn())] = &[
+    ("table1", table1),
+    ("fig2", fig2),
+    ("fig3", fig3),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("fig15", fig15),
+    ("fig16", fig16),
+    ("fig17", fig17),
+    ("ablations", ablations),
+    ("capacity", capacity),
+    ("timeline", timeline),
+];
+
+const TRACE_SCENARIOS: &str = "resnet50-coarse bert-coarse bert-p100-coarse";
+
+fn usage() {
+    let figures: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+    eprintln!(
+        "usage: figures -- <subcommand>\n\
+         \n\
+         subcommands:\n\
+         \x20 list                     list subcommands, figures, and scenarios\n\
+         \x20 all                      regenerate every figure\n\
+         \x20 <figure>                 one of: {}\n\
+         \x20 validate [scenario|all]  score the simulator against the paper-expectation\n\
+         \x20                          registry (exit 1 on any FAIL verdict)\n\
+         \x20 report [scenario] [--json <path>]\n\
+         \x20                          emit the fidelity report (scorecard + per-panel\n\
+         \x20                          run reports) as versioned JSON\n\
+         \x20 bench [label]            run the perf self-benchmark and write\n\
+         \x20                          BENCH_<label>.json (default label: local)\n\
+         \x20 trace [scenario]         record a traced COARSE run; scenarios:\n\
+         \x20                          {TRACE_SCENARIOS}",
+        figures.join(" ")
+    );
+}
+
+fn list() {
+    println!("figures (regenerators, paper order):");
+    for (name, _) in FIGURES {
+        println!("  {name}");
+    }
+    println!("\nvalidate / report scenarios:");
+    for s in expectations::scenarios() {
+        let n = expectations::REGISTRY
+            .iter()
+            .filter(|e| e.scenario == s)
+            .count();
+        println!("  {s:<12} {n} expectation(s)");
+    }
+    println!("\ntrace scenarios:");
+    for s in TRACE_SCENARIOS.split(' ') {
+        println!("  {s}");
+    }
+}
+
+/// `figures -- validate [scenario|all]`: evaluates the expectation registry
+/// and prints the fidelity scorecard. Exits 1 if any expectation fails.
+fn validate(scenario: &str) {
+    let filter = if scenario == "all" {
+        None
+    } else {
+        if !expectations::scenarios().contains(&scenario) {
+            eprintln!(
+                "unknown scenario '{scenario}'; expected 'all' or one of: {}",
+                expectations::scenarios().join(" ")
+            );
+            std::process::exit(2);
+        }
+        Some(scenario)
+    };
+    hr(&format!("FIDELITY SCORECARD — {scenario}"));
+    let card = expectations::Scorecard::evaluate(filter);
+    print!("{}", card.render());
+    if card.worst() == expectations::Verdict::Fail {
+        std::process::exit(1);
+    }
+}
+
+/// The Fig. 16 single-node panels as `RunReport` inputs.
+fn panel_reports() -> Vec<coarse_trainsim::RunReport> {
+    use coarse_fabric::machines::{aws_t4, aws_v100, sdsc_p100, PartitionScheme};
+    use coarse_models::zoo;
+    use coarse_trainsim::RunReport;
+    let one = PartitionScheme::OneToOne;
+    vec![
+        RunReport::collect("fig16a", &aws_t4(), one, &zoo::resnet50(), 64, 3),
+        RunReport::collect("fig16b", &aws_t4(), one, &zoo::bert_base(), 2, 3),
+        RunReport::collect("fig16c", &sdsc_p100(), one, &zoo::bert_large(), 2, 3),
+        RunReport::collect("fig16d", &aws_v100(), one, &zoo::bert_large(), 2, 3),
+        RunReport::collect(
+            "fig16d-2to1",
+            &aws_v100(),
+            PartitionScheme::TwoToOne,
+            &zoo::bert_large(),
+            2,
+            3,
+        ),
+    ]
+}
+
+/// `figures -- report [scenario] [--json <path>]`: the scorecard plus the
+/// per-panel run reports as one versioned, byte-deterministic document.
+fn report(scenario: Option<&str>, json_path: Option<&str>) {
+    use coarse_simcore::json::JsonValue;
+    if let Some(s) = scenario {
+        if !expectations::scenarios().contains(&s) {
+            eprintln!(
+                "unknown scenario '{s}'; expected one of: {}",
+                expectations::scenarios().join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let card = expectations::Scorecard::evaluate(scenario);
+    let with_panels = scenario.is_none_or(|s| s == "fig16" || s == "fig17");
+    let runs: Vec<JsonValue> = if with_panels {
+        panel_reports().iter().map(|r| r.to_json()).collect()
+    } else {
+        Vec::new()
+    };
+    let doc = JsonValue::object()
+        .with("schema", JsonValue::str("coarse.fidelity-report/v1"))
+        .with("scorecard", card.to_json())
+        .with("run_reports", JsonValue::Array(runs));
+    let mut rendered = doc.render_pretty();
+    rendered.push('\n');
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &rendered).expect("write report JSON");
+            print!("{}", card.render());
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+fn bench(label: &str) {
+    hr(&format!("PERF SELF-BENCHMARK — {label}"));
+    let path = selfbench::write_report(label).expect("write bench artifact");
+    println!("\nwrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    if what == "trace" {
-        let scenario = args.get(1).map(String::as_str).unwrap_or("resnet50-coarse");
-        trace_scenario(scenario);
-        return;
+    let Some(what) = args.first().map(String::as_str) else {
+        usage();
+        std::process::exit(2);
+    };
+    match what {
+        "help" | "--help" | "-h" => {
+            usage();
+            return;
+        }
+        "list" => {
+            list();
+            return;
+        }
+        "trace" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("resnet50-coarse");
+            trace_scenario(scenario);
+            return;
+        }
+        "validate" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("all");
+            validate(scenario);
+            return;
+        }
+        "report" => {
+            let mut scenario = None;
+            let mut json_path = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--json" {
+                    match rest.next() {
+                        Some(p) => json_path = Some(p.as_str()),
+                        None => {
+                            eprintln!("--json requires a path");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    scenario = Some(arg.as_str());
+                }
+            }
+            report(scenario, json_path);
+            return;
+        }
+        "bench" => {
+            let label = args.get(1).map(String::as_str).unwrap_or("local");
+            bench(label);
+            return;
+        }
+        _ => {}
     }
     let mut ran = false;
-    let mut run = |name: &str, f: &dyn Fn()| {
-        if what == "all" || what == name {
+    for (name, f) in FIGURES {
+        if what == "all" || what == *name {
             f();
             ran = true;
         }
-    };
-    run("table1", &table1);
-    run("fig2", &fig2);
-    run("fig3", &fig3);
-    run("fig8", &fig8);
-    run("fig9", &fig9);
-    run("fig10", &fig10);
-    run("fig13", &fig13);
-    run("fig14", &fig14);
-    run("fig15", &fig15);
-    run("fig16", &fig16);
-    run("fig17", &fig17);
-    run("ablations", &ablations);
-    run("capacity", &capacity);
-    run("timeline", &timeline);
+    }
     if !ran {
-        eprintln!(
-            "unknown figure '{what}'; expected one of: all table1 fig2 fig3 fig8 fig9 fig10 fig13 fig14 fig15 fig16 fig17 ablations capacity timeline trace"
-        );
+        eprintln!("unknown subcommand '{what}'\n");
+        usage();
         std::process::exit(2);
     }
 }

@@ -9,14 +9,21 @@
 //!   (Fig. 10), ring-utilization / routing / dual-sync / bidirectional /
 //!   coherence ablations;
 //! - [`training`] — Table I, the motivation breakdown (Fig. 2), training
-//!   speedups (Fig. 16a–f) and blocked communication (Fig. 17).
+//!   speedups (Fig. 16a–f) and blocked communication (Fig. 17);
+//! - [`expectations`] — the declarative paper-expectation registry behind
+//!   `figures -- validate` / `figures -- report` (DESIGN.md §9);
+//! - [`selfbench`] — the perf self-benchmark writing `BENCH_<label>.json`
+//!   artifacts for CI regression diffing.
 //!
 //! Run `cargo run -p coarse-bench --bin figures -- all` to print the whole
-//! evaluation with paper-reported values alongside measured ones.
+//! evaluation with paper-reported values alongside measured ones, and
+//! `figures -- validate all` for the pass/warn/fail fidelity scorecard.
 
 #![warn(missing_docs)]
 
+pub mod expectations;
 pub mod harness;
 pub mod mechanisms;
 pub mod micro;
+pub mod selfbench;
 pub mod training;

@@ -1,0 +1,188 @@
+//! The perf self-benchmark: times the simulator's own hot loops — route
+//! resolution, flow transfers, ring collective steps, and a full COARSE
+//! training iteration — and writes a `BENCH_<label>.json` artifact for CI
+//! regression diffing.
+//!
+//! The *timings* in the artifact are wall-clock and therefore machine-
+//! dependent; the *work counters* (bytes moved, iterations simulated) are
+//! deterministic, so two artifacts can be compared as normalized
+//! ns-per-unit-of-work. Sample counts honor the same environment knobs as
+//! the `benches/` binaries (`COARSE_BENCH_SAMPLES`,
+//! `COARSE_BENCH_MIN_BATCH_MS`).
+
+use std::time::Duration;
+
+use coarse_cci::synccore::RingDirection;
+use coarse_collectives::timed::ring_allreduce;
+use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::machines::{aws_v100, PartitionScheme};
+use coarse_fabric::topology::{Link, LinkClass};
+use coarse_models::zoo::bert_large;
+use coarse_simcore::json::JsonValue;
+use coarse_simcore::time::SimTime;
+use coarse_simcore::units::ByteSize;
+use coarse_trainsim::simulate_coarse;
+
+use crate::harness::{black_box, Bench};
+
+/// Schema identifier of the `BENCH_<label>.json` artifact.
+pub const BENCH_SCHEMA: &str = "coarse.selfbench/v1";
+
+/// One timed hot loop.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Benchmark name, `<subsystem>.<loop>`.
+    pub name: &'static str,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Deterministic work units processed per iteration.
+    pub work: u64,
+    /// What one work unit is (`"bytes"`, `"routes"`, `"iterations"`).
+    pub unit: &'static str,
+}
+
+fn pcie_only(l: &Link) -> bool {
+    l.class() == LinkClass::Pcie
+}
+
+/// Runs every self-benchmark and returns the timed entries (also printed
+/// through the harness as they run).
+pub fn run_selfbench() -> Vec<BenchEntry> {
+    let b = Bench::group("selfbench");
+    let mut entries = Vec::new();
+    let mut push = |name: &'static str, median: Duration, work: u64, unit: &'static str| {
+        entries.push(BenchEntry {
+            name,
+            median,
+            work,
+            unit,
+        });
+    };
+
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let model = bert_large();
+    let gpus = machine.gpus().to_vec();
+    let topo = machine.topology().clone();
+
+    // Route resolution: the lookup on every transfer's critical path.
+    push(
+        "engine.route",
+        b.run("engine.route", || {
+            black_box(topo.route(black_box(gpus[0]), black_box(gpus[7])))
+        }),
+        1,
+        "routes",
+    );
+
+    // Flow transfers: one 1 MiB link-occupancy computation.
+    {
+        let size = ByteSize::mib(1);
+        let mut engine = TransferEngine::new(topo.clone());
+        let mut t = SimTime::ZERO;
+        push(
+            "engine.transfer_1mib",
+            b.run("engine.transfer_1mib", || {
+                let rec = engine.transfer(gpus[0], gpus[2], size, t).expect("route");
+                t = rec.end;
+                black_box(rec)
+            }),
+            size.as_u64(),
+            "bytes",
+        );
+    }
+
+    // Ring collective: a full 4-member allreduce (6 steps) over PCIe.
+    {
+        let payload = ByteSize::mib(4);
+        let ready = vec![SimTime::ZERO; part.workers.len()];
+        push(
+            "collectives.ring_allreduce_4mib",
+            b.run("collectives.ring_allreduce_4mib", || {
+                let mut engine = TransferEngine::new(topo.clone());
+                black_box(
+                    ring_allreduce(
+                        &mut engine,
+                        &part.workers,
+                        payload,
+                        &ready,
+                        RingDirection::Forward,
+                        pcie_only,
+                    )
+                    .expect("ring completes"),
+                )
+            }),
+            payload.as_u64(),
+            "bytes",
+        );
+    }
+
+    // End-to-end: steady-state COARSE iterations (pilot + 2 iterations).
+    push(
+        "trainsim.coarse_2iter",
+        b.run("trainsim.coarse_2iter", || {
+            black_box(simulate_coarse(&machine, &part, &model, 2, 2))
+        }),
+        2,
+        "iterations",
+    );
+
+    entries
+}
+
+/// Renders entries as the [`BENCH_SCHEMA`] JSON document.
+pub fn to_json(label: &str, entries: &[BenchEntry]) -> JsonValue {
+    let mut rows = Vec::new();
+    for e in entries {
+        rows.push(
+            JsonValue::object()
+                .with("name", JsonValue::str(e.name))
+                .with("median_ns", JsonValue::int(e.median.as_nanos() as u64))
+                .with("work", JsonValue::int(e.work))
+                .with("unit", JsonValue::str(e.unit))
+                .with(
+                    "ns_per_unit",
+                    JsonValue::num(e.median.as_nanos() as f64 / e.work as f64),
+                ),
+        );
+    }
+    JsonValue::object()
+        .with("schema", JsonValue::str(BENCH_SCHEMA))
+        .with("label", JsonValue::str(label))
+        .with("benches", JsonValue::Array(rows))
+}
+
+/// Runs the self-benchmark and writes `BENCH_<label>.json` to the current
+/// directory. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the artifact cannot be written.
+pub fn write_report(label: &str) -> std::io::Result<String> {
+    let entries = run_selfbench();
+    let path = format!("BENCH_{label}.json");
+    let mut doc = to_json(label, &entries).render_pretty();
+    doc.push('\n');
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_shape() {
+        let entries = vec![BenchEntry {
+            name: "engine.route",
+            median: Duration::from_nanos(250),
+            work: 1,
+            unit: "routes",
+        }];
+        let doc = to_json("unit", &entries).render();
+        assert!(doc.contains("\"schema\":\"coarse.selfbench/v1\""));
+        assert!(doc.contains("\"label\":\"unit\""));
+        assert!(doc.contains("\"median_ns\":250"));
+        assert!(doc.contains("\"ns_per_unit\":250"));
+    }
+}

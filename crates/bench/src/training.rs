@@ -285,132 +285,65 @@ pub fn capacity_wall() -> CapacityWall {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expectations::{Scorecard, Verdict};
+
+    /// Every paper-band check in this module lives in the declarative
+    /// expectation registry (`crate::expectations::REGISTRY`); the tests
+    /// here evaluate a scenario's slice of the registry and require every
+    /// row to land inside its calibrated pass band.
+    fn assert_scenario_passes(scenario: &str) {
+        let card = Scorecard::evaluate(Some(scenario));
+        assert!(!card.rows.is_empty(), "no expectations for {scenario}");
+        for r in &card.rows {
+            assert_eq!(
+                r.verdict,
+                Verdict::Pass,
+                "{}: measured {} outside pass band {:?} ({})",
+                r.expectation.id,
+                r.measured,
+                r.expectation.pass,
+                r.expectation.paper
+            );
+        }
+    }
 
     #[test]
     fn table1_three_machines_half_devices() {
         let t = table1();
         assert_eq!(t.len(), 3);
-        for row in &t {
-            assert_eq!(row.workers, row.mem_devices);
-            assert_eq!(row.workers * 2, row.gpus);
-        }
         assert!(!t[0].p2p, "T4 has no p2p");
         assert!(t[2].nvlink, "V100 has NVLink");
+        assert_scenario_passes("table1");
     }
 
     #[test]
-    fn fig2_shows_heavy_comm_overhead() {
-        let rows = fig2();
-        let max = rows.iter().map(|r| r.comm_fraction).fold(0.0, f64::max);
-        // The paper's motivation: up to 76% of training time.
-        assert!(max > 0.7, "max comm fraction {max}");
-        // And it is model-dependent: ResNet on V100 is far less bound.
-        let min = rows.iter().map(|r| r.comm_fraction).fold(1.0, f64::min);
-        assert!(min < 0.6, "min comm fraction {min}");
+    fn fig2_registry_expectations_pass() {
+        assert_scenario_passes("fig2");
     }
 
     #[test]
-    fn fig16_single_node_shapes() {
-        let rows = fig16_single_node();
-        assert_eq!(rows.len(), 5);
-        for r in &rows {
-            assert!(
-                r.coarse_speedup() > 1.5,
-                "{}: COARSE {}x over DENSE too small",
-                r.id,
-                r.coarse_speedup()
-            );
-            assert!(r.allreduce_speedup() > 1.5, "{}: AllReduce too slow", r.id);
-        }
-        // BERT panels show much larger speedups than the ResNet panel
-        // (communication dominance).
-        let resnet = rows.iter().find(|r| r.id == "fig16a").unwrap();
-        let bert_v100 = rows.iter().find(|r| r.id == "fig16d").unwrap();
-        assert!(bert_v100.coarse_speedup() > 2.0 * resnet.coarse_speedup());
-        // Paper band for Fig. 16d: 10.8–13.8x.
-        assert!(
-            (8.0..18.0).contains(&bert_v100.coarse_speedup()),
-            "fig16d speedup {}",
-            bert_v100.coarse_speedup()
-        );
-        // On T4 (fig16b), COARSE does not beat AllReduce meaningfully.
-        let t4_bert = rows.iter().find(|r| r.id == "fig16b").unwrap();
-        let ratio = t4_bert.coarse.blocked_comm.as_secs_f64()
-            / t4_bert.allreduce.blocked_comm.as_secs_f64();
-        assert!(
-            ratio > 0.8,
-            "on T4 COARSE must not dominate AllReduce: ratio {ratio}"
-        );
-        // On P100 and V100, COARSE reduces blocked communication vs NCCL.
-        for id in ["fig16c", "fig16d"] {
-            let r = rows.iter().find(|r| r.id == id).unwrap();
-            assert!(
-                r.coarse.blocked_comm < r.allreduce.blocked_comm,
-                "{id}: COARSE must reduce blocked comm"
-            );
-        }
+    fn fig16_registry_expectations_pass() {
+        assert_eq!(fig16_single_node().len(), 5);
+        assert_scenario_passes("fig16");
     }
 
     #[test]
-    fn fig17_blocked_under_ten_percent_of_dense() {
-        for r in fig16_single_node() {
-            if r.id == "fig16a" {
-                // ResNet's tiny payload leaves DENSE less dominated.
-                continue;
-            }
-            // Paper Fig. 17 shows < 10%; the two-worker P100 panel lands a
-            // little higher here because its DENSE funnel is half as deep.
-            assert!(
-                r.normalized_blocked(&r.coarse) < 0.15,
-                "{}: COARSE normalized blocked {}",
-                r.id,
-                r.normalized_blocked(&r.coarse)
-            );
-            assert!(
-                r.normalized_blocked(&r.allreduce) < 0.20,
-                "{}: AllReduce normalized blocked {}",
-                r.id,
-                r.normalized_blocked(&r.allreduce)
-            );
-        }
+    fn fig17_registry_expectations_pass() {
+        assert_scenario_passes("fig17");
     }
 
     #[test]
-    fn capacity_wall_shapes() {
+    fn capacity_registry_expectations_pass() {
         let c = capacity_wall();
-        assert_eq!(c.allreduce_max_batch, 0, "GPT-2 XL must not fit on-GPU");
-        assert!(c.coarse_max_batch >= 1);
         assert!(c.coarse_b1.throughput > 0.0);
-        assert!(c.coarse_b1.gpu_utilization() > 0.3);
+        assert_scenario_passes("capacity");
     }
 
     #[test]
-    fn fig16e_large_batch_wins() {
+    fn fig16e_larger_batch_raises_throughput() {
+        // Structural shape not expressible as a scalar band: more samples
+        // per iteration must translate into more samples per second.
         let f = fig16e();
-        assert!(!f.allreduce_b4_fits, "AllReduce must OOM at batch 4");
-        // Paper: 48.3% faster. Accept the 1.25–1.7x band.
-        assert!(
-            (1.25..1.7).contains(&f.speedup),
-            "fig16e speedup {}",
-            f.speedup
-        );
         assert!(f.coarse_b4.throughput > f.coarse_b2.throughput);
-    }
-
-    #[test]
-    fn fig16f_multi_node_shapes() {
-        let f = fig16f();
-        // Paper: COARSE up to 42.7% faster than 2-node AllReduce.
-        assert!(
-            f.speedup_2node > 1.1,
-            "2-node COARSE speedup {}",
-            f.speedup_2node
-        );
-        // Paper: 1-node COARSE b4 beats 2-node AllReduce by 38.6%.
-        assert!(
-            f.speedup_1node_b4 > 1.2,
-            "1-node b4 speedup {}",
-            f.speedup_1node_b4
-        );
     }
 }

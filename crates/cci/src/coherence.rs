@@ -12,6 +12,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -58,6 +59,8 @@ pub struct Directory {
     total: CoherenceCost,
     /// Trace sink plus the directory's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
+    /// Metric sink, when metering is on.
+    metrics: Option<MetricRegistry>,
     /// Externally supplied clock for trace stamps: the directory is an
     /// untimed cost model, so callers set the time of the access they are
     /// accounting for.
@@ -83,6 +86,20 @@ impl Directory {
     /// Sets the timestamp used for subsequent trace events.
     pub fn set_time(&mut self, now: SimTime) {
         self.clock = now;
+    }
+
+    /// Attaches a metric registry: every access publishes
+    /// `cci.coherence.messages` and `cci.coherence.protocol_bytes`.
+    pub fn set_metrics(&mut self, metrics: MetricRegistry) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Publishes one access's cost into the metric registry, if attached.
+    fn meter_cost(&self, cost: CoherenceCost) {
+        if let Some(m) = &self.metrics {
+            m.inc(metric::COHERENCE_MESSAGES, cost.messages);
+            m.inc(metric::COHERENCE_BYTES, cost.protocol_bytes.as_u64());
+        }
     }
 
     /// Samples the cumulative protocol counters onto the trace.
@@ -127,6 +144,7 @@ impl Directory {
         }
         state.sharers.insert(reader);
         self.total.add(cost);
+        self.meter_cost(cost);
         self.trace_totals();
         cost
     }
@@ -158,6 +176,7 @@ impl Directory {
             protocol_bytes: ByteSize::bytes(messages * MESSAGE_BYTES + contention),
         };
         self.total.add(cost);
+        self.meter_cost(cost);
         if invalidated > 0 {
             if let Some((tracer, track)) = &self.trace {
                 tracer.instant(
@@ -313,6 +332,24 @@ mod tests {
                 .filter(|e| e.kind == TraceEventKind::Instant)
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn metrics_track_total_cost() {
+        let ds = devices(3);
+        let reg = MetricRegistry::new();
+        let mut dir = Directory::new();
+        dir.set_metrics(reg.clone());
+        dir.read(REGION, ds[1], ByteSize::kib(4));
+        dir.read(REGION, ds[2], ByteSize::kib(4));
+        dir.write(REGION, ds[0], ByteSize::kib(4));
+        let total = dir.total_cost();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(metric::COHERENCE_MESSAGES), total.messages);
+        assert_eq!(
+            snap.counter(metric::COHERENCE_BYTES),
+            total.protocol_bytes.as_u64()
         );
     }
 

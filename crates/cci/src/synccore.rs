@@ -12,6 +12,7 @@
 //! (in `coarse-collectives`) prices the same step/byte counts reported in
 //! [`SyncStats`].
 
+use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -86,6 +87,8 @@ pub struct SyncGroup {
     cores: Vec<SyncCore>,
     /// Trace sink plus this group's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
+    /// Metric sink, when metering is on.
+    metrics: Option<MetricRegistry>,
     /// Logical clock for trace stamps: the functional ring has no real
     /// timing, so each ring step advances one nanosecond of "step time".
     clock: SimTime,
@@ -106,6 +109,7 @@ impl SyncGroup {
             direction,
             cores: vec![SyncCore::default(); n],
             trace: None,
+            metrics: None,
             clock: SimTime::ZERO,
         }
     }
@@ -128,6 +132,12 @@ impl SyncGroup {
     /// with an external schedule.
     pub fn set_time(&mut self, now: SimTime) {
         self.clock = now;
+    }
+
+    /// Attaches a metric registry: each ring step increments
+    /// `cci.sync.core_steps` and `cci.sync.core_bytes`.
+    pub fn set_metrics(&mut self, metrics: MetricRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of cores (= devices) in the group.
@@ -261,6 +271,7 @@ impl SyncGroup {
         // Reduce-scatter: after n-1 steps, logical core i holds the full sum
         // of segment (i+1) mod n.
         for step in 0..n - 1 {
+            let before = stats.total_bytes_sent;
             let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
             for (li, &pi) in order.iter().enumerate() {
                 let k = (li + n - step) % n;
@@ -282,10 +293,12 @@ impl SyncGroup {
                 }
             }
             stats.steps += 1;
+            self.meter_step(stats.total_bytes_sent - before);
             self.trace_step("reduce-scatter", step, stats);
         }
         // All-gather: circulate the finished segments.
         for step in 0..n - 1 {
+            let before = stats.total_bytes_sent;
             let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
             for (li, &pi) in order.iter().enumerate() {
                 let k = (li + 1 + n - step) % n;
@@ -305,7 +318,16 @@ impl SyncGroup {
                 core.local_buf[range].copy_from_slice(&data);
             }
             stats.steps += 1;
+            self.meter_step(stats.total_bytes_sent - before);
             self.trace_step("all-gather", step, stats);
+        }
+    }
+
+    /// Publishes one ring step into the metric registry, if attached.
+    fn meter_step(&self, bytes_sent: ByteSize) {
+        if let Some(m) = &self.metrics {
+            m.inc(metric::SYNC_CORE_STEPS, 1);
+            m.inc(metric::SYNC_CORE_BYTES, bytes_sent.as_u64());
         }
     }
 }
@@ -460,6 +482,26 @@ mod tests {
             })
             .unwrap();
         assert_eq!(last_counter, stats.total_bytes_sent.as_f64());
+    }
+
+    #[test]
+    fn metrics_count_steps_and_bytes() {
+        let inputs = make_inputs(4, 1024);
+        let mut plain = SyncGroup::new(4, 1024, RingDirection::Forward);
+        let (expected, stats) = plain.allreduce_sum(&inputs);
+
+        let reg = MetricRegistry::new();
+        let mut g = SyncGroup::new(4, 1024, RingDirection::Forward);
+        g.set_metrics(reg.clone());
+        let (got, _) = g.allreduce_sum(&inputs);
+        assert_eq!(got, expected, "metrics must not perturb the reduction");
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(metric::SYNC_CORE_STEPS), stats.steps);
+        assert_eq!(
+            snap.counter(metric::SYNC_CORE_BYTES),
+            stats.total_bytes_sent.as_u64()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::topology::Link;
+use coarse_simcore::metrics::name as metric;
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::category;
 use coarse_simcore::units::ByteSize;
@@ -103,6 +104,7 @@ pub fn ring_allreduce(
         );
         (t.track(&name), t)
     });
+    let metrics = engine.metrics().cloned();
     let steps = 2 * (p - 1);
     let mut step_start = start;
     for step in 0..steps {
@@ -111,6 +113,10 @@ pub fn ring_allreduce(
             let rec =
                 engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+        }
+        if let Some(m) = &metrics {
+            m.inc(metric::RING_STEPS, 1);
+            m.inc(metric::RING_BYTES, segment.as_u64() * p as u64);
         }
         if let Some((track, tracer)) = &ring_track {
             let phase = if step < p - 1 {
@@ -208,12 +214,17 @@ fn ring_phase(
         );
         (t.track(&name), t)
     });
+    let metrics = engine.metrics().cloned();
     for step in 0..steps {
         let mut step_end = step_start;
         for i in 0..p {
             let rec =
                 engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+        }
+        if let Some(m) = &metrics {
+            m.inc(metric::RING_STEPS, 1);
+            m.inc(metric::RING_BYTES, segment.as_u64() * p as u64);
         }
         if let Some((track, tracer)) = &ring_track {
             tracer.span(
@@ -569,6 +580,40 @@ mod tests {
         )
         .unwrap();
         assert!(hier.elapsed() > single.elapsed() * 2);
+    }
+
+    #[test]
+    fn ring_metrics_count_steps_and_bytes() {
+        use coarse_simcore::metrics::MetricRegistry;
+
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let reg = MetricRegistry::new();
+        let mut e = TransferEngine::new(m.into_topology());
+        e.set_metrics(reg.clone());
+        let ready = vec![SimTime::ZERO; 4];
+        ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(16),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
+        let snap = reg.snapshot();
+        // 2·(p−1) = 6 steps for 4 members.
+        assert_eq!(snap.counter(metric::RING_STEPS), 6);
+        // Each step moves one payload/p segment per member: 6 · 4MiB · 4.
+        assert_eq!(
+            snap.counter(metric::RING_BYTES),
+            6 * 4 * ByteSize::mib(4).as_u64()
+        );
+        // Ring bytes flow through the fabric counters too.
+        assert_eq!(
+            snap.counter(metric::FABRIC_BYTES),
+            snap.counter(metric::RING_BYTES)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -55,6 +56,8 @@ pub struct ParameterClient {
     partitions: HashMap<TensorId, PartitionRecord>,
     /// Trace sink plus this client's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
+    /// Metric sink, when metering is on.
+    metrics: Option<MetricRegistry>,
     /// Externally supplied clock for trace stamps (the client itself is
     /// untimed; the surrounding simulation owns the clock).
     clock: SimTime,
@@ -69,6 +72,7 @@ impl ParameterClient {
             queue: VecDeque::new(),
             partitions: HashMap::new(),
             trace: None,
+            metrics: None,
             clock: SimTime::ZERO,
         }
     }
@@ -85,6 +89,13 @@ impl ParameterClient {
     /// Sets the timestamp used for subsequent trace events.
     pub fn set_time(&mut self, now: SimTime) {
         self.clock = now;
+    }
+
+    /// Attaches a metric registry: every push increments
+    /// `core.client.pushes` / `core.client.push_bytes` and samples the
+    /// wire-queue depth into the `core.client.queue_depth` histogram.
+    pub fn set_metrics(&mut self, metrics: MetricRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Samples the wire-queue depth onto the trace.
@@ -162,6 +173,11 @@ impl ParameterClient {
         );
         let n = requests.len();
         self.queue.extend(requests);
+        if let Some(m) = &self.metrics {
+            m.inc(metric::CLIENT_PUSHES, 1);
+            m.inc(metric::CLIENT_PUSH_BYTES, size.as_u64());
+            m.observe(metric::CLIENT_QUEUE_DEPTH, self.queue.len() as f64);
+        }
         if let Some((tracer, track)) = &self.trace {
             let kind = if n == 1 { "whole" } else { "partitioned" };
             tracer.instant(
@@ -314,6 +330,24 @@ mod tests {
             offset: 0,
             data: vec![1.0],
         });
+    }
+
+    #[test]
+    fn metrics_count_pushes_and_bytes() {
+        let (w, lat, bw) = ids();
+        let reg = MetricRegistry::new();
+        let mut c = ParameterClient::new(w, split_table(lat, bw));
+        c.set_metrics(reg.clone());
+        let small = Tensor::new(TensorId(1), vec![1.0; 10]);
+        let large = Tensor::new(TensorId(2), vec![1.0; 1000]);
+        c.push(&small);
+        c.push(&large);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(metric::CLIENT_PUSHES), 2);
+        assert_eq!(snap.counter(metric::CLIENT_PUSH_BYTES), (10 + 1000) * 4);
+        let depth = snap.histogram(metric::CLIENT_QUEUE_DEPTH).unwrap();
+        // 1 request after the small push, 1+4 after the large one.
+        assert_eq!(depth.max, 5.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 
@@ -42,6 +43,8 @@ pub struct ParameterProxy {
     cache: HashMap<TensorId, Vec<f32>>,
     /// Trace sink plus this proxy's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
+    /// Metric sink, when metering is on.
+    metrics: Option<MetricRegistry>,
     /// Externally supplied clock for trace stamps (the proxy is untimed).
     clock: SimTime,
 }
@@ -57,6 +60,7 @@ impl ParameterProxy {
             store: ParameterStore::new(),
             cache: HashMap::new(),
             trace: None,
+            metrics: None,
             clock: SimTime::ZERO,
         }
     }
@@ -73,6 +77,13 @@ impl ParameterProxy {
     /// Sets the timestamp used for subsequent trace events.
     pub fn set_time(&mut self, now: SimTime) {
         self.clock = now;
+    }
+
+    /// Attaches a metric registry: every enqueue increments
+    /// `core.proxy.pushes` and samples the total queue depth into the
+    /// `core.proxy.queue_depth` histogram.
+    pub fn set_metrics(&mut self, metrics: MetricRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Samples the total queue depth, plus `client`'s own depth when given.
@@ -157,6 +168,10 @@ impl ParameterProxy {
             request.proxy, self.device
         );
         self.queues.entry(client).or_default().push_back(request);
+        if let Some(m) = &self.metrics {
+            m.inc(metric::PROXY_PUSHES, 1);
+            m.observe(metric::PROXY_QUEUE_DEPTH, self.queued() as f64);
+        }
         self.trace_queue_depth(Some(client));
     }
 
@@ -416,6 +431,23 @@ mod tests {
             .expect("absorb records a service span");
         assert_eq!(absorb_span.name, "absorb 2 request(s)");
         assert_eq!(absorb_span.time, SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn metrics_sample_queue_depth() {
+        let dev = device();
+        let reg = MetricRegistry::new();
+        let mut p = ParameterProxy::new(dev);
+        p.set_metrics(reg.clone());
+        p.enqueue(0, request(dev, 1, 0, 0, vec![1.0, 1.0], 4));
+        p.enqueue(1, request(dev, 1, 1, 2, vec![2.0, 2.0], 4));
+        p.absorb();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(metric::PROXY_PUSHES), 2);
+        let depth = snap.histogram(metric::PROXY_QUEUE_DEPTH).unwrap();
+        // Depth sampled at each enqueue: 1 then 2.
+        assert_eq!(depth.count, 2);
+        assert_eq!(depth.max, 2.0);
     }
 
     #[test]

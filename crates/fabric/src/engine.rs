@@ -8,6 +8,7 @@
 //! disabled, endpoint-to-endpoint transfers are staged through the host CPU
 //! as two back-to-back transfers (the paper's "GPU Indirect" path).
 
+use coarse_simcore::metrics::{metered, name as metric, MetricRegistry};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::trace::{active, category, SharedTracer};
@@ -78,6 +79,8 @@ pub struct TransferEngine {
     schedules: Vec<ResourceTimeline>,
     /// Optional trace sink; `None` means tracing is off (the default).
     tracer: Option<SharedTracer>,
+    /// Optional metric sink; `None` means metrics are off (the default).
+    metrics: Option<MetricRegistry>,
     /// Interned trace track per directed link (lazily populated).
     link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
 }
@@ -93,6 +96,7 @@ impl TransferEngine {
             topo,
             schedules,
             tracer: None,
+            metrics: None,
             link_tracks,
         }
     }
@@ -112,6 +116,19 @@ impl TransferEngine {
     /// collectives, the training simulator) emit into the same sink.
     pub fn tracer(&self) -> Option<&SharedTracer> {
         active(&self.tracer)
+    }
+
+    /// Attaches a metric registry: subsequent transfers publish
+    /// `fabric.transfers`, `fabric.bytes`, `fabric.link_busy_ns`, and
+    /// `fabric.staged_transfers` counters.
+    pub fn set_metrics(&mut self, metrics: MetricRegistry) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metric registry, if any. Layers built on the engine
+    /// publish into the same registry.
+    pub fn metrics(&self) -> Option<&MetricRegistry> {
+        metered(&self.metrics)
     }
 
     /// The trace track for a directed link, named
@@ -177,6 +194,9 @@ impl TransferEngine {
             });
         }
         if self.needs_staging(src, dst) {
+            if let Some(m) = metered(&self.metrics) {
+                m.inc(metric::FABRIC_STAGED, 1);
+            }
             let cpu = self.topo.host_cpu(self.topo.device(src).node());
             let first = self.transfer_direct(src, cpu, size, arrival, allow)?;
             let second = self.transfer_direct(cpu, dst, size, first.end, allow)?;
@@ -262,6 +282,14 @@ impl TransferEngine {
             self.schedules[l.index()].reserve(start, occupancy);
         }
         let end = start + occupancy + route.total_latency();
+        if let Some(m) = metered(&self.metrics) {
+            m.inc(metric::FABRIC_TRANSFERS, 1);
+            m.inc(metric::FABRIC_BYTES, size.as_u64());
+            m.inc(
+                metric::FABRIC_LINK_BUSY_NS,
+                occupancy.as_nanos() * route.links().len() as u64,
+            );
+        }
         if let Some(tracer) = active(&self.tracer).cloned() {
             let flow = format!("{size}");
             for &l in route.links() {
@@ -498,6 +526,46 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn metrics_count_transfers_and_bytes() {
+        let (t, g0, g1, _) = topo();
+        let mut plain = TransferEngine::new(t.clone());
+        let unmetered = plain
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+
+        let m = MetricRegistry::new();
+        let mut e = TransferEngine::new(t);
+        e.set_metrics(m.clone());
+        let metered_rec = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(unmetered, metered_rec, "metrics must not perturb timing");
+
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(metric::FABRIC_TRANSFERS), 1);
+        assert_eq!(snap.counter(metric::FABRIC_BYTES), 1000);
+        // Two hops, each occupied for the 1000ns serialization window.
+        assert_eq!(snap.counter(metric::FABRIC_LINK_BUSY_NS), 2000);
+        assert_eq!(snap.counter(metric::FABRIC_STAGED), 0);
+    }
+
+    #[test]
+    fn metrics_count_staged_transfers() {
+        let (mut t, g0, g1, _) = topo();
+        t.set_p2p(false);
+        let m = MetricRegistry::new();
+        let mut e = TransferEngine::new(t);
+        e.set_metrics(m.clone());
+        e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(metric::FABRIC_STAGED), 1);
+        // Staging decomposes into two route transfers.
+        assert_eq!(snap.counter(metric::FABRIC_TRANSFERS), 2);
+        assert_eq!(snap.counter(metric::FABRIC_BYTES), 2000);
     }
 
     #[test]

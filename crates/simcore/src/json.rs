@@ -1,0 +1,267 @@
+//! Minimal deterministic JSON construction.
+//!
+//! The reproduction keeps its tier-1 loop fully offline, so machine-readable
+//! artifacts (metric snapshots, run reports, fidelity scorecards, perf
+//! self-benchmarks) are serialized with this hand-rolled builder instead of
+//! a third-party crate. Two properties matter more than generality:
+//!
+//! - **Byte determinism.** Object members keep their insertion order, `f64`
+//!   values are rendered with Rust's shortest round-trip `{:?}` formatting,
+//!   and no whitespace depends on ambient state — the same value tree always
+//!   serializes to the same bytes, so report diffs in CI are meaningful.
+//! - **No escaping surprises.** Strings escape the JSON control set
+//!   (quotes, backslash, `\n`, `\r`, `\t`, other C0 controls) and nothing
+//!   else, matching what the Chrome-trace exporter already emits.
+//!
+//! Non-finite floats have no JSON representation; [`JsonValue::num`] maps
+//! them to `null` so a stray `NaN` can never corrupt an artifact.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Objects preserve insertion order — producers are
+/// responsible for inserting keys in a deterministic order (sorted maps or
+/// fixed schemas), which every producer in this workspace does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number, rendered with shortest round-trip formatting.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An insertion-ordered object.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// A numeric value; non-finite input becomes `null` (JSON has no NaN).
+    pub fn num(x: f64) -> JsonValue {
+        if x.is_finite() {
+            JsonValue::Num(x)
+        } else {
+            JsonValue::Null
+        }
+    }
+
+    /// An integer value, exact for magnitudes below 2^53.
+    pub fn int(x: u64) -> JsonValue {
+        JsonValue::Num(x as f64)
+    }
+
+    /// An empty object builder.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a member to an object, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: JsonValue) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(members) => members.push((key.to_string(), value)),
+            other => panic!("with() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the tree as compact JSON (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Renders the tree with two-space indentation, one member per line —
+    /// the format written to report files so diffs stay line-oriented.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => write_num(out, *x),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_into(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a finite f64 using shortest round-trip formatting; integral
+/// values render without a trailing `.0` so counters look like integers.
+fn write_num(out: &mut String, x: f64) {
+    debug_assert!(x.is_finite(), "JsonValue::Num must be finite");
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x:?}");
+    }
+}
+
+/// Writes `s` as a quoted JSON string, escaping the control set.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::int(42).render(), "42");
+        assert_eq!(JsonValue::num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::str("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(JsonValue::num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn integral_floats_have_no_fraction() {
+        assert_eq!(JsonValue::num(3.0).render(), "3");
+        assert_eq!(JsonValue::num(-0.25).render(), "-0.25");
+    }
+
+    #[test]
+    fn escaping_covers_control_set() {
+        let v = JsonValue::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let v = JsonValue::object()
+            .with("zulu", JsonValue::int(1))
+            .with("alpha", JsonValue::int(2));
+        assert_eq!(v.render(), "{\"zulu\":1,\"alpha\":2}");
+    }
+
+    #[test]
+    fn pretty_matches_compact_semantics() {
+        let v = JsonValue::object()
+            .with(
+                "xs",
+                JsonValue::Array(vec![JsonValue::int(1), JsonValue::int(2)]),
+            )
+            .with("empty", JsonValue::Array(vec![]))
+            .with("name", JsonValue::str("run"));
+        let pretty = v.render_pretty();
+        assert!(pretty.ends_with('\n'));
+        // Stripping structural whitespace recovers the compact form.
+        let stripped: String = pretty
+            .lines()
+            .map(str::trim_start)
+            .collect::<Vec<_>>()
+            .join("")
+            .replace("\": ", "\":");
+        assert_eq!(stripped, v.render());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            JsonValue::object()
+                .with("a", JsonValue::num(0.1 + 0.2))
+                .with("b", JsonValue::Array(vec![JsonValue::str("x")]))
+        };
+        assert_eq!(build().render(), build().render());
+        assert_eq!(build().render_pretty(), build().render_pretty());
+    }
+}

@@ -9,7 +9,9 @@
 //! - data-size and bandwidth [`units`] whose division yields exact durations,
 //! - measurement collectors in [`stats`],
 //! - FIFO resource bookkeeping in [`timeline`],
-//! - structured tracing (spans/instants/counters) in [`trace`], and
+//! - structured tracing (spans/instants/counters) in [`trace`],
+//! - a typed metric registry (counters/gauges/histograms) in [`metrics`],
+//! - deterministic zero-dep JSON construction in [`json`], and
 //! - an offline deterministic property-test harness in [`check`].
 //!
 //! Everything is deterministic: the same program and seed produce the same
@@ -36,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod json;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -47,6 +51,8 @@ pub mod units;
 
 /// Convenient glob-import of the kernel's common types.
 pub mod prelude {
+    pub use crate::json::JsonValue;
+    pub use crate::metrics::{HistogramSummary, MetricRegistry, MetricsSnapshot};
     pub use crate::queue::{EventHandle, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Model, RunOutcome, Simulation};

@@ -1,0 +1,379 @@
+//! Typed metric registry for simulation runs.
+//!
+//! Where [`crate::trace`] answers *when did each thing happen*, this module
+//! answers *how much happened in total*: link bytes moved, coherence
+//! protocol overhead, proxy queue depths, ring steps executed, blocked
+//! time accumulated. Instrumented layers publish into a shared
+//! [`MetricRegistry`] alongside their trace events; at the end of a run the
+//! registry is frozen into a deterministic [`MetricsSnapshot`] that run
+//! reports and perf artifacts serialize.
+//!
+//! The design mirrors the tracer so both follow one idiom:
+//!
+//! - instrumented structs hold an `Option<MetricRegistry>` defaulting to
+//!   `None`, so unmetered runs pay one branch per site;
+//! - [`MetricRegistry`] is a cheap-clone handle (`Rc<RefCell<..>>`) — the
+//!   fabric engine, collectives, and training loop all feed one registry;
+//! - metrics are observation-only: publishing never changes simulated
+//!   timing, and the determinism tests assert metered == unmetered runs.
+//!
+//! Three metric types cover every consumer in the workspace:
+//!
+//! | type | storage | example |
+//! |------|---------|---------|
+//! | counter | `u64`, monotonically increasing | `fabric.bytes` |
+//! | gauge | `f64`, last-write-wins | `dualsync.chosen_m_bytes` |
+//! | histogram | [`QuantileEstimator`] samples | `proxy.queue_depth` |
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::json::JsonValue;
+use crate::stats::QuantileEstimator;
+
+/// Well-known metric names used by the instrumented layers.
+///
+/// One vocabulary, like [`crate::trace::category`]: reports and tests refer
+/// to these constants, so renames stay compile-checked.
+pub mod name {
+    /// Counter: point-to-point transfers completed by the fabric engine.
+    pub const FABRIC_TRANSFERS: &str = "fabric.transfers";
+    /// Counter: payload bytes delivered over fabric links.
+    pub const FABRIC_BYTES: &str = "fabric.bytes";
+    /// Counter: total link-nanoseconds of occupancy reserved on the fabric.
+    pub const FABRIC_LINK_BUSY_NS: &str = "fabric.link_busy_ns";
+    /// Counter: transfers staged through a host CPU (no p2p path).
+    pub const FABRIC_STAGED: &str = "fabric.staged_transfers";
+    /// Counter: timed ring-collective steps executed over the fabric.
+    pub const RING_STEPS: &str = "collective.ring_steps";
+    /// Counter: bytes moved by timed ring-collective steps.
+    pub const RING_BYTES: &str = "collective.ring_bytes";
+    /// Counter: sync-core ring steps executed (functional collectives).
+    pub const SYNC_CORE_STEPS: &str = "cci.sync.core_steps";
+    /// Counter: bytes forwarded between sync cores.
+    pub const SYNC_CORE_BYTES: &str = "cci.sync.core_bytes";
+    /// Counter: coherence protocol messages issued by the directory.
+    pub const COHERENCE_MESSAGES: &str = "cci.coherence.messages";
+    /// Counter: coherence protocol bytes (headers + invalidation payloads).
+    pub const COHERENCE_BYTES: &str = "cci.coherence.protocol_bytes";
+    /// Counter: gradient pushes accepted by the parameter proxy.
+    pub const PROXY_PUSHES: &str = "core.proxy.pushes";
+    /// Histogram: proxy queue depth sampled at each enqueue/dequeue.
+    pub const PROXY_QUEUE_DEPTH: &str = "core.proxy.queue_depth";
+    /// Counter: gradient pushes issued by parameter clients.
+    pub const CLIENT_PUSHES: &str = "core.client.pushes";
+    /// Counter: gradient bytes pushed by parameter clients.
+    pub const CLIENT_PUSH_BYTES: &str = "core.client.push_bytes";
+    /// Histogram: client outstanding-push queue depth.
+    pub const CLIENT_QUEUE_DEPTH: &str = "core.client.queue_depth";
+    /// Counter: training iterations completed.
+    pub const TRAIN_ITERATIONS: &str = "train.iterations";
+    /// Counter: nanoseconds the training loop spent blocked on
+    /// communication.
+    pub const TRAIN_BLOCKED_NS: &str = "train.blocked_ns";
+    /// Histogram: per-iteration forward-pass time in nanoseconds.
+    pub const TRAIN_FP_NS: &str = "train.fp_ns";
+    /// Histogram: per-iteration backward-pass time in nanoseconds.
+    pub const TRAIN_BP_NS: &str = "train.bp_ns";
+    /// Histogram: per-iteration synchronization (non-overlapped) time in
+    /// nanoseconds.
+    pub const TRAIN_SYNC_NS: &str = "train.sync_ns";
+    /// Gauge: dual-sync chosen proxy-path split `m*` in bytes.
+    pub const DUALSYNC_CHOSEN_M_BYTES: &str = "dualsync.chosen_m_bytes";
+    /// Gauge: dual-sync pilot candidates evaluated before choosing `m*`.
+    pub const DUALSYNC_PILOT_RUNS: &str = "dualsync.pilot_runs";
+}
+
+#[derive(Debug, Default)]
+struct MetricState {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, QuantileEstimator>,
+}
+
+/// A cheap-clone handle to a shared metric store.
+///
+/// Clones share the underlying maps (like [`crate::trace::RecordingTracer`]),
+/// so one registry can be threaded through every instrumented struct of a
+/// simulation and frozen once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    state: Rc<RefCell<MetricState>>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn inc(&self, name: &'static str, delta: u64) {
+        *self.state.borrow_mut().counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN gauge poisons every report that
+    /// reads it.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        assert!(!value.is_nan(), "gauge {name} set to NaN");
+        self.state.borrow_mut().gauges.insert(name, value);
+    }
+
+    /// Records one sample into the named histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (the quantile estimator rejects NaN).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.state
+            .borrow_mut()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.state.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Freezes the registry into a deterministic snapshot. The registry
+    /// keeps its contents; snapshotting is non-destructive.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut state = self.state.borrow_mut();
+        let counters = state
+            .counters
+            .iter()
+            .map(|(&name, &value)| (name.to_string(), value))
+            .collect();
+        let gauges = state
+            .gauges
+            .iter()
+            .map(|(&name, &value)| (name.to_string(), value))
+            .collect();
+        let histograms = state
+            .histograms
+            .iter_mut()
+            .map(|(&name, est)| (name.to_string(), HistogramSummary::from_estimator(est)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Returns `metrics` only when present — the guard instrumented code uses,
+/// mirroring [`crate::trace::active`]. (A registry handle is always live;
+/// the option itself is the on/off switch.)
+pub fn metered(metrics: &Option<MetricRegistry>) -> Option<&MetricRegistry> {
+    metrics.as_ref()
+}
+
+/// Order-statistics summary of one histogram, computed at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples recorded.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    fn from_estimator(est: &mut QuantileEstimator) -> HistogramSummary {
+        let count = est.count();
+        assert!(count > 0, "histograms are created on first sample");
+        let min = est.quantile(0.0).expect("non-empty");
+        let max = est.quantile(1.0).expect("non-empty");
+        let p50 = est.quantile(0.5).expect("non-empty");
+        let p95 = est.quantile(0.95).expect("non-empty");
+        let p99 = est.quantile(0.99).expect("non-empty");
+        let mean = est.mean().expect("non-empty");
+        HistogramSummary {
+            count,
+            min,
+            max,
+            mean,
+            p50,
+            p95,
+            p99,
+        }
+    }
+
+    /// This summary as a JSON object (fixed member order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("count", JsonValue::int(self.count as u64))
+            .with("min", JsonValue::num(self.min))
+            .with("max", JsonValue::num(self.max))
+            .with("mean", JsonValue::num(self.mean))
+            .with("p50", JsonValue::num(self.p50))
+            .with("p95", JsonValue::num(self.p95))
+            .with("p99", JsonValue::num(self.p99))
+    }
+}
+
+/// A frozen, deterministic view of a registry: all maps sorted by metric
+/// name, histograms reduced to order-statistics summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, or zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Value of the named gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Summary of the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// This snapshot as a JSON object with `counters` / `gauges` /
+    /// `histograms` members, each sorted by metric name.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .fold(JsonValue::object(), |obj, (name, value)| {
+                obj.with(name, JsonValue::int(*value))
+            });
+        let gauges = self
+            .gauges
+            .iter()
+            .fold(JsonValue::object(), |obj, (name, value)| {
+                obj.with(name, JsonValue::num(*value))
+            });
+        let histograms = self
+            .histograms
+            .iter()
+            .fold(JsonValue::object(), |obj, (name, summary)| {
+                obj.with(name, summary.to_json())
+            });
+        JsonValue::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricRegistry::new();
+        m.inc(name::FABRIC_BYTES, 100);
+        m.inc(name::FABRIC_BYTES, 23);
+        m.inc(name::FABRIC_TRANSFERS, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(name::FABRIC_BYTES), 123);
+        assert_eq!(snap.counter(name::FABRIC_TRANSFERS), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricRegistry::new();
+        m.gauge(name::DUALSYNC_CHOSEN_M_BYTES, 1.0);
+        m.gauge(name::DUALSYNC_CHOSEN_M_BYTES, 2.0);
+        assert_eq!(m.snapshot().gauge(name::DUALSYNC_CHOSEN_M_BYTES), Some(2.0));
+        assert_eq!(m.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_summary_orders_samples() {
+        let m = MetricRegistry::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            m.observe(name::PROXY_QUEUE_DEPTH, x);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram(name::PROXY_QUEUE_DEPTH).unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.p50, 2.5);
+        assert_eq!(h.mean, 2.5);
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let m = MetricRegistry::new();
+        let other = m.clone();
+        other.inc(name::RING_STEPS, 7);
+        assert_eq!(m.counter_value(name::RING_STEPS), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let build = || {
+            let m = MetricRegistry::new();
+            m.inc(name::TRAIN_ITERATIONS, 3);
+            m.inc(name::FABRIC_BYTES, 9);
+            m.gauge(name::DUALSYNC_PILOT_RUNS, 5.0);
+            m.observe(name::TRAIN_FP_NS, 10.0);
+            m.observe(name::TRAIN_FP_NS, 30.0);
+            m.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        // Counter names arrive unsorted but snapshot in BTreeMap order.
+        let names: Vec<&str> = a.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec![name::FABRIC_BYTES, name::TRAIN_ITERATIONS]);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+    }
+
+    #[test]
+    fn metered_guard() {
+        assert!(metered(&None).is_none());
+        assert!(metered(&Some(MetricRegistry::new())).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_gauge_rejected() {
+        MetricRegistry::new().gauge(name::TRAIN_BLOCKED_NS, f64::NAN);
+    }
+}

@@ -79,6 +79,14 @@ impl QuantileEstimator {
         self.quantile(0.5)
     }
 
+    /// Arithmetic mean of all samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
     /// Convenience: the 99th percentile.
     pub fn p99(&mut self) -> Option<f64> {
         self.quantile(0.99)
@@ -145,5 +153,66 @@ mod tests {
     #[should_panic(expected = "cannot rank NaN")]
     fn nan_rejected() {
         QuantileEstimator::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn out_of_range_quantile_rejected() {
+        let mut q = QuantileEstimator::new();
+        q.record(1.0);
+        let _ = q.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn negative_quantile_rejected() {
+        let mut q = QuantileEstimator::new();
+        q.record(1.0);
+        let _ = q.quantile(-0.1);
+    }
+
+    #[test]
+    fn duplicate_heavy_samples() {
+        // Queue-depth style data: long runs of identical values with a few
+        // outliers. Every interior quantile must land on a real plateau.
+        let mut q = QuantileEstimator::new();
+        for _ in 0..50 {
+            q.record(2.0);
+        }
+        for _ in 0..50 {
+            q.record(2.0);
+        }
+        q.record(9.0);
+        assert_eq!(q.median(), Some(2.0));
+        assert_eq!(q.quantile(0.25), Some(2.0));
+        assert_eq!(q.quantile(0.75), Some(2.0));
+        assert_eq!(q.quantile(1.0), Some(9.0));
+        assert_eq!(q.count(), 101);
+    }
+
+    #[test]
+    fn all_identical_samples_collapse() {
+        let mut q = QuantileEstimator::new();
+        for _ in 0..10 {
+            q.record(4.5);
+        }
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(q.quantile(p), Some(4.5));
+        }
+        assert_eq!(q.mean(), Some(4.5));
+    }
+
+    #[test]
+    fn mean_tracks_samples() {
+        let mut q = QuantileEstimator::new();
+        assert_eq!(q.mean(), None);
+        q.record(1.0);
+        assert_eq!(q.mean(), Some(1.0));
+        q.record(3.0);
+        assert_eq!(q.mean(), Some(2.0));
+        // Negative values are fine: quantiles are signed.
+        q.record(-4.0);
+        assert_eq!(q.mean(), Some(0.0));
+        assert_eq!(q.quantile(0.0), Some(-4.0));
     }
 }

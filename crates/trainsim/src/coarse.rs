@@ -23,6 +23,7 @@ use coarse_fabric::probe;
 use coarse_fabric::topology::{Link, LinkClass};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
+use coarse_simcore::metrics::{name as metric, MetricRegistry, MetricsSnapshot};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, RecordingTracer, SharedTracer, Trace, TrackId};
 use coarse_simcore::units::{Bandwidth, ByteSize};
@@ -75,6 +76,8 @@ struct Deployment<'a> {
     input_bytes: ByteSize,
     /// Trace sink for full-detail runs; pilots run untraced.
     tracer: Option<SharedTracer>,
+    /// Metric sink for full-detail runs; pilots run unmetered.
+    metrics: Option<MetricRegistry>,
 }
 
 /// Interned training-phase tracks of one traced run.
@@ -134,6 +137,9 @@ impl Deployment<'_> {
             .sum();
 
         let mut engine = TransferEngine::new(self.deployed.topology().clone());
+        if let Some(m) = &self.metrics {
+            engine.set_metrics(m.clone());
+        }
         let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
         let mut tracks = tracer.as_ref().map(|t| {
             engine.set_tracer(t.clone());
@@ -445,6 +451,20 @@ impl Deployment<'_> {
                     blocked.as_micros_f64(),
                 );
             }
+            if let Some(m) = &self.metrics {
+                let blocked =
+                    (next_start - start).saturating_sub(plan.forward_time() + plan.backward_time());
+                m.inc(metric::TRAIN_ITERATIONS, 1);
+                m.inc(metric::TRAIN_BLOCKED_NS, blocked.as_nanos());
+                m.observe(metric::TRAIN_FP_NS, plan.forward_time().as_nanos() as f64);
+                m.observe(metric::TRAIN_BP_NS, plan.backward_time().as_nanos() as f64);
+                m.observe(
+                    metric::TRAIN_SYNC_NS,
+                    next_start
+                        .saturating_duration_since(backward_end)
+                        .as_nanos() as f64,
+                );
+            }
 
             if k == 0 {
                 first_period_end = next_start;
@@ -490,19 +510,22 @@ fn prepare<'a>(
     model: &'a ModelProfile,
     batch_per_gpu: u32,
 ) -> (Deployment<'a>, ByteSize) {
-    prepare_traced(machine, partition, model, batch_per_gpu, None)
+    prepare_traced(machine, partition, model, batch_per_gpu, None, None)
 }
 
 /// [`prepare`], optionally recording the dual-sync decision process
-/// (analytic candidates, pilot timings, chosen `m*`) on `tracer`. The
-/// pilot runs themselves stay untraced so the final trace holds exactly
-/// one run's events.
+/// (analytic candidates, pilot timings, chosen `m*`) on `tracer` and
+/// publishing the decision gauges (`dualsync.chosen_m_bytes`,
+/// `dualsync.pilot_runs`) into `metrics`. The pilot runs themselves stay
+/// untraced and unmetered so the final trace/snapshot holds exactly one
+/// run's events.
 fn prepare_traced<'a>(
     machine: &'a Machine,
     partition: &Partition,
     model: &'a ModelProfile,
     batch_per_gpu: u32,
     tracer: Option<&SharedTracer>,
+    metrics: Option<&MetricRegistry>,
 ) -> (Deployment<'a>, ByteSize) {
     assert!(
         partition.mem_devices.len() >= 2,
@@ -633,6 +656,7 @@ fn prepare_traced<'a>(
         needed,
         input_bytes: ByteSize::ZERO,
         tracer: None,
+        metrics: None,
     };
 
     // Pilot runs pick the m that minimizes the *measured* period.
@@ -643,6 +667,7 @@ fn prepare_traced<'a>(
     }
     candidates.sort_unstable();
     candidates.dedup();
+    let pilot_runs = candidates.len();
     let debug = std::env::var("COARSE_DEBUG").is_ok();
     let best_m = candidates
         .into_iter()
@@ -674,6 +699,10 @@ fn prepare_traced<'a>(
             track,
             &format!("pilot chose m* = {best_m} of {}", model.total_bytes()),
         );
+    }
+    if let Some(m) = metrics {
+        m.gauge(metric::DUALSYNC_CHOSEN_M_BYTES, best_m.as_f64());
+        m.gauge(metric::DUALSYNC_PILOT_RUNS, pilot_runs as f64);
     }
 
     if std::env::var("COARSE_DEBUG").is_ok() {
@@ -760,13 +789,57 @@ pub fn record_coarse_trace(
     );
     let rec = RecordingTracer::new();
     let handle: SharedTracer = rec.handle();
-    let (mut deployment, best_m) =
-        prepare_traced(machine, partition, model, batch_per_gpu, Some(&handle));
+    let (mut deployment, best_m) = prepare_traced(
+        machine,
+        partition,
+        model,
+        batch_per_gpu,
+        Some(&handle),
+        None,
+    );
     deployment.tracer = Some(handle);
     let period = deployment.run(best_m, iterations);
     let global_batch = batch_per_gpu * partition.workers.len() as u32;
     let result = TrainResult::new(period, deployment.plan.compute_time(), global_batch);
     (result, rec.take())
+}
+
+/// Runs COARSE with a metric registry attached and returns the training
+/// result together with the frozen [`MetricsSnapshot`]: fabric transfer
+/// and byte counters, ring-step counts, per-iteration phase-time
+/// histograms, blocked time, and the dual-sync decision gauges. Pilot
+/// runs stay unmetered, so the snapshot covers exactly one run; attaching
+/// the registry never changes the simulated timings (the returned result
+/// equals [`simulate_coarse`]'s).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn record_coarse_metrics(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+) -> (TrainResult, MetricsSnapshot) {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let registry = MetricRegistry::new();
+    let (mut deployment, best_m) = prepare_traced(
+        machine,
+        partition,
+        model,
+        batch_per_gpu,
+        None,
+        Some(&registry),
+    );
+    deployment.metrics = Some(registry.clone());
+    let period = deployment.run(best_m, iterations);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let result = TrainResult::new(period, deployment.plan.compute_time(), global_batch);
+    (result, registry.snapshot())
 }
 
 /// Runs COARSE and reports the `top_n` busiest directed links — the
@@ -926,6 +999,27 @@ mod tests {
         }
         assert!(hot[0].1 > 0.2, "top hotspot should be busy: {:?}", hot[0]);
         assert!(hot.iter().all(|(_, u)| *u <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn metrics_are_observation_only_and_deterministic() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let plain = simulate_coarse(&m, &p, &model, 2, 3);
+        let (metered, snap) = record_coarse_metrics(&m, &p, &model, 2, 3);
+        assert_eq!(
+            plain.iteration_time, metered.iteration_time,
+            "metrics must not perturb timing"
+        );
+        assert_eq!(snap.counter(metric::TRAIN_ITERATIONS), 3);
+        assert!(snap.counter(metric::FABRIC_TRANSFERS) > 0);
+        assert!(snap.counter(metric::RING_STEPS) > 0);
+        assert!(snap.gauge(metric::DUALSYNC_CHOSEN_M_BYTES).is_some());
+        assert!(snap.histogram(metric::TRAIN_FP_NS).is_some());
+        // Byte-deterministic across repeated runs.
+        let (_, snap2) = record_coarse_metrics(&m, &p, &model, 2, 3);
+        assert_eq!(snap, snap2);
     }
 
     #[test]

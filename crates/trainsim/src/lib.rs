@@ -11,6 +11,7 @@ pub mod allreduce;
 pub mod coarse;
 pub mod config;
 pub mod dense;
+pub mod report;
 pub mod scaling;
 pub mod straggler;
 pub mod timeline;
@@ -18,10 +19,12 @@ pub mod traceexport;
 
 pub use allreduce::simulate_allreduce;
 pub use coarse::{
-    coarse_hotspots, record_coarse_trace, simulate_coarse, simulate_coarse_with_input, trace_coarse,
+    coarse_hotspots, record_coarse_metrics, record_coarse_trace, simulate_coarse,
+    simulate_coarse_with_input, trace_coarse,
 };
 pub use config::{Scheme, TrainConfig, TrainError, TrainResult};
 pub use dense::simulate_dense;
+pub use report::{RunReport, SchemeOutcome, SchemeRun};
 pub use scaling::{node_scaling, ScalingPoint};
 pub use straggler::{
     compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel,

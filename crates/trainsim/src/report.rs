@@ -1,0 +1,274 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] captures one training scenario — machine, partition,
+//! model, batch — across all three synchronization schemes, together with
+//! the COARSE run's [`MetricsSnapshot`] and the derived figures the paper
+//! plots (speedups over DENSE, blocked-communication fractions, GPU
+//! utilization). It renders to a versioned, hand-rolled JSON document
+//! ([`SCHEMA`]) that is **byte-deterministic**: the same scenario always
+//! produces the same bytes, so reports can be diffed in CI.
+
+use coarse_fabric::machines::{Machine, PartitionScheme};
+use coarse_models::profile::ModelProfile;
+use coarse_simcore::json::JsonValue;
+use coarse_simcore::metrics::MetricsSnapshot;
+
+use crate::config::{Scheme, TrainConfig, TrainError, TrainResult};
+use crate::{record_coarse_metrics, simulate};
+
+/// Schema identifier stamped into every report. Bump the `/vN` suffix on
+/// any field addition, removal, or rename so consumers can dispatch.
+pub const SCHEMA: &str = "coarse.run-report/v1";
+
+/// Outcome of one scheme within a report: either a steady-state result or
+/// an out-of-memory rejection (the scheme's residency does not fit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeOutcome {
+    /// The run completed; steady-state results.
+    Completed(TrainResult),
+    /// The batch does not fit under this scheme's residency.
+    OutOfMemory {
+        /// Largest per-GPU batch that would fit (0 = none).
+        max_batch: u32,
+    },
+}
+
+/// One scheme's entry in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeRun {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Completed result or OOM.
+    pub outcome: SchemeOutcome,
+}
+
+impl SchemeRun {
+    /// The completed result, if the scheme fit in memory.
+    pub fn result(&self) -> Option<&TrainResult> {
+        match &self.outcome {
+            SchemeOutcome::Completed(r) => Some(r),
+            SchemeOutcome::OutOfMemory { .. } => None,
+        }
+    }
+}
+
+/// A full per-scenario report: config, per-scheme results, COARSE metrics,
+/// and derived figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Scenario label (e.g. `"fig16d"`).
+    pub scenario: String,
+    /// Machine name.
+    pub machine: String,
+    /// Worker / memory-device split.
+    pub partition: PartitionScheme,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch size.
+    pub batch_per_gpu: u32,
+    /// Simulated iterations per scheme.
+    pub iterations: u32,
+    /// One entry per scheme, in `DENSE, AllReduce, COARSE` order.
+    pub schemes: Vec<SchemeRun>,
+    /// Metric snapshot from the (metered) COARSE run, when it fit.
+    pub coarse_metrics: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Runs the scenario under all three schemes and collects the report.
+    /// OOM schemes are recorded, not skipped, so the report always has
+    /// three entries. The COARSE run, when feasible, is re-run metered;
+    /// metering is observation-only so both runs agree exactly.
+    pub fn collect(
+        scenario: &str,
+        machine: &Machine,
+        partition: PartitionScheme,
+        model: &ModelProfile,
+        batch_per_gpu: u32,
+        iterations: u32,
+    ) -> RunReport {
+        let run = |scheme: Scheme| {
+            let cfg = TrainConfig {
+                machine: machine.clone(),
+                partition,
+                model: model.clone(),
+                batch_per_gpu,
+                scheme,
+                iterations,
+            };
+            let outcome = match simulate(&cfg) {
+                Ok(r) => SchemeOutcome::Completed(r),
+                Err(TrainError::OutOfMemory { max_batch, .. }) => {
+                    SchemeOutcome::OutOfMemory { max_batch }
+                }
+            };
+            SchemeRun { scheme, outcome }
+        };
+        let schemes: Vec<SchemeRun> = [Scheme::Dense, Scheme::AllReduce, Scheme::Coarse]
+            .into_iter()
+            .map(run)
+            .collect();
+        let coarse_metrics = schemes[2].result().map(|_| {
+            let part = machine.partition(partition);
+            let (_, snapshot) =
+                record_coarse_metrics(machine, &part, model, batch_per_gpu, iterations);
+            snapshot
+        });
+        RunReport {
+            scenario: scenario.to_string(),
+            machine: machine.name().to_string(),
+            partition,
+            model: model.name().to_string(),
+            batch_per_gpu,
+            iterations,
+            schemes,
+            coarse_metrics,
+        }
+    }
+
+    /// The entry for `scheme`.
+    pub fn scheme(&self, scheme: Scheme) -> &SchemeRun {
+        self.schemes
+            .iter()
+            .find(|s| s.scheme == scheme)
+            .expect("all three schemes present")
+    }
+
+    /// Renders the report as a [`JsonValue`] under [`SCHEMA`]. Key order is
+    /// fixed, so the rendered bytes are deterministic.
+    pub fn to_json(&self) -> JsonValue {
+        let partition = match self.partition {
+            PartitionScheme::OneToOne => "1:1",
+            PartitionScheme::TwoToOne => "2:1",
+        };
+        let config = JsonValue::object()
+            .with("machine", JsonValue::str(&self.machine))
+            .with("partition", JsonValue::str(partition))
+            .with("model", JsonValue::str(&self.model))
+            .with("batch_per_gpu", JsonValue::int(self.batch_per_gpu as u64))
+            .with("iterations", JsonValue::int(self.iterations as u64));
+        let mut schemes = JsonValue::object();
+        for s in &self.schemes {
+            schemes = schemes.with(s.scheme.label(), scheme_json(&s.outcome));
+        }
+        let mut report = JsonValue::object()
+            .with("schema", JsonValue::str(SCHEMA))
+            .with("scenario", JsonValue::str(&self.scenario))
+            .with("config", config)
+            .with("schemes", schemes)
+            .with("derived", self.derived_json());
+        if let Some(m) = &self.coarse_metrics {
+            report = report.with("coarse_metrics", m.to_json());
+        }
+        report
+    }
+
+    /// Pretty-rendered JSON document (stable bytes; ends with a newline).
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().render_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Derived figures: per-scheme speedup over DENSE and blocked time
+    /// normalized to DENSE (Figs. 16 and 17), where computable.
+    fn derived_json(&self) -> JsonValue {
+        let dense = self.scheme(Scheme::Dense).result();
+        let mut derived = JsonValue::object();
+        for scheme in [Scheme::AllReduce, Scheme::Coarse] {
+            let (speedup, blocked) = match (dense, self.scheme(scheme).result()) {
+                (Some(d), Some(r)) => (
+                    JsonValue::num(r.speedup_over(d)),
+                    JsonValue::num(r.blocked_comm.as_secs_f64() / d.blocked_comm.as_secs_f64()),
+                ),
+                _ => (JsonValue::Null, JsonValue::Null),
+            };
+            derived = derived.with(
+                scheme.label(),
+                JsonValue::object()
+                    .with("speedup_over_dense", speedup)
+                    .with("blocked_normalized_to_dense", blocked),
+            );
+        }
+        derived
+    }
+}
+
+fn scheme_json(outcome: &SchemeOutcome) -> JsonValue {
+    match outcome {
+        SchemeOutcome::Completed(r) => JsonValue::object()
+            .with("fits", JsonValue::Bool(true))
+            .with(
+                "iteration_time_ns",
+                JsonValue::int(r.iteration_time.as_nanos()),
+            )
+            .with("compute_time_ns", JsonValue::int(r.compute_time.as_nanos()))
+            .with("blocked_comm_ns", JsonValue::int(r.blocked_comm.as_nanos()))
+            .with("throughput_samples_per_sec", JsonValue::num(r.throughput))
+            .with("gpu_utilization", JsonValue::num(r.gpu_utilization()))
+            .with("comm_fraction", JsonValue::num(r.comm_fraction())),
+        SchemeOutcome::OutOfMemory { max_batch } => JsonValue::object()
+            .with("fits", JsonValue::Bool(false))
+            .with("max_batch", JsonValue::int(*max_batch as u64)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coarse_fabric::machines::aws_v100;
+    use coarse_models::zoo::bert_large;
+
+    fn sample() -> RunReport {
+        RunReport::collect(
+            "fig16d",
+            &aws_v100(),
+            PartitionScheme::OneToOne,
+            &bert_large(),
+            2,
+            3,
+        )
+    }
+
+    #[test]
+    fn report_covers_all_schemes_with_metrics() {
+        let r = sample();
+        assert_eq!(r.schemes.len(), 3);
+        assert!(r.schemes.iter().all(|s| s.result().is_some()));
+        let metrics = r.coarse_metrics.as_ref().expect("COARSE fits");
+        assert!(!metrics.is_empty());
+        let json = r.render();
+        assert!(json.contains("\"schema\": \"coarse.run-report/v1\""));
+        assert!(json.contains("\"COARSE\""));
+        assert!(json.contains("speedup_over_dense"));
+    }
+
+    #[test]
+    fn oom_scheme_recorded_not_skipped() {
+        let r = RunReport::collect(
+            "fig16e-b4",
+            &aws_v100(),
+            PartitionScheme::OneToOne,
+            &bert_large(),
+            4,
+            3,
+        );
+        let ar = r.scheme(Scheme::AllReduce);
+        assert!(matches!(
+            ar.outcome,
+            SchemeOutcome::OutOfMemory { max_batch: 3 }
+        ));
+        assert!(r.scheme(Scheme::Coarse).result().is_some());
+        let json = r.render();
+        assert!(json.contains("\"fits\": false"));
+        assert!(json.contains("\"speedup_over_dense\": null"));
+    }
+
+    #[test]
+    fn report_json_is_byte_deterministic() {
+        let a = sample().render();
+        let b = sample().render();
+        assert_eq!(a, b, "same scenario must render identical bytes");
+        assert!(a.ends_with('\n'));
+    }
+}
