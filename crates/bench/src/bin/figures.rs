@@ -462,7 +462,10 @@ fn usage() {
          \x20 bench [label]            run the perf self-benchmark and write\n\
          \x20                          BENCH_<label>.json (default label: local)\n\
          \x20 trace [scenario]         record a traced COARSE run; scenarios:\n\
-         \x20                          {TRACE_SCENARIOS}",
+         \x20                          {TRACE_SCENARIOS}\n\
+         \x20 faults [scenario]        run a seeded fault-injection scenario over the\n\
+         \x20                          fig16d panel and write fault-report-<scenario>.json;\n\
+         \x20                          scenarios: {FAULT_SCENARIOS}",
         figures.join(" ")
     );
 }
@@ -482,6 +485,10 @@ fn list() {
     }
     println!("\ntrace scenarios:");
     for s in TRACE_SCENARIOS.split(' ') {
+        println!("  {s}");
+    }
+    println!("\nfault scenarios:");
+    for s in FAULT_SCENARIOS.split(' ') {
         println!("  {s}");
     }
 }
@@ -509,26 +516,13 @@ fn validate(scenario: &str) {
     }
 }
 
-/// The Fig. 16 single-node panels as `RunReport` inputs.
+/// The Fig. 16 single-node panels as `RunReport` inputs — one
+/// [`Scenario`](coarse_trainsim::Scenario) preset per panel.
 fn panel_reports() -> Vec<coarse_trainsim::RunReport> {
-    use coarse_fabric::machines::{aws_t4, aws_v100, sdsc_p100, PartitionScheme};
-    use coarse_models::zoo;
-    use coarse_trainsim::RunReport;
-    let one = PartitionScheme::OneToOne;
-    vec![
-        RunReport::collect("fig16a", &aws_t4(), one, &zoo::resnet50(), 64, 3),
-        RunReport::collect("fig16b", &aws_t4(), one, &zoo::bert_base(), 2, 3),
-        RunReport::collect("fig16c", &sdsc_p100(), one, &zoo::bert_large(), 2, 3),
-        RunReport::collect("fig16d", &aws_v100(), one, &zoo::bert_large(), 2, 3),
-        RunReport::collect(
-            "fig16d-2to1",
-            &aws_v100(),
-            PartitionScheme::TwoToOne,
-            &zoo::bert_large(),
-            2,
-            3,
-        ),
-    ]
+    coarse_trainsim::Scenario::presets()
+        .into_iter()
+        .map(|name| coarse_trainsim::Scenario::preset(name).report())
+        .collect()
 }
 
 /// `figures -- report [scenario] [--json <path>]`: the scorecard plus the
@@ -567,6 +561,112 @@ fn report(scenario: Option<&str>, json_path: Option<&str>) {
     }
 }
 
+const FAULT_SCENARIOS: &str = "proxy-dropout link-degrade flaky-cci matrix";
+
+/// Seed for the CI fault suite: fixed so two runs of the same binary
+/// produce byte-identical artifacts.
+const FAULT_SEED: u64 = 0xC0A2_5E01;
+
+/// Builds the named seeded fault scenario over the `fig16d` panel
+/// (BERT-Large on AWS V100) and returns it ready to run.
+fn build_fault_scenario(name: &str) -> coarse_trainsim::Scenario {
+    use coarse_simcore::faults::FaultPlan;
+    use coarse_simcore::time::{SimDuration, SimTime};
+    let base = coarse_trainsim::Scenario::preset("fig16d");
+    let part = coarse_fabric::machines::aws_v100()
+        .partition(coarse_fabric::machines::PartitionScheme::OneToOne);
+    let devices: Vec<u32> = part.mem_devices.iter().map(|d| d.index() as u32).collect();
+    let window = (
+        SimTime::ZERO + SimDuration::from_millis(1),
+        SimTime::ZERO + SimDuration::from_millis(500),
+    );
+    let plan = match name {
+        // One seeded memory device drops out mid-run; COARSE must fail
+        // over and finish on the survivors.
+        "proxy-dropout" => FaultPlan::seeded_dropout(FAULT_SEED, &devices, window.0, window.1),
+        // Every CCI-ring neighbor pair degrades by a seeded 1.5-4x factor
+        // over a seeded sub-window. The window spans the whole 3-iteration
+        // run (~900ms) so the steady-state (last) iteration is hit too —
+        // a window that closes before the final iteration leaves the
+        // reported period untouched.
+        "link-degrade" => {
+            let pairs: Vec<(u32, u32)> = (0..devices.len())
+                .map(|i| (devices[i], devices[(i + 1) % devices.len()]))
+                .collect();
+            FaultPlan::seeded_degradation(
+                FAULT_SEED,
+                &pairs,
+                window.0,
+                SimTime::ZERO + SimDuration::from_millis(2_000),
+                1.5,
+                4.0,
+            )
+        }
+        // Transient CCI transfer errors on every memory device: pushes
+        // retry with exponential backoff.
+        "flaky-cci" => {
+            let mut plan = FaultPlan::new(FAULT_SEED);
+            for &d in &devices {
+                plan = plan.corrupt_transfers(d, SimTime::ZERO, SimTime::MAX, 200_000);
+            }
+            plan
+        }
+        other => {
+            eprintln!("unknown fault scenario '{other}'; expected one of: {FAULT_SCENARIOS}");
+            std::process::exit(2);
+        }
+    };
+    base.faults(plan)
+}
+
+/// `figures -- faults <scenario>`: runs a seeded fault-injection scenario
+/// over the fig16d panel, prints the resilience accounting, verifies the
+/// run is deterministic (two same-seed runs must render byte-identical
+/// reports), and writes `fault-report-<scenario>.json`.
+fn faults(scenario: &str) {
+    let names: Vec<&str> = if scenario == "matrix" {
+        FAULT_SCENARIOS
+            .split(' ')
+            .filter(|s| *s != "matrix")
+            .collect()
+    } else {
+        vec![scenario]
+    };
+    for name in names {
+        let s = build_fault_scenario(name);
+        hr(&format!(
+            "FAULT SUITE — {name} (fig16d, seed {FAULT_SEED:#x})"
+        ));
+        let report = s.report();
+        let again = s.report();
+        assert_eq!(
+            report.render(),
+            again.render(),
+            "same-seed fault runs must be byte-identical"
+        );
+        let f = report
+            .faults
+            .as_ref()
+            .expect("fault scenarios carry a resilience summary");
+        println!("injected faults:   {}", f.injected);
+        println!("push retries:      {}", f.retries);
+        println!("proxy failovers:   {}", f.failovers);
+        println!("degraded to GPU:   {}", f.degraded_to_gpu);
+        println!("recovery time:     {}", f.recovery_time);
+        let clean = report
+            .scheme(coarse_trainsim::Scheme::Coarse)
+            .result()
+            .expect("fig16d COARSE fits");
+        println!(
+            "iteration time:    {} (clean: {})",
+            f.coarse.iteration_time, clean.iteration_time
+        );
+        let path = format!("fault-report-{name}.json");
+        std::fs::write(&path, report.render()).expect("write fault report");
+        println!("wrote {path} (determinism check: two same-seed runs matched)");
+    }
+}
+
 fn bench(label: &str) {
     hr(&format!("PERF SELF-BENCHMARK — {label}"));
     let path = selfbench::write_report(label).expect("write bench artifact");
@@ -591,6 +691,11 @@ fn main() {
         "trace" => {
             let scenario = args.get(1).map(String::as_str).unwrap_or("resnet50-coarse");
             trace_scenario(scenario);
+            return;
+        }
+        "faults" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("matrix");
+            faults(scenario);
             return;
         }
         "validate" => {

@@ -4,7 +4,7 @@
 use coarse_fabric::machines::{self, Machine, PartitionScheme};
 use coarse_models::profile::ModelProfile;
 use coarse_models::zoo;
-use coarse_trainsim::{simulate_allreduce, simulate_coarse, simulate_dense, TrainResult};
+use coarse_trainsim::{Scenario, Scheme, TrainResult};
 
 /// Iterations per simulated run (steady state is exact, so few suffice).
 const ITERS: u32 = 3;
@@ -74,11 +74,17 @@ pub fn fig2() -> Vec<Fig2Row> {
     cases
         .into_iter()
         .map(|(m, model, batch)| {
-            let part = m.partition(PartitionScheme::OneToOne);
-            let r = simulate_dense(&m, &part, &model, batch, ITERS);
+            let machine = m.name().to_string();
+            let model_name = model.name().to_string();
+            let r = Scenario::new("fig2", m, model)
+                .batch_per_gpu(batch)
+                .iterations(ITERS)
+                .scheme(Scheme::Dense)
+                .run()
+                .expect("every Fig. 2 case fits in GPU memory");
             Fig2Row {
-                machine: m.name().to_string(),
-                model: model.name().to_string(),
+                machine,
+                model: model_name,
                 batch,
                 comm_fraction: r.comm_fraction(),
             }
@@ -129,15 +135,26 @@ fn compare(
     model: ModelProfile,
     batch: u32,
 ) -> SchemeComparison {
-    let part = machine.partition(partition);
+    let machine_name = machine.name().to_string();
+    let model_name = model.name().to_string();
+    let base = Scenario::new(id, machine, model)
+        .partition(partition)
+        .batch_per_gpu(batch)
+        .iterations(ITERS);
+    let run = |scheme: Scheme| {
+        base.clone()
+            .scheme(scheme)
+            .run()
+            .expect("every Fig. 16 panel fits in GPU memory")
+    };
     SchemeComparison {
         id,
-        machine: machine.name().to_string(),
-        model: model.name().to_string(),
+        machine: machine_name,
+        model: model_name,
         batch,
-        dense: simulate_dense(&machine, &part, &model, batch, ITERS),
-        allreduce: simulate_allreduce(&machine, &part, &model, batch, ITERS),
-        coarse: simulate_coarse(&machine, &part, &model, batch, ITERS),
+        dense: run(Scheme::Dense),
+        allreduce: run(Scheme::AllReduce),
+        coarse: run(Scheme::Coarse),
     }
 }
 
@@ -202,20 +219,29 @@ pub struct Fig16e {
 
 /// Generates Fig. 16e.
 pub fn fig16e() -> Fig16e {
-    use coarse_models::memory::{MemoryModel, Residency};
-    let machine = machines::aws_v100();
-    let part = machine.partition(PartitionScheme::OneToOne);
-    let model = zoo::bert_large();
-    let allreduce_b2 = simulate_allreduce(&machine, &part, &model, 2, ITERS);
-    let coarse_b2 = simulate_coarse(&machine, &part, &model, 2, ITERS);
-    let coarse_b4 = simulate_coarse(&machine, &part, &model, 4, ITERS);
-    let mm = MemoryModel::new(&model, machine.sku().memory_gib());
+    let base = Scenario::new("fig16e", machines::aws_v100(), zoo::bert_large()).iterations(ITERS);
+    let allreduce_b2 = base
+        .clone()
+        .scheme(Scheme::AllReduce)
+        .run()
+        .expect("AllReduce fits batch 2");
+    let coarse_b2 = base.clone().run().expect("COARSE fits batch 2");
+    let coarse_b4 = base
+        .clone()
+        .batch_per_gpu(4)
+        .run()
+        .expect("COARSE fits batch 4");
+    let allreduce_b4_fits = base
+        .scheme(Scheme::AllReduce)
+        .batch_per_gpu(4)
+        .check_memory()
+        .is_ok();
     Fig16e {
         speedup: coarse_b4.throughput / allreduce_b2.throughput,
         allreduce_b2,
         coarse_b2,
         coarse_b4,
-        allreduce_b4_fits: mm.fits(4, Residency::AllOnGpu),
+        allreduce_b4_fits,
     }
 }
 
@@ -237,14 +263,19 @@ pub struct Fig16f {
 
 /// Generates Fig. 16f.
 pub fn fig16f() -> Fig16f {
-    let model = zoo::bert_large();
-    let cluster = machines::aws_v100_cluster(2);
-    let cpart = cluster.partition(PartitionScheme::OneToOne);
-    let allreduce_2node = simulate_allreduce(&cluster, &cpart, &model, 2, ITERS);
-    let coarse_2node = simulate_coarse(&cluster, &cpart, &model, 2, ITERS);
-    let single = machines::aws_v100();
-    let spart = single.partition(PartitionScheme::OneToOne);
-    let coarse_1node_b4 = simulate_coarse(&single, &spart, &model, 4, ITERS);
+    let two_node =
+        Scenario::new("fig16f", machines::aws_v100_cluster(2), zoo::bert_large()).iterations(ITERS);
+    let allreduce_2node = two_node
+        .clone()
+        .scheme(Scheme::AllReduce)
+        .run()
+        .expect("AllReduce fits batch 2");
+    let coarse_2node = two_node.run().expect("COARSE fits batch 2");
+    let coarse_1node_b4 = Scenario::new("fig16f-1node", machines::aws_v100(), zoo::bert_large())
+        .iterations(ITERS)
+        .batch_per_gpu(4)
+        .run()
+        .expect("COARSE fits batch 4");
     Fig16f {
         speedup_2node: coarse_2node.throughput / allreduce_2node.throughput,
         speedup_1node_b4: coarse_1node_b4.throughput / allreduce_2node.throughput,
@@ -272,13 +303,17 @@ pub struct CapacityWall {
 pub fn capacity_wall() -> CapacityWall {
     use coarse_models::memory::{MemoryModel, Residency};
     let machine = machines::aws_v100();
-    let part = machine.partition(PartitionScheme::OneToOne);
     let model = zoo::gpt2_xl();
     let mm = MemoryModel::new(&model, machine.sku().memory_gib());
+    let coarse_b1 = Scenario::new("capacity", machine, model)
+        .batch_per_gpu(1)
+        .iterations(2)
+        .run()
+        .expect("COARSE offload fits GPT-2 XL at batch 1");
     CapacityWall {
         allreduce_max_batch: mm.max_batch(Residency::AllOnGpu),
         coarse_max_batch: mm.max_batch(Residency::OffloadedToCci),
-        coarse_b1: simulate_coarse(&machine, &part, &model, 1, 2),
+        coarse_b1,
     }
 }
 

@@ -46,6 +46,52 @@ impl RingDirection {
     }
 }
 
+/// Errors surfaced by the fallible sync-group entry points.
+///
+/// Under fault injection a proxy can drop out between partitioning and
+/// reduction; the resilient caller uses [`SyncGroup::try_allreduce_sum`] to
+/// observe the mismatch as an error (and re-form the group over survivors)
+/// instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// The number of contributions does not match the group size — a member
+    /// was lost (or duplicated) between partitioning and reduction.
+    MembershipMismatch {
+        /// Group size (one contribution expected per core).
+        expected: usize,
+        /// Contributions actually presented.
+        got: usize,
+    },
+    /// Input buffers have unequal lengths (a torn or corrupted contribution).
+    LengthMismatch {
+        /// Length of the first contribution.
+        expected: usize,
+        /// Length of the mismatching contribution.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::MembershipMismatch { expected, got } => {
+                write!(
+                    f,
+                    "one input per core required (expected {expected}, got {got})"
+                )
+            }
+            SyncError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "all inputs must have equal length (expected {expected}, got {got})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
 /// One sync core's buffer set (the paper's RecvBuf / LocalBuf / SendBuf).
 #[derive(Debug, Clone, Default)]
 pub struct SyncCore {
@@ -181,12 +227,38 @@ impl SyncGroup {
     /// Panics if `inputs.len()` differs from the group size or the input
     /// lengths are unequal.
     pub fn allreduce_sum(&mut self, inputs: &[Vec<f32>]) -> (Vec<f32>, SyncStats) {
-        assert_eq!(inputs.len(), self.n, "one input per core required");
+        match self.try_allreduce_sum(inputs) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible sum-allreduce: like [`allreduce_sum`](Self::allreduce_sum)
+    /// but surfaces malformed membership as a [`SyncError`] instead of
+    /// panicking, so resilient callers can re-form the group after a fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::MembershipMismatch`] when `inputs.len()` differs
+    /// from the group size and [`SyncError::LengthMismatch`] when the input
+    /// lengths are unequal.
+    pub fn try_allreduce_sum(
+        &mut self,
+        inputs: &[Vec<f32>],
+    ) -> Result<(Vec<f32>, SyncStats), SyncError> {
+        if inputs.len() != self.n {
+            return Err(SyncError::MembershipMismatch {
+                expected: self.n,
+                got: inputs.len(),
+            });
+        }
         let len = inputs[0].len();
-        assert!(
-            inputs.iter().all(|v| v.len() == len),
-            "all inputs must have equal length"
-        );
+        if let Some(bad) = inputs.iter().find(|v| v.len() != len) {
+            return Err(SyncError::LengthMismatch {
+                expected: len,
+                got: bad.len(),
+            });
+        }
         let mut stats = SyncStats::default();
         let mut result = vec![0.0f32; len];
         let mut offset = 0usize;
@@ -202,7 +274,7 @@ impl SyncGroup {
             stats.chunks += 1;
             offset = end;
         }
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// Mean-allreduce: sum then divide by the group size (parameter

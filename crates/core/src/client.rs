@@ -239,6 +239,14 @@ impl ParameterClient {
     pub fn pending_pulls(&self) -> usize {
         self.partitions.len()
     }
+
+    /// Aborts all in-flight pushes and pulls: clears the wire queue and the
+    /// reassembly records. Used when a synchronization round is restarted
+    /// after a proxy failover.
+    pub fn reset_pending(&mut self) {
+        self.queue.clear();
+        self.partitions.clear();
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //!   bytes the proxies synchronize vs. the GPUs (§III-F);
 //! - [`optim`] — the SGD/momentum/Adam update rules the memory devices run
 //!   on the master weights (optimizer state stays in device DRAM);
+//! - [`resilience`] — retry/backoff policy and fault accounting for
+//!   synchronization under an injected fault plan;
 //! - [`deadlock`] — FCFS vs. queue-based collective scheduling (Fig. 10);
 //! - [`service`] — the timed proxy-service model: throughput of the two
 //!   policies as a function of sync-core count (§IV-A);
@@ -33,6 +35,7 @@ pub mod dualsync;
 pub mod optim;
 pub mod profiler;
 pub mod proxy;
+pub mod resilience;
 pub mod routing;
 pub mod service;
 pub mod strategy;
@@ -45,6 +48,7 @@ pub use dualsync::{DualSyncInputs, DualSyncPlan};
 pub use optim::{Adam, Optimizer, Sgd, SgdMomentum};
 pub use profiler::{build_routing_table, profile_proxies, ProxyProfile};
 pub use proxy::ParameterProxy;
+pub use resilience::{ResiliencePolicy, SyncFaultReport};
 pub use routing::RoutingTable;
 pub use service::{round_robin_jobs, run_service, ServiceJob, ServiceOutcome};
 pub use strategy::CoarseStrategy;

@@ -180,6 +180,25 @@ impl ParameterProxy {
         self.queues.values().map(VecDeque::len).sum()
     }
 
+    /// The FIFO order of `client`'s queue as `(tensor, shard index)` pairs —
+    /// the deadlock-avoidance invariant of §III-F says resilience mechanisms
+    /// (retries, backoff) must never reorder this.
+    pub fn queue_order(&self, client: usize) -> Vec<(TensorId, u32)> {
+        self.queues.get(&client).map_or_else(Vec::new, |q| {
+            q.iter().map(|r| (r.shard.tensor, r.shard.index)).collect()
+        })
+    }
+
+    /// Discards all in-flight round state — queued requests, accumulation
+    /// buffers, and parked shard records — so an aborted synchronization
+    /// round can restart cleanly after a failover. Reduced parameters
+    /// (storage and pull cache) are untouched.
+    pub fn discard_pending(&mut self) {
+        self.queues.clear();
+        self.accum.clear();
+        self.shards.clear();
+    }
+
     /// Drains all client queues, scatter-adding shard data into per-tensor
     /// accumulation buffers. Returns the set of tensors touched.
     pub fn absorb(&mut self) -> Vec<TensorId> {

@@ -1,0 +1,133 @@
+//! Resilience policy and fault accounting for COARSE synchronization.
+//!
+//! COARSE's survival story under an injected [`FaultPlan`]
+//! (`coarse_simcore::faults`) has three mechanisms, mirroring what real
+//! parameter-server deployments do:
+//!
+//! 1. **Retry with exponential backoff** — a client→proxy push whose CRC32
+//!    seal fails verification (a transient CCI transfer error) is
+//!    retransmitted after a backoff that doubles per attempt.
+//! 2. **Timeout + proxy failover** — a push toward a dropped memory device
+//!    times out; the proxy is removed from the deployment and the routing
+//!    tables are repaired over the survivors
+//!    (`CoarseSystem::reprofile`, §III-E dynamic profiling).
+//! 3. **Graceful degradation** — when the whole proxy tier is lost,
+//!    synchronization falls back to GPU-only allreduce (the dual-sync split
+//!    collapses to `m = total bytes`).
+//!
+//! All decisions derive from the deterministic plan, so a faulty run is
+//! byte-reproducible under a fixed seed.
+//!
+//! [`FaultPlan`]: coarse_simcore::faults::FaultPlan
+
+use coarse_simcore::time::SimDuration;
+
+/// Tunable constants governing the resilience mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Cap on the exponential backoff growth (in doublings).
+    pub max_backoff_doublings: u32,
+    /// Time to detect an unresponsive proxy (push timeout) before failover.
+    pub detect_timeout: SimDuration,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            base_backoff: SimDuration::from_micros(50),
+            max_backoff_doublings: 6,
+            detect_timeout: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// The backoff charged after the `attempt`-th failed try (0-based):
+    /// `base_backoff · 2^min(attempt, max_backoff_doublings)`.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        let doublings = attempt.min(self.max_backoff_doublings);
+        SimDuration::from_nanos(
+            self.base_backoff
+                .as_nanos()
+                .saturating_mul(1u64 << doublings),
+        )
+    }
+}
+
+/// What the resilience machinery did during one synchronization round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncFaultReport {
+    /// Retransmissions performed (integrity-rejected pushes).
+    pub retries: u64,
+    /// Shards whose CRC32 seal failed verification at a proxy.
+    pub rejected_shards: u64,
+    /// Proxies failed over (removed + routing tables repaired).
+    pub failovers: u64,
+    /// True if the proxy tier was lost entirely and synchronization
+    /// degraded to GPU-only allreduce.
+    pub degraded_to_gpu: bool,
+    /// Simulated time spent detecting faults and backing off.
+    pub recovery_time: SimDuration,
+}
+
+impl SyncFaultReport {
+    /// True if no resilience mechanism fired.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.failovers == 0 && !self.degraded_to_gpu
+    }
+
+    /// Merges another round's report into this one (recovery times add,
+    /// degradation latches).
+    pub fn merge(&mut self, other: &SyncFaultReport) {
+        self.retries += other.retries;
+        self.rejected_shards += other.rejected_shards;
+        self.failovers += other.failovers;
+        self.degraded_to_gpu |= other.degraded_to_gpu;
+        self.recovery_time += other.recovery_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = ResiliencePolicy {
+            base_backoff: SimDuration::from_micros(10),
+            max_backoff_doublings: 3,
+            detect_timeout: SimDuration::from_millis(1),
+        };
+        assert_eq!(p.backoff_after(0), SimDuration::from_micros(10));
+        assert_eq!(p.backoff_after(1), SimDuration::from_micros(20));
+        assert_eq!(p.backoff_after(3), SimDuration::from_micros(80));
+        assert_eq!(p.backoff_after(9), SimDuration::from_micros(80));
+    }
+
+    #[test]
+    fn report_merge_accumulates_and_latches() {
+        let mut a = SyncFaultReport {
+            retries: 1,
+            rejected_shards: 1,
+            failovers: 0,
+            degraded_to_gpu: false,
+            recovery_time: SimDuration::from_micros(5),
+        };
+        assert!(!a.is_clean());
+        let b = SyncFaultReport {
+            retries: 2,
+            rejected_shards: 2,
+            failovers: 1,
+            degraded_to_gpu: true,
+            recovery_time: SimDuration::from_micros(7),
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.failovers, 1);
+        assert!(a.degraded_to_gpu);
+        assert_eq!(a.recovery_time, SimDuration::from_micros(12));
+        assert!(SyncFaultReport::default().is_clean());
+    }
+}

@@ -11,20 +11,28 @@
 
 use std::collections::HashMap;
 
+use coarse_cci::integrity::SealedShard;
 use coarse_cci::storage::Snapshot;
 use coarse_cci::synccore::{RingDirection, SyncGroup};
 use coarse_cci::tensor::{Tensor, TensorId};
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::topology::Topology;
+use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::time::SimTime;
 
 use crate::client::ParameterClient;
 use crate::optim::Optimizer;
 use crate::profiler::build_routing_table_for;
 use crate::proxy::ParameterProxy;
+use crate::resilience::{ResiliencePolicy, SyncFaultReport};
 
 /// Elements per sync-core chunk in the cross-device reduction.
 const SYNC_CHUNK_ELEMS: usize = 4096;
+
+/// Retransmission bound: after this many integrity rejections of one shard
+/// the fabric is assumed to have re-trained the link and the transfer goes
+/// through clean (keeps even a 100%-corruption plan terminating).
+const MAX_PUSH_ATTEMPTS: u32 = 32;
 
 /// A fully wired COARSE deployment over one machine.
 #[derive(Debug)]
@@ -190,6 +198,13 @@ impl CoarseSystem {
             }
         }
 
+        self.reduce_and_pull(&tensor_meta)
+    }
+
+    /// Phases 2–4 of a synchronization round: proxies absorb their queues,
+    /// the sync-core ring reduces across memory devices (optimizer step if
+    /// installed), and every client pulls its shards back.
+    fn reduce_and_pull(&mut self, tensor_meta: &[(TensorId, usize)]) -> Vec<Vec<Tensor>> {
         // Phase 2: proxies absorb their queues (scatter-add per tensor).
         for p in &mut self.proxies {
             p.absorb();
@@ -215,7 +230,10 @@ impl CoarseSystem {
                     SYNC_CHUNK_ELEMS,
                     RingDirection::for_group(round),
                 );
-                group.allreduce_sum(&inputs).0
+                group
+                    .try_allreduce_sum(&inputs)
+                    .expect("one contribution per surviving proxy")
+                    .0
             };
             for x in &mut reduced {
                 *x /= workers;
@@ -244,7 +262,7 @@ impl CoarseSystem {
         let mut results = Vec::with_capacity(self.clients.len());
         for w in 0..self.clients.len() {
             let mut done: HashMap<TensorId, Tensor> = HashMap::new();
-            for &(id, _) in &tensor_meta {
+            for &(id, _) in tensor_meta {
                 for pi in 0..self.proxies.len() {
                     for shard in self.proxies[pi].serve_pull(w, id) {
                         if let Some(t) = self.clients[w].deliver(shard) {
@@ -261,6 +279,161 @@ impl CoarseSystem {
             );
         }
         results
+    }
+
+    /// The memory devices currently hosting proxies, in deployment order
+    /// (shrinks after [`fail_proxy`](Self::fail_proxy)).
+    pub fn proxy_devices(&self) -> Vec<DeviceId> {
+        self.proxies.iter().map(|p| p.device()).collect()
+    }
+
+    /// Fails `device`'s proxy over: removes it from the deployment and
+    /// re-indexes the survivors. Returns false if no such proxy exists.
+    /// Callers should follow up with [`reprofile`](Self::reprofile) so the
+    /// routing tables stop addressing the dead device.
+    pub fn fail_proxy(&mut self, device: DeviceId) -> bool {
+        let Some(pos) = self.proxies.iter().position(|p| p.device() == device) else {
+            return false;
+        };
+        self.proxies.remove(pos);
+        self.proxy_index = self
+            .proxies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.device(), i))
+            .collect();
+        true
+    }
+
+    /// Synchronizes one round under an injected fault plan, exercising the
+    /// full resilience story: pushes travel under CRC32 seals and transient
+    /// corruption (per the plan) is retried with exponential backoff; a push
+    /// toward a dropped device times out and triggers proxy failover with
+    /// routing-table repair over the survivors; if the whole proxy tier is
+    /// lost, synchronization degrades gracefully to GPU-only allreduce.
+    ///
+    /// `now` is the simulated instant of the round (fault windows are
+    /// evaluated against it); `topo` is the fabric used for routing repair.
+    /// Returns the averaged tensors (exact elementwise mean, same guarantee
+    /// as [`synchronize`](Self::synchronize)) plus the fault report. With an
+    /// empty plan this is exactly `synchronize` plus a clean report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker counts mismatch or tensor sets differ.
+    pub fn synchronize_resilient(
+        &mut self,
+        gradients: &[Vec<Tensor>],
+        topo: &Topology,
+        plan: &FaultPlan,
+        now: SimTime,
+        policy: &ResiliencePolicy,
+    ) -> (Vec<Vec<Tensor>>, SyncFaultReport) {
+        let mut report = SyncFaultReport::default();
+        if plan.is_empty() {
+            return (self.synchronize(gradients), report);
+        }
+        assert_eq!(
+            gradients.len(),
+            self.clients.len(),
+            "one gradient set per worker"
+        );
+        let tensor_meta: Vec<(TensorId, usize)> =
+            gradients[0].iter().map(|t| (t.id(), t.len())).collect();
+        for set in gradients {
+            let meta: Vec<(TensorId, usize)> = set.iter().map(|t| (t.id(), t.len())).collect();
+            assert_eq!(meta, tensor_meta, "workers must push identical tensor sets");
+        }
+
+        // Deterministic per-transfer sequence number: keys the plan's
+        // corruption hash so each retransmission draws a fresh outcome.
+        let mut transfer_seq: u64 = 0;
+        'round: loop {
+            // Detect proxies that dropped before this round (timeout each).
+            let downs: Vec<DeviceId> = self
+                .proxies
+                .iter()
+                .map(|p| p.device())
+                .filter(|d| plan.device_down(d.index() as u32, now))
+                .collect();
+            if !downs.is_empty() {
+                for d in downs {
+                    self.fail_proxy(d);
+                    report.failovers += 1;
+                    report.recovery_time += policy.detect_timeout;
+                }
+                if !self.proxies.is_empty() {
+                    self.reprofile(topo, now);
+                }
+            }
+            if self.proxies.is_empty() {
+                // Proxy tier lost: degrade to GPU-only synchronization.
+                report.degraded_to_gpu = true;
+                for c in &mut self.clients {
+                    c.reset_pending();
+                }
+                return (gpu_only_mean(gradients), report);
+            }
+
+            // Push phase, resilient: every shard travels sealed; transient
+            // corruption is retried with backoff; a dead destination aborts
+            // and restarts the round after failover.
+            for (w, set) in gradients.iter().enumerate() {
+                for tensor in set {
+                    self.clients[w].push(tensor);
+                }
+                while let Some(req) = self.clients[w].dequeue() {
+                    if plan.device_down(req.proxy.index() as u32, now) {
+                        // Push timed out: fail the proxy over, repair the
+                        // routing tables, and restart the round cleanly.
+                        report.failovers += 1;
+                        report.recovery_time += policy.detect_timeout;
+                        self.fail_proxy(req.proxy);
+                        if !self.proxies.is_empty() {
+                            self.reprofile(topo, now);
+                        }
+                        for p in &mut self.proxies {
+                            p.discard_pending();
+                        }
+                        for c in &mut self.clients {
+                            c.reset_pending();
+                        }
+                        continue 'round;
+                    }
+                    let pi = self.proxy_index[&req.proxy];
+                    let mut attempt = 0u32;
+                    loop {
+                        transfer_seq += 1;
+                        let mut sealed = SealedShard::seal(req.shard.clone());
+                        if attempt < MAX_PUSH_ATTEMPTS
+                            && plan.corrupts(req.proxy.index() as u32, now, transfer_seq)
+                        {
+                            // Model in-flight corruption: flip a mantissa bit
+                            // after sealing so the CRC32 check fails.
+                            if let Some(x) = sealed.shard_mut().data.first_mut() {
+                                *x = f32::from_bits(x.to_bits() ^ 1);
+                            }
+                        }
+                        match self.proxies[pi].enqueue_sealed(
+                            w,
+                            sealed,
+                            req.shard_count,
+                            req.tensor_len,
+                        ) {
+                            Ok(()) => break,
+                            Err(_) => {
+                                report.retries += 1;
+                                report.rejected_shards += 1;
+                                report.recovery_time += policy.backoff_after(attempt);
+                                attempt += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        (self.reduce_and_pull(&tensor_meta), report)
     }
 
     /// The stored value of a tensor on the first memory device's storage,
@@ -289,6 +462,31 @@ impl CoarseSystem {
             p.store_mut().restore(s);
         }
     }
+}
+
+/// The elementwise mean of every worker's gradients, computed GPU-side —
+/// the graceful-degradation fallback when the proxy tier is lost. Every
+/// worker receives the same (exact) mean, matching the proxy path's
+/// guarantee.
+fn gpu_only_mean(gradients: &[Vec<Tensor>]) -> Vec<Vec<Tensor>> {
+    let workers = gradients.len() as f32;
+    let means: Vec<Tensor> = gradients[0]
+        .iter()
+        .enumerate()
+        .map(|(i, t0)| {
+            let mut acc = vec![0.0f32; t0.len()];
+            for set in gradients {
+                for (a, b) in acc.iter_mut().zip(set[i].data()) {
+                    *a += *b;
+                }
+            }
+            for x in &mut acc {
+                *x /= workers;
+            }
+            Tensor::new(t0.id(), acc)
+        })
+        .collect();
+    gradients.iter().map(|_| means.clone()).collect()
 }
 
 #[cfg(test)]
@@ -456,6 +654,127 @@ mod tests {
             ),
             Some(0)
         );
+    }
+
+    #[test]
+    fn resilient_sync_with_empty_plan_matches_plain() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let grads = gradient_sets(part.workers.len(), &[64, 5_000]);
+        let mut plain = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let want = plain.synchronize(&grads);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let (got, report) = sys.synchronize_resilient(
+            &grads,
+            machine.topology(),
+            &coarse_simcore::faults::FaultPlan::empty(),
+            SimTime::ZERO,
+            &ResiliencePolicy::default(),
+        );
+        assert_eq!(got, want, "empty plan must be bit-identical");
+        assert!(report.is_clean());
+        assert_eq!(
+            report.recovery_time,
+            coarse_simcore::time::SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn proxy_dropout_fails_over_and_still_produces_exact_mean() {
+        let machine = aws_v100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let victim = part.mem_devices[1];
+        let plan = coarse_simcore::faults::FaultPlan::new(3)
+            .drop_device(victim.index() as u32, SimTime::from_nanos(10));
+        let grads = gradient_sets(part.workers.len(), &[64, 5_000, 1_000_000]);
+        let (results, report) = sys.synchronize_resilient(
+            &grads,
+            machine.topology(),
+            &plan,
+            SimTime::from_nanos(100),
+            &ResiliencePolicy::default(),
+        );
+        assert_eq!(report.failovers, 1);
+        assert!(!report.degraded_to_gpu);
+        assert!(report.recovery_time > coarse_simcore::time::SimDuration::ZERO);
+        assert_eq!(sys.proxy_count(), part.mem_devices.len() - 1);
+        assert!(!sys.proxy_devices().contains(&victim));
+        let expect = expected_mean(&grads);
+        for per_worker in &results {
+            for (got, want) in per_worker.iter().zip(&expect) {
+                for (a, b) in got.data().iter().zip(want.data()) {
+                    assert!((a - b).abs() < 1e-4, "mismatch after failover: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losing_every_proxy_degrades_to_gpu_only() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let mut plan = coarse_simcore::faults::FaultPlan::new(4);
+        for d in &part.mem_devices {
+            plan = plan.drop_device(d.index() as u32, SimTime::ZERO);
+        }
+        let grads = gradient_sets(part.workers.len(), &[2048]);
+        let (results, report) = sys.synchronize_resilient(
+            &grads,
+            machine.topology(),
+            &plan,
+            SimTime::from_nanos(5),
+            &ResiliencePolicy::default(),
+        );
+        assert!(report.degraded_to_gpu);
+        assert_eq!(report.failovers as usize, part.mem_devices.len());
+        assert_eq!(sys.proxy_count(), 0);
+        let expect = expected_mean(&grads);
+        for per_worker in &results {
+            assert_eq!(per_worker[0].data(), expect[0].data());
+        }
+    }
+
+    #[test]
+    fn transient_corruption_retries_until_clean_and_preserves_mean() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let mut plan = coarse_simcore::faults::FaultPlan::new(11);
+        for d in &part.mem_devices {
+            plan = plan.corrupt_transfers(d.index() as u32, SimTime::ZERO, SimTime::MAX, 400_000);
+        }
+        let grads = gradient_sets(part.workers.len(), &[64, 900_000]);
+        let (results, report) = sys.synchronize_resilient(
+            &grads,
+            machine.topology(),
+            &plan,
+            SimTime::from_nanos(50),
+            &ResiliencePolicy::default(),
+        );
+        assert!(report.retries > 0, "40% corruption must force retries");
+        assert_eq!(report.retries, report.rejected_shards);
+        assert!(report.recovery_time > coarse_simcore::time::SimDuration::ZERO);
+        assert_eq!(report.failovers, 0);
+        let expect = expected_mean(&grads);
+        for per_worker in &results {
+            for (got, want) in per_worker.iter().zip(&expect) {
+                for (a, b) in got.data().iter().zip(want.data()) {
+                    assert!((a - b).abs() < 1e-4);
+                }
+            }
+        }
+        // Same seed, fresh system: byte-identical fault report.
+        let mut sys2 = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let (_, report2) = sys2.synchronize_resilient(
+            &grads,
+            machine.topology(),
+            &plan,
+            SimTime::from_nanos(50),
+            &ResiliencePolicy::default(),
+        );
+        assert_eq!(report, report2, "faulty runs must be deterministic");
     }
 
     #[test]

@@ -7,7 +7,15 @@
 //! total latency on top of serialization. When the topology has peer-to-peer
 //! disabled, endpoint-to-endpoint transfers are staged through the host CPU
 //! as two back-to-back transfers (the paper's "GPU Indirect" path).
+//!
+//! An attached [`FaultPlan`] injects fabric faults at simulated time:
+//! degraded links stretch their serialization window, flapped links are
+//! routed around (or surface [`TransferError::NoRoute`] when no detour
+//! exists), and transfers touching a dropped device fail with
+//! [`TransferError::DeviceDown`]. With no plan attached — or an empty one —
+//! every code path is byte-identical to the fault-free engine.
 
+use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{metered, name as metric, MetricRegistry};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
@@ -57,6 +65,12 @@ pub enum TransferError {
         /// Transfer destination.
         dst: DeviceId,
     },
+    /// A transfer endpoint has dropped out of the fabric (injected by the
+    /// attached [`FaultPlan`]).
+    DeviceDown {
+        /// The dropped endpoint.
+        device: DeviceId,
+    },
 }
 
 impl std::fmt::Display for TransferError {
@@ -64,6 +78,9 @@ impl std::fmt::Display for TransferError {
         match self {
             TransferError::NoRoute { src, dst } => {
                 write!(f, "no route from {src} to {dst}")
+            }
+            TransferError::DeviceDown { device } => {
+                write!(f, "device {device} has dropped out of the fabric")
             }
         }
     }
@@ -81,6 +98,8 @@ pub struct TransferEngine {
     tracer: Option<SharedTracer>,
     /// Optional metric sink; `None` means metrics are off (the default).
     metrics: Option<MetricRegistry>,
+    /// Optional fault schedule; `None` means the fabric is healthy.
+    faults: Option<FaultPlan>,
     /// Interned trace track per directed link (lazily populated).
     link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
 }
@@ -97,6 +116,7 @@ impl TransferEngine {
             schedules,
             tracer: None,
             metrics: None,
+            faults: None,
             link_tracks,
         }
     }
@@ -129,6 +149,18 @@ impl TransferEngine {
     /// publish into the same registry.
     pub fn metrics(&self) -> Option<&MetricRegistry> {
         metered(&self.metrics)
+    }
+
+    /// Attaches a fault schedule: subsequent transfers consult it at their
+    /// arrival instant. Attaching an empty plan is equivalent to attaching
+    /// none — timings stay byte-identical to the healthy fabric.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault schedule, if one is active (non-empty).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| !p.is_empty())
     }
 
     /// The trace track for a directed link, named
@@ -186,6 +218,13 @@ impl TransferEngine {
         arrival: SimTime,
         allow: impl Fn(&Link) -> bool + Copy,
     ) -> Result<TransferRecord, TransferError> {
+        if let Some(plan) = self.fault_plan() {
+            for device in [src, dst] {
+                if plan.device_down(device.index() as u32, arrival) {
+                    return Err(TransferError::DeviceDown { device });
+                }
+            }
+        }
         if src == dst {
             return Ok(TransferRecord {
                 start: arrival,
@@ -238,10 +277,16 @@ impl TransferEngine {
         arrival: SimTime,
         allow: impl Fn(&Link) -> bool,
     ) -> Result<TransferRecord, TransferError> {
-        let route = self
-            .topo
-            .route_filtered(src, dst, &allow)
-            .ok_or(TransferError::NoRoute { src, dst })?;
+        // Flapped links are excluded from routing, so the engine re-routes
+        // around an outage when a detour exists and reports `NoRoute` when
+        // the endpoints are genuinely cut off.
+        let route = match self.fault_plan() {
+            Some(plan) => self.topo.route_filtered(src, dst, |l| {
+                allow(l) && !plan.link_down(l.src().index() as u32, l.dst().index() as u32, arrival)
+            }),
+            None => self.topo.route_filtered(src, dst, &allow),
+        }
+        .ok_or(TransferError::NoRoute { src, dst })?;
         Ok(self.transfer_on_route(&route, size, arrival))
     }
 
@@ -265,11 +310,31 @@ impl TransferEngine {
             };
         }
         // Bottleneck serialization: the slowest hop paces the cut-through
-        // pipeline; every hop is occupied for that window.
+        // pipeline; every hop is occupied for that window. A degraded link
+        // stretches its serialization time by the plan's factor.
+        let plan = self.faults.as_ref().filter(|p| !p.is_empty());
         let occupancy = route
             .links()
             .iter()
-            .map(|&l| self.topo.link(l).model().serialization_time(size))
+            .map(|&l| {
+                let link = self.topo.link(l);
+                let base = link.model().serialization_time(size);
+                match plan {
+                    Some(p) => {
+                        let factor = p.degradation(
+                            link.src().index() as u32,
+                            link.dst().index() as u32,
+                            arrival,
+                        );
+                        if factor != 1.0 {
+                            base.mul_f64(factor)
+                        } else {
+                            base
+                        }
+                    }
+                    None => base,
+                }
+            })
             .max()
             .expect("non-empty route");
         let start = route
@@ -566,6 +631,83 @@ mod tests {
         // Staging decomposes into two route transfers.
         assert_eq!(snap.counter(metric::FABRIC_TRANSFERS), 2);
         assert_eq!(snap.counter(metric::FABRIC_BYTES), 2000);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        let (t, g0, g1, _) = topo();
+        let mut plain = TransferEngine::new(t.clone());
+        let healthy = plain
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let mut e = TransferEngine::new(t);
+        e.set_fault_plan(FaultPlan::empty());
+        let faulted = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(healthy, faulted, "empty plan must perturb nothing");
+        assert!(e.fault_plan().is_none(), "empty plan reads as no plan");
+    }
+
+    #[test]
+    fn degraded_link_stretches_serialization() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        // g0 has index 0, sw index 2; degrade g0-sw 3x for the first 10 µs.
+        e.set_fault_plan(FaultPlan::new(1).degrade_link(
+            0,
+            2,
+            SimTime::ZERO,
+            SimTime::from_nanos(10_000),
+            3.0,
+        ));
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        // Bottleneck hop now serializes in 3000ns; + 2 × 10ns latency.
+        assert_eq!(r.end, SimTime::from_nanos(3020));
+        // After the window the link is healthy again.
+        let later = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::from_nanos(10_000))
+            .unwrap();
+        assert_eq!(later.end - later.start, SimDuration::from_nanos(1020));
+    }
+
+    #[test]
+    fn flapped_link_cuts_route_until_window_ends() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        // Only path is g0-sw-g1; flapping g0-sw (indices 0, 2) severs it.
+        e.set_fault_plan(FaultPlan::new(1).flap_link(
+            0,
+            2,
+            SimTime::ZERO,
+            SimTime::from_nanos(5_000),
+        ));
+        let err = e
+            .transfer(g0, g1, ByteSize::bytes(1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, TransferError::NoRoute { src: g0, dst: g1 });
+        // The flap heals and transfers resume.
+        let r = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::from_nanos(5_000))
+            .unwrap();
+        assert_eq!(r.end - r.start, SimDuration::from_nanos(1020));
+    }
+
+    #[test]
+    fn dropped_device_rejects_transfers() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        // g1 has index 1; it drops out at 2 µs.
+        e.set_fault_plan(FaultPlan::new(1).drop_device(1, SimTime::from_nanos(2_000)));
+        assert!(e
+            .transfer(g0, g1, ByteSize::bytes(1), SimTime::ZERO)
+            .is_ok());
+        let err = e
+            .transfer(g0, g1, ByteSize::bytes(1), SimTime::from_nanos(2_000))
+            .unwrap_err();
+        assert_eq!(err, TransferError::DeviceDown { device: g1 });
     }
 
     #[test]

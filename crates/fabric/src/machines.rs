@@ -401,61 +401,230 @@ fn build_pcie_node(
     gpus
 }
 
+/// Consolidated machine construction: every preset below is a parameter
+/// set over this one builder, so custom fabrics (different switch counts,
+/// bandwidths, cluster sizes) are built the same way — and in the same
+/// device-creation order, which keeps [`DeviceId`]s stable across variants
+/// of the same shape (the basis of routing-table re-profiling, §III-E).
+///
+/// ```
+/// use coarse_fabric::machines::{GpuSku, MachineBuilder};
+///
+/// let m = MachineBuilder::new("lab rig", GpuSku::V100)
+///     .switches(2)
+///     .uplink_gib(11.0)
+///     .hairpin_gib(6.0)
+///     .build();
+/// assert_eq!(m.gpus().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    sku: GpuSku,
+    nodes: u32,
+    switches: usize,
+    gpus_per_switch: usize,
+    gpu_link: BandwidthModel,
+    uplink: BandwidthModel,
+    hairpin: Option<BandwidthModel>,
+    hop_latency: SimDuration,
+    nvlink: bool,
+    /// Cluster mode: give every node a NIC (and join nodes through a
+    /// network switch when there is more than one).
+    nics: bool,
+    p2p: bool,
+}
+
+impl MachineBuilder {
+    /// A builder with the V100-class defaults: one node, four switches of
+    /// two GPUs, 13 GiB/s device slots, 9 GiB/s uplinks, no hairpin, no
+    /// NVLink, peer-to-peer enabled.
+    pub fn new(name: &str, sku: GpuSku) -> MachineBuilder {
+        MachineBuilder {
+            name: name.to_string(),
+            sku,
+            nodes: 1,
+            switches: 4,
+            gpus_per_switch: 2,
+            gpu_link: pcie(13.0),
+            uplink: pcie(9.0),
+            hairpin: None,
+            hop_latency: us(1),
+            nvlink: false,
+            nics: false,
+            p2p: true,
+        }
+    }
+
+    /// The builder behind a named preset (see [`MachineBuilder::presets`]),
+    /// ready for further overrides before [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known preset.
+    pub fn preset(name: &str) -> MachineBuilder {
+        match name {
+            "aws_t4" => MachineBuilder::new("AWS T4", GpuSku::T4)
+                .gpu_link_gib(6.0) // T4 sits on a PCIe x8-equivalent slot
+                .uplink_gib(12.0)
+                .hop_latency(us(2))
+                .p2p(false),
+            "sdsc_p100" => MachineBuilder::new("SDSC P100", GpuSku::P100)
+                .switches(2)
+                .uplink_gib(10.0)
+                .hairpin_gib(13.0), // full x16 hairpin: locality preserved
+            "aws_v100" => MachineBuilder::new("AWS V100", GpuSku::V100)
+                .hairpin_gib(5.0) // unbalanced switch signal paths
+                .nvlink(true),
+            other => panic!(
+                "unknown machine preset {other:?}; known presets: {}",
+                MachineBuilder::presets().join(", ")
+            ),
+        }
+    }
+
+    /// Names accepted by [`MachineBuilder::preset`].
+    pub fn presets() -> Vec<&'static str> {
+        vec!["aws_t4", "sdsc_p100", "aws_v100"]
+    }
+
+    /// Number of PCIe switches per node.
+    pub fn switches(mut self, switches: usize) -> MachineBuilder {
+        self.switches = switches;
+        self
+    }
+
+    /// GPUs under each switch.
+    pub fn gpus_per_switch(mut self, gpus: usize) -> MachineBuilder {
+        self.gpus_per_switch = gpus;
+        self
+    }
+
+    /// GPU slot bandwidth (GiB/s per direction).
+    pub fn gpu_link_gib(mut self, gib: f64) -> MachineBuilder {
+        self.gpu_link = pcie(gib);
+        self
+    }
+
+    /// Switch-to-CPU uplink bandwidth (GiB/s per direction).
+    pub fn uplink_gib(mut self, gib: f64) -> MachineBuilder {
+        self.uplink = pcie(gib);
+        self
+    }
+
+    /// Adds a dedicated same-switch peer (hairpin) path at `gib` GiB/s per
+    /// direction — below the uplink path this models the V100's measured
+    /// anti-locality (Fig. 8a), above it the P100's normal locality.
+    pub fn hairpin_gib(mut self, gib: f64) -> MachineBuilder {
+        self.hairpin = Some(hairpin(gib));
+        self
+    }
+
+    /// Per-hop PCIe latency.
+    pub fn hop_latency(mut self, latency: SimDuration) -> MachineBuilder {
+        self.hop_latency = latency;
+        self
+    }
+
+    /// Adds the DGX-1 NVLink cube mesh over each node's GPUs.
+    pub fn nvlink(mut self, nvlink: bool) -> MachineBuilder {
+        self.nvlink = nvlink;
+        self
+    }
+
+    /// Whether the PCIe tree supports GPU peer-to-peer (default true).
+    pub fn p2p(mut self, p2p: bool) -> MachineBuilder {
+        self.p2p = p2p;
+        self
+    }
+
+    /// Cluster mode: replicate the node `nodes` times, give every node a
+    /// NIC, and join the NICs through a 25 Gbit/s network switch when
+    /// `nodes > 1` (§V-D's multi-node evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn cluster(mut self, nodes: u32) -> MachineBuilder {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        self.nodes = nodes;
+        self.nics = true;
+        self
+    }
+
+    /// Builds the machine. Device creation order is fixed — per node: CPU,
+    /// then per switch the switch device followed by its GPUs, then the
+    /// node's NIC (cluster mode only); the network switch, when present,
+    /// comes last.
+    pub fn build(self) -> Machine {
+        let mut topo = Topology::new();
+        let mut gpus = Vec::new();
+        let mut nics = Vec::new();
+        for node in 0..self.nodes {
+            let node_gpus = build_pcie_node(
+                &mut topo,
+                node,
+                self.switches,
+                self.gpus_per_switch,
+                self.gpu_link,
+                self.uplink,
+                self.hairpin,
+                self.hop_latency,
+            );
+            if self.nvlink {
+                add_nvlink_mesh(&mut topo, &node_gpus);
+            }
+            gpus.extend_from_slice(&node_gpus);
+            if self.nics {
+                let nic = topo.add_device(DeviceKind::Nic, format!("n{node}-nic"), node);
+                let cpu = topo.host_cpu(node);
+                topo.add_duplex(nic, cpu, pcie(12.0), us(1), LinkClass::Pcie);
+                nics.push(nic);
+            }
+        }
+        if self.nodes > 1 {
+            // A network switch joining all NICs at 25 Gbit/s per port.
+            let net = BandwidthModel::Saturating {
+                peak: Bandwidth::gbit_per_sec(25.0),
+                half_size: coarse_simcore::units::ByteSize::kib(256),
+            };
+            let netsw = topo.add_device(DeviceKind::Switch, "net-switch", 0);
+            for &nic in &nics {
+                topo.add_duplex(nic, netsw, net, us(15), LinkClass::Network);
+            }
+        }
+        if !self.p2p {
+            topo.set_p2p(false);
+        }
+        Machine {
+            name: self.name,
+            topo,
+            gpus,
+            sku: self.sku,
+            nodes: self.nodes,
+            gpus_per_switch: self.gpus_per_switch,
+        }
+    }
+}
+
 /// AWS instance with 8× T4: PCIe only, **no GPU peer-to-peer**, uniform
 /// bandwidth (every GPU-to-GPU path is staged through the CPU).
 pub fn aws_t4() -> Machine {
-    let mut topo = Topology::new();
-    let gpus = build_pcie_node(
-        &mut topo,
-        0,
-        4,
-        2,
-        pcie(6.0),  // T4 sits on a PCIe x8-equivalent slot
-        pcie(12.0), // switch uplink
-        None,
-        us(2),
-    );
-    topo.set_p2p(false);
-    Machine {
-        name: "AWS T4".to_string(),
-        topo,
-        gpus,
-        sku: GpuSku::T4,
-        nodes: 1,
-        gpus_per_switch: 2,
-    }
+    MachineBuilder::preset("aws_t4").build()
 }
 
 /// SDSC instance with 4× P100: PCIe with normal locality — same-switch
 /// bandwidth (13 GiB/s per direction, ≈25 GiB/s bidirectional, §III-E)
 /// exceeds the cross-switch path (10 GiB/s uplink bottleneck).
 pub fn sdsc_p100() -> Machine {
-    let mut topo = Topology::new();
-    let gpus = build_pcie_node(
-        &mut topo,
-        0,
-        2,
-        2,
-        pcie(13.0),
-        pcie(10.0),
-        Some(hairpin(13.0)), // local hairpin at full x16: locality preserved
-        us(1),
-    );
-    Machine {
-        name: "SDSC P100".to_string(),
-        topo,
-        gpus,
-        sku: GpuSku::P100,
-        nodes: 1,
-        gpus_per_switch: 2,
-    }
+    MachineBuilder::preset("sdsc_p100").build()
 }
 
 /// AWS p3-class instance with 8× V100: PCIe shows **anti-locality** (local
 /// hairpin 5 GiB/s per direction vs 9 GiB/s through the CPU path, Fig. 8a)
 /// and the GPUs are additionally joined by the DGX-1 NVLink cube mesh.
 pub fn aws_v100() -> Machine {
-    aws_v100_custom(5.0, 9.0)
+    MachineBuilder::preset("aws_v100").build()
 }
 
 /// The V100 machine with custom hairpin and uplink bandwidths (GiB/s per
@@ -469,26 +638,10 @@ pub fn aws_v100() -> Machine {
 ///
 /// Panics if either bandwidth is not positive.
 pub fn aws_v100_custom(local_hairpin_gib: f64, uplink_gib: f64) -> Machine {
-    let mut topo = Topology::new();
-    let gpus = build_pcie_node(
-        &mut topo,
-        0,
-        4,
-        2,
-        pcie(13.0),
-        pcie(uplink_gib),
-        Some(hairpin(local_hairpin_gib)), // unbalanced switch signal paths
-        us(1),
-    );
-    add_nvlink_mesh(&mut topo, &gpus);
-    Machine {
-        name: "AWS V100".to_string(),
-        topo,
-        gpus,
-        sku: GpuSku::V100,
-        nodes: 1,
-        gpus_per_switch: 2,
-    }
+    MachineBuilder::preset("aws_v100")
+        .hairpin_gib(local_hairpin_gib)
+        .uplink_gib(uplink_gib)
+        .build()
 }
 
 fn add_nvlink_mesh(topo: &mut Topology, gpus: &[DeviceId]) {
@@ -516,51 +669,14 @@ fn add_nvlink_mesh(topo: &mut Topology, gpus: &[DeviceId]) {
 ///
 /// Panics if `nodes` is zero.
 pub fn aws_v100_cluster(nodes: u32) -> Machine {
-    assert!(nodes >= 1, "cluster needs at least one node");
-    let mut topo = Topology::new();
-    let mut gpus = Vec::new();
-    let mut nics = Vec::new();
-    for node in 0..nodes {
-        let node_gpus = build_pcie_node(
-            &mut topo,
-            node,
-            4,
-            2,
-            pcie(13.0),
-            pcie(9.0),
-            Some(hairpin(5.0)),
-            us(1),
-        );
-        add_nvlink_mesh(&mut topo, &node_gpus);
-        gpus.extend_from_slice(&node_gpus);
-        let nic = topo.add_device(DeviceKind::Nic, format!("n{node}-nic"), node);
-        let cpu = topo.host_cpu(node);
-        topo.add_duplex(nic, cpu, pcie(12.0), us(1), LinkClass::Pcie);
-        nics.push(nic);
-    }
-    if nodes > 1 {
-        // A network switch joining all NICs at 25 Gbit/s per port.
-        let net = BandwidthModel::Saturating {
-            peak: Bandwidth::gbit_per_sec(25.0),
-            half_size: coarse_simcore::units::ByteSize::kib(256),
-        };
-        let netsw = topo.add_device(DeviceKind::Switch, "net-switch", 0);
-        for &nic in &nics {
-            topo.add_duplex(nic, netsw, net, us(15), LinkClass::Network);
-        }
-    }
-    Machine {
-        name: if nodes == 1 {
-            "AWS V100".to_string()
-        } else {
-            format!("AWS V100 x{nodes}")
-        },
-        topo,
-        gpus,
-        sku: GpuSku::V100,
-        nodes,
-        gpus_per_switch: 2,
-    }
+    let name = if nodes == 1 {
+        "AWS V100".to_string()
+    } else {
+        format!("AWS V100 x{nodes}")
+    };
+    let mut b = MachineBuilder::preset("aws_v100").cluster(nodes);
+    b.name = name;
+    b.build()
 }
 
 /// All three Table I machines, in the paper's order.
@@ -705,6 +821,59 @@ mod tests {
             bw < 3.2,
             "cross-node must bottleneck on the 25 Gbit NIC, got {bw} GB/s"
         );
+    }
+
+    #[test]
+    fn builder_presets_match_free_functions() {
+        for (preset, reference) in [
+            ("aws_t4", aws_t4()),
+            ("sdsc_p100", sdsc_p100()),
+            ("aws_v100", aws_v100()),
+        ] {
+            let built = MachineBuilder::preset(preset).build();
+            assert_eq!(built.name(), reference.name());
+            assert_eq!(built.gpus(), reference.gpus());
+            assert_eq!(built.sku(), reference.sku());
+            assert_eq!(
+                built.topology().p2p_enabled(),
+                reference.topology().p2p_enabled()
+            );
+            assert_eq!(
+                built.topology().links().count(),
+                reference.topology().links().count(),
+                "{preset}: link sets must match"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_customization_changes_shape() {
+        let m = MachineBuilder::new("lab", GpuSku::P100)
+            .switches(3)
+            .gpus_per_switch(2)
+            .uplink_gib(11.0)
+            .build();
+        assert_eq!(m.gpus().len(), 6);
+        assert_eq!(m.name(), "lab");
+        assert_eq!(m.nodes(), 1);
+    }
+
+    #[test]
+    fn builder_cluster_matches_free_function() {
+        let built = MachineBuilder::preset("aws_v100").cluster(2).build();
+        let reference = aws_v100_cluster(2);
+        assert_eq!(built.gpus(), reference.gpus());
+        assert_eq!(
+            built.topology().links().count(),
+            reference.topology().links().count()
+        );
+        assert_eq!(reference.name(), "AWS V100 x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine preset")]
+    fn builder_unknown_preset_panics() {
+        let _ = MachineBuilder::preset("cray-1");
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! Deterministic, schedule-driven fault injection.
+//!
+//! A [`FaultPlan`] is a declarative schedule of fabric and device faults —
+//! link bandwidth degradation, link flaps, memory-device dropout, proxy
+//! stalls, and transient (CRC-detectable) transfer corruption — that the
+//! fabric engine and the COARSE runtime consult at simulated time. The plan
+//! is pure data: *injecting* a fault is just answering a query about the
+//! schedule, so runs are byte-deterministic under a fixed seed, and an empty
+//! plan is guaranteed to perturb nothing (every consumer fast-paths on
+//! [`FaultPlan::is_empty`]).
+//!
+//! Fault schedules address fabric nodes by their opaque [`NodeIndex`] (the
+//! device's creation index) rather than by `fabric`'s typed ids, because
+//! `simcore` sits below `fabric` in the crate DAG.
+//!
+//! Transient corruption is decided by a keyed hash of
+//! `(seed, device, time, sequence)` — no RNG state is consumed at query
+//! time, so interleaving fault queries with other seeded draws cannot shift
+//! downstream randomness.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque fabric node index used by fault schedules. Equals the fabric
+/// device's creation index (`DeviceId::index()` narrowed to `u32`).
+pub type NodeIndex = u32;
+
+/// A scheduled bandwidth degradation on the undirected link `a`–`b`:
+/// serialization time is multiplied by `factor` while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegrade {
+    /// One endpoint of the degraded link.
+    pub a: NodeIndex,
+    /// The other endpoint.
+    pub b: NodeIndex,
+    /// Start of the degradation window (inclusive).
+    pub from: SimTime,
+    /// End of the degradation window (exclusive).
+    pub until: SimTime,
+    /// Serialization-time multiplier (`>= 1.0` slows the link down).
+    pub factor: f64,
+}
+
+/// A scheduled flap: the undirected link `a`–`b` is down for the window, and
+/// the engine routes around it (or fails with `NoRoute` if it cannot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// One endpoint of the flapping link.
+    pub a: NodeIndex,
+    /// The other endpoint.
+    pub b: NodeIndex,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+/// A permanent memory-device dropout: from `at` onward the device accepts no
+/// transfers and its proxy is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceDropout {
+    /// The dropped device.
+    pub device: NodeIndex,
+    /// Instant of the dropout (inclusive; permanent).
+    pub at: SimTime,
+}
+
+/// A scheduled proxy slowdown: while active, every service at `device`
+/// incurs `extra` additional latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyStall {
+    /// The stalled device.
+    pub device: NodeIndex,
+    /// Start of the stall window (inclusive).
+    pub from: SimTime,
+    /// End of the stall window (exclusive).
+    pub until: SimTime,
+    /// Extra latency added per service while stalled.
+    pub extra: SimDuration,
+}
+
+/// A window of transient transfer corruption at `device`: each transfer is
+/// independently corrupted with probability `rate_ppm` parts-per-million,
+/// decided by a deterministic keyed hash (see [`FaultPlan::corrupts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientFaults {
+    /// The faulty device.
+    pub device: NodeIndex,
+    /// Start of the faulty window (inclusive).
+    pub from: SimTime,
+    /// End of the faulty window (exclusive).
+    pub until: SimTime,
+    /// Corruption probability in parts-per-million (1_000_000 = always).
+    pub rate_ppm: u32,
+}
+
+/// One scheduled fault occurrence, for trace/report rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// Human-readable description (stable across runs).
+    pub label: String,
+}
+
+/// A seeded, schedule-driven fault plan.
+///
+/// Build one with the consuming setters, or with the `seeded_*`
+/// constructors that derive a concrete schedule from a seed:
+///
+/// ```
+/// use coarse_simcore::faults::FaultPlan;
+/// use coarse_simcore::time::{SimDuration, SimTime};
+///
+/// let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// let plan = FaultPlan::new(42)
+///     .degrade_link(3, 4, t(1), t(5), 4.0)
+///     .drop_device(7, t(2));
+/// assert!(!plan.is_empty());
+/// assert_eq!(plan.degradation(4, 3, t(2)), 4.0); // undirected
+/// assert!(plan.device_down(7, t(3)));
+/// assert!(!plan.device_down(7, t(1)));
+/// assert!(FaultPlan::empty().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    degrades: Vec<LinkDegrade>,
+    flaps: Vec<LinkFlap>,
+    dropouts: Vec<DeviceDropout>,
+    stalls: Vec<ProxyStall>,
+    transients: Vec<TransientFaults>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults and the given seed (the seed keys transient
+    /// corruption decisions and any `seeded_*` derivation).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The canonical zero-fault plan. Consumers must treat it exactly like
+    /// "no plan attached": it perturbs nothing, byte-for-byte.
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.degrades.is_empty()
+            && self.flaps.is_empty()
+            && self.dropouts.is_empty()
+            && self.stalls.is_empty()
+            && self.transients.is_empty()
+    }
+
+    /// Total number of scheduled fault entries.
+    pub fn len(&self) -> usize {
+        self.degrades.len()
+            + self.flaps.len()
+            + self.dropouts.len()
+            + self.stalls.len()
+            + self.transients.len()
+    }
+
+    /// Schedules a bandwidth degradation on the undirected link `a`–`b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` (a degradation cannot speed a link up) or
+    /// the window is empty.
+    pub fn degrade_link(
+        mut self,
+        a: NodeIndex,
+        b: NodeIndex,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultPlan {
+        assert!(factor >= 1.0, "degradation factor must be >= 1.0");
+        assert!(from < until, "degradation window must be non-empty");
+        self.degrades.push(LinkDegrade {
+            a,
+            b,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Schedules an outage of the undirected link `a`–`b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn flap_link(mut self, a: NodeIndex, b: NodeIndex, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "flap window must be non-empty");
+        self.flaps.push(LinkFlap { a, b, from, until });
+        self
+    }
+
+    /// Schedules a permanent dropout of `device` at `at`.
+    pub fn drop_device(mut self, device: NodeIndex, at: SimTime) -> FaultPlan {
+        self.dropouts.push(DeviceDropout { device, at });
+        self
+    }
+
+    /// Schedules a proxy stall: `extra` latency per service at `device`
+    /// during the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn stall_device(
+        mut self,
+        device: NodeIndex,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    ) -> FaultPlan {
+        assert!(from < until, "stall window must be non-empty");
+        self.stalls.push(ProxyStall {
+            device,
+            from,
+            until,
+            extra,
+        });
+        self
+    }
+
+    /// Schedules a window of transient transfer corruption at `device` with
+    /// probability `rate_ppm` parts-per-million per transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `rate_ppm > 1_000_000`.
+    pub fn corrupt_transfers(
+        mut self,
+        device: NodeIndex,
+        from: SimTime,
+        until: SimTime,
+        rate_ppm: u32,
+    ) -> FaultPlan {
+        assert!(from < until, "corruption window must be non-empty");
+        assert!(rate_ppm <= 1_000_000, "rate is parts-per-million");
+        self.transients.push(TransientFaults {
+            device,
+            from,
+            until,
+            rate_ppm,
+        });
+        self
+    }
+
+    /// Derives a single-device dropout plan from `seed`: one of `candidates`
+    /// drops out at a seeded instant in `[earliest, latest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or the window is empty.
+    pub fn seeded_dropout(
+        seed: u64,
+        candidates: &[NodeIndex],
+        earliest: SimTime,
+        latest: SimTime,
+    ) -> FaultPlan {
+        assert!(!candidates.is_empty(), "need at least one candidate device");
+        assert!(earliest < latest, "dropout window must be non-empty");
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0064_726f_706f_7574); // "dropout"
+        let victim = candidates[rng.next_below(candidates.len() as u64) as usize];
+        let at = SimTime::from_nanos(
+            rng.range_inclusive(earliest.as_nanos(), latest.as_nanos().saturating_sub(1)),
+        );
+        FaultPlan::new(seed).drop_device(victim, at)
+    }
+
+    /// Derives a degradation plan from `seed`: every pair in `pairs` is
+    /// degraded over a seeded sub-window of `[earliest, latest)` by a seeded
+    /// factor in `[min_factor, max_factor]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, the window is empty, or
+    /// `min_factor < 1.0` / `min_factor > max_factor`.
+    pub fn seeded_degradation(
+        seed: u64,
+        pairs: &[(NodeIndex, NodeIndex)],
+        earliest: SimTime,
+        latest: SimTime,
+        min_factor: f64,
+        max_factor: f64,
+    ) -> FaultPlan {
+        assert!(!pairs.is_empty(), "need at least one link to degrade");
+        assert!(earliest < latest, "degradation window must be non-empty");
+        assert!(
+            (1.0..=max_factor).contains(&min_factor),
+            "need 1.0 <= min_factor <= max_factor"
+        );
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0064_6567_7261_6465); // "degrade"
+        let mut plan = FaultPlan::new(seed);
+        for &(a, b) in pairs {
+            let lo = earliest.as_nanos();
+            let hi = latest.as_nanos();
+            let from = rng.range_inclusive(lo, hi - 1);
+            let until = rng.range_inclusive(from + 1, hi);
+            let factor = rng.range_f64(min_factor, max_factor);
+            plan = plan.degrade_link(
+                a,
+                b,
+                SimTime::from_nanos(from),
+                SimTime::from_nanos(until),
+                factor,
+            );
+        }
+        plan
+    }
+
+    /// Combined serialization-time multiplier for the undirected link
+    /// `a`–`b` at `at` (product of all active degradations; `1.0` if none).
+    pub fn degradation(&self, a: NodeIndex, b: NodeIndex, at: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for d in &self.degrades {
+            if same_link(d.a, d.b, a, b) && d.from <= at && at < d.until {
+                factor *= d.factor;
+            }
+        }
+        factor
+    }
+
+    /// True if the undirected link `a`–`b` is flapped down at `at`.
+    pub fn link_down(&self, a: NodeIndex, b: NodeIndex, at: SimTime) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| same_link(f.a, f.b, a, b) && f.from <= at && at < f.until)
+    }
+
+    /// True if `device` has dropped out at or before `at`.
+    pub fn device_down(&self, device: NodeIndex, at: SimTime) -> bool {
+        self.dropouts
+            .iter()
+            .any(|d| d.device == device && d.at <= at)
+    }
+
+    /// The dropout instant of `device`, if one is scheduled (earliest wins).
+    pub fn dropout_at(&self, device: NodeIndex) -> Option<SimTime> {
+        self.dropouts
+            .iter()
+            .filter(|d| d.device == device)
+            .map(|d| d.at)
+            .min()
+    }
+
+    /// Extra per-service latency at `device` at `at` (sum of active stalls;
+    /// zero if none).
+    pub fn stall(&self, device: NodeIndex, at: SimTime) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for s in &self.stalls {
+            if s.device == device && s.from <= at && at < s.until {
+                extra += s.extra;
+            }
+        }
+        extra
+    }
+
+    /// Decides whether the transfer identified by `(device, at, sequence)`
+    /// is corrupted. `sequence` must be a deterministic per-transfer counter
+    /// maintained by the caller so repeated attempts of the same logical
+    /// transfer draw fresh, reproducible outcomes.
+    ///
+    /// The decision is a keyed hash — no RNG state is consumed, so fault
+    /// queries cannot shift unrelated seeded draws.
+    pub fn corrupts(&self, device: NodeIndex, at: SimTime, sequence: u64) -> bool {
+        let mut rate: u64 = 0;
+        for t in &self.transients {
+            if t.device == device && t.from <= at && at < t.until {
+                rate = rate.max(t.rate_ppm as u64);
+            }
+        }
+        if rate == 0 {
+            return false;
+        }
+        let key = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((device as u64) << 32)
+            .wrapping_add(at.as_nanos())
+            .wrapping_add(sequence.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        mix64(key) % 1_000_000 < rate
+    }
+
+    /// Every scheduled fault as a `(start instant, label)` pair, sorted by
+    /// start time then label — suitable for trace instants and reports.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut out: Vec<FaultEvent> = Vec::with_capacity(self.len());
+        for d in &self.degrades {
+            out.push(FaultEvent {
+                at: d.from,
+                label: format!(
+                    "degrade link {}-{} x{:.2} until {}ns",
+                    d.a,
+                    d.b,
+                    d.factor,
+                    d.until.as_nanos()
+                ),
+            });
+        }
+        for f in &self.flaps {
+            out.push(FaultEvent {
+                at: f.from,
+                label: format!("flap link {}-{} until {}ns", f.a, f.b, f.until.as_nanos()),
+            });
+        }
+        for d in &self.dropouts {
+            out.push(FaultEvent {
+                at: d.at,
+                label: format!("device {} dropout", d.device),
+            });
+        }
+        for s in &self.stalls {
+            out.push(FaultEvent {
+                at: s.from,
+                label: format!(
+                    "proxy {} stall +{}ns until {}ns",
+                    s.device,
+                    s.extra.as_nanos(),
+                    s.until.as_nanos()
+                ),
+            });
+        }
+        for t in &self.transients {
+            out.push(FaultEvent {
+                at: t.from,
+                label: format!(
+                    "transient faults at device {} ({} ppm) until {}ns",
+                    t.device,
+                    t.rate_ppm,
+                    t.until.as_nanos()
+                ),
+            });
+        }
+        out.sort_by(|x, y| x.at.cmp(&y.at).then_with(|| x.label.cmp(&y.label)));
+        out
+    }
+}
+
+/// True if the undirected pairs `{a1,b1}` and `{a2,b2}` name the same link.
+fn same_link(a1: NodeIndex, b1: NodeIndex, a2: NodeIndex, b2: NodeIndex) -> bool {
+    (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_plan_answers_no_faults() {
+        let p = FaultPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.degradation(0, 1, t(5)), 1.0);
+        assert!(!p.link_down(0, 1, t(5)));
+        assert!(!p.device_down(3, t(5)));
+        assert_eq!(p.stall(3, t(5)), SimDuration::ZERO);
+        assert!(!p.corrupts(3, t(5), 0));
+        assert!(p.events().is_empty());
+    }
+
+    #[test]
+    fn windows_are_half_open_and_links_undirected() {
+        let p = FaultPlan::new(1)
+            .degrade_link(2, 5, t(10), t(20), 3.0)
+            .flap_link(1, 6, t(10), t(20));
+        assert_eq!(p.degradation(2, 5, t(9)), 1.0);
+        assert_eq!(p.degradation(5, 2, t(10)), 3.0);
+        assert_eq!(p.degradation(2, 5, t(19)), 3.0);
+        assert_eq!(p.degradation(2, 5, t(20)), 1.0);
+        assert!(!p.link_down(6, 1, t(9)));
+        assert!(p.link_down(6, 1, t(15)));
+        assert!(!p.link_down(1, 6, t(20)));
+    }
+
+    #[test]
+    fn dropout_is_permanent() {
+        let p = FaultPlan::new(1).drop_device(4, t(7));
+        assert!(!p.device_down(4, t(6)));
+        assert!(p.device_down(4, t(7)));
+        assert!(p.device_down(4, t(1_000_000)));
+        assert_eq!(p.dropout_at(4), Some(t(7)));
+        assert_eq!(p.dropout_at(5), None);
+    }
+
+    #[test]
+    fn overlapping_degradations_compose_and_stalls_sum() {
+        let p = FaultPlan::new(1)
+            .degrade_link(0, 1, t(0), t(10), 2.0)
+            .degrade_link(0, 1, t(5), t(15), 3.0)
+            .stall_device(2, t(0), t(10), SimDuration::from_micros(4))
+            .stall_device(2, t(5), t(15), SimDuration::from_micros(6));
+        assert_eq!(p.degradation(0, 1, t(2)), 2.0);
+        assert_eq!(p.degradation(0, 1, t(7)), 6.0);
+        assert_eq!(p.degradation(0, 1, t(12)), 3.0);
+        assert_eq!(p.stall(2, t(7)), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_rate_bounded() {
+        let p = FaultPlan::new(99).corrupt_transfers(3, t(0), t(100), 250_000);
+        let hits: Vec<bool> = (0..10_000).map(|s| p.corrupts(3, t(50), s)).collect();
+        let again: Vec<bool> = (0..10_000).map(|s| p.corrupts(3, t(50), s)).collect();
+        assert_eq!(hits, again, "keyed hash must be reproducible");
+        let rate = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+        assert!((0.2..0.3).contains(&rate), "observed rate {rate}");
+        // Outside the window and at other devices: never.
+        assert!(!p.corrupts(3, t(100), 0));
+        assert!(!p.corrupts(4, t(50), 0));
+        // A different seed flips some decisions.
+        let q = FaultPlan::new(100).corrupt_transfers(3, t(0), t(100), 250_000);
+        assert!((0..10_000).any(|s| p.corrupts(3, t(50), s) != q.corrupts(3, t(50), s)));
+    }
+
+    #[test]
+    fn seeded_constructors_are_reproducible() {
+        let a = FaultPlan::seeded_dropout(7, &[2, 4, 6], t(1), t(100));
+        let b = FaultPlan::seeded_dropout(7, &[2, 4, 6], t(1), t(100));
+        assert_eq!(a, b);
+        assert_eq!(a.dropouts.len(), 1);
+        assert!([2, 4, 6].contains(&a.dropouts[0].device));
+        assert!(t(1) <= a.dropouts[0].at && a.dropouts[0].at < t(100));
+        let c = FaultPlan::seeded_degradation(7, &[(0, 1), (2, 3)], t(1), t(100), 2.0, 8.0);
+        let d = FaultPlan::seeded_degradation(7, &[(0, 1), (2, 3)], t(1), t(100), 2.0, 8.0);
+        assert_eq!(c, d);
+        assert_eq!(c.degrades.len(), 2);
+        for g in &c.degrades {
+            assert!((2.0..=8.0).contains(&g.factor));
+            assert!(g.from < g.until);
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let p = FaultPlan::new(1)
+            .drop_device(4, t(7))
+            .degrade_link(0, 1, t(2), t(9), 2.0)
+            .flap_link(2, 3, t(5), t(6));
+        let ev = p.events();
+        assert_eq!(ev.len(), 3);
+        assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(ev[0].label.contains("degrade link 0-1"));
+        assert!(ev[2].label.contains("device 4 dropout"));
+    }
+}

@@ -11,7 +11,8 @@
 //! - FIFO resource bookkeeping in [`timeline`],
 //! - structured tracing (spans/instants/counters) in [`trace`],
 //! - a typed metric registry (counters/gauges/histograms) in [`metrics`],
-//! - deterministic zero-dep JSON construction in [`json`], and
+//! - deterministic zero-dep JSON construction in [`json`],
+//! - seeded, schedule-driven fault injection in [`faults`], and
 //! - an offline deterministic property-test harness in [`check`].
 //!
 //! Everything is deterministic: the same program and seed produce the same
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod queue;
@@ -51,6 +53,7 @@ pub mod units;
 
 /// Convenient glob-import of the kernel's common types.
 pub mod prelude {
+    pub use crate::faults::FaultPlan;
     pub use crate::json::JsonValue;
     pub use crate::metrics::{HistogramSummary, MetricRegistry, MetricsSnapshot};
     pub use crate::queue::{EventHandle, EventQueue};

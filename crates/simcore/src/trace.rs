@@ -49,6 +49,8 @@ pub mod category {
     pub const DUALSYNC: &str = "core.dualsync";
     /// Per-iteration training phases (FP/BP/push/collective/pull/blocked).
     pub const TRAIN: &str = "train";
+    /// Injected faults (from a `faults::FaultPlan`) and resilience actions.
+    pub const FAULT: &str = "fault";
 }
 
 /// Identifies one track (timeline row) in a trace. Interned by name via

@@ -15,14 +15,16 @@ use coarse_cci::synccore::RingDirection;
 use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
 use coarse_core::dualsync::{self, DualSyncInputs};
 use coarse_core::profiler::build_routing_table_for;
+use coarse_core::resilience::ResiliencePolicy;
 use coarse_core::routing::RoutingTable;
 use coarse_fabric::device::DeviceId;
-use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::machines::{Machine, Partition};
 use coarse_fabric::probe;
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{Link, LinkClass, Topology};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
+use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{name as metric, MetricRegistry, MetricsSnapshot};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, RecordingTracer, SharedTracer, Trace, TrackId};
@@ -477,6 +479,449 @@ impl Deployment<'_> {
             spans,
         )
     }
+
+    /// Fault-injected run: like [`run_inner`](Self::run_inner) but every
+    /// transfer travels under `plan` (degraded links, flapped routes,
+    /// dropped devices, stalled proxies, transient corruption) and the
+    /// resilience machinery of `policy` reacts — retry with exponential
+    /// backoff on corrupted pushes, proxy failover with routing-table
+    /// repair on dropout, graceful degradation to GPU-only sync when the
+    /// proxy tier is lost. Callers must fast-path empty plans through
+    /// [`run`](Self::run); this method assumes `!plan.is_empty()`.
+    fn run_faulty(
+        &self,
+        proxy_budget: ByteSize,
+        iterations: u32,
+        plan: &FaultPlan,
+        policy: &ResiliencePolicy,
+    ) -> (SimDuration, FaultRunStats) {
+        assert!(!plan.is_empty(), "empty plans take the fast path");
+        let iter_plan = &self.plan;
+        let model = self.model;
+        let mut proxy_path = vec![false; model.tensors().len()];
+        let mut cum = ByteSize::ZERO;
+        for ev in iter_plan.gradients() {
+            if cum < proxy_budget {
+                proxy_path[ev.tensor] = true;
+                cum += model.tensors()[ev.tensor].byte_size();
+            }
+        }
+        let gpu_bytes: ByteSize = model
+            .tensors()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !proxy_path[i])
+            .map(|(_, t)| t.byte_size())
+            .sum();
+
+        // Fault runs deploy the CCI fabric as a *mesh* rather than a ring:
+        // the ring's wrap-around pair after a failover is not ring-adjacent,
+        // and memory devices cannot forward for each other (they are
+        // emulated by GPUs, §IV-B), so ring survivors would be unroutable.
+        // The real CCI switch reconnects any surviving pair; the mesh models
+        // that. Direct neighbor links carry the same bandwidth model as the
+        // ring's, so the healthy portion of a fault run times identically.
+        let mut fault_fabric = self.machine.clone();
+        if self.machine.topology().p2p_enabled() {
+            for ring in &self.node_mem_rings {
+                if ring.len() >= 2 {
+                    fault_fabric.augment_cci_mesh(ring);
+                }
+            }
+        }
+        let mut engine = TransferEngine::new(fault_fabric.topology().clone());
+        engine.set_fault_plan(plan.clone());
+        if let Some(m) = &self.metrics {
+            engine.set_metrics(m.clone());
+        }
+        let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
+        if let Some(t) = &tracer {
+            engine.set_tracer(t.clone());
+            // One instant per injected fault, on a dedicated track.
+            let track = t.track("faults: injected");
+            for ev in plan.events() {
+                t.instant(ev.at, category::FAULT, track, &ev.label);
+            }
+        }
+
+        // One instant per resilience action, on its own track.
+        let note_failover = |at: SimTime, dead: DeviceId, how: &str| {
+            if let Some(t) = &tracer {
+                let track = t.track("faults: resilience");
+                t.instant(
+                    at,
+                    category::FAULT,
+                    track,
+                    &format!(
+                        "failover: proxy {} {how}, tables repaired",
+                        self.deployed.topology().device(dead).name()
+                    ),
+                );
+            }
+        };
+
+        let mut state = FaultDeployState {
+            mem_devices: self.mem_devices.clone(),
+            node_mem_rings: self.node_mem_rings.clone(),
+            tables: self.tables.clone(),
+            gpu_only: false,
+        };
+        let mut stats = FaultRunStats::default();
+        let mut transfer_seq: u64 = 0;
+        let multi_node = self.machine.nodes() > 1;
+        let mut start = SimTime::ZERO;
+        let mut first_period_end = SimTime::ZERO;
+        for k in 0..iterations {
+            // Round-start dropout detection: a device that died since the
+            // last iteration is noticed before the new round's pushes are
+            // routed, at the cost of one detection timeout each.
+            let detected: Vec<DeviceId> = state
+                .mem_devices
+                .iter()
+                .copied()
+                .filter(|&d| plan.device_down(d.index() as u32, start))
+                .collect();
+            for dead in detected {
+                state.fail_over(
+                    self.deployed.topology(),
+                    &self.workers,
+                    dead,
+                    policy,
+                    &mut stats,
+                );
+                start += policy.detect_timeout;
+                note_failover(start, dead, "lost between rounds");
+            }
+
+            let forward_end = start + iter_plan.forward_time();
+            let backward_end = forward_end + iter_plan.backward_time();
+            let mut next_start = backward_end;
+            if !self.input_bytes.is_zero() {
+                for &worker in &self.workers {
+                    let cpu = self
+                        .deployed
+                        .topology()
+                        .host_cpu(self.deployed.topology().device(worker).node());
+                    let rec = engine
+                        .transfer_filtered(cpu, worker, self.input_bytes, start, pcie_only)
+                        .expect("host reaches its workers");
+                    next_start = next_start.max(rec.end);
+                }
+            }
+
+            let mut buckets: Vec<Vec<&coarse_models::training::GradientEvent>> = Vec::new();
+            let mut bucket_bytes = ByteSize::ZERO;
+            if !state.gpu_only {
+                for ev in iter_plan.gradients() {
+                    if !proxy_path[ev.tensor] {
+                        continue;
+                    }
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    if buckets.is_empty() || bucket_bytes >= BUCKET_TARGET {
+                        buckets.push(Vec::new());
+                        bucket_bytes = ByteSize::ZERO;
+                    }
+                    buckets.last_mut().expect("just pushed").push(ev);
+                    bucket_bytes += size;
+                }
+            }
+
+            'buckets: for (round, bucket) in buckets.iter().enumerate() {
+                let mut proxy_ready: HashMap<DeviceId, SimTime> = HashMap::new();
+                let mut latest_emit = forward_end;
+                let mut total = ByteSize::ZERO;
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    total += size;
+                    let emitted = forward_end + ev.ready;
+                    latest_emit = latest_emit.max(emitted);
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let mut dest = state.tables[w].route_for(size);
+                        let shards = shard_sizes(size, state.tables[w].shard_size);
+                        let mut t = emitted;
+                        let mut i = 0;
+                        while i < shards.len() {
+                            match resilient_shard_transfer(
+                                &mut engine,
+                                plan,
+                                policy,
+                                worker,
+                                dest,
+                                shards[i],
+                                t,
+                                &mut transfer_seq,
+                                &mut stats,
+                            ) {
+                                Ok(end) => {
+                                    t = end;
+                                    i += 1;
+                                }
+                                Err(dead) => {
+                                    // The routed proxy died mid-push: fail
+                                    // over and restart this tensor's stream
+                                    // toward the repaired route.
+                                    state.fail_over(
+                                        self.deployed.topology(),
+                                        &self.workers,
+                                        dead,
+                                        policy,
+                                        &mut stats,
+                                    );
+                                    t += policy.detect_timeout;
+                                    note_failover(t, dead, "died mid-push");
+                                    if state.gpu_only {
+                                        break 'buckets;
+                                    }
+                                    dest = state.tables[w].route_for(size);
+                                    i = 0;
+                                }
+                            }
+                        }
+                        // A stalled proxy services the arrival late.
+                        let t = t + plan.stall(dest.index() as u32, t);
+                        let e = proxy_ready.entry(dest).or_insert(t);
+                        *e = (*e).max(t);
+                    }
+                }
+                let ready_of = |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
+
+                let sync_end = if multi_node {
+                    let ready: Vec<SimTime> = state
+                        .node_mem_rings
+                        .iter()
+                        .flatten()
+                        .map(|&d| ready_of(d))
+                        .collect();
+                    hierarchical_allreduce(
+                        &mut engine,
+                        &state.node_mem_rings,
+                        total,
+                        &ready,
+                        cci_or_network,
+                    )
+                    .expect("surviving memory devices are connected")
+                    .end
+                } else {
+                    let ready: Vec<SimTime> =
+                        state.mem_devices.iter().map(|&d| ready_of(d)).collect();
+                    ring_allreduce(
+                        &mut engine,
+                        &state.mem_devices,
+                        total,
+                        &ready,
+                        RingDirection::for_group(round),
+                        self.proxy_filter,
+                    )
+                    .expect("surviving memory devices are connected")
+                    .end
+                };
+
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let mut src = state.tables[w].route_for(size);
+                        let shards = shard_sizes(size, state.tables[w].shard_size);
+                        let mut t = sync_end + plan.stall(src.index() as u32, sync_end);
+                        let mut i = 0;
+                        while i < shards.len() {
+                            match resilient_shard_transfer(
+                                &mut engine,
+                                plan,
+                                policy,
+                                src,
+                                worker,
+                                shards[i],
+                                t,
+                                &mut transfer_seq,
+                                &mut stats,
+                            ) {
+                                Ok(end) => {
+                                    t = end;
+                                    i += 1;
+                                }
+                                Err(dead) => {
+                                    state.fail_over(
+                                        self.deployed.topology(),
+                                        &self.workers,
+                                        dead,
+                                        policy,
+                                        &mut stats,
+                                    );
+                                    t += policy.detect_timeout;
+                                    note_failover(t, dead, "died mid-pull");
+                                    if state.gpu_only {
+                                        break 'buckets;
+                                    }
+                                    src = state.tables[w].route_for(size);
+                                    i = 0;
+                                }
+                            }
+                        }
+                        next_start = next_start.max(t - self.needed[&ev.tensor]);
+                    }
+                }
+            }
+
+            // Dual sync; when the proxy tier is (or just became) lost, the
+            // GPUs re-synchronize the full parameter set this iteration.
+            let sync_bytes = if state.gpu_only {
+                model.total_bytes()
+            } else {
+                gpu_bytes
+            };
+            let gpu_sync_end = if sync_bytes.is_zero() {
+                backward_end
+            } else if multi_node {
+                let total: usize = self.node_gpu_rings.iter().map(Vec::len).sum();
+                hierarchical_allreduce(
+                    &mut engine,
+                    &self.node_gpu_rings,
+                    sync_bytes,
+                    &vec![backward_end; total],
+                    |_| true,
+                )
+                .expect("workers are connected")
+                .end
+            } else if self.gpu_ring.len() >= 2 {
+                ring_allreduce(
+                    &mut engine,
+                    &self.gpu_ring,
+                    sync_bytes,
+                    &vec![backward_end; self.gpu_ring.len()],
+                    RingDirection::Forward,
+                    |_| true,
+                )
+                .expect("workers are connected")
+                .end
+            } else {
+                backward_end
+            };
+            next_start = next_start.max(gpu_sync_end);
+
+            if k == 0 {
+                first_period_end = next_start;
+            }
+            start = next_start;
+        }
+        stats.degraded_to_gpu = state.gpu_only;
+        (
+            (start - first_period_end) / (iterations as u64 - 1).max(1),
+            stats,
+        )
+    }
+}
+
+/// After this many integrity rejections of one shard the retransmission is
+/// assumed to land clean (the link re-trains), so 100%-corruption plans
+/// still terminate.
+const MAX_PUSH_ATTEMPTS: u32 = 32;
+
+/// Cap on waiting out a flapped route before declaring the fabric broken.
+const MAX_FLAP_WAITS: u32 = 10_000;
+
+/// Mutable deployment state of one fault-injected run: the surviving
+/// proxies and the routing tables currently addressing them.
+struct FaultDeployState {
+    mem_devices: Vec<DeviceId>,
+    node_mem_rings: Vec<Vec<DeviceId>>,
+    tables: Vec<RoutingTable>,
+    gpu_only: bool,
+}
+
+impl FaultDeployState {
+    /// Removes `dead` from the deployment, charges one detection timeout,
+    /// and repairs the routing tables over the survivors (the §III-E
+    /// dynamic re-profiling used as failover). Fewer than two survivors
+    /// collapse the run to GPU-only synchronization.
+    fn fail_over(
+        &mut self,
+        topo: &Topology,
+        workers: &[DeviceId],
+        dead: DeviceId,
+        policy: &ResiliencePolicy,
+        stats: &mut FaultRunStats,
+    ) {
+        self.mem_devices.retain(|&d| d != dead);
+        for ring in &mut self.node_mem_rings {
+            ring.retain(|&d| d != dead);
+        }
+        self.node_mem_rings.retain(|r| !r.is_empty());
+        stats.failovers += 1;
+        stats.recovery += policy.detect_timeout;
+        if self.mem_devices.len() < 2 {
+            self.gpu_only = true;
+        } else {
+            self.tables = workers
+                .iter()
+                .enumerate()
+                .map(|(w, &worker)| {
+                    build_routing_table_for(topo, worker, &self.mem_devices, w, SimTime::ZERO)
+                })
+                .collect();
+        }
+    }
+}
+
+/// Accounting of one fault-injected run.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultRunStats {
+    retries: u64,
+    failovers: u64,
+    recovery: SimDuration,
+    degraded_to_gpu: bool,
+}
+
+/// One client-side shard transfer under faults: integrity-rejected
+/// transfers are retransmitted after exponential backoff, flapped routes
+/// are waited out, and a dropped endpoint is reported to the caller for
+/// failover (`Err` carries the dead device).
+#[allow(clippy::too_many_arguments)]
+fn resilient_shard_transfer(
+    engine: &mut TransferEngine,
+    plan: &FaultPlan,
+    policy: &ResiliencePolicy,
+    src: DeviceId,
+    dst: DeviceId,
+    size: ByteSize,
+    at: SimTime,
+    transfer_seq: &mut u64,
+    stats: &mut FaultRunStats,
+) -> Result<SimTime, DeviceId> {
+    let mut t = at;
+    let mut attempt = 0u32;
+    loop {
+        *transfer_seq += 1;
+        match engine.transfer_filtered(src, dst, size, t, pcie_only) {
+            Ok(rec) => {
+                if attempt < MAX_PUSH_ATTEMPTS
+                    && plan.corrupts(dst.index() as u32, rec.end, *transfer_seq)
+                {
+                    // CRC32 seal rejected at the receiver: back off and
+                    // retransmit (a fresh sequence number draws a fresh,
+                    // reproducible corruption decision).
+                    stats.retries += 1;
+                    let backoff = policy.backoff_after(attempt);
+                    stats.recovery += backoff;
+                    t = rec.end + backoff;
+                    attempt += 1;
+                    continue;
+                }
+                return Ok(rec.end);
+            }
+            Err(TransferError::DeviceDown { device }) => return Err(device),
+            Err(TransferError::NoRoute { .. }) => {
+                // A link flap cut every allowed route: wait one detection
+                // timeout for the fabric to heal and try again.
+                assert!(
+                    attempt < MAX_FLAP_WAITS,
+                    "route {src:?} -> {dst:?} never recovered from its flap"
+                );
+                stats.recovery += policy.detect_timeout;
+                t += policy.detect_timeout;
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Simulates COARSE training on `machine`.
@@ -500,6 +945,141 @@ pub fn simulate_coarse(
     let period = deployment.run(best_m, iterations);
     let global_batch = batch_per_gpu * partition.workers.len() as u32;
     TrainResult::new(period, deployment.plan.compute_time(), global_batch)
+}
+
+/// Steady-state results of a fault-injected COARSE run, together with what
+/// the resilience machinery did to survive the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyTrainResult {
+    /// Steady-state training result of the faulty run.
+    pub result: TrainResult,
+    /// Number of fault entries in the injected plan.
+    pub injected_faults: usize,
+    /// Retransmissions of integrity-rejected pushes.
+    pub retries: u64,
+    /// Proxy failovers performed (dead device removed, routing repaired).
+    pub failovers: u64,
+    /// True if the proxy tier was lost and sync degraded to GPU-only.
+    pub degraded_to_gpu: bool,
+    /// Simulated time spent detecting faults, backing off, and waiting out
+    /// outages (summed across iterations and clients).
+    pub recovery_time: SimDuration,
+}
+
+impl FaultyTrainResult {
+    /// True if no fault fired and no resilience mechanism engaged — for an
+    /// empty plan this is guaranteed, and the result is byte-identical to
+    /// [`simulate_coarse`].
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.failovers == 0
+            && !self.degraded_to_gpu
+            && self.recovery_time == SimDuration::ZERO
+    }
+}
+
+/// Simulates COARSE training under an injected [`FaultPlan`].
+///
+/// The deployment decision (routing tables, dual-sync split) is profiled
+/// on the *healthy* fabric — exactly as [`simulate_coarse`] does — and the
+/// measured run then travels under the plan: link degradations stretch
+/// serialization, flapped links reroute (or are waited out), transient
+/// corruption triggers retry-with-backoff, a dropped memory device triggers
+/// proxy failover with routing-table repair, and losing the proxy tier
+/// degrades synchronization to GPU-only allreduce.
+///
+/// An **empty plan takes the fast path**: the run is byte-identical to
+/// [`simulate_coarse`] and the fault accounting is all zeros. A non-empty
+/// plan is byte-deterministic under its seed: two runs of the same plan
+/// produce identical results.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn simulate_coarse_faulty(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &ResiliencePolicy,
+) -> FaultyTrainResult {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    if plan.is_empty() {
+        let period = deployment.run(best_m, iterations);
+        return FaultyTrainResult {
+            result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+            injected_faults: 0,
+            retries: 0,
+            failovers: 0,
+            degraded_to_gpu: false,
+            recovery_time: SimDuration::ZERO,
+        };
+    }
+    let (period, stats) = deployment.run_faulty(best_m, iterations, plan, policy);
+    FaultyTrainResult {
+        result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+        injected_faults: plan.len(),
+        retries: stats.retries,
+        failovers: stats.failovers,
+        degraded_to_gpu: stats.degraded_to_gpu,
+        recovery_time: stats.recovery,
+    }
+}
+
+/// [`simulate_coarse_faulty`] with a recording tracer attached: the trace
+/// carries one instant per injected fault (category `fault`) plus an
+/// instant per resilience action, alongside the usual fabric spans.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn record_coarse_faulty_trace(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &ResiliencePolicy,
+) -> (FaultyTrainResult, Trace) {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let rec = RecordingTracer::new();
+    let handle: SharedTracer = rec.handle();
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.tracer = Some(handle);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let result = if plan.is_empty() {
+        let period = deployment.run(best_m, iterations);
+        FaultyTrainResult {
+            result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+            injected_faults: 0,
+            retries: 0,
+            failovers: 0,
+            degraded_to_gpu: false,
+            recovery_time: SimDuration::ZERO,
+        }
+    } else {
+        let (period, stats) = deployment.run_faulty(best_m, iterations, plan, policy);
+        FaultyTrainResult {
+            result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+            injected_faults: plan.len(),
+            retries: stats.retries,
+            failovers: stats.failovers,
+            degraded_to_gpu: stats.degraded_to_gpu,
+            recovery_time: stats.recovery,
+        }
+    };
+    (result, rec.take())
 }
 
 /// Builds the deployment (fabric, tables, bandwidths, dual-sync pilot) for
@@ -1020,6 +1600,106 @@ mod tests {
         // Byte-deterministic across repeated runs.
         let (_, snap2) = record_coarse_metrics(&m, &p, &model, 2, 3);
         assert_eq!(snap, snap2);
+    }
+
+    #[test]
+    fn faulty_run_with_empty_plan_is_byte_identical() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let clean = simulate_coarse(&m, &p, &model, 2, 3);
+        let faulty = simulate_coarse_faulty(
+            &m,
+            &p,
+            &model,
+            2,
+            3,
+            &FaultPlan::empty(),
+            &ResiliencePolicy::default(),
+        );
+        assert!(faulty.is_clean());
+        assert_eq!(clean, faulty.result, "empty plan must perturb nothing");
+    }
+
+    #[test]
+    fn proxy_dropout_fails_over_with_nonzero_recovery() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let policy = ResiliencePolicy::default();
+        let clean = simulate_coarse(&m, &p, &model, 2, 3);
+        // Kill one proxy shortly after the run starts: the push path hits
+        // TransferError::DeviceDown mid-iteration, fails over, repairs the
+        // tables, and completes over the three survivors.
+        let victim = p.mem_devices[1].index() as u32;
+        let plan =
+            FaultPlan::new(11).drop_device(victim, SimTime::ZERO + SimDuration::from_millis(1));
+        let a = simulate_coarse_faulty(&m, &p, &model, 2, 3, &plan, &policy);
+        assert_eq!(a.failovers, 1, "exactly one proxy fails over");
+        assert!(!a.degraded_to_gpu, "three survivors keep the proxy tier");
+        assert!(
+            a.recovery_time > SimDuration::ZERO,
+            "failover must charge detection time"
+        );
+        assert!(
+            a.result.iteration_time >= clean.iteration_time,
+            "losing a proxy cannot speed the run up"
+        );
+        // Byte-deterministic across same-seed runs.
+        let b = simulate_coarse_faulty(&m, &p, &model, 2, 3, &plan, &policy);
+        assert_eq!(a, b, "same plan + seed must reproduce exactly");
+    }
+
+    #[test]
+    fn losing_every_proxy_degrades_to_gpu_only() {
+        let m = sdsc_p100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let mut plan = FaultPlan::new(7);
+        for &d in &p.mem_devices {
+            plan = plan.drop_device(d.index() as u32, SimTime::ZERO);
+        }
+        let r = simulate_coarse_faulty(&m, &p, &model, 2, 3, &plan, &ResiliencePolicy::default());
+        assert!(r.degraded_to_gpu, "no survivors: GPU-only degradation");
+        assert_eq!(r.failovers as usize, p.mem_devices.len());
+        assert!(r.result.iteration_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transient_corruption_retries_with_backoff() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = resnet50();
+        let policy = ResiliencePolicy::default();
+        let mut plan = FaultPlan::new(99);
+        for &d in &p.mem_devices {
+            plan = plan.corrupt_transfers(d.index() as u32, SimTime::ZERO, SimTime::MAX, 300_000);
+        }
+        let r = simulate_coarse_faulty(&m, &p, &model, 64, 3, &plan, &policy);
+        assert!(r.retries > 0, "a 30% corruption rate must force retries");
+        assert_eq!(r.failovers, 0);
+        assert!(r.recovery_time > SimDuration::ZERO, "backoff accumulates");
+        let again = simulate_coarse_faulty(&m, &p, &model, 64, 3, &plan, &policy);
+        assert_eq!(r, again, "keyed-hash corruption must be reproducible");
+    }
+
+    #[test]
+    fn faulty_trace_carries_fault_instants() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = resnet50();
+        let victim = p.mem_devices[0].index() as u32;
+        let plan =
+            FaultPlan::new(3).drop_device(victim, SimTime::ZERO + SimDuration::from_millis(1));
+        let (r, trace) =
+            record_coarse_faulty_trace(&m, &p, &model, 64, 3, &plan, &ResiliencePolicy::default());
+        assert_eq!(r.failovers, 1);
+        let faults: Vec<_> = trace.events_in(category::FAULT).collect();
+        assert!(
+            faults.len() >= 2,
+            "expected the injected-fault instant plus a failover instant, got {}",
+            faults.len()
+        );
     }
 
     #[test]

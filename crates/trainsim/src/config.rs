@@ -33,6 +33,11 @@ impl std::fmt::Display for Scheme {
 }
 
 /// One training experiment.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `scenario::Scenario` instead; it is the single entry \
+            point and also carries fault plans"
+)]
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// The machine (consumed per run; clone the preset).

@@ -12,11 +12,13 @@
 //! staged GPU→CPU→device path, which halves the base rate automatically.
 
 use coarse_cci::coherence::sharing_overhead_factor;
+use coarse_core::resilience::ResiliencePolicy;
 use coarse_fabric::machines::{Machine, Partition};
 use coarse_fabric::probe;
 use coarse_fabric::topology::{Link, LinkClass};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
+use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::units::ByteSize;
@@ -110,6 +112,119 @@ pub fn simulate_dense(
     TrainResult::new(period, plan.compute_time(), global_batch)
 }
 
+/// Simulates DENSE training under an injected [`FaultPlan`].
+///
+/// DENSE has a single parameter device and no decentralized fallback, so
+/// its resilience story is thinner than COARSE's: worker↔device accesses
+/// are stretched by active link degradations and stalled by proxy stalls,
+/// and a dropout of the parameter device fails the service over to the
+/// next memory device of the partition (one detection timeout each). An
+/// **empty plan takes the fast path** and is byte-identical to
+/// [`simulate_dense`].
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_dense`], plus running out of surviving
+/// memory devices (DENSE cannot degrade to GPU-only synchronization).
+pub fn simulate_dense_faulty(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &ResiliencePolicy,
+) -> TrainResult {
+    if plan.is_empty() {
+        return simulate_dense(machine, partition, model, batch_per_gpu, iterations);
+    }
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let gpu = gpu_for(machine.sku());
+    let iter_plan = IterationPlan::new(model, &gpu, batch_per_gpu);
+    let workers = partition.workers.len();
+    let coherence = sharing_overhead_factor(workers + 1);
+    // Rates are re-probed (on the healthy fabric) whenever the service
+    // fails over to a different device.
+    let rates_for = |device| -> Vec<f64> {
+        partition
+            .workers
+            .iter()
+            .map(|&w| {
+                let bus = probe::measure_unidirectional(
+                    machine.topology(),
+                    w,
+                    device,
+                    ByteSize::mib(64),
+                    pcie_only,
+                );
+                bus / CCI_COHERENT_SLOWDOWN / coherence
+            })
+            .collect()
+    };
+    let mut device_slot = 0usize;
+    let mut device = partition.mem_devices[device_slot];
+    let mut rates = rates_for(device);
+
+    let mut ingress = ResourceTimeline::new();
+    let mut egress = ResourceTimeline::new();
+    let mut start = SimTime::ZERO;
+    let mut first_period_end = SimTime::ZERO;
+    for k in 0..iterations {
+        // Detect a dropped parameter device at the round boundary and fail
+        // over to the next memory device of the partition.
+        while plan.device_down(device.index() as u32, start) {
+            device_slot += 1;
+            assert!(
+                device_slot < partition.mem_devices.len(),
+                "DENSE ran out of surviving parameter devices"
+            );
+            device = partition.mem_devices[device_slot];
+            rates = rates_for(device);
+            start += policy.detect_timeout;
+        }
+        let access_time = |size: ByteSize, w: usize, at: SimTime, workers_dev: u32| {
+            let base = size.as_f64() / rates[w];
+            let factor = plan.degradation(workers_dev, device.index() as u32, at);
+            let mut d = SimDuration::from_secs_f64(base);
+            if factor != 1.0 {
+                d = d.mul_f64(factor);
+            }
+            d + plan.stall(device.index() as u32, at)
+        };
+        let forward_end = start + iter_plan.forward_time();
+        let mut iter_end = start + iter_plan.compute_time();
+        for ev in iter_plan.gradients() {
+            let tensor = &model.tensors()[ev.tensor];
+            let emitted = forward_end + ev.ready;
+            let mut all_pushed = emitted;
+            for (w, &worker) in partition.workers.iter().enumerate() {
+                let grant = ingress.reserve(
+                    emitted,
+                    access_time(tensor.byte_size(), w, emitted, worker.index() as u32),
+                );
+                all_pushed = all_pushed.max(grant.end);
+            }
+            for (w, &worker) in partition.workers.iter().enumerate() {
+                let grant = egress.reserve(
+                    all_pushed,
+                    access_time(tensor.byte_size(), w, all_pushed, worker.index() as u32),
+                );
+                iter_end = iter_end.max(grant.end);
+            }
+        }
+        if k == 0 {
+            first_period_end = iter_end;
+        }
+        start = iter_end;
+    }
+    let period = (start - first_period_end) / (iterations as u64 - 1).max(1);
+    let global_batch = batch_per_gpu * workers as u32;
+    TrainResult::new(period, iter_plan.compute_time(), global_batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +275,53 @@ mod tests {
             ratio > 8.0,
             "expected payload-proportional comm, got {ratio}"
         );
+    }
+
+    #[test]
+    fn dense_faulty_empty_plan_is_byte_identical() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = resnet50();
+        let clean = simulate_dense(&m, &p, &model, 64, 3);
+        let faulty = simulate_dense_faulty(
+            &m,
+            &p,
+            &model,
+            64,
+            3,
+            &FaultPlan::empty(),
+            &ResiliencePolicy::default(),
+        );
+        assert_eq!(clean, faulty, "empty plan must perturb nothing");
+    }
+
+    #[test]
+    fn dense_degradation_slows_and_dropout_fails_over() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = resnet50();
+        let clean = simulate_dense(&m, &p, &model, 64, 3);
+        // Degrade every worker->device pair for the whole run.
+        let dev = p.mem_devices[0].index() as u32;
+        let mut plan = FaultPlan::new(5);
+        for &w in &p.workers {
+            plan = plan.degrade_link(w.index() as u32, dev, SimTime::ZERO, SimTime::MAX, 3.0);
+        }
+        let slow =
+            simulate_dense_faulty(&m, &p, &model, 64, 3, &plan, &ResiliencePolicy::default());
+        assert!(
+            slow.iteration_time > clean.iteration_time,
+            "degraded run must be slower: {:?} vs {:?}",
+            slow.iteration_time,
+            clean.iteration_time
+        );
+        // Dropping the parameter device forces failover to the next one;
+        // the run still completes and is deterministic.
+        let drop = FaultPlan::new(6).drop_device(dev, SimTime::ZERO);
+        let a = simulate_dense_faulty(&m, &p, &model, 64, 3, &drop, &ResiliencePolicy::default());
+        let b = simulate_dense_faulty(&m, &p, &model, 64, 3, &drop, &ResiliencePolicy::default());
+        assert_eq!(a, b, "faulty runs must be deterministic");
+        assert!(a.iteration_time > SimDuration::ZERO);
     }
 
     #[test]

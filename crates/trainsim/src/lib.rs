@@ -13,19 +13,24 @@ pub mod config;
 pub mod dense;
 pub mod report;
 pub mod scaling;
+pub mod scenario;
 pub mod straggler;
 pub mod timeline;
 pub mod traceexport;
 
 pub use allreduce::simulate_allreduce;
 pub use coarse::{
-    coarse_hotspots, record_coarse_metrics, record_coarse_trace, simulate_coarse,
-    simulate_coarse_with_input, trace_coarse,
+    coarse_hotspots, record_coarse_faulty_trace, record_coarse_metrics, record_coarse_trace,
+    simulate_coarse, simulate_coarse_faulty, simulate_coarse_with_input, trace_coarse,
+    FaultyTrainResult,
 };
-pub use config::{Scheme, TrainConfig, TrainError, TrainResult};
-pub use dense::simulate_dense;
-pub use report::{RunReport, SchemeOutcome, SchemeRun};
+#[allow(deprecated)]
+pub use config::TrainConfig;
+pub use config::{Scheme, TrainError, TrainResult};
+pub use dense::{simulate_dense, simulate_dense_faulty};
+pub use report::{FaultRunSummary, RunReport, SchemeOutcome, SchemeRun};
 pub use scaling::{node_scaling, ScalingPoint};
+pub use scenario::Scenario;
 pub use straggler::{
     compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel,
 };
@@ -34,7 +39,6 @@ pub use traceexport::{chrome_trace_json, summary_table};
 
 use coarse_fabric::machines::GpuSku;
 use coarse_models::gpu::GpuCompute;
-use coarse_models::memory::{MemoryModel, Residency};
 
 /// The compute model for a machine's GPU SKU.
 pub fn gpu_for(sku: GpuSku) -> GpuCompute {
@@ -52,45 +56,22 @@ pub fn gpu_for(sku: GpuSku) -> GpuCompute {
 /// # Errors
 ///
 /// Returns [`TrainError::OutOfMemory`] if the batch does not fit.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `scenario::Scenario` and call `.run()` instead"
+)]
+#[allow(deprecated)]
 pub fn simulate(config: &TrainConfig) -> Result<TrainResult, TrainError> {
-    let residency = match config.scheme {
-        Scheme::Coarse => Residency::OffloadedToCci,
-        Scheme::Dense | Scheme::AllReduce => Residency::AllOnGpu,
-    };
-    let mm = MemoryModel::new(&config.model, config.machine.sku().memory_gib());
-    if !mm.fits(config.batch_per_gpu, residency) {
-        return Err(TrainError::OutOfMemory {
-            batch: config.batch_per_gpu,
-            max_batch: mm.max_batch(residency),
-        });
-    }
-    let partition = config.machine.partition(config.partition);
-    Ok(match config.scheme {
-        Scheme::Dense => simulate_dense(
-            &config.machine,
-            &partition,
-            &config.model,
-            config.batch_per_gpu,
-            config.iterations,
-        ),
-        Scheme::AllReduce => simulate_allreduce(
-            &config.machine,
-            &partition,
-            &config.model,
-            config.batch_per_gpu,
-            config.iterations,
-        ),
-        Scheme::Coarse => simulate_coarse(
-            &config.machine,
-            &partition,
-            &config.model,
-            config.batch_per_gpu,
-            config.iterations,
-        ),
-    })
+    Scenario::new("adhoc", config.machine.clone(), config.model.clone())
+        .partition(config.partition)
+        .batch_per_gpu(config.batch_per_gpu)
+        .iterations(config.iterations)
+        .scheme(config.scheme)
+        .run()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use coarse_fabric::machines::{aws_v100, PartitionScheme};

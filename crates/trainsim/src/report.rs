@@ -12,9 +12,12 @@ use coarse_fabric::machines::{Machine, PartitionScheme};
 use coarse_models::profile::ModelProfile;
 use coarse_simcore::json::JsonValue;
 use coarse_simcore::metrics::MetricsSnapshot;
+use coarse_simcore::time::SimDuration;
 
-use crate::config::{Scheme, TrainConfig, TrainError, TrainResult};
-use crate::{record_coarse_metrics, simulate};
+use crate::coarse::simulate_coarse_faulty;
+use crate::config::{Scheme, TrainError, TrainResult};
+use crate::record_coarse_metrics;
+use crate::scenario::Scenario;
 
 /// Schema identifier stamped into every report. Bump the `/vN` suffix on
 /// any field addition, removal, or rename so consumers can dispatch.
@@ -52,6 +55,29 @@ impl SchemeRun {
     }
 }
 
+/// Resilience accounting from a fault-injected COARSE run: how the run
+/// survived its [`coarse_simcore::faults::FaultPlan`]. Only present on
+/// reports collected from a scenario with a non-empty plan, so fault-free
+/// reports render byte-identically to schema v1 documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRunSummary {
+    /// Seed of the injected plan.
+    pub seed: u64,
+    /// Number of scheduled fault entries in the plan.
+    pub injected: usize,
+    /// Transfer retries forced by transient corruption.
+    pub retries: u64,
+    /// Proxy failovers (routing-table repairs) performed.
+    pub failovers: u64,
+    /// Whether the proxy tier was lost entirely and the run fell back to
+    /// GPU-only synchronization.
+    pub degraded_to_gpu: bool,
+    /// Total simulated time charged to detection, backoff, and repair.
+    pub recovery_time: SimDuration,
+    /// Steady-state result of the fault-injected COARSE run.
+    pub coarse: TrainResult,
+}
+
 /// A full per-scenario report: config, per-scheme results, COARSE metrics,
 /// and derived figures.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +98,8 @@ pub struct RunReport {
     pub schemes: Vec<SchemeRun>,
     /// Metric snapshot from the (metered) COARSE run, when it fit.
     pub coarse_metrics: Option<MetricsSnapshot>,
+    /// Resilience accounting when the scenario injected faults.
+    pub faults: Option<FaultRunSummary>,
 }
 
 impl RunReport {
@@ -87,16 +115,30 @@ impl RunReport {
         batch_per_gpu: u32,
         iterations: u32,
     ) -> RunReport {
+        RunReport::collect_scenario(
+            &Scenario::new(scenario, machine.clone(), model.clone())
+                .partition(partition)
+                .batch_per_gpu(batch_per_gpu)
+                .iterations(iterations),
+        )
+    }
+
+    /// Collects the report for a built [`Scenario`]. The three scheme
+    /// entries are always the *clean* (fault-free) runs — they stay
+    /// byte-identical whether or not a plan is attached; a non-empty plan
+    /// additionally runs COARSE fault-aware and records the resilience
+    /// accounting under [`RunReport::faults`].
+    pub fn collect_scenario(scenario: &Scenario) -> RunReport {
+        let machine = scenario.machine_ref();
+        let model = scenario.model_ref();
+        let partition = scenario.partition_scheme();
+        let (batch_per_gpu, iterations) = (scenario.batch(), scenario.iters());
+        let clean = Scenario::new(scenario.name(), machine.clone(), model.clone())
+            .partition(partition)
+            .batch_per_gpu(batch_per_gpu)
+            .iterations(iterations);
         let run = |scheme: Scheme| {
-            let cfg = TrainConfig {
-                machine: machine.clone(),
-                partition,
-                model: model.clone(),
-                batch_per_gpu,
-                scheme,
-                iterations,
-            };
-            let outcome = match simulate(&cfg) {
+            let outcome = match clean.clone().scheme(scheme).run() {
                 Ok(r) => SchemeOutcome::Completed(r),
                 Err(TrainError::OutOfMemory { max_batch, .. }) => {
                     SchemeOutcome::OutOfMemory { max_batch }
@@ -108,14 +150,39 @@ impl RunReport {
             .into_iter()
             .map(run)
             .collect();
+        let part = machine.partition(partition);
         let coarse_metrics = schemes[2].result().map(|_| {
-            let part = machine.partition(partition);
             let (_, snapshot) =
                 record_coarse_metrics(machine, &part, model, batch_per_gpu, iterations);
             snapshot
         });
+        let plan = scenario.fault_plan();
+        let faults = if plan.is_empty() {
+            None
+        } else {
+            schemes[2].result().map(|_| {
+                let f = simulate_coarse_faulty(
+                    machine,
+                    &part,
+                    model,
+                    batch_per_gpu,
+                    iterations,
+                    plan,
+                    scenario.policy_ref(),
+                );
+                FaultRunSummary {
+                    seed: plan.seed(),
+                    injected: plan.len(),
+                    retries: f.retries,
+                    failovers: f.failovers,
+                    degraded_to_gpu: f.degraded_to_gpu,
+                    recovery_time: f.recovery_time,
+                    coarse: f.result,
+                }
+            })
+        };
         RunReport {
-            scenario: scenario.to_string(),
+            scenario: scenario.name().to_string(),
             machine: machine.name().to_string(),
             partition,
             model: model.name().to_string(),
@@ -123,6 +190,7 @@ impl RunReport {
             iterations,
             schemes,
             coarse_metrics,
+            faults,
         }
     }
 
@@ -159,6 +227,22 @@ impl RunReport {
             .with("derived", self.derived_json());
         if let Some(m) = &self.coarse_metrics {
             report = report.with("coarse_metrics", m.to_json());
+        }
+        if let Some(f) = &self.faults {
+            report = report.with(
+                "faults",
+                JsonValue::object()
+                    .with("seed", JsonValue::int(f.seed))
+                    .with("injected", JsonValue::int(f.injected as u64))
+                    .with("retries", JsonValue::int(f.retries))
+                    .with("failovers", JsonValue::int(f.failovers))
+                    .with("degraded_to_gpu", JsonValue::Bool(f.degraded_to_gpu))
+                    .with(
+                        "recovery_time_ns",
+                        JsonValue::int(f.recovery_time.as_nanos()),
+                    )
+                    .with("coarse", scheme_json(&SchemeOutcome::Completed(f.coarse))),
+            );
         }
         report
     }
@@ -262,6 +346,28 @@ mod tests {
         let json = r.render();
         assert!(json.contains("\"fits\": false"));
         assert!(json.contains("\"speedup_over_dense\": null"));
+    }
+
+    #[test]
+    fn fault_scenario_report_carries_faults_key() {
+        use coarse_simcore::faults::FaultPlan;
+        use coarse_simcore::time::SimTime;
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let victim = p.mem_devices[0].index() as u32;
+        let plan =
+            FaultPlan::new(5).drop_device(victim, SimTime::ZERO + SimDuration::from_millis(1));
+        let r = Scenario::preset("fig16d").faults(plan).report();
+        let f = r.faults.as_ref().expect("fault summary present");
+        assert_eq!(f.failovers, 1);
+        assert!(f.recovery_time > SimDuration::ZERO);
+        assert!(r.render().contains("\"faults\""));
+        // A clean report must not carry the key, and the fault run must
+        // leave the clean scheme rows untouched.
+        let clean = Scenario::preset("fig16d").report();
+        assert!(clean.faults.is_none());
+        assert!(!clean.render().contains("\"faults\""));
+        assert_eq!(clean.schemes, r.schemes);
     }
 
     #[test]

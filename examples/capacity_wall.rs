@@ -9,7 +9,7 @@
 use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
 use coarse_repro::models::memory::{MemoryModel, Residency};
 use coarse_repro::models::zoo::gpt2_xl;
-use coarse_repro::trainsim::{coarse_hotspots, simulate_coarse};
+use coarse_repro::trainsim::{coarse_hotspots, Scenario};
 
 fn main() {
     let machine = aws_v100();
@@ -40,7 +40,10 @@ fn main() {
     );
 
     println!("\nsimulating COARSE at batch 1 on {}...", machine.name());
-    let r = simulate_coarse(&machine, &partition, &model, 1, 3);
+    let r = Scenario::new("capacity_wall", machine.clone(), model.clone())
+        .batch_per_gpu(1)
+        .run()
+        .expect("COARSE offload fits at batch 1");
     println!(
         "  iteration {} | blocked comm {} | GPU utilization {:.0}% | {:.1} samples/s",
         r.iteration_time,

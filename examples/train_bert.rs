@@ -7,7 +7,7 @@
 
 use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
 use coarse_repro::models::zoo::bert_large;
-use coarse_repro::trainsim::{simulate_allreduce, simulate_coarse, simulate_dense, trace_coarse};
+use coarse_repro::trainsim::{trace_coarse, Scenario, Scheme};
 
 fn main() {
     let machine = aws_v100();
@@ -23,9 +23,16 @@ fn main() {
         partition.worker_count()
     );
 
-    let dense = simulate_dense(&machine, &partition, &model, batch, 3);
-    let allreduce = simulate_allreduce(&machine, &partition, &model, batch, 3);
-    let coarse = simulate_coarse(&machine, &partition, &model, batch, 3);
+    // One scenario, three schemes: the Scenario builder is the single
+    // front door to the simulator (this is the `fig16d` preset, spelled
+    // out to show the knobs).
+    let base = Scenario::new("train_bert", machine.clone(), model.clone())
+        .batch_per_gpu(batch)
+        .iterations(3);
+    let run = |scheme| base.clone().scheme(scheme).run().expect("batch fits");
+    let dense = run(Scheme::Dense);
+    let allreduce = run(Scheme::AllReduce);
+    let coarse = run(Scheme::Coarse);
 
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",

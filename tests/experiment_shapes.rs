@@ -8,7 +8,7 @@ use coarse_repro::fabric::machines::{
 use coarse_repro::models::memory::{MemoryModel, Residency};
 use coarse_repro::models::zoo::{bert_base, bert_large, resnet50};
 use coarse_repro::trainsim::{
-    simulate, simulate_allreduce, simulate_coarse, simulate_dense, Scheme, TrainConfig, TrainError,
+    simulate_allreduce, simulate_coarse, simulate_dense, Scenario, Scheme, TrainError,
 };
 
 #[test]
@@ -62,24 +62,16 @@ fn memory_gate_matches_fig16e() {
     assert!(!mm.fits(4, Residency::AllOnGpu));
     assert!(mm.fits(4, Residency::OffloadedToCci));
 
-    // The top-level entry point enforces the same gate.
-    let cfg = TrainConfig {
-        machine: aws_v100(),
-        partition: PartitionScheme::OneToOne,
-        model: model.clone(),
-        batch_per_gpu: 4,
-        scheme: Scheme::AllReduce,
-        iterations: 2,
-    };
+    // The top-level entry point (the Scenario builder) enforces the same
+    // gate.
+    let scenario = Scenario::new("fig16e-gate", aws_v100(), model.clone())
+        .batch_per_gpu(4)
+        .iterations(2);
     assert!(matches!(
-        simulate(&cfg),
+        scenario.clone().scheme(Scheme::AllReduce).run(),
         Err(TrainError::OutOfMemory { .. })
     ));
-    let cfg_coarse = TrainConfig {
-        scheme: Scheme::Coarse,
-        ..cfg
-    };
-    let result = simulate(&cfg_coarse).expect("COARSE fits batch 4");
+    let result = scenario.run().expect("COARSE fits batch 4");
     assert!(result.throughput > 0.0);
 }
 
