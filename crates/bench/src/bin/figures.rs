@@ -419,9 +419,8 @@ fn trace_scenario(scenario: &str) {
     print!("\n{summary}");
     let json_path = format!("trace-{scenario}.json");
     let txt_path = format!("trace-{scenario}.txt");
-    std::fs::write(&json_path, coarse_trainsim::chrome_trace_json(&trace))
-        .expect("write trace JSON");
-    std::fs::write(&txt_path, &summary).expect("write trace summary");
+    write_artifact(&json_path, &coarse_trainsim::chrome_trace_json(&trace));
+    write_artifact(&txt_path, &summary);
     println!("\nwrote {json_path} (open in Perfetto / chrome://tracing) and {txt_path}");
 }
 
@@ -465,7 +464,15 @@ fn usage() {
          \x20                          {TRACE_SCENARIOS}\n\
          \x20 faults [scenario]        run a seeded fault-injection scenario over the\n\
          \x20                          fig16d panel and write fault-report-<scenario>.json;\n\
-         \x20                          scenarios: {FAULT_SCENARIOS}",
+         \x20                          scenarios: {FAULT_SCENARIOS}\n\
+         \x20 chaos soak [cases]       randomized fault-schedule search with runtime\n\
+         \x20                          oracles armed (default 500 cases); failures are\n\
+         \x20                          shrunk and written as chaos-repro-<hash>.json\n\
+         \x20 chaos run <preset> [seed]  one seeded chaos case over a fig16 preset\n\
+         \x20 chaos replay <path>      re-run a chaos repro and verify it still fails\n\
+         \x20                          the same way\n\
+         \x20 chaos selftest           prove the pipeline catches a sabotaged retry\n\
+         \x20                          order and shrinks it to <= 3 fault events",
         figures.join(" ")
     );
 }
@@ -489,6 +496,10 @@ fn list() {
     }
     println!("\nfault scenarios:");
     for s in FAULT_SCENARIOS.split(' ') {
+        println!("  {s}");
+    }
+    println!("\nchaos modes:");
+    for s in ["soak", "run", "replay", "selftest"] {
         println!("  {s}");
     }
 }
@@ -553,7 +564,7 @@ fn report(scenario: Option<&str>, json_path: Option<&str>) {
     rendered.push('\n');
     match json_path {
         Some(path) => {
-            std::fs::write(path, &rendered).expect("write report JSON");
+            write_artifact(path, &rendered);
             print!("{}", card.render());
             println!("wrote {path}");
         }
@@ -662,15 +673,271 @@ fn faults(scenario: &str) {
             f.coarse.iteration_time, clean.iteration_time
         );
         let path = format!("fault-report-{name}.json");
-        std::fs::write(&path, report.render()).expect("write fault report");
+        write_artifact(&path, &report.render());
         println!("wrote {path} (determinism check: two same-seed runs matched)");
     }
 }
 
 fn bench(label: &str) {
     hr(&format!("PERF SELF-BENCHMARK — {label}"));
-    let path = selfbench::write_report(label).expect("write bench artifact");
+    let path = match selfbench::write_report(label) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: cannot write bench artifact: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("\nwrote {path}");
+}
+
+/// Writes a CLI artifact, exiting 1 with a message instead of panicking
+/// when the filesystem refuses (read-only checkout, missing directory).
+fn write_artifact(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Seed for the chaos soak: fixed so CI runs are reproducible; override
+/// per-case exploration by passing a different case count (the per-case
+/// seeds are derived from `base_seed ^ case`).
+const CHAOS_SEED: u64 = 0xC0A5_5EED;
+
+/// `figures -- chaos soak [cases]`: runs the seeded chaos search across the
+/// Fig. 16 presets with the oracle battery armed, twice, asserting the two
+/// sweeps render byte-identical summaries. Every oracle failure is shrunk
+/// to a minimal plan and written as a replayable `chaos-repro-<hash>.json`.
+/// Exits 1 if any case violated an invariant.
+fn chaos_soak(cases: u32) {
+    use coarse_trainsim::chaos::{soak, SoakConfig};
+    let cfg = SoakConfig {
+        cases,
+        base_seed: CHAOS_SEED,
+        ..SoakConfig::default()
+    };
+    hr(&format!(
+        "CHAOS SOAK — {cases} cases over {} presets (seed {CHAOS_SEED:#x})",
+        cfg.presets.len()
+    ));
+    let first = match soak(&cfg) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: soak failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    let again = soak(&cfg).expect("second sweep of an identical config");
+    assert_eq!(
+        first.render_summary(),
+        again.render_summary(),
+        "same-seed chaos soaks must be byte-identical"
+    );
+    print!("{}", first.render_summary());
+    println!("determinism check: two same-seed sweeps matched");
+    for f in &first.failures {
+        let name = f.repro.file_name();
+        write_artifact(&name, &f.repro.render());
+        println!("wrote {name}");
+    }
+    if !first.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// `figures -- chaos run <preset> [seed]`: samples one fault schedule over
+/// the preset and runs it with oracles armed. Exits 1 on any violation.
+fn chaos_run(preset: &str, seed: u64) {
+    use coarse_simcore::faults::FaultPlanGen;
+    use coarse_trainsim::chaos::{run_case, universe_for};
+    let base = match coarse_trainsim::Scenario::try_preset(preset) {
+        Ok(s) => s.iterations(2),
+        Err(e) => {
+            eprintln!(
+                "error: {e}; known presets: {}",
+                coarse_trainsim::Scenario::presets().join(" ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let plan = FaultPlanGen::new(universe_for(&base)).sample(seed);
+    hr(&format!(
+        "CHAOS CASE — {preset}, seed {seed:#x}, {} fault event(s)",
+        plan.len()
+    ));
+    for ev in plan.events() {
+        println!("  t={} {}", ev.at, ev.label);
+    }
+    let scenario = base.faults(plan);
+    let report = match run_case(&scenario, coarse_trainsim::Sabotage::None) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: case failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "retries {} | failovers {} | degraded-to-gpu {}",
+        report.faulty.retries, report.faulty.failovers, report.faulty.degraded_to_gpu
+    );
+    if report.violations.is_empty() {
+        println!("oracles: quiet (all invariants held)");
+    } else {
+        for v in &report.violations {
+            println!("VIOLATION {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `figures -- chaos replay <path>`: re-runs a serialized repro and checks
+/// the fresh verdicts against the recorded ones. Exits 1 if the failure no
+/// longer reproduces (or reproduces differently).
+fn chaos_replay(path: &str) {
+    use coarse_trainsim::chaos::{replay, ChaosRepro};
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let repro = match ChaosRepro::parse(&doc) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    hr(&format!(
+        "CHAOS REPLAY — {} ({} fault event(s), sabotage {:?})",
+        path,
+        repro.plan.len(),
+        repro.sabotage
+    ));
+    let report = match replay(&doc) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: replay failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fresh = report.rendered_violations();
+    for v in &fresh {
+        println!("VIOLATION {v}");
+    }
+    if fresh == repro.violations {
+        println!("replay reproduces the recorded failure exactly");
+    } else {
+        eprintln!(
+            "replay diverged from the recorded violations:\n  recorded: {:?}\n  fresh:    {:?}",
+            repro.violations, fresh
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `figures -- chaos selftest`: end-to-end proof the chaos pipeline can
+/// catch a protocol bug — arms the test-only `InvertRetryOrder` sabotage,
+/// expects the retry-FIFO oracle to fire, the shrinker to reduce the plan
+/// to ≤ 3 events, and the serialized repro to replay to the same failure.
+fn chaos_selftest() {
+    use coarse_trainsim::chaos::{replay, soak, SoakConfig};
+    hr("CHAOS SELFTEST — sabotaged retry order must be caught and shrunk");
+    let cfg = SoakConfig {
+        presets: vec!["fig16a".to_string()],
+        cases: 1,
+        base_seed: CHAOS_SEED,
+        sabotage: coarse_trainsim::Sabotage::InvertRetryOrder,
+        ..SoakConfig::default()
+    };
+    let outcome = soak(&cfg).expect("selftest soak runs");
+    let Some(failure) = outcome.failures.first() else {
+        eprintln!("FAIL: sabotaged run produced no oracle violation");
+        std::process::exit(1);
+    };
+    if !failure.violations.iter().any(|v| v.contains("retry-fifo")) {
+        eprintln!(
+            "FAIL: expected a retry-fifo verdict, got {:?}",
+            failure.violations
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "caught: {} violation(s), plan shrunk {} -> {} event(s) over {} shrink runs",
+        failure.violations.len(),
+        failure.original_events,
+        failure.shrunk_events,
+        failure.shrink_tested
+    );
+    if failure.shrunk_events > 3 {
+        eprintln!(
+            "FAIL: shrinker left {} events (expected <= 3)",
+            failure.shrunk_events
+        );
+        std::process::exit(1);
+    }
+    let replayed = replay(&failure.repro.render()).expect("repro replays");
+    if replayed.rendered_violations() != failure.violations {
+        eprintln!(
+            "FAIL: replay diverged:\n  recorded: {:?}\n  fresh:    {:?}",
+            failure.violations,
+            replayed.rendered_violations()
+        );
+        std::process::exit(1);
+    }
+    let name = failure.repro.file_name();
+    write_artifact(&name, &failure.repro.render());
+    println!("wrote {name}");
+    println!("replay reproduces the shrunk failure byte-for-byte: PASS");
+}
+
+/// Dispatches `figures -- chaos <mode>`.
+fn chaos(args: &[String]) {
+    let mode = args.first().map(String::as_str).unwrap_or("soak");
+    let parse_u64 = |s: &str, what: &str| -> u64 {
+        let digits = s.strip_prefix("0x");
+        let parsed = match digits {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.unwrap_or_else(|_| {
+            eprintln!("error: {what} '{s}' is not a number");
+            std::process::exit(2);
+        })
+    };
+    match mode {
+        "soak" => {
+            let cases = args
+                .get(1)
+                .map(|s| parse_u64(s, "case count") as u32)
+                .unwrap_or(500);
+            chaos_soak(cases);
+        }
+        "run" => {
+            let Some(preset) = args.get(1) else {
+                eprintln!("usage: figures -- chaos run <preset> [seed]");
+                std::process::exit(2);
+            };
+            let seed = args
+                .get(2)
+                .map(|s| parse_u64(s, "seed"))
+                .unwrap_or(CHAOS_SEED);
+            chaos_run(preset, seed);
+        }
+        "replay" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: figures -- chaos replay <chaos-repro-*.json>");
+                std::process::exit(2);
+            };
+            chaos_replay(path);
+        }
+        "selftest" => chaos_selftest(),
+        other => {
+            eprintln!("unknown chaos mode '{other}'; expected: soak | run | replay | selftest");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -696,6 +963,10 @@ fn main() {
         "faults" => {
             let scenario = args.get(1).map(String::as_str).unwrap_or("matrix");
             faults(scenario);
+            return;
+        }
+        "chaos" => {
+            chaos(&args[1..]);
             return;
         }
         "validate" => {

@@ -13,6 +13,7 @@
 //! [`SyncStats`].
 
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
+use coarse_simcore::oracle::{OracleEvent, OracleHub};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -135,6 +136,8 @@ pub struct SyncGroup {
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
     metrics: Option<MetricRegistry>,
+    /// Oracle battery, when invariant checking is on.
+    oracles: Option<OracleHub>,
     /// Logical clock for trace stamps: the functional ring has no real
     /// timing, so each ring step advances one nanosecond of "step time".
     clock: SimTime,
@@ -156,6 +159,7 @@ impl SyncGroup {
             cores: vec![SyncCore::default(); n],
             trace: None,
             metrics: None,
+            oracles: None,
             clock: SimTime::ZERO,
         }
     }
@@ -184,6 +188,13 @@ impl SyncGroup {
     /// `cci.sync.core_steps` and `cci.sync.core_bytes`.
     pub fn set_metrics(&mut self, metrics: MetricRegistry) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches an oracle battery: each collective emits a `RingStart`
+    /// announcing the `2·(n−1)·payload` traffic identity and one `RingStep`
+    /// per ring step, letting the byte-conservation oracle audit it.
+    pub fn set_oracles(&mut self, oracles: OracleHub) {
+        self.oracles = Some(oracles);
     }
 
     /// Number of cores (= devices) in the group.
@@ -257,6 +268,12 @@ impl SyncGroup {
             return Err(SyncError::LengthMismatch {
                 expected: len,
                 got: bad.len(),
+            });
+        }
+        if let Some(hub) = &self.oracles {
+            hub.emit(OracleEvent::RingStart {
+                cores: self.n as u32,
+                payload_bytes: len as u64 * 4,
             });
         }
         let mut stats = SyncStats::default();
@@ -401,6 +418,12 @@ impl SyncGroup {
             m.inc(metric::SYNC_CORE_STEPS, 1);
             m.inc(metric::SYNC_CORE_BYTES, bytes_sent.as_u64());
         }
+        if let Some(hub) = &self.oracles {
+            hub.emit(OracleEvent::RingStep {
+                bytes: bytes_sent.as_u64(),
+                at: self.clock,
+            });
+        }
     }
 }
 
@@ -488,6 +511,41 @@ mod tests {
         assert_eq!(
             stats.bytes_per_core(n).as_u64(),
             2 * (n as u64 - 1) * payload / n as u64
+        );
+    }
+
+    #[test]
+    fn oracle_audits_ring_identity() {
+        let n = 4;
+        let len = 1000usize; // not divisible by n: uneven segments
+        let inputs = make_inputs(n, len);
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        let mut g = SyncGroup::new(n, 300, RingDirection::Reverse);
+        g.set_oracles(hub.clone());
+        let (got, _) = g.allreduce_sum(&inputs);
+        assert_eq!(got, direct_sum(&inputs));
+        hub.emit(OracleEvent::RunEnd { at: SimTime::ZERO });
+        assert!(
+            hub.violations().is_empty(),
+            "correct ring flagged: {:?}",
+            hub.violations()
+        );
+        // A fabricated short-count ring is caught.
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        hub.emit(OracleEvent::RingStart {
+            cores: n as u32,
+            payload_bytes: (len * 4) as u64,
+        });
+        hub.emit(OracleEvent::RingStep {
+            bytes: 16,
+            at: SimTime::ZERO,
+        });
+        hub.emit(OracleEvent::RunEnd { at: SimTime::ZERO });
+        assert!(
+            hub.violations()
+                .iter()
+                .any(|v| v.oracle == "byte-conservation"),
+            "short ring not flagged"
         );
     }
 

@@ -13,6 +13,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use coarse_cci::tensor::TensorId;
+use coarse_simcore::oracle::{OracleEvent, OracleHub};
+use coarse_simcore::time::SimTime;
 
 /// How a proxy picks which contributions it is willing to service next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +140,19 @@ impl SyncScheduler {
     /// Runs collectives until quiescence: in each round, every tensor all of
     /// whose contributions are serviceable completes. Stalling with pending
     /// work means deadlock.
-    pub fn run(mut self) -> ScheduleOutcome {
+    pub fn run(self) -> ScheduleOutcome {
+        self.run_observed(None)
+    }
+
+    /// [`SyncScheduler::run`] with an oracle hub watching the schedule.
+    ///
+    /// The scheduler has no event calendar, so it stamps a synthetic clock:
+    /// one nanosecond per scheduling round. Each completing round emits
+    /// [`OracleEvent::Progress`]; on a stall, every pending contribution
+    /// emits an [`OracleEvent::WaitEdge`] whose holder is the tensor at the
+    /// head of the queue blocking it, then [`OracleEvent::RunEnd`] — so the
+    /// liveness oracle sees exactly the circular waits of Fig. 10.
+    pub fn run_observed(mut self, hub: Option<&OracleHub>) -> ScheduleOutcome {
         let mut completed = Vec::new();
         let mut rounds = 0u64;
         loop {
@@ -164,6 +178,37 @@ impl SyncScheduler {
                 self.contributions.remove(&t);
                 completed.push(t);
             }
+            if let Some(hub) = hub {
+                hub.emit(OracleEvent::Progress {
+                    at: SimTime::from_nanos(rounds),
+                });
+            }
+        }
+        if let Some(hub) = hub {
+            for (&t, contribs) in &self.contributions {
+                for &(client, proxy) in contribs {
+                    let q = &self.proxies[proxy];
+                    let c = Contribution { client, tensor: t };
+                    if q.serviceable(c, self.policy) {
+                        continue;
+                    }
+                    let head = match self.policy {
+                        SchedulingPolicy::Fcfs => q.fifo.front(),
+                        SchedulingPolicy::PerClientQueues => {
+                            q.per_client.get(&client).and_then(VecDeque::front)
+                        }
+                    };
+                    if let Some(h) = head {
+                        hub.emit(OracleEvent::WaitEdge {
+                            waiter: t.0,
+                            holder: h.tensor.0,
+                        });
+                    }
+                }
+            }
+            hub.emit(OracleEvent::RunEnd {
+                at: SimTime::from_nanos(rounds),
+            });
         }
         let deadlocked: Vec<TensorId> = self.contributions.keys().copied().collect();
         debug_assert_eq!(
@@ -237,6 +282,17 @@ mod tests {
         tensors: u64,
         policy: SchedulingPolicy,
     ) -> ScheduleOutcome {
+        random_workload_observed(rng, proxies, clients, tensors, policy, None)
+    }
+
+    fn random_workload_observed(
+        rng: &mut SimRng,
+        proxies: usize,
+        clients: usize,
+        tensors: u64,
+        policy: SchedulingPolicy,
+        hub: Option<&OracleHub>,
+    ) -> ScheduleOutcome {
         let mut order: Vec<u64> = (0..tensors).collect();
         rng.shuffle(&mut order);
         // Random proxy for each (client, tensor).
@@ -261,7 +317,7 @@ mod tests {
             next_idx[c] += 1;
             remaining -= 1;
         }
-        s.run()
+        s.run_observed(hub)
     }
 
     #[test]
@@ -291,6 +347,120 @@ mod tests {
             deadlocks > 10,
             "FCFS should deadlock often, saw {deadlocks}/20"
         );
+    }
+
+    /// Builds the Fig. 10 crossing with arbitrary tensor ids, preceded by
+    /// `agree` tensors both clients route identically (those complete fine
+    /// and exercise the Progress heartbeat before the stall).
+    fn figure10_family(
+        g: &mut coarse_simcore::check::Gen,
+        policy: SchedulingPolicy,
+        hub: &OracleHub,
+    ) -> (ScheduleOutcome, TensorId, TensorId) {
+        let a = TensorId(g.u64_in(10..1_000));
+        let b = TensorId(a.0 + g.u64_in(1..1_000));
+        let agree = g.usize_in(0..4);
+        let mut s = SyncScheduler::new(2, policy);
+        for i in 0..agree {
+            let t = TensorId(b.0 + 1 + i as u64);
+            s.push(0, 0, t);
+            s.push(1, 1, t);
+        }
+        // The crossing: client 0 routes a→p0, b→p1; client 1 the opposite,
+        // arriving after client 0 — FCFS queue heads disagree forever.
+        s.push(0, 0, a);
+        s.push(1, 0, b);
+        s.push(1, 1, a);
+        s.push(0, 1, b);
+        (s.run_observed(Some(hub)), a, b)
+    }
+
+    #[test]
+    fn prop_fcfs_deadlocks_on_figure10_family_and_oracle_sees_the_cycle() {
+        coarse_simcore::check::run_cases("fcfs_fig10_family", 64, |g| {
+            let hub = OracleHub::with_builtins(coarse_simcore::time::SimDuration::from_millis(1));
+            let (out, a, b) = figure10_family(g, SchedulingPolicy::Fcfs, &hub);
+            assert!(!out.is_deadlock_free());
+            assert!(out.deadlocked.contains(&a) && out.deadlocked.contains(&b));
+            let violations = hub.violations();
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| v.oracle == "liveness" && v.detail.contains("wait-for cycle")),
+                "expected a wait-for cycle violation, got {violations:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_per_client_queues_drain_figure10_family_with_quiet_oracle() {
+        coarse_simcore::check::run_cases("queues_fig10_family", 64, |g| {
+            let hub = OracleHub::with_builtins(coarse_simcore::time::SimDuration::from_millis(1));
+            let (out, _, _) = figure10_family(g, SchedulingPolicy::PerClientQueues, &hub);
+            assert!(out.is_deadlock_free());
+            assert!(hub.violations().is_empty(), "{:?}", hub.violations());
+        });
+    }
+
+    #[test]
+    fn prop_queue_based_drains_random_workloads_and_oracle_agrees() {
+        coarse_simcore::check::run_cases("queues_random_drain", 48, |g| {
+            let proxies = g.usize_in(1..5);
+            let clients = g.usize_in(1..7);
+            let tensors = g.u64_in(1..30);
+            let hub = OracleHub::with_builtins(coarse_simcore::time::SimDuration::from_millis(1));
+            let out = random_workload_observed(
+                g.rng(),
+                proxies,
+                clients,
+                tensors,
+                SchedulingPolicy::PerClientQueues,
+                Some(&hub),
+            );
+            assert!(
+                out.is_deadlock_free(),
+                "queue-based scheduling deadlocked on {:?}",
+                out.deadlocked
+            );
+            assert_eq!(out.completed.len(), tensors as usize);
+            assert!(hub.violations().is_empty(), "{:?}", hub.violations());
+        });
+    }
+
+    #[test]
+    fn prop_oracle_verdict_matches_outcome_for_fcfs() {
+        // Whatever FCFS does on a random workload, the liveness oracle must
+        // agree with the scheduler's own deadlock verdict: a stall with
+        // pending work is precisely a wait-for cycle.
+        coarse_simcore::check::run_cases("fcfs_oracle_agrees", 48, |g| {
+            let proxies = g.usize_in(2..4);
+            let clients = g.usize_in(2..5);
+            let tensors = g.u64_in(2..12);
+            let hub = OracleHub::with_builtins(coarse_simcore::time::SimDuration::from_millis(1));
+            let out = random_workload_observed(
+                g.rng(),
+                proxies,
+                clients,
+                tensors,
+                SchedulingPolicy::Fcfs,
+                Some(&hub),
+            );
+            let cycle_reported = hub
+                .violations()
+                .iter()
+                .any(|v| v.oracle == "liveness" && v.detail.contains("cycle"));
+            let self_wait_reported = hub
+                .violations()
+                .iter()
+                .any(|v| v.oracle == "liveness" && v.detail.contains("waits on itself"));
+            assert_eq!(
+                out.is_deadlock_free(),
+                !(cycle_reported || self_wait_reported),
+                "scheduler says deadlocked={:?} but oracle reported {:?}",
+                out.deadlocked,
+                hub.violations()
+            );
+        });
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub use resilience::{ResiliencePolicy, SyncFaultReport};
 pub use routing::RoutingTable;
 pub use service::{round_robin_jobs, run_service, ServiceJob, ServiceOutcome};
 pub use strategy::CoarseStrategy;
-pub use system::CoarseSystem;
+pub use system::{CoarseSystem, SystemError};

@@ -13,6 +13,7 @@ use coarse_cci::storage::ParameterStore;
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
 use coarse_fabric::device::DeviceId;
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
+use coarse_simcore::oracle::{OracleEvent, OracleHub};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 
@@ -45,6 +46,8 @@ pub struct ParameterProxy {
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
     metrics: Option<MetricRegistry>,
+    /// Oracle battery, when invariant checking is on.
+    oracles: Option<OracleHub>,
     /// Externally supplied clock for trace stamps (the proxy is untimed).
     clock: SimTime,
 }
@@ -61,6 +64,7 @@ impl ParameterProxy {
             cache: HashMap::new(),
             trace: None,
             metrics: None,
+            oracles: None,
             clock: SimTime::ZERO,
         }
     }
@@ -84,6 +88,13 @@ impl ParameterProxy {
     /// `core.proxy.queue_depth` histogram.
     pub fn set_metrics(&mut self, metrics: MetricRegistry) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches an oracle battery: every enqueue emits a `ProxyEnqueue`
+    /// observation (feeding the retry-FIFO ordering oracle) and every
+    /// round-state discard emits a `ProxyReset`.
+    pub fn set_oracles(&mut self, oracles: OracleHub) {
+        self.oracles = Some(oracles);
     }
 
     /// Samples the total queue depth, plus `client`'s own depth when given.
@@ -167,6 +178,15 @@ impl ParameterProxy {
             "request addressed to {} arrived at {}",
             request.proxy, self.device
         );
+        if let Some(hub) = &self.oracles {
+            hub.emit(OracleEvent::ProxyEnqueue {
+                proxy: self.device.index() as u32,
+                client: client as u32,
+                stream: request.shard.tensor.0,
+                shard: request.shard.index,
+                at: self.clock,
+            });
+        }
         self.queues.entry(client).or_default().push_back(request);
         if let Some(m) = &self.metrics {
             m.inc(metric::PROXY_PUSHES, 1);
@@ -194,6 +214,12 @@ impl ParameterProxy {
     /// round can restart cleanly after a failover. Reduced parameters
     /// (storage and pull cache) are untouched.
     pub fn discard_pending(&mut self) {
+        if let Some(hub) = &self.oracles {
+            hub.emit(OracleEvent::ProxyReset {
+                proxy: self.device.index() as u32,
+                at: self.clock,
+            });
+        }
         self.queues.clear();
         self.accum.clear();
         self.shards.clear();
@@ -240,6 +266,14 @@ impl ParameterProxy {
         }
         if let Some((tracer, track)) = &self.trace {
             tracer.end_span(self.clock, *track);
+        }
+        // The queues are now empty: the per-client ordering history the
+        // retry-FIFO oracle accumulated no longer constrains future arrivals.
+        if let Some(hub) = &self.oracles {
+            hub.emit(OracleEvent::ProxyReset {
+                proxy: self.device.index() as u32,
+                at: self.clock,
+            });
         }
         self.trace_queue_depth(None);
         touched
@@ -352,6 +386,52 @@ mod tests {
         assert_eq!(touched, vec![TensorId(1)]);
         let contrib = p.take_contribution(TensorId(1), 4);
         assert_eq!(contrib, vec![11.0, 12.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn oracle_accepts_in_order_queues_across_rounds() {
+        let dev = device();
+        let hub = coarse_simcore::oracle::OracleHub::with_builtins(
+            coarse_simcore::time::SimDuration::from_millis(10),
+        );
+        let mut p = ParameterProxy::new(dev);
+        p.set_oracles(hub.clone());
+        for round in 0..3 {
+            for tensor in 0..2u64 {
+                for shard in 0..2u32 {
+                    p.enqueue(0, request(dev, tensor, shard, 0, vec![1.0], 1));
+                }
+            }
+            let _ = p.absorb();
+            let _ = round;
+        }
+        hub.emit(OracleEvent::RunEnd { at: SimTime::ZERO });
+        assert!(
+            hub.violations().is_empty(),
+            "in-order rounds flagged: {:?}",
+            hub.violations()
+        );
+    }
+
+    #[test]
+    fn oracle_flags_interleaved_streams_in_one_queue() {
+        let dev = device();
+        let hub = coarse_simcore::oracle::OracleHub::with_builtins(
+            coarse_simcore::time::SimDuration::from_millis(10),
+        );
+        let mut p = ParameterProxy::new(dev);
+        p.set_oracles(hub.clone());
+        // Stream 1, then 2, then back to 1 without any drain: reordered.
+        p.enqueue(0, request(dev, 1, 0, 0, vec![1.0], 1));
+        p.enqueue(0, request(dev, 2, 0, 0, vec![1.0], 1));
+        p.enqueue(0, request(dev, 1, 1, 0, vec![1.0], 1));
+        assert!(
+            hub.violations()
+                .iter()
+                .any(|v| v.oracle == "retry-fifo" && v.detail.contains("re-appeared")),
+            "interleaving not flagged: {:?}",
+            hub.violations()
+        );
     }
 
     #[test]

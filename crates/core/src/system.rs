@@ -18,6 +18,7 @@ use coarse_cci::tensor::{Tensor, TensorId};
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::topology::Topology;
 use coarse_simcore::faults::FaultPlan;
+use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
 use coarse_simcore::time::SimTime;
 
 use crate::client::ParameterClient;
@@ -34,6 +35,48 @@ const SYNC_CHUNK_ELEMS: usize = 4096;
 /// through clean (keeps even a 100%-corruption plan terminating).
 const MAX_PUSH_ATTEMPTS: u32 = 32;
 
+/// Malformed input to a [`CoarseSystem`] entry point — the typed
+/// counterpart of the assertions the panicking APIs enforce, so callers
+/// reachable from a CLI can report instead of crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The deployment has no workers.
+    NoWorkers,
+    /// The deployment has no memory devices.
+    NoMemDevices,
+    /// `gradients.len()` differs from the worker count.
+    WorkerCountMismatch {
+        /// Workers in the deployment.
+        expected: usize,
+        /// Gradient sets supplied.
+        got: usize,
+    },
+    /// A worker pushed a different tensor set than worker 0.
+    TensorSetMismatch {
+        /// The offending worker.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::NoWorkers => write!(f, "need at least one worker"),
+            SystemError::NoMemDevices => write!(f, "need at least one memory device"),
+            SystemError::WorkerCountMismatch { expected, got } => write!(
+                f,
+                "one gradient set per worker: deployment has {expected} workers, got {got} sets"
+            ),
+            SystemError::TensorSetMismatch { worker } => write!(
+                f,
+                "workers must push identical tensor sets; worker {worker} differs from worker 0"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
 /// A fully wired COARSE deployment over one machine.
 #[derive(Debug)]
 pub struct CoarseSystem {
@@ -43,6 +86,11 @@ pub struct CoarseSystem {
     /// When set, the memory devices run this update rule on the master
     /// weights instead of publishing raw gradient means (§II-A).
     optimizer: Option<Box<dyn Optimizer>>,
+    /// Oracle battery threaded through proxies and sync groups, when armed.
+    oracles: Option<OracleHub>,
+    /// Clock for oracle stamps: the functional system is untimed, so the
+    /// resilient path pins this to its round instant.
+    clock: SimTime,
 }
 
 impl CoarseSystem {
@@ -51,10 +99,32 @@ impl CoarseSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `workers` or `mem_devices` is empty.
+    /// Panics if `workers` or `mem_devices` is empty. Use
+    /// [`try_new`](Self::try_new) for a fallible variant.
     pub fn new(topo: &Topology, workers: &[DeviceId], mem_devices: &[DeviceId]) -> Self {
-        assert!(!workers.is_empty(), "need at least one worker");
-        assert!(!mem_devices.is_empty(), "need at least one memory device");
+        match Self::try_new(topo, workers, mem_devices) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: like [`new`](Self::new) but empty worker or
+    /// memory-device lists surface as a [`SystemError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::NoWorkers`] or [`SystemError::NoMemDevices`].
+    pub fn try_new(
+        topo: &Topology,
+        workers: &[DeviceId],
+        mem_devices: &[DeviceId],
+    ) -> Result<Self, SystemError> {
+        if workers.is_empty() {
+            return Err(SystemError::NoWorkers);
+        }
+        if mem_devices.is_empty() {
+            return Err(SystemError::NoMemDevices);
+        }
         let clients = workers
             .iter()
             .enumerate()
@@ -74,12 +144,25 @@ impl CoarseSystem {
             .enumerate()
             .map(|(i, &d)| (d, i))
             .collect();
-        CoarseSystem {
+        Ok(CoarseSystem {
             clients,
             proxies,
             proxy_index,
             optimizer: None,
+            oracles: None,
+            clock: SimTime::ZERO,
+        })
+    }
+
+    /// Arms an oracle battery: proxies emit enqueue/reset observations,
+    /// cross-device reductions emit ring audits, and the resilient
+    /// synchronization path emits shard attempts, stream resets, fault
+    /// bites, and progress heartbeats. Observation-only.
+    pub fn set_oracles(&mut self, oracles: OracleHub) {
+        for p in &mut self.proxies {
+            p.set_oracles(oracles.clone());
         }
+        self.oracles = Some(oracles);
     }
 
     /// Installs an optimizer: synchronization rounds now apply the update
@@ -172,19 +255,55 @@ impl CoarseSystem {
     ///
     /// # Panics
     ///
-    /// Panics if worker counts mismatch or tensor sets differ.
+    /// Panics if worker counts mismatch or tensor sets differ. Use
+    /// [`try_synchronize`](Self::try_synchronize) for a fallible variant.
     pub fn synchronize(&mut self, gradients: &[Vec<Tensor>]) -> Vec<Vec<Tensor>> {
-        assert_eq!(
-            gradients.len(),
-            self.clients.len(),
-            "one gradient set per worker"
-        );
+        match self.try_synchronize(gradients) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validates one round's gradient sets against the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::WorkerCountMismatch`] or
+    /// [`SystemError::TensorSetMismatch`].
+    fn validate_gradients(
+        &self,
+        gradients: &[Vec<Tensor>],
+    ) -> Result<Vec<(TensorId, usize)>, SystemError> {
+        if gradients.len() != self.clients.len() {
+            return Err(SystemError::WorkerCountMismatch {
+                expected: self.clients.len(),
+                got: gradients.len(),
+            });
+        }
         let tensor_meta: Vec<(TensorId, usize)> =
             gradients[0].iter().map(|t| (t.id(), t.len())).collect();
-        for set in gradients {
+        for (w, set) in gradients.iter().enumerate() {
             let meta: Vec<(TensorId, usize)> = set.iter().map(|t| (t.id(), t.len())).collect();
-            assert_eq!(meta, tensor_meta, "workers must push identical tensor sets");
+            if meta != tensor_meta {
+                return Err(SystemError::TensorSetMismatch { worker: w });
+            }
         }
+        Ok(tensor_meta)
+    }
+
+    /// Fallible synchronization: like [`synchronize`](Self::synchronize) but
+    /// malformed gradient sets surface as a [`SystemError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::WorkerCountMismatch`] when `gradients.len()`
+    /// differs from the worker count and [`SystemError::TensorSetMismatch`]
+    /// when a worker's tensor set differs from worker 0's.
+    pub fn try_synchronize(
+        &mut self,
+        gradients: &[Vec<Tensor>],
+    ) -> Result<Vec<Vec<Tensor>>, SystemError> {
+        let tensor_meta = self.validate_gradients(gradients)?;
 
         // Phase 1: push. Clients partition/route; requests land in the
         // per-client queues of the destination proxies.
@@ -198,7 +317,7 @@ impl CoarseSystem {
             }
         }
 
-        self.reduce_and_pull(&tensor_meta)
+        Ok(self.reduce_and_pull(&tensor_meta))
     }
 
     /// Phases 2–4 of a synchronization round: proxies absorb their queues,
@@ -230,11 +349,19 @@ impl CoarseSystem {
                     SYNC_CHUNK_ELEMS,
                     RingDirection::for_group(round),
                 );
+                if let Some(hub) = &self.oracles {
+                    group.set_oracles(hub.clone());
+                }
                 group
                     .try_allreduce_sum(&inputs)
                     .expect("one contribution per surviving proxy")
                     .0
             };
+            // Each completed cross-device reduction is serviceable work
+            // finishing — the liveness oracle's heartbeat.
+            if let Some(hub) = &self.oracles {
+                hub.emit(OracleEvent::Progress { at: self.clock });
+            }
             for x in &mut reduced {
                 *x /= workers;
             }
@@ -320,7 +447,9 @@ impl CoarseSystem {
     ///
     /// # Panics
     ///
-    /// Panics if worker counts mismatch or tensor sets differ.
+    /// Panics if worker counts mismatch or tensor sets differ. Use
+    /// [`try_synchronize_resilient`](Self::try_synchronize_resilient) for a
+    /// fallible variant.
     pub fn synchronize_resilient(
         &mut self,
         gradients: &[Vec<Tensor>],
@@ -329,21 +458,39 @@ impl CoarseSystem {
         now: SimTime,
         policy: &ResiliencePolicy,
     ) -> (Vec<Vec<Tensor>>, SyncFaultReport) {
+        match self.try_synchronize_resilient(gradients, topo, plan, now, policy) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible resilient synchronization: like
+    /// [`synchronize_resilient`](Self::synchronize_resilient) but malformed
+    /// gradient sets surface as a [`SystemError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::WorkerCountMismatch`] or
+    /// [`SystemError::TensorSetMismatch`].
+    pub fn try_synchronize_resilient(
+        &mut self,
+        gradients: &[Vec<Tensor>],
+        topo: &Topology,
+        plan: &FaultPlan,
+        now: SimTime,
+        policy: &ResiliencePolicy,
+    ) -> Result<(Vec<Vec<Tensor>>, SyncFaultReport), SystemError> {
         let mut report = SyncFaultReport::default();
         if plan.is_empty() {
-            return (self.synchronize(gradients), report);
+            return Ok((self.try_synchronize(gradients)?, report));
         }
-        assert_eq!(
-            gradients.len(),
-            self.clients.len(),
-            "one gradient set per worker"
-        );
-        let tensor_meta: Vec<(TensorId, usize)> =
-            gradients[0].iter().map(|t| (t.id(), t.len())).collect();
-        for set in gradients {
-            let meta: Vec<(TensorId, usize)> = set.iter().map(|t| (t.id(), t.len())).collect();
-            assert_eq!(meta, tensor_meta, "workers must push identical tensor sets");
+        let tensor_meta = self.validate_gradients(gradients)?;
+        self.clock = now;
+        for p in &mut self.proxies {
+            p.set_time(now);
         }
+        // A new round: every worker's shard streams start over at shard 0.
+        self.emit_stream_resets(&tensor_meta, now);
 
         // Deterministic per-transfer sequence number: keys the plan's
         // corruption hash so each retransmission draws a fresh outcome.
@@ -358,6 +505,12 @@ impl CoarseSystem {
                 .collect();
             if !downs.is_empty() {
                 for d in downs {
+                    if let Some(hub) = &self.oracles {
+                        hub.emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Dropout,
+                            at: now,
+                        });
+                    }
                     self.fail_proxy(d);
                     report.failovers += 1;
                     report.recovery_time += policy.detect_timeout;
@@ -372,7 +525,11 @@ impl CoarseSystem {
                 for c in &mut self.clients {
                     c.reset_pending();
                 }
-                return (gpu_only_mean(gradients), report);
+                self.emit_stream_resets(&tensor_meta, now);
+                if let Some(hub) = &self.oracles {
+                    hub.emit(OracleEvent::Progress { at: now });
+                }
+                return Ok((gpu_only_mean(gradients), report));
             }
 
             // Push phase, resilient: every shard travels sealed; transient
@@ -388,6 +545,12 @@ impl CoarseSystem {
                         // routing tables, and restart the round cleanly.
                         report.failovers += 1;
                         report.recovery_time += policy.detect_timeout;
+                        if let Some(hub) = &self.oracles {
+                            hub.emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Dropout,
+                                at: now,
+                            });
+                        }
                         self.fail_proxy(req.proxy);
                         if !self.proxies.is_empty() {
                             self.reprofile(topo, now);
@@ -398,12 +561,22 @@ impl CoarseSystem {
                         for c in &mut self.clients {
                             c.reset_pending();
                         }
+                        self.emit_stream_resets(&tensor_meta, now);
                         continue 'round;
                     }
                     let pi = self.proxy_index[&req.proxy];
                     let mut attempt = 0u32;
                     loop {
                         transfer_seq += 1;
+                        if let Some(hub) = &self.oracles {
+                            hub.emit(OracleEvent::ShardAttempt {
+                                worker: w as u32,
+                                stream: req.shard.tensor.0,
+                                shard: req.shard.index,
+                                attempt,
+                                at: now,
+                            });
+                        }
                         let mut sealed = SealedShard::seal(req.shard.clone());
                         if attempt < MAX_PUSH_ATTEMPTS
                             && plan.corrupts(req.proxy.index() as u32, now, transfer_seq)
@@ -412,6 +585,12 @@ impl CoarseSystem {
                             // after sealing so the CRC32 check fails.
                             if let Some(x) = sealed.shard_mut().data.first_mut() {
                                 *x = f32::from_bits(x.to_bits() ^ 1);
+                            }
+                            if let Some(hub) = &self.oracles {
+                                hub.emit(OracleEvent::FaultBite {
+                                    kind: BiteKind::Corrupt,
+                                    at: now,
+                                });
                             }
                         }
                         match self.proxies[pi].enqueue_sealed(
@@ -433,7 +612,25 @@ impl CoarseSystem {
             }
             break;
         }
-        (self.reduce_and_pull(&tensor_meta), report)
+        Ok((self.reduce_and_pull(&tensor_meta), report))
+    }
+
+    /// Announces to the oracle battery that every worker's per-tensor shard
+    /// stream legitimately restarts (round restart after failover or
+    /// degradation) — without this the retry-FIFO oracle would flag the
+    /// restarted streams as regressions.
+    fn emit_stream_resets(&self, tensor_meta: &[(TensorId, usize)], now: SimTime) {
+        if let Some(hub) = &self.oracles {
+            for w in 0..self.clients.len() {
+                for &(id, _) in tensor_meta {
+                    hub.emit(OracleEvent::StreamReset {
+                        worker: w as u32,
+                        stream: id.0,
+                        at: now,
+                    });
+                }
+            }
+        }
     }
 
     /// The stored value of a tensor on the first memory device's storage,
@@ -775,6 +972,78 @@ mod tests {
             &ResiliencePolicy::default(),
         );
         assert_eq!(report, report2, "faulty runs must be deterministic");
+    }
+
+    #[test]
+    fn try_new_rejects_empty_tiers() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        assert_eq!(
+            CoarseSystem::try_new(machine.topology(), &[], &part.mem_devices).err(),
+            Some(SystemError::NoWorkers)
+        );
+        assert_eq!(
+            CoarseSystem::try_new(machine.topology(), &part.workers, &[]).err(),
+            Some(SystemError::NoMemDevices)
+        );
+    }
+
+    #[test]
+    fn try_synchronize_surfaces_typed_errors() {
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let short = gradient_sets(part.workers.len() - 1, &[100]);
+        assert_eq!(
+            sys.try_synchronize(&short).err(),
+            Some(SystemError::WorkerCountMismatch {
+                expected: part.workers.len(),
+                got: part.workers.len() - 1,
+            })
+        );
+        let mut bad = gradient_sets(part.workers.len(), &[100]);
+        bad[1][0] = Tensor::new(TensorId(42), vec![0.0; 100]);
+        assert_eq!(
+            sys.try_synchronize(&bad).err(),
+            Some(SystemError::TensorSetMismatch { worker: 1 })
+        );
+    }
+
+    #[test]
+    fn oracles_stay_quiet_across_resilient_rounds() {
+        use coarse_simcore::oracle::OracleHub;
+        use coarse_simcore::time::SimDuration;
+        let machine = sdsc_p100();
+        let part = machine.partition(PartitionScheme::OneToOne);
+        let mut sys = CoarseSystem::new(machine.topology(), &part.workers, &part.mem_devices);
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(50));
+        sys.set_oracles(hub.clone());
+        let mut plan = coarse_simcore::faults::FaultPlan::new(11);
+        for d in &part.mem_devices {
+            plan = plan.corrupt_transfers(d.index() as u32, SimTime::ZERO, SimTime::MAX, 400_000);
+        }
+        let grads = gradient_sets(part.workers.len(), &[64, 900_000]);
+        // Two consecutive rounds: retries fire, streams restart per round.
+        for round in 0..2u64 {
+            let now = SimTime::from_nanos(50 + round * 10);
+            let (_, report) = sys.synchronize_resilient(
+                &grads,
+                machine.topology(),
+                &plan,
+                now,
+                &ResiliencePolicy::default(),
+            );
+            assert!(report.retries > 0);
+        }
+        hub.emit(OracleEvent::RunEnd {
+            at: SimTime::from_nanos(60),
+        });
+        assert!(
+            hub.violations().is_empty(),
+            "healthy resilient rounds flagged: {:?}",
+            hub.violations()
+        );
+        assert!(hub.events_seen() > 0);
     }
 
     #[test]

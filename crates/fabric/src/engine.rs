@@ -17,6 +17,7 @@
 
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{metered, name as metric, MetricRegistry};
+use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::trace::{active, category, SharedTracer};
@@ -100,6 +101,8 @@ pub struct TransferEngine {
     metrics: Option<MetricRegistry>,
     /// Optional fault schedule; `None` means the fabric is healthy.
     faults: Option<FaultPlan>,
+    /// Optional oracle battery; `None` means no invariant checking.
+    oracles: Option<OracleHub>,
     /// Interned trace track per directed link (lazily populated).
     link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
 }
@@ -117,6 +120,7 @@ impl TransferEngine {
             tracer: None,
             metrics: None,
             faults: None,
+            oracles: None,
             link_tracks,
         }
     }
@@ -161,6 +165,19 @@ impl TransferEngine {
     /// The attached fault schedule, if one is active (non-empty).
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_empty())
+    }
+
+    /// Attaches an oracle battery: subsequent transfers emit
+    /// request/delivery/failure ledger events plus fault-bite markers.
+    /// Observation-only, exactly like tracing — timings never change.
+    pub fn set_oracles(&mut self, oracles: OracleHub) {
+        self.oracles = Some(oracles);
+    }
+
+    /// The attached oracle battery, if any. Layers built on the engine
+    /// (timed collectives, the training simulator) emit into the same hub.
+    pub fn oracles(&self) -> Option<&OracleHub> {
+        self.oracles.as_ref()
     }
 
     /// The trace track for a directed link, named
@@ -211,6 +228,51 @@ impl TransferEngine {
     ///
     /// Returns [`TransferError::NoRoute`] if no allowed route exists.
     pub fn transfer_filtered(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        size: ByteSize,
+        arrival: SimTime,
+        allow: impl Fn(&Link) -> bool + Copy,
+    ) -> Result<TransferRecord, TransferError> {
+        if let Some(hub) = self.oracles.clone() {
+            hub.emit(OracleEvent::TransferRequested {
+                src: src.index() as u32,
+                dst: dst.index() as u32,
+                bytes: size.as_u64(),
+                at: arrival,
+            });
+        }
+        let result = self.transfer_filtered_inner(src, dst, size, arrival, allow);
+        if let Some(hub) = self.oracles.clone() {
+            match &result {
+                Ok(rec) => hub.emit(OracleEvent::TransferDelivered {
+                    src: src.index() as u32,
+                    dst: dst.index() as u32,
+                    bytes: size.as_u64(),
+                    start: rec.start,
+                    end: rec.end,
+                }),
+                Err(err) => {
+                    if matches!(err, TransferError::DeviceDown { .. }) {
+                        hub.emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Dropout,
+                            at: arrival,
+                        });
+                    }
+                    hub.emit(OracleEvent::TransferFailed {
+                        src: src.index() as u32,
+                        dst: dst.index() as u32,
+                        bytes: size.as_u64(),
+                        at: arrival,
+                    });
+                }
+            }
+        }
+        result
+    }
+
+    fn transfer_filtered_inner(
         &mut self,
         src: DeviceId,
         dst: DeviceId,
@@ -281,9 +343,24 @@ impl TransferEngine {
         // around an outage when a detour exists and reports `NoRoute` when
         // the endpoints are genuinely cut off.
         let route = match self.fault_plan() {
-            Some(plan) => self.topo.route_filtered(src, dst, |l| {
-                allow(l) && !plan.link_down(l.src().index() as u32, l.dst().index() as u32, arrival)
-            }),
+            Some(plan) => {
+                // Conservative flap bite: any active flap anywhere may have
+                // shifted this route, so the run no longer counts as clean.
+                // Over-reporting is sound (it only widens the set of runs
+                // the clean-run-equivalence oracle skips).
+                if plan.any_flap_active(arrival) {
+                    if let Some(hub) = &self.oracles {
+                        hub.emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Flap,
+                            at: arrival,
+                        });
+                    }
+                }
+                self.topo.route_filtered(src, dst, |l| {
+                    allow(l)
+                        && !plan.link_down(l.src().index() as u32, l.dst().index() as u32, arrival)
+                })
+            }
             None => self.topo.route_filtered(src, dst, &allow),
         }
         .ok_or(TransferError::NoRoute { src, dst })?;
@@ -313,6 +390,7 @@ impl TransferEngine {
         // pipeline; every hop is occupied for that window. A degraded link
         // stretches its serialization time by the plan's factor.
         let plan = self.faults.as_ref().filter(|p| !p.is_empty());
+        let mut degraded = false;
         let occupancy = route
             .links()
             .iter()
@@ -327,6 +405,7 @@ impl TransferEngine {
                             arrival,
                         );
                         if factor != 1.0 {
+                            degraded = true;
                             base.mul_f64(factor)
                         } else {
                             base
@@ -337,6 +416,14 @@ impl TransferEngine {
             })
             .max()
             .expect("non-empty route");
+        if degraded {
+            if let Some(hub) = &self.oracles {
+                hub.emit(OracleEvent::FaultBite {
+                    kind: BiteKind::Degrade,
+                    at: arrival,
+                });
+            }
+        }
         let start = route
             .links()
             .iter()
@@ -647,6 +734,50 @@ mod tests {
             .unwrap();
         assert_eq!(healthy, faulted, "empty plan must perturb nothing");
         assert!(e.fault_plan().is_none(), "empty plan reads as no plan");
+    }
+
+    #[test]
+    fn oracles_are_observation_only_and_balance_the_ledger() {
+        let (t, g0, g1, _) = topo();
+        let mut plain = TransferEngine::new(t.clone());
+        let healthy = plain
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        let mut e = TransferEngine::new(t);
+        e.set_oracles(hub.clone());
+        let observed = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(healthy, observed, "oracles must not perturb timing");
+        assert!(hub.events_seen() >= 2, "request + delivery events");
+        hub.emit(OracleEvent::RunEnd { at: observed.end });
+        assert!(
+            hub.violations().is_empty(),
+            "healthy transfer violates: {:?}",
+            hub.violations()
+        );
+    }
+
+    #[test]
+    fn oracles_record_failed_transfers_and_dropout_bites() {
+        let (t, g0, g1, _) = topo();
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        let mut e = TransferEngine::new(t);
+        e.set_fault_plan(FaultPlan::new(1).drop_device(1, SimTime::ZERO));
+        e.set_oracles(hub.clone());
+        let err = e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::from_nanos(5));
+        assert!(matches!(err, Err(TransferError::DeviceDown { .. })));
+        hub.emit(OracleEvent::RunEnd {
+            at: SimTime::from_nanos(5),
+        });
+        // The failed transfer is ledgered as failed, so conservation holds.
+        assert!(
+            hub.violations().is_empty(),
+            "failed-but-ledgered transfer violates: {:?}",
+            hub.violations()
+        );
     }
 
     #[test]

@@ -343,6 +343,14 @@ impl FaultPlan {
             .any(|f| same_link(f.a, f.b, a, b) && f.from <= at && at < f.until)
     }
 
+    /// True if *any* scheduled flap is active at `at`, regardless of link.
+    /// Used by observation hooks as a conservative "a flap may have altered
+    /// routing" signal: it may over-report (the flapped link might not be on
+    /// any used route) but never under-reports.
+    pub fn any_flap_active(&self, at: SimTime) -> bool {
+        self.flaps.iter().any(|f| f.from <= at && at < f.until)
+    }
+
     /// True if `device` has dropped out at or before `at`.
     pub fn device_down(&self, device: NodeIndex, at: SimTime) -> bool {
         self.dropouts
@@ -450,6 +458,313 @@ impl FaultPlan {
         out.sort_by(|x, y| x.at.cmp(&y.at).then_with(|| x.label.cmp(&y.label)));
         out
     }
+
+    /// Decomposes the plan into individually addressable fault specs, in a
+    /// stable order (degrades, flaps, dropouts, stalls, transients — each in
+    /// insertion order). The inverse of [`FaultPlan::from_specs`].
+    pub fn specs(&self) -> Vec<FaultSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.degrades.iter().copied().map(FaultSpec::Degrade));
+        out.extend(self.flaps.iter().copied().map(FaultSpec::Flap));
+        out.extend(self.dropouts.iter().copied().map(FaultSpec::Dropout));
+        out.extend(self.stalls.iter().copied().map(FaultSpec::Stall));
+        out.extend(self.transients.iter().copied().map(FaultSpec::Transient));
+        out
+    }
+
+    /// Rebuilds a plan from `seed` and a spec list (e.g. one pruned by the
+    /// shrinker). Goes through the validating setters, so malformed specs
+    /// panic exactly like hand-built ones.
+    pub fn from_specs(seed: u64, specs: &[FaultSpec]) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for s in specs {
+            plan = match *s {
+                FaultSpec::Degrade(d) => plan.degrade_link(d.a, d.b, d.from, d.until, d.factor),
+                FaultSpec::Flap(f) => plan.flap_link(f.a, f.b, f.from, f.until),
+                FaultSpec::Dropout(d) => plan.drop_device(d.device, d.at),
+                FaultSpec::Stall(s) => plan.stall_device(s.device, s.from, s.until, s.extra),
+                FaultSpec::Transient(t) => {
+                    plan.corrupt_transfers(t.device, t.from, t.until, t.rate_ppm)
+                }
+            };
+        }
+        plan
+    }
+}
+
+/// One individually addressable scheduled fault — the unit the generator
+/// samples and the shrinker drops or narrows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// A link bandwidth degradation.
+    Degrade(LinkDegrade),
+    /// A link outage window.
+    Flap(LinkFlap),
+    /// A permanent device dropout.
+    Dropout(DeviceDropout),
+    /// A proxy service stall window.
+    Stall(ProxyStall),
+    /// A transient transfer-corruption window.
+    Transient(TransientFaults),
+}
+
+/// The addressable fault surface of one deployment: which devices can drop
+/// out / stall / corrupt, which links can degrade / flap, and the time
+/// horizon fault windows are sampled within.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultUniverse {
+    /// Devices (creation indices) that can fail — the memory-device tier.
+    pub devices: Vec<NodeIndex>,
+    /// Undirected links that can degrade or flap.
+    pub links: Vec<(NodeIndex, NodeIndex)>,
+    /// Fault windows are sampled within `[0, horizon)`.
+    pub horizon: SimDuration,
+}
+
+/// A seeded random fault-plan generator: samples arbitrary compositions of
+/// the five fault kinds over a [`FaultUniverse`]. The same `(generator,
+/// seed)` pair always yields the same plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlanGen {
+    universe: FaultUniverse,
+    max_events: usize,
+    max_dropouts: usize,
+}
+
+impl FaultPlanGen {
+    /// A generator over `universe` sampling 1–4 events per plan, with at
+    /// most `devices − 1` dropouts (so the proxy tier usually survives; the
+    /// cap is at least 1 so total-loss schedules stay reachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has no devices, no links, or a zero horizon.
+    pub fn new(universe: FaultUniverse) -> FaultPlanGen {
+        assert!(!universe.devices.is_empty(), "universe needs devices");
+        assert!(!universe.links.is_empty(), "universe needs links");
+        assert!(
+            universe.horizon > SimDuration::ZERO,
+            "universe needs a positive horizon"
+        );
+        let max_dropouts = universe.devices.len().saturating_sub(1).max(1);
+        FaultPlanGen {
+            universe,
+            max_events: 4,
+            max_dropouts,
+        }
+    }
+
+    /// Caps the number of events per sampled plan (≥ 1).
+    pub fn max_events(mut self, n: usize) -> FaultPlanGen {
+        self.max_events = n.max(1);
+        self
+    }
+
+    /// Caps the number of device dropouts per sampled plan.
+    pub fn max_dropouts(mut self, n: usize) -> FaultPlanGen {
+        self.max_dropouts = n;
+        self
+    }
+
+    /// The universe this generator samples over.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Samples one plan from `seed`. Deterministic: the same seed yields
+    /// the same plan, byte for byte.
+    pub fn sample(&self, seed: u64) -> FaultPlan {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0063_6861_6f73_6765); // "chaosge"
+        let horizon = self.universe.horizon.as_nanos().max(2);
+        let n = 1 + rng.next_below(self.max_events as u64) as usize;
+        let mut plan = FaultPlan::new(seed);
+        let mut dropouts = 0usize;
+        for _ in 0..n {
+            // A window within [0, horizon) at least 1ns long.
+            let from = rng.next_below(horizon - 1);
+            let until = rng.range_inclusive(from + 1, horizon);
+            let from = SimTime::from_nanos(from);
+            let until = SimTime::from_nanos(until);
+            let device =
+                self.universe.devices[rng.next_below(self.universe.devices.len() as u64) as usize];
+            let (a, b) =
+                self.universe.links[rng.next_below(self.universe.links.len() as u64) as usize];
+            match rng.next_below(5) {
+                0 => {
+                    // Degradations between 1.5x and 8x.
+                    let factor = rng.range_f64(1.5, 8.0);
+                    plan = plan.degrade_link(a, b, from, until, factor);
+                }
+                1 => plan = plan.flap_link(a, b, from, until),
+                2 => {
+                    if dropouts < self.max_dropouts {
+                        dropouts += 1;
+                        plan = plan.drop_device(device, from);
+                    } else {
+                        // Dropout budget spent: degrade instead, keeping the
+                        // draw count (and hence the rest of the plan) fixed.
+                        plan = plan.degrade_link(a, b, from, until, 2.0);
+                    }
+                }
+                3 => {
+                    let extra = SimDuration::from_nanos(rng.range_inclusive(10_000, 2_000_000));
+                    plan = plan.stall_device(device, from, until, extra);
+                }
+                _ => {
+                    let rate = rng.range_inclusive(50_000, 600_000) as u32;
+                    plan = plan.corrupt_transfers(device, from, until, rate);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Outcome of shrinking a failing plan.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (still failing, per the caller's predicate).
+    pub plan: FaultPlan,
+    /// Fault events in the original plan.
+    pub original_events: usize,
+    /// Fault events after shrinking.
+    pub shrunk_events: usize,
+    /// Candidate plans the predicate was evaluated on.
+    pub tested: u32,
+}
+
+/// Deterministic delta-debugging shrinker: minimizes `plan` while
+/// `still_fails` keeps returning `true`, first by **dropping** fault events
+/// (ddmin-style: halves, then quarters, then singles), then by **narrowing**
+/// the survivors (halving windows, pulling factors and rates toward benign).
+/// The predicate is never called on an empty plan.
+///
+/// The shrinker is pure: no randomness, so the same (plan, predicate) pair
+/// always minimizes to the same result.
+pub fn shrink_plan(
+    plan: &FaultPlan,
+    mut still_fails: impl FnMut(&FaultPlan) -> bool,
+) -> ShrinkOutcome {
+    let seed = plan.seed();
+    let mut specs = plan.specs();
+    let original_events = specs.len();
+    let mut tested = 0u32;
+
+    // Phase 1: drop events, coarse to fine (ddmin-style: halves, then
+    // quarters, ... then singles; singles repeat until a pass removes
+    // nothing).
+    let mut chunk = specs.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < specs.len() && specs.len() > 1 {
+            let end = (start + chunk).min(specs.len());
+            let mut candidate = specs.clone();
+            candidate.drain(start..end);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            let cand_plan = FaultPlan::from_specs(seed, &candidate);
+            tested += 1;
+            if still_fails(&cand_plan) {
+                specs = candidate;
+                removed_any = true;
+                // Same start index now points at fresh events.
+            } else {
+                start = end;
+            }
+        }
+        if chunk > 1 {
+            chunk /= 2;
+        } else if !removed_any {
+            break;
+        }
+    }
+
+    // Phase 2: narrow surviving events toward benign, to fixpoint (bounded).
+    for _pass in 0..8 {
+        let mut narrowed_any = false;
+        for i in 0..specs.len() {
+            for candidate_spec in narrow_candidates(&specs[i]) {
+                let mut candidate = specs.clone();
+                candidate[i] = candidate_spec;
+                let cand_plan = FaultPlan::from_specs(seed, &candidate);
+                tested += 1;
+                if still_fails(&cand_plan) {
+                    specs = candidate;
+                    narrowed_any = true;
+                    break;
+                }
+            }
+        }
+        if !narrowed_any {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        shrunk_events: specs.len(),
+        plan: FaultPlan::from_specs(seed, &specs),
+        original_events,
+        tested,
+    }
+}
+
+/// Strictly-smaller variants of one fault spec, most aggressive first.
+/// Every candidate is valid by construction (non-empty windows, factors
+/// ≥ 1.0, rates ≤ 1e6).
+fn narrow_candidates(spec: &FaultSpec) -> Vec<FaultSpec> {
+    let mut out = Vec::new();
+    let halve = |from: SimTime, until: SimTime| -> Option<SimTime> {
+        let len = until.as_nanos() - from.as_nanos();
+        (len >= 2).then(|| SimTime::from_nanos(from.as_nanos() + len / 2))
+    };
+    match *spec {
+        FaultSpec::Degrade(d) => {
+            if let Some(mid) = halve(d.from, d.until) {
+                out.push(FaultSpec::Degrade(LinkDegrade { until: mid, ..d }));
+            }
+            // Pull the factor halfway toward 1.0 (keep meaningfully > 1).
+            let softer = 1.0 + (d.factor - 1.0) / 2.0;
+            if d.factor - softer > 1e-6 && softer > 1.0 + 1e-6 {
+                out.push(FaultSpec::Degrade(LinkDegrade {
+                    factor: softer,
+                    ..d
+                }));
+            }
+        }
+        FaultSpec::Flap(f) => {
+            if let Some(mid) = halve(f.from, f.until) {
+                out.push(FaultSpec::Flap(LinkFlap { until: mid, ..f }));
+            }
+        }
+        FaultSpec::Dropout(_) => {
+            // A dropout is a point event; nothing to narrow.
+        }
+        FaultSpec::Stall(s) => {
+            if let Some(mid) = halve(s.from, s.until) {
+                out.push(FaultSpec::Stall(ProxyStall { until: mid, ..s }));
+            }
+            let softer = SimDuration::from_nanos(s.extra.as_nanos() / 2);
+            if softer > SimDuration::ZERO && softer < s.extra {
+                out.push(FaultSpec::Stall(ProxyStall { extra: softer, ..s }));
+            }
+        }
+        FaultSpec::Transient(t) => {
+            if let Some(mid) = halve(t.from, t.until) {
+                out.push(FaultSpec::Transient(TransientFaults { until: mid, ..t }));
+            }
+            let softer = t.rate_ppm / 2;
+            if softer > 0 {
+                out.push(FaultSpec::Transient(TransientFaults {
+                    rate_ppm: softer,
+                    ..t
+                }));
+            }
+        }
+    }
+    out
 }
 
 /// True if the undirected pairs `{a1,b1}` and `{a2,b2}` name the same link.
@@ -568,5 +883,113 @@ mod tests {
         assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
         assert!(ev[0].label.contains("degrade link 0-1"));
         assert!(ev[2].label.contains("device 4 dropout"));
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        let p = FaultPlan::new(9)
+            .degrade_link(0, 1, t(2), t(9), 2.5)
+            .flap_link(2, 3, t(5), t(6))
+            .drop_device(4, t(7))
+            .stall_device(5, t(1), t(3), SimDuration::from_micros(10))
+            .corrupt_transfers(6, t(0), t(8), 100_000);
+        let specs = p.specs();
+        assert_eq!(specs.len(), p.len());
+        let q = FaultPlan::from_specs(p.seed(), &specs);
+        assert_eq!(p, q);
+    }
+
+    fn test_universe() -> FaultUniverse {
+        FaultUniverse {
+            devices: vec![4, 5, 6, 7],
+            links: vec![(0, 4), (1, 5), (2, 6), (3, 7), (4, 5)],
+            horizon: SimDuration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        let g = FaultPlanGen::new(test_universe());
+        for seed in 0..64 {
+            let a = g.sample(seed);
+            let b = g.sample(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.is_empty());
+            assert!(a.len() <= 4, "seed {seed}: {} events", a.len());
+            let horizon = SimTime::ZERO + test_universe().horizon;
+            for ev in a.events() {
+                assert!(ev.at < horizon, "seed {seed}: event past horizon");
+            }
+        }
+        // Different seeds produce different plans somewhere in the batch.
+        assert!((1..64).any(|s| g.sample(s) != g.sample(0)));
+    }
+
+    #[test]
+    fn generator_respects_dropout_cap() {
+        let g = FaultPlanGen::new(test_universe())
+            .max_events(12)
+            .max_dropouts(1);
+        for seed in 0..64 {
+            assert!(g.sample(seed).dropouts.len() <= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shrinker_isolates_the_failing_event() {
+        // Predicate: fails iff the plan drops device 6.
+        let plan = FaultPlan::new(3)
+            .degrade_link(0, 4, t(1), t(20), 3.0)
+            .flap_link(1, 5, t(2), t(10))
+            .drop_device(6, t(5))
+            .stall_device(7, t(3), t(9), SimDuration::from_micros(50))
+            .corrupt_transfers(5, t(0), t(30), 200_000);
+        let out = shrink_plan(&plan, |p| p.dropouts.iter().any(|d| d.device == 6));
+        assert_eq!(out.original_events, 5);
+        assert_eq!(out.shrunk_events, 1);
+        assert_eq!(out.plan.dropouts.len(), 1);
+        assert_eq!(out.plan.dropouts[0].device, 6);
+        assert!(out.tested > 0);
+        // Deterministic: same inputs, same minimization.
+        let again = shrink_plan(&plan, |p| p.dropouts.iter().any(|d| d.device == 6));
+        assert_eq!(out.plan, again.plan);
+        assert_eq!(out.tested, again.tested);
+    }
+
+    #[test]
+    fn shrinker_narrows_windows_and_factors() {
+        // Predicate: fails while a degradation overlapping t=2 with factor
+        // >= 1.5 exists — so the window can shrink toward [t2, ...) and the
+        // factor can soften toward 1.5 but not below.
+        let plan = FaultPlan::new(4).degrade_link(0, 4, t(1), t(40), 8.0);
+        let fails = |p: &FaultPlan| p.degradation(0, 4, t(2)) >= 1.5;
+        let out = shrink_plan(&plan, fails);
+        assert_eq!(out.shrunk_events, 1);
+        assert_eq!(out.plan.degrades.len(), 1);
+        let d = out.plan.degrades[0];
+        assert!(fails(&out.plan));
+        assert!(d.until < t(40), "window was not narrowed: {:?}", d.until);
+        assert!(d.factor < 8.0, "factor was not softened: {}", d.factor);
+        assert!(d.factor >= 1.5);
+    }
+
+    #[test]
+    fn shrinker_never_tests_empty_plans() {
+        let plan = FaultPlan::new(5).drop_device(4, t(1)).drop_device(5, t(2));
+        let out = shrink_plan(&plan, |p| {
+            assert!(!p.is_empty(), "predicate saw an empty plan");
+            true
+        });
+        // Everything fails, so the minimum is a single event.
+        assert_eq!(out.shrunk_events, 1);
+    }
+
+    #[test]
+    fn any_flap_active_covers_all_links() {
+        let p = FaultPlan::new(6).flap_link(0, 4, t(5), t(9));
+        assert!(!p.any_flap_active(t(4)));
+        assert!(p.any_flap_active(t(5)));
+        assert!(p.any_flap_active(t(8)));
+        assert!(!p.any_flap_active(t(9)));
     }
 }

@@ -11,8 +11,9 @@
 //! - FIFO resource bookkeeping in [`timeline`],
 //! - structured tracing (spans/instants/counters) in [`trace`],
 //! - a typed metric registry (counters/gauges/histograms) in [`metrics`],
-//! - deterministic zero-dep JSON construction in [`json`],
-//! - seeded, schedule-driven fault injection in [`faults`], and
+//! - deterministic zero-dep JSON construction and parsing in [`json`],
+//! - seeded, schedule-driven fault injection in [`faults`],
+//! - runtime invariant oracles for chaos search in [`oracle`], and
 //! - an offline deterministic property-test harness in [`check`].
 //!
 //! Everything is deterministic: the same program and seed produce the same
@@ -42,6 +43,7 @@ pub mod check;
 pub mod faults;
 pub mod json;
 pub mod metrics;
+pub mod oracle;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -53,9 +55,12 @@ pub mod units;
 
 /// Convenient glob-import of the kernel's common types.
 pub mod prelude {
-    pub use crate::faults::FaultPlan;
-    pub use crate::json::JsonValue;
+    pub use crate::faults::{
+        shrink_plan, FaultPlan, FaultPlanGen, FaultSpec, FaultUniverse, ShrinkOutcome,
+    };
+    pub use crate::json::{JsonParseError, JsonValue};
     pub use crate::metrics::{HistogramSummary, MetricRegistry, MetricsSnapshot};
+    pub use crate::oracle::{Oracle, OracleEvent, OracleHub, Violation};
     pub use crate::queue::{EventHandle, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Model, RunOutcome, Simulation};

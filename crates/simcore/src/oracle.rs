@@ -1,0 +1,1153 @@
+//! Runtime invariant oracles for chaos search.
+//!
+//! An [`Oracle`] is a registered checker that watches a stream of
+//! [`OracleEvent`]s emitted from hook points across the stack — the fabric
+//! engine, the sync-core ring, the proxy tier, and the fault-aware training
+//! loops — and renders [`Violation`]s when an invariant breaks. Oracles are
+//! **observation-only**: emitting events must never perturb simulated time,
+//! routing, or any seeded draw, exactly like the tracing layer.
+//!
+//! The built-in battery covers the invariants the COARSE design argues for
+//! structurally:
+//!
+//! - [`ByteConservation`] — every byte requested of the fabric is either
+//!   delivered or explicitly failed, and each ring collective moves exactly
+//!   the `2·(n−1)·payload` bytes of the ring-allreduce identity (§III-F).
+//! - [`TimeMonotonicity`] — transfers end no earlier than they start,
+//!   iteration boundaries advance strictly, and no event is stamped after
+//!   the run reportedly ended.
+//! - [`Liveness`] — the proxy "waits-for" relation stays acyclic (§III-F,
+//!   Fig. 10) and progress never stalls longer than a configurable bound
+//!   while work is outstanding.
+//! - [`RetryFifo`] — retries draw monotonically increasing attempt numbers
+//!   at non-decreasing times, and resilience mechanisms never reorder a
+//!   client's shard stream (the §III-F deadlock-avoidance invariant).
+//! - [`CleanRunEquivalence`] — a faulty run in which **no fault bit** (no
+//!   window intersected live traffic, no retry, no failover) must produce a
+//!   result fingerprint bit-identical to the fault-free reference.
+//!
+//! Register oracles on an [`OracleHub`], thread the hub through the layers
+//! under test (each layer exposes a `set_oracles`-style hook), and collect
+//! [`OracleHub::violations`] at the end of the run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::faults::NodeIndex;
+use crate::time::{SimDuration, SimTime};
+
+/// Which fault kind perturbed live traffic (a fault "bit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiteKind {
+    /// A bandwidth degradation stretched a transfer.
+    Degrade,
+    /// A link flap was active while routing (the route may have shifted).
+    Flap,
+    /// A transfer hit a dropped device.
+    Dropout,
+    /// A proxy stall delayed a service.
+    Stall,
+    /// Transient corruption rejected a transfer.
+    Corrupt,
+}
+
+impl BiteKind {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BiteKind::Degrade => "degrade",
+            BiteKind::Flap => "flap",
+            BiteKind::Dropout => "dropout",
+            BiteKind::Stall => "stall",
+            BiteKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One observation fed to the oracle battery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleEvent {
+    /// The fabric was asked to move `bytes` from `src` to `dst`.
+    TransferRequested {
+        /// Source device (creation index).
+        src: NodeIndex,
+        /// Destination device (creation index).
+        dst: NodeIndex,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Simulated instant of the request.
+        at: SimTime,
+    },
+    /// A requested transfer completed.
+    TransferDelivered {
+        /// Source device.
+        src: NodeIndex,
+        /// Destination device.
+        dst: NodeIndex,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// When the transfer started occupying the fabric.
+        start: SimTime,
+        /// When the last byte arrived.
+        end: SimTime,
+    },
+    /// A requested transfer failed (dead device, no route).
+    TransferFailed {
+        /// Source device.
+        src: NodeIndex,
+        /// Destination device.
+        dst: NodeIndex,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Simulated instant of the failure.
+        at: SimTime,
+    },
+    /// An injected fault perturbed live traffic.
+    FaultBite {
+        /// Which fault kind fired.
+        kind: BiteKind,
+        /// When it fired.
+        at: SimTime,
+    },
+    /// A ring collective over `cores` members began on `payload_bytes`.
+    RingStart {
+        /// Number of ring members.
+        cores: u32,
+        /// Bytes being synchronized.
+        payload_bytes: u64,
+    },
+    /// One ring step moved `bytes` across the ring.
+    RingStep {
+        /// Bytes sent in this step, summed across members.
+        bytes: u64,
+        /// Logical step instant.
+        at: SimTime,
+    },
+    /// One attempt of one shard of a client's push/pull stream.
+    ShardAttempt {
+        /// The pushing worker.
+        worker: u32,
+        /// The logical stream (tensor id or bucket id).
+        stream: u64,
+        /// Shard index within the stream.
+        shard: u32,
+        /// Retry attempt number (0 = first try).
+        attempt: u32,
+        /// Simulated instant of the attempt.
+        at: SimTime,
+    },
+    /// A stream legitimately restarted from shard 0 (e.g. after failover).
+    StreamReset {
+        /// The worker whose stream restarted.
+        worker: u32,
+        /// The restarted stream.
+        stream: u64,
+        /// When the restart was decided.
+        at: SimTime,
+    },
+    /// A shard landed in a proxy's per-client queue.
+    ProxyEnqueue {
+        /// The servicing proxy (device creation index).
+        proxy: NodeIndex,
+        /// The pushing client.
+        client: u32,
+        /// The logical stream (tensor id).
+        stream: u64,
+        /// Shard index within the stream.
+        shard: u32,
+        /// Arrival instant.
+        at: SimTime,
+    },
+    /// A proxy discarded its in-flight round state (round restart).
+    ProxyReset {
+        /// The proxy that reset.
+        proxy: NodeIndex,
+        /// When.
+        at: SimTime,
+    },
+    /// `waiter` cannot proceed until `holder` is serviced (wait-for edge).
+    WaitEdge {
+        /// The blocked unit of work (tensor id).
+        waiter: u64,
+        /// The unit of work blocking it.
+        holder: u64,
+    },
+    /// Serviceable work completed (liveness heartbeat).
+    Progress {
+        /// When the progress happened.
+        at: SimTime,
+    },
+    /// One training iteration finished.
+    IterationEnd {
+        /// Iteration index (0-based, strictly increasing).
+        index: u32,
+        /// End instant.
+        at: SimTime,
+    },
+    /// Result fingerprint of the fault-free reference run.
+    ReferenceFingerprint {
+        /// Deterministic hash of the reference result.
+        hash: u64,
+    },
+    /// Result fingerprint of the observed (possibly faulty) run.
+    RunFingerprint {
+        /// Deterministic hash of the observed result.
+        hash: u64,
+    },
+    /// The observed run ended.
+    RunEnd {
+        /// Final simulated instant.
+        at: SimTime,
+    },
+}
+
+/// One invariant violation rendered by an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The oracle that fired.
+    pub oracle: &'static str,
+    /// Human-readable description (stable across runs for a given input).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// A runtime invariant checker fed by [`OracleEvent`]s.
+pub trait Oracle {
+    /// Stable oracle name (used in verdicts and repro artifacts).
+    fn name(&self) -> &'static str;
+    /// Observes one event. Must be cheap and must not panic on any stream.
+    fn observe(&mut self, ev: &OracleEvent);
+    /// Violations found so far (called after the run; idempotent).
+    fn violations(&self) -> Vec<Violation>;
+}
+
+/// Shared, registered oracle battery. Cloning shares the same underlying
+/// oracles (like `SharedTracer` / `MetricRegistry`).
+#[derive(Clone, Default)]
+pub struct OracleHub {
+    inner: Rc<RefCell<HubState>>,
+}
+
+#[derive(Default)]
+struct HubState {
+    oracles: Vec<Box<dyn Oracle>>,
+    events_seen: u64,
+}
+
+impl std::fmt::Debug for OracleHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.borrow();
+        f.debug_struct("OracleHub")
+            .field("oracles", &st.oracles.len())
+            .field("events_seen", &st.events_seen)
+            .finish()
+    }
+}
+
+impl OracleHub {
+    /// An empty hub with no oracles registered.
+    pub fn new() -> OracleHub {
+        OracleHub::default()
+    }
+
+    /// A hub armed with the full built-in battery. `watchdog` bounds the
+    /// liveness oracle: no progress for longer than this (while work is
+    /// outstanding) is a violation.
+    pub fn with_builtins(watchdog: SimDuration) -> OracleHub {
+        let hub = OracleHub::new();
+        hub.register(Box::new(ByteConservation::new()));
+        hub.register(Box::new(TimeMonotonicity::new()));
+        hub.register(Box::new(Liveness::new(watchdog)));
+        hub.register(Box::new(RetryFifo::new()));
+        hub.register(Box::new(CleanRunEquivalence::new()));
+        hub
+    }
+
+    /// Registers an oracle.
+    pub fn register(&self, oracle: Box<dyn Oracle>) {
+        self.inner.borrow_mut().oracles.push(oracle);
+    }
+
+    /// Feeds one event to every registered oracle.
+    pub fn emit(&self, ev: OracleEvent) {
+        let mut st = self.inner.borrow_mut();
+        st.events_seen += 1;
+        for o in &mut st.oracles {
+            o.observe(&ev);
+        }
+    }
+
+    /// Total events emitted to this hub.
+    pub fn events_seen(&self) -> u64 {
+        self.inner.borrow().events_seen
+    }
+
+    /// All violations across all registered oracles, in registration order.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner
+            .borrow()
+            .oracles
+            .iter()
+            .flat_map(|o| o.violations())
+            .collect()
+    }
+
+    /// Names of the registered oracles, in registration order.
+    pub fn oracle_names(&self) -> Vec<&'static str> {
+        self.inner
+            .borrow()
+            .oracles
+            .iter()
+            .map(|o| o.name())
+            .collect()
+    }
+}
+
+/// Caps how many violations one oracle accumulates — a systematically broken
+/// run would otherwise allocate one violation per event.
+const MAX_VIOLATIONS: usize = 16;
+
+fn push_capped(v: &mut Vec<Violation>, oracle: &'static str, detail: String) {
+    if v.len() < MAX_VIOLATIONS {
+        v.push(Violation { oracle, detail });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in oracle: byte conservation
+// ---------------------------------------------------------------------------
+
+/// Checks the fabric's byte ledger (`requested = delivered + failed`) and
+/// the ring-allreduce traffic identity (`2·(n−1)·payload` per collective).
+#[derive(Debug, Default)]
+pub struct ByteConservation {
+    requested_bytes: u64,
+    delivered_bytes: u64,
+    failed_bytes: u64,
+    requested_count: u64,
+    delivered_count: u64,
+    failed_count: u64,
+    /// Expected vs accumulated bytes of the ring collective in flight.
+    ring_expected: Option<u64>,
+    ring_seen: u64,
+    violations: Vec<Violation>,
+}
+
+impl ByteConservation {
+    /// A fresh ledger.
+    pub fn new() -> ByteConservation {
+        ByteConservation::default()
+    }
+
+    fn close_ring(&mut self) {
+        if let Some(expected) = self.ring_expected.take() {
+            if self.ring_seen != expected {
+                push_capped(
+                    &mut self.violations,
+                    "byte-conservation",
+                    format!(
+                        "ring collective moved {} bytes, ring identity requires {}",
+                        self.ring_seen, expected
+                    ),
+                );
+            }
+        }
+        self.ring_seen = 0;
+    }
+}
+
+impl Oracle for ByteConservation {
+    fn name(&self) -> &'static str {
+        "byte-conservation"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::TransferRequested { bytes, .. } => {
+                self.requested_bytes += bytes;
+                self.requested_count += 1;
+            }
+            OracleEvent::TransferDelivered { bytes, .. } => {
+                self.delivered_bytes += bytes;
+                self.delivered_count += 1;
+            }
+            OracleEvent::TransferFailed { bytes, .. } => {
+                self.failed_bytes += bytes;
+                self.failed_count += 1;
+            }
+            OracleEvent::RingStart {
+                cores,
+                payload_bytes,
+            } => {
+                self.close_ring();
+                self.ring_expected = Some(2 * (cores as u64).saturating_sub(1) * payload_bytes);
+            }
+            OracleEvent::RingStep { bytes, .. } => {
+                self.ring_seen += bytes;
+            }
+            OracleEvent::RunEnd { .. } => {
+                self.close_ring();
+                if self.requested_bytes != self.delivered_bytes + self.failed_bytes {
+                    push_capped(
+                        &mut self.violations,
+                        "byte-conservation",
+                        format!(
+                            "fabric ledger leaks: requested {} bytes ({} transfers), \
+                             delivered {} ({}), failed {} ({})",
+                            self.requested_bytes,
+                            self.requested_count,
+                            self.delivered_bytes,
+                            self.delivered_count,
+                            self.failed_bytes,
+                            self.failed_count
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in oracle: simulated-time monotonicity
+// ---------------------------------------------------------------------------
+
+/// Checks that simulated time never runs backwards where the design says it
+/// cannot: transfers end no earlier than they start, iteration boundaries
+/// strictly advance (in both index and time), and no event is stamped after
+/// the reported end of the run.
+#[derive(Debug, Default)]
+pub struct TimeMonotonicity {
+    last_iteration: Option<(u32, SimTime)>,
+    max_stamp: SimTime,
+    violations: Vec<Violation>,
+}
+
+impl TimeMonotonicity {
+    /// A fresh checker.
+    pub fn new() -> TimeMonotonicity {
+        TimeMonotonicity::default()
+    }
+
+    fn stamp(&mut self, at: SimTime) {
+        self.max_stamp = self.max_stamp.max(at);
+    }
+}
+
+impl Oracle for TimeMonotonicity {
+    fn name(&self) -> &'static str {
+        "time-monotonicity"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::TransferDelivered { start, end, .. } => {
+                if end < start {
+                    push_capped(
+                        &mut self.violations,
+                        "time-monotonicity",
+                        format!(
+                            "transfer ends at {}ns before it starts at {}ns",
+                            end.as_nanos(),
+                            start.as_nanos()
+                        ),
+                    );
+                }
+                self.stamp(end);
+            }
+            OracleEvent::TransferRequested { at, .. }
+            | OracleEvent::TransferFailed { at, .. }
+            | OracleEvent::FaultBite { at, .. }
+            | OracleEvent::ShardAttempt { at, .. }
+            | OracleEvent::StreamReset { at, .. }
+            | OracleEvent::ProxyEnqueue { at, .. }
+            | OracleEvent::ProxyReset { at, .. }
+            | OracleEvent::Progress { at } => self.stamp(at),
+            OracleEvent::IterationEnd { index, at } => {
+                if let Some((pi, pt)) = self.last_iteration {
+                    if index <= pi {
+                        push_capped(
+                            &mut self.violations,
+                            "time-monotonicity",
+                            format!("iteration index regressed: {index} after {pi}"),
+                        );
+                    }
+                    if at <= pt {
+                        push_capped(
+                            &mut self.violations,
+                            "time-monotonicity",
+                            format!(
+                                "iteration {index} ends at {}ns, not after iteration {pi} \
+                                 at {}ns",
+                                at.as_nanos(),
+                                pt.as_nanos()
+                            ),
+                        );
+                    }
+                }
+                self.last_iteration = Some((index, at));
+                self.stamp(at);
+            }
+            OracleEvent::RunEnd { at } if at < self.max_stamp => {
+                push_capped(
+                    &mut self.violations,
+                    "time-monotonicity",
+                    format!(
+                        "run reportedly ended at {}ns but an event was stamped {}ns",
+                        at.as_nanos(),
+                        self.max_stamp.as_nanos()
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in oracle: wait-for acyclicity + liveness watchdog
+// ---------------------------------------------------------------------------
+
+/// Checks that the proxy "waits-for" relation stays acyclic (§III-F,
+/// Fig. 10) and that progress heartbeats never gap longer than the watchdog
+/// bound while work is outstanding.
+#[derive(Debug)]
+pub struct Liveness {
+    watchdog: SimDuration,
+    edges: Vec<(u64, u64)>,
+    last_progress: Option<SimTime>,
+    violations: Vec<Violation>,
+}
+
+impl Liveness {
+    /// A checker whose watchdog fires after `watchdog` of silence.
+    pub fn new(watchdog: SimDuration) -> Liveness {
+        Liveness {
+            watchdog,
+            edges: Vec::new(),
+            last_progress: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// True if the accumulated wait-for edges contain a cycle. Iterative
+    /// three-color DFS over the adjacency list.
+    fn has_cycle(&self) -> Option<Vec<u64>> {
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(w, h) in &self.edges {
+            adj.entry(w).or_default().push(h);
+        }
+        let mut nodes: Vec<u64> = adj.keys().copied().collect();
+        nodes.sort_unstable();
+        // 0 = white, 1 = on stack, 2 = done.
+        let mut color: HashMap<u64, u8> = HashMap::new();
+        for &root in &nodes {
+            if color.get(&root).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next-child-index); path tracks the grey chain.
+            let mut stack: Vec<(u64, usize)> = vec![(root, 0)];
+            color.insert(root, 1);
+            let mut path = vec![root];
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match color.get(&child).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(child, 1);
+                            stack.push((child, 0));
+                            path.push(child);
+                        }
+                        1 => {
+                            // Found a grey node: the cycle is the path tail.
+                            let start = path.iter().position(|&n| n == child).unwrap_or(0);
+                            let mut cycle = path[start..].to_vec();
+                            cycle.push(child);
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(node, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Oracle for Liveness {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::WaitEdge { waiter, holder } => {
+                if waiter == holder {
+                    push_capped(
+                        &mut self.violations,
+                        "liveness",
+                        format!("work unit {waiter} waits on itself"),
+                    );
+                } else {
+                    self.edges.push((waiter, holder));
+                }
+            }
+            OracleEvent::Progress { at } => {
+                if let Some(prev) = self.last_progress {
+                    if at > prev && at - prev > self.watchdog {
+                        push_capped(
+                            &mut self.violations,
+                            "liveness",
+                            format!(
+                                "no progress for {}ns (watchdog {}ns): silent from {}ns \
+                                 to {}ns",
+                                (at - prev).as_nanos(),
+                                self.watchdog.as_nanos(),
+                                prev.as_nanos(),
+                                at.as_nanos()
+                            ),
+                        );
+                    }
+                }
+                self.last_progress = Some(at);
+                // Progress dissolves the wait-for edges observed so far:
+                // they described the schedule *before* this service round.
+                self.edges.clear();
+            }
+            OracleEvent::RunEnd { .. } => {
+                if let Some(cycle) = self.has_cycle() {
+                    let rendered: Vec<String> = cycle.iter().map(|n| format!("t{n}")).collect();
+                    push_capped(
+                        &mut self.violations,
+                        "liveness",
+                        format!("wait-for cycle: {}", rendered.join(" -> ")),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        let mut out = self.violations.clone();
+        // A cycle present mid-stream (RunEnd not yet seen) still counts.
+        if out.len() < MAX_VIOLATIONS {
+            if let Some(cycle) = self.has_cycle() {
+                let rendered: Vec<String> = cycle.iter().map(|n| format!("t{n}")).collect();
+                let v = Violation {
+                    oracle: "liveness",
+                    detail: format!("wait-for cycle: {}", rendered.join(" -> ")),
+                };
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in oracle: retry-FIFO ordering
+// ---------------------------------------------------------------------------
+
+/// Checks the §III-F ordering contract under retries: attempt numbers of one
+/// shard increase by exactly one at non-decreasing times, shard indices of
+/// one stream never regress (absent an explicit [`OracleEvent::StreamReset`]),
+/// and a proxy's per-client queue receives streams without interleaving back
+/// to an earlier stream (absent a [`OracleEvent::ProxyReset`]).
+#[derive(Debug, Default)]
+pub struct RetryFifo {
+    /// Per (worker, stream): highest shard seen and its last attempt/time.
+    streams: HashMap<(u32, u64), (u32, u32, SimTime)>,
+    /// Per (proxy, client): stream arrival state (last stream, seen set).
+    queues: HashMap<(NodeIndex, u32), (u64, Vec<u64>, u32)>,
+    violations: Vec<Violation>,
+}
+
+impl RetryFifo {
+    /// A fresh checker.
+    pub fn new() -> RetryFifo {
+        RetryFifo::default()
+    }
+}
+
+impl Oracle for RetryFifo {
+    fn name(&self) -> &'static str {
+        "retry-fifo"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::ShardAttempt {
+                worker,
+                stream,
+                shard,
+                attempt,
+                at,
+            } => {
+                let key = (worker, stream);
+                match self.streams.get_mut(&key) {
+                    None => {
+                        self.streams.insert(key, (shard, attempt, at));
+                    }
+                    Some((last_shard, last_attempt, last_at)) => {
+                        if shard < *last_shard {
+                            push_capped(
+                                &mut self.violations,
+                                "retry-fifo",
+                                format!(
+                                    "worker {worker} stream {stream}: shard {shard} \
+                                     attempted after shard {last_shard} without a reset"
+                                ),
+                            );
+                        } else if shard == *last_shard
+                            && attempt != 0
+                            && attempt != *last_attempt + 1
+                        {
+                            push_capped(
+                                &mut self.violations,
+                                "retry-fifo",
+                                format!(
+                                    "worker {worker} stream {stream} shard {shard}: \
+                                     attempt {attempt} after attempt {last_attempt}"
+                                ),
+                            );
+                        }
+                        if at < *last_at {
+                            push_capped(
+                                &mut self.violations,
+                                "retry-fifo",
+                                format!(
+                                    "worker {worker} stream {stream} shard {shard}: \
+                                     attempt at {}ns before previous attempt at {}ns",
+                                    at.as_nanos(),
+                                    last_at.as_nanos()
+                                ),
+                            );
+                        }
+                        *last_shard = shard;
+                        *last_attempt = attempt;
+                        *last_at = at;
+                    }
+                }
+            }
+            OracleEvent::StreamReset { worker, stream, .. } => {
+                self.streams.remove(&(worker, stream));
+            }
+            OracleEvent::ProxyEnqueue {
+                proxy,
+                client,
+                stream,
+                shard,
+                ..
+            } => {
+                let entry = self
+                    .queues
+                    .entry((proxy, client))
+                    .or_insert((stream, Vec::new(), 0));
+                let (current, seen, last_shard) = entry;
+                if *current != stream {
+                    if seen.contains(&stream) {
+                        push_capped(
+                            &mut self.violations,
+                            "retry-fifo",
+                            format!(
+                                "proxy {proxy} client {client}: stream {stream} \
+                                 re-appeared after stream {current} (queue reordered)"
+                            ),
+                        );
+                    }
+                    seen.push(*current);
+                    *current = stream;
+                    *last_shard = shard;
+                } else if shard < *last_shard {
+                    push_capped(
+                        &mut self.violations,
+                        "retry-fifo",
+                        format!(
+                            "proxy {proxy} client {client} stream {stream}: shard \
+                             {shard} enqueued after shard {last_shard}"
+                        ),
+                    );
+                } else {
+                    *last_shard = shard;
+                }
+            }
+            OracleEvent::ProxyReset { proxy, .. } => {
+                self.queues.retain(|&(p, _), _| p != proxy);
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in oracle: clean-run equivalence
+// ---------------------------------------------------------------------------
+
+/// Checks that a faulty run whose plan never actually perturbed anything —
+/// no [`OracleEvent::FaultBite`], no failed transfer, no stream reset —
+/// converges to the bit-identical result fingerprint of the fault-free
+/// reference run.
+#[derive(Debug, Default)]
+pub struct CleanRunEquivalence {
+    bites: u64,
+    resets: u64,
+    failed: u64,
+    reference: Option<u64>,
+    run: Option<u64>,
+    violations: Vec<Violation>,
+}
+
+impl CleanRunEquivalence {
+    /// A fresh checker.
+    pub fn new() -> CleanRunEquivalence {
+        CleanRunEquivalence::default()
+    }
+}
+
+impl Oracle for CleanRunEquivalence {
+    fn name(&self) -> &'static str {
+        "clean-run-equivalence"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::FaultBite { .. } => self.bites += 1,
+            OracleEvent::StreamReset { .. } => self.resets += 1,
+            OracleEvent::TransferFailed { .. } => self.failed += 1,
+            OracleEvent::ReferenceFingerprint { hash } => self.reference = Some(hash),
+            OracleEvent::RunFingerprint { hash } => self.run = Some(hash),
+            OracleEvent::RunEnd { .. }
+                if self.bites == 0 && self.resets == 0 && self.failed == 0 =>
+            {
+                if let (Some(want), Some(got)) = (self.reference, self.run) {
+                    if want != got {
+                        push_capped(
+                            &mut self.violations,
+                            "clean-run-equivalence",
+                            format!(
+                                "no fault bit, yet the run fingerprint \
+                                 {got:#018x} differs from the fault-free \
+                                 reference {want:#018x}"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn empty_hub_reports_nothing() {
+        let hub = OracleHub::new();
+        hub.emit(OracleEvent::RunEnd { at: t(10) });
+        assert!(hub.violations().is_empty());
+        assert_eq!(hub.events_seen(), 1);
+    }
+
+    #[test]
+    fn byte_conservation_catches_a_leak() {
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        hub.emit(OracleEvent::TransferRequested {
+            src: 0,
+            dst: 1,
+            bytes: 100,
+            at: t(0),
+        });
+        hub.emit(OracleEvent::TransferDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 60,
+            start: t(0),
+            end: t(5),
+        });
+        hub.emit(OracleEvent::RunEnd { at: t(5) });
+        let v = hub.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "byte-conservation");
+        assert!(v[0].detail.contains("requested 100"));
+    }
+
+    #[test]
+    fn byte_conservation_accepts_balanced_ledger_and_ring_identity() {
+        let hub = OracleHub::with_builtins(SimDuration::from_millis(10));
+        hub.emit(OracleEvent::TransferRequested {
+            src: 0,
+            dst: 1,
+            bytes: 100,
+            at: t(0),
+        });
+        hub.emit(OracleEvent::TransferDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 100,
+            start: t(0),
+            end: t(5),
+        });
+        // Ring of 3 on 300 bytes: identity total is 2*2*300 = 1200.
+        hub.emit(OracleEvent::RingStart {
+            cores: 3,
+            payload_bytes: 300,
+        });
+        for step in 0..4u64 {
+            hub.emit(OracleEvent::RingStep {
+                bytes: 300,
+                at: t(10 + step),
+            });
+        }
+        hub.emit(OracleEvent::RunEnd { at: t(20) });
+        assert!(hub.violations().is_empty(), "{:?}", hub.violations());
+    }
+
+    #[test]
+    fn ring_identity_violation_detected() {
+        let o = &mut ByteConservation::new();
+        o.observe(&OracleEvent::RingStart {
+            cores: 4,
+            payload_bytes: 100,
+        });
+        o.observe(&OracleEvent::RingStep {
+            bytes: 100,
+            at: t(1),
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(2) });
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("requires 600"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn time_monotonicity_catches_backwards_iterations() {
+        let o = &mut TimeMonotonicity::new();
+        o.observe(&OracleEvent::IterationEnd {
+            index: 0,
+            at: t(10),
+        });
+        o.observe(&OracleEvent::IterationEnd { index: 1, at: t(5) });
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("not after"));
+    }
+
+    #[test]
+    fn time_monotonicity_catches_events_past_run_end() {
+        let o = &mut TimeMonotonicity::new();
+        o.observe(&OracleEvent::Progress { at: t(100) });
+        o.observe(&OracleEvent::RunEnd { at: t(50) });
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn liveness_finds_the_fig10_cycle() {
+        let o = &mut Liveness::new(SimDuration::from_millis(5));
+        o.observe(&OracleEvent::WaitEdge {
+            waiter: 1,
+            holder: 2,
+        });
+        o.observe(&OracleEvent::WaitEdge {
+            waiter: 2,
+            holder: 1,
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(0) });
+        let v = o.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("wait-for cycle"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn liveness_accepts_acyclic_waits_and_clears_on_progress() {
+        let o = &mut Liveness::new(SimDuration::from_millis(5));
+        o.observe(&OracleEvent::WaitEdge {
+            waiter: 1,
+            holder: 2,
+        });
+        o.observe(&OracleEvent::WaitEdge {
+            waiter: 2,
+            holder: 3,
+        });
+        o.observe(&OracleEvent::Progress { at: t(10) });
+        // The same edges reversed later do NOT form a cycle with the
+        // pre-progress edges: progress dissolved them.
+        o.observe(&OracleEvent::WaitEdge {
+            waiter: 2,
+            holder: 1,
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(20) });
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn liveness_watchdog_fires_on_long_silence() {
+        let o = &mut Liveness::new(SimDuration::from_nanos(100));
+        o.observe(&OracleEvent::Progress { at: t(0) });
+        o.observe(&OracleEvent::Progress { at: t(500) });
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("no progress for 500ns"));
+    }
+
+    #[test]
+    fn retry_fifo_accepts_ordered_attempts_and_catches_inversion() {
+        let o = &mut RetryFifo::new();
+        // Shard 0: two attempts, then shard 1.
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 0,
+            attempt: 0,
+            at: t(0),
+        });
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 0,
+            attempt: 1,
+            at: t(10),
+        });
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 1,
+            attempt: 0,
+            at: t(20),
+        });
+        assert!(o.violations().is_empty());
+        // Regressing to shard 0 without a reset is a violation.
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 0,
+            attempt: 0,
+            at: t(30),
+        });
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("without a reset"));
+    }
+
+    #[test]
+    fn retry_fifo_allows_restart_after_reset() {
+        let o = &mut RetryFifo::new();
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 3,
+            attempt: 0,
+            at: t(0),
+        });
+        o.observe(&OracleEvent::StreamReset {
+            worker: 0,
+            stream: 7,
+            at: t(5),
+        });
+        o.observe(&OracleEvent::ShardAttempt {
+            worker: 0,
+            stream: 7,
+            shard: 0,
+            attempt: 0,
+            at: t(10),
+        });
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn retry_fifo_catches_queue_interleaving() {
+        let o = &mut RetryFifo::new();
+        for (stream, shard) in [(1u64, 0u32), (1, 1), (2, 0), (1, 2)] {
+            o.observe(&OracleEvent::ProxyEnqueue {
+                proxy: 9,
+                client: 0,
+                stream,
+                shard,
+                at: t(0),
+            });
+        }
+        let v = o.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("re-appeared"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn clean_run_equivalence_fires_only_without_bites() {
+        // No bites, differing fingerprints: violation.
+        let o = &mut CleanRunEquivalence::new();
+        o.observe(&OracleEvent::ReferenceFingerprint { hash: 1 });
+        o.observe(&OracleEvent::RunFingerprint { hash: 2 });
+        o.observe(&OracleEvent::RunEnd { at: t(0) });
+        assert_eq!(o.violations().len(), 1);
+
+        // A bite excuses the divergence.
+        let o = &mut CleanRunEquivalence::new();
+        o.observe(&OracleEvent::FaultBite {
+            kind: BiteKind::Degrade,
+            at: t(0),
+        });
+        o.observe(&OracleEvent::ReferenceFingerprint { hash: 1 });
+        o.observe(&OracleEvent::RunFingerprint { hash: 2 });
+        o.observe(&OracleEvent::RunEnd { at: t(1) });
+        assert!(o.violations().is_empty());
+
+        // No bites and identical fingerprints: clean.
+        let o = &mut CleanRunEquivalence::new();
+        o.observe(&OracleEvent::ReferenceFingerprint { hash: 5 });
+        o.observe(&OracleEvent::RunFingerprint { hash: 5 });
+        o.observe(&OracleEvent::RunEnd { at: t(1) });
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        let o = &mut TimeMonotonicity::new();
+        for i in 0..100u64 {
+            o.observe(&OracleEvent::TransferDelivered {
+                src: 0,
+                dst: 1,
+                bytes: 1,
+                start: t(10 + i),
+                end: t(0),
+            });
+        }
+        assert_eq!(o.violations().len(), MAX_VIOLATIONS);
+    }
+}

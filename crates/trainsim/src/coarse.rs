@@ -26,6 +26,7 @@ use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{name as metric, MetricRegistry, MetricsSnapshot};
+use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, RecordingTracer, SharedTracer, Trace, TrackId};
 use coarse_simcore::units::{Bandwidth, ByteSize};
@@ -80,6 +81,24 @@ struct Deployment<'a> {
     tracer: Option<SharedTracer>,
     /// Metric sink for full-detail runs; pilots run unmetered.
     metrics: Option<MetricRegistry>,
+    /// Oracle battery for observed fault runs; pilots run unobserved.
+    oracles: Option<OracleHub>,
+    /// Deliberate protocol breakage for oracle self-tests.
+    sabotage: Sabotage,
+}
+
+/// A deliberately introduced protocol bug, used to prove the oracle battery
+/// actually catches violations (the chaos runner's self-test). Production
+/// entry points always run with [`Sabotage::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// No sabotage: the run obeys every protocol invariant.
+    #[default]
+    None,
+    /// Report each stream's shard attempts in inverted order, violating the
+    /// §III-F retry-FIFO contract the [`coarse_simcore::oracle::RetryFifo`]
+    /// oracle enforces.
+    InvertRetryOrder,
 }
 
 /// Interned training-phase tracks of one traced run.
@@ -534,6 +553,14 @@ impl Deployment<'_> {
         if let Some(m) = &self.metrics {
             engine.set_metrics(m.clone());
         }
+        if let Some(hub) = &self.oracles {
+            engine.set_oracles(hub.clone());
+        }
+        let emit = |ev: OracleEvent| {
+            if let Some(hub) = &self.oracles {
+                hub.emit(ev);
+            }
+        };
         let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
         if let Some(t) = &tracer {
             engine.set_tracer(t.clone());
@@ -571,6 +598,16 @@ impl Deployment<'_> {
         let multi_node = self.machine.nodes() > 1;
         let mut start = SimTime::ZERO;
         let mut first_period_end = SimTime::ZERO;
+        // Latest simulated instant any work touched, including abandoned
+        // streams whose times never fed `next_start` — the RunEnd stamp the
+        // time-monotonicity oracle audits against.
+        let mut run_end = SimTime::ZERO;
+        // Shard streams are keyed per (iteration, direction, tensor) so a
+        // stream id never legitimately restarts at shard 0: the retry-FIFO
+        // oracle then needs resets only for genuine failover restarts.
+        let stream_id = |k: u32, pull: bool, tensor: usize| {
+            ((k as u64) << 33) | ((pull as u64) << 32) | tensor as u64
+        };
         for k in 0..iterations {
             // Round-start dropout detection: a device that died since the
             // last iteration is noticed before the new round's pushes are
@@ -582,6 +619,10 @@ impl Deployment<'_> {
                 .filter(|&d| plan.device_down(d.index() as u32, start))
                 .collect();
             for dead in detected {
+                emit(OracleEvent::FaultBite {
+                    kind: BiteKind::Dropout,
+                    at: start,
+                });
                 state.fail_over(
                     self.deployed.topology(),
                     &self.workers,
@@ -638,6 +679,7 @@ impl Deployment<'_> {
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut dest = state.tables[w].route_for(size);
                         let shards = shard_sizes(size, state.tables[w].shard_size);
+                        let stream = stream_id(k, false, ev.tensor);
                         let mut t = emitted;
                         let mut i = 0;
                         while i < shards.len() {
@@ -651,6 +693,12 @@ impl Deployment<'_> {
                                 t,
                                 &mut transfer_seq,
                                 &mut stats,
+                                &ShardStream {
+                                    hub: self.oracles.as_ref(),
+                                    worker: w as u32,
+                                    stream,
+                                    shard: shard_label(i, shards.len(), self.sabotage),
+                                },
                             ) {
                                 Ok(end) => {
                                     t = end;
@@ -669,51 +717,110 @@ impl Deployment<'_> {
                                     );
                                     t += policy.detect_timeout;
                                     note_failover(t, dead, "died mid-push");
+                                    run_end = run_end.max(t);
                                     if state.gpu_only {
                                         break 'buckets;
                                     }
                                     dest = state.tables[w].route_for(size);
                                     i = 0;
+                                    emit(OracleEvent::StreamReset {
+                                        worker: w as u32,
+                                        stream,
+                                        at: t,
+                                    });
                                 }
                             }
                         }
                         // A stalled proxy services the arrival late.
-                        let t = t + plan.stall(dest.index() as u32, t);
+                        let stall = plan.stall(dest.index() as u32, t);
+                        if stall > SimDuration::ZERO {
+                            emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Stall,
+                                at: t,
+                            });
+                        }
+                        let t = t + stall;
+                        run_end = run_end.max(t);
                         let e = proxy_ready.entry(dest).or_insert(t);
                         *e = (*e).max(t);
                     }
                 }
                 let ready_of = |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
 
-                let sync_end = if multi_node {
-                    let ready: Vec<SimTime> = state
-                        .node_mem_rings
-                        .iter()
-                        .flatten()
-                        .map(|&d| ready_of(d))
-                        .collect();
-                    hierarchical_allreduce(
-                        &mut engine,
-                        &state.node_mem_rings,
-                        total,
-                        &ready,
-                        cci_or_network,
-                    )
-                    .expect("surviving memory devices are connected")
-                    .end
-                } else {
-                    let ready: Vec<SimTime> =
-                        state.mem_devices.iter().map(|&d| ready_of(d)).collect();
-                    ring_allreduce(
-                        &mut engine,
-                        &state.mem_devices,
-                        total,
-                        &ready,
-                        RingDirection::for_group(round),
-                        self.proxy_filter,
-                    )
-                    .expect("surviving memory devices are connected")
-                    .end
+                // The proxy-tier collective can itself hit faults: a proxy
+                // whose dropout instant falls between its last serviced push
+                // and the ring step, or a flap severing the only allowed
+                // route. A death is detected here (one detection timeout),
+                // failed over, and the collective retried over the
+                // survivors; a severed route waits out the outage in
+                // detection-timeout steps, like the shard path above.
+                let mut collective_delay = SimDuration::ZERO;
+                let mut flap_waits = 0u32;
+                let sync_end = loop {
+                    let attempt = if multi_node {
+                        let ready: Vec<SimTime> = state
+                            .node_mem_rings
+                            .iter()
+                            .flatten()
+                            .map(|&d| ready_of(d) + collective_delay)
+                            .collect();
+                        hierarchical_allreduce(
+                            &mut engine,
+                            &state.node_mem_rings,
+                            total,
+                            &ready,
+                            cci_or_network,
+                        )
+                    } else {
+                        let ready: Vec<SimTime> = state
+                            .mem_devices
+                            .iter()
+                            .map(|&d| ready_of(d) + collective_delay)
+                            .collect();
+                        ring_allreduce(
+                            &mut engine,
+                            &state.mem_devices,
+                            total,
+                            &ready,
+                            RingDirection::for_group(round),
+                            self.proxy_filter,
+                        )
+                    };
+                    match attempt {
+                        Ok(res) => break res.end,
+                        Err(TransferError::DeviceDown { device }) => {
+                            let noticed = state
+                                .mem_devices
+                                .iter()
+                                .map(|&d| ready_of(d))
+                                .max()
+                                .unwrap_or(latest_emit)
+                                + collective_delay
+                                + policy.detect_timeout;
+                            state.fail_over(
+                                self.deployed.topology(),
+                                &self.workers,
+                                device,
+                                policy,
+                                &mut stats,
+                            );
+                            collective_delay += policy.detect_timeout;
+                            note_failover(noticed, device, "died before the proxy collective");
+                            run_end = run_end.max(noticed);
+                            if state.gpu_only {
+                                break 'buckets;
+                            }
+                        }
+                        Err(TransferError::NoRoute { .. }) => {
+                            assert!(
+                                flap_waits < MAX_FLAP_WAITS,
+                                "proxy collective never recovered from its flap"
+                            );
+                            flap_waits += 1;
+                            stats.recovery += policy.detect_timeout;
+                            collective_delay += policy.detect_timeout;
+                        }
+                    }
                 };
 
                 for ev in bucket {
@@ -721,7 +828,15 @@ impl Deployment<'_> {
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut src = state.tables[w].route_for(size);
                         let shards = shard_sizes(size, state.tables[w].shard_size);
-                        let mut t = sync_end + plan.stall(src.index() as u32, sync_end);
+                        let stream = stream_id(k, true, ev.tensor);
+                        let stall = plan.stall(src.index() as u32, sync_end);
+                        if stall > SimDuration::ZERO {
+                            emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Stall,
+                                at: sync_end,
+                            });
+                        }
+                        let mut t = sync_end + stall;
                         let mut i = 0;
                         while i < shards.len() {
                             match resilient_shard_transfer(
@@ -734,6 +849,12 @@ impl Deployment<'_> {
                                 t,
                                 &mut transfer_seq,
                                 &mut stats,
+                                &ShardStream {
+                                    hub: self.oracles.as_ref(),
+                                    worker: w as u32,
+                                    stream,
+                                    shard: shard_label(i, shards.len(), self.sabotage),
+                                },
                             ) {
                                 Ok(end) => {
                                     t = end;
@@ -749,14 +870,21 @@ impl Deployment<'_> {
                                     );
                                     t += policy.detect_timeout;
                                     note_failover(t, dead, "died mid-pull");
+                                    run_end = run_end.max(t);
                                     if state.gpu_only {
                                         break 'buckets;
                                     }
                                     src = state.tables[w].route_for(size);
                                     i = 0;
+                                    emit(OracleEvent::StreamReset {
+                                        worker: w as u32,
+                                        stream,
+                                        at: t,
+                                    });
                                 }
                             }
                         }
+                        run_end = run_end.max(t);
                         next_start = next_start.max(t - self.needed[&ev.tensor]);
                     }
                 }
@@ -769,34 +897,61 @@ impl Deployment<'_> {
             } else {
                 gpu_bytes
             };
+            // Workers have no failover path (losing one ends training, not
+            // a proxy tier), but a flapped worker-to-worker route is
+            // survivable: wait out the outage in detection-timeout steps,
+            // exactly like the shard path.
             let gpu_sync_end = if sync_bytes.is_zero() {
                 backward_end
-            } else if multi_node {
-                let total: usize = self.node_gpu_rings.iter().map(Vec::len).sum();
-                hierarchical_allreduce(
-                    &mut engine,
-                    &self.node_gpu_rings,
-                    sync_bytes,
-                    &vec![backward_end; total],
-                    |_| true,
-                )
-                .expect("workers are connected")
-                .end
-            } else if self.gpu_ring.len() >= 2 {
-                ring_allreduce(
-                    &mut engine,
-                    &self.gpu_ring,
-                    sync_bytes,
-                    &vec![backward_end; self.gpu_ring.len()],
-                    RingDirection::Forward,
-                    |_| true,
-                )
-                .expect("workers are connected")
-                .end
+            } else if multi_node || self.gpu_ring.len() >= 2 {
+                let mut delay = SimDuration::ZERO;
+                let mut flap_waits = 0u32;
+                loop {
+                    let attempt = if multi_node {
+                        let total: usize = self.node_gpu_rings.iter().map(Vec::len).sum();
+                        hierarchical_allreduce(
+                            &mut engine,
+                            &self.node_gpu_rings,
+                            sync_bytes,
+                            &vec![backward_end + delay; total],
+                            |_| true,
+                        )
+                    } else {
+                        ring_allreduce(
+                            &mut engine,
+                            &self.gpu_ring,
+                            sync_bytes,
+                            &vec![backward_end + delay; self.gpu_ring.len()],
+                            RingDirection::Forward,
+                            |_| true,
+                        )
+                    };
+                    match attempt {
+                        Ok(res) => break res.end,
+                        Err(TransferError::NoRoute { .. }) => {
+                            assert!(
+                                flap_waits < MAX_FLAP_WAITS,
+                                "worker collective never recovered from its flap"
+                            );
+                            flap_waits += 1;
+                            stats.recovery += policy.detect_timeout;
+                            delay += policy.detect_timeout;
+                        }
+                        Err(e @ TransferError::DeviceDown { .. }) => {
+                            panic!("a worker GPU dropped out; training cannot continue: {e}")
+                        }
+                    }
+                }
             } else {
                 backward_end
             };
             next_start = next_start.max(gpu_sync_end);
+            run_end = run_end.max(next_start);
+            emit(OracleEvent::IterationEnd {
+                index: k,
+                at: next_start,
+            });
+            emit(OracleEvent::Progress { at: next_start });
 
             if k == 0 {
                 first_period_end = next_start;
@@ -804,10 +959,21 @@ impl Deployment<'_> {
             start = next_start;
         }
         stats.degraded_to_gpu = state.gpu_only;
+        stats.end = run_end.max(start);
         (
             (start - first_period_end) / (iterations as u64 - 1).max(1),
             stats,
         )
+    }
+}
+
+/// The shard label the oracle is told about: honest under
+/// [`Sabotage::None`], inverted under [`Sabotage::InvertRetryOrder`] so the
+/// retry-FIFO oracle sees shard indices regress.
+fn shard_label(i: usize, n: usize, sabotage: Sabotage) -> u32 {
+    match sabotage {
+        Sabotage::None => i as u32,
+        Sabotage::InvertRetryOrder => (n - 1 - i) as u32,
     }
 }
 
@@ -869,6 +1035,17 @@ struct FaultRunStats {
     failovers: u64,
     recovery: SimDuration,
     degraded_to_gpu: bool,
+    /// Latest simulated instant the run touched (RunEnd stamp).
+    end: SimTime,
+}
+
+/// Oracle context of one shard stream: where (if anywhere) to report the
+/// attempts of one tensor's push or pull.
+struct ShardStream<'a> {
+    hub: Option<&'a OracleHub>,
+    worker: u32,
+    stream: u64,
+    shard: u32,
 }
 
 /// One client-side shard transfer under faults: integrity-rejected
@@ -886,10 +1063,20 @@ fn resilient_shard_transfer(
     at: SimTime,
     transfer_seq: &mut u64,
     stats: &mut FaultRunStats,
+    obs: &ShardStream<'_>,
 ) -> Result<SimTime, DeviceId> {
     let mut t = at;
     let mut attempt = 0u32;
     loop {
+        if let Some(hub) = obs.hub {
+            hub.emit(OracleEvent::ShardAttempt {
+                worker: obs.worker,
+                stream: obs.stream,
+                shard: obs.shard,
+                attempt,
+                at: t,
+            });
+        }
         *transfer_seq += 1;
         match engine.transfer_filtered(src, dst, size, t, pcie_only) {
             Ok(rec) => {
@@ -899,6 +1086,12 @@ fn resilient_shard_transfer(
                     // CRC32 seal rejected at the receiver: back off and
                     // retransmit (a fresh sequence number draws a fresh,
                     // reproducible corruption decision).
+                    if let Some(hub) = obs.hub {
+                        hub.emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Corrupt,
+                            at: rec.end,
+                        });
+                    }
                     stats.retries += 1;
                     let backoff = policy.backoff_after(attempt);
                     stats.recovery += backoff;
@@ -1031,6 +1224,103 @@ pub fn simulate_coarse_faulty(
         degraded_to_gpu: stats.degraded_to_gpu,
         recovery_time: stats.recovery,
     }
+}
+
+/// Deterministic FNV-1a fingerprint of a training result: the exact bit
+/// patterns of every field, so two results fingerprint equal iff they are
+/// byte-identical. Feed the fault-free run's fingerprint to the oracle hub
+/// as [`OracleEvent::ReferenceFingerprint`] and the observed run's as
+/// [`OracleEvent::RunFingerprint`]; the clean-run-equivalence oracle does
+/// the rest.
+pub fn result_fingerprint(r: &TrainResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(r.iteration_time.as_nanos());
+    mix(r.compute_time.as_nanos());
+    mix(r.blocked_comm.as_nanos());
+    mix(r.throughput.to_bits());
+    h
+}
+
+/// [`simulate_coarse_faulty`] with an [`OracleHub`] armed: the run emits
+/// the full oracle event stream — fabric transfer ledger entries and fault
+/// bites (from the engine), per-shard attempt/reset records, stall and
+/// corruption bites, iteration boundaries, fingerprints, and the final
+/// `RunEnd` — so every built-in oracle audits the run as it happens.
+///
+/// `reference` is the fault-free run's [`result_fingerprint`]; when given,
+/// the clean-run-equivalence oracle checks that a run whose faults never
+/// bit anything reproduces it exactly. `sabotage` deliberately breaks a
+/// protocol invariant (see [`Sabotage`]) so self-tests can prove the
+/// oracles catch real bugs; pass [`Sabotage::None`] otherwise.
+///
+/// Observation is passive: the returned result is byte-identical to
+/// [`simulate_coarse_faulty`]'s regardless of hub or sabotage.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_coarse_faulty_observed(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &ResiliencePolicy,
+    hub: &OracleHub,
+    sabotage: Sabotage,
+    reference: Option<u64>,
+) -> FaultyTrainResult {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.oracles = Some(hub.clone());
+    deployment.sabotage = sabotage;
+    if let Some(hash) = reference {
+        hub.emit(OracleEvent::ReferenceFingerprint { hash });
+    }
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let (result, end) = if plan.is_empty() {
+        let period = deployment.run(best_m, iterations);
+        (
+            FaultyTrainResult {
+                result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+                injected_faults: 0,
+                retries: 0,
+                failovers: 0,
+                degraded_to_gpu: false,
+                recovery_time: SimDuration::ZERO,
+            },
+            SimTime::ZERO,
+        )
+    } else {
+        let (period, stats) = deployment.run_faulty(best_m, iterations, plan, policy);
+        (
+            FaultyTrainResult {
+                result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+                injected_faults: plan.len(),
+                retries: stats.retries,
+                failovers: stats.failovers,
+                degraded_to_gpu: stats.degraded_to_gpu,
+                recovery_time: stats.recovery,
+            },
+            stats.end,
+        )
+    };
+    hub.emit(OracleEvent::RunFingerprint {
+        hash: result_fingerprint(&result.result),
+    });
+    hub.emit(OracleEvent::RunEnd { at: end });
+    result
 }
 
 /// [`simulate_coarse_faulty`] with a recording tracer attached: the trace
@@ -1237,6 +1527,8 @@ fn prepare_traced<'a>(
         input_bytes: ByteSize::ZERO,
         tracer: None,
         metrics: None,
+        oracles: None,
+        sabotage: Sabotage::None,
     };
 
     // Pilot runs pick the m that minimizes the *measured* period.
@@ -1699,6 +1991,31 @@ mod tests {
             faults.len() >= 2,
             "expected the injected-fault instant plus a failover instant, got {}",
             faults.len()
+        );
+    }
+
+    #[test]
+    fn inert_plan_times_identically_to_the_clean_run() {
+        // A non-empty plan whose windows close before any transfer starts
+        // must not perturb the run: this is the contract the
+        // clean-run-equivalence oracle (and the chaos runner's reference
+        // fingerprint) relies on.
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let clean = simulate_coarse(&m, &p, &model, 2, 3);
+        let inert = FaultPlan::new(11).corrupt_transfers(
+            p.mem_devices[0].index() as u32,
+            SimTime::ZERO,
+            SimTime::from_nanos(1),
+            1_000_000,
+        );
+        let faulty =
+            simulate_coarse_faulty(&m, &p, &model, 2, 3, &inert, &ResiliencePolicy::default());
+        assert_eq!(faulty.retries, 0, "the window must never intersect traffic");
+        assert_eq!(
+            faulty.result, clean,
+            "a never-biting plan must be byte-identical to the clean run"
         );
     }
 

@@ -110,6 +110,32 @@ pub enum TrainError {
         /// The largest batch that would fit.
         max_batch: u32,
     },
+    /// The preset name is not one of the known Fig. 16 panels.
+    UnknownPreset {
+        /// The rejected name.
+        name: String,
+    },
+    /// The machine's partition leaves no worker GPUs to train on.
+    NoWorkers,
+    /// COARSE needs a proxy tier of at least two memory devices.
+    NoProxyTier {
+        /// How many memory devices the partition actually has.
+        mem_devices: usize,
+    },
+    /// A per-GPU batch of zero trains nothing.
+    ZeroBatch,
+    /// Steady-state measurement needs at least two iterations.
+    TooFewIterations {
+        /// The rejected iteration count.
+        iterations: u32,
+    },
+    /// The model has no parameter bytes to synchronize.
+    EmptyModel,
+    /// A chaos repro document failed to parse or validate.
+    BadRepro {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -119,6 +145,23 @@ impl std::fmt::Display for TrainError {
                 f,
                 "batch {batch} exceeds GPU memory (max {max_batch} for this scheme)"
             ),
+            TrainError::UnknownPreset { name } => {
+                write!(f, "unknown scenario preset {name:?}")
+            }
+            TrainError::NoWorkers => f.write_str("the partition has no worker GPUs"),
+            TrainError::NoProxyTier { mem_devices } => write!(
+                f,
+                "COARSE needs at least two memory devices, the partition has {mem_devices}"
+            ),
+            TrainError::ZeroBatch => f.write_str("per-GPU batch size must be at least 1"),
+            TrainError::TooFewIterations { iterations } => write!(
+                f,
+                "need at least 2 iterations for a steady-state period, got {iterations}"
+            ),
+            TrainError::EmptyModel => {
+                f.write_str("the model has no parameter bytes to synchronize")
+            }
+            TrainError::BadRepro { reason } => write!(f, "bad chaos repro: {reason}"),
         }
     }
 }

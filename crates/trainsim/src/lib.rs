@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod allreduce;
+pub mod chaos;
 pub mod coarse;
 pub mod config;
 pub mod dense;
@@ -19,10 +20,14 @@ pub mod timeline;
 pub mod traceexport;
 
 pub use allreduce::simulate_allreduce;
+pub use chaos::{
+    replay as chaos_replay, run_case as chaos_run_case, soak as chaos_soak, universe_for,
+    CaseReport, ChaosFailure, ChaosRepro, SoakConfig, SoakOutcome, REPRO_SCHEMA,
+};
 pub use coarse::{
     coarse_hotspots, record_coarse_faulty_trace, record_coarse_metrics, record_coarse_trace,
-    simulate_coarse, simulate_coarse_faulty, simulate_coarse_with_input, trace_coarse,
-    FaultyTrainResult,
+    result_fingerprint, simulate_coarse, simulate_coarse_faulty, simulate_coarse_faulty_observed,
+    simulate_coarse_with_input, trace_coarse, FaultyTrainResult, Sabotage,
 };
 #[allow(deprecated)]
 pub use config::TrainConfig;

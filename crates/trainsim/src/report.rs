@@ -128,7 +128,23 @@ impl RunReport {
     /// byte-identical whether or not a plan is attached; a non-empty plan
     /// additionally runs COARSE fault-aware and records the resilience
     /// accounting under [`RunReport::faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`Scenario::validate`]. Use
+    /// [`RunReport::try_collect_scenario`] for a recoverable variant.
     pub fn collect_scenario(scenario: &Scenario) -> RunReport {
+        RunReport::try_collect_scenario(scenario)
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// [`RunReport::collect_scenario`] without the panic: an invalid
+    /// scenario comes back as the [`TrainError`] describing what is wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario's first violated precondition.
+    pub fn try_collect_scenario(scenario: &Scenario) -> Result<RunReport, TrainError> {
         let machine = scenario.machine_ref();
         let model = scenario.model_ref();
         let partition = scenario.partition_scheme();
@@ -137,12 +153,17 @@ impl RunReport {
             .partition(partition)
             .batch_per_gpu(batch_per_gpu)
             .iterations(iterations);
+        // The clean scenario defaults to COARSE — the strictest scheme — so
+        // one validation covers all three runs below; any later run error
+        // can only be a per-scheme memory rejection.
+        clean.validate()?;
         let run = |scheme: Scheme| {
             let outcome = match clean.clone().scheme(scheme).run() {
                 Ok(r) => SchemeOutcome::Completed(r),
                 Err(TrainError::OutOfMemory { max_batch, .. }) => {
                     SchemeOutcome::OutOfMemory { max_batch }
                 }
+                Err(e) => unreachable!("scenario was validated: {e}"),
             };
             SchemeRun { scheme, outcome }
         };
@@ -181,7 +202,7 @@ impl RunReport {
                 }
             })
         };
-        RunReport {
+        Ok(RunReport {
             scenario: scenario.name().to_string(),
             machine: machine.name().to_string(),
             partition,
@@ -191,7 +212,7 @@ impl RunReport {
             schemes,
             coarse_metrics,
             faults,
-        }
+        })
     }
 
     /// The entry for `scheme`.

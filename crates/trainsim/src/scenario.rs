@@ -67,9 +67,26 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is not a known preset.
+    /// Panics if `name` is not a known preset. Use [`Scenario::try_preset`]
+    /// for a recoverable variant.
     pub fn preset(name: &str) -> Scenario {
-        match name {
+        Scenario::try_preset(name).unwrap_or_else(|_| {
+            panic!(
+                "unknown scenario preset {name:?}; known presets: {}",
+                Scenario::presets().join(", ")
+            )
+        })
+    }
+
+    /// [`Scenario::preset`] without the panic: unknown names come back as
+    /// [`TrainError::UnknownPreset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::UnknownPreset`] if `name` is not a known
+    /// preset.
+    pub fn try_preset(name: &str) -> Result<Scenario, TrainError> {
+        Ok(match name {
             "fig16a" => Scenario::new(name, aws_t4(), resnet50()).batch_per_gpu(64),
             "fig16b" => Scenario::new(name, aws_t4(), bert_base()),
             "fig16c" => Scenario::new(name, sdsc_p100(), bert_large()),
@@ -77,11 +94,12 @@ impl Scenario {
             "fig16d-2to1" => {
                 Scenario::new(name, aws_v100(), bert_large()).partition(PartitionScheme::TwoToOne)
             }
-            other => panic!(
-                "unknown scenario preset {other:?}; known presets: {}",
-                Scenario::presets().join(", ")
-            ),
-        }
+            other => {
+                return Err(TrainError::UnknownPreset {
+                    name: other.to_string(),
+                })
+            }
+        })
     }
 
     /// Names accepted by [`Scenario::preset`].
@@ -149,6 +167,38 @@ impl Scenario {
         &self.faults
     }
 
+    /// Validates the scenario's shape before running it: a non-empty model,
+    /// a sane batch and iteration count, and a partition with workers (and,
+    /// for COARSE, a proxy tier). The simulators `assert!` the same
+    /// invariants; this surfaces them as typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated precondition as a [`TrainError`].
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if self.batch_per_gpu == 0 {
+            return Err(TrainError::ZeroBatch);
+        }
+        if self.iterations < 2 {
+            return Err(TrainError::TooFewIterations {
+                iterations: self.iterations,
+            });
+        }
+        if self.model.total_bytes().is_zero() {
+            return Err(TrainError::EmptyModel);
+        }
+        let part = self.machine.partition(self.partition);
+        if part.workers.is_empty() {
+            return Err(TrainError::NoWorkers);
+        }
+        if self.scheme == Scheme::Coarse && part.mem_devices.len() < 2 {
+            return Err(TrainError::NoProxyTier {
+                mem_devices: part.mem_devices.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Checks GPU-memory feasibility for the configured scheme: AllReduce
     /// and DENSE keep parameters and optimizer state on the GPU; COARSE
     /// offloads them to the memory devices (§V-D, Fig. 16e).
@@ -178,8 +228,10 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError::OutOfMemory`] if the batch does not fit.
+    /// Returns a [`TrainError`] if validation fails or the batch does not
+    /// fit.
     pub fn run(&self) -> Result<TrainResult, TrainError> {
+        self.validate()?;
         self.check_memory()?;
         let part = self.machine.partition(self.partition);
         Ok(match self.scheme {
@@ -228,7 +280,8 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError::OutOfMemory`] if the batch does not fit.
+    /// Returns a [`TrainError`] if validation fails or the batch does not
+    /// fit.
     ///
     /// # Panics
     ///
@@ -239,6 +292,7 @@ impl Scenario {
             Scheme::Coarse,
             "run_faulty reports proxy-tier resilience; only COARSE has one"
         );
+        self.validate()?;
         self.check_memory()?;
         let part = self.machine.partition(self.partition);
         Ok(simulate_coarse_faulty(
@@ -281,6 +335,24 @@ impl Scenario {
 
     pub(crate) fn policy_ref(&self) -> &ResiliencePolicy {
         &self.policy
+    }
+
+    pub(crate) fn scheme_ref(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Reconstructs a scenario from a serialized chaos repro (see
+    /// [`crate::chaos::ChaosRepro`]): the named preset with the repro's run
+    /// shape and minimal fault plan attached, ready for
+    /// [`Scenario::run_faulty`] or [`crate::chaos::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::BadRepro`] on a malformed document, or
+    /// [`TrainError::UnknownPreset`] if the repro names a preset that no
+    /// longer exists.
+    pub fn from_repro(input: &str) -> Result<Scenario, TrainError> {
+        crate::chaos::ChaosRepro::parse(input)?.scenario()
     }
 }
 
@@ -336,5 +408,79 @@ mod tests {
     #[should_panic(expected = "unknown scenario preset")]
     fn unknown_preset_panics() {
         let _ = Scenario::preset("fig99");
+    }
+
+    #[test]
+    fn try_preset_surfaces_unknown_names_as_errors() {
+        let err = Scenario::try_preset("fig99").unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::UnknownPreset {
+                name: "fig99".to_string()
+            }
+        );
+        for name in Scenario::presets() {
+            assert!(Scenario::try_preset(name).is_ok(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_zero_batch() {
+        let err = Scenario::preset("fig16d")
+            .batch_per_gpu(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, TrainError::ZeroBatch);
+    }
+
+    #[test]
+    fn validation_rejects_too_few_iterations() {
+        let err = Scenario::preset("fig16d").iterations(1).run().unwrap_err();
+        assert_eq!(err, TrainError::TooFewIterations { iterations: 1 });
+        let err = Scenario::preset("fig16d")
+            .iterations(0)
+            .run_faulty()
+            .unwrap_err();
+        assert_eq!(err, TrainError::TooFewIterations { iterations: 0 });
+    }
+
+    #[test]
+    fn validation_rejects_zero_sized_models() {
+        use coarse_models::profile::{ModelProfile, TensorSpec};
+        // ModelProfile requires a non-empty tensor list, but nothing stops a
+        // caller handing over tensors with zero elements — zero bytes to
+        // synchronize is still a nonsensical run.
+        let hollow = ModelProfile::new(
+            "hollow",
+            vec![TensorSpec {
+                name: "w".to_string(),
+                elems: 0,
+                layer: 0,
+            }],
+            1.0,
+        );
+        let err = Scenario::preset("fig16d").model(hollow).run().unwrap_err();
+        assert_eq!(err, TrainError::EmptyModel);
+    }
+
+    #[test]
+    fn validation_errors_render_distinct_messages() {
+        let errors = [
+            TrainError::ZeroBatch,
+            TrainError::TooFewIterations { iterations: 1 },
+            TrainError::EmptyModel,
+            TrainError::NoWorkers,
+            TrainError::NoProxyTier { mem_devices: 1 },
+            TrainError::UnknownPreset {
+                name: "x".to_string(),
+            },
+        ];
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &rendered[i + 1..] {
+                assert_ne!(a, b, "error messages must be distinguishable");
+            }
+        }
     }
 }
