@@ -460,6 +460,10 @@ fn usage() {
          \x20                          run reports) as versioned JSON\n\
          \x20 bench [label]            run the perf self-benchmark and write\n\
          \x20                          BENCH_<label>.json (default label: local)\n\
+         \x20 lint [--json [path]]     run the simlint determinism & simulation-safety\n\
+         \x20                          analyzer over the workspace sources; exit 1 on\n\
+         \x20                          any un-waived diagnostic (default JSON path:\n\
+         \x20                          lint-report.json)\n\
          \x20 trace [scenario]         record a traced COARSE run; scenarios:\n\
          \x20                          {TRACE_SCENARIOS}\n\
          \x20 faults [scenario]        run a seeded fault-injection scenario over the\n\
@@ -501,6 +505,10 @@ fn list() {
     println!("\nchaos modes:");
     for s in ["soak", "run", "replay", "selftest"] {
         println!("  {s}");
+    }
+    println!("\nlint rules:");
+    for r in coarse_simlint::rules::RULES {
+        println!("  {}", r.id);
     }
 }
 
@@ -695,6 +703,52 @@ fn bench(label: &str) {
 fn write_artifact(path: &str, contents: &str) {
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `figures -- lint [--json [path]]`: runs the simlint static analyzer over
+/// the workspace sources, prints every active (un-waived) diagnostic, and
+/// optionally writes the `coarse.lint-report/v1` JSON artifact. Exits 1 when
+/// any un-waived diagnostic remains, 2 on usage errors.
+fn lint(args: &[String]) {
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => {
+                    json_path = Some(p.clone());
+                    i += 1;
+                }
+                _ => json_path = Some("lint-report.json".to_string()),
+            },
+            other => {
+                eprintln!("unknown lint option '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // figures is built inside crates/bench; the workspace root is two up.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let report = match coarse_simlint::lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_text(false));
+    if let Some(path) = &json_path {
+        write_artifact(path, &report.render_json());
+        println!("wrote {path}");
+    }
+    if report.active() > 0 {
         std::process::exit(1);
     }
 }
@@ -997,6 +1051,10 @@ fn main() {
         "bench" => {
             let label = args.get(1).map(String::as_str).unwrap_or("local");
             bench(label);
+            return;
+        }
+        "lint" => {
+            lint(&args[1..]);
             return;
         }
         _ => {}

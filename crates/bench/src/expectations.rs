@@ -25,6 +25,36 @@ use crate::training::{self, CapacityWall, Fig16e, Fig16f, Fig2Row, SchemeCompari
 /// Schema identifier of the scorecard JSON document.
 pub const SCORECARD_SCHEMA: &str = "coarse.scorecard/v1";
 
+/// Every metric name the instrumented simulator records, mirrored from
+/// `simcore::metrics::name`. simlint's `metric-coverage` rule diffs this
+/// list against the constants in metrics.rs both ways, so a metric cannot be
+/// added (or renamed) without the bench layer acknowledging it here — the
+/// scorecard and run reports are the declared consumers of every series.
+pub static KNOWN_METRICS: &[&str] = &[
+    "fabric.transfers",
+    "fabric.bytes",
+    "fabric.link_busy_ns",
+    "fabric.staged_transfers",
+    "collective.ring_steps",
+    "collective.ring_bytes",
+    "cci.sync.core_steps",
+    "cci.sync.core_bytes",
+    "cci.coherence.messages",
+    "cci.coherence.protocol_bytes",
+    "core.proxy.pushes",
+    "core.proxy.queue_depth",
+    "core.client.pushes",
+    "core.client.push_bytes",
+    "core.client.queue_depth",
+    "train.iterations",
+    "train.blocked_ns",
+    "train.fp_ns",
+    "train.bp_ns",
+    "train.sync_ns",
+    "dualsync.chosen_m_bytes",
+    "dualsync.pilot_runs",
+];
+
 /// Verdict of one expectation (ordered: `Pass < Warn < Fail`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Verdict {

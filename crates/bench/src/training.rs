@@ -219,6 +219,7 @@ pub struct Fig16e {
 
 /// Generates Fig. 16e.
 pub fn fig16e() -> Fig16e {
+    // simlint: allow(preset-exists, reason = "panel label for a Scenario assembled inline, not a preset lookup")
     let base = Scenario::new("fig16e", machines::aws_v100(), zoo::bert_large()).iterations(ITERS);
     let allreduce_b2 = base
         .clone()
@@ -264,6 +265,7 @@ pub struct Fig16f {
 /// Generates Fig. 16f.
 pub fn fig16f() -> Fig16f {
     let two_node =
+        // simlint: allow(preset-exists, reason = "panel label for a Scenario assembled inline, not a preset lookup")
         Scenario::new("fig16f", machines::aws_v100_cluster(2), zoo::bert_large()).iterations(ITERS);
     let allreduce_2node = two_node
         .clone()
@@ -271,6 +273,7 @@ pub fn fig16f() -> Fig16f {
         .run()
         .expect("AllReduce fits batch 2");
     let coarse_2node = two_node.run().expect("COARSE fits batch 2");
+    // simlint: allow(preset-exists, reason = "panel label for a Scenario assembled inline, not a preset lookup")
     let coarse_1node_b4 = Scenario::new("fig16f-1node", machines::aws_v100(), zoo::bert_large())
         .iterations(ITERS)
         .batch_per_gpu(4)

@@ -9,7 +9,7 @@
 //! baseline (many sharers on one global parameter region) pays
 //! proportionally more than COARSE (localized client–proxy–storage pairs).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use coarse_fabric::device::DeviceId;
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
@@ -55,7 +55,7 @@ struct RegionState {
 /// A region-granularity coherence directory.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    regions: HashMap<CciAddr, RegionState>,
+    regions: BTreeMap<CciAddr, RegionState>,
     total: CoherenceCost,
     /// Trace sink plus the directory's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,

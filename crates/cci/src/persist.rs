@@ -10,7 +10,7 @@
 //! then per tensor (sorted by id): id u64 | len u64 | len × f32
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use crate::storage::{ParameterStore, Snapshot};
 use crate::tensor::{Tensor, TensorId};
@@ -80,12 +80,14 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(
+            // simlint: allow(panic-in-library, reason = "take(width) guarantees the slice length, so the array conversion cannot fail")
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(
+            // simlint: allow(panic-in-library, reason = "take(width) guarantees the slice length, so the array conversion cannot fail")
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
@@ -109,17 +111,18 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<(ParameterStore, u64), DecodeEr
     }
     let epoch = r.u64()?;
     let count = r.u64()?;
-    let mut seen: HashMap<u64, ()> = HashMap::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut store = ParameterStore::new();
     for _ in 0..count {
         let id = r.u64()?;
-        if seen.insert(id, ()).is_some() {
+        if !seen.insert(id) {
             return Err(DecodeError::DuplicateTensor(TensorId(id)));
         }
         let len = r.u64()? as usize;
         let raw = r.take(len * 4)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
+            // simlint: allow(panic-in-library, reason = "chunks_exact yields slices of exactly the requested width")
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
         store.insert(&Tensor::new(TensorId(id), data));

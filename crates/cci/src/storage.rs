@@ -6,7 +6,7 @@
 //! just the chunks it actually changes, so checkpointing costs are
 //! proportional to the *delta* between epochs rather than the model size.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use coarse_simcore::units::ByteSize;
@@ -69,7 +69,7 @@ impl VersionedTensor {
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,
-    tensors: HashMap<TensorId, VersionedTensor>,
+    tensors: BTreeMap<TensorId, VersionedTensor>,
 }
 
 impl Snapshot {
@@ -106,7 +106,7 @@ impl Snapshot {
 /// service.
 #[derive(Debug, Clone, Default)]
 pub struct ParameterStore {
-    tensors: HashMap<TensorId, VersionedTensor>,
+    tensors: BTreeMap<TensorId, VersionedTensor>,
     epoch: u64,
 }
 
@@ -166,6 +166,7 @@ impl ParameterStore {
         let vt = self
             .tensors
             .get_mut(&id)
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: updating an unregistered tensor is a caller bug")
             .unwrap_or_else(|| panic!("update of unknown tensor {id}"));
         assert_eq!(vt.len, data.len(), "update length mismatch for {id}");
         let mut stats = CowStats::default();

@@ -240,6 +240,7 @@ impl SyncGroup {
     pub fn allreduce_sum(&mut self, inputs: &[Vec<f32>]) -> (Vec<f32>, SyncStats) {
         match self.try_allreduce_sum(inputs) {
             Ok(r) => r,
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_allreduce_sum is the fallible variant")
             Err(e) => panic!("{e}"),
         }
     }

@@ -47,6 +47,80 @@ impl CollectiveResult {
     }
 }
 
+/// Why a collective could not run. Shape violations that previous revisions
+/// asserted on are now first-class errors, in the same direction as
+/// `Scenario::validate`: callers building rings from dynamic topology state
+/// (failover, dropouts) get a diagnosable error instead of an abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveError {
+    /// A fabric transfer failed underneath the collective.
+    Transfer(TransferError),
+    /// The collective needs more members than it was given.
+    TooFewMembers {
+        /// Minimum member count for this collective.
+        needed: usize,
+        /// Members actually supplied.
+        got: usize,
+    },
+    /// `ready` must carry exactly one entry per member.
+    ReadyLenMismatch {
+        /// Members participating in the collective.
+        members: usize,
+        /// Ready times supplied.
+        ready: usize,
+    },
+    /// The sync-core variant needs at least one group.
+    ZeroGroups,
+    /// The CCI wire amplification factor cannot deflate traffic.
+    WireFactorBelowOne {
+        /// The offending factor.
+        got: f64,
+    },
+    /// Hierarchical allreduce needs at least one node ring.
+    NoNodes,
+    /// Hierarchical allreduce needs equally sized, non-empty node rings.
+    UnevenNodeRings,
+}
+
+impl From<TransferError> for CollectiveError {
+    fn from(e: TransferError) -> Self {
+        CollectiveError::Transfer(e)
+    }
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::Transfer(e) => write!(f, "transfer failed: {e}"),
+            CollectiveError::TooFewMembers { needed, got } => {
+                write!(f, "collective needs at least {needed} members, got {got}")
+            }
+            CollectiveError::ReadyLenMismatch { members, ready } => {
+                write!(f, "{members} members but {ready} ready times")
+            }
+            CollectiveError::ZeroGroups => {
+                write!(f, "sync-core collective needs at least one group")
+            }
+            CollectiveError::WireFactorBelowOne { got } => {
+                write!(f, "wire factor must be >= 1, got {got}")
+            }
+            CollectiveError::NoNodes => write!(f, "hierarchical allreduce needs at least one node"),
+            CollectiveError::UnevenNodeRings => {
+                write!(f, "node rings must be equally sized and non-empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectiveError::Transfer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// The synchronization wait each member experienced before a collective
 /// could begin — the cost of MPI's synchronous point (§II-B).
 pub fn sync_waits(ready: &[SimTime]) -> Vec<SimDuration> {
@@ -68,13 +142,9 @@ pub fn sync_waits(ready: &[SimTime]) -> Vec<SimDuration> {
 ///
 /// # Errors
 ///
-/// Returns [`TransferError::NoRoute`] if neighbors are not connected through
-/// allowed links.
-///
-/// # Panics
-///
-/// Panics if `ring` has fewer than two members or `ready` has the wrong
-/// length.
+/// Returns [`CollectiveError::Transfer`] if neighbors are not connected
+/// through allowed links, and a shape error if `ring` has fewer than two
+/// members or `ready` has the wrong length.
 pub fn ring_allreduce(
     engine: &mut TransferEngine,
     ring: &[DeviceId],
@@ -82,11 +152,18 @@ pub fn ring_allreduce(
     ready: &[SimTime],
     direction: RingDirection,
     allow: impl Fn(&Link) -> bool + Copy,
-) -> Result<CollectiveResult, TransferError> {
+) -> Result<CollectiveResult, CollectiveError> {
     let p = ring.len();
-    assert!(p >= 2, "a ring collective needs at least two members");
-    assert_eq!(ready.len(), p, "one ready time per member");
-    let start = ready.iter().copied().max().expect("non-empty ring");
+    if p < 2 {
+        return Err(CollectiveError::TooFewMembers { needed: 2, got: p });
+    }
+    if ready.len() != p {
+        return Err(CollectiveError::ReadyLenMismatch {
+            members: p,
+            ready: ready.len(),
+        });
+    }
+    let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
     let segment = ByteSize::bytes(payload.as_u64().div_ceil(p as u64));
     let neighbor = |i: usize| -> usize {
         match direction {
@@ -153,12 +230,9 @@ pub fn ring_allreduce(
 ///
 /// # Errors
 ///
-/// Returns [`TransferError::NoRoute`] if the devices are not connected.
-///
-/// # Panics
-///
-/// Panics if `devices` has fewer than two members, `groups` is zero, or
-/// `wire_factor < 1`.
+/// Returns [`CollectiveError::Transfer`] if the devices are not connected,
+/// and a shape error if `devices` has fewer than two members, `groups` is
+/// zero, or `wire_factor < 1`.
 pub fn sync_core_allreduce(
     engine: &mut TransferEngine,
     devices: &[DeviceId],
@@ -167,10 +241,19 @@ pub fn sync_core_allreduce(
     ready: SimTime,
     wire_factor: f64,
     allow: impl Fn(&Link) -> bool + Copy,
-) -> Result<CollectiveResult, TransferError> {
-    assert!(devices.len() >= 2, "need at least two memory devices");
-    assert!(groups >= 1, "need at least one sync group");
-    assert!(wire_factor >= 1.0, "wire factor must be ≥ 1");
+) -> Result<CollectiveResult, CollectiveError> {
+    if devices.len() < 2 {
+        return Err(CollectiveError::TooFewMembers {
+            needed: 2,
+            got: devices.len(),
+        });
+    }
+    if groups == 0 {
+        return Err(CollectiveError::ZeroGroups);
+    }
+    if wire_factor < 1.0 {
+        return Err(CollectiveError::WireFactorBelowOne { got: wire_factor });
+    }
     let per_group =
         ByteSize::bytes(((payload.as_u64().div_ceil(groups as u64)) as f64 * wire_factor) as u64);
     let ready_vec = vec![ready; devices.len()];
@@ -248,29 +331,32 @@ fn ring_phase(
 ///
 /// # Errors
 ///
-/// Returns [`TransferError::NoRoute`] on connectivity failures.
-///
-/// # Panics
-///
-/// Panics if `node_rings` is empty, nodes have unequal member counts, or
-/// `ready` does not match the total member count (flattened node order).
+/// Returns [`CollectiveError::Transfer`] on connectivity failures, and a
+/// shape error if `node_rings` is empty, nodes have unequal or zero member
+/// counts, or `ready` does not match the total member count (flattened node
+/// order).
 pub fn hierarchical_allreduce(
     engine: &mut TransferEngine,
     node_rings: &[Vec<DeviceId>],
     payload: ByteSize,
     ready: &[SimTime],
     allow: impl Fn(&Link) -> bool + Copy,
-) -> Result<CollectiveResult, TransferError> {
-    assert!(!node_rings.is_empty(), "need at least one node");
+) -> Result<CollectiveResult, CollectiveError> {
+    if node_rings.is_empty() {
+        return Err(CollectiveError::NoNodes);
+    }
     let local = node_rings[0].len();
-    assert!(local >= 1, "every node needs at least one member");
-    assert!(
-        node_rings.iter().all(|r| r.len() == local),
-        "nodes must have equal member counts"
-    );
+    if local == 0 || node_rings.iter().any(|r| r.len() != local) {
+        return Err(CollectiveError::UnevenNodeRings);
+    }
     let total: usize = node_rings.iter().map(Vec::len).sum();
-    assert_eq!(ready.len(), total, "one ready time per member");
-    let start = ready.iter().copied().max().expect("non-empty membership");
+    if ready.len() != total {
+        return Err(CollectiveError::ReadyLenMismatch {
+            members: total,
+            ready: ready.len(),
+        });
+    }
+    let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
     let nodes = node_rings.len();
 
     // Phase 1: intra-node reduce-scatter (p−1 steps of payload/p).
@@ -335,6 +421,66 @@ mod tests {
 
     fn all_links(_: &Link) -> bool {
         true
+    }
+
+    #[test]
+    fn shape_violations_are_typed_errors() {
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mut e = TransferEngine::new(m.into_topology());
+        let one = &gpus[..1];
+        let r = ring_allreduce(
+            &mut e,
+            one,
+            ByteSize::mib(1),
+            &[SimTime::ZERO],
+            RingDirection::Forward,
+            all_links,
+        );
+        assert_eq!(
+            r.unwrap_err(),
+            CollectiveError::TooFewMembers { needed: 2, got: 1 }
+        );
+        let r = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(1),
+            &[SimTime::ZERO],
+            RingDirection::Forward,
+            all_links,
+        );
+        assert!(matches!(r, Err(CollectiveError::ReadyLenMismatch { .. })));
+        let r = sync_core_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(1),
+            0,
+            SimTime::ZERO,
+            1.0,
+            all_links,
+        );
+        assert_eq!(r.unwrap_err(), CollectiveError::ZeroGroups);
+        let r = sync_core_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(1),
+            2,
+            SimTime::ZERO,
+            0.5,
+            all_links,
+        );
+        assert!(matches!(r, Err(CollectiveError::WireFactorBelowOne { .. })));
+        let r = hierarchical_allreduce(&mut e, &[], ByteSize::mib(1), &[], all_links);
+        assert_eq!(r.unwrap_err(), CollectiveError::NoNodes);
+        let uneven = vec![gpus[..2].to_vec(), gpus[..1].to_vec()];
+        let r = hierarchical_allreduce(
+            &mut e,
+            &uneven,
+            ByteSize::mib(1),
+            &[SimTime::ZERO; 3],
+            all_links,
+        );
+        assert_eq!(r.unwrap_err(), CollectiveError::UnevenNodeRings);
     }
 
     #[test]

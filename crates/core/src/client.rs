@@ -7,7 +7,7 @@
 //! piece to the latency- or bandwidth-friendly proxy, and reconstructs
 //! pulled tensors from the partition history.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
@@ -53,7 +53,7 @@ pub struct ParameterClient {
     worker: DeviceId,
     table: RoutingTable,
     queue: VecDeque<PushRequest>,
-    partitions: HashMap<TensorId, PartitionRecord>,
+    partitions: BTreeMap<TensorId, PartitionRecord>,
     /// Trace sink plus this client's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
@@ -70,7 +70,7 @@ impl ParameterClient {
             worker,
             table,
             queue: VecDeque::new(),
-            partitions: HashMap::new(),
+            partitions: BTreeMap::new(),
             trace: None,
             metrics: None,
             clock: SimTime::ZERO,
@@ -217,9 +217,11 @@ impl ParameterClient {
         let record = self
             .partitions
             .get_mut(&id)
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: pulls name tensors partitioned by this client")
             .unwrap_or_else(|| panic!("pull of unknown tensor {id}"));
         record.received.push(shard);
         if record.received.len() as u32 == record.shard_count {
+            // simlint: allow(panic-in-library, reason = "guarded by the unknown-tensor check directly above")
             let record = self.partitions.remove(&id).expect("record exists");
             if let Some((tracer, track)) = &self.trace {
                 tracer.instant(

@@ -8,7 +8,7 @@
 //! run; COARSE keeps the optimizer *state* (momenta) in device DRAM, which
 //! is exactly the residency win behind Fig. 16e.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use coarse_cci::tensor::TensorId;
 
@@ -72,7 +72,7 @@ pub struct SgdMomentum {
     pub lr: f32,
     /// Momentum coefficient (e.g. 0.9).
     pub momentum: f32,
-    velocity: HashMap<TensorId, Vec<f32>>,
+    velocity: BTreeMap<TensorId, Vec<f32>>,
 }
 
 impl SgdMomentum {
@@ -87,7 +87,7 @@ impl SgdMomentum {
         SgdMomentum {
             lr,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }
@@ -128,8 +128,8 @@ pub struct Adam {
     /// Numerical-stability epsilon.
     pub eps: f32,
     step: u64,
-    first: HashMap<TensorId, Vec<f32>>,
-    second: HashMap<TensorId, Vec<f32>>,
+    first: BTreeMap<TensorId, Vec<f32>>,
+    second: BTreeMap<TensorId, Vec<f32>>,
 }
 
 impl Adam {
@@ -146,8 +146,8 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             step: 0,
-            first: HashMap::new(),
-            second: HashMap::new(),
+            first: BTreeMap::new(),
+            second: BTreeMap::new(),
         }
     }
 }

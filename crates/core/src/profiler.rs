@@ -66,6 +66,7 @@ fn transfer_time(
 ) -> SimDuration {
     let mut eng = TransferEngine::new(topo.clone());
     eng.transfer_filtered(client, proxy, size, SimTime::ZERO, profiler_links)
+        // simlint: allow(panic-in-library, reason = "profiling runs on the deployed machine topology, which connects client and proxy by construction")
         .expect("client and proxy must be connected")
         .elapsed()
 }
@@ -110,6 +111,7 @@ pub fn build_routing_table_for(
         .iter()
         .map(|p| p.latency)
         .min()
+        // simlint: allow(panic-in-library, reason = "the shard-size grid iterated above is statically non-empty")
         .expect("non-empty profiles");
     let lat_ties: Vec<&ProxyProfile> = profiles
         .iter()

@@ -7,7 +7,7 @@
 //! buffers, joins the cross-device reduction, and serves the updated shards
 //! back on pull.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::tensor::{Tensor, TensorId, TensorShard};
@@ -35,13 +35,13 @@ pub struct ParameterProxy {
     /// Per-client FIFO queues (deadlock avoidance, §III-F).
     queues: BTreeMap<usize, VecDeque<PushRequest>>,
     /// Per-tensor local accumulation: sum of this proxy's clients' shards.
-    accum: HashMap<TensorId, Vec<f32>>,
+    accum: BTreeMap<TensorId, Vec<f32>>,
     /// Which shards each tensor's clients parked here (for pull service).
-    shards: HashMap<TensorId, Vec<ShardRecord>>,
+    shards: BTreeMap<TensorId, Vec<ShardRecord>>,
     /// The co-located storage partition (COW, snapshottable).
     store: ParameterStore,
     /// Parameter cache: latest reduced values.
-    cache: HashMap<TensorId, Vec<f32>>,
+    cache: BTreeMap<TensorId, Vec<f32>>,
     /// Trace sink plus this proxy's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
@@ -58,10 +58,10 @@ impl ParameterProxy {
         ParameterProxy {
             device,
             queues: BTreeMap::new(),
-            accum: HashMap::new(),
-            shards: HashMap::new(),
+            accum: BTreeMap::new(),
+            shards: BTreeMap::new(),
             store: ParameterStore::new(),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             trace: None,
             metrics: None,
             oracles: None,
@@ -307,6 +307,7 @@ impl ParameterProxy {
         let values = self
             .cache
             .get(&tensor)
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: a pull before the window's reduce is a scheduler bug")
             .unwrap_or_else(|| panic!("pull of unreduced tensor {tensor}"));
         let Some(records) = self.shards.get_mut(&tensor) else {
             return Vec::new();

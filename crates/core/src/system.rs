@@ -9,7 +9,7 @@
 //! the averaged tensors. Tests assert the result equals the elementwise
 //! mean — the same guarantee AllReduce gives.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use coarse_cci::integrity::SealedShard;
 use coarse_cci::storage::Snapshot;
@@ -82,7 +82,7 @@ impl std::error::Error for SystemError {}
 pub struct CoarseSystem {
     clients: Vec<ParameterClient>,
     proxies: Vec<ParameterProxy>,
-    proxy_index: HashMap<DeviceId, usize>,
+    proxy_index: BTreeMap<DeviceId, usize>,
     /// When set, the memory devices run this update rule on the master
     /// weights instead of publishing raw gradient means (§II-A).
     optimizer: Option<Box<dyn Optimizer>>,
@@ -104,6 +104,7 @@ impl CoarseSystem {
     pub fn new(topo: &Topology, workers: &[DeviceId], mem_devices: &[DeviceId]) -> Self {
         match Self::try_new(topo, workers, mem_devices) {
             Ok(sys) => sys,
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_new is the fallible variant")
             Err(e) => panic!("{e}"),
         }
     }
@@ -260,6 +261,7 @@ impl CoarseSystem {
     pub fn synchronize(&mut self, gradients: &[Vec<Tensor>]) -> Vec<Vec<Tensor>> {
         match self.try_synchronize(gradients) {
             Ok(r) => r,
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_synchronize is the fallible variant")
             Err(e) => panic!("{e}"),
         }
     }
@@ -354,6 +356,7 @@ impl CoarseSystem {
                 }
                 group
                     .try_allreduce_sum(&inputs)
+                    // simlint: allow(panic-in-library, reason = "failover repair keeps exactly one contribution per surviving proxy per window")
                     .expect("one contribution per surviving proxy")
                     .0
             };
@@ -371,6 +374,7 @@ impl CoarseSystem {
                         .store()
                         .get(id)
                         .unwrap_or_else(|| {
+                            // simlint: allow(panic-in-library, reason = "documented # Panics contract: optimizer mode requires register_parameters() before training")
                             panic!("optimizer mode requires registered parameters for {id}")
                         })
                         .into_data();
@@ -388,7 +392,7 @@ impl CoarseSystem {
         // proxies it pushed to and reconstructs full tensors.
         let mut results = Vec::with_capacity(self.clients.len());
         for w in 0..self.clients.len() {
-            let mut done: HashMap<TensorId, Tensor> = HashMap::new();
+            let mut done: BTreeMap<TensorId, Tensor> = BTreeMap::new();
             for &(id, _) in tensor_meta {
                 for pi in 0..self.proxies.len() {
                     for shard in self.proxies[pi].serve_pull(w, id) {
@@ -401,6 +405,7 @@ impl CoarseSystem {
             results.push(
                 tensor_meta
                     .iter()
+                    // simlint: allow(panic-in-library, reason = "the loop above inserts one entry per partition before this read")
                     .map(|&(id, _)| done.remove(&id).expect("every tensor reconstructs"))
                     .collect(),
             );
@@ -460,6 +465,7 @@ impl CoarseSystem {
     ) -> (Vec<Vec<Tensor>>, SyncFaultReport) {
         match self.try_synchronize_resilient(gradients, topo, plan, now, policy) {
             Ok(r) => r,
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_synchronize_resilient is the fallible variant")
             Err(e) => panic!("{e}"),
         }
     }

@@ -415,6 +415,7 @@ impl TransferEngine {
                 }
             })
             .max()
+            // simlint: allow(panic-in-library, reason = "routes returned by the router are built non-empty")
             .expect("non-empty route");
         if degraded {
             if let Some(hub) = &self.oracles {
@@ -429,6 +430,7 @@ impl TransferEngine {
             .iter()
             .map(|&l| self.schedules[l.index()].earliest_start(arrival))
             .max()
+            // simlint: allow(panic-in-library, reason = "routes returned by the router are built non-empty")
             .expect("non-empty route");
         for &l in route.links() {
             self.schedules[l.index()].reserve(start, occupancy);
@@ -450,6 +452,7 @@ impl TransferEngine {
             }
             let dst = self
                 .topo
+                // simlint: allow(panic-in-library, reason = "routes returned by the router are built non-empty")
                 .link(*route.links().last().expect("non-empty route"))
                 .dst();
             let track = tracer.track(&format!("device {}", self.topo.device(dst).name()));
@@ -496,6 +499,7 @@ impl TransferEngine {
                 (id, self.schedules[i].utilization(horizon))
             })
             .collect();
+        // simlint: allow(panic-in-library, reason = "utilizations are finite ratios of busy to elapsed time, so the comparison is total")
         all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("utilizations are finite"));
         all.truncate(n);
         all

@@ -476,6 +476,7 @@ impl MachineBuilder {
             "aws_v100" => MachineBuilder::new("AWS V100", GpuSku::V100)
                 .hairpin_gib(5.0) // unbalanced switch signal paths
                 .nvlink(true),
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: unknown machine preset names are caller bugs")
             other => panic!(
                 "unknown machine preset {other:?}; known presets: {}",
                 MachineBuilder::presets().join(", ")

@@ -71,6 +71,7 @@ impl JsonValue {
     pub fn with(mut self, key: &str, value: JsonValue) -> JsonValue {
         match &mut self {
             JsonValue::Object(members) => members.push((key.to_string(), value)),
+            // simlint: allow(panic-in-library, reason = "documented API contract: with() is a builder over object() and a non-object receiver is a programming error at the call site")
             other => panic!("with() on non-object {other:?}"),
         }
         self
@@ -277,7 +278,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -310,7 +311,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -333,7 +334,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -344,7 +345,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -361,7 +362,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -413,11 +414,16 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
+                    // Consume one UTF-8 character. The input arrived as a
+                    // &str so this cannot fail, but a typed error keeps the
+                    // parser total instead of trusting the caller.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().expect("peeked a byte");
+                    let Some(c) = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                    else {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -463,7 +469,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned range is ASCII by construction; the fallback error
+        // keeps the parser panic-free either way.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("invalid number"));
+        };
         match text.parse::<f64>() {
             Ok(x) if x.is_finite() => Ok(JsonValue::Num(x)),
             _ => Err(self.err("invalid number")),

@@ -200,11 +200,17 @@ impl HistogramSummary {
     fn from_estimator(est: &mut QuantileEstimator) -> HistogramSummary {
         let count = est.count();
         assert!(count > 0, "histograms are created on first sample");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let min = est.quantile(0.0).expect("non-empty");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let max = est.quantile(1.0).expect("non-empty");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let p50 = est.quantile(0.5).expect("non-empty");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let p95 = est.quantile(0.95).expect("non-empty");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let p99 = est.quantile(0.99).expect("non-empty");
+        // simlint: allow(panic-in-library, reason = "guarded by the non-empty assert at the top of from_estimator")
         let mean = est.mean().expect("non-empty");
         HistogramSummary {
             count,

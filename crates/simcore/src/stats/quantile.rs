@@ -60,6 +60,7 @@ impl QuantileEstimator {
         }
         if !self.sorted {
             self.samples
+                // simlint: allow(panic-in-library, reason = "record() rejects NaN, so all stored samples compare totally")
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
         }

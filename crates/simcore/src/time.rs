@@ -58,6 +58,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // simlint: allow(panic-in-library, reason = "documented # Panics contract mirroring std::time: earlier must not exceed self")
                 .expect("`earlier` must not be after `self`"),
         )
     }
@@ -175,6 +176,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // simlint: allow(panic-in-library, reason = "overflow in simulated time arithmetic is a model bug; mirrors std::time panic semantics")
         SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
     }
 }
@@ -188,6 +190,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
+        // simlint: allow(panic-in-library, reason = "overflow in simulated time arithmetic is a model bug; mirrors std::time panic semantics")
         SimTime(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
     }
 }
@@ -202,6 +205,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // simlint: allow(panic-in-library, reason = "overflow in simulated time arithmetic is a model bug; mirrors std::time panic semantics")
         SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -215,6 +219,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // simlint: allow(panic-in-library, reason = "overflow in simulated time arithmetic is a model bug; mirrors std::time panic semantics")
         SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -228,6 +233,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // simlint: allow(panic-in-library, reason = "overflow in simulated time arithmetic is a model bug; mirrors std::time panic semantics")
         SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }

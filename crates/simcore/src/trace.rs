@@ -201,6 +201,7 @@ impl TraceState {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
+        // simlint: allow(panic-in-library, reason = "more than u32::MAX distinct trace tracks is out of scope by design")
         let id = TrackId(u32::try_from(self.tracks.len()).expect("too many trace tracks"));
         self.tracks.push(name.to_string());
         self.by_name.insert(name.to_string(), id);
@@ -286,6 +287,7 @@ impl Tracer for RecordingTracer {
             .open
             .get_mut(&track)
             .and_then(Vec::pop)
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: end_span pairs with begin_span on the same track")
             .unwrap_or_else(|| panic!("end_span on track {track:?} with no open span"));
         state.events.push(TraceEvent {
             time: start,

@@ -92,6 +92,7 @@ impl ByteSize {
 impl Add for ByteSize {
     type Output = ByteSize;
     fn add(self, rhs: ByteSize) -> ByteSize {
+        // simlint: allow(panic-in-library, reason = "byte-size overflow is a model bug; mirrors std::time panic semantics")
         ByteSize(self.0.checked_add(rhs.0).expect("byte size overflow"))
     }
 }
@@ -105,6 +106,7 @@ impl AddAssign for ByteSize {
 impl Sub for ByteSize {
     type Output = ByteSize;
     fn sub(self, rhs: ByteSize) -> ByteSize {
+        // simlint: allow(panic-in-library, reason = "byte-size overflow is a model bug; mirrors std::time panic semantics")
         ByteSize(self.0.checked_sub(rhs.0).expect("byte size underflow"))
     }
 }
@@ -112,6 +114,7 @@ impl Sub for ByteSize {
 impl Mul<u64> for ByteSize {
     type Output = ByteSize;
     fn mul(self, rhs: u64) -> ByteSize {
+        // simlint: allow(panic-in-library, reason = "byte-size overflow is a model bug; mirrors std::time panic semantics")
         ByteSize(self.0.checked_mul(rhs).expect("byte size overflow"))
     }
 }

@@ -1,0 +1,9 @@
+//! Fixture: unordered containers in a simulation crate. Never compiled —
+//! linted by tests/selftest.rs under a synthetic `crates/fabric/src/` path.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    entries: HashMap<u64, String>,
+    seen: HashSet<u64>,
+}

@@ -1,0 +1,15 @@
+//! Fixture: panicking value extraction in library code. Never compiled —
+//! linted by tests/selftest.rs under a synthetic `crates/trainsim/src/` path.
+
+pub fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if first > last {
+        panic!("unsorted");
+    }
+    match xs.len() {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => first + last,
+    }
+}

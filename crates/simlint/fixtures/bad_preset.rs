@@ -1,0 +1,10 @@
+//! Fixture: a test naming a preset the scenario registry does not define.
+//! Never compiled; linted by tests/selftest.rs under a synthetic
+//! `crates/trainsim/tests/` path.
+
+#[test]
+fn runs_the_known_and_the_phantom_preset() {
+    let known = "fig16a";
+    let phantom = "fig16-bogus";
+    assert_ne!(known, phantom);
+}

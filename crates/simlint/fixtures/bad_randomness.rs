@@ -1,0 +1,11 @@
+//! Fixture: ambient (OS-seeded) randomness outside crates/bench. Never
+//! compiled — linted by tests/selftest.rs under a synthetic
+//! `crates/core/src/` path.
+
+use std::collections::hash_map::RandomState;
+
+pub fn ambient_seed() -> u64 {
+    let _state = RandomState::new();
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,14 @@
+//! Fixture: host-clock reads outside crates/bench. Never compiled — linted
+//! by tests/selftest.rs under a synthetic `crates/cci/src/` path.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub fn stamp_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let _ = t0.elapsed();
+    wall
+}

@@ -1,0 +1,23 @@
+//! Fixture: the same hazardous patterns, but gated behind `#[cfg(test)]` —
+//! simlint must report nothing here. Never compiled; linted by
+//! tests/selftest.rs under a synthetic `crates/fabric/src/` path.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_and_unwraps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, double(2));
+        assert_eq!(m.remove(&1).unwrap(), 4);
+        if m.remove(&1).is_some() {
+            panic!("empty after remove");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a KNOWN_METRICS list with one stale entry and one missing.
+//! Never compiled; linted by tests/selftest.rs under the real
+//! `crates/bench/src/expectations.rs` path so metric-coverage engages.
+
+pub static KNOWN_METRICS: &[&str] = &["fixture.shared", "fixture.stale"];

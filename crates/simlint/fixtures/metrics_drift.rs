@@ -1,0 +1,8 @@
+//! Fixture: a metrics module whose constants drifted from KNOWN_METRICS.
+//! Never compiled; linted by tests/selftest.rs under the real
+//! `crates/simcore/src/metrics.rs` path so the metric-coverage rule engages.
+
+pub mod name {
+    pub const RECORDED: &str = "fixture.recorded";
+    pub const SHARED: &str = "fixture.shared";
+}

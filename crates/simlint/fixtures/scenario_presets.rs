@@ -1,0 +1,8 @@
+//! Fixture: the preset registry as the preset-exists rule sees it — any
+//! `fig16*`-shaped string in this file counts as a defined preset. Never
+//! compiled; linted by tests/selftest.rs under the real
+//! `crates/trainsim/src/scenario.rs` path.
+
+pub fn presets() -> &'static [&'static str] {
+    &["fig16a", "fig16d-2to1"]
+}

@@ -1,0 +1,15 @@
+//! Fixture: the waiver machinery policing itself — one honest waiver, one
+//! unused, one malformed, one naming an unknown rule, and one trying to
+//! waive the waiver police. Never compiled; linted by tests/selftest.rs
+//! under a synthetic `crates/collectives/src/` path.
+
+// simlint: allow(unordered-container, reason = "fixture: order never observed")
+use std::collections::HashMap;
+
+// simlint: allow(wall-clock, reason = "fixture: nothing on this line reads a clock")
+pub type Table = HashMap<u64, u64>;
+
+// simlint: allow(unordered-container)
+// simlint: allow(no-such-rule, reason = "unknown rule id")
+// simlint: allow(bad-waiver, reason = "cannot waive the waiver police")
+pub const N: usize = 3;

@@ -1,0 +1,500 @@
+//! A minimal Rust lexer with just enough fidelity for line/token lint rules.
+//!
+//! The lexer understands comments (line, doc, nested block), string literals
+//! (plain, raw, byte, C-string, with arbitrary `#` guards), character
+//! literals vs lifetimes, raw identifiers, and numeric literals, and records
+//! the 1-based line every token starts on. It deliberately does **not**
+//! decode escapes or validate syntax: unterminated literals are tolerated so
+//! the rule engine can still inspect the prefix of a broken file, and doc
+//! comments are captured as comments (so code inside doc examples is never
+//! mistaken for library code).
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident(String),
+    /// String literal: the undecoded text between the quotes.
+    Str(String),
+    /// Character or byte-character literal (content is irrelevant to rules).
+    Char,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal, including any type suffix.
+    Num,
+    /// A single punctuation byte.
+    Punct(u8),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment stripped of its delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after `//` (line) or between `/*` and `*/` (block). For doc
+    /// comments the extra `/` or `!` is part of the text, which conveniently
+    /// keeps doc text from ever parsing as a waiver.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+    /// True for `/* ... */` comments. Waivers must be line comments.
+    pub block: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`, never failing: malformed input degrades to a best-effort
+/// token stream rather than an error.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_has_token: false,
+        out: Lexed::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_has_token: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.line_has_token = false;
+            }
+        }
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.line_has_token = true;
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.at(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    let line = self.line;
+                    let s = self.plain_string();
+                    self.push(Tok::Str(s), line);
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Tok::Punct(b), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let own_line = !self.line_has_token;
+        let line = self.line;
+        self.pos += 2; // `//`
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.src[start..self.pos].to_string(),
+            line,
+            own_line,
+            block: false,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let own_line = !self.line_has_token;
+        let line = self.line;
+        self.pos += 2; // `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'/' && self.at(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.at(1) == Some(b'/') {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+                end = self.pos;
+            }
+        }
+        if depth != 0 {
+            end = self.pos; // unterminated: take what we have
+        }
+        self.out.comments.push(Comment {
+            text: self.src[start..end].to_string(),
+            line,
+            own_line,
+            block: true,
+        });
+    }
+
+    /// Consumes a `"..."` string (opening quote at `pos`), returning its
+    /// undecoded contents. Escaped quotes do not terminate it; newlines are
+    /// tracked so multi-line strings keep line numbers accurate.
+    fn plain_string(&mut self) -> String {
+        self.bump(); // opening `"`
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == b'"' {
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        let s = self.src[start..end].to_string();
+        self.bump(); // closing `"` (no-op at EOF)
+        s
+    }
+
+    /// Consumes a raw string whose opening `"` is at `pos`, terminated by
+    /// `"` followed by `hashes` `#` characters.
+    fn raw_string(&mut self, hashes: usize) -> String {
+        self.bump(); // opening `"`
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return self.src[start..self.pos].to_string(),
+                Some(b'"') => {
+                    let closed = (0..hashes).all(|i| self.at(1 + i) == Some(b'#'));
+                    if closed {
+                        let s = self.src[start..self.pos].to_string();
+                        self.bump(); // `"`
+                        self.pos += hashes;
+                        return s;
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // `'`
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: consume the escape, then everything
+                // up to and including the closing quote.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek() {
+                    let done = b == b'\'';
+                    self.bump();
+                    if done {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` is a char literal, `'a` (no closing quote) a lifetime.
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                    self.push(Tok::Char, line);
+                } else {
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal such as `'('`.
+                self.bump();
+                while let Some(b) = self.peek() {
+                    let done = b == b'\'';
+                    self.bump();
+                    if done {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            None => self.push(Tok::Punct(b'\''), line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        if self.peek() == Some(b'0')
+            && matches!(self.at(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit() || b == b'_') {
+                self.pos += 1;
+            }
+        } else {
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'_') {
+                self.pos += 1;
+            }
+            // A fractional part only when a digit follows the dot, so
+            // `x.0.unwrap()` and ranges like `0..10` stay separate tokens.
+            if self.peek() == Some(b'.') && matches!(self.at(1), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'_') {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                let (skip, ok) = match self.at(1) {
+                    Some(b'+' | b'-') => (2, matches!(self.at(2), Some(b) if b.is_ascii_digit())),
+                    Some(b) => (1, b.is_ascii_digit()),
+                    None => (0, false),
+                };
+                if ok {
+                    self.pos += skip;
+                    while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'_') {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`, ...).
+        while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+            self.pos += 1;
+        }
+        self.push(Tok::Num, line);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let raw = matches!(word, "r" | "br" | "cr");
+        let plain_prefix = matches!(word, "b" | "c");
+        if (raw || plain_prefix) && self.peek() == Some(b'"') {
+            let s = if raw {
+                self.raw_string(0)
+            } else {
+                self.plain_string()
+            };
+            self.push(Tok::Str(s), line);
+            return;
+        }
+        if raw && self.peek() == Some(b'#') {
+            let mut hashes = 0usize;
+            while self.at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.at(hashes) == Some(b'"') {
+                self.pos += hashes;
+                let s = self.raw_string(hashes);
+                self.push(Tok::Str(s), line);
+                return;
+            }
+            if word == "r" && hashes == 1 && matches!(self.at(1), Some(b) if is_ident_start(b)) {
+                // Raw identifier `r#type`: emit the bare identifier.
+                self.pos += 1; // `#`
+                let istart = self.pos;
+                while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+                    self.pos += 1;
+                }
+                let ident = self.src[istart..self.pos].to_string();
+                self.push(Tok::Ident(ident), line);
+                return;
+            }
+        }
+        let ident = word.to_string();
+        self.push(Tok::Ident(ident), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let out = lex("// HashMap\n/* HashSet */\n/// Instant::now()\nlet x = 1;");
+        assert_eq!(idents("// HashMap\nlet x = 1;"), vec!["let", "x"]);
+        assert_eq!(out.comments.len(), 3);
+        assert!(out
+            .tokens
+            .iter()
+            .all(|t| t.tok != Tok::Ident("HashMap".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.comments[0].text, " outer /* inner */ still comment ");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            strings(r#"let s = "HashMap::new()";"#),
+            vec!["HashMap::new()"]
+        );
+        assert!(!idents(r#"let s = "HashMap";"#).contains(&"HashMap".to_string()));
+        // Escaped quotes do not terminate the literal.
+        assert_eq!(strings(r#"let s = "a\"b";"#), vec![r#"a\"b"#]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(
+            strings(r###"let s = r#"un "quoted" unwrap()"#;"###),
+            vec![r#"un "quoted" unwrap()"#]
+        );
+        assert_eq!(strings("let s = r\"plain raw\";"), vec!["plain raw"]);
+        assert_eq!(strings("let s = b\"bytes\";"), vec!["bytes"]);
+        assert_eq!(strings("let s = br#\"raw bytes\"#;"), vec!["raw bytes"]);
+        // `//` inside a raw string is not a comment.
+        let out = lex("let s = r\"http://x\";");
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = '\\''; }");
+        let chars = out.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = out.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(chars, 3);
+        assert_eq!(lifetimes, 2);
+        // A comment-ish string inside a char literal never leaks.
+        assert!(idents("let c = 'x'; let y = 1;").contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_swallowed_by_numbers() {
+        // `self.0.unwrap()` must still expose the `unwrap` identifier.
+        let ids = idents("self.0.unwrap()");
+        assert!(ids.contains(&"unwrap".to_string()));
+        // while real float literals stay one token.
+        let out = lex("let x = 1.25e-3f64;");
+        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 1);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"line\nline\nline\";\nlet b = 2;";
+        let out = lex(src);
+        let b_line = out
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(4));
+    }
+
+    #[test]
+    fn own_line_flag_distinguishes_trailing_comments() {
+        let out = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert!(!out.comments[0].own_line);
+        assert!(out.comments[1].own_line);
+    }
+
+    #[test]
+    fn unterminated_literals_are_tolerated() {
+        // Must not panic, and earlier tokens survive.
+        assert!(idents("let x = 1; let s = \"oops").contains(&"x".to_string()));
+        assert!(idents("let x = 1; let s = r#\"oops").contains(&"x".to_string()));
+        assert!(idents("let x = 1; /* oops").contains(&"x".to_string()));
+    }
+}

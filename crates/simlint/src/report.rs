@@ -1,0 +1,142 @@
+//! The lint report: deterministic ordering, text rendering, and the
+//! `coarse.lint-report/v1` JSON schema (rendered via `simcore::json`, the
+//! same writer behind the scorecard / run-report / chaos-repro artifacts).
+
+use coarse_simcore::json::JsonValue;
+
+use crate::rules::RULES;
+
+/// Schema tag of the JSON lint report.
+pub const SCHEMA: &str = "coarse.lint-report/v1";
+
+/// One finding, waived or active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (one of [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// True when an inline waiver covers this finding.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+/// The result of linting a set of files.
+#[derive(Debug)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    /// Sorted by (path, line, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn total(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn waived(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.waived).count()
+    }
+
+    /// Un-waived findings: the count that gates CI.
+    pub fn active(&self) -> usize {
+        self.total() - self.waived()
+    }
+
+    pub fn active_diagnostics(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.waived)
+    }
+
+    /// Canonical sort: report output must not depend on rule execution order.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+        });
+    }
+
+    /// The `coarse.lint-report/v1` JSON tree. Every known rule appears in
+    /// `rules` (zero counts included) so a silently-dead rule is visible in
+    /// the artifact itself.
+    pub fn to_json(&self) -> JsonValue {
+        let mut rules = Vec::new();
+        for r in RULES {
+            let total = self.diagnostics.iter().filter(|d| d.rule == r.id).count();
+            let waived = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == r.id && d.waived)
+                .count();
+            rules.push(
+                JsonValue::object()
+                    .with("id", JsonValue::str(r.id))
+                    .with("total", JsonValue::int(total as u64))
+                    .with("waived", JsonValue::int(waived as u64))
+                    .with("active", JsonValue::int((total - waived) as u64)),
+            );
+        }
+        let mut diags = Vec::new();
+        for d in &self.diagnostics {
+            let mut obj = JsonValue::object()
+                .with("rule", JsonValue::str(d.rule))
+                .with("path", JsonValue::str(&d.path))
+                .with("line", JsonValue::int(u64::from(d.line)))
+                .with("message", JsonValue::str(&d.message))
+                .with("waived", JsonValue::Bool(d.waived));
+            if let Some(reason) = &d.reason {
+                obj = obj.with("reason", JsonValue::str(reason));
+            }
+            diags.push(obj);
+        }
+        JsonValue::object()
+            .with("schema", JsonValue::str(SCHEMA))
+            .with("files_scanned", JsonValue::int(self.files_scanned as u64))
+            .with(
+                "counts",
+                JsonValue::object()
+                    .with("total", JsonValue::int(self.total() as u64))
+                    .with("waived", JsonValue::int(self.waived() as u64))
+                    .with("active", JsonValue::int(self.active() as u64)),
+            )
+            .with("rules", JsonValue::Array(rules))
+            .with("diagnostics", JsonValue::Array(diags))
+    }
+
+    /// Pretty JSON with a trailing newline — the artifact format whose
+    /// byte-identity across runs the gate test asserts.
+    pub fn render_json(&self) -> String {
+        let mut s = self.to_json().render_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable rendering. With `include_waived`, waived findings are
+    /// listed too (annotated with their reasons).
+    pub fn render_text(&self, include_waived: bool) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            if d.waived && !include_waived {
+                continue;
+            }
+            s.push_str(&format!(
+                "{}:{}: [{}] {}",
+                d.path, d.line, d.rule, d.message
+            ));
+            if let Some(reason) = &d.reason {
+                s.push_str(&format!(" (waived: {reason})"));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "simlint: {} files scanned, {} diagnostics ({} waived, {} active)\n",
+            self.files_scanned,
+            self.total(),
+            self.waived(),
+            self.active()
+        ));
+        s
+    }
+}

@@ -1,0 +1,278 @@
+//! Cross-file semantic checks: metric-name coverage and preset existence.
+//!
+//! These rules read *relationships* the token rules cannot see: the metric
+//! constants declared in `simcore::metrics::name` must be mirrored by
+//! `bench::expectations::KNOWN_METRICS` (so every recorded series has a
+//! declared consumer), and every `fig16*` string literal in the workspace
+//! must name a real `trainsim::Scenario` preset (so tests and CLI wiring
+//! cannot drift from the presets they claim to exercise).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Tok};
+use crate::report::Diagnostic;
+use crate::rules::FileInfo;
+
+/// Path of the file declaring the metric-name constants.
+pub const METRICS_PATH: &str = "crates/simcore/src/metrics.rs";
+/// Path of the file declaring `KNOWN_METRICS`.
+pub const EXPECTATIONS_PATH: &str = "crates/bench/src/expectations.rs";
+/// Path of the file defining Scenario presets.
+pub const SCENARIO_PATH: &str = "crates/trainsim/src/scenario.rs";
+
+/// One classified, lexed file (shared by the engine and these checks).
+pub struct LexedFile {
+    pub info: FileInfo,
+    pub lexed: Lexed,
+    pub mask: Vec<bool>,
+}
+
+/// Rule `metric-coverage`: diff the `pub mod name` constants in metrics.rs
+/// against the `KNOWN_METRICS` list in expectations.rs, both ways. Skipped
+/// when either file is absent from the scanned set (e.g. fixture runs).
+pub fn metric_coverage(files: &[LexedFile], out: &mut Vec<Diagnostic>) {
+    let Some(metrics) = files.iter().find(|f| f.info.path == METRICS_PATH) else {
+        return;
+    };
+    let Some(expect) = files.iter().find(|f| f.info.path == EXPECTATIONS_PATH) else {
+        return;
+    };
+    let declared = metric_name_consts(&metrics.lexed);
+    let known = known_metrics_entries(&expect.lexed);
+    if known.is_empty() {
+        out.push(Diagnostic {
+            rule: "metric-coverage",
+            path: EXPECTATIONS_PATH.to_string(),
+            line: 1,
+            message: "expectations.rs declares no KNOWN_METRICS list; every metric constant in \
+                      simcore::metrics::name must be mirrored there"
+                .to_string(),
+            waived: false,
+            reason: None,
+        });
+        return;
+    }
+    let known_set: BTreeSet<&str> = known.iter().map(|(v, _)| v.as_str()).collect();
+    let declared_set: BTreeSet<&str> = declared.iter().map(|(v, _)| v.as_str()).collect();
+    for (value, line) in &declared {
+        if !known_set.contains(value.as_str()) {
+            out.push(Diagnostic {
+                rule: "metric-coverage",
+                path: METRICS_PATH.to_string(),
+                line: *line,
+                message: format!(
+                    "metric \"{value}\" is recorded by simcore::metrics but missing from \
+                     bench::expectations::KNOWN_METRICS"
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+    for (value, line) in &known {
+        if !declared_set.contains(value.as_str()) {
+            out.push(Diagnostic {
+                rule: "metric-coverage",
+                path: EXPECTATIONS_PATH.to_string(),
+                line: *line,
+                message: format!(
+                    "KNOWN_METRICS entry \"{value}\" has no matching constant in \
+                     simcore::metrics::name"
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// Extracts `(value, line)` for every `const NAME: &str = "value";` inside
+/// `mod name { ... }` of metrics.rs.
+fn metric_name_consts(lexed: &Lexed) -> Vec<(String, u32)> {
+    let toks = &lexed.tokens;
+    let mut start = None;
+    for i in 0..toks.len() {
+        if toks[i].tok == Tok::Ident("mod".into())
+            && matches!(toks.get(i + 1), Some(t) if t.tok == Tok::Ident("name".into()))
+            && matches!(toks.get(i + 2), Some(t) if t.tok == Tok::Punct(b'{'))
+        {
+            start = Some(i + 3);
+            break;
+        }
+    }
+    let Some(start) = start else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 1usize;
+    let mut i = start;
+    while i < toks.len() && depth > 0 {
+        match &toks[i].tok {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => depth -= 1,
+            Tok::Ident(w) if w == "const" => {
+                // const NAME : & str = "value" ;
+                let pat_str =
+                    matches!(toks.get(i + 4), Some(t) if t.tok == Tok::Ident("str".into()));
+                let pat = matches!(toks.get(i + 2), Some(t) if t.tok == Tok::Punct(b':'))
+                    && matches!(toks.get(i + 3), Some(t) if t.tok == Tok::Punct(b'&'))
+                    && pat_str
+                    && matches!(toks.get(i + 5), Some(t) if t.tok == Tok::Punct(b'='));
+                if pat {
+                    if let Some(t) = toks.get(i + 6) {
+                        if let Tok::Str(v) = &t.tok {
+                            out.push((v.clone(), t.line));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts `(value, line)` for every string in the `KNOWN_METRICS` slice
+/// initializer of expectations.rs.
+fn known_metrics_entries(lexed: &Lexed) -> Vec<(String, u32)> {
+    let toks = &lexed.tokens;
+    let Some(at) = toks
+        .iter()
+        .position(|t| t.tok == Tok::Ident("KNOWN_METRICS".into()))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in toks.iter().skip(at) {
+        match &t.tok {
+            Tok::Punct(b';') => break,
+            Tok::Str(v) => out.push((v.clone(), t.line)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Rule `preset-exists`: every string literal matching `fig16<tail>` (tail
+/// non-empty, lowercase alphanumeric/dash) outside scenario.rs must be a
+/// preset that scenario.rs itself names. Panel ids that are not presets
+/// (e.g. dense baselines sharing a figure) carry waivers. Skipped when
+/// scenario.rs is absent from the scanned set.
+pub fn preset_exists(files: &[LexedFile], out: &mut Vec<Diagnostic>) {
+    let Some(scenario) = files.iter().find(|f| f.info.path == SCENARIO_PATH) else {
+        return;
+    };
+    let presets: BTreeSet<String> = scenario
+        .lexed
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(v) if is_preset_shaped(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    for f in files {
+        if f.info.path == SCENARIO_PATH {
+            continue;
+        }
+        for t in &f.lexed.tokens {
+            let Tok::Str(v) = &t.tok else { continue };
+            if is_preset_shaped(v) && !presets.contains(v) {
+                out.push(Diagnostic {
+                    rule: "preset-exists",
+                    path: f.info.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "\"{v}\" looks like a Scenario preset but trainsim::scenario does not \
+                         define it"
+                    ),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+}
+
+/// `fig16` + non-empty `[a-z0-9-]` tail, e.g. `fig16a`, `fig16d-2to1`.
+fn is_preset_shaped(s: &str) -> bool {
+    match s.strip_prefix("fig16") {
+        Some(tail) => {
+            !tail.is_empty()
+                && tail
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{test_mask, FileInfo};
+
+    fn file(path: &str, src: &str) -> LexedFile {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        LexedFile {
+            info: FileInfo::classify(path),
+            lexed,
+            mask,
+        }
+    }
+
+    #[test]
+    fn preset_shape() {
+        assert!(is_preset_shaped("fig16a"));
+        assert!(is_preset_shaped("fig16d-2to1"));
+        assert!(!is_preset_shaped("fig16"));
+        assert!(!is_preset_shaped("fig16d fits"));
+        assert!(!is_preset_shaped("fig9"));
+        assert!(!is_preset_shaped("Fig16a"));
+    }
+
+    #[test]
+    fn preset_usage_checked_against_scenario() {
+        let scenario = file(
+            SCENARIO_PATH,
+            "fn p() { let _ = [\"fig16a\", \"fig16b\"]; }",
+        );
+        let good = file("tests/a.rs", "const P: &str = \"fig16a\";");
+        let bad = file("tests/b.rs", "const P: &str = \"fig16z\";");
+        let mut out = Vec::new();
+        preset_exists(&[scenario, good, bad], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "tests/b.rs");
+        // simlint: allow(preset-exists, reason = "deliberately-unknown preset name exercising the preset-exists rule itself")
+        assert!(out[0].message.contains("fig16z"));
+    }
+
+    #[test]
+    fn metric_coverage_diffs_both_ways() {
+        let metrics = file(
+            METRICS_PATH,
+            "pub mod name {\n    pub const A: &str = \"a.count\";\n    pub const B: &str = \"b.count\";\n}\n",
+        );
+        let expect = file(
+            EXPECTATIONS_PATH,
+            "pub static KNOWN_METRICS: &[&str] = &[\"a.count\", \"c.count\"];\n",
+        );
+        let mut out = Vec::new();
+        metric_coverage(&[metrics, expect], &mut out);
+        let msgs: Vec<_> = out.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(out.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("b.count")));
+        assert!(msgs.iter().any(|m| m.contains("c.count")));
+    }
+
+    #[test]
+    fn metric_coverage_skipped_without_both_files() {
+        let metrics = file(METRICS_PATH, "pub mod name { pub const A: &str = \"a\"; }");
+        let mut out = Vec::new();
+        metric_coverage(&[metrics], &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Inline waiver comments: `// simlint: allow(<rule>, reason = "...")`.
+//!
+//! A waiver on its own line covers the next line that contains code; a
+//! trailing waiver covers its own line. Several own-line waivers may stack
+//! above one line. Waivers must be plain line comments: doc comments can
+//! never waive (their text starts with `/` or `!`), and block comments are
+//! ignored by design. Every waiver must match a diagnostic — otherwise the
+//! `unused-waiver` rule fires — and malformed waivers raise `bad-waiver`,
+//! so the waiver ledger can only shrink, never rot.
+
+use crate::lexer::{Comment, Lexed};
+use crate::report::Diagnostic;
+use crate::rules::{is_known_rule, UNWAIVABLE};
+
+/// One parsed waiver, located and aimed.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Repo-relative path of the file the waiver sits in.
+    pub path: String,
+    /// Rule id being waived.
+    pub rule: String,
+    /// Human justification (non-empty by construction).
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// Line the waiver covers, when one exists.
+    pub target: Option<u32>,
+    /// Set once the waiver absorbs at least one diagnostic.
+    pub used: bool,
+}
+
+/// Scans a file's comments for waivers. Malformed waivers become `bad-waiver`
+/// diagnostics; well-formed ones are returned with their target line resolved.
+pub fn collect(path: &str, lexed: &Lexed, out_diags: &mut Vec<Diagnostic>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in &lexed.comments {
+        if c.block {
+            continue;
+        }
+        let Some(parsed) = parse(&c.text) else {
+            continue;
+        };
+        match parsed {
+            Ok((rule, reason)) => {
+                let target = if c.own_line {
+                    next_code_line(lexed, c)
+                } else {
+                    Some(c.line)
+                };
+                waivers.push(Waiver {
+                    path: path.to_string(),
+                    rule,
+                    reason,
+                    line: c.line,
+                    target,
+                    used: false,
+                });
+            }
+            Err(message) => out_diags.push(Diagnostic {
+                rule: "bad-waiver",
+                path: path.to_string(),
+                line: c.line,
+                message,
+                waived: false,
+                reason: None,
+            }),
+        }
+    }
+    waivers
+}
+
+/// The first line after the waiver comment that carries a token.
+fn next_code_line(lexed: &Lexed, c: &Comment) -> Option<u32> {
+    lexed.tokens.iter().map(|t| t.line).find(|&l| l > c.line)
+}
+
+/// Parses comment text. `None` — not a waiver at all. `Some(Err(_))` — meant
+/// to be a waiver but malformed.
+fn parse(text: &str) -> Option<Result<(String, String), String>> {
+    let rest = text.trim_start().strip_prefix("simlint:")?;
+    Some(parse_body(rest))
+}
+
+fn parse_body(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err("waiver must be `simlint: allow(<rule>, reason = \"...\")`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let rest = rest.trim_start();
+    let rule_len = rest
+        .bytes()
+        .take_while(|b| b.is_ascii_lowercase() || *b == b'-')
+        .count();
+    let (rule, rest) = rest.split_at(rule_len);
+    if rule.is_empty() {
+        return Err("missing rule name in waiver".to_string());
+    }
+    if !is_known_rule(rule) {
+        return Err(format!("unknown rule `{rule}` in waiver"));
+    }
+    if UNWAIVABLE.contains(&rule) {
+        return Err(format!("rule `{rule}` cannot be waived"));
+    }
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Err("expected `, reason = \"...\"` after rule name".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Err("expected `reason = \"...\"`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err("reason must be a double-quoted string".to_string());
+    };
+    let Some((reason, rest)) = rest.split_once('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("waiver reason must be non-empty".to_string());
+    }
+    let rest = rest.trim_start();
+    if !rest.starts_with(')') {
+        return Err("expected `)` closing the waiver".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Marks diagnostics covered by a waiver (same file, rule, and line) as
+/// waived, then reports every unused waiver. Unwaivable rules are skipped.
+pub fn apply(diags: &mut Vec<Diagnostic>, waivers: &mut [Waiver]) {
+    for d in diags.iter_mut() {
+        if UNWAIVABLE.contains(&d.rule) {
+            continue;
+        }
+        for w in waivers.iter_mut() {
+            if w.path == d.path && w.rule == d.rule && w.target == Some(d.line) {
+                d.waived = true;
+                d.reason = Some(w.reason.clone());
+                w.used = true;
+                break;
+            }
+        }
+    }
+    for w in waivers.iter().filter(|w| !w.used) {
+        let aim = match w.target {
+            Some(l) => format!("line {l}"),
+            None => "any line".to_string(),
+        };
+        diags.push(Diagnostic {
+            rule: "unused-waiver",
+            path: w.path.clone(),
+            line: w.line,
+            message: format!(
+                "waiver for `{}` does not match any diagnostic on {aim}; delete it",
+                w.rule
+            ),
+            waived: false,
+            reason: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(text: &str) -> (String, String) {
+        match parse(text) {
+            Some(Ok(pair)) => pair,
+            other => panic!("expected Ok waiver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_well_formed_waivers() {
+        let (rule, reason) =
+            parse_ok(" simlint: allow(panic-in-library, reason = \"ring is non-empty\")");
+        assert_eq!(rule, "panic-in-library");
+        assert_eq!(reason, "ring is non-empty");
+        // Whitespace tolerance.
+        let (rule, _) = parse_ok("simlint:allow( wall-clock ,reason=\"x\" )");
+        assert_eq!(rule, "wall-clock");
+    }
+
+    #[test]
+    fn non_waiver_comments_are_ignored() {
+        assert!(parse("ordinary comment").is_none());
+        assert!(parse("/ doc comment mentioning simlint: allow(x)").is_none());
+    }
+
+    #[test]
+    fn malformed_waivers_are_errors() {
+        assert!(parse("simlint: allow(panic-in-library)").is_some_and(|r| r.is_err()));
+        assert!(parse("simlint: deny(wall-clock, reason = \"x\")").is_some_and(|r| r.is_err()));
+        assert!(parse("simlint: allow(no-such-rule, reason = \"x\")").is_some_and(|r| r.is_err()));
+        assert!(parse("simlint: allow(unused-waiver, reason = \"x\")").is_some_and(|r| r.is_err()));
+        assert!(parse("simlint: allow(wall-clock, reason = \"  \")").is_some_and(|r| r.is_err()));
+    }
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src = "// simlint: allow(wall-clock, reason = \"startup stamp\")\n\nlet t = Instant::now();\n";
+        let lexed = lex(src);
+        let mut diags = Vec::new();
+        let ws = collect("crates/simcore/src/x.rs", &lexed, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target, Some(3));
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let t = Instant::now(); // simlint: allow(wall-clock, reason = \"stamp\")\n";
+        let lexed = lex(src);
+        let mut diags = Vec::new();
+        let ws = collect("x.rs", &lexed, &mut diags);
+        assert_eq!(ws[0].target, Some(1));
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// simlint: allow(wall-clock, reason = \"nothing here\")\nlet x = 1;\n";
+        let lexed = lex(src);
+        let mut diags = Vec::new();
+        let mut ws = collect("x.rs", &lexed, &mut diags);
+        apply(&mut diags, &mut ws);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-waiver");
+        assert_eq!(diags[0].line, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic workspace source discovery.
+//!
+//! Walks `crates/*/{src,tests,examples,benches}` plus the root package's
+//! `src/`, `tests/`, and `examples/`, collecting `.rs` files sorted by
+//! repo-relative path. Fixture directories (e.g. `crates/simlint/fixtures`)
+//! are deliberately outside the walked set: they hold intentionally-bad
+//! code for the selftest.
+
+use std::fs;
+use std::path::Path;
+
+use crate::LintError;
+
+/// Subdirectories of each package that hold Rust sources.
+const TARGET_DIRS: &[&str] = &["benches", "examples", "src", "tests"];
+
+/// Collects `(repo_relative_path, contents)` for every workspace `.rs`
+/// source, sorted by path.
+pub fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, LintError> {
+    let mut out = Vec::new();
+    let mut crate_names = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                if let Some(name) = entry.file_name().to_str() {
+                    crate_names.push(name.to_string());
+                }
+            }
+        }
+    }
+    crate_names.sort();
+    for name in &crate_names {
+        for sub in TARGET_DIRS {
+            collect_rs(
+                &crates_dir.join(name).join(sub),
+                &format!("crates/{name}/{sub}"),
+                &mut out,
+            )?;
+        }
+    }
+    for sub in TARGET_DIRS {
+        collect_rs(&root.join(sub), sub, &mut out)?;
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, labelling them with
+/// forward-slash paths rooted at `rel`.
+fn collect_rs(dir: &Path, rel: &str, out: &mut Vec<(String, String)>) -> Result<(), LintError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()), // absent target dir (e.g. no tests/) is fine
+    };
+    let mut names = Vec::new();
+    for entry in entries.flatten() {
+        if let Some(name) = entry.file_name().to_str() {
+            names.push((name.to_string(), entry.path().is_dir()));
+        }
+    }
+    names.sort();
+    for (name, is_dir) in names {
+        let child = dir.join(&name);
+        let child_rel = format!("{rel}/{name}");
+        if is_dir {
+            collect_rs(&child, &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            let contents = fs::read_to_string(&child).map_err(|e| LintError::Io {
+                path: child_rel.clone(),
+                message: e.to_string(),
+            })?;
+            out.push((child_rel, contents));
+        }
+    }
+    Ok(())
+}

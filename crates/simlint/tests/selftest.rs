@@ -1,0 +1,197 @@
+//! Selftest: proof that every rule is alive. Each deliberately-bad fixture
+//! in `fixtures/` is linted under a synthetic path chosen to engage one
+//! rule, and the test asserts the expected findings — so a refactor that
+//! silently kills a rule fails here, not in production drift.
+
+use coarse_simlint::lint_files;
+use coarse_simlint::report::LintReport;
+use coarse_simlint::rules::RULES;
+use coarse_simlint::semantic::{EXPECTATIONS_PATH, METRICS_PATH, SCENARIO_PATH};
+
+const CONTAINER_PATH: &str = "crates/fabric/src/bad_container.rs";
+const WALL_CLOCK_PATH: &str = "crates/cci/src/bad_wall_clock.rs";
+const RANDOMNESS_PATH: &str = "crates/core/src/bad_randomness.rs";
+const PANICS_PATH: &str = "crates/trainsim/src/bad_panics.rs";
+const CFG_TEST_PATH: &str = "crates/fabric/src/cfg_test_ok.rs";
+const WAIVERS_PATH: &str = "crates/collectives/src/waivers.rs";
+const PRESET_PATH: &str = "crates/trainsim/tests/bad_preset.rs";
+
+const CONTAINER: &str = include_str!("../fixtures/bad_container.rs");
+const WALL_CLOCK: &str = include_str!("../fixtures/bad_wall_clock.rs");
+const RANDOMNESS: &str = include_str!("../fixtures/bad_randomness.rs");
+const PANICS: &str = include_str!("../fixtures/bad_panics.rs");
+const CFG_TEST_OK: &str = include_str!("../fixtures/cfg_test_ok.rs");
+const WAIVERS: &str = include_str!("../fixtures/waivers.rs");
+const METRICS_DRIFT: &str = include_str!("../fixtures/metrics_drift.rs");
+const EXPECTATIONS_DRIFT: &str = include_str!("../fixtures/expectations_drift.rs");
+const SCENARIO_PRESETS: &str = include_str!("../fixtures/scenario_presets.rs");
+const BAD_PRESET: &str = include_str!("../fixtures/bad_preset.rs");
+
+fn fx(path: &str, content: &str) -> (String, String) {
+    (path.to_string(), content.to_string())
+}
+
+fn all_fixtures() -> Vec<(String, String)> {
+    vec![
+        fx(CONTAINER_PATH, CONTAINER),
+        fx(WALL_CLOCK_PATH, WALL_CLOCK),
+        fx(RANDOMNESS_PATH, RANDOMNESS),
+        fx(PANICS_PATH, PANICS),
+        fx(CFG_TEST_PATH, CFG_TEST_OK),
+        fx(WAIVERS_PATH, WAIVERS),
+        fx(METRICS_PATH, METRICS_DRIFT),
+        fx(EXPECTATIONS_PATH, EXPECTATIONS_DRIFT),
+        fx(SCENARIO_PATH, SCENARIO_PRESETS),
+        fx(PRESET_PATH, BAD_PRESET),
+    ]
+}
+
+fn active_rules(report: &LintReport, path: &str) -> Vec<&'static str> {
+    report
+        .active_diagnostics()
+        .filter(|d| d.path == path)
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_set() {
+    let report = lint_files(&all_fixtures());
+    let mut live: Vec<&str> = report.active_diagnostics().map(|d| d.rule).collect();
+    live.sort_unstable();
+    live.dedup();
+    let known: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    assert_eq!(
+        live, known,
+        "every known rule must produce at least one active finding on the bad fixtures"
+    );
+}
+
+#[test]
+fn unordered_container_findings() {
+    let report = lint_files(&[fx(CONTAINER_PATH, CONTAINER)]);
+    let rules = active_rules(&report, CONTAINER_PATH);
+    // Two in the `use`, one per struct field.
+    assert_eq!(rules, vec!["unordered-container"; 4], "{report:?}");
+}
+
+#[test]
+fn wall_clock_findings() {
+    let report = lint_files(&[fx(WALL_CLOCK_PATH, WALL_CLOCK)]);
+    let rules = active_rules(&report, WALL_CLOCK_PATH);
+    // SystemTime + UNIX_EPOCH in the use, Instant::now, SystemTime::now,
+    // duration_since(UNIX_EPOCH). The `.unwrap_or(0)` must NOT add a
+    // panic-in-library finding.
+    assert_eq!(rules, vec!["wall-clock"; 5], "{report:?}");
+}
+
+#[test]
+fn ambient_randomness_findings() {
+    let report = lint_files(&[fx(RANDOMNESS_PATH, RANDOMNESS)]);
+    let rules = active_rules(&report, RANDOMNESS_PATH);
+    // RandomState in the use and at the construction site, plus thread_rng.
+    assert_eq!(rules, vec!["ambient-randomness"; 3], "{report:?}");
+}
+
+#[test]
+fn panic_in_library_findings() {
+    let report = lint_files(&[fx(PANICS_PATH, PANICS)]);
+    let rules = active_rules(&report, PANICS_PATH);
+    // unwrap, expect, panic!, unreachable!, todo!.
+    assert_eq!(rules, vec!["panic-in-library"; 5], "{report:?}");
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let report = lint_files(&[fx(CFG_TEST_PATH, CFG_TEST_OK)]);
+    assert_eq!(
+        report.total(),
+        0,
+        "the same patterns inside #[cfg(test)] must be clean: {report:?}"
+    );
+}
+
+#[test]
+fn waiver_machinery_polices_itself() {
+    let report = lint_files(&[fx(WAIVERS_PATH, WAIVERS)]);
+    // The honest waiver absorbs the HashMap on the `use` line.
+    let waived: Vec<_> = report.diagnostics.iter().filter(|d| d.waived).collect();
+    assert_eq!(waived.len(), 1, "{report:?}");
+    assert_eq!(waived[0].rule, "unordered-container");
+    assert_eq!(
+        waived[0].reason.as_deref(),
+        Some("fixture: order never observed")
+    );
+    // The mis-aimed wall-clock waiver is unused; the HashMap it sat above
+    // stays active; the malformed / unknown-rule / unwaivable-rule waivers
+    // each raise bad-waiver.
+    let mut active = active_rules(&report, WAIVERS_PATH);
+    active.sort_unstable();
+    assert_eq!(
+        active,
+        vec![
+            "bad-waiver",
+            "bad-waiver",
+            "bad-waiver",
+            "unordered-container",
+            "unused-waiver"
+        ],
+        "{report:?}"
+    );
+}
+
+#[test]
+fn metric_coverage_findings_point_both_ways() {
+    let report = lint_files(&[
+        fx(METRICS_PATH, METRICS_DRIFT),
+        fx(EXPECTATIONS_PATH, EXPECTATIONS_DRIFT),
+    ]);
+    assert_eq!(active_rules(&report, METRICS_PATH), vec!["metric-coverage"]);
+    assert_eq!(
+        active_rules(&report, EXPECTATIONS_PATH),
+        vec!["metric-coverage"]
+    );
+}
+
+#[test]
+fn preset_exists_findings() {
+    let report = lint_files(&[
+        fx(SCENARIO_PATH, SCENARIO_PRESETS),
+        fx(PRESET_PATH, BAD_PRESET),
+    ]);
+    let diags: Vec<_> = report
+        .active_diagnostics()
+        .filter(|d| d.path == PRESET_PATH)
+        .collect();
+    // Only the phantom preset fires; the known one is defined by the
+    // scenario fixture, and the registry file itself is never checked.
+    assert_eq!(diags.len(), 1, "{report:?}");
+    assert_eq!(diags[0].rule, "preset-exists");
+    assert_eq!(diags[0].line, 8);
+    assert!(active_rules(&report, SCENARIO_PATH).is_empty());
+}
+
+#[test]
+fn json_report_snapshot() {
+    let report = lint_files(&[fx(CONTAINER_PATH, CONTAINER)]);
+    let actual = report.render_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/bad_container.report.json"
+    );
+    if std::env::var("SIMLINT_UPDATE_SNAPSHOT").is_ok() {
+        std::fs::write(path, &actual).expect("write snapshot");
+    }
+    let expected = include_str!("../fixtures/bad_container.report.json");
+    assert_eq!(
+        actual, expected,
+        "lint-report JSON drifted; rerun with SIMLINT_UPDATE_SNAPSHOT=1 and review the diff"
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let a = lint_files(&all_fixtures()).render_json();
+    let b = lint_files(&all_fixtures()).render_json();
+    assert_eq!(a, b);
+}

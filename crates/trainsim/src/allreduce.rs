@@ -59,6 +59,7 @@ pub fn simulate_allreduce(
             let total: usize = node_rings.iter().map(Vec::len).sum();
             let ready = vec![backward_end; total];
             hierarchical_allreduce(&mut engine, &node_rings, payload, &ready, |_| true)
+                // simlint: allow(panic-in-library, reason = "the dense-baseline topology is built fully connected by MachineBuilder")
                 .expect("workers must be connected")
                 .end
         } else if single_node_ring.len() >= 2 {
@@ -71,6 +72,7 @@ pub fn simulate_allreduce(
                 RingDirection::Forward,
                 |_| true,
             )
+            // simlint: allow(panic-in-library, reason = "the dense-baseline topology is built fully connected by MachineBuilder")
             .expect("workers must be connected")
             .end
         } else {

@@ -135,6 +135,7 @@ impl RunReport {
     /// [`RunReport::try_collect_scenario`] for a recoverable variant.
     pub fn collect_scenario(scenario: &Scenario) -> RunReport {
         RunReport::try_collect_scenario(scenario)
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_collect_scenario is the fallible variant")
             .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
     }
 
@@ -163,6 +164,7 @@ impl RunReport {
                 Err(TrainError::OutOfMemory { max_batch, .. }) => {
                     SchemeOutcome::OutOfMemory { max_batch }
                 }
+                // simlint: allow(panic-in-library, reason = "the scenario was validated above; only per-scheme memory errors are reachable and handled")
                 Err(e) => unreachable!("scenario was validated: {e}"),
             };
             SchemeRun { scheme, outcome }
@@ -220,6 +222,7 @@ impl RunReport {
         self.schemes
             .iter()
             .find(|s| s.scheme == scheme)
+            // simlint: allow(panic-in-library, reason = "the scheme sweep in try_collect_scenario records all three schemes")
             .expect("all three schemes present")
     }
 
@@ -351,6 +354,7 @@ mod tests {
     #[test]
     fn oom_scheme_recorded_not_skipped() {
         let r = RunReport::collect(
+            // simlint: allow(preset-exists, reason = "panel label for a custom Scenario, not a preset lookup")
             "fig16e-b4",
             &aws_v100(),
             PartitionScheme::OneToOne,

@@ -71,6 +71,7 @@ impl Scenario {
     /// for a recoverable variant.
     pub fn preset(name: &str) -> Scenario {
         Scenario::try_preset(name).unwrap_or_else(|_| {
+            // simlint: allow(panic-in-library, reason = "documented panicking wrapper; try_preset is the fallible variant")
             panic!(
                 "unknown scenario preset {name:?}; known presets: {}",
                 Scenario::presets().join(", ")

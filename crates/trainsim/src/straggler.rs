@@ -123,6 +123,7 @@ impl Model for StragglerModel {
                 if iter_done {
                     let slowest = now; // last arrival is `now`
                     for (w, &d) in self.done_at[iter as usize].iter().enumerate() {
+                        // simlint: allow(panic-in-library, reason = "the loop records an arrival for every worker before this read")
                         let arrived = d.expect("all arrived");
                         self.total_wait += slowest - arrived;
                         self.waits.record((slowest - arrived).as_secs_f64());
@@ -148,6 +149,7 @@ impl Model for StragglerModel {
                 if iter_done {
                     let slowest = now;
                     for (w, &d) in self.done_at[iter as usize].iter().enumerate() {
+                        // simlint: allow(panic-in-library, reason = "the loop records an arrival for every worker before this read")
                         let arrived = d.expect("all arrived");
                         let own_next = arrived + tail;
                         let gated = (slowest + tail).saturating_duration_since(own_next + slack);

@@ -64,6 +64,7 @@ fn memory_gate_matches_fig16e() {
 
     // The top-level entry point (the Scenario builder) enforces the same
     // gate.
+    // simlint: allow(preset-exists, reason = "ad-hoc scenario label for the capacity gate, not a preset lookup")
     let scenario = Scenario::new("fig16e-gate", aws_v100(), model.clone())
         .batch_per_gpu(4)
         .iterations(2);

@@ -1,0 +1,48 @@
+//! Tier-1 gate: the workspace must lint clean under simlint.
+//!
+//! Every determinism / simulation-safety finding must be either fixed or
+//! carry an inline `// simlint: allow(<rule>, reason = "...")` waiver — an
+//! un-waived finding fails this test with the full listing, exactly as CI's
+//! `figures -- lint` run would.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = coarse_simlint::lint_workspace(workspace_root())
+        .expect("workspace sources must be readable");
+    let active: Vec<String> = report
+        .active_diagnostics()
+        .map(|d| format!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "simlint found {} un-waived finding(s); fix them or waive with \
+         `// simlint: allow(<rule>, reason = \"...\")`:\n{}",
+        active.len(),
+        active.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}); the walker lost the workspace",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn lint_report_is_byte_identical_across_runs() {
+    let a = coarse_simlint::lint_workspace(workspace_root())
+        .expect("workspace sources must be readable")
+        .render_json();
+    let b = coarse_simlint::lint_workspace(workspace_root())
+        .expect("workspace sources must be readable")
+        .render_json();
+    assert_eq!(
+        a, b,
+        "lint report must not depend on run order or host state"
+    );
+}
