@@ -12,6 +12,14 @@
 
 use coarse_bench::{expectations, mechanisms, micro, selfbench, training};
 
+/// With `--features prof-alloc`, every allocation this binary makes is
+/// counted and attributed to the profiling region open at the time; the
+/// `alloc` section of `profile-<scenario>.json` is then populated.
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static ALLOC: coarse_simcore::prof::alloc_counter::CountingAlloc =
+    coarse_simcore::prof::alloc_counter::CountingAlloc;
+
 fn hr(title: &str) {
     println!("\n================================================================");
     println!("{title}");
@@ -458,8 +466,17 @@ fn usage() {
          \x20 report [scenario] [--json <path>]\n\
          \x20                          emit the fidelity report (scorecard + per-panel\n\
          \x20                          run reports) as versioned JSON\n\
-         \x20 bench [label]            run the perf self-benchmark and write\n\
-         \x20                          BENCH_<label>.json (default label: local)\n\
+         \x20 bench [label] [--baseline <file>]\n\
+         \x20                          run the perf self-benchmark and write\n\
+         \x20                          BENCH_<label>.json (default label: local);\n\
+         \x20                          with --baseline, diff against a committed\n\
+         \x20                          BENCH artifact — wall-clock drift warns,\n\
+         \x20                          deterministic drift exits 1\n\
+         \x20 profile [scenario]       run the self-profiling harness twice over a\n\
+         \x20                          fig16 preset (default fig16d), verify the\n\
+         \x20                          deterministic section is byte-identical, and\n\
+         \x20                          write profile-<scenario>.json plus the\n\
+         \x20                          collapsed-stack profile-<scenario>.folded\n\
          \x20 lint [--json [path]]     run the simlint determinism & simulation-safety\n\
          \x20                          analyzer over the workspace sources; exit 1 on\n\
          \x20                          any un-waived diagnostic (default JSON path:\n\
@@ -504,6 +521,10 @@ fn list() {
     }
     println!("\nchaos modes:");
     for s in ["soak", "run", "replay", "selftest"] {
+        println!("  {s}");
+    }
+    println!("\nprofile scenarios:");
+    for s in coarse_trainsim::Scenario::presets() {
         println!("  {s}");
     }
     println!("\nlint rules:");
@@ -686,7 +707,7 @@ fn faults(scenario: &str) {
     }
 }
 
-fn bench(label: &str) {
+fn bench(label: &str, baseline: Option<&str>) {
     hr(&format!("PERF SELF-BENCHMARK — {label}"));
     let path = match selfbench::write_report(label) {
         Ok(path) => path,
@@ -696,6 +717,95 @@ fn bench(label: &str) {
         }
     };
     println!("\nwrote {path}");
+    if let Some(base_path) = baseline {
+        let parse = |p: &str| {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {p}: {e}");
+                std::process::exit(1);
+            });
+            coarse_simcore::json::JsonValue::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {p} is not valid JSON: {e}");
+                std::process::exit(1);
+            })
+        };
+        let current = parse(&path);
+        let base = parse(base_path);
+        let cmp = selfbench::compare_reports(&current, &base, selfbench::WALL_TOLERANCE);
+        for w in &cmp.warnings {
+            println!("warning: {w}");
+        }
+        for e in &cmp.errors {
+            eprintln!("error: {e}");
+        }
+        if !cmp.passed() {
+            eprintln!("baseline gate vs {base_path}: FAIL (deterministic drift)");
+            std::process::exit(1);
+        }
+        println!(
+            "baseline gate vs {base_path}: OK ({} advisory warning(s))",
+            cmp.warnings.len()
+        );
+    }
+}
+
+/// `figures -- profile <scenario>`: runs the self-profiling harness twice,
+/// asserts the deterministic section is byte-identical across the two runs,
+/// and writes `profile-<scenario>.json` (the `coarse.profile-report/v1`
+/// document) plus `profile-<scenario>.folded` (collapsed stacks for
+/// flamegraph tooling). Exits 2 with usage on an unknown scenario name.
+fn profile(name: &str) {
+    use coarse_trainsim::{profile_preset, TrainError};
+    hr(&format!("SELF-PROFILE — {name}"));
+    // Warm-up run, discarded: first-touch lazy initialization (stdio
+    // buffers, allocator pools) would otherwise show up as extra
+    // allocations in the first profiled run under `prof-alloc`.
+    let warmup = profile_preset(name);
+    let run = match warmup.and(profile_preset(name)) {
+        Ok(run) => run,
+        Err(TrainError::UnknownPreset { .. }) => {
+            eprintln!(
+                "unknown profile scenario '{name}'; scenarios: {}\n",
+                coarse_trainsim::Scenario::presets().join(" ")
+            );
+            usage();
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let again = profile_preset(name).expect("second profiled run of a known preset");
+    let (det_a, det_b) = (
+        run.deterministic_json().render(),
+        again.deterministic_json().render(),
+    );
+    if det_a != det_b {
+        eprintln!("error: deterministic profile sections differ between two runs of '{name}'");
+        std::process::exit(1);
+    }
+    let q = run.profiler.queue_stats();
+    println!(
+        "kernel: {} events dispatched ({} scheduled, {} cancelled)",
+        run.profiler.events_dispatched(),
+        q.scheduled,
+        q.cancelled
+    );
+    println!("{:<20} {:>12}", "region", "events");
+    for &r in &coarse_simcore::prof::region::ALL {
+        let events = run.profiler.region_events(r);
+        if events > 0 {
+            println!("{r:<20} {events:>12}");
+        }
+    }
+    let mut doc = run.report_json().render_pretty();
+    doc.push('\n');
+    let json_path = format!("profile-{name}.json");
+    write_artifact(&json_path, &doc);
+    let folded_path = format!("profile-{name}.folded");
+    write_artifact(&folded_path, &run.folded());
+    println!("\nwrote {json_path}");
+    println!("wrote {folded_path} (determinism check: two runs matched)");
 }
 
 /// Writes a CLI artifact, exiting 1 with a message instead of panicking
@@ -1049,8 +1159,32 @@ fn main() {
             return;
         }
         "bench" => {
-            let label = args.get(1).map(String::as_str).unwrap_or("local");
-            bench(label);
+            let mut label = None;
+            let mut baseline = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--baseline" {
+                    match rest.next() {
+                        Some(p) => baseline = Some(p.as_str()),
+                        None => {
+                            eprintln!("--baseline requires a path");
+                            std::process::exit(2);
+                        }
+                    }
+                } else if arg.starts_with("--") {
+                    eprintln!("unknown bench option '{arg}'\n");
+                    usage();
+                    std::process::exit(2);
+                } else {
+                    label = Some(arg.as_str());
+                }
+            }
+            bench(label.unwrap_or("local"), baseline);
+            return;
+        }
+        "profile" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("fig16d");
+            profile(scenario);
             return;
         }
         "lint" => {

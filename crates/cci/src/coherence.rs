@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use coarse_fabric::device::DeviceId;
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
+use coarse_simcore::prof::{region as prof_region, Profiler};
 use coarse_simcore::time::SimTime;
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -61,6 +62,9 @@ pub struct Directory {
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
     metrics: Option<MetricRegistry>,
+    /// Self-profiler, when profiling is on: counts protocol messages under
+    /// the `cci.coherence` region.
+    profiler: Option<Profiler>,
     /// Externally supplied clock for trace stamps: the directory is an
     /// untimed cost model, so callers set the time of the access they are
     /// accounting for.
@@ -94,11 +98,21 @@ impl Directory {
         self.metrics = Some(metrics);
     }
 
+    /// Attaches a self-profiler: every coherent access counts its protocol
+    /// messages under the `cci.coherence` region. Observation-only — costs
+    /// and directory state are unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
     /// Publishes one access's cost into the metric registry, if attached.
     fn meter_cost(&self, cost: CoherenceCost) {
         if let Some(m) = &self.metrics {
             m.inc(metric::COHERENCE_MESSAGES, cost.messages);
             m.inc(metric::COHERENCE_BYTES, cost.protocol_bytes.as_u64());
+        }
+        if let Some(p) = &self.profiler {
+            p.count(prof_region::CCI_COHERENCE, cost.messages);
         }
     }
 

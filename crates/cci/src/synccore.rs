@@ -14,6 +14,7 @@
 
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::oracle::{OracleEvent, OracleHub};
+use coarse_simcore::prof::{region as prof_region, Profiler};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, SharedTracer, TrackId};
 use coarse_simcore::units::ByteSize;
@@ -138,6 +139,9 @@ pub struct SyncGroup {
     metrics: Option<MetricRegistry>,
     /// Oracle battery, when invariant checking is on.
     oracles: Option<OracleHub>,
+    /// Self-profiler, when profiling is on: counts ring steps under the
+    /// `cci.sync_ring` region.
+    profiler: Option<Profiler>,
     /// Logical clock for trace stamps: the functional ring has no real
     /// timing, so each ring step advances one nanosecond of "step time".
     clock: SimTime,
@@ -160,6 +164,7 @@ impl SyncGroup {
             trace: None,
             metrics: None,
             oracles: None,
+            profiler: None,
             clock: SimTime::ZERO,
         }
     }
@@ -195,6 +200,13 @@ impl SyncGroup {
     /// per ring step, letting the byte-conservation oracle audit it.
     pub fn set_oracles(&mut self, oracles: OracleHub) {
         self.oracles = Some(oracles);
+    }
+
+    /// Attaches a self-profiler: each collective runs inside the
+    /// `cci.sync_ring` region and every ring step bumps its event count.
+    /// Observation-only — reduction results and stats are unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
     }
 
     /// Number of cores (= devices) in the group.
@@ -277,6 +289,10 @@ impl SyncGroup {
                 payload_bytes: len as u64 * 4,
             });
         }
+        let _prof = self
+            .profiler
+            .clone()
+            .map(|p| p.enter(prof_region::CCI_SYNC_RING));
         let mut stats = SyncStats::default();
         let mut result = vec![0.0f32; len];
         let mut offset = 0usize;
@@ -418,6 +434,9 @@ impl SyncGroup {
         if let Some(m) = &self.metrics {
             m.inc(metric::SYNC_CORE_STEPS, 1);
             m.inc(metric::SYNC_CORE_BYTES, bytes_sent.as_u64());
+        }
+        if let Some(p) = &self.profiler {
+            p.count(prof_region::CCI_SYNC_RING, 1);
         }
         if let Some(hub) = &self.oracles {
             hub.emit(OracleEvent::RingStep {

@@ -11,6 +11,7 @@ use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::topology::Link;
 use coarse_simcore::metrics::name as metric;
+use coarse_simcore::prof::region as prof_region;
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::category;
 use coarse_simcore::units::ByteSize;
@@ -182,6 +183,8 @@ pub fn ring_allreduce(
         (t.track(&name), t)
     });
     let metrics = engine.metrics().cloned();
+    let prof = engine.profiler().cloned();
+    let _prof_guard = prof.as_ref().map(|p| p.enter(prof_region::CCI_SYNC_RING));
     let steps = 2 * (p - 1);
     let mut step_start = start;
     for step in 0..steps {
@@ -194,6 +197,9 @@ pub fn ring_allreduce(
         if let Some(m) = &metrics {
             m.inc(metric::RING_STEPS, 1);
             m.inc(metric::RING_BYTES, segment.as_u64() * p as u64);
+        }
+        if let Some(p) = &prof {
+            p.count(prof_region::CCI_SYNC_RING, 1);
         }
         if let Some((track, tracer)) = &ring_track {
             let phase = if step < p - 1 {
@@ -298,6 +304,8 @@ fn ring_phase(
         (t.track(&name), t)
     });
     let metrics = engine.metrics().cloned();
+    let prof = engine.profiler().cloned();
+    let _prof_guard = prof.as_ref().map(|p| p.enter(prof_region::CCI_SYNC_RING));
     for step in 0..steps {
         let mut step_end = step_start;
         for i in 0..p {
@@ -308,6 +316,9 @@ fn ring_phase(
         if let Some(m) = &metrics {
             m.inc(metric::RING_STEPS, 1);
             m.inc(metric::RING_BYTES, segment.as_u64() * p as u64);
+        }
+        if let Some(p) = &prof {
+            p.count(prof_region::CCI_SYNC_RING, 1);
         }
         if let Some((track, tracer)) = &ring_track {
             tracer.span(

@@ -50,6 +50,8 @@ pub use profiler::{build_routing_table, profile_proxies, ProxyProfile};
 pub use proxy::ParameterProxy;
 pub use resilience::{ResiliencePolicy, SyncFaultReport};
 pub use routing::RoutingTable;
-pub use service::{round_robin_jobs, run_service, ServiceJob, ServiceOutcome};
+pub use service::{
+    round_robin_jobs, run_service, run_service_profiled, ServiceJob, ServiceOutcome,
+};
 pub use strategy::CoarseStrategy;
 pub use system::{CoarseSystem, SystemError};

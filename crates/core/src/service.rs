@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use coarse_cci::tensor::TensorId;
 use coarse_simcore::prelude::*;
+use coarse_simcore::prof::region as prof_region;
 
 use crate::deadlock::SchedulingPolicy;
 
@@ -86,6 +87,9 @@ struct ServiceModel {
     running: BTreeMap<TensorId, Vec<usize>>,
     completed: usize,
     finished_at: SimTime,
+    /// Self-profiler, when profiling is on: launches count under the
+    /// `core.proxy` region and per-proxy queue depths feed its histograms.
+    profiler: Option<Profiler>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +139,11 @@ impl Model for ServiceModel {
         // Launch everything now launchable, re-checking before each launch
         // (an earlier launch in this round may have consumed the cores a
         // later candidate needed).
+        let _prof = self
+            .profiler
+            .clone()
+            .map(|p| p.enter(prof_region::CORE_PROXY));
+        let mut launched = 0u64;
         let candidates: Vec<TensorId> = self.jobs.keys().copied().collect();
         for t in candidates {
             let job = &self.jobs[&t];
@@ -154,6 +163,20 @@ impl Model for ServiceModel {
             }
             self.running.insert(t, proxies);
             queue.schedule_after(service, Ev::Done(t));
+            launched += 1;
+        }
+        if let Some(p) = &self.profiler {
+            p.count(prof_region::CORE_PROXY, launched);
+            for st in &self.proxies {
+                p.observe_depth("core.proxy_fifo", st.fifo.len() as u64);
+            }
+        }
+    }
+
+    fn event_label(&self, ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Kick => "core.service.kick",
+            Ev::Done(_) => "core.service.done",
         }
     }
 }
@@ -169,6 +192,25 @@ pub fn run_service(
     cores_per_proxy: usize,
     policy: SchedulingPolicy,
     jobs: Vec<ServiceJob>,
+) -> ServiceOutcome {
+    run_service_profiled(proxies, cores_per_proxy, policy, jobs, None)
+}
+
+/// [`run_service`] with an optional self-profiler attached to the kernel and
+/// model: event dispatch splits into `core.service.kick` / `core.service.done`,
+/// collective launches count under the `core.proxy` region, and per-proxy
+/// FIFO depths feed the `core.proxy_fifo` histogram. Observation-only — the
+/// outcome is identical with or without the profiler.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_service`].
+pub fn run_service_profiled(
+    proxies: usize,
+    cores_per_proxy: usize,
+    policy: SchedulingPolicy,
+    jobs: Vec<ServiceJob>,
+    profiler: Option<Profiler>,
 ) -> ServiceOutcome {
     assert!(proxies > 0, "need at least one proxy");
     assert!(cores_per_proxy > 0, "need at least one sync core");
@@ -217,7 +259,11 @@ pub fn run_service(
         running: BTreeMap::new(),
         completed: 0,
         finished_at: SimTime::ZERO,
+        profiler: profiler.clone(),
     });
+    if let Some(p) = profiler {
+        sim.set_profiler(p);
+    }
     sim.queue_mut().schedule_now(Ev::Kick);
     sim.run_to_completion();
     let m = sim.model();

@@ -18,6 +18,7 @@
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{metered, name as metric, MetricRegistry};
 use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
+use coarse_simcore::prof::{region as prof_region, Profiler};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::trace::{active, category, SharedTracer};
@@ -99,6 +100,8 @@ pub struct TransferEngine {
     tracer: Option<SharedTracer>,
     /// Optional metric sink; `None` means metrics are off (the default).
     metrics: Option<MetricRegistry>,
+    /// Optional self-profiler; `None` means profiling is off (the default).
+    profiler: Option<Profiler>,
     /// Optional fault schedule; `None` means the fabric is healthy.
     faults: Option<FaultPlan>,
     /// Optional oracle battery; `None` means no invariant checking.
@@ -119,6 +122,7 @@ impl TransferEngine {
             schedules,
             tracer: None,
             metrics: None,
+            profiler: None,
             faults: None,
             oracles: None,
             link_tracks,
@@ -153,6 +157,20 @@ impl TransferEngine {
     /// publish into the same registry.
     pub fn metrics(&self) -> Option<&MetricRegistry> {
         metered(&self.metrics)
+    }
+
+    /// Attaches a self-profiler: subsequent transfers attribute host time
+    /// and per-leg work counts to the `fabric.link` region. Observation-only
+    /// — simulated timings never change.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached self-profiler, if any. Layers built on the engine
+    /// (timed collectives, the training simulator) attribute into the same
+    /// session.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Attaches a fault schedule: subsequent transfers consult it at their
@@ -386,6 +404,10 @@ impl TransferEngine {
                 size,
             };
         }
+        let _prof = self.profiler.as_ref().map(|p| {
+            p.count(prof_region::FABRIC_LINK, route.links().len() as u64);
+            p.enter(prof_region::FABRIC_LINK)
+        });
         // Bottleneck serialization: the slowest hop paces the cut-through
         // pipeline; every hop is occupied for that window. A degraded link
         // stretches its serialization time by the plan's factor.

@@ -11,6 +11,7 @@
 //! - FIFO resource bookkeeping in [`timeline`],
 //! - structured tracing (spans/instants/counters) in [`trace`],
 //! - a typed metric registry (counters/gauges/histograms) in [`metrics`],
+//! - self-profiling of the simulator's own hot loops in [`prof`],
 //! - deterministic zero-dep JSON construction and parsing in [`json`],
 //! - seeded, schedule-driven fault injection in [`faults`],
 //! - runtime invariant oracles for chaos search in [`oracle`], and
@@ -44,6 +45,7 @@ pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod oracle;
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use crate::json::{JsonParseError, JsonValue};
     pub use crate::metrics::{HistogramSummary, MetricRegistry, MetricsSnapshot};
     pub use crate::oracle::{Oracle, OracleEvent, OracleHub, Violation};
+    pub use crate::prof::{Pow2Histogram, Profiler, RegionGuard};
     pub use crate::queue::{EventHandle, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Model, RunOutcome, Simulation};

@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::prof::Profiler;
 use crate::time::{SimDuration, SimTime};
 
 /// A handle to a scheduled event, usable for cancellation.
@@ -16,6 +17,9 @@ pub struct EventHandle(u64);
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    /// When the event was scheduled (profiling only: dwell = `at` −
+    /// `queued_at` in simulated time, so the histogram stays deterministic).
+    queued_at: SimTime,
     event: E,
 }
 
@@ -61,6 +65,9 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
+    /// Observation-only profiler hook (calendar depth, dwell, cancel
+    /// counts); `None` costs one branch per operation.
+    profiler: Option<Profiler>,
 }
 
 impl<E> EventQueue<E> {
@@ -71,7 +78,15 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
+            profiler: None,
         }
+    }
+
+    /// Attaches a profiler recording calendar depth, dwell-time, and
+    /// cancellation statistics. Observation-only: scheduling order and
+    /// timestamps are unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
     }
 
     /// The current simulated time (timestamp of the last popped event).
@@ -102,7 +117,15 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.heap.push(Entry {
+            at,
+            seq,
+            queued_at: self.now,
+            event,
+        });
+        if let Some(p) = &self.profiler {
+            p.queue_scheduled(self.len() as u64);
+        }
         EventHandle(seq)
     }
 
@@ -123,7 +146,13 @@ impl<E> EventQueue<E> {
         if handle.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(handle.0)
+        let fresh = self.cancelled.insert(handle.0);
+        if fresh {
+            if let Some(p) = &self.profiler {
+                p.queue_cancelled();
+            }
+        }
+        fresh
     }
 
     /// Removes and returns the earliest pending event, advancing the clock.
@@ -133,6 +162,9 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.now = entry.at;
+            if let Some(p) = &self.profiler {
+                p.queue_popped(entry.at - entry.queued_at, self.len() as u64);
+            }
             return Some((entry.at, entry.event));
         }
         None

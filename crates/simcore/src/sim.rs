@@ -1,6 +1,7 @@
 //! The simulation driver: couples a user-defined model (state machine) to the
 //! event calendar and runs it to completion or to a time bound.
 
+use crate::prof::{region, Profiler};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -16,6 +17,13 @@ pub trait Model {
 
     /// Reacts to `event` occurring at `now`, scheduling follow-up events.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// A static label classifying `event` for the profiler's per-type
+    /// dispatch counters. The default lumps everything under `"event"`;
+    /// models override it to split their event alphabet.
+    fn event_label(&self, _event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Outcome of a [`Simulation::run_until`] call.
@@ -57,6 +65,7 @@ pub struct Simulation<M: Model> {
     model: M,
     queue: EventQueue<M::Event>,
     events_processed: u64,
+    profiler: Option<Profiler>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -66,7 +75,16 @@ impl<M: Model> Simulation<M> {
             model,
             queue: EventQueue::new(),
             events_processed: 0,
+            profiler: None,
         }
+    }
+
+    /// Attaches a profiler: per-event-type dispatch counters on this
+    /// driver plus calendar depth/dwell statistics on the queue.
+    /// Observation-only — event order and timestamps are unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.queue.set_profiler(profiler.clone());
+        self.profiler = Some(profiler);
     }
 
     /// The current simulated time.
@@ -103,7 +121,13 @@ impl<M: Model> Simulation<M> {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((t, event)) => {
-                self.model.handle(t, event, &mut self.queue);
+                if let Some(p) = &self.profiler {
+                    p.dispatch(self.model.event_label(&event));
+                    let _g = p.enter(region::KERNEL);
+                    self.model.handle(t, event, &mut self.queue);
+                } else {
+                    self.model.handle(t, event, &mut self.queue);
+                }
                 self.events_processed += 1;
                 true
             }
@@ -176,6 +200,12 @@ mod tests {
                 Ev::Pong => q.schedule_after(SimDuration::from_nanos(7), Ev::Ping),
             };
         }
+        fn event_label(&self, ev: &Ev) -> &'static str {
+            match ev {
+                Ev::Ping => "ping",
+                Ev::Pong => "pong",
+            }
+        }
     }
 
     #[test]
@@ -215,6 +245,37 @@ mod tests {
         let outcome = sim.run_until(SimTime::MAX, 2);
         assert_eq!(outcome, RunOutcome::BudgetExhausted);
         assert_eq!(sim.model().bounces, 2);
+    }
+
+    #[test]
+    fn profiler_observes_dispatch_without_perturbing() {
+        use crate::prof::Profiler;
+        let run = |prof: Option<Profiler>| {
+            let mut sim = Simulation::new(PingPong {
+                bounces: 0,
+                limit: 5,
+            });
+            if let Some(p) = prof {
+                sim.set_profiler(p);
+            }
+            sim.queue_mut().schedule_now(Ev::Ping);
+            sim.run_to_completion();
+            (sim.model().bounces, sim.now())
+        };
+        let p = Profiler::new();
+        assert_eq!(
+            run(Some(p.clone())),
+            run(None),
+            "profiling must not perturb"
+        );
+        let q = p.queue_stats();
+        assert_eq!(q.scheduled, 5);
+        assert_eq!(q.popped, 5);
+        assert_eq!(p.events_dispatched(), 5);
+        // ping@0, pong, ping, pong, ping — labels split per event type.
+        let det = p.deterministic_json().render();
+        assert!(det.contains("\"ping\":3"), "dispatch table: {det}");
+        assert!(det.contains("\"pong\":2"));
     }
 
     #[test]

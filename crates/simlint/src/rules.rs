@@ -54,8 +54,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "wall-clock",
-        description: "no wall-clock reads (Instant, SystemTime, UNIX_EPOCH) outside crates/bench; \
-                      simulated time comes from simcore::time",
+        description: "no wall-clock reads (Instant, SystemTime, UNIX_EPOCH) outside the timing \
+                      allowlist (bench harness, selfbench, simcore::prof); simulated time comes \
+                      from simcore::time",
     },
 ];
 
@@ -279,14 +280,26 @@ fn unordered_container(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut 
 
 const WALL_CLOCK_IDENTS: &[&str] = &["SystemTime", "UNIX_EPOCH"];
 
-/// Rule `wall-clock`: host-time reads anywhere outside `crates/bench`
-/// (including tests — replays must not depend on the host clock).
+/// The only source files allowed to read the host clock: the bench timing
+/// harness, the selfbench artifact writer, and the profiler's wall-clock
+/// section (which is both feature-gated behind `prof-wallclock` and kept
+/// out of the report's deterministic half). Everything else — including
+/// the rest of `crates/bench` — must use simulated time.
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/bench/src/harness.rs",
+    "crates/bench/src/selfbench.rs",
+    "crates/simcore/src/prof.rs",
+];
+
+/// Rule `wall-clock`: host-time reads anywhere outside the
+/// [`WALL_CLOCK_ALLOWED`] file allowlist (including tests — replays must
+/// not depend on the host clock).
 /// `SystemTime`/`UNIX_EPOCH` are flagged on any mention; `Instant` only in
 /// path position (`Instant::now()` etc.), because the bare identifier also
 /// names the zero-duration trace event kind (`TraceEventKind::Instant`) and
 /// a clock value cannot be obtained without the path form.
 fn wall_clock(info: &FileInfo, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
-    if info.in_crate("bench") {
+    if WALL_CLOCK_ALLOWED.contains(&info.path.as_str()) {
         return;
     }
     let toks = &lexed.tokens;
@@ -301,7 +314,8 @@ fn wall_clock(info: &FileInfo, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
                     t.line,
                     format!(
                         "`{name}` reads the host clock; simulated time must come from \
-                         simcore::time (wall-clock is allowed only in crates/bench)"
+                         simcore::time (wall-clock is allowed only in the bench harness, \
+                         selfbench, and simcore::prof)"
                     ),
                 ));
             }
@@ -466,14 +480,25 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_and_randomness_flagged_outside_bench() {
+    fn wall_clock_and_randomness_flagged_outside_allowlist() {
         let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
         assert_eq!(lint_one("crates/simcore/src/x.rs", src).len(), 1);
-        assert_eq!(lint_one("crates/bench/src/harness.rs", src).len(), 0);
+        for allowed in super::WALL_CLOCK_ALLOWED {
+            assert_eq!(lint_one(allowed, src).len(), 0, "{allowed} is allowlisted");
+        }
         let sys = "fn f() { let _ = std::time::SystemTime::now(); }\n";
         assert_eq!(lint_one("crates/core/src/x.rs", sys).len(), 1);
         let rng = "use std::collections::hash_map::RandomState;\n";
         assert_eq!(lint_one("tests/determinism.rs", rng).len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_rule_covers_the_rest_of_bench() {
+        // The crate-wide bench exemption is gone: only the harness and
+        // selfbench may read the clock, not e.g. the figures binary.
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(lint_one("crates/bench/src/bin/figures.rs", src).len(), 1);
+        assert_eq!(lint_one("crates/bench/src/micro.rs", src).len(), 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use coarse_models::training::IterationPlan;
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{name as metric, MetricRegistry, MetricsSnapshot};
 use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
+use coarse_simcore::prof::{region as prof_region, Profiler};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::trace::{category, RecordingTracer, SharedTracer, Trace, TrackId};
 use coarse_simcore::units::{Bandwidth, ByteSize};
@@ -83,6 +84,8 @@ struct Deployment<'a> {
     metrics: Option<MetricRegistry>,
     /// Oracle battery for observed fault runs; pilots run unobserved.
     oracles: Option<OracleHub>,
+    /// Self-profiler for full-detail runs; pilots run unprofiled.
+    profiler: Option<Profiler>,
     /// Deliberate protocol breakage for oracle self-tests.
     sabotage: Sabotage,
 }
@@ -161,6 +164,10 @@ impl Deployment<'_> {
         if let Some(m) = &self.metrics {
             engine.set_metrics(m.clone());
         }
+        let prof = self.profiler.clone();
+        if let Some(p) = &prof {
+            engine.set_profiler(p.clone());
+        }
         let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
         let mut tracks = tracer.as_ref().map(|t| {
             engine.set_tracer(t.clone());
@@ -187,6 +194,11 @@ impl Deployment<'_> {
             let forward_end = start + plan.forward_time();
             let backward_end = forward_end + plan.backward_time();
             let mut next_start = backward_end;
+            if let Some(p) = &prof {
+                // Forward and backward passes are analytic (no transfers);
+                // count them so compute shows up alongside the wire phases.
+                p.count(prof_region::TRAIN_COMPUTE, 2);
+            }
             if tracing {
                 spans.push(PhaseSpan::new(
                     PhaseKind::Forward,
@@ -221,6 +233,10 @@ impl Deployment<'_> {
             // memory to each worker, contending with parameter traffic on
             // the PCIe tree. It must land before the next forward starts.
             if !self.input_bytes.is_zero() {
+                let _prof_g = prof.as_ref().map(|p| {
+                    p.count(prof_region::TRAIN_PREFETCH, self.workers.len() as u64);
+                    p.enter(prof_region::TRAIN_PREFETCH)
+                });
                 for &worker in &self.workers {
                     let cpu = self
                         .deployed
@@ -258,6 +274,7 @@ impl Deployment<'_> {
                 let mut proxy_ready: BTreeMap<DeviceId, SimTime> = BTreeMap::new();
                 let mut latest_emit = forward_end;
                 let mut total = ByteSize::ZERO;
+                let push_prof = prof.as_ref().map(|p| p.enter(prof_region::TRAIN_PUSH));
                 for ev in bucket {
                     let size = model.tensors()[ev.tensor].byte_size();
                     total += size;
@@ -268,6 +285,9 @@ impl Deployment<'_> {
                         let dest = table.route_for(size);
                         let mut t = emitted;
                         for s in shard_sizes(size, table.shard_size) {
+                            if let Some(p) = &prof {
+                                p.count(prof_region::TRAIN_PUSH, 1);
+                            }
                             let rec = engine
                                 .transfer_filtered(worker, dest, s, t, pcie_only)
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
@@ -276,24 +296,34 @@ impl Deployment<'_> {
                         }
                         let e = proxy_ready.entry(dest).or_insert(t);
                         *e = (*e).max(t);
-                        if let (Some(tr), Some(tt)) = (&tracer, &mut tracks) {
+                        if tracks.is_some() || prof.is_some() {
                             let depth = parked.entry(dest).or_insert(0);
                             *depth += 1;
-                            let track = *tt.proxies.entry(dest).or_insert_with(|| {
-                                tr.track(&format!(
-                                    "proxy {} queue",
-                                    self.deployed.topology().device(dest).name()
-                                ))
-                            });
-                            tr.counter(t, category::PROXY, track, "queue_depth", *depth as f64);
+                            if let Some(p) = &prof {
+                                p.observe_depth("train.proxy_parked", *depth);
+                            }
+                            if let (Some(tr), Some(tt)) = (&tracer, &mut tracks) {
+                                let track = *tt.proxies.entry(dest).or_insert_with(|| {
+                                    tr.track(&format!(
+                                        "proxy {} queue",
+                                        self.deployed.topology().device(dest).name()
+                                    ))
+                                });
+                                tr.counter(t, category::PROXY, track, "queue_depth", *depth as f64);
+                            }
                         }
                     }
                 }
+                drop(push_prof);
                 // Proxies with no local contribution are ready immediately.
                 let ready_of = |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
 
                 // Proxy collective over the CCI device fabric; alternate
                 // ring direction per bucket (Fig. 11b).
+                let coll_prof = prof.as_ref().map(|p| {
+                    p.count(prof_region::TRAIN_COLLECTIVE, 1);
+                    p.enter(prof_region::TRAIN_COLLECTIVE)
+                });
                 let sync_end = if multi_node {
                     let ready: Vec<SimTime> = self
                         .node_mem_rings
@@ -326,7 +356,9 @@ impl Deployment<'_> {
                     .expect("memory devices are connected")
                     .end
                 };
+                drop(coll_prof);
                 // Pull: updated values flow back on the opposite direction.
+                let pull_prof = prof.as_ref().map(|p| p.enter(prof_region::TRAIN_PULL));
                 let mut pull_end = sync_end;
                 for ev in bucket {
                     let size = model.tensors()[ev.tensor].byte_size();
@@ -335,6 +367,9 @@ impl Deployment<'_> {
                         let src = table.route_for(size);
                         let mut t = sync_end;
                         for s in shard_sizes(size, table.shard_size) {
+                            if let Some(p) = &prof {
+                                p.count(prof_region::TRAIN_PULL, 1);
+                            }
                             let rec = engine
                                 .transfer_filtered(src, worker, s, t, pcie_only)
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
@@ -347,6 +382,7 @@ impl Deployment<'_> {
                         next_start = next_start.max(t - self.needed[&ev.tensor]);
                     }
                 }
+                drop(pull_prof);
                 if tracing || tracks.is_some() {
                     let first_emit = forward_end + bucket[0].ready;
                     let ready_min = self
@@ -408,11 +444,24 @@ impl Deployment<'_> {
                         }
                     }
                 }
+                if prof.is_some() && tracks.is_none() {
+                    // Profiler-only runs still reset the synthesized queue:
+                    // the collective consumed every parked shard.
+                    for depth in parked.values_mut() {
+                        *depth = 0;
+                    }
+                }
             }
 
             // Dual sync: shallow layers reduced by the GPUs, blocking, at
             // the end of the backward pass. On clusters the workers use the
             // hierarchical decomposition (intra-node NVLink, then network).
+            let gpu_prof = prof.as_ref().map(|p| {
+                if !gpu_bytes.is_zero() {
+                    p.count(prof_region::TRAIN_GPU_SYNC, 1);
+                }
+                p.enter(prof_region::TRAIN_GPU_SYNC)
+            });
             let gpu_sync_end = if gpu_bytes.is_zero() {
                 backward_end
             } else if multi_node {
@@ -442,6 +491,7 @@ impl Deployment<'_> {
             } else {
                 backward_end
             };
+            drop(gpu_prof);
             if tracing && gpu_sync_end > backward_end {
                 spans.push(PhaseSpan::new(
                     PhaseKind::GpuSync,
@@ -1546,6 +1596,7 @@ fn prepare_traced<'a>(
         tracer: None,
         metrics: None,
         oracles: None,
+        profiler: None,
         sabotage: Sabotage::None,
     };
 
@@ -1731,6 +1782,36 @@ pub fn record_coarse_metrics(
     let global_batch = batch_per_gpu * partition.workers.len() as u32;
     let result = TrainResult::new(period, deployment.plan.compute_time(), global_batch);
     (result, registry.snapshot())
+}
+
+/// Runs COARSE with a self-profiler attached to the final run: the transfer
+/// engine, kernel hooks, and training phases all record into `profiler`
+/// (regions `train.*`, `fabric.link`, `cci.sync_ring`), and the synthesized
+/// per-proxy queue depth feeds the `train.proxy_parked` histogram. Pilot
+/// runs stay unprofiled, so the profile covers exactly one run; attaching
+/// the profiler never changes the simulated timings (the returned result
+/// equals [`simulate_coarse`]'s).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn record_coarse_profile(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    profiler: Profiler,
+) -> TrainResult {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.profiler = Some(profiler);
+    let period = deployment.run(best_m, iterations);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    TrainResult::new(period, deployment.plan.compute_time(), global_batch)
 }
 
 /// Runs COARSE and reports the `top_n` busiest directed links — the

@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod coarse;
 pub mod config;
 pub mod dense;
+pub mod profile;
 pub mod report;
 pub mod scaling;
 pub mod scenario;
@@ -25,19 +26,22 @@ pub use chaos::{
     CaseReport, ChaosFailure, ChaosRepro, SoakConfig, SoakOutcome, REPRO_SCHEMA,
 };
 pub use coarse::{
-    coarse_hotspots, record_coarse_faulty_trace, record_coarse_metrics, record_coarse_trace,
-    result_fingerprint, simulate_coarse, simulate_coarse_faulty, simulate_coarse_faulty_observed,
-    simulate_coarse_with_input, trace_coarse, FaultyTrainResult, Sabotage,
+    coarse_hotspots, record_coarse_faulty_trace, record_coarse_metrics, record_coarse_profile,
+    record_coarse_trace, result_fingerprint, simulate_coarse, simulate_coarse_faulty,
+    simulate_coarse_faulty_observed, simulate_coarse_with_input, trace_coarse, FaultyTrainResult,
+    Sabotage,
 };
 #[allow(deprecated)]
 pub use config::TrainConfig;
 pub use config::{Scheme, TrainError, TrainResult};
 pub use dense::{simulate_dense, simulate_dense_faulty};
+pub use profile::{profile_preset, profile_scenario, ProfileRun};
 pub use report::{FaultRunSummary, RunReport, SchemeOutcome, SchemeRun};
 pub use scaling::{node_scaling, ScalingPoint};
 pub use scenario::Scenario;
 pub use straggler::{
-    compare_straggler, run_straggler, StragglerConfig, StragglerResult, SyncModel,
+    compare_straggler, run_straggler, run_straggler_profiled, StragglerConfig, StragglerResult,
+    SyncModel,
 };
 pub use timeline::{IterationTrace, PhaseKind, PhaseSpan};
 pub use traceexport::{chrome_trace_json, summary_table};

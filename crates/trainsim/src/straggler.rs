@@ -174,6 +174,10 @@ impl Model for StragglerModel {
             }
         }
     }
+
+    fn event_label(&self, _ev: &Ev) -> &'static str {
+        "straggler.compute_done"
+    }
 }
 
 /// Runs one straggler experiment.
@@ -182,11 +186,26 @@ impl Model for StragglerModel {
 ///
 /// Panics if `workers` or `iterations` is zero.
 pub fn run_straggler(cfg: StragglerConfig) -> StragglerResult {
+    run_straggler_profiled(cfg, None)
+}
+
+/// [`run_straggler`] with an optional self-profiler attached to the kernel:
+/// event dispatch counts under the `straggler.compute_done` label and the
+/// calendar's depth/dwell histograms cover this workload. Observation-only —
+/// the result is identical with or without the profiler.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_straggler`].
+pub fn run_straggler_profiled(cfg: StragglerConfig, profiler: Option<Profiler>) -> StragglerResult {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.iterations > 0, "need at least one iteration");
     let workers = cfg.workers;
     let model = StragglerModel::new(cfg);
     let mut sim = Simulation::new(model);
+    if let Some(p) = profiler {
+        sim.set_profiler(p);
+    }
     for w in 0..workers {
         let dur = sim.model().durations[0][w];
         sim.queue_mut()
