@@ -477,6 +477,12 @@ fn usage() {
          \x20                          deterministic section is byte-identical, and\n\
          \x20                          write profile-<scenario>.json plus the\n\
          \x20                          collapsed-stack profile-<scenario>.folded\n\
+         \x20 explain [scenario]       extract the critical path of a fig16 preset\n\
+         \x20                          (default fig16d) under both COARSE and DENSE,\n\
+         \x20                          print the per-class blame split, verify the\n\
+         \x20                          report is byte-identical across two runs, and\n\
+         \x20                          write explain-<scenario>.json plus the\n\
+         \x20                          critical-path overlay explain-<scenario>.trace.json\n\
          \x20 lint [--json [path]]     run the simlint determinism & simulation-safety\n\
          \x20                          analyzer over the workspace sources; exit 1 on\n\
          \x20                          any un-waived diagnostic (default JSON path:\n\
@@ -806,6 +812,71 @@ fn profile(name: &str) {
     write_artifact(&folded_path, &run.folded());
     println!("\nwrote {json_path}");
     println!("wrote {folded_path} (determinism check: two runs matched)");
+}
+
+/// `figures -- explain <scenario>`: runs the critical-path explanation
+/// harness twice over a fig16 preset, asserts the
+/// `coarse.explain-report/v1` document is byte-identical across the two
+/// runs, prints the per-class blame split for both schemes, and writes
+/// `explain-<scenario>.json` plus the Chrome-trace critical-path overlay
+/// `explain-<scenario>.trace.json`. Exits 2 with usage on an unknown
+/// scenario name.
+fn explain(name: &str) {
+    use coarse_simcore::critpath::class;
+    use coarse_trainsim::{explain_preset, TrainError};
+    hr(&format!("EXPLAIN — {name}"));
+    let run = match explain_preset(name) {
+        Ok(run) => run,
+        Err(TrainError::UnknownPreset { .. }) => {
+            eprintln!(
+                "unknown explain scenario '{name}'; scenarios: {}\n",
+                coarse_trainsim::Scenario::presets().join(" ")
+            );
+            usage();
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let again = explain_preset(name).expect("second explained run of a known preset");
+    let (doc_a, doc_b) = (run.report_json().render(), again.report_json().render());
+    if doc_a != doc_b {
+        eprintln!("error: explain reports differ between two runs of '{name}'");
+        std::process::exit(1);
+    }
+    println!("{:<16} {:>10} {:>10}", "class", "coarse", "dense");
+    for c in class::ALL {
+        let (fc, fd) = (
+            run.coarse.explanation.fraction(c),
+            run.dense.explanation.fraction(c),
+        );
+        if fc > 0.0 || fd > 0.0 {
+            println!("{c:<16} {:>9.1}% {:>9.1}%", fc * 100.0, fd * 100.0);
+        }
+    }
+    for (scheme, ex) in [
+        ("coarse", &run.coarse.explanation),
+        ("dense", &run.dense.explanation),
+    ] {
+        let dom = ex.dominant().unwrap_or("none");
+        println!(
+            "{scheme}: dominated by {dom} (eliminating it saves at most {:.1}%)",
+            ex.speedup_bound(dom) * 100.0
+        );
+    }
+    if let Some((link, util)) = run.coarse_links.first() {
+        println!("busiest coarse link: {link} ({:.1}% busy)", util * 100.0);
+    }
+    let mut doc = run.report_json().render_pretty();
+    doc.push('\n');
+    let json_path = format!("explain-{name}.json");
+    write_artifact(&json_path, &doc);
+    let trace_path = format!("explain-{name}.trace.json");
+    write_artifact(&trace_path, &run.overlay_trace_json().render());
+    println!("\nwrote {json_path}");
+    println!("wrote {trace_path} (determinism check: two runs matched)");
 }
 
 /// Writes a CLI artifact, exiting 1 with a message instead of panicking
@@ -1185,6 +1256,11 @@ fn main() {
         "profile" => {
             let scenario = args.get(1).map(String::as_str).unwrap_or("fig16d");
             profile(scenario);
+            return;
+        }
+        "explain" => {
+            let scenario = args.get(1).map(String::as_str).unwrap_or("fig16d");
+            explain(scenario);
             return;
         }
         "lint" => {

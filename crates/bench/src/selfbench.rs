@@ -191,7 +191,16 @@ pub fn profile_summary_json(run: &ProfileRun) -> JsonValue {
         )
         .with(
             "wallclock",
+            // The preset and the event-count denominator ride along so a
+            // BENCH artifact's events/sec is interpretable on its own: the
+            // rate only means something relative to which scenario produced
+            // how many kernel events.
             JsonValue::object()
+                .with("preset", JsonValue::str(&run.scenario))
+                .with(
+                    "events_dispatched",
+                    JsonValue::int(run.profiler.events_dispatched()),
+                )
                 .with("enabled", pick("enabled"))
                 .with("elapsed_ns", pick("elapsed_ns"))
                 .with("events_per_sec", pick("events_per_sec")),
@@ -419,6 +428,29 @@ mod tests {
         assert!(doc.contains("\"ns_per_unit\":250"));
         assert!(doc.contains("\"profile\":{\"scenario\":\"fig16d\""));
         assert!(doc.contains("\"events_dispatched\":9"));
+    }
+
+    #[test]
+    fn wallclock_section_names_its_preset_and_denominator() {
+        let summary = profile_summary();
+        let wall = summary.get("wallclock").expect("wallclock section");
+        assert_eq!(
+            wall.get("preset").and_then(JsonValue::as_str),
+            Some(PROFILE_PRESET)
+        );
+        let denom = wall
+            .get("events_dispatched")
+            .and_then(JsonValue::as_u64)
+            .expect("event denominator");
+        assert!(denom > 0, "profiled run dispatched no events");
+        assert_eq!(
+            summary
+                .get("deterministic")
+                .and_then(|d| d.get("events_dispatched"))
+                .and_then(JsonValue::as_u64),
+            Some(denom),
+            "wallclock denominator must mirror the deterministic count"
+        );
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! CLI-contract tests for the `figures` binary: the usage string must
+//! enumerate every dispatchable subcommand, and bad invocations must exit 2
+//! (the "usage error" code CI scripts key off) rather than 0 or a panic.
+
+use std::process::Command;
+
+/// Every subcommand `main` dispatches on (figure regenerators ride through
+/// the `<figure>` placeholder and are listed separately by `list`).
+const SUBCOMMANDS: [&str; 10] = [
+    "list", "trace", "faults", "chaos", "validate", "report", "bench", "profile", "explain", "lint",
+];
+
+fn figures(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(args)
+        .output()
+        .expect("figures binary runs")
+}
+
+#[test]
+fn no_arguments_prints_usage_covering_every_subcommand() {
+    let out = figures(&[]);
+    assert_eq!(out.status.code(), Some(2), "no-args must be a usage error");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    for sub in SUBCOMMANDS {
+        assert!(
+            usage.lines().any(|l| {
+                l.trim_start()
+                    .strip_prefix(sub)
+                    .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with(" ["))
+            }),
+            "usage does not document subcommand '{sub}':\n{usage}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_the_same_usage_and_exits_zero() {
+    let out = figures(&["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        usage.contains("subcommands:"),
+        "usage text missing: {usage}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = figures(&["definitely-not-a-subcommand"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown subcommand 'definitely-not-a-subcommand'"),
+        "stderr should name the rejected subcommand: {err}"
+    );
+}
+
+#[test]
+fn unknown_explain_scenario_is_a_usage_error() {
+    let out = figures(&["explain", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown explain scenario 'fig99'"),
+        "stderr should name the rejected scenario: {err}"
+    );
+}

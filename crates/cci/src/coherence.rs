@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use coarse_fabric::device::DeviceId;
+use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::prof::{region as prof_region, Profiler};
 use coarse_simcore::time::SimTime;
@@ -65,6 +66,11 @@ pub struct Directory {
     /// Self-profiler, when profiling is on: counts protocol messages under
     /// the `cci.coherence` region.
     profiler: Option<Profiler>,
+    /// Critical-path recorder, when attached: each access registers a
+    /// coherence node at the current clock, chained on the previous access.
+    critpath: Option<CritPath>,
+    /// The previous access's critical-path node (directory ops serialize).
+    crit_prev: Option<NodeId>,
     /// Externally supplied clock for trace stamps: the directory is an
     /// untimed cost model, so callers set the time of the access they are
     /// accounting for.
@@ -103,6 +109,33 @@ impl Directory {
     /// and directory state are unaffected.
     pub fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = Some(profiler);
+    }
+
+    /// Attaches a critical-path recorder: every coherent access registers a
+    /// zero-duration `coherence` node at the current clock, chained on the
+    /// previous access (the directory serializes protocol transactions).
+    /// Observation-only — costs and directory state are unaffected.
+    pub fn set_critpath(&mut self, critpath: CritPath) {
+        self.critpath = Some(critpath);
+    }
+
+    /// The most recent access's critical-path node, for callers joining
+    /// coherence activity into a larger graph.
+    pub fn last_crit_node(&self) -> Option<NodeId> {
+        self.crit_prev
+    }
+
+    /// Registers one access on the critical-path graph.
+    fn crit_access(&mut self, kind: &str, messages: u64) {
+        if let Some(cp) = &self.critpath {
+            let deps: Vec<NodeId> = self.crit_prev.into_iter().collect();
+            self.crit_prev = Some(cp.instant(
+                crit_class::COHERENCE,
+                format!("coherent {kind} ({messages} msgs)"),
+                self.clock,
+                &deps,
+            ));
+        }
     }
 
     /// Publishes one access's cost into the metric registry, if attached.
@@ -159,6 +192,7 @@ impl Directory {
         state.sharers.insert(reader);
         self.total.add(cost);
         self.meter_cost(cost);
+        self.crit_access("read", cost.messages);
         self.trace_totals();
         cost
     }
@@ -191,6 +225,7 @@ impl Directory {
         };
         self.total.add(cost);
         self.meter_cost(cost);
+        self.crit_access("write", cost.messages);
         if invalidated > 0 {
             if let Some((tracer, track)) = &self.trace {
                 tracer.instant(
@@ -376,5 +411,43 @@ mod tests {
         let total = dir.total_cost();
         assert!(total.messages >= 4);
         assert!(total.protocol_bytes.as_u64() >= total.messages * MESSAGE_BYTES);
+    }
+
+    #[test]
+    fn critpath_records_one_coherence_node_per_access() {
+        use coarse_simcore::critpath::{class as crit_class, CritPath};
+
+        let ds = devices(3);
+        let cp = CritPath::new();
+        let mut dir = Directory::new();
+        dir.set_critpath(cp.clone());
+        dir.set_time(SimTime::from_nanos(10));
+        dir.read(REGION, ds[1], ByteSize::kib(4));
+        dir.set_time(SimTime::from_nanos(20));
+        dir.write(REGION, ds[0], ByteSize::kib(4));
+        assert_eq!(cp.node_count(), 2);
+        let sink = dir.last_crit_node().unwrap();
+        cp.mark_iteration(0, sink);
+        let ex = cp.analyze();
+        assert_eq!(ex.class_events[crit_class::COHERENCE], 2);
+        // Accesses chain: the critical path spans both and blames coherence
+        // for the full window.
+        assert!((ex.fraction(crit_class::COHERENCE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critpath_recording_does_not_perturb_costs() {
+        use coarse_simcore::critpath::CritPath;
+
+        let ds = devices(3);
+        let mut bare = Directory::new();
+        let mut wired = Directory::new();
+        wired.set_critpath(CritPath::new());
+        for dir in [&mut bare, &mut wired] {
+            dir.read(REGION, ds[1], ByteSize::kib(4));
+            dir.read(REGION, ds[2], ByteSize::kib(4));
+            dir.write(REGION, ds[0], ByteSize::kib(4));
+        }
+        assert_eq!(bare.total_cost(), wired.total_cost());
     }
 }

@@ -12,6 +12,7 @@
 //! (in `coarse-collectives`) prices the same step/byte counts reported in
 //! [`SyncStats`].
 
+use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
 use coarse_simcore::metrics::{name as metric, MetricRegistry};
 use coarse_simcore::oracle::{OracleEvent, OracleHub};
 use coarse_simcore::prof::{region as prof_region, Profiler};
@@ -142,6 +143,12 @@ pub struct SyncGroup {
     /// Self-profiler, when profiling is on: counts ring steps under the
     /// `cci.sync_ring` region.
     profiler: Option<Profiler>,
+    /// Critical-path recorder, when attached: each ring step registers a
+    /// sync node at the logical clock, chained on the previous step (every
+    /// step waits on all peers finishing the prior step).
+    critpath: Option<CritPath>,
+    /// The previous ring step's critical-path node.
+    crit_prev: Option<NodeId>,
     /// Logical clock for trace stamps: the functional ring has no real
     /// timing, so each ring step advances one nanosecond of "step time".
     clock: SimTime,
@@ -165,6 +172,8 @@ impl SyncGroup {
             metrics: None,
             oracles: None,
             profiler: None,
+            critpath: None,
+            crit_prev: None,
             clock: SimTime::ZERO,
         }
     }
@@ -207,6 +216,20 @@ impl SyncGroup {
     /// Observation-only — reduction results and stats are unaffected.
     pub fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = Some(profiler);
+    }
+
+    /// Attaches a critical-path recorder: every ring step registers a
+    /// zero-duration `sync` node at the logical clock, chained on the
+    /// previous step (each step is a barrier — it waits on all peers).
+    /// Observation-only — reduction results and stats are unaffected.
+    pub fn set_critpath(&mut self, critpath: CritPath) {
+        self.critpath = Some(critpath);
+    }
+
+    /// The most recent ring step's critical-path node, for callers joining
+    /// sync-core activity into a larger graph.
+    pub fn last_crit_node(&self) -> Option<NodeId> {
+        self.crit_prev
     }
 
     /// Number of cores (= devices) in the group.
@@ -430,7 +453,7 @@ impl SyncGroup {
     }
 
     /// Publishes one ring step into the metric registry, if attached.
-    fn meter_step(&self, bytes_sent: ByteSize) {
+    fn meter_step(&mut self, bytes_sent: ByteSize) {
         if let Some(m) = &self.metrics {
             m.inc(metric::SYNC_CORE_STEPS, 1);
             m.inc(metric::SYNC_CORE_BYTES, bytes_sent.as_u64());
@@ -443,6 +466,15 @@ impl SyncGroup {
                 bytes: bytes_sent.as_u64(),
                 at: self.clock,
             });
+        }
+        if let Some(cp) = &self.critpath {
+            let deps: Vec<NodeId> = self.crit_prev.into_iter().collect();
+            self.crit_prev = Some(cp.instant(
+                crit_class::SYNC,
+                format!("sync-core step ({} B)", bytes_sent.as_u64()),
+                self.clock,
+                &deps,
+            ));
         }
     }
 }
@@ -652,6 +684,38 @@ mod tests {
             snap.counter(metric::SYNC_CORE_BYTES),
             stats.total_bytes_sent.as_u64()
         );
+    }
+
+    #[test]
+    fn critpath_records_one_sync_node_per_ring_step() {
+        use coarse_simcore::critpath::{class as crit_class, CritPath};
+
+        let n = 4;
+        let cp = CritPath::new();
+        let mut g = SyncGroup::new(n, 64, RingDirection::Forward);
+        g.set_critpath(cp.clone());
+        let inputs: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32; 64]).collect();
+        let (_, stats) = g.allreduce_sum(&inputs);
+        assert_eq!(cp.node_count() as u64, stats.steps);
+        let sink = g.last_crit_node().unwrap();
+        cp.mark_iteration(0, sink);
+        let ex = cp.analyze();
+        assert_eq!(ex.class_events[crit_class::SYNC], stats.steps);
+    }
+
+    #[test]
+    fn critpath_recording_does_not_perturb_reduction() {
+        use coarse_simcore::critpath::CritPath;
+
+        let n = 3;
+        let inputs: Vec<Vec<f32>> = (0..n).map(|i| vec![1.0 + i as f32; 50]).collect();
+        let mut bare = SyncGroup::new(n, 16, RingDirection::Forward);
+        let mut wired = SyncGroup::new(n, 16, RingDirection::Forward);
+        wired.set_critpath(CritPath::new());
+        let (r0, s0) = bare.allreduce_sum(&inputs);
+        let (r1, s1) = wired.allreduce_sum(&inputs);
+        assert_eq!(r0, r1);
+        assert_eq!(s0, s1);
     }
 
     #[test]

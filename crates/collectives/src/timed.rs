@@ -10,6 +10,7 @@
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::topology::Link;
+use coarse_simcore::critpath::{class as crit_class, NodeId};
 use coarse_simcore::metrics::name as metric;
 use coarse_simcore::prof::region as prof_region;
 use coarse_simcore::time::{SimDuration, SimTime};
@@ -185,14 +186,52 @@ pub fn ring_allreduce(
     let metrics = engine.metrics().cloned();
     let prof = engine.profiler().cloned();
     let _prof_guard = prof.as_ref().map(|p| p.enter(prof_region::CCI_SYNC_RING));
+    let critpath = engine.critpath().cloned();
+    // "ring step S waited on peer P": each step node depends on every
+    // member's transfer of the step plus the previous step node; the
+    // barrier node owns the wait for the last-ready member and adopts any
+    // caller-staged arrival dependencies (push completions).
+    let mut carry: Vec<NodeId> = engine.take_crit_deps();
+    let mut prev_step: Option<NodeId> = None;
+    if let Some(cp) = &critpath {
+        let earliest = ready.iter().copied().min().unwrap_or(SimTime::ZERO);
+        if start > earliest {
+            prev_step = Some(cp.span(
+                crit_class::SYNC,
+                "collective barrier",
+                earliest,
+                start,
+                &carry,
+            ));
+            carry.clear();
+        }
+    }
     let steps = 2 * (p - 1);
     let mut step_start = start;
     for step in 0..steps {
         let mut step_end = step_start;
+        // What this step waited for: the previous step on every peer (or,
+        // for the first step, the barrier / staged arrivals). These edges
+        // also go onto each member transfer so the backward walk can leave
+        // the fabric chain at the true enabling event.
+        let waits: Vec<NodeId> = prev_step.into_iter().chain(carry.drain(..)).collect();
+        let mut step_deps: Vec<NodeId> = waits.clone();
         for i in 0..p {
             let rec =
                 engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+            if let Some(cp) = &critpath {
+                // Wait edges land on the transfer's *entry* node (the first
+                // staging leg when the route stages through the host), so
+                // the walk can leave the fabric chain at the step's true
+                // enabling event; the step node still waits on delivery.
+                if let Some(n) = engine.last_crit_entry_node() {
+                    for &d in &waits {
+                        cp.add_dep(n, d);
+                    }
+                }
+                step_deps.extend(engine.last_crit_node());
+            }
         }
         if let Some(m) = &metrics {
             m.inc(metric::RING_STEPS, 1);
@@ -219,7 +258,19 @@ pub fn ring_allreduce(
                 &format!("{phase} step {}/{steps} ({dir})", step + 1),
             );
         }
+        if let Some(cp) = &critpath {
+            prev_step = Some(cp.span(
+                crit_class::SYNC,
+                format!("ring step {}/{steps}", step + 1),
+                step_start,
+                step_end,
+                &step_deps,
+            ));
+        }
         step_start = step_end;
+    }
+    if let Some(n) = prev_step {
+        engine.note_crit_node(n);
     }
     Ok(CollectiveResult {
         start,
@@ -264,6 +315,8 @@ pub fn sync_core_allreduce(
         ByteSize::bytes(((payload.as_u64().div_ceil(groups as u64)) as f64 * wire_factor) as u64);
     let ready_vec = vec![ready; devices.len()];
     let mut end = ready;
+    let record = engine.critpath().is_some();
+    let mut group_nodes: Vec<NodeId> = Vec::new();
     // Groups run concurrently: each schedules its own transfers starting at
     // `ready`; contention on shared links is resolved by the engine.
     for g in 0..groups {
@@ -276,6 +329,24 @@ pub fn sync_core_allreduce(
             allow,
         )?;
         end = end.max(result.end);
+        if record {
+            if let Some(n) = engine.last_crit_node() {
+                group_nodes.push(n);
+            }
+        }
+    }
+    // Join node: the collective completes only when the slowest group does.
+    if let Some(cp) = engine.critpath().cloned() {
+        if !group_nodes.is_empty() {
+            let join = cp.span(
+                crit_class::SYNC,
+                format!("sync-core join x{groups}"),
+                end,
+                end,
+                &group_nodes,
+            );
+            engine.note_crit_node(join);
+        }
     }
     Ok(CollectiveResult {
         start: ready,
@@ -306,12 +377,31 @@ fn ring_phase(
     let metrics = engine.metrics().cloned();
     let prof = engine.profiler().cloned();
     let _prof_guard = prof.as_ref().map(|p| p.enter(prof_region::CCI_SYNC_RING));
+    let critpath = engine.critpath().cloned();
+    let mut carry: Vec<NodeId> = engine.take_crit_deps();
+    let mut prev_step: Option<NodeId> = None;
     for step in 0..steps {
         let mut step_end = step_start;
+        // Same wait edges as in [`ring_allreduce`]: onto the step node and
+        // every member transfer, so the walk can leave the fabric chain.
+        let waits: Vec<NodeId> = prev_step.into_iter().chain(carry.drain(..)).collect();
+        let mut step_deps: Vec<NodeId> = waits.clone();
         for i in 0..p {
             let rec =
                 engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
             step_end = step_end.max(rec.end);
+            if let Some(cp) = &critpath {
+                // Wait edges land on the transfer's *entry* node (the first
+                // staging leg when the route stages through the host), so
+                // the walk can leave the fabric chain at the step's true
+                // enabling event; the step node still waits on delivery.
+                if let Some(n) = engine.last_crit_entry_node() {
+                    for &d in &waits {
+                        cp.add_dep(n, d);
+                    }
+                }
+                step_deps.extend(engine.last_crit_node());
+            }
         }
         if let Some(m) = &metrics {
             m.inc(metric::RING_STEPS, 1);
@@ -329,7 +419,19 @@ fn ring_phase(
                 &format!("phase step {}/{steps}", step + 1),
             );
         }
+        if let Some(cp) = &critpath {
+            prev_step = Some(cp.span(
+                crit_class::SYNC,
+                format!("phase step {}/{steps}", step + 1),
+                step_start,
+                step_end,
+                &step_deps,
+            ));
+        }
         step_start = step_end;
+    }
+    if let Some(n) = prev_step {
+        engine.note_crit_node(n);
     }
     Ok(step_start)
 }
@@ -371,34 +473,74 @@ pub fn hierarchical_allreduce(
     let nodes = node_rings.len();
 
     // Phase 1: intra-node reduce-scatter (p−1 steps of payload/p).
+    let critpath = engine.critpath().cloned();
+    let staged = engine.take_crit_deps();
+    let mut phase_nodes: Vec<NodeId> = Vec::new();
     let segment = ByteSize::bytes(payload.as_u64().div_ceil(local as u64));
     let mut phase1_end = start;
+    let mut p1_nodes: Vec<NodeId> = Vec::new();
     if local >= 2 {
         for ring in node_rings {
+            // Every node's first intra-node step adopts the caller-staged
+            // arrival dependencies.
+            engine.stage_crit_deps(&staged);
             let end = ring_phase(engine, ring, segment, local - 1, start, allow)?;
             phase1_end = phase1_end.max(end);
+            p1_nodes.extend(engine.last_crit_node());
         }
+        phase_nodes.extend_from_slice(&p1_nodes);
     }
 
     // Phase 2: cross-node allreduce of each segment, one ring per member
-    // slot, all contending for the network concurrently.
+    // slot, all contending for the network concurrently. Each cross ring
+    // starts at phase1_end — a barrier over every node's reduce-scatter —
+    // so it depends on all phase-1 ring tails (or, when no intra-node
+    // phase ran, on the caller-staged arrivals directly).
     let mut phase2_end = phase1_end;
+    let mut p2_nodes: Vec<NodeId> = Vec::new();
     if nodes >= 2 {
         let sub = ByteSize::bytes(segment.as_u64().div_ceil(nodes as u64));
         for j in 0..local {
+            if local < 2 {
+                engine.stage_crit_deps(&staged);
+            } else {
+                engine.stage_crit_deps(&p1_nodes);
+            }
             let cross: Vec<DeviceId> = node_rings.iter().map(|r| r[j]).collect();
             let end = ring_phase(engine, &cross, sub, 2 * (nodes - 1), phase1_end, allow)?;
             phase2_end = phase2_end.max(end);
+            p2_nodes.extend(engine.last_crit_node());
         }
+        phase_nodes.extend_from_slice(&p2_nodes);
     }
 
-    // Phase 3: intra-node all-gather (p−1 steps of payload/p).
+    // Phase 3: intra-node all-gather (p−1 steps of payload/p), gated on
+    // every cross-node ring (phase2_end is their barrier).
+    let prev_phase = if p2_nodes.is_empty() {
+        &p1_nodes
+    } else {
+        &p2_nodes
+    };
     let mut end = phase2_end;
     if local >= 2 {
         for ring in node_rings {
+            engine.stage_crit_deps(prev_phase);
             let e = ring_phase(engine, ring, segment, local - 1, phase2_end, allow)?;
             end = end.max(e);
+            phase_nodes.extend(engine.last_crit_node());
         }
+    }
+    if let Some(cp) = &critpath {
+        // Join every phase ring so the path can route into whichever one
+        // actually finished last.
+        let join = cp.span(
+            crit_class::SYNC,
+            format!("hierarchical join x{}", node_rings.len()),
+            end,
+            end,
+            &phase_nodes,
+        );
+        engine.note_crit_node(join);
     }
     Ok(CollectiveResult {
         start,
@@ -432,6 +574,62 @@ mod tests {
 
     fn all_links(_: &Link) -> bool {
         true
+    }
+
+    #[test]
+    fn critpath_records_barrier_and_ring_steps() {
+        use coarse_simcore::critpath::{class, CritPath};
+
+        let m = sdsc_p100();
+        let gpus = m.gpus().to_vec();
+        let mut e = TransferEngine::new(m.into_topology());
+        let cp = CritPath::new();
+        e.set_critpath(cp.clone());
+        let mut ready = vec![SimTime::ZERO; gpus.len()];
+        ready[0] = SimTime::from_nanos(5_000); // one straggler
+        let r = ring_allreduce(
+            &mut e,
+            &gpus,
+            ByteSize::mib(4),
+            &ready,
+            RingDirection::Forward,
+            pcie_only,
+        )
+        .unwrap();
+        let sink = e.last_crit_node().expect("final ring step node");
+        assert_eq!(cp.node_end(sink), r.end);
+        cp.mark_iteration(0, sink);
+        let ex = cp.analyze();
+        // 2(p-1) step nodes plus the straggler barrier.
+        let steps = 2 * (gpus.len() - 1) as u64;
+        assert_eq!(ex.class_events[class::SYNC], steps + 1);
+        assert!(ex.class_events[class::FABRIC_BUSY] >= steps);
+        let total: f64 = class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "fractions sum to {total}");
+    }
+
+    #[test]
+    fn critpath_recording_does_not_perturb_collectives() {
+        use coarse_simcore::critpath::CritPath;
+
+        let run = |record: bool| {
+            let m = sdsc_p100();
+            let gpus = m.gpus().to_vec();
+            let mut e = TransferEngine::new(m.into_topology());
+            if record {
+                e.set_critpath(CritPath::new());
+            }
+            ring_allreduce(
+                &mut e,
+                &gpus,
+                ByteSize::mib(16),
+                &vec![SimTime::ZERO; gpus.len()],
+                RingDirection::Forward,
+                all_links,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(true), run(false), "recording must not perturb");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 
 use coarse_cci::tensor::TensorId;
+use coarse_simcore::critpath::class as crit_class;
 use coarse_simcore::prelude::*;
 use coarse_simcore::prof::region as prof_region;
 
@@ -90,6 +91,14 @@ struct ServiceModel {
     /// Self-profiler, when profiling is on: launches count under the
     /// `core.proxy` region and per-proxy queue depths feed its histograms.
     profiler: Option<Profiler>,
+    /// Critical-path recorder, when attached: each collective registers a
+    /// sync node, and delayed launches a proxy-stall node chained on the
+    /// completions that freed their cores.
+    critpath: Option<CritPath>,
+    /// Critical-path node of each running collective.
+    crit_nodes: BTreeMap<TensorId, NodeId>,
+    /// The latest-finishing collective node so far (the run's sink).
+    crit_sink: Option<(SimTime, NodeId)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +135,7 @@ impl Model for ServiceModel {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) {
+        let mut freed: Vec<NodeId> = Vec::new();
         if let Ev::Done(tensor) = ev {
             // simlint: allow(panic-in-library, reason = "windowed service contract: finish() pairs with a begin() for the same tensor")
             let proxies = self.running.remove(&tensor).expect("job was running");
@@ -135,6 +145,9 @@ impl Model for ServiceModel {
             self.jobs.remove(&tensor);
             self.completed += 1;
             self.finished_at = now;
+            if let Some(n) = self.crit_nodes.remove(&tensor) {
+                freed.push(n);
+            }
         }
         // Launch everything now launchable, re-checking before each launch
         // (an earlier launch in this round may have consumed the cores a
@@ -164,6 +177,34 @@ impl Model for ServiceModel {
             self.running.insert(t, proxies);
             queue.schedule_after(service, Ev::Done(t));
             launched += 1;
+            if let Some(cp) = &self.critpath {
+                // A launch after t=0 waited in the proxy queues (all
+                // contributions arrive at t=0); the stall chains on the
+                // completions that freed the cores it needed.
+                let deps = if now > SimTime::ZERO {
+                    vec![cp.span(
+                        crit_class::PROXY_STALL,
+                        format!("tensor {} queued at proxies", t.0),
+                        SimTime::ZERO,
+                        now,
+                        &freed,
+                    )]
+                } else {
+                    Vec::new()
+                };
+                let end = now + service;
+                let n = cp.span(
+                    crit_class::SYNC,
+                    format!("tensor {} collective", t.0),
+                    now,
+                    end,
+                    &deps,
+                );
+                self.crit_nodes.insert(t, n);
+                if self.crit_sink.is_none_or(|(e, _)| end >= e) {
+                    self.crit_sink = Some((end, n));
+                }
+            }
         }
         if let Some(p) = &self.profiler {
             p.count(prof_region::CORE_PROXY, launched);
@@ -211,6 +252,36 @@ pub fn run_service_profiled(
     policy: SchedulingPolicy,
     jobs: Vec<ServiceJob>,
     profiler: Option<Profiler>,
+) -> ServiceOutcome {
+    run_service_inner(proxies, cores_per_proxy, policy, jobs, profiler, None)
+}
+
+/// [`run_service`] with an optional critical-path recorder attached: every
+/// collective registers a `sync` node and every delayed launch a
+/// `proxy_stall` node chained on the completions that freed its cores, and
+/// the run's sink (the last-finishing collective) is marked as iteration 0.
+/// Observation-only — the outcome is identical with or without the recorder.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_service`].
+pub fn run_service_explained(
+    proxies: usize,
+    cores_per_proxy: usize,
+    policy: SchedulingPolicy,
+    jobs: Vec<ServiceJob>,
+    critpath: Option<CritPath>,
+) -> ServiceOutcome {
+    run_service_inner(proxies, cores_per_proxy, policy, jobs, None, critpath)
+}
+
+fn run_service_inner(
+    proxies: usize,
+    cores_per_proxy: usize,
+    policy: SchedulingPolicy,
+    jobs: Vec<ServiceJob>,
+    profiler: Option<Profiler>,
+    critpath: Option<CritPath>,
 ) -> ServiceOutcome {
     assert!(proxies > 0, "need at least one proxy");
     assert!(cores_per_proxy > 0, "need at least one sync core");
@@ -260,6 +331,9 @@ pub fn run_service_profiled(
         completed: 0,
         finished_at: SimTime::ZERO,
         profiler: profiler.clone(),
+        critpath: critpath.clone(),
+        crit_nodes: BTreeMap::new(),
+        crit_sink: None,
     });
     if let Some(p) = profiler {
         sim.set_profiler(p);
@@ -267,6 +341,9 @@ pub fn run_service_profiled(
     sim.queue_mut().schedule_now(Ev::Kick);
     sim.run_to_completion();
     let m = sim.model();
+    if let (Some(cp), Some((_, sink))) = (&critpath, m.crit_sink) {
+        cp.mark_iteration(0, sink);
+    }
     ServiceOutcome {
         makespan: m.finished_at - SimTime::ZERO,
         completed: m.completed,
@@ -387,5 +464,41 @@ mod tests {
         let a = run_service(3, 2, SchedulingPolicy::PerClientQueues, jobs.clone());
         let b = run_service(3, 2, SchedulingPolicy::PerClientQueues, jobs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn critpath_blames_sync_and_reaches_makespan() {
+        // One core per proxy serializes the collectives: the path is a sync
+        // chain covering the whole makespan, with zero-residual stalls.
+        let jobs = round_robin_jobs(8, 2, 2, MS);
+        let cp = CritPath::new();
+        let out = run_service_explained(
+            2,
+            1,
+            SchedulingPolicy::PerClientQueues,
+            jobs,
+            Some(cp.clone()),
+        );
+        assert_eq!(out.stuck, 0);
+        let ex = cp.analyze();
+        assert_eq!(ex.iterations.len(), 1);
+        assert_eq!(ex.total, out.makespan);
+        assert!(ex.fraction(crit_class::SYNC) > 0.5, "{:?}", ex.blame);
+        let sum: f64 = crit_class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critpath_recording_does_not_perturb_outcome() {
+        let jobs = round_robin_jobs(12, 3, 3, MS);
+        let bare = run_service(3, 2, SchedulingPolicy::PerClientQueues, jobs.clone());
+        let wired = run_service_explained(
+            3,
+            2,
+            SchedulingPolicy::PerClientQueues,
+            jobs,
+            Some(CritPath::new()),
+        );
+        assert_eq!(bare, wired);
     }
 }

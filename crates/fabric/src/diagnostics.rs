@@ -2,8 +2,11 @@
 
 use std::fmt::Write as _;
 
+use coarse_simcore::time::SimTime;
+
 use crate::device::DeviceKind;
-use crate::topology::{LinkClass, Topology};
+use crate::engine::TransferEngine;
+use crate::topology::{LinkClass, LinkId, Topology};
 
 /// A structural problem found by [`validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +113,30 @@ pub fn validate(topo: &Topology) -> Vec<TopologyIssue> {
 /// Renders the topology as a Graphviz `dot` graph (one edge per duplex
 /// pair; link class encoded as edge style).
 pub fn to_dot(topo: &Topology) -> String {
+    render_dot(topo, |_| None)
+}
+
+/// Like [`to_dot`], but annotates each duplex edge with its post-run
+/// busy-time utilization over `[0, horizon)` (the busier direction of the
+/// pair, from the engine's per-link busy accounting — the same figure the
+/// `fabric.link_busy_ns` metric aggregates) and thickens hot edges, so a
+/// topology dump doubles as a heatmap of whatever workload ran on `engine`.
+///
+/// # Panics
+///
+/// Panics if `horizon` is zero.
+pub fn to_dot_with_utilization(engine: &TransferEngine, horizon: SimTime) -> String {
+    let topo = engine.topology();
+    render_dot(topo, |pair: &[LinkId]| {
+        let u = pair
+            .iter()
+            .map(|&l| engine.link_utilization(l, horizon))
+            .fold(0.0f64, f64::max);
+        Some(u)
+    })
+}
+
+fn render_dot(topo: &Topology, utilization: impl Fn(&[LinkId]) -> Option<f64>) -> String {
     let mut out = String::from("graph fabric {\n  rankdir=TB;\n");
     for d in topo.devices() {
         let shape = match d.kind() {
@@ -132,12 +159,36 @@ pub fn to_dot(topo: &Topology) -> String {
             LinkClass::Cci => ("dashed", "blue"),
             LinkClass::Network => ("dotted", "red"),
         };
+        // Both directions of the pair, for the utilization callback.
+        let pair: Vec<LinkId> = (0..topo.link_count())
+            .map(|i| LinkId(i as u32))
+            .filter(|&id| {
+                let cand = topo.link(id);
+                (cand.src() == l.src() && cand.dst() == l.dst()
+                    || cand.src() == l.dst() && cand.dst() == l.src())
+                    && cand.class() == l.class()
+            })
+            .collect();
+        let mut attrs = format!(
+            "style={style}, color={color}, label=\"{:.0}G",
+            l.model().peak().as_gib_per_sec(),
+        );
+        match utilization(&pair) {
+            Some(u) => {
+                let _ = write!(
+                    attrs,
+                    "\\n{:.1}% busy\", penwidth={:.1}",
+                    u * 100.0,
+                    1.0 + 6.0 * u.clamp(0.0, 1.0)
+                );
+            }
+            None => attrs.push('"'),
+        }
         let _ = writeln!(
             out,
-            "  \"{}\" -- \"{}\" [style={style}, color={color}, label=\"{:.0}G\"];",
+            "  \"{}\" -- \"{}\" [{attrs}];",
             topo.device(l.src()).name(),
             topo.device(l.dst()).name(),
-            l.model().peak().as_gib_per_sec(),
         );
     }
     out.push_str("}\n");
@@ -228,6 +279,39 @@ mod tests {
         }
         assert!(dot.starts_with("graph fabric {"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_utilization_annotates_busy_links() {
+        use coarse_simcore::time::SimTime;
+        use coarse_simcore::units::ByteSize;
+
+        let m = machines::sdsc_p100();
+        let part = m.partition(machines::PartitionScheme::OneToOne);
+        let mut engine = TransferEngine::new(m.topology().clone());
+        let horizon = {
+            let rec = engine
+                .transfer(
+                    part.workers[0],
+                    part.mem_devices[0],
+                    ByteSize::mib(64),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            rec.end
+        };
+        let dot = to_dot_with_utilization(&engine, horizon);
+        // Every edge carries a busy annotation; the route we drove shows a
+        // non-zero one and a widened pen.
+        assert!(dot.contains("% busy"), "{dot}");
+        assert!(dot.contains("penwidth"), "{dot}");
+        assert!(
+            dot.lines()
+                .any(|l| l.contains("% busy") && !l.contains("\\n0.0% busy")),
+            "at least one hot edge: {dot}"
+        );
+        // The unannotated export is unchanged by the new plumbing.
+        assert!(!to_dot(m.topology()).contains("% busy"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! [`TransferError::DeviceDown`]. With no plan attached — or an empty one —
 //! every code path is byte-identical to the fault-free engine.
 
+use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{metered, name as metric, MetricRegistry};
 use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
@@ -106,6 +107,18 @@ pub struct TransferEngine {
     faults: Option<FaultPlan>,
     /// Optional oracle battery; `None` means no invariant checking.
     oracles: Option<OracleHub>,
+    /// Optional critical-path recorder; `None` means recording is off.
+    critpath: Option<CritPath>,
+    /// The pacing node of the most recent recorded transfer, for callers to
+    /// chain program-order edges onto.
+    last_crit: Option<NodeId>,
+    /// The node at which the most recent recorded transfer *departed* — the
+    /// first staging leg's pacing node when the transfer staged through the
+    /// host CPU, otherwise the same node as `last_crit`.
+    last_crit_entry: Option<NodeId>,
+    /// Dependency nodes staged by the caller for the next collective to
+    /// adopt (e.g. "this allreduce waits on those push arrivals").
+    staged_crit_deps: Vec<NodeId>,
     /// Interned trace track per directed link (lazily populated).
     link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
 }
@@ -125,6 +138,10 @@ impl TransferEngine {
             profiler: None,
             faults: None,
             oracles: None,
+            critpath: None,
+            last_crit: None,
+            last_crit_entry: None,
+            staged_crit_deps: Vec::new(),
             link_tracks,
         }
     }
@@ -196,6 +213,77 @@ impl TransferEngine {
     /// (timed collectives, the training simulator) emit into the same hub.
     pub fn oracles(&self) -> Option<&OracleHub> {
         self.oracles.as_ref()
+    }
+
+    /// Attaches a critical-path recorder: every subsequent transfer records
+    /// a fabric-queueing node (when it waited for a busy link) plus one
+    /// fabric-busy node per route link, chained FIFO per link. Observation-
+    /// only, exactly like tracing — timings never change.
+    pub fn set_critpath(&mut self, critpath: CritPath) {
+        self.critpath = Some(critpath);
+    }
+
+    /// The attached critical-path recorder, if any. Layers built on the
+    /// engine record into the same graph.
+    pub fn critpath(&self) -> Option<&CritPath> {
+        self.critpath.as_ref()
+    }
+
+    /// The pacing node of the most recent recorded transfer — the busy node
+    /// on the link that actually set the transfer's start time. Callers use
+    /// it to chain program-order edges (e.g. "this ring step waited on that
+    /// transfer").
+    pub fn last_crit_node(&self) -> Option<NodeId> {
+        self.last_crit
+    }
+
+    /// The node at which the most recent recorded transfer *departed*. For a
+    /// transfer staged through the host CPU this is the first leg's pacing
+    /// node; otherwise it equals [`last_crit_node`](Self::last_crit_node).
+    ///
+    /// Cause edges — "this transfer left because X completed" — belong here,
+    /// so the backward walk can leave a link's FIFO chain at the transfer's
+    /// true enabling event even when the chain consists of staging legs.
+    /// Consumers waiting on *delivery* keep chaining off
+    /// [`last_crit_node`](Self::last_crit_node), which ends at the final
+    /// leg's completion.
+    pub fn last_crit_entry_node(&self) -> Option<NodeId> {
+        self.last_crit_entry
+    }
+
+    /// Overrides the "most recent node" handle, letting layers that record
+    /// their own nodes (collectives) publish a join point for callers
+    /// further up.
+    pub fn note_crit_node(&mut self, node: NodeId) {
+        self.last_crit = Some(node);
+        self.last_crit_entry = Some(node);
+    }
+
+    /// Stages dependency nodes for the next collective built on this engine
+    /// to adopt as predecessors of its barrier/first step — the caller's way
+    /// of saying "this collective waits on those arrivals". Replaces any
+    /// previously staged set. No-op when no recorder is attached.
+    pub fn stage_crit_deps(&mut self, deps: &[NodeId]) {
+        if self.critpath.is_some() {
+            self.staged_crit_deps = deps.to_vec();
+        }
+    }
+
+    /// Takes (and clears) the staged dependency set.
+    pub fn take_crit_deps(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.staged_crit_deps)
+    }
+
+    /// The critical-path resource name of a directed link; matches the
+    /// trace track naming so overlays line up.
+    fn link_resource_name(&self, l: LinkId) -> String {
+        let link = self.topo.link(l);
+        format!(
+            "link {} -> {} ({:?})",
+            self.topo.device(link.src()).name(),
+            self.topo.device(link.dst()).name(),
+            link.class()
+        )
     }
 
     /// The trace track for a directed link, named
@@ -306,6 +394,10 @@ impl TransferEngine {
             }
         }
         if src == dst {
+            // An instant transfer leaves no node; clear the chain handles so
+            // callers don't dep on an unrelated earlier transfer.
+            self.last_crit = None;
+            self.last_crit_entry = None;
             return Ok(TransferRecord {
                 start: arrival,
                 end: arrival,
@@ -318,7 +410,23 @@ impl TransferEngine {
             }
             let cpu = self.topo.host_cpu(self.topo.device(src).node());
             let first = self.transfer_direct(src, cpu, size, arrival, allow)?;
+            let leg1 = self.last_crit;
+            let leg1_entry = self.last_crit_entry;
             let second = self.transfer_direct(cpu, dst, size, first.end, allow)?;
+            // Program-order edge between the staging legs: the second leg
+            // only departed because the first delivered to the host. The
+            // whole transfer *departs* at the first leg, so that is where
+            // callers' cause edges must land — otherwise the first leg's
+            // FIFO chain dead-ends mid-iteration with no way back to the
+            // transfer's true enabling event.
+            if let (Some(cp), Some(a), Some(b)) = (&self.critpath, leg1, self.last_crit) {
+                if a != b {
+                    cp.add_dep(b, a);
+                }
+            }
+            if leg1_entry.is_some() {
+                self.last_crit_entry = leg1_entry;
+            }
             return Ok(TransferRecord {
                 start: first.start,
                 end: second.end,
@@ -447,17 +555,69 @@ impl TransferEngine {
                 });
             }
         }
-        let start = route
+        // The pacing link is the one whose FIFO forces the latest start;
+        // ties go to the later hop (stable, and the queue blame lands on
+        // the link closest to the destination).
+        let (pacing, start) = route
             .links()
             .iter()
-            .map(|&l| self.schedules[l.index()].earliest_start(arrival))
-            .max()
+            .enumerate()
+            .map(|(i, &l)| (i, self.schedules[l.index()].earliest_start(arrival)))
+            .max_by_key(|&(i, t)| (t, i))
             // simlint: allow(panic-in-library, reason = "routes returned by the router are built non-empty")
             .expect("non-empty route");
         for &l in route.links() {
             self.schedules[l.index()].reserve(start, occupancy);
         }
         let end = start + occupancy + route.total_latency();
+        if let Some(cp) = self.critpath.clone() {
+            let queue_node = if start > arrival {
+                let deps: Vec<NodeId> = cp
+                    .last_on(&self.link_resource_name(route.links()[pacing]))
+                    .into_iter()
+                    .collect();
+                Some(cp.span(
+                    crit_class::FABRIC_QUEUE,
+                    format!("queue {size}"),
+                    arrival,
+                    start,
+                    &deps,
+                ))
+            } else {
+                None
+            };
+            // The pacing hop's node is recorded first: it alone extends to
+            // delivery (so the chain a consumer hangs off `last_crit` ends
+            // at `end`) and it alone carries the queue dependency plus any
+            // edges the caller adds after the fact. Every other hop depends
+            // on it, so a FIFO chain entering a non-pacing hop routes
+            // through the pacing node to the transfer's true enabling
+            // events instead of dead-ending mid-iteration.
+            let pace_deps: Vec<NodeId> = queue_node.into_iter().collect();
+            let pace_id = cp.span_on(
+                crit_class::FABRIC_BUSY,
+                format!("xfer {size}"),
+                &self.link_resource_name(route.links()[pacing]),
+                start,
+                end,
+                &pace_deps,
+            );
+            self.last_crit = Some(pace_id);
+            self.last_crit_entry = Some(pace_id);
+            for (i, &l) in route.links().iter().enumerate() {
+                if i == pacing {
+                    continue;
+                }
+                cp.span_on(
+                    crit_class::FABRIC_BUSY,
+                    format!("xfer {size}"),
+                    &self.link_resource_name(l),
+                    start,
+                    start + occupancy,
+                    &[pace_id],
+                );
+            }
+        }
         if let Some(m) = metered(&self.metrics) {
             m.inc(metric::FABRIC_TRANSFERS, 1);
             m.inc(metric::FABRIC_BYTES, size.as_u64());
@@ -656,6 +816,57 @@ mod tests {
         assert_eq!(e.link_busy_time(first_link), SimDuration::from_nanos(500));
         let u = e.link_utilization(first_link, SimTime::from_nanos(1000));
         assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critpath_records_queue_and_busy_nodes() {
+        let (t, g0, g1, _) = topo();
+        let mut e = TransferEngine::new(t);
+        let cp = CritPath::new();
+        e.set_critpath(cp.clone());
+        e.transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let first = e.last_crit_node().expect("pacing node recorded");
+        let b = e
+            .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+            .unwrap();
+        let second = e.last_crit_node().expect("pacing node recorded");
+        assert_ne!(first, second);
+        assert_eq!(cp.node_end(second), b.end);
+        cp.mark_iteration(0, second);
+        let ex = cp.analyze();
+        // The second transfer queued behind the first: a queue node is
+        // recorded, and the critical path is pure fabric time — it runs
+        // through the first transfer's occupancy (which outlives the queue
+        // wait by the delivery latency) into the second's.
+        use coarse_simcore::critpath::class;
+        assert_eq!(ex.class_events[class::FABRIC_QUEUE], 1);
+        assert_eq!(
+            ex.blame[class::FABRIC_BUSY],
+            SimDuration::from_nanos(2020),
+            "whole span blamed on fabric busy"
+        );
+        let sum: f64 = class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critpath_recording_does_not_perturb_transfers() {
+        let run = |record: bool| {
+            let (t, g0, g1, _) = topo();
+            let mut e = TransferEngine::new(t);
+            if record {
+                e.set_critpath(CritPath::new());
+            }
+            let a = e
+                .transfer(g0, g1, ByteSize::bytes(1000), SimTime::ZERO)
+                .unwrap();
+            let b = e
+                .transfer(g1, g0, ByteSize::bytes(500), SimTime::from_nanos(3))
+                .unwrap();
+            (a, b)
+        };
+        assert_eq!(run(true), run(false), "recording must not perturb");
     }
 
     #[test]

@@ -1,0 +1,738 @@
+//! Critical-path recording and simulated-time attribution.
+//!
+//! A [`CritPath`] is an observation-only dependency-graph recorder, attached
+//! to models exactly like the tracer, metric registry, and self-profiler
+//! (`Option<CritPath>` on the component, `set_critpath` to attach). As a run
+//! executes, instrumented layers register *nodes* — timed facts such as
+//! "transfer T occupied link L from t0 to t1" or "ring step S completed at
+//! t" — and *edges* — "node A enabled node B". Nothing about the simulated
+//! timings changes; the recorder only writes the graph down.
+//!
+//! After the run, [`CritPath::analyze`] extracts the **critical path** of
+//! each marked iteration: walking backward from the iteration's sink, it
+//! repeatedly follows the latest-finishing dependency and blames the time
+//! slice between that dependency's completion and the current node's
+//! completion on the current node's *resource class*. The slices tile the
+//! iteration span exactly, so per-class blame fractions sum to 1.0 — the
+//! resulting [`Explanation`] answers "where did the simulated time go?" and
+//! bounds the best possible speedup from making any one class free
+//! (Amdahl-style: eliminating a class saves at most its blame fraction).
+//!
+//! Blame classes form a closed taxonomy in [`class`]: compute, fabric busy,
+//! fabric queueing, coherence, sync, proxy stall, and retry backoff.
+//! Everything rendered from the graph — the `coarse.explain-report/v1`
+//! fragments and the Chrome-trace overlay — is byte-deterministic whenever
+//! the recorded run is.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::json::JsonValue;
+use crate::time::{SimDuration, SimTime};
+
+/// Schema identifier stamped into explain reports built from this module.
+pub const EXPLAIN_SCHEMA: &str = "coarse.explain-report/v1";
+
+/// The closed taxonomy of resource classes blame is attributed to.
+pub mod class {
+    /// GPU forward/backward computation.
+    pub const COMPUTE: &str = "compute";
+    /// A fabric link actively serializing bytes.
+    pub const FABRIC_BUSY: &str = "fabric_busy";
+    /// Waiting for a busy fabric link to free up (FIFO queueing).
+    pub const FABRIC_QUEUE: &str = "fabric_queue";
+    /// Coherence-directory activity (invalidations, sharer upgrades).
+    pub const COHERENCE: &str = "coherence";
+    /// Waiting on peers: collective barriers, ring steps, parameter-device
+    /// serialization in the DENSE baseline.
+    pub const SYNC: &str = "sync";
+    /// Time parked in a proxy queue or stalled by an injected proxy fault.
+    pub const PROXY_STALL: &str = "proxy_stall";
+    /// Resilience-policy waits: retry backoff and failure-detection timeouts.
+    pub const RETRY_BACKOFF: &str = "retry_backoff";
+    /// Every class, in report order.
+    pub const ALL: [&str; 7] = [
+        COMPUTE,
+        FABRIC_BUSY,
+        FABRIC_QUEUE,
+        COHERENCE,
+        SYNC,
+        PROXY_STALL,
+        RETRY_BACKOFF,
+    ];
+}
+
+/// Handle to one recorded node; indexes are assigned in recording order, so
+/// a dependency is always strictly smaller than the node depending on it.
+pub type NodeId = usize;
+
+#[derive(Debug, Clone)]
+struct Node {
+    class: &'static str,
+    label: String,
+    resource: Option<String>,
+    start: SimTime,
+    end: SimTime,
+    deps: Vec<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct CritState {
+    nodes: Vec<Node>,
+    /// Iteration index → sink node; the walk for iteration `i` starts here.
+    sinks: BTreeMap<u64, NodeId>,
+    /// Most recent node recorded on each named resource, for implicit
+    /// FIFO-ordering edges (a link's next occupancy depends on its last).
+    last_on_resource: BTreeMap<String, NodeId>,
+}
+
+/// A cloneable, shared critical-path recorder.
+///
+/// Clones share state, so one recorder can be attached to every layer of a
+/// run (fabric engine, collectives, coherence, training phases) and the
+/// edges all land in a single graph.
+#[derive(Debug, Clone, Default)]
+pub struct CritPath {
+    inner: Rc<RefCell<CritState>>,
+}
+
+impl CritPath {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a timed node of `class` spanning `[start, end]`, enabled by
+    /// `deps`. Returns the node's id for use as a later dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id has not been recorded yet (edges must point
+    /// backward in recording order; forward edges would make the walk cyclic).
+    pub fn span(
+        &self,
+        class: &'static str,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.push(class, label.into(), None, start, end, deps.to_vec())
+    }
+
+    /// Like [`span`](Self::span), but the node occupies the named resource:
+    /// an implicit dependency on the previous node recorded on the same
+    /// resource is added (FIFO ordering), and the node's span feeds that
+    /// resource's busy-idle timeline in [`Explanation::resource_loads`].
+    pub fn span_on(
+        &self,
+        class: &'static str,
+        label: impl Into<String>,
+        resource: &str,
+        start: SimTime,
+        end: SimTime,
+        deps: &[NodeId],
+    ) -> NodeId {
+        let mut deps = deps.to_vec();
+        if let Some(&prev) = self.inner.borrow().last_on_resource.get(resource) {
+            if !deps.contains(&prev) {
+                deps.push(prev);
+            }
+        }
+        let id = self.push(
+            class,
+            label.into(),
+            Some(resource.to_string()),
+            start,
+            end,
+            deps,
+        );
+        self.inner
+            .borrow_mut()
+            .last_on_resource
+            .insert(resource.to_string(), id);
+        id
+    }
+
+    /// Records a zero-duration node at `at` — a structural fact (coherence
+    /// message, functional ring step) that carries edges but no time.
+    pub fn instant(
+        &self,
+        class: &'static str,
+        label: impl Into<String>,
+        at: SimTime,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.span(class, label, at, at, deps)
+    }
+
+    /// Adds an edge `dep → node` after the fact (e.g. staging legs that are
+    /// recorded before their program-order predecessor is known).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dep < node` (edges must point backward).
+    pub fn add_dep(&self, node: NodeId, dep: NodeId) {
+        assert!(dep < node, "dependency {dep} must precede node {node}");
+        let mut st = self.inner.borrow_mut();
+        if !st.nodes[node].deps.contains(&dep) {
+            st.nodes[node].deps.push(dep);
+        }
+    }
+
+    /// The most recent node recorded on `resource`, if any.
+    pub fn last_on(&self, resource: &str) -> Option<NodeId> {
+        self.inner.borrow().last_on_resource.get(resource).copied()
+    }
+
+    /// Declares `sink` as the node at which iteration `iter` completes; the
+    /// critical-path walk for that iteration starts here.
+    pub fn mark_iteration(&self, iter: u64, sink: NodeId) {
+        let mut st = self.inner.borrow_mut();
+        assert!(sink < st.nodes.len(), "sink {sink} was never recorded");
+        st.sinks.insert(iter, sink);
+    }
+
+    /// The completion time of a recorded node.
+    pub fn node_end(&self, node: NodeId) -> SimTime {
+        self.inner.borrow().nodes[node].end
+    }
+
+    /// Nodes recorded so far.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Iterations marked so far.
+    pub fn iteration_count(&self) -> usize {
+        self.inner.borrow().sinks.len()
+    }
+
+    /// Renders the backward walk for iteration `iter` with full node
+    /// identity (id, class, resource, label, span, dependency ids) — a
+    /// debugging aid for chasing missing edges; not part of any report.
+    #[doc(hidden)]
+    pub fn debug_path(&self, iter: u64) -> Vec<String> {
+        let st = self.inner.borrow();
+        let mut lines = Vec::new();
+        let Some(&sink) = st.sinks.get(&iter) else {
+            return lines;
+        };
+        let iter_start = st
+            .sinks
+            .range(..iter)
+            .next_back()
+            .map(|(_, &s)| st.nodes[s].end)
+            .unwrap_or(SimTime::ZERO);
+        let mut cur = sink;
+        loop {
+            let node = &st.nodes[cur];
+            let pred = node
+                .deps
+                .iter()
+                .copied()
+                .max_by_key(|&d| (st.nodes[d].end, d));
+            lines.push(format!(
+                "#{cur} {} [{} .. {}] {} on {} deps={:?} pred={:?}",
+                node.class,
+                node.start.as_nanos(),
+                node.end.as_nanos(),
+                node.label,
+                node.resource.as_deref().unwrap_or("-"),
+                node.deps,
+                pred,
+            ));
+            match pred {
+                Some(p) if st.nodes[p].end > iter_start => cur = p,
+                _ => break,
+            }
+        }
+        lines
+    }
+
+    fn push(
+        &self,
+        class: &'static str,
+        label: String,
+        resource: Option<String>,
+        start: SimTime,
+        end: SimTime,
+        deps: Vec<NodeId>,
+    ) -> NodeId {
+        let mut st = self.inner.borrow_mut();
+        let id = st.nodes.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} of node {id} was never recorded");
+        }
+        st.nodes.push(Node {
+            class,
+            label,
+            resource,
+            start,
+            end: end.max(start),
+            deps,
+        });
+        id
+    }
+
+    /// Extracts per-iteration critical paths and aggregates blame.
+    ///
+    /// For each marked iteration the walk starts at the sink and repeatedly
+    /// follows the latest-finishing dependency (ties broken by the larger
+    /// node id — the later-recorded fact). The slice between that
+    /// dependency's completion and the current node's completion is blamed
+    /// on the current node's class; a node with no dependencies absorbs the
+    /// remainder down to the iteration's start. The slices therefore tile
+    /// `[iteration start, sink end]` exactly and per-class blame sums to the
+    /// iteration span.
+    pub fn analyze(&self) -> Explanation {
+        let st = self.inner.borrow();
+        let mut iterations = Vec::new();
+        let mut blame: BTreeMap<&'static str, SimDuration> = BTreeMap::new();
+        let mut prev_sink_end = SimTime::ZERO;
+        for (&iter, &sink) in &st.sinks {
+            let iter_start = prev_sink_end;
+            let sink_end = st.nodes[sink].end.max(iter_start);
+            prev_sink_end = sink_end;
+            let mut segments = Vec::new();
+            let mut cur = sink;
+            let mut upper = sink_end;
+            loop {
+                let node = &st.nodes[cur];
+                let pred = node
+                    .deps
+                    .iter()
+                    .copied()
+                    .max_by_key(|&d| (st.nodes[d].end, d));
+                let lower = match pred {
+                    Some(p) => st.nodes[p].end,
+                    // A root node absorbs everything back to iteration start:
+                    // nothing recorded explains the wait before it.
+                    None => iter_start,
+                };
+                let lo = lower.max(iter_start).min(upper);
+                if upper > lo {
+                    segments.push(Segment {
+                        class: node.class,
+                        label: node.label.clone(),
+                        start: lo,
+                        end: upper,
+                    });
+                }
+                upper = upper.min(lower);
+                if lower <= iter_start {
+                    break;
+                }
+                match pred {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            segments.reverse();
+            let mut iter_blame: BTreeMap<&'static str, SimDuration> = BTreeMap::new();
+            for seg in &segments {
+                let d = seg.end - seg.start;
+                *iter_blame.entry(seg.class).or_default() += d;
+                *blame.entry(seg.class).or_default() += d;
+            }
+            iterations.push(IterationBlame {
+                iter,
+                start: iter_start,
+                end: sink_end,
+                segments,
+                blame: iter_blame,
+            });
+        }
+        let total = iterations
+            .iter()
+            .map(|i| i.end - i.start)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        let mut class_events: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for n in &st.nodes {
+            *class_events.entry(n.class).or_default() += 1;
+        }
+        Explanation {
+            iterations,
+            blame,
+            total,
+            node_count: st.nodes.len(),
+            class_events,
+        }
+    }
+
+    /// Per-resource busy-idle load over `[0, horizon)`, from every node
+    /// recorded with a resource name: total busy time, span count, and a
+    /// `bins`-bucket busy-nanoseconds timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `horizon` is zero.
+    pub fn resource_loads(&self, bins: usize, horizon: SimTime) -> BTreeMap<String, ResourceLoad> {
+        assert!(bins > 0, "need at least one bin");
+        let span = horizon - SimTime::ZERO;
+        assert!(span > SimDuration::ZERO, "horizon must be positive");
+        let h = span.as_nanos();
+        let st = self.inner.borrow();
+        let mut out: BTreeMap<String, ResourceLoad> = BTreeMap::new();
+        for n in &st.nodes {
+            let Some(res) = &n.resource else { continue };
+            let s = (n.start - SimTime::ZERO).as_nanos().min(h);
+            let e = (n.end - SimTime::ZERO).as_nanos().min(h);
+            let load = out.entry(res.clone()).or_insert_with(|| ResourceLoad {
+                busy: SimDuration::ZERO,
+                spans: 0,
+                bins: vec![0; bins],
+            });
+            load.busy += SimDuration::from_nanos(e - s);
+            load.spans += 1;
+            // Spread [s, e) across fixed-width bins.
+            let width = h.div_ceil(bins as u64).max(1);
+            let mut t = s;
+            while t < e {
+                let b = (t / width) as usize;
+                let bin_end = ((b as u64 + 1) * width).min(e);
+                load.bins[b.min(bins - 1)] += bin_end - t;
+                t = bin_end;
+            }
+        }
+        out
+    }
+}
+
+/// One slice of an iteration's critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Resource class blamed for this slice.
+    pub class: &'static str,
+    /// Label of the node the slice belongs to.
+    pub label: String,
+    /// Slice start.
+    pub start: SimTime,
+    /// Slice end.
+    pub end: SimTime,
+}
+
+/// The critical path of one iteration, with per-class blame.
+#[derive(Debug, Clone)]
+pub struct IterationBlame {
+    /// Iteration index as marked.
+    pub iter: u64,
+    /// Iteration span start (previous sink's end, or time zero).
+    pub start: SimTime,
+    /// The sink's completion time.
+    pub end: SimTime,
+    /// Critical-path slices in time order; they tile `[start, end]`.
+    pub segments: Vec<Segment>,
+    /// Per-class blame; values sum to `end - start`.
+    pub blame: BTreeMap<&'static str, SimDuration>,
+}
+
+/// Busy-idle load of one named resource.
+#[derive(Debug, Clone)]
+pub struct ResourceLoad {
+    /// Total busy time within the horizon.
+    pub busy: SimDuration,
+    /// Number of recorded busy spans.
+    pub spans: u64,
+    /// Busy nanoseconds per fixed-width bin across `[0, horizon)`.
+    pub bins: Vec<u64>,
+}
+
+/// The result of critical-path extraction: per-iteration paths plus
+/// aggregated blame.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Per-iteration critical paths, in iteration order.
+    pub iterations: Vec<IterationBlame>,
+    /// Blame aggregated over all iterations.
+    pub blame: BTreeMap<&'static str, SimDuration>,
+    /// Total critical-path time (sum of iteration spans); blame sums to it.
+    pub total: SimDuration,
+    /// Nodes recorded in the graph.
+    pub node_count: usize,
+    /// Recorded node count per class (structural coverage, not blame).
+    pub class_events: BTreeMap<&'static str, u64>,
+}
+
+impl Explanation {
+    /// Fraction of critical-path time blamed on `class` (0.0 when no time
+    /// was recorded at all).
+    pub fn fraction(&self, class: &str) -> f64 {
+        let total = self.total.as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        let ns = self
+            .blame
+            .get(class)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+            .as_nanos();
+        ns as f64 / total as f64
+    }
+
+    /// The class with the largest blame (ties broken by [`class::ALL`]
+    /// order); `None` when nothing was recorded.
+    pub fn dominant(&self) -> Option<&'static str> {
+        class::ALL
+            .iter()
+            .copied()
+            .max_by_key(|c| self.blame.get(c).copied().unwrap_or(SimDuration::ZERO))
+    }
+
+    /// Upper bound on the fraction of total time saved by making `class`
+    /// free — its blame fraction. ("Making all NVLink transfers free saves
+    /// at most X%.")
+    pub fn speedup_bound(&self, class: &str) -> f64 {
+        self.fraction(class)
+    }
+
+    /// The per-class blame table as `{class: {ns, fraction}}`, every class
+    /// present, in [`class::ALL`] order.
+    pub fn blame_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        for c in class::ALL {
+            let ns = self.blame.get(c).copied().unwrap_or(SimDuration::ZERO);
+            obj = obj.with(
+                c,
+                JsonValue::object()
+                    .with("ns", JsonValue::int(ns.as_nanos()))
+                    .with("fraction", JsonValue::num(self.fraction(c))),
+            );
+        }
+        obj
+    }
+
+    /// Per-iteration JSON rows: span, per-class blame, and the first
+    /// `max_segments` critical-path slices (with a `segments_omitted` count
+    /// when truncated).
+    pub fn iterations_json(&self, max_segments: usize) -> JsonValue {
+        let rows: Vec<JsonValue> = self
+            .iterations
+            .iter()
+            .map(|it| {
+                let segs: Vec<JsonValue> = it
+                    .segments
+                    .iter()
+                    .take(max_segments)
+                    .map(|s| {
+                        JsonValue::object()
+                            .with("class", JsonValue::Str(s.class.to_string()))
+                            .with("label", JsonValue::Str(s.label.clone()))
+                            .with(
+                                "start_ns",
+                                JsonValue::int((s.start - SimTime::ZERO).as_nanos()),
+                            )
+                            .with("end_ns", JsonValue::int((s.end - SimTime::ZERO).as_nanos()))
+                    })
+                    .collect();
+                let omitted = it.segments.len().saturating_sub(max_segments);
+                let mut blame = JsonValue::object();
+                for c in class::ALL {
+                    let ns = it.blame.get(c).copied().unwrap_or(SimDuration::ZERO);
+                    if ns > SimDuration::ZERO {
+                        blame = blame.with(c, JsonValue::int(ns.as_nanos()));
+                    }
+                }
+                JsonValue::object()
+                    .with("iter", JsonValue::int(it.iter))
+                    .with(
+                        "start_ns",
+                        JsonValue::int((it.start - SimTime::ZERO).as_nanos()),
+                    )
+                    .with(
+                        "end_ns",
+                        JsonValue::int((it.end - SimTime::ZERO).as_nanos()),
+                    )
+                    .with("blame_ns", blame)
+                    .with("segments", JsonValue::Array(segs))
+                    .with("segments_omitted", JsonValue::int(omitted as u64))
+            })
+            .collect();
+        JsonValue::Array(rows)
+    }
+
+    /// A standalone Chrome-trace document marking the critical-path slices:
+    /// one named thread per blame class, one complete (`ph: "X"`) event per
+    /// slice. Load it in a trace viewer alongside the full run trace to see
+    /// which occupancy actually gated each iteration.
+    pub fn overlay_trace_json(&self) -> JsonValue {
+        let mut events = Vec::new();
+        for (tid, c) in class::ALL.iter().enumerate() {
+            events.push(
+                JsonValue::object()
+                    .with("ph", JsonValue::Str("M".into()))
+                    .with("pid", JsonValue::int(1))
+                    .with("tid", JsonValue::int(tid as u64))
+                    .with("name", JsonValue::Str("thread_name".into()))
+                    .with(
+                        "args",
+                        JsonValue::object()
+                            .with("name", JsonValue::Str(format!("critical path: {c}"))),
+                    ),
+            );
+        }
+        for it in &self.iterations {
+            for s in &it.segments {
+                let tid = class::ALL
+                    .iter()
+                    .position(|&c| c == s.class)
+                    .unwrap_or(class::ALL.len());
+                let ts = (s.start - SimTime::ZERO).as_nanos();
+                let dur = (s.end - s.start).as_nanos();
+                events.push(
+                    JsonValue::object()
+                        .with("ph", JsonValue::Str("X".into()))
+                        .with("pid", JsonValue::int(1))
+                        .with("tid", JsonValue::int(tid as u64))
+                        .with("ts", JsonValue::num(ts as f64 / 1000.0))
+                        .with("dur", JsonValue::num(dur as f64 / 1000.0))
+                        .with("name", JsonValue::Str(s.label.clone()))
+                        .with(
+                            "args",
+                            JsonValue::object()
+                                .with("class", JsonValue::Str(s.class.to_string()))
+                                .with("iter", JsonValue::int(it.iter)),
+                        ),
+                );
+            }
+        }
+        JsonValue::object().with("traceEvents", JsonValue::Array(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn single_chain_blames_each_node_for_its_wait() {
+        let cp = CritPath::new();
+        let a = cp.span(class::COMPUTE, "fwd+bwd", t(0), t(100), &[]);
+        let b = cp.span_on(class::FABRIC_BUSY, "xfer", "link x", t(100), t(160), &[a]);
+        let c = cp.span(class::SYNC, "ring step", t(160), t(200), &[b]);
+        cp.mark_iteration(0, c);
+        let ex = cp.analyze();
+        assert_eq!(ex.total, SimDuration::from_nanos(200));
+        assert_eq!(ex.blame[class::COMPUTE], SimDuration::from_nanos(100));
+        assert_eq!(ex.blame[class::FABRIC_BUSY], SimDuration::from_nanos(60));
+        assert_eq!(ex.blame[class::SYNC], SimDuration::from_nanos(40));
+        assert_eq!(ex.dominant(), Some(class::COMPUTE));
+        // Segments tile the iteration span in time order.
+        let segs = &ex.iterations[0].segments;
+        assert_eq!(segs[0].start, t(0));
+        assert_eq!(segs.last().unwrap().end, t(200));
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn walk_follows_the_latest_finishing_dependency() {
+        let cp = CritPath::new();
+        let fast = cp.span(class::FABRIC_BUSY, "fast", t(0), t(10), &[]);
+        let slow = cp.span(class::SYNC, "slow", t(0), t(90), &[]);
+        let join = cp.span(class::COMPUTE, "join", t(90), t(100), &[fast, slow]);
+        cp.mark_iteration(0, join);
+        let ex = cp.analyze();
+        // The slow dependency owns [0, 90]; the join owns [90, 100]; the
+        // fast one never appears on the path.
+        assert_eq!(ex.blame[class::SYNC], SimDuration::from_nanos(90));
+        assert_eq!(ex.blame[class::COMPUTE], SimDuration::from_nanos(10));
+        assert!(!ex.blame.contains_key(class::FABRIC_BUSY));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cp = CritPath::new();
+        let a = cp.span(class::COMPUTE, "a", t(0), t(7), &[]);
+        let b = cp.span(class::FABRIC_QUEUE, "b", t(7), t(20), &[a]);
+        let c = cp.span(class::RETRY_BACKOFF, "c", t(25), t(33), &[b]);
+        cp.mark_iteration(0, c);
+        let ex = cp.analyze();
+        let sum: f64 = class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+        // The gap [20, 25] before the backoff is charged to the backoff
+        // node — its dependency only explains the path up to t=20.
+        assert_eq!(ex.blame[class::RETRY_BACKOFF], SimDuration::from_nanos(13));
+    }
+
+    #[test]
+    fn resource_ordering_edges_are_implicit() {
+        let cp = CritPath::new();
+        let first = cp.span_on(class::FABRIC_BUSY, "x1", "link a", t(0), t(50), &[]);
+        let second = cp.span_on(class::FABRIC_BUSY, "x2", "link a", t(50), t(80), &[]);
+        cp.mark_iteration(0, second);
+        let ex = cp.analyze();
+        // Without the implicit FIFO edge the second span would absorb
+        // [0, 80] itself; with it, the first span owns [0, 50].
+        assert_eq!(ex.blame[class::FABRIC_BUSY], SimDuration::from_nanos(80));
+        assert_eq!(ex.iterations[0].segments.len(), 2);
+        assert_eq!(cp.last_on("link a"), Some(second));
+        assert!(first < second);
+    }
+
+    #[test]
+    fn iterations_partition_time_at_sink_boundaries() {
+        let cp = CritPath::new();
+        let a = cp.span(class::COMPUTE, "iter0", t(0), t(100), &[]);
+        cp.mark_iteration(0, a);
+        let b = cp.span(class::SYNC, "iter1", t(100), t(250), &[a]);
+        cp.mark_iteration(1, b);
+        let ex = cp.analyze();
+        assert_eq!(ex.iterations.len(), 2);
+        assert_eq!(ex.iterations[1].start, t(100));
+        assert_eq!(ex.total, SimDuration::from_nanos(250));
+        assert_eq!(ex.blame[class::COMPUTE], SimDuration::from_nanos(100));
+        assert_eq!(ex.blame[class::SYNC], SimDuration::from_nanos(150));
+    }
+
+    #[test]
+    fn resource_loads_bin_busy_time() {
+        let cp = CritPath::new();
+        cp.span_on(class::FABRIC_BUSY, "x", "link a", t(0), t(40), &[]);
+        cp.span_on(class::FABRIC_BUSY, "y", "link a", t(60), t(100), &[]);
+        let loads = cp.resource_loads(4, t(100));
+        let load = &loads["link a"];
+        assert_eq!(load.busy, SimDuration::from_nanos(80));
+        assert_eq!(load.spans, 2);
+        assert_eq!(load.bins, vec![25, 15, 15, 25]);
+    }
+
+    #[test]
+    fn empty_graph_analyzes_to_nothing() {
+        let ex = CritPath::new().analyze();
+        assert!(ex.iterations.is_empty());
+        assert_eq!(ex.total, SimDuration::ZERO);
+        assert_eq!(ex.fraction(class::COMPUTE), 0.0);
+    }
+
+    #[test]
+    fn overlay_and_blame_json_are_deterministic() {
+        let build = || {
+            let cp = CritPath::new();
+            let a = cp.span(class::COMPUTE, "fwd", t(0), t(80), &[]);
+            let b = cp.span(class::SYNC, "sync", t(80), t(100), &[a]);
+            cp.mark_iteration(0, b);
+            cp.analyze()
+        };
+        let (x, y) = (build(), build());
+        assert_eq!(x.blame_json().render(), y.blame_json().render());
+        assert_eq!(
+            x.overlay_trace_json().render(),
+            y.overlay_trace_json().render()
+        );
+        assert_eq!(
+            x.iterations_json(16).render(),
+            y.iterations_json(16).render()
+        );
+        let doc = x.overlay_trace_json().render();
+        assert!(doc.contains("traceEvents"));
+        assert!(doc.contains("critical path: compute"));
+    }
+}

@@ -12,6 +12,7 @@
 //! - structured tracing (spans/instants/counters) in [`trace`],
 //! - a typed metric registry (counters/gauges/histograms) in [`metrics`],
 //! - self-profiling of the simulator's own hot loops in [`prof`],
+//! - critical-path recording and simulated-time attribution in [`critpath`],
 //! - deterministic zero-dep JSON construction and parsing in [`json`],
 //! - seeded, schedule-driven fault injection in [`faults`],
 //! - runtime invariant oracles for chaos search in [`oracle`], and
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod critpath;
 pub mod faults;
 pub mod json;
 pub mod metrics;
@@ -57,6 +59,7 @@ pub mod units;
 
 /// Convenient glob-import of the kernel's common types.
 pub mod prelude {
+    pub use crate::critpath::{CritPath, Explanation, NodeId};
     pub use crate::faults::{
         shrink_plan, FaultPlan, FaultPlanGen, FaultSpec, FaultUniverse, ShrinkOutcome,
     };

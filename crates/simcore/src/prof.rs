@@ -153,6 +153,37 @@ impl Pow2Histogram {
         self.max
     }
 
+    /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// observations, or `None` when the histogram is empty.
+    ///
+    /// The walk finds the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)` (at least one observation, so `q = 0.0` lands on
+    /// the smallest non-empty bucket) and returns that bucket's inclusive
+    /// upper edge: 0 for bucket 0, `2^k − 1` for bucket `k ≥ 1`, clamped to
+    /// the recorded maximum so the returned bound is always attainable.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let edge = if k == 0 {
+                    0
+                } else if k == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                return Some(edge.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Renders the non-empty buckets as a deterministic JSON array of
     /// `{"pow2": k, "count": n}` rows plus the observation count and max.
     pub fn to_json(&self) -> JsonValue {
@@ -698,6 +729,71 @@ mod tests {
         assert!(doc.contains("\"pow2\":0,\"count\":1"));
         assert!(doc.contains("\"pow2\":2,\"count\":2"));
         assert!(doc.contains("\"pow2\":64,\"count\":1"));
+    }
+
+    #[test]
+    fn pow2_boundary_values_land_in_their_documented_buckets() {
+        // Bucket 0 holds only 0; bucket k >= 1 holds [2^(k-1), 2^k); the
+        // all-ones value saturates the last bucket.
+        for (v, bucket) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (1 << 32, 33),
+            (u64::MAX, 64),
+        ] {
+            let mut h = Pow2Histogram::new();
+            h.record(v);
+            let doc = h.to_json().render();
+            assert!(
+                doc.contains(&format!("\"pow2\":{bucket},\"count\":1")),
+                "value {v} should land in bucket {bucket}: {doc}"
+            );
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Pow2Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.approx_quantile(q), None);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_recorded_values() {
+        let mut h = Pow2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        // q=0 lands on the smallest non-empty bucket (the recorded zero).
+        assert_eq!(h.approx_quantile(0.0), Some(0));
+        // Median of 7 values is the 4th (value 3, bucket 2, edge 3).
+        assert_eq!(h.approx_quantile(0.5), Some(3));
+        // The top quantile is clamped to the recorded max, not the bucket
+        // edge 1023.
+        assert_eq!(h.approx_quantile(1.0), Some(1000));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.approx_quantile(2.0), Some(1000));
+        assert_eq!(h.approx_quantile(-1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_of_the_max_bucket_is_attainable() {
+        let mut h = Pow2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.approx_quantile(0.5), Some(u64::MAX));
+        let mut single = Pow2Histogram::new();
+        single.record(1);
+        assert_eq!(single.approx_quantile(1.0), Some(1));
+        let mut zero = Pow2Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.approx_quantile(1.0), Some(0));
     }
 
     #[test]

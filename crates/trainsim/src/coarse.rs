@@ -24,6 +24,7 @@ use coarse_fabric::probe;
 use coarse_fabric::topology::{Link, LinkClass, Topology};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
+use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::metrics::{name as metric, MetricRegistry, MetricsSnapshot};
 use coarse_simcore::oracle::{BiteKind, OracleEvent, OracleHub};
@@ -86,6 +87,8 @@ struct Deployment<'a> {
     oracles: Option<OracleHub>,
     /// Self-profiler for full-detail runs; pilots run unprofiled.
     profiler: Option<Profiler>,
+    /// Critical-path recorder for explain runs; pilots run unrecorded.
+    critpath: Option<CritPath>,
     /// Deliberate protocol breakage for oracle self-tests.
     sabotage: Sabotage,
 }
@@ -168,6 +171,11 @@ impl Deployment<'_> {
         if let Some(p) = &prof {
             engine.set_profiler(p.clone());
         }
+        let crit = self.critpath.clone();
+        if let Some(cp) = &crit {
+            engine.set_critpath(cp.clone());
+        }
+        let mut prev_sink: Option<NodeId> = None;
         let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
         let mut tracks = tracer.as_ref().map(|t| {
             engine.set_tracer(t.clone());
@@ -194,6 +202,20 @@ impl Deployment<'_> {
             let forward_end = start + plan.forward_time();
             let backward_end = forward_end + plan.backward_time();
             let mut next_start = backward_end;
+            // The iteration's forward+backward pass on the critical-path
+            // graph; pushes and the GPU dual-sync hang off it.
+            let compute = crit.as_ref().map(|cp| {
+                let deps: Vec<NodeId> = prev_sink.into_iter().collect();
+                cp.span_on(
+                    crit_class::COMPUTE,
+                    format!("fwd+bwd iter {k}"),
+                    "compute",
+                    start,
+                    backward_end,
+                    &deps,
+                )
+            });
+            let mut sink_deps: Vec<NodeId> = compute.into_iter().collect();
             if let Some(p) = &prof {
                 // Forward and backward passes are analytic (no transfers);
                 // count them so compute shows up alongside the wire phases.
@@ -247,6 +269,12 @@ impl Deployment<'_> {
                         // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                         .expect("host reaches its workers");
                     next_start = next_start.max(rec.end);
+                    if let Some(cp) = &crit {
+                        if let (Some(n), Some(ps)) = (engine.last_crit_entry_node(), prev_sink) {
+                            cp.add_dep(n, ps);
+                        }
+                        sink_deps.extend(engine.last_crit_node());
+                    }
                 }
             }
 
@@ -272,6 +300,9 @@ impl Deployment<'_> {
                 // routed proxy as the backward pass emits it. Track
                 // per-proxy arrival so the collective pipelines.
                 let mut proxy_ready: BTreeMap<DeviceId, SimTime> = BTreeMap::new();
+                // Latest-finishing push node per proxy: the collective's
+                // barrier adopts these as its arrival dependencies.
+                let mut arrivals: BTreeMap<DeviceId, NodeId> = BTreeMap::new();
                 let mut latest_emit = forward_end;
                 let mut total = ByteSize::ZERO;
                 let push_prof = prof.as_ref().map(|p| p.enter(prof_region::TRAIN_PUSH));
@@ -284,6 +315,7 @@ impl Deployment<'_> {
                         let table = &self.tables[w];
                         let dest = table.route_for(size);
                         let mut t = emitted;
+                        let mut first_shard = true;
                         for s in shard_sizes(size, table.shard_size) {
                             if let Some(p) = &prof {
                                 p.count(prof_region::TRAIN_PUSH, 1);
@@ -293,6 +325,26 @@ impl Deployment<'_> {
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                                 .expect("worker reaches its proxy");
                             t = rec.end;
+                            if let Some(cp) = &crit {
+                                // The first shard leaves when the backward
+                                // pass emits the gradient; the edge lands on
+                                // the transfer's *entry* node so a staged
+                                // first leg still routes back to compute.
+                                if first_shard {
+                                    if let (Some(n), Some(c)) =
+                                        (engine.last_crit_entry_node(), compute)
+                                    {
+                                        cp.add_dep(n, c);
+                                    }
+                                }
+                                if let Some(n) = engine.last_crit_node() {
+                                    let slot = arrivals.entry(dest).or_insert(n);
+                                    if cp.node_end(n) >= cp.node_end(*slot) {
+                                        *slot = n;
+                                    }
+                                }
+                            }
+                            first_shard = false;
                         }
                         let e = proxy_ready.entry(dest).or_insert(t);
                         *e = (*e).max(t);
@@ -324,6 +376,10 @@ impl Deployment<'_> {
                     p.count(prof_region::TRAIN_COLLECTIVE, 1);
                     p.enter(prof_region::TRAIN_COLLECTIVE)
                 });
+                if crit.is_some() {
+                    let deps: Vec<NodeId> = arrivals.values().copied().collect();
+                    engine.stage_crit_deps(&deps);
+                }
                 let sync_end = if multi_node {
                     let ready: Vec<SimTime> = self
                         .node_mem_rings
@@ -357,6 +413,11 @@ impl Deployment<'_> {
                     .end
                 };
                 drop(coll_prof);
+                let coll_node = if crit.is_some() {
+                    engine.last_crit_node()
+                } else {
+                    None
+                };
                 // Pull: updated values flow back on the opposite direction.
                 let pull_prof = prof.as_ref().map(|p| p.enter(prof_region::TRAIN_PULL));
                 let mut pull_end = sync_end;
@@ -366,6 +427,7 @@ impl Deployment<'_> {
                         let table = &self.tables[w];
                         let src = table.route_for(size);
                         let mut t = sync_end;
+                        let mut first_shard = true;
                         for s in shard_sizes(size, table.shard_size) {
                             if let Some(p) = &prof {
                                 p.count(prof_region::TRAIN_PULL, 1);
@@ -375,11 +437,36 @@ impl Deployment<'_> {
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                                 .expect("proxy reaches its worker");
                             t = rec.end;
+                            // The first shard leaves when the collective
+                            // publishes the reduced bucket; the edge lands
+                            // on the transfer's *entry* node so a staged
+                            // first leg still routes back to the collective.
+                            if first_shard {
+                                if let (Some(cp), Some(n), Some(c)) =
+                                    (&crit, engine.last_crit_entry_node(), coll_node)
+                                {
+                                    cp.add_dep(n, c);
+                                }
+                            }
+                            first_shard = false;
                         }
                         pull_end = pull_end.max(t);
                         // The tensor must be back before the next forward
                         // pass reaches its layer.
                         next_start = next_start.max(t - self.needed[&ev.tensor]);
+                        if let Some(cp) = &crit {
+                            if let Some(n) = engine.last_crit_node() {
+                                // The instant this tensor stops gating the
+                                // next iteration's forward pass.
+                                let gate = cp.instant(
+                                    crit_class::SYNC,
+                                    format!("pull ready t{} w{w}", ev.tensor),
+                                    t - self.needed[&ev.tensor],
+                                    &[n],
+                                );
+                                sink_deps.push(gate);
+                            }
+                        }
                     }
                 }
                 drop(pull_prof);
@@ -462,6 +549,13 @@ impl Deployment<'_> {
                 }
                 p.enter(prof_region::TRAIN_GPU_SYNC)
             });
+            // The dual-sync collective starts when the backward pass ends.
+            let gpu_ring_runs = !gpu_bytes.is_zero() && (multi_node || self.gpu_ring.len() >= 2);
+            if gpu_ring_runs {
+                if let Some(c) = compute {
+                    engine.stage_crit_deps(&[c]);
+                }
+            }
             let gpu_sync_end = if gpu_bytes.is_zero() {
                 backward_end
             } else if multi_node {
@@ -492,6 +586,11 @@ impl Deployment<'_> {
                 backward_end
             };
             drop(gpu_prof);
+            if crit.is_some() && gpu_ring_runs {
+                if let Some(n) = engine.last_crit_node() {
+                    sink_deps.push(n);
+                }
+            }
             if tracing && gpu_sync_end > backward_end {
                 spans.push(PhaseSpan::new(
                     PhaseKind::GpuSync,
@@ -545,6 +644,16 @@ impl Deployment<'_> {
                 );
             }
 
+            if let Some(cp) = &crit {
+                let sink = cp.instant(
+                    crit_class::SYNC,
+                    format!("iteration {k} boundary"),
+                    next_start,
+                    &sink_deps,
+                );
+                cp.mark_iteration(k as u64, sink);
+                prev_sink = Some(sink);
+            }
             if k == 0 {
                 first_period_end = next_start;
             }
@@ -1597,6 +1706,7 @@ fn prepare_traced<'a>(
         metrics: None,
         oracles: None,
         profiler: None,
+        critpath: None,
         sabotage: Sabotage::None,
     };
 
@@ -1814,6 +1924,58 @@ pub fn record_coarse_profile(
     TrainResult::new(period, deployment.plan.compute_time(), global_batch)
 }
 
+/// Runs COARSE with a critical-path recorder attached to the final run: the
+/// transfer engine, collectives, and training phases all register dependency
+/// nodes (`compute` spans, fabric busy/queue nodes, ring-step and barrier
+/// nodes, pull-ready gates), each iteration boundary is marked as a sink,
+/// and the returned rows are the run's busiest directed links with their
+/// utilization over the simulated horizon. Pilot runs stay unrecorded, so
+/// the graph covers exactly one run; attaching the recorder never changes
+/// the simulated timings (the returned result equals [`simulate_coarse`]'s).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`].
+pub fn record_coarse_explain(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    critpath: CritPath,
+) -> (TrainResult, Vec<(String, f64)>) {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.critpath = Some(critpath);
+    let (period, engine) = deployment.run_collecting(best_m, iterations);
+    let horizon = SimTime::ZERO + period * u64::from(iterations);
+    let links = engine
+        .busiest_links(horizon, usize::MAX)
+        .into_iter()
+        .map(|(lid, util)| {
+            let topo = engine.topology();
+            let link = topo.link(lid);
+            (
+                format!(
+                    "{} -> {} ({:?})",
+                    topo.device(link.src()).name(),
+                    topo.device(link.dst()).name(),
+                    link.class()
+                ),
+                util,
+            )
+        })
+        .collect();
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    (
+        TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+        links,
+    )
+}
+
 /// Runs COARSE and reports the `top_n` busiest directed links — the
 /// congestion hotspots of one training run (diagnostic companion to
 /// [`simulate_coarse`]). Returns `(link description, utilization)` rows in
@@ -1884,6 +2046,30 @@ mod tests {
         assert_eq!(
             shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).len(),
             1
+        );
+    }
+
+    #[test]
+    fn explained_coarse_is_compute_dominated_and_unperturbed() {
+        let m = aws_v100();
+        let part = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let bare = simulate_coarse(&m, &part, &model, 2, 3);
+        let cp = CritPath::new();
+        let (wired, links) = record_coarse_explain(&m, &part, &model, 2, 3, cp.clone());
+        assert_eq!(bare, wired, "recording must not perturb the result");
+        assert!(!links.is_empty(), "utilization rows for every used link");
+        let ex = cp.analyze();
+        assert_eq!(ex.iterations.len(), 3);
+        let sum: f64 = crit_class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+        // COARSE overlaps communication with the backward pass, so compute
+        // carries the bulk of the critical path (Fig. 16's headline).
+        assert_eq!(
+            ex.dominant(),
+            Some(crit_class::COMPUTE),
+            "blame: {:?}",
+            ex.blame
         );
     }
 

@@ -18,6 +18,7 @@ use coarse_fabric::probe;
 use coarse_fabric::topology::{Link, LinkClass};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
+use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
 use coarse_simcore::faults::FaultPlan;
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::timeline::ResourceTimeline;
@@ -44,6 +45,45 @@ pub fn simulate_dense(
     model: &ModelProfile,
     batch_per_gpu: u32,
     iterations: u32,
+) -> TrainResult {
+    dense_inner(machine, partition, model, batch_per_gpu, iterations, None)
+}
+
+/// [`simulate_dense`] with a critical-path recorder attached: each iteration
+/// registers a `compute` node, every push/pull on the parameter device a
+/// `sync` node FIFO-ordered on the `dense ingress` / `dense egress`
+/// resources, and the iteration boundary is marked as a sink — so
+/// [`CritPath::analyze`] attributes DENSE's funnel serialization.
+/// Observation-only — the result is identical with or without the recorder.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_dense`].
+pub fn simulate_dense_explained(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    critpath: &CritPath,
+) -> TrainResult {
+    dense_inner(
+        machine,
+        partition,
+        model,
+        batch_per_gpu,
+        iterations,
+        Some(critpath),
+    )
+}
+
+fn dense_inner(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    critpath: Option<&CritPath>,
 ) -> TrainResult {
     assert!(
         iterations >= 2,
@@ -84,23 +124,74 @@ pub fn simulate_dense(
 
     let mut start = SimTime::ZERO;
     let mut first_period_end = SimTime::ZERO;
+    let mut prev_sink: Option<NodeId> = None;
     for k in 0..iterations {
         let forward_end = start + plan.forward_time();
         let mut iter_end = start + plan.compute_time();
+        // The iteration's forward+backward pass; gradients are emitted
+        // part-way through, so pushes depend on it.
+        let compute = critpath.map(|cp| {
+            let deps: Vec<NodeId> = prev_sink.into_iter().collect();
+            cp.span(
+                crit_class::COMPUTE,
+                format!("fwd+bwd iter {k}"),
+                start,
+                start + plan.compute_time(),
+                &deps,
+            )
+        });
+        let mut last_egress: Option<NodeId> = None;
         for ev in plan.gradients() {
             let tensor = &model.tensors()[ev.tensor];
             // Each worker pushes this tensor when its backward pass emits it.
             let emitted = forward_end + ev.ready;
             let mut all_pushed = emitted;
+            let mut last_ingress: Option<NodeId> = None;
             for w in 0..workers {
                 let grant = ingress.reserve(emitted, access_time(tensor.byte_size(), w));
                 all_pushed = all_pushed.max(grant.end);
+                if let Some(cp) = critpath {
+                    let deps: Vec<NodeId> = compute.into_iter().collect();
+                    last_ingress = Some(cp.span_on(
+                        crit_class::SYNC,
+                        format!("push t{} w{w}", ev.tensor),
+                        "dense ingress",
+                        grant.start,
+                        grant.end,
+                        &deps,
+                    ));
+                }
             }
             // Publication, then every worker pulls the averaged value.
             for w in 0..workers {
                 let grant = egress.reserve(all_pushed, access_time(tensor.byte_size(), w));
                 iter_end = iter_end.max(grant.end);
+                if let Some(cp) = critpath {
+                    // The pull waits for every worker's push (the ingress
+                    // timeline is FIFO, so the tensor's last push carries
+                    // the publication time).
+                    let deps: Vec<NodeId> = last_ingress.into_iter().collect();
+                    last_egress = Some(cp.span_on(
+                        crit_class::SYNC,
+                        format!("pull t{} w{w}", ev.tensor),
+                        "dense egress",
+                        grant.start,
+                        grant.end,
+                        &deps,
+                    ));
+                }
             }
+        }
+        if let Some(cp) = critpath {
+            let deps: Vec<NodeId> = compute.into_iter().chain(last_egress).collect();
+            let sink = cp.instant(
+                crit_class::SYNC,
+                format!("iteration {k} boundary"),
+                iter_end,
+                &deps,
+            );
+            cp.mark_iteration(k as u64, sink);
+            prev_sink = Some(sink);
         }
         if k == 0 {
             first_period_end = iter_end;
@@ -322,6 +413,28 @@ mod tests {
         let b = simulate_dense_faulty(&m, &p, &model, 64, 3, &drop, &ResiliencePolicy::default());
         assert_eq!(a, b, "faulty runs must be deterministic");
         assert!(a.iteration_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn explained_dense_is_sync_dominated_and_unperturbed() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let bare = simulate_dense(&m, &p, &model, 2, 3);
+        let cp = CritPath::new();
+        let wired = simulate_dense_explained(&m, &p, &model, 2, 3, &cp);
+        assert_eq!(bare, wired, "recording must not perturb the result");
+        let ex = cp.analyze();
+        assert_eq!(ex.iterations.len(), 3);
+        assert_eq!(
+            ex.dominant(),
+            Some(crit_class::SYNC),
+            "DENSE funnels all parameter traffic through one device: {:?}",
+            ex.blame
+        );
+        let sum: f64 = crit_class::ALL.iter().map(|c| ex.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+        assert!(ex.fraction(crit_class::COMPUTE) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Critical-path explanation harness: "where does the simulated time go?"
+//!
+//! [`explain_scenario`] runs one scenario twice under a [`CritPath`]
+//! recorder — once through the COARSE deployment, once through the DENSE
+//! baseline — and extracts each run's per-iteration critical path, blame
+//! split across the closed resource-class taxonomy
+//! ([`coarse_simcore::critpath::class`]), per-resource busy-idle loads, and
+//! per-link utilization. The result renders as a single
+//! `coarse.explain-report/v1` document plus a Chrome-trace overlay marking
+//! the critical-path slices; both are byte-deterministic because the
+//! recorded runs are.
+//!
+//! The headline the report reproduces is Fig. 16's: DENSE is
+//! **sync-dominated** (every gradient serializes through the parameter
+//! device inside the iteration), while COARSE is **compute-dominated**
+//! (push/collective/pull overlap the backward pass, so the GPU is the
+//! gating resource).
+
+use coarse_simcore::critpath::{class, CritPath, Explanation};
+use coarse_simcore::json::JsonValue;
+use coarse_simcore::time::SimTime;
+
+use crate::coarse::record_coarse_explain;
+use crate::config::{TrainError, TrainResult};
+use crate::dense::simulate_dense_explained;
+use crate::scenario::Scenario;
+
+/// Schema identifier of the explain-report document.
+pub const EXPLAIN_REPORT_SCHEMA: &str = coarse_simcore::critpath::EXPLAIN_SCHEMA;
+
+/// Bins in each resource's busy-idle timeline.
+const LOAD_BINS: usize = 16;
+/// Critical-path slices kept per iteration row in the report.
+const MAX_SEGMENTS: usize = 48;
+
+/// One scheme's explained run: timing result, extracted critical path, and
+/// the recorder the path came from (kept for resource timelines and the
+/// trace overlay).
+#[derive(Debug, Clone)]
+pub struct ExplainedScheme {
+    /// Timing result — identical to the uninstrumented run.
+    pub result: TrainResult,
+    /// Extracted critical path and blame.
+    pub explanation: Explanation,
+    /// The recorder, for [`CritPath::resource_loads`] and overlays.
+    pub critpath: CritPath,
+}
+
+impl ExplainedScheme {
+    /// End of the last explained iteration (the resource-load horizon).
+    fn horizon(&self) -> SimTime {
+        self.explanation
+            .iterations
+            .last()
+            .map(|it| it.end)
+            .unwrap_or(SimTime::ZERO)
+            .max(SimTime::from_nanos(1))
+    }
+
+    fn json(&self, links: Option<&[(String, f64)]>) -> JsonValue {
+        let ex = &self.explanation;
+        let horizon = self.horizon();
+        let horizon_ns = (horizon - SimTime::ZERO).as_nanos();
+        let mut resources = JsonValue::object();
+        for (name, load) in self.critpath.resource_loads(LOAD_BINS, horizon) {
+            let busy_ns = load.busy.as_nanos();
+            resources = resources.with(
+                &name,
+                JsonValue::object()
+                    .with("busy_ns", JsonValue::int(busy_ns))
+                    .with("spans", JsonValue::int(load.spans))
+                    .with(
+                        "utilization",
+                        JsonValue::num(busy_ns as f64 / horizon_ns as f64),
+                    )
+                    .with(
+                        "busy_bins_ns",
+                        JsonValue::Array(load.bins.iter().map(|&b| JsonValue::int(b)).collect()),
+                    ),
+            );
+        }
+        let mut speedups = JsonValue::object();
+        for c in class::ALL {
+            speedups = speedups.with(c, JsonValue::num(ex.speedup_bound(c)));
+        }
+        let mut out = JsonValue::object()
+            .with(
+                "iteration_time_ns",
+                JsonValue::int(self.result.iteration_time.as_nanos()),
+            )
+            .with(
+                "compute_time_ns",
+                JsonValue::int(self.result.compute_time.as_nanos()),
+            )
+            .with(
+                "blocked_comm_ns",
+                JsonValue::int(self.result.blocked_comm.as_nanos()),
+            )
+            .with("critical_path_ns", JsonValue::int(ex.total.as_nanos()))
+            .with("dominant", JsonValue::str(ex.dominant().unwrap_or("none")))
+            .with("blame", ex.blame_json())
+            .with("speedup_bounds", speedups)
+            .with("iterations", ex.iterations_json(MAX_SEGMENTS))
+            .with("resources", resources);
+        if let Some(links) = links {
+            let rows: Vec<JsonValue> = links
+                .iter()
+                .map(|(name, util)| {
+                    JsonValue::object()
+                        .with("link", JsonValue::str(name.as_str()))
+                        .with("utilization", JsonValue::num(*util))
+                })
+                .collect();
+            out = out.with("links", JsonValue::Array(rows));
+        }
+        out
+    }
+}
+
+/// A completed explanation of one scenario: COARSE and DENSE runs of the
+/// same machine/model/batch, each with its critical path extracted.
+#[derive(Debug, Clone)]
+pub struct ExplainRun {
+    /// Scenario label the explanation was captured under.
+    pub scenario: String,
+    /// Simulated iterations per scheme.
+    pub iterations: u32,
+    /// The COARSE deployment's explained run.
+    pub coarse: ExplainedScheme,
+    /// The DENSE baseline's explained run.
+    pub dense: ExplainedScheme,
+    /// Post-run fabric-link utilization rows from the COARSE run
+    /// (`"src -> dst (class)"` → busy fraction), busiest first.
+    pub coarse_links: Vec<(String, f64)>,
+}
+
+impl ExplainRun {
+    /// The full `coarse.explain-report/v1` document.
+    pub fn report_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("schema", JsonValue::str(EXPLAIN_REPORT_SCHEMA))
+            .with("scenario", JsonValue::str(self.scenario.as_str()))
+            .with("iterations", JsonValue::int(u64::from(self.iterations)))
+            .with(
+                "schemes",
+                JsonValue::object()
+                    .with("coarse", self.coarse.json(Some(&self.coarse_links)))
+                    .with("dense", self.dense.json(None)),
+            )
+    }
+
+    /// Chrome-trace overlay of the COARSE run's critical-path slices (one
+    /// thread per blame class). Load alongside the full run trace to see
+    /// which occupancy gated each iteration.
+    pub fn overlay_trace_json(&self) -> JsonValue {
+        self.coarse.explanation.overlay_trace_json()
+    }
+}
+
+/// Explains the named scenario preset (see [`Scenario::presets`]).
+///
+/// # Errors
+///
+/// Returns [`TrainError::UnknownPreset`] for an unknown name, or any
+/// validation error [`explain_scenario`] reports.
+pub fn explain_preset(name: &str) -> Result<ExplainRun, TrainError> {
+    explain_scenario(&Scenario::try_preset(name)?)
+}
+
+/// Runs the explanation harness for `scenario`: a COARSE run and a DENSE
+/// run of the same machine/model/batch, each recording into a fresh
+/// [`CritPath`], with critical paths extracted from both.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] if the scenario fails validation, the batch
+/// does not fit the COARSE residency, or the partition has no proxy tier
+/// (the harness always explains the COARSE path, whatever the scenario's
+/// configured scheme).
+pub fn explain_scenario(scenario: &Scenario) -> Result<ExplainRun, TrainError> {
+    scenario.validate()?;
+    scenario.check_memory()?;
+    let machine = scenario.machine_ref();
+    let part = machine.partition(scenario.partition_scheme());
+    if part.mem_devices.len() < 2 {
+        return Err(TrainError::NoProxyTier {
+            mem_devices: part.mem_devices.len(),
+        });
+    }
+
+    let coarse_cp = CritPath::new();
+    let (coarse_result, coarse_links) = record_coarse_explain(
+        machine,
+        &part,
+        scenario.model_ref(),
+        scenario.batch(),
+        scenario.iters(),
+        coarse_cp.clone(),
+    );
+    let coarse = ExplainedScheme {
+        result: coarse_result,
+        explanation: coarse_cp.analyze(),
+        critpath: coarse_cp,
+    };
+
+    let dense_cp = CritPath::new();
+    let dense_result = simulate_dense_explained(
+        machine,
+        &part,
+        scenario.model_ref(),
+        scenario.batch(),
+        scenario.iters(),
+        &dense_cp,
+    );
+    let dense = ExplainedScheme {
+        result: dense_result,
+        explanation: dense_cp.analyze(),
+        critpath: dense_cp,
+    };
+
+    Ok(ExplainRun {
+        scenario: scenario.name().to_string(),
+        iterations: scenario.iters(),
+        coarse,
+        dense,
+        coarse_links,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn fig16_blame_matches_the_paper() {
+        // Fig. 16's headline on the fig16d panel: the DENSE baseline
+        // serializes every gradient through the parameter device inside the
+        // iteration (sync-dominated), while COARSE overlaps push/collective/
+        // pull with the backward pass (compute-dominated).
+        let run = explain_preset("fig16d").expect("fig16d explains");
+        assert_eq!(run.dense.explanation.dominant(), Some(class::SYNC));
+        assert_eq!(run.coarse.explanation.dominant(), Some(class::COMPUTE));
+        assert!(
+            run.coarse.explanation.fraction(class::COMPUTE) > 0.5,
+            "COARSE compute fraction: {}",
+            run.coarse.explanation.fraction(class::COMPUTE)
+        );
+        assert!(
+            run.dense.explanation.fraction(class::SYNC) > 0.5,
+            "DENSE sync fraction: {}",
+            run.dense.explanation.fraction(class::SYNC)
+        );
+        for ex in [&run.coarse.explanation, &run.dense.explanation] {
+            let sum: f64 = class::ALL.iter().map(|c| ex.fraction(c)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn staged_fabric_still_routes_blame_to_compute() {
+        // Fig. 16a (8×T4, ResNet-50): the run is compute-bound, but with
+        // p2p disabled every push/pull stages through the host CPU as two
+        // legs. The walk must escape the staging legs' per-link FIFO chains
+        // through the transfers' entry nodes and land on compute — if cause
+        // edges only reach the delivery leg, the whole backward pass gets
+        // misblamed on the fabric.
+        let run = explain_preset("fig16a").expect("fig16a explains");
+        assert_eq!(run.coarse.explanation.dominant(), Some(class::COMPUTE));
+        let compute_share = run.coarse.result.compute_time.as_nanos() as f64
+            / run.coarse.result.iteration_time.as_nanos() as f64;
+        assert!(
+            run.coarse.explanation.fraction(class::COMPUTE) > compute_share - 0.05,
+            "COARSE compute blame {} must track the compute share {compute_share} of the result",
+            run.coarse.explanation.fraction(class::COMPUTE)
+        );
+        assert_eq!(run.dense.explanation.dominant(), Some(class::SYNC));
+    }
+
+    #[test]
+    fn report_is_byte_deterministic() {
+        let a = explain_preset("fig16d").expect("fig16d explains");
+        let b = explain_preset("fig16d").expect("fig16d explains");
+        assert_eq!(a.report_json().render(), b.report_json().render());
+        assert_eq!(
+            a.overlay_trace_json().render(),
+            b.overlay_trace_json().render()
+        );
+    }
+
+    #[test]
+    fn report_carries_schema_links_and_resources() {
+        let run = explain_preset("fig16b").expect("fig16b explains");
+        let doc = run.report_json();
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(EXPLAIN_REPORT_SCHEMA)
+        );
+        let coarse = doc
+            .get("schemes")
+            .and_then(|s| s.get("coarse"))
+            .expect("coarse section");
+        assert!(!run.coarse_links.is_empty(), "no link utilization rows");
+        assert!(coarse.get("links").and_then(|l| l.as_array()).is_some());
+        let rendered = doc.render();
+        assert!(rendered.contains("\"compute\""));
+        assert!(rendered.contains("\"resources\""));
+        let trace = run.overlay_trace_json().render();
+        assert!(trace.contains("critical path: compute"));
+    }
+
+    #[test]
+    fn explaining_does_not_perturb_either_scheme() {
+        let scenario = Scenario::preset("fig16d");
+        let bare_coarse = scenario.run().expect("fig16d fits");
+        let bare_dense = scenario
+            .clone()
+            .scheme(Scheme::Dense)
+            .run()
+            .expect("dense runs");
+        let run = explain_scenario(&scenario).expect("fig16d explains");
+        assert_eq!(bare_coarse, run.coarse.result, "COARSE run perturbed");
+        assert_eq!(bare_dense, run.dense.result, "DENSE run perturbed");
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        assert!(matches!(
+            explain_preset("fig99"),
+            Err(TrainError::UnknownPreset { .. })
+        ));
+    }
+}

@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod coarse;
 pub mod config;
 pub mod dense;
+pub mod explain;
 pub mod profile;
 pub mod report;
 pub mod scaling;
@@ -34,7 +35,8 @@ pub use coarse::{
 #[allow(deprecated)]
 pub use config::TrainConfig;
 pub use config::{Scheme, TrainError, TrainResult};
-pub use dense::{simulate_dense, simulate_dense_faulty};
+pub use dense::{simulate_dense, simulate_dense_explained, simulate_dense_faulty};
+pub use explain::{explain_preset, explain_scenario, ExplainRun, ExplainedScheme};
 pub use profile::{profile_preset, profile_scenario, ProfileRun};
 pub use report::{FaultRunSummary, RunReport, SchemeOutcome, SchemeRun};
 pub use scaling::{node_scaling, ScalingPoint};
