@@ -9,7 +9,7 @@ use coarse_collectives::functional;
 use coarse_collectives::timed::ring_allreduce;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, PartitionScheme};
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_simcore::prelude::*;
 
 fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
@@ -18,9 +18,7 @@ fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
-fn cci_only(l: &Link) -> bool {
-    l.class() == LinkClass::Cci
-}
+const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
 
 fn bench_sync_core_ring() {
     let b = Bench::group("sync_core_ring");
@@ -54,7 +52,7 @@ fn bench_timed_ring() {
                     ByteSize::mib(mib),
                     &ready,
                     RingDirection::Forward,
-                    cci_only,
+                    CCI_ONLY,
                 )
                 .unwrap(),
             )

@@ -10,17 +10,13 @@ use coarse_core::deadlock::{figure10_scenario, ScheduleOutcome, SchedulingPolicy
 use coarse_core::dualsync::{self, DualSyncInputs, DualSyncPlan};
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{self, PartitionScheme};
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::units::{Bandwidth, ByteSize};
 
-fn pcie_only(l: &Link) -> bool {
-    l.class() == LinkClass::Pcie
-}
+const PCIE_ONLY: LinkMask = LinkMask::only(LinkClass::Pcie);
 
-fn cci_only(l: &Link) -> bool {
-    l.class() == LinkClass::Cci
-}
+const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
 
 /// Fig. 9: FIFO vs partitioned-pipelined tensor synchronization between one
 /// client and its proxy, two unequal tensors.
@@ -50,16 +46,16 @@ pub fn fig9() -> Fig9 {
     let fifo = {
         let mut e = TransferEngine::new(topo.clone());
         let push0 = e
-            .transfer_filtered(client, proxy, t0, SimTime::ZERO, pcie_only)
+            .transfer_masked(client, proxy, t0, SimTime::ZERO, PCIE_ONLY)
             .expect("route");
         let push1 = e
-            .transfer_filtered(client, proxy, t1, push0.end, pcie_only)
+            .transfer_masked(client, proxy, t1, push0.end, PCIE_ONLY)
             .expect("route");
         let pull0 = e
-            .transfer_filtered(proxy, client, t0, push0.end, pcie_only)
+            .transfer_masked(proxy, client, t0, push0.end, PCIE_ONLY)
             .expect("route");
         let pull1 = e
-            .transfer_filtered(proxy, client, t1, push1.end.max(pull0.end), pcie_only)
+            .transfer_masked(proxy, client, t1, push1.end.max(pull0.end), PCIE_ONLY)
             .expect("route");
         pull1.end - SimTime::ZERO
     };
@@ -77,11 +73,11 @@ pub fn fig9() -> Fig9 {
                 let s = left.min(shard);
                 left = left - s;
                 let push = e
-                    .transfer_filtered(client, proxy, s, push_t, pcie_only)
+                    .transfer_masked(client, proxy, s, push_t, PCIE_ONLY)
                     .expect("route");
                 push_t = push.end;
                 let pull = e
-                    .transfer_filtered(proxy, client, s, push.end.max(pull_t), pcie_only)
+                    .transfer_masked(proxy, client, s, push.end.max(pull_t), PCIE_ONLY)
                     .expect("route");
                 pull_t = pull.end;
             }
@@ -130,7 +126,7 @@ pub fn ablation_ring_bandwidth_utilization() -> f64 {
         ByteSize::mib(256),
         &ready,
         RingDirection::Forward,
-        pcie_only,
+        PCIE_ONLY,
     )
     .expect("workers connected");
     // Full-duplex capacity of the GPU's own PCIe link (2 × 13 GiB/s).
@@ -162,14 +158,14 @@ pub fn ablation_routing() -> (f64, f64) {
         client,
         table.route_for(payload),
         payload,
-        pcie_only,
+        PCIE_ONLY,
     );
     let forced = coarse_fabric::probe::measure_unidirectional(
         machine.topology(),
         client,
         local,
         payload,
-        pcie_only,
+        PCIE_ONLY,
     );
     (gib(routed), gib(forced))
 }
@@ -206,11 +202,11 @@ pub fn ablation_bidirectional_groups() -> (SimDuration, SimDuration) {
             payload,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .expect("connected");
         let b =
-            ring_allreduce(&mut e, &devs, payload, &ready, second, cci_only).expect("connected");
+            ring_allreduce(&mut e, &devs, payload, &ready, second, CCI_ONLY).expect("connected");
         a.end.max(b.end) - SimTime::ZERO
     };
     (run(RingDirection::Forward), run(RingDirection::Reverse))
@@ -253,7 +249,7 @@ pub fn ablation_ring_tree_crossover() -> Option<ByteSize> {
         || TransferEngine::new(topo.clone()),
         &part.mem_devices,
         &candidates,
-        cci_only,
+        CCI_ONLY,
     )
 }
 

@@ -5,12 +5,10 @@ use coarse_cci::device::{AccessDir, AccessMode, PrototypeModel};
 use coarse_core::profiler::{profile_proxies, ProxyProfile};
 use coarse_fabric::machines::{self, Machine, PartitionScheme};
 use coarse_fabric::probe;
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_simcore::units::ByteSize;
 
-fn no_nvlink(l: &Link) -> bool {
-    l.class() == LinkClass::Pcie
-}
+const NO_NVLINK: LinkMask = LinkMask::only(LinkClass::Pcie);
 
 /// Fig. 3: prototype peer-to-peer bandwidth of the three access modes at a
 /// large transfer, plus GPU-Direct speedups over load/store.
@@ -130,13 +128,13 @@ pub struct Fig8 {
 pub fn fig8(machine: &Machine) -> Fig8 {
     let gpus = machine.gpus().to_vec();
     let matrix =
-        probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), no_nvlink);
+        probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), NO_NVLINK);
     let pair = probe::probe_pair(
         machine.topology(),
         gpus[0],
         gpus[1],
         ByteSize::mib(64),
-        no_nvlink,
+        NO_NVLINK,
     );
     Fig8 {
         machine: machine.name().to_string(),
@@ -197,14 +195,14 @@ pub fn fig15(machine: &Machine) -> Fig15 {
             client,
             local_proxy,
             &sizes,
-            no_nvlink,
+            NO_NVLINK,
         )),
         remote_sweep: to_gib(probe::bandwidth_sweep(
             machine.topology(),
             client,
             best_remote.proxy,
             &sizes,
-            no_nvlink,
+            NO_NVLINK,
         )),
     }
 }

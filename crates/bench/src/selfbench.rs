@@ -22,7 +22,7 @@ use coarse_cci::synccore::RingDirection;
 use coarse_collectives::timed::ring_allreduce;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, PartitionScheme};
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_models::zoo::bert_large;
 use coarse_simcore::json::JsonValue;
 use coarse_simcore::prof::region;
@@ -58,9 +58,7 @@ pub struct BenchEntry {
     pub unit: &'static str,
 }
 
-fn pcie_only(l: &Link) -> bool {
-    l.class() == LinkClass::Pcie
-}
+const PCIE_ONLY: LinkMask = LinkMask::only(LinkClass::Pcie);
 
 /// Runs every self-benchmark and returns the timed entries (also printed
 /// through the harness as they run).
@@ -124,7 +122,7 @@ pub fn run_selfbench() -> Vec<BenchEntry> {
                         payload,
                         &ready,
                         RingDirection::Forward,
-                        pcie_only,
+                        PCIE_ONLY,
                     )
                     .expect("ring completes"),
                 )

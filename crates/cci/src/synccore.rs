@@ -134,6 +134,10 @@ pub struct SyncGroup {
     chunk_elems: usize,
     direction: RingDirection,
     cores: Vec<SyncCore>,
+    /// Physical core index per logical ring position: a reverse ring is a
+    /// forward ring over reversed core order. Precomputed once so the step
+    /// loop allocates nothing.
+    order: Vec<usize>,
     /// Trace sink plus this group's interned track, when tracing is on.
     trace: Option<(SharedTracer, TrackId)>,
     /// Metric sink, when metering is on.
@@ -163,11 +167,16 @@ impl SyncGroup {
     pub fn new(n: usize, chunk_elems: usize, direction: RingDirection) -> Self {
         assert!(n >= 2, "a ring needs at least two cores");
         assert!(chunk_elems > 0, "chunk size must be positive");
+        let order: Vec<usize> = match direction {
+            RingDirection::Forward => (0..n).collect(),
+            RingDirection::Reverse => (0..n).rev().collect(),
+        };
         SyncGroup {
             n,
             chunk_elems,
             direction,
             cores: vec![SyncCore::default(); n],
+            order,
             trace: None,
             metrics: None,
             oracles: None,
@@ -387,37 +396,49 @@ impl SyncGroup {
         self.clock = end;
     }
 
+    /// Splits the core arena into the receiving core (mutable) and the
+    /// sending core (shared). `dst != src` always holds on a ring of ≥ 2.
+    fn recv_send_pair(&mut self, dst: usize, src: usize) -> (&mut SyncCore, &SyncCore) {
+        debug_assert_ne!(dst, src, "a core never sends to itself");
+        if dst < src {
+            let (lo, hi) = self.cores.split_at_mut(src);
+            (&mut lo[dst], &hi[0])
+        } else {
+            let (lo, hi) = self.cores.split_at_mut(dst);
+            (&mut hi[0], &lo[src])
+        }
+    }
+
     /// Ring allreduce over the cores' `LocalBuf`s (one chunk).
+    ///
+    /// Zero-alloc steady state: every step stages segments in the cores'
+    /// reusable `SendBuf`s (phase one writes them all, phase two only reads
+    /// them), so no step-local buffers are materialized. Buffer capacities
+    /// grow to the largest segment on the first chunk and are reused
+    /// thereafter.
     fn ring_chunk(&mut self, stats: &mut SyncStats) {
         let n = self.n;
         let len = self.cores[0].local_buf.len();
-        // Direction is handled by relabeling: a reverse ring is a forward
-        // ring over reversed core order.
-        let order: Vec<usize> = match self.direction {
-            RingDirection::Forward => (0..n).collect(),
-            RingDirection::Reverse => (0..n).rev().collect(),
-        };
         // Reduce-scatter: after n-1 steps, logical core i holds the full sum
         // of segment (i+1) mod n.
         for step in 0..n - 1 {
             let before = stats.total_bytes_sent;
-            let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
-            for (li, &pi) in order.iter().enumerate() {
+            for li in 0..n {
                 let k = (li + n - step) % n;
                 let range = self.segment(len, k);
-                let dst = order[(li + 1) % n];
-                let core = &mut self.cores[pi];
+                let core = &mut self.cores[self.order[li]];
                 core.send_buf.clear();
                 core.send_buf.extend_from_slice(&core.local_buf[range]);
                 stats.total_bytes_sent += ByteSize::bytes(core.send_buf.len() as u64 * 4);
-                sends.push((dst, k, core.send_buf.clone()));
             }
-            for (dst, k, data) in sends {
+            for li in 0..n {
+                let k = (li + n - step) % n;
                 let range = self.segment(len, k);
-                let core = &mut self.cores[dst];
-                core.recv_buf.clear();
-                core.recv_buf.extend_from_slice(&data);
-                for (a, b) in core.local_buf[range].iter_mut().zip(&data) {
+                let (src, dst) = (self.order[li], self.order[(li + 1) % n]);
+                let (dst_core, src_core) = self.recv_send_pair(dst, src);
+                dst_core.recv_buf.clear();
+                dst_core.recv_buf.extend_from_slice(&src_core.send_buf);
+                for (a, b) in dst_core.local_buf[range].iter_mut().zip(&src_core.send_buf) {
                     *a += *b;
                 }
             }
@@ -428,23 +449,22 @@ impl SyncGroup {
         // All-gather: circulate the finished segments.
         for step in 0..n - 1 {
             let before = stats.total_bytes_sent;
-            let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(n);
-            for (li, &pi) in order.iter().enumerate() {
+            for li in 0..n {
                 let k = (li + 1 + n - step) % n;
                 let range = self.segment(len, k);
-                let dst = order[(li + 1) % n];
-                let core = &mut self.cores[pi];
+                let core = &mut self.cores[self.order[li]];
                 core.send_buf.clear();
                 core.send_buf.extend_from_slice(&core.local_buf[range]);
                 stats.total_bytes_sent += ByteSize::bytes(core.send_buf.len() as u64 * 4);
-                sends.push((dst, k, core.send_buf.clone()));
             }
-            for (dst, k, data) in sends {
+            for li in 0..n {
+                let k = (li + 1 + n - step) % n;
                 let range = self.segment(len, k);
-                let core = &mut self.cores[dst];
-                core.recv_buf.clear();
-                core.recv_buf.extend_from_slice(&data);
-                core.local_buf[range].copy_from_slice(&data);
+                let (src, dst) = (self.order[li], self.order[(li + 1) % n]);
+                let (dst_core, src_core) = self.recv_send_pair(dst, src);
+                dst_core.recv_buf.clear();
+                dst_core.recv_buf.extend_from_slice(&src_core.send_buf);
+                dst_core.local_buf[range].copy_from_slice(&src_core.send_buf);
             }
             stats.steps += 1;
             self.meter_step(stats.total_bytes_sent - before);

@@ -9,7 +9,7 @@
 
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
-use coarse_fabric::topology::Link;
+use coarse_fabric::topology::LinkMask;
 use coarse_simcore::critpath::{class as crit_class, NodeId};
 use coarse_simcore::metrics::name as metric;
 use coarse_simcore::prof::region as prof_region;
@@ -145,7 +145,7 @@ pub fn sync_waits(ready: &[SimTime]) -> Vec<SimDuration> {
 /// # Errors
 ///
 /// Returns [`CollectiveError::Transfer`] if neighbors are not connected
-/// through allowed links, and a shape error if `ring` has fewer than two
+/// through link classes in `mask`, and a shape error if `ring` has fewer than two
 /// members or `ready` has the wrong length.
 pub fn ring_allreduce(
     engine: &mut TransferEngine,
@@ -153,7 +153,7 @@ pub fn ring_allreduce(
     payload: ByteSize,
     ready: &[SimTime],
     direction: RingDirection,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Result<CollectiveResult, CollectiveError> {
     let p = ring.len();
     if p < 2 {
@@ -218,7 +218,7 @@ pub fn ring_allreduce(
         let mut step_deps: Vec<NodeId> = waits.clone();
         for i in 0..p {
             let rec =
-                engine.transfer_filtered(ring[i], ring[neighbor(i)], segment, step_start, allow)?;
+                engine.transfer_masked(ring[i], ring[neighbor(i)], segment, step_start, mask)?;
             step_end = step_end.max(rec.end);
             if let Some(cp) = &critpath {
                 // Wait edges land on the transfer's *entry* node (the first
@@ -297,7 +297,7 @@ pub fn sync_core_allreduce(
     groups: usize,
     ready: SimTime,
     wire_factor: f64,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Result<CollectiveResult, CollectiveError> {
     if devices.len() < 2 {
         return Err(CollectiveError::TooFewMembers {
@@ -326,7 +326,7 @@ pub fn sync_core_allreduce(
             per_group,
             &ready_vec,
             RingDirection::for_group(g),
-            allow,
+            mask,
         )?;
         end = end.max(result.end);
         if record {
@@ -363,7 +363,7 @@ fn ring_phase(
     segment: ByteSize,
     steps: usize,
     mut step_start: SimTime,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Result<SimTime, TransferError> {
     let p = ring.len();
     let ring_track = engine.tracer().cloned().map(|t| {
@@ -388,7 +388,7 @@ fn ring_phase(
         let mut step_deps: Vec<NodeId> = waits.clone();
         for i in 0..p {
             let rec =
-                engine.transfer_filtered(ring[i], ring[(i + 1) % p], segment, step_start, allow)?;
+                engine.transfer_masked(ring[i], ring[(i + 1) % p], segment, step_start, mask)?;
             step_end = step_end.max(rec.end);
             if let Some(cp) = &critpath {
                 // Wait edges land on the transfer's *entry* node (the first
@@ -453,7 +453,7 @@ pub fn hierarchical_allreduce(
     node_rings: &[Vec<DeviceId>],
     payload: ByteSize,
     ready: &[SimTime],
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Result<CollectiveResult, CollectiveError> {
     if node_rings.is_empty() {
         return Err(CollectiveError::NoNodes);
@@ -484,7 +484,7 @@ pub fn hierarchical_allreduce(
             // Every node's first intra-node step adopts the caller-staged
             // arrival dependencies.
             engine.stage_crit_deps(&staged);
-            let end = ring_phase(engine, ring, segment, local - 1, start, allow)?;
+            let end = ring_phase(engine, ring, segment, local - 1, start, mask)?;
             phase1_end = phase1_end.max(end);
             p1_nodes.extend(engine.last_crit_node());
         }
@@ -507,7 +507,7 @@ pub fn hierarchical_allreduce(
                 engine.stage_crit_deps(&p1_nodes);
             }
             let cross: Vec<DeviceId> = node_rings.iter().map(|r| r[j]).collect();
-            let end = ring_phase(engine, &cross, sub, 2 * (nodes - 1), phase1_end, allow)?;
+            let end = ring_phase(engine, &cross, sub, 2 * (nodes - 1), phase1_end, mask)?;
             phase2_end = phase2_end.max(end);
             p2_nodes.extend(engine.last_crit_node());
         }
@@ -525,7 +525,7 @@ pub fn hierarchical_allreduce(
     if local >= 2 {
         for ring in node_rings {
             engine.stage_crit_deps(prev_phase);
-            let e = ring_phase(engine, ring, segment, local - 1, phase2_end, allow)?;
+            let e = ring_phase(engine, ring, segment, local - 1, phase2_end, mask)?;
             end = end.max(e);
             phase_nodes.extend(engine.last_crit_node());
         }
@@ -568,13 +568,8 @@ mod tests {
     use coarse_fabric::machines::{aws_v100, sdsc_p100, PartitionScheme};
     use coarse_fabric::topology::LinkClass;
 
-    fn pcie_only(l: &Link) -> bool {
-        l.class() != LinkClass::NvLink
-    }
-
-    fn all_links(_: &Link) -> bool {
-        true
-    }
+    const PCIE_ONLY: LinkMask = LinkMask::ALL.without(LinkClass::NvLink);
+    const ALL_LINKS: LinkMask = LinkMask::ALL;
 
     #[test]
     fn critpath_records_barrier_and_ring_steps() {
@@ -593,7 +588,7 @@ mod tests {
             ByteSize::mib(4),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         let sink = e.last_crit_node().expect("final ring step node");
@@ -625,7 +620,7 @@ mod tests {
                 ByteSize::mib(16),
                 &vec![SimTime::ZERO; gpus.len()],
                 RingDirection::Forward,
-                all_links,
+                ALL_LINKS,
             )
             .unwrap()
         };
@@ -644,7 +639,7 @@ mod tests {
             ByteSize::mib(1),
             &[SimTime::ZERO],
             RingDirection::Forward,
-            all_links,
+            ALL_LINKS,
         );
         assert_eq!(
             r.unwrap_err(),
@@ -656,7 +651,7 @@ mod tests {
             ByteSize::mib(1),
             &[SimTime::ZERO],
             RingDirection::Forward,
-            all_links,
+            ALL_LINKS,
         );
         assert!(matches!(r, Err(CollectiveError::ReadyLenMismatch { .. })));
         let r = sync_core_allreduce(
@@ -666,7 +661,7 @@ mod tests {
             0,
             SimTime::ZERO,
             1.0,
-            all_links,
+            ALL_LINKS,
         );
         assert_eq!(r.unwrap_err(), CollectiveError::ZeroGroups);
         let r = sync_core_allreduce(
@@ -676,10 +671,10 @@ mod tests {
             2,
             SimTime::ZERO,
             0.5,
-            all_links,
+            ALL_LINKS,
         );
         assert!(matches!(r, Err(CollectiveError::WireFactorBelowOne { .. })));
-        let r = hierarchical_allreduce(&mut e, &[], ByteSize::mib(1), &[], all_links);
+        let r = hierarchical_allreduce(&mut e, &[], ByteSize::mib(1), &[], ALL_LINKS);
         assert_eq!(r.unwrap_err(), CollectiveError::NoNodes);
         let uneven = vec![gpus[..2].to_vec(), gpus[..1].to_vec()];
         let r = hierarchical_allreduce(
@@ -687,7 +682,7 @@ mod tests {
             &uneven,
             ByteSize::mib(1),
             &[SimTime::ZERO; 3],
-            all_links,
+            ALL_LINKS,
         );
         assert_eq!(r.unwrap_err(), CollectiveError::UnevenNodeRings);
     }
@@ -709,7 +704,7 @@ mod tests {
             ByteSize::mib(16),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         assert_eq!(r.start, SimTime::from_nanos(10_000));
@@ -730,7 +725,7 @@ mod tests {
             ByteSize::mib(4),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         e.reset();
@@ -740,7 +735,7 @@ mod tests {
             ByteSize::mib(64),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         let ratio = large.elapsed().as_secs_f64() / small.elapsed().as_secs_f64();
@@ -750,9 +745,7 @@ mod tests {
         );
     }
 
-    fn cci_only(l: &Link) -> bool {
-        l.class() == LinkClass::Cci
-    }
+    const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
 
     #[test]
     fn opposite_direction_rings_overlap() {
@@ -773,7 +766,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let b = ring_allreduce(
@@ -782,7 +775,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let same_dir_end = a.end.max(b.end);
@@ -794,7 +787,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let b2 = ring_allreduce(
@@ -803,7 +796,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Reverse,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let opp_dir_end = a2.end.max(b2.end);
@@ -829,7 +822,7 @@ mod tests {
             1,
             SimTime::ZERO,
             1.0,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
@@ -840,7 +833,7 @@ mod tests {
             2,
             SimTime::ZERO,
             1.0,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         assert!(
@@ -864,7 +857,7 @@ mod tests {
             2,
             SimTime::ZERO,
             1.0,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
@@ -875,7 +868,7 @@ mod tests {
             2,
             SimTime::ZERO,
             1.3,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         assert!(noisy.elapsed() > clean.elapsed());
@@ -895,7 +888,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Forward,
-            all_links,
+            ALL_LINKS,
         )
         .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
@@ -905,7 +898,7 @@ mod tests {
             payload,
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         assert!(nv.elapsed() < pcie.elapsed());
@@ -921,7 +914,7 @@ mod tests {
         let payload = ByteSize::mib(64);
         let mut e = TransferEngine::new(m.topology().clone());
         let hier =
-            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready, all_links).unwrap();
+            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready, ALL_LINKS).unwrap();
         // Single-node ring over n0 alone must be much faster than the
         // network-bound two-node collective.
         let mut e2 = TransferEngine::new(m.topology().clone());
@@ -931,7 +924,7 @@ mod tests {
             payload,
             &ready[..4],
             RingDirection::Forward,
-            all_links,
+            ALL_LINKS,
         )
         .unwrap();
         assert!(hier.elapsed() > single.elapsed() * 2);
@@ -953,7 +946,7 @@ mod tests {
             ByteSize::mib(16),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         let snap = reg.snapshot();
@@ -983,7 +976,7 @@ mod tests {
             ByteSize::mib(64),
             &ready,
             RingDirection::Forward,
-            pcie_only,
+            PCIE_ONLY,
         )
         .unwrap();
         let util = ring_bandwidth_utilization(&r, 4, 13.0 * (1u64 << 30) as f64);

@@ -9,7 +9,7 @@
 
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
-use coarse_fabric::topology::Link;
+use coarse_fabric::topology::LinkMask;
 use coarse_simcore::time::SimTime;
 use coarse_simcore::units::ByteSize;
 
@@ -21,7 +21,7 @@ use crate::timed::CollectiveResult;
 /// # Errors
 ///
 /// Returns [`TransferError::NoRoute`] if members are not connected through
-/// allowed links.
+/// link classes in `mask`.
 ///
 /// # Panics
 ///
@@ -32,7 +32,7 @@ pub fn tree_allreduce(
     members: &[DeviceId],
     payload: ByteSize,
     ready: &[SimTime],
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Result<CollectiveResult, TransferError> {
     let p = members.len();
     assert!(p >= 2, "a tree collective needs at least two members");
@@ -48,12 +48,12 @@ pub fn tree_allreduce(
         let mut i = stride;
         while i < p {
             let parent = i - stride;
-            let rec = engine.transfer_filtered(
+            let rec = engine.transfer_masked(
                 members[i],
                 members[parent],
                 payload,
                 done[i].max(done[parent]),
-                allow,
+                mask,
             )?;
             next_done[parent] = next_done[parent].max(rec.end);
             i += stride * 2;
@@ -70,12 +70,12 @@ pub fn tree_allreduce(
         let mut i = stride;
         while i < p {
             let parent = i - stride;
-            let rec = engine.transfer_filtered(
+            let rec = engine.transfer_masked(
                 members[parent],
                 members[i],
                 payload,
                 avail[parent],
-                allow,
+                mask,
             )?;
             avail[i] = rec.end;
             i += stride * 2;
@@ -100,7 +100,7 @@ pub fn crossover_payload(
     make_engine: impl Fn() -> TransferEngine,
     members: &[DeviceId],
     candidates: &[ByteSize],
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Option<ByteSize> {
     use crate::timed::ring_allreduce;
     use coarse_cci::synccore::RingDirection;
@@ -113,13 +113,13 @@ pub fn crossover_payload(
             size,
             &ready,
             RingDirection::Forward,
-            allow,
+            mask,
         )
         // simlint: allow(panic-in-library, reason = "documented # Panics contract: crossover_payload measures caller-supplied connected topologies")
         .expect("connected");
         let mut e2 = make_engine();
         // simlint: allow(panic-in-library, reason = "documented # Panics contract: crossover_payload measures caller-supplied connected topologies")
-        let tree = tree_allreduce(&mut e2, members, size, &ready, allow).expect("connected");
+        let tree = tree_allreduce(&mut e2, members, size, &ready, mask).expect("connected");
         ring.elapsed() <= tree.elapsed()
     })
 }
@@ -132,9 +132,7 @@ mod tests {
     use coarse_fabric::machines::{aws_v100, PartitionScheme};
     use coarse_fabric::topology::LinkClass;
 
-    fn cci_only(l: &Link) -> bool {
-        l.class() == LinkClass::Cci
-    }
+    const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
 
     fn cci_machine() -> (coarse_fabric::machines::Machine, Vec<DeviceId>) {
         let mut m = aws_v100();
@@ -150,9 +148,9 @@ mod tests {
         let (m, devs) = cci_machine();
         let ready = vec![SimTime::ZERO; devs.len()];
         let mut e = TransferEngine::new(m.topology().clone());
-        let small = tree_allreduce(&mut e, &devs, ByteSize::kib(4), &ready, cci_only).unwrap();
+        let small = tree_allreduce(&mut e, &devs, ByteSize::kib(4), &ready, CCI_ONLY).unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let large = tree_allreduce(&mut e2, &devs, ByteSize::mib(64), &ready, cci_only).unwrap();
+        let large = tree_allreduce(&mut e2, &devs, ByteSize::mib(64), &ready, CCI_ONLY).unwrap();
         assert!(large.elapsed() > small.elapsed() * 100);
     }
 
@@ -170,11 +168,11 @@ mod tests {
             tiny,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let mut e2 = TransferEngine::new(m.topology().clone());
-        let tree_s = tree_allreduce(&mut e2, &devs, tiny, &ready, cci_only).unwrap();
+        let tree_s = tree_allreduce(&mut e2, &devs, tiny, &ready, CCI_ONLY).unwrap();
         assert!(
             tree_s.elapsed() < ring_s.elapsed(),
             "tree {:?} must beat ring {:?} on tiny payloads",
@@ -191,11 +189,11 @@ mod tests {
             big,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let mut e4 = TransferEngine::new(m.topology().clone());
-        let tree_l = tree_allreduce(&mut e4, &devs, big, &ready, cci_only).unwrap();
+        let tree_l = tree_allreduce(&mut e4, &devs, big, &ready, CCI_ONLY).unwrap();
         assert!(
             ring_l.elapsed() < tree_l.elapsed(),
             "ring {:?} must beat tree {:?} on large payloads",
@@ -213,7 +211,7 @@ mod tests {
             || TransferEngine::new(topo.clone()),
             &devs,
             &candidates,
-            cci_only,
+            CCI_ONLY,
         )
         .expect("a crossover point exists");
         assert!(crossover > ByteSize::bytes(256));
@@ -226,7 +224,7 @@ mod tests {
         let three = &devs[..3];
         let ready = vec![SimTime::ZERO; 3];
         let mut e = TransferEngine::new(m.topology().clone());
-        let r = tree_allreduce(&mut e, three, ByteSize::mib(1), &ready, cci_only).unwrap();
+        let r = tree_allreduce(&mut e, three, ByteSize::mib(1), &ready, CCI_ONLY).unwrap();
         assert!(r.end > r.start);
     }
 
@@ -236,7 +234,7 @@ mod tests {
         let mut ready = vec![SimTime::ZERO; devs.len()];
         ready[2] = SimTime::from_nanos(1_000_000);
         let mut e = TransferEngine::new(m.topology().clone());
-        let r = tree_allreduce(&mut e, &devs, ByteSize::kib(64), &ready, cci_only).unwrap();
+        let r = tree_allreduce(&mut e, &devs, ByteSize::kib(64), &ready, CCI_ONLY).unwrap();
         assert_eq!(r.start, SimTime::from_nanos(1_000_000));
     }
 }

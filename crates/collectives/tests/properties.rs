@@ -7,13 +7,11 @@ use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
 use coarse_collectives::tree::tree_allreduce;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::machines::{aws_v100, aws_v100_cluster, PartitionScheme};
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_simcore::check::{run_cases, Gen};
 use coarse_simcore::prelude::*;
 
-fn cci_only(l: &Link) -> bool {
-    l.class() == LinkClass::Cci
-}
+const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
 
 /// Functional reduce-scatter + all-gather equals allreduce for any inputs
 /// and member counts.
@@ -58,7 +56,7 @@ fn ring_time_monotone_and_respects_ready() {
                 ByteSize::kib(small_kib),
                 &ready,
                 RingDirection::Forward,
-                cci_only,
+                CCI_ONLY,
             )
             .unwrap();
             let mut e2 = TransferEngine::new(machine.topology().clone());
@@ -68,7 +66,7 @@ fn ring_time_monotone_and_respects_ready() {
                 ByteSize::kib(small_kib * factor),
                 &ready,
                 RingDirection::Forward,
-                cci_only,
+                CCI_ONLY,
             )
             .unwrap();
             assert!(b.elapsed() >= a.elapsed());
@@ -97,11 +95,11 @@ fn tree_and_ring_always_complete() {
             payload,
             &ready,
             RingDirection::Forward,
-            cci_only,
+            CCI_ONLY,
         )
         .unwrap();
         let mut e2 = TransferEngine::new(machine.topology().clone());
-        let tree = tree_allreduce(&mut e2, &devs, payload, &ready, cci_only).unwrap();
+        let tree = tree_allreduce(&mut e2, &devs, payload, &ready, CCI_ONLY).unwrap();
         assert!(ring.end > ring.start);
         assert!(tree.end > tree.start);
     });
@@ -131,7 +129,7 @@ fn hierarchy_dominated_by_network() {
         let ready2 = vec![SimTime::ZERO; 8];
         let mut e = TransferEngine::new(machine.topology().clone());
         let hier =
-            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, |_| true).unwrap();
+            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, LinkMask::ALL).unwrap();
         let ready1 = vec![SimTime::ZERO; 4];
         let mut e2 = TransferEngine::new(machine.topology().clone());
         let single = ring_allreduce(
@@ -140,7 +138,7 @@ fn hierarchy_dominated_by_network() {
             payload,
             &ready1,
             RingDirection::Forward,
-            |_| true,
+            LinkMask::ALL,
         )
         .unwrap();
         assert!(hier.elapsed() >= single.elapsed());

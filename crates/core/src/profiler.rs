@@ -10,7 +10,7 @@
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::TransferEngine;
 use coarse_fabric::probe;
-use coarse_fabric::topology::{Link, LinkClass, Topology};
+use coarse_fabric::topology::{LinkClass, LinkMask, Topology};
 use coarse_simcore::time::{SimDuration, SimTime};
 use coarse_simcore::units::ByteSize;
 
@@ -27,12 +27,11 @@ pub struct ProxyProfile {
     pub bandwidth: f64,
 }
 
-/// The profiler's link filter: COARSE measures the serial-bus path (plus
+/// The profiler's link mask: COARSE measures the serial-bus path (plus
 /// the inter-node network on clusters), disabling NVLink when present
 /// (§IV-B), and never rides the dedicated proxy-to-proxy CCI fabric.
-pub fn profiler_links(l: &Link) -> bool {
-    matches!(l.class(), LinkClass::Pcie | LinkClass::Network)
-}
+pub const PROFILER_LINKS: LinkMask =
+    LinkMask::only(LinkClass::Pcie).with(LinkClass::Network);
 
 /// Measures every proxy from `client` (Fig. 15's data).
 pub fn profile_proxies(
@@ -44,13 +43,13 @@ pub fn profile_proxies(
         .iter()
         .map(|&p| ProxyProfile {
             proxy: p,
-            latency: probe::measure_latency(topo, client, p, profiler_links),
+            latency: probe::measure_latency(topo, client, p, PROFILER_LINKS),
             bandwidth: probe::measure_unidirectional(
                 topo,
                 client,
                 p,
                 ByteSize::mib(64),
-                profiler_links,
+                PROFILER_LINKS,
             ),
         })
         .collect()
@@ -65,7 +64,7 @@ fn transfer_time(
     size: ByteSize,
 ) -> SimDuration {
     let mut eng = TransferEngine::new(topo.clone());
-    eng.transfer_filtered(client, proxy, size, SimTime::ZERO, profiler_links)
+    eng.transfer_masked(client, proxy, size, SimTime::ZERO, PROFILER_LINKS)
         // simlint: allow(panic-in-library, reason = "profiling runs on the deployed machine topology, which connects client and proxy by construction")
         .expect("client and proxy must be connected")
         .elapsed()
@@ -132,7 +131,7 @@ pub fn build_routing_table_for(
         client,
         bw.proxy,
         &probe::standard_sizes(),
-        profiler_links,
+        PROFILER_LINKS,
     );
     let shard_size = sweep
         .iter()

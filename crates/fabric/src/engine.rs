@@ -25,8 +25,11 @@ use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::trace::{active, category, SharedTracer};
 use coarse_simcore::units::ByteSize;
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::device::{DeviceId, DeviceKind};
-use crate::topology::{Link, LinkId, Route, Topology};
+use crate::topology::{LinkClass, LinkId, LinkMask, Route, Topology};
 
 /// The outcome of one transfer: when it started service and when the last
 /// byte arrived.
@@ -121,6 +124,14 @@ pub struct TransferEngine {
     staged_crit_deps: Vec<NodeId>,
     /// Interned trace track per directed link (lazily populated).
     link_tracks: Vec<Option<coarse_simcore::trace::TrackId>>,
+    /// Memoized routes, keyed by `(src, dst, mask)` — a dense
+    /// `device² × 16` table (the topology is immutable once wrapped, and a
+    /// [`LinkMask`] has 16 possible values). The outer `Option` is
+    /// "not yet computed"; the inner one caches *unroutability* too. Routes
+    /// are shared as `Rc`, so the steady-state transfer path never runs
+    /// Dijkstra nor clones a hop list. Bypassed whenever a non-empty fault
+    /// plan is active (flaps make routes time-dependent).
+    route_cache: RefCell<Vec<Option<Option<Rc<Route>>>>>,
 }
 
 impl TransferEngine {
@@ -130,6 +141,7 @@ impl TransferEngine {
             .map(|_| ResourceTimeline::new())
             .collect();
         let link_tracks = vec![None; topo.link_count()];
+        let route_cache = RefCell::new(vec![None; topo.device_count().pow(2) * 16]);
         TransferEngine {
             topo,
             schedules,
@@ -143,7 +155,23 @@ impl TransferEngine {
             last_crit_entry: None,
             staged_crit_deps: Vec::new(),
             link_tracks,
+            route_cache,
         }
+    }
+
+    /// The memoized route from `src` to `dst` over `mask`, computing and
+    /// caching it on first use. `None` is cached too: unroutable pairs are
+    /// as cheap to re-ask as routable ones.
+    fn cached_route(&self, src: DeviceId, dst: DeviceId, mask: LinkMask) -> Option<Rc<Route>> {
+        let n = self.topo.device_count();
+        let slot = (src.index() * n + dst.index()) * 16 + mask.bits() as usize;
+        let mut cache = self.route_cache.borrow_mut();
+        if let Some(entry) = &cache[slot] {
+            return entry.clone();
+        }
+        let computed = self.topo.route_masked(src, dst, mask).map(Rc::new);
+        cache[slot] = Some(computed.clone());
+        computed
     }
 
     /// The underlying topology.
@@ -324,22 +352,24 @@ impl TransferEngine {
         size: ByteSize,
         arrival: SimTime,
     ) -> Result<TransferRecord, TransferError> {
-        self.transfer_filtered(src, dst, size, arrival, |_| true)
+        self.transfer_masked(src, dst, size, arrival, LinkMask::ALL)
     }
 
-    /// Like [`transfer`](Self::transfer) but restricted to links accepted by
-    /// `allow` (e.g. excluding NVLink to probe the PCIe path).
+    /// Like [`transfer`](Self::transfer) but restricted to link classes in
+    /// `mask` (e.g. excluding NVLink to probe the PCIe path). The interned
+    /// mask keys the engine's route cache, so repeated transfers between the
+    /// same endpoints skip routing entirely.
     ///
     /// # Errors
     ///
     /// Returns [`TransferError::NoRoute`] if no allowed route exists.
-    pub fn transfer_filtered(
+    pub fn transfer_masked(
         &mut self,
         src: DeviceId,
         dst: DeviceId,
         size: ByteSize,
         arrival: SimTime,
-        allow: impl Fn(&Link) -> bool + Copy,
+        mask: LinkMask,
     ) -> Result<TransferRecord, TransferError> {
         if let Some(hub) = self.oracles.clone() {
             hub.emit(OracleEvent::TransferRequested {
@@ -349,7 +379,7 @@ impl TransferEngine {
                 at: arrival,
             });
         }
-        let result = self.transfer_filtered_inner(src, dst, size, arrival, allow);
+        let result = self.transfer_masked_inner(src, dst, size, arrival, mask);
         if let Some(hub) = self.oracles.clone() {
             match &result {
                 Ok(rec) => hub.emit(OracleEvent::TransferDelivered {
@@ -378,13 +408,13 @@ impl TransferEngine {
         result
     }
 
-    fn transfer_filtered_inner(
+    fn transfer_masked_inner(
         &mut self,
         src: DeviceId,
         dst: DeviceId,
         size: ByteSize,
         arrival: SimTime,
-        allow: impl Fn(&Link) -> bool + Copy,
+        mask: LinkMask,
     ) -> Result<TransferRecord, TransferError> {
         if let Some(plan) = self.fault_plan() {
             for device in [src, dst] {
@@ -409,10 +439,10 @@ impl TransferEngine {
                 m.inc(metric::FABRIC_STAGED, 1);
             }
             let cpu = self.topo.host_cpu(self.topo.device(src).node());
-            let first = self.transfer_direct(src, cpu, size, arrival, allow)?;
+            let first = self.transfer_direct(src, cpu, size, arrival, mask)?;
             let leg1 = self.last_crit;
             let leg1_entry = self.last_crit_entry;
-            let second = self.transfer_direct(cpu, dst, size, first.end, allow)?;
+            let second = self.transfer_direct(cpu, dst, size, first.end, mask)?;
             // Program-order edge between the staging legs: the second leg
             // only departed because the first delivered to the host. The
             // whole transfer *departs* at the first leg, so that is where
@@ -433,7 +463,7 @@ impl TransferEngine {
                 size,
             });
         }
-        self.transfer_direct(src, dst, size, arrival, allow)
+        self.transfer_direct(src, dst, size, arrival, mask)
     }
 
     /// Whether a `src`→`dst` transfer must be staged through the host CPU.
@@ -450,10 +480,7 @@ impl TransferEngine {
         if src_kind == DeviceKind::Cpu || dst_kind == DeviceKind::Cpu {
             return false;
         }
-        self.topo
-            .route_filtered(src, dst, |l| {
-                matches!(l.class(), crate::topology::LinkClass::Cci)
-            })
+        self.cached_route(src, dst, LinkMask::only(LinkClass::Cci))
             .is_none()
     }
 
@@ -463,11 +490,12 @@ impl TransferEngine {
         dst: DeviceId,
         size: ByteSize,
         arrival: SimTime,
-        allow: impl Fn(&Link) -> bool,
+        mask: LinkMask,
     ) -> Result<TransferRecord, TransferError> {
         // Flapped links are excluded from routing, so the engine re-routes
         // around an outage when a detour exists and reports `NoRoute` when
-        // the endpoints are genuinely cut off.
+        // the endpoints are genuinely cut off. Faulty routes are
+        // time-dependent, so only the healthy branch consults the cache.
         let route = match self.fault_plan() {
             Some(plan) => {
                 // Conservative flap bite: any active flap anywhere may have
@@ -482,12 +510,18 @@ impl TransferEngine {
                         });
                     }
                 }
-                self.topo.route_filtered(src, dst, |l| {
-                    allow(l)
-                        && !plan.link_down(l.src().index() as u32, l.dst().index() as u32, arrival)
-                })
+                self.topo
+                    .route_filtered(src, dst, |l| {
+                        mask.allows(l.class())
+                            && !plan.link_down(
+                                l.src().index() as u32,
+                                l.dst().index() as u32,
+                                arrival,
+                            )
+                    })
+                    .map(Rc::new)
             }
-            None => self.topo.route_filtered(src, dst, &allow),
+            None => self.cached_route(src, dst, mask),
         }
         .ok_or(TransferError::NoRoute { src, dst })?;
         Ok(self.transfer_on_route(&route, size, arrival))

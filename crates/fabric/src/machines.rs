@@ -689,6 +689,7 @@ pub fn table1() -> Vec<Machine> {
 mod tests {
     use super::*;
     use crate::engine::TransferEngine;
+    use crate::topology::LinkMask;
     use coarse_simcore::time::SimTime;
     use coarse_simcore::units::ByteSize;
 
@@ -696,9 +697,13 @@ mod tests {
         let gpus = machine.gpus().to_vec();
         let mut eng = TransferEngine::new(machine.into_topology());
         let rec = eng
-            .transfer_filtered(gpus[a], gpus[b], ByteSize::mib(64), SimTime::ZERO, |l| {
-                l.class() != LinkClass::NvLink
-            })
+            .transfer_masked(
+                gpus[a],
+                gpus[b],
+                ByteSize::mib(64),
+                SimTime::ZERO,
+                LinkMask::ALL.without(LinkClass::NvLink),
+            )
             .unwrap();
         rec.achieved_bytes_per_sec() / (1u64 << 30) as f64
     }

@@ -10,7 +10,7 @@ use coarse_simcore::units::ByteSize;
 
 use crate::device::DeviceId;
 use crate::engine::TransferEngine;
-use crate::topology::{Link, Topology};
+use crate::topology::{LinkMask, Topology};
 
 /// Number of back-to-back transfers per measurement; enough to amortize the
 /// first transfer's latency.
@@ -40,7 +40,7 @@ impl ProbeResult {
 }
 
 /// Measures achieved one-direction bandwidth `a → b` at `size`, in
-/// bytes/sec, over links accepted by `allow`.
+/// bytes/sec, over link classes in `mask`.
 ///
 /// # Panics
 ///
@@ -50,14 +50,14 @@ pub fn measure_unidirectional(
     a: DeviceId,
     b: DeviceId,
     size: ByteSize,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> f64 {
     let mut eng = TransferEngine::new(topo.clone());
     let mut first_start = None;
     let mut last_end = SimTime::ZERO;
     for _ in 0..PROBE_REPEATS {
         let rec = eng
-            .transfer_filtered(a, b, size, last_end, allow)
+            .transfer_masked(a, b, size, last_end, mask)
             // simlint: allow(panic-in-library, reason = "probe endpoints are chosen from the probed machine's connected topology")
             .expect("probe endpoints must be connected");
         first_start.get_or_insert(rec.start);
@@ -79,19 +79,19 @@ pub fn measure_bidirectional(
     a: DeviceId,
     b: DeviceId,
     size: ByteSize,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> f64 {
     let mut eng = TransferEngine::new(topo.clone());
     let mut fwd_end = SimTime::ZERO;
     let mut rev_end = SimTime::ZERO;
     for _ in 0..PROBE_REPEATS {
         fwd_end = eng
-            .transfer_filtered(a, b, size, fwd_end, allow)
+            .transfer_masked(a, b, size, fwd_end, mask)
             // simlint: allow(panic-in-library, reason = "probe endpoints are chosen from the probed machine's connected topology")
             .expect("probe endpoints must be connected")
             .end;
         rev_end = eng
-            .transfer_filtered(b, a, size, rev_end, allow)
+            .transfer_masked(b, a, size, rev_end, mask)
             // simlint: allow(panic-in-library, reason = "probe endpoints are chosen from the probed machine's connected topology")
             .expect("probe endpoints must be connected")
             .end;
@@ -109,11 +109,11 @@ pub fn measure_latency(
     topo: &Topology,
     a: DeviceId,
     b: DeviceId,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> SimDuration {
     let mut eng = TransferEngine::new(topo.clone());
     let rec = eng
-        .transfer_filtered(a, b, ByteSize::kib(4), SimTime::ZERO, allow)
+        .transfer_masked(a, b, ByteSize::kib(4), SimTime::ZERO, mask)
         // simlint: allow(panic-in-library, reason = "probe endpoints are chosen from the probed machine's connected topology")
         .expect("probe endpoints must be connected");
     rec.elapsed()
@@ -125,12 +125,12 @@ pub fn probe_pair(
     a: DeviceId,
     b: DeviceId,
     size: ByteSize,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> ProbeResult {
     ProbeResult {
-        unidirectional: measure_unidirectional(topo, a, b, size, allow),
-        bidirectional: measure_bidirectional(topo, a, b, size, allow),
-        latency: measure_latency(topo, a, b, allow),
+        unidirectional: measure_unidirectional(topo, a, b, size, mask),
+        bidirectional: measure_bidirectional(topo, a, b, size, mask),
+        latency: measure_latency(topo, a, b, mask),
     }
 }
 
@@ -141,14 +141,14 @@ pub fn bidirectional_matrix(
     topo: &Topology,
     devices: &[DeviceId],
     size: ByteSize,
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Vec<Vec<f64>> {
     let n = devices.len();
     let mut m = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                m[i][j] = measure_bidirectional(topo, devices[i], devices[j], size, allow)
+                m[i][j] = measure_bidirectional(topo, devices[i], devices[j], size, mask)
                     / (1u64 << 30) as f64;
             }
         }
@@ -163,11 +163,11 @@ pub fn bandwidth_sweep(
     a: DeviceId,
     b: DeviceId,
     sizes: &[ByteSize],
-    allow: impl Fn(&Link) -> bool + Copy,
+    mask: LinkMask,
 ) -> Vec<(ByteSize, f64)> {
     sizes
         .iter()
-        .map(|&s| (s, measure_unidirectional(topo, a, b, s, allow)))
+        .map(|&s| (s, measure_unidirectional(topo, a, b, s, mask)))
         .collect()
 }
 
@@ -182,15 +182,13 @@ mod tests {
     use crate::machines::{aws_v100, sdsc_p100};
     use crate::topology::LinkClass;
 
-    fn no_nvlink(l: &Link) -> bool {
-        l.class() != LinkClass::NvLink
-    }
+    const NO_NVLINK: LinkMask = LinkMask::ALL.without(LinkClass::NvLink);
 
     #[test]
     fn bidirectional_roughly_doubles_unidirectional() {
         let m = sdsc_p100();
         let gpus = m.gpus().to_vec();
-        let r = probe_pair(m.topology(), gpus[0], gpus[1], ByteSize::mib(64), no_nvlink);
+        let r = probe_pair(m.topology(), gpus[0], gpus[1], ByteSize::mib(64), NO_NVLINK);
         // §III-E: 13 GiB/s unidirectional, ~25 GiB/s bidirectional.
         assert!((r.uni_gib() - 13.0).abs() < 1.0, "uni {}", r.uni_gib());
         assert!(
@@ -205,7 +203,7 @@ mod tests {
     fn latency_positive_and_small() {
         let m = sdsc_p100();
         let gpus = m.gpus().to_vec();
-        let lat = measure_latency(m.topology(), gpus[0], gpus[1], no_nvlink);
+        let lat = measure_latency(m.topology(), gpus[0], gpus[1], NO_NVLINK);
         assert!(lat > SimDuration::ZERO);
         assert!(lat < SimDuration::from_millis(1));
     }
@@ -214,7 +212,7 @@ mod tests {
     fn matrix_symmetric_and_zero_diagonal() {
         let m = sdsc_p100();
         let gpus = m.gpus().to_vec();
-        let mat = bidirectional_matrix(m.topology(), &gpus, ByteSize::mib(16), no_nvlink);
+        let mat = bidirectional_matrix(m.topology(), &gpus, ByteSize::mib(16), NO_NVLINK);
         for (i, row) in mat.iter().enumerate() {
             assert_eq!(row[i], 0.0);
             for (j, &v) in row.iter().enumerate() {
@@ -227,7 +225,7 @@ mod tests {
     fn v100_matrix_shows_anti_locality() {
         let m = aws_v100();
         let gpus = m.gpus().to_vec();
-        let mat = bidirectional_matrix(m.topology(), &gpus[..4], ByteSize::mib(16), no_nvlink);
+        let mat = bidirectional_matrix(m.topology(), &gpus[..4], ByteSize::mib(16), NO_NVLINK);
         // gpus 0,1 share a switch; 0,2 do not.
         assert!(
             mat[0][2] > mat[0][1] * 1.3,
@@ -241,7 +239,7 @@ mod tests {
     fn sweep_is_monotonic() {
         let m = sdsc_p100();
         let gpus = m.gpus().to_vec();
-        let pts = bandwidth_sweep(m.topology(), gpus[0], gpus[1], &standard_sizes(), no_nvlink);
+        let pts = bandwidth_sweep(m.topology(), gpus[0], gpus[1], &standard_sizes(), NO_NVLINK);
         assert_eq!(pts.len(), 15);
         for w in pts.windows(2) {
             assert!(

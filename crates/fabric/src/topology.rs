@@ -1,7 +1,6 @@
 //! The fabric graph: devices joined by directed links, with deterministic
 //! shortest-path routing.
 
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use coarse_simcore::time::SimDuration;
@@ -38,6 +37,76 @@ pub enum LinkClass {
     Cci,
     /// Inter-node network (Ethernet / InfiniBand).
     Network,
+}
+
+impl LinkClass {
+    /// All classes, in declaration order.
+    pub const ALL: [LinkClass; 4] = [
+        LinkClass::Pcie,
+        LinkClass::NvLink,
+        LinkClass::Cci,
+        LinkClass::Network,
+    ];
+
+    const fn bit(self) -> u8 {
+        match self {
+            LinkClass::Pcie => 1 << 0,
+            LinkClass::NvLink => 1 << 1,
+            LinkClass::Cci => 1 << 2,
+            LinkClass::Network => 1 << 3,
+        }
+    }
+}
+
+/// A set of [`LinkClass`]es, restricting which links a route may traverse.
+///
+/// Replaces ad-hoc `Fn(&Link) -> bool` predicates on the transfer hot path:
+/// a mask is one interned byte, so routes can be cached per
+/// `(src, dst, mask)` and compared without invoking a closure. Built from
+/// `const` combinators:
+///
+/// ```
+/// use coarse_fabric::topology::{LinkClass, LinkMask};
+///
+/// const PCIE_ONLY: LinkMask = LinkMask::only(LinkClass::Pcie);
+/// const NO_NVLINK: LinkMask = LinkMask::ALL.without(LinkClass::NvLink);
+/// assert!(NO_NVLINK.allows(LinkClass::Cci));
+/// assert!(!NO_NVLINK.allows(LinkClass::NvLink));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkMask(u8);
+
+impl LinkMask {
+    /// Accepts every link class.
+    pub const ALL: LinkMask = LinkMask(0b1111);
+    /// Accepts no link class (routes only device-to-itself).
+    pub const NONE: LinkMask = LinkMask(0);
+
+    /// A mask accepting exactly one class.
+    pub const fn only(class: LinkClass) -> LinkMask {
+        LinkMask(class.bit())
+    }
+
+    /// This mask, additionally accepting `class`.
+    pub const fn with(self, class: LinkClass) -> LinkMask {
+        LinkMask(self.0 | class.bit())
+    }
+
+    /// This mask, with `class` removed.
+    pub const fn without(self, class: LinkClass) -> LinkMask {
+        LinkMask(self.0 & !class.bit())
+    }
+
+    /// Whether links of `class` may be traversed.
+    pub fn allows(self, class: LinkClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+
+    /// The raw bit pattern, a dense index in `0..16` (used to key
+    /// per-mask route caches).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
 }
 
 /// A directed edge of the fabric graph.
@@ -274,64 +343,52 @@ impl Topology {
                 total_latency: SimDuration::ZERO,
             });
         }
-        // Dijkstra over (hops, latency_ns).
-        #[derive(PartialEq, Eq)]
-        struct State {
-            cost: (u32, u64),
-            device: DeviceId,
-        }
-        impl Ord for State {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // min-heap: reverse cost, then stable device order.
-                other
-                    .cost
-                    .cmp(&self.cost)
-                    .then_with(|| other.device.cmp(&self.device))
-            }
-        }
-        impl PartialOrd for State {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-
+        // Dijkstra over lexicographic (hops, latency_ns) cost. Every edge
+        // adds exactly one hop, so the settled order is by hop level; the
+        // priority heap collapses to one interned-ID bucket per hop level,
+        // sorted by `(latency, device)` — the same deterministic ordering
+        // primitive as the event core's `(time, insertion)` key.
         let n = self.devices.len();
         let mut best: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
         let mut via: Vec<Option<LinkId>> = vec![None; n];
-        let mut heap = BinaryHeap::new();
         best[src.index()] = (0, 0);
-        heap.push(State {
-            cost: (0, 0),
-            device: src,
-        });
-        while let Some(State { cost, device }) = heap.pop() {
-            if cost > best[device.index()] {
-                continue;
-            }
-            if device == dst {
-                break;
-            }
-            for &lid in &self.adjacency[device.index()] {
-                let link = &self.links[lid.index()];
-                if !allow(link) {
+        // `(latency_ns, device)` entries of the current hop level.
+        let mut frontier: Vec<(u64, DeviceId)> = vec![(0, src)];
+        let mut next_frontier: Vec<(u64, DeviceId)> = Vec::new();
+        let mut hops = 0u32;
+        'levels: while !frontier.is_empty() {
+            frontier.sort_unstable();
+            for &(lat, device) in &frontier {
+                // A device improved twice within one level appears twice;
+                // the later (worse) entry is stale.
+                if (hops, lat) > best[device.index()] {
                     continue;
                 }
-                // Transfers terminate at non-forwarding endpoints: an
-                // intermediate hop through e.g. a GPU is not a valid route
-                // (that would require staging, handled above this layer).
-                if device != src && !self.devices[device.index()].kind.can_forward() {
-                    continue;
+                if device == dst {
+                    break 'levels;
                 }
-                let next = (cost.0 + 1, cost.1 + link.latency.as_nanos());
-                if next < best[link.dst.index()] {
-                    best[link.dst.index()] = next;
-                    via[link.dst.index()] = Some(lid);
-                    heap.push(State {
-                        cost: next,
-                        device: link.dst,
-                    });
+                for &lid in &self.adjacency[device.index()] {
+                    let link = &self.links[lid.index()];
+                    if !allow(link) {
+                        continue;
+                    }
+                    // Transfers terminate at non-forwarding endpoints: an
+                    // intermediate hop through e.g. a GPU is not a valid route
+                    // (that would require staging, handled above this layer).
+                    if device != src && !self.devices[device.index()].kind.can_forward() {
+                        continue;
+                    }
+                    let next = (hops + 1, lat + link.latency.as_nanos());
+                    if next < best[link.dst.index()] {
+                        best[link.dst.index()] = next;
+                        via[link.dst.index()] = Some(lid);
+                        next_frontier.push((next.1, link.dst));
+                    }
                 }
             }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next_frontier);
+            hops += 1;
         }
         if best[dst.index()].0 == u32::MAX {
             return None;
@@ -350,6 +407,14 @@ impl Topology {
             links,
             total_latency,
         })
+    }
+
+    /// Deterministic min-cost route over links whose class is in `mask`.
+    /// Equivalent to [`route_filtered`](Self::route_filtered) with a
+    /// class-membership predicate; the interned mask is what the transfer
+    /// engine's route cache keys on.
+    pub fn route_masked(&self, src: DeviceId, dst: DeviceId, mask: LinkMask) -> Option<Route> {
+        self.route_filtered(src, dst, |l| mask.allows(l.class()))
     }
 
     /// Deterministic min-cost route over all links.
@@ -456,6 +521,44 @@ mod tests {
             .route_filtered(g0, g1, |l| l.class() != LinkClass::NvLink)
             .unwrap();
         assert_eq!(pcie_only.hops(), 2);
+    }
+
+    #[test]
+    fn masked_route_matches_filtered_route() {
+        let mut t = Topology::new();
+        let g0 = t.add_device(DeviceKind::Gpu, "gpu0", 0);
+        let g1 = t.add_device(DeviceKind::Gpu, "gpu1", 0);
+        let sw = t.add_device(DeviceKind::Switch, "sw", 0);
+        let m = BandwidthModel::pcie_like(Bandwidth::gib_per_sec(13.0));
+        t.add_duplex(g0, g1, m, latency_us(1), LinkClass::NvLink);
+        t.add_duplex(g0, sw, m, latency_us(1), LinkClass::Pcie);
+        t.add_duplex(g1, sw, m, latency_us(1), LinkClass::Pcie);
+        for mask in [
+            LinkMask::ALL,
+            LinkMask::only(LinkClass::Pcie),
+            LinkMask::ALL.without(LinkClass::NvLink),
+            LinkMask::only(LinkClass::Cci),
+            LinkMask::NONE,
+        ] {
+            let masked = t.route_masked(g0, g1, mask);
+            let filtered = t.route_filtered(g0, g1, |l| mask.allows(l.class()));
+            assert_eq!(masked, filtered, "mask {mask:?}");
+        }
+        assert_eq!(t.route_masked(g0, g1, LinkMask::NONE), None);
+        // Masks are one interned byte each; all 16 subsets are distinct.
+        let mut bits: Vec<u8> = Vec::new();
+        for a in [LinkMask::NONE, LinkMask::only(LinkClass::Pcie)] {
+            for b in [a, a.with(LinkClass::NvLink)] {
+                for c in [b, b.with(LinkClass::Cci)] {
+                    for d in [c, c.with(LinkClass::Network)] {
+                        bits.push(d.bits());
+                    }
+                }
+            }
+        }
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 16);
     }
 
     #[test]

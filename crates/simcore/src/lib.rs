@@ -4,7 +4,9 @@
 //! reproduction. It provides:
 //!
 //! - exact integer-nanosecond [`time`] (instants and durations),
-//! - a tie-stable [`queue::EventQueue`] and the [`sim::Simulation`] driver,
+//! - a tie-stable calendar-queue [`queue::EventQueue`] (with a reference
+//!   heap implementation behind the same [`queue::EventSchedule`] trait) and
+//!   the [`sim::Simulation`] driver,
 //! - reproducible randomness ([`rng::SimRng`]),
 //! - data-size and bandwidth [`units`] whose division yields exact durations,
 //! - measurement collectors in [`stats`],
@@ -67,7 +69,7 @@ pub mod prelude {
     pub use crate::metrics::{HistogramSummary, MetricRegistry, MetricsSnapshot};
     pub use crate::oracle::{Oracle, OracleEvent, OracleHub, Violation};
     pub use crate::prof::{Pow2Histogram, Profiler, RegionGuard};
-    pub use crate::queue::{EventHandle, EventQueue};
+    pub use crate::queue::{EventHandle, EventQueue, EventSchedule, HeapEventQueue};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Model, RunOutcome, Simulation};
     pub use crate::stats::{BusyTracker, Histogram, OnlineStats, QuantileEstimator, Series};

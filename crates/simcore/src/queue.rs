@@ -3,6 +3,19 @@
 //! Ties in time are broken by insertion order (a monotonically increasing
 //! sequence number), so two runs of the same program always pop events in the
 //! same order — a requirement for reproducible experiments.
+//!
+//! Two implementations share the [`EventSchedule`] contract:
+//!
+//! - [`EventQueue`] — the production **calendar queue**: a flat slot arena
+//!   (no per-event box or node allocation; freed slots are recycled through
+//!   a free list, so the steady state allocates nothing) hashed into
+//!   power-of-two time buckets. Pops scan forward from the current bucket,
+//!   so for the bounded-horizon schedules a discrete-event simulation
+//!   produces, scheduling and popping are O(1) amortized.
+//! - [`HeapEventQueue`] — the reference `BinaryHeap` implementation, kept
+//!   behind the same trait for differential testing (see
+//!   `tests/properties.rs`): any divergence between the two is a bug in the
+//!   calendar, by construction.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -11,14 +24,460 @@ use crate::prof::Profiler;
 use crate::time::{SimDuration, SimTime};
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Handles are meaningful only to the queue that issued them; the packed
+/// representation is implementation-specific and two queue implementations
+/// will issue different handles for the same logical schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventHandle(u64);
 
-struct Entry<E> {
+/// The finalized scheduling surface of the event core.
+///
+/// # Ordering contract
+///
+/// Implementations **must** pop events in ascending `(time, insertion)`
+/// order: the earliest-scheduled timestamp first, and among events with the
+/// **same** timestamp, first-scheduled first (insertion FIFO, tracked by a
+/// monotonically increasing sequence number). Equivalently, the pop sequence
+/// is strictly increasing in the lexicographic key `(at, seq)`. Both
+/// implementations enforce this with a debug assertion on every pop, so the
+/// calendar queue and the reference heap are interchangeable by
+/// construction.
+///
+/// # Clock contract
+///
+/// The queue owns the simulated clock: [`pop`](Self::pop) advances
+/// [`now`](Self::now) to the popped event's timestamp, and
+/// [`schedule_at`](Self::schedule_at) panics on timestamps before `now`.
+/// [`cancel`](Self::cancel) returns `true` iff the event was still pending
+/// (scheduled, not yet popped, not previously cancelled).
+pub trait EventSchedule<E> {
+    /// The current simulated time (timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Number of pending (non-cancelled) events.
+    fn len(&self) -> usize;
+
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle;
+
+    /// Schedules `event` after a relative delay.
+    fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now() + delay, event)
+    }
+
+    /// Schedules `event` at the current instant (processed after all events
+    /// already scheduled for this instant).
+    fn schedule_now(&mut self, event: E) -> EventHandle {
+        self.schedule_at(self.now(), event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending.
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+
+    /// Removes and returns the earliest pending event, advancing the clock.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The timestamp of the next pending event, if any.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Attaches a profiler recording calendar depth, dwell-time, and
+    /// cancellation statistics. Observation-only: scheduling order and
+    /// timestamps are unaffected.
+    fn set_profiler(&mut self, profiler: Profiler);
+}
+
+/// Debug-only enforcement of the [`EventSchedule`] ordering contract: the
+/// pop sequence must be strictly increasing in `(at, seq)`.
+#[inline]
+fn check_pop_order(last: &mut Option<(SimTime, u64)>, at: SimTime, seq: u64) {
+    if let Some((last_at, last_seq)) = *last {
+        debug_assert!(
+            at > last_at || (at == last_at && seq > last_seq),
+            "EventQueue ordering contract violated: popped (at={at}, seq={seq}) \
+             after (at={last_at}, seq={last_seq})"
+        );
+    }
+    *last = Some((at, seq));
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue (production implementation)
+// ---------------------------------------------------------------------------
+
+/// One arena slot. Slots are recycled through a free list; `gen` is bumped
+/// on every release so stale [`EventHandle`]s (popped or pruned events)
+/// never alias a reused slot.
+struct Slot<E> {
     at: SimTime,
     seq: u64,
     /// When the event was scheduled (profiling only: dwell = `at` −
     /// `queued_at` in simulated time, so the histogram stays deterministic).
+    queued_at: SimTime,
+    gen: u32,
+    /// Cancelled events stay in their bucket (the payload is dropped
+    /// eagerly) and are pruned lazily by the next scan over that bucket.
+    cancelled: bool,
+    event: Option<E>,
+}
+
+/// Initial bucket-count; grows by doubling when occupancy demands it.
+const INITIAL_BUCKETS: usize = 16;
+/// Initial bucket width: 2^10 ns. Recomputed from the pending-event span on
+/// growth, so the width tracks the schedule's actual time scale.
+const INITIAL_WIDTH_LOG2: u32 = 10;
+
+/// A deterministic calendar of future events.
+///
+/// `EventQueue` tracks the current simulated time: popping an event advances
+/// the clock to that event's timestamp.
+///
+/// This is the production calendar-queue implementation of
+/// [`EventSchedule`]: events live in a flat slot arena (one allocation-free
+/// recycle list, no per-event boxes) and are hashed by timestamp into
+/// power-of-two time buckets. See [`HeapEventQueue`] for the reference
+/// implementation used in differential tests.
+///
+/// ```
+/// use coarse_simcore::queue::EventQueue;
+/// use coarse_simcore::time::SimDuration;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_nanos(5), "late");
+/// q.schedule_after(SimDuration::from_nanos(2), "early");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), ev), (2, "early"));
+/// ```
+pub struct EventQueue<E> {
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// `buckets.len()` is always a power of two; bucket of an event is
+    /// `(at >> width_log2) & (buckets.len() - 1)`.
+    buckets: Vec<Vec<u32>>,
+    width_log2: u32,
+    /// Pending (non-cancelled) events.
+    live: usize,
+    now: SimTime,
+    next_seq: u64,
+    /// Last popped `(at, seq)`, for the debug ordering assertion.
+    last_popped: Option<(SimTime, u64)>,
+    /// Observation-only profiler hook (calendar depth, dwell, cancel
+    /// counts); `None` costs one branch per operation.
+    profiler: Option<Profiler>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            width_log2: INITIAL_WIDTH_LOG2,
+            live: 0,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            last_popped: None,
+            profiler: None,
+        }
+    }
+
+    /// Attaches a profiler recording calendar depth, dwell-time, and
+    /// cancellation statistics. Observation-only: scheduling order and
+    /// timestamps are unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.as_nanos() >> self.width_log2) & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.at = at;
+                slot.seq = seq;
+                slot.queued_at = self.now;
+                slot.cancelled = false;
+                slot.event = Some(event);
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    at,
+                    seq,
+                    queued_at: self.now,
+                    gen: 0,
+                    cancelled: false,
+                    event: Some(event),
+                });
+                idx
+            }
+        };
+        let gen = self.slots[idx as usize].gen;
+        let b = self.bucket_of(at);
+        self.buckets[b].push(idx);
+        self.live += 1;
+        if self.live > self.buckets.len() * 4 {
+            self.grow();
+        }
+        if let Some(p) = &self.profiler {
+            p.queue_scheduled(self.live as u64);
+        }
+        EventHandle((u64::from(gen) << 32) | u64::from(idx))
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the current instant (processed after all events
+    /// already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) -> EventHandle {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        let idx = (handle.0 & 0xffff_ffff) as usize;
+        let gen = (handle.0 >> 32) as u32;
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        if slot.gen != gen || slot.cancelled {
+            return false;
+        }
+        slot.cancelled = true;
+        // Drop the payload eagerly; the slot itself is pruned by the next
+        // scan over its bucket.
+        slot.event = None;
+        self.live -= 1;
+        if let Some(p) = &self.profiler {
+            p.queue_cancelled();
+        }
+        true
+    }
+
+    /// Doubles the bucket count and retunes the bucket width to the average
+    /// gap of the pending schedule, then redistributes every pending event.
+    /// Deterministic: depends only on the pending timestamps.
+    fn grow(&mut self) {
+        let nbuckets = self.buckets.len() * 2;
+        let (mut min_at, mut max_at) = (u64::MAX, 0u64);
+        for slot in &self.slots {
+            if slot.event.is_some() && !slot.cancelled {
+                min_at = min_at.min(slot.at.as_nanos());
+                max_at = max_at.max(slot.at.as_nanos());
+            }
+        }
+        if min_at <= max_at && self.live > 1 {
+            let gap = ((max_at - min_at) / self.live as u64).max(1);
+            // width = largest power of two ≤ gap, clamped to a sane range.
+            self.width_log2 = (63 - gap.leading_zeros()).clamp(4, 40);
+        }
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        for idx in 0..self.slots.len() as u32 {
+            let slot = &self.slots[idx as usize];
+            if slot.event.is_some() && !slot.cancelled {
+                let b = self.bucket_of(slot.at);
+                self.buckets[b].push(idx);
+            } else if slot.cancelled {
+                // Rebuilding visits every slot anyway: prune cancelled ones
+                // instead of re-bucketing them.
+                let slot = &mut self.slots[idx as usize];
+                slot.cancelled = false;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(idx);
+            }
+        }
+    }
+
+    /// Finds the pending event with the minimal `(at, seq)` key, pruning
+    /// cancelled slots as it scans. Returns `(bucket, position)` of the
+    /// winner. Scans one calendar "year" forward from `now`; if every
+    /// pending event is further out, falls back to a full scan (still
+    /// deterministic: the key is a total order).
+    fn find_min(&mut self) -> Option<(usize, usize)> {
+        if self.live == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        let shift = self.width_log2;
+        let start = self.now.as_nanos() >> shift;
+        for step in 0..nbuckets {
+            let abs = start + step;
+            let b = (abs & (nbuckets - 1)) as usize;
+            self.prune_bucket(b);
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (pos, &idx) in self.buckets[b].iter().enumerate() {
+                let slot = &self.slots[idx as usize];
+                // Only events inside this calendar year: later laps of the
+                // same bucket hold strictly later timestamps.
+                if slot.at.as_nanos() >> shift != abs {
+                    continue;
+                }
+                let key = (slot.at, slot.seq);
+                if best.map_or(true, |(_, a, s)| key < (a, s)) {
+                    best = Some((pos, slot.at, slot.seq));
+                }
+            }
+            if let Some((pos, _, _)) = best {
+                return Some((b, pos));
+            }
+        }
+        // Every pending event is at least one full calendar year away: take
+        // the global minimum.
+        let mut best: Option<(usize, usize, SimTime, u64)> = None;
+        for b in 0..self.buckets.len() {
+            self.prune_bucket(b);
+            for (pos, &idx) in self.buckets[b].iter().enumerate() {
+                let slot = &self.slots[idx as usize];
+                let key = (slot.at, slot.seq);
+                if best.map_or(true, |(_, _, a, s)| key < (a, s)) {
+                    best = Some((b, pos, slot.at, slot.seq));
+                }
+            }
+        }
+        best.map(|(b, pos, _, _)| (b, pos))
+    }
+
+    /// Removes cancelled slots from bucket `b` and returns them to the free
+    /// list.
+    fn prune_bucket(&mut self, b: usize) {
+        let Self {
+            buckets,
+            slots,
+            free,
+            ..
+        } = self;
+        buckets[b].retain(|&idx| {
+            let slot = &mut slots[idx as usize];
+            if slot.cancelled {
+                slot.cancelled = false;
+                slot.gen = slot.gen.wrapping_add(1);
+                free.push(idx);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (b, pos) = self.find_min()?;
+        let idx = self.buckets[b].swap_remove(pos);
+        let slot = &mut self.slots[idx as usize];
+        let (at, seq, queued_at) = (slot.at, slot.seq, slot.queued_at);
+        // simlint: allow(panic-in-library, reason = "find_min only returns live slots, which always hold their payload")
+        let event = slot.event.take().expect("live slot holds an event");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        self.now = at;
+        check_pop_order(&mut self.last_popped, at, seq);
+        if let Some(p) = &self.profiler {
+            p.queue_popped(at - queued_at, self.live as u64);
+        }
+        Some((at, event))
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let (b, pos) = self.find_min()?;
+        let idx = self.buckets[b][pos];
+        Some(self.slots[idx as usize].at)
+    }
+}
+
+impl<E> EventSchedule<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        EventQueue::schedule_at(self, at, event)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        EventQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn set_profiler(&mut self, profiler: Profiler) {
+        EventQueue::set_profiler(self, profiler)
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference heap implementation
+// ---------------------------------------------------------------------------
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
     queued_at: SimTime,
     event: E,
 }
@@ -44,72 +503,53 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic calendar of future events.
+/// The reference [`EventSchedule`] implementation: a plain `BinaryHeap`
+/// ordered by `(at, seq)`, with lazy deletion for cancellation.
 ///
-/// `EventQueue` tracks the current simulated time: popping an event advances
-/// the clock to that event's timestamp.
-///
-/// ```
-/// use coarse_simcore::queue::EventQueue;
-/// use coarse_simcore::time::SimDuration;
-///
-/// let mut q = EventQueue::new();
-/// q.schedule_after(SimDuration::from_nanos(5), "late");
-/// q.schedule_after(SimDuration::from_nanos(2), "early");
-/// let (t, ev) = q.pop().unwrap();
-/// assert_eq!((t.as_nanos(), ev), (2, "early"));
-/// ```
+/// Kept for differential testing against the production [`EventQueue`] —
+/// this implementation is an order-of-magnitude simpler transcription of the
+/// ordering contract, so agreement between the two over random schedules is
+/// strong evidence the calendar queue is correct. Not used on any hot path.
 #[derive(Default)]
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
-    /// Observation-only profiler hook (calendar depth, dwell, cancel
-    /// counts); `None` costs one branch per operation.
+    /// `alive[seq]`: scheduled and neither popped nor cancelled. Sequence
+    /// numbers are dense, so a flat vector replaces a hash set (the rest of
+    /// the kernel bans unordered containers for determinism; an indexed
+    /// vector is deterministic by construction).
+    alive: Vec<bool>,
+    live: usize,
+    last_popped: Option<(SimTime, u64)>,
     profiler: Option<Profiler>,
 }
 
-impl<E> EventQueue<E> {
-    /// Creates an empty calendar at time zero.
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty reference queue at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            alive: Vec::new(),
+            live: 0,
+            last_popped: None,
             profiler: None,
         }
     }
+}
 
-    /// Attaches a profiler recording calendar depth, dwell-time, and
-    /// cancellation statistics. Observation-only: scheduling order and
-    /// timestamps are unaffected.
-    pub fn set_profiler(&mut self, profiler: Profiler) {
-        self.profiler = Some(profiler);
-    }
-
-    /// The current simulated time (timestamp of the last popped event).
-    pub fn now(&self) -> SimTime {
+impl<E> EventSchedule<E> for HeapEventQueue<E> {
+    fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Number of pending (non-cancelled) events.
-    pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+    fn len(&self) -> usize {
+        self.live
     }
 
-    /// True if no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Schedules `event` at absolute time `at`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` is before the current time.
-    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+    fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past: at={at}, now={}",
@@ -123,73 +563,65 @@ impl<E> EventQueue<E> {
             queued_at: self.now,
             event,
         });
+        self.alive.push(true);
+        self.live += 1;
         if let Some(p) = &self.profiler {
-            p.queue_scheduled(self.len() as u64);
+            p.queue_scheduled(self.live as u64);
         }
         EventHandle(seq)
     }
 
-    /// Schedules `event` after a relative delay.
-    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventHandle {
-        self.schedule_at(self.now + delay, event)
-    }
-
-    /// Schedules `event` at the current instant (processed after all events
-    /// already scheduled for this instant).
-    pub fn schedule_now(&mut self, event: E) -> EventHandle {
-        self.schedule_at(self.now, event)
-    }
-
-    /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending.
-    pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let seq = handle.0 as usize;
+        if self.alive.get(seq).copied() != Some(true) {
             return false;
         }
-        let fresh = self.cancelled.insert(handle.0);
-        if fresh {
-            if let Some(p) = &self.profiler {
-                p.queue_cancelled();
-            }
+        self.alive[seq] = false;
+        self.live -= 1;
+        if let Some(p) = &self.profiler {
+            p.queue_cancelled();
         }
-        fresh
+        true
     }
 
-    /// Removes and returns the earliest pending event, advancing the clock.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.alive[entry.seq as usize] {
+                continue; // cancelled: lazy deletion
             }
+            self.alive[entry.seq as usize] = false;
+            self.live -= 1;
             self.now = entry.at;
+            check_pop_order(&mut self.last_popped, entry.at, entry.seq);
             if let Some(p) = &self.profiler {
-                p.queue_popped(entry.at - entry.queued_at, self.len() as u64);
+                p.queue_popped(entry.at - entry.queued_at, self.live as u64);
             }
             return Some((entry.at, entry.event));
         }
         None
     }
 
-    /// The timestamp of the next pending event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
+    fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if !self.alive[entry.seq as usize] {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(entry.at);
         }
         None
     }
+
+    fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
 }
 
-impl<E> std::fmt::Debug for EventQueue<E> {
+impl<E> std::fmt::Debug for HeapEventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("HeapEventQueue")
             .field("now", &self.now)
-            .field("pending", &self.len())
+            .field("pending", &self.live)
             .finish()
     }
 }
@@ -198,25 +630,33 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Runs `body` against both implementations of the contract.
+    fn for_both(body: impl Fn(&mut dyn EventSchedule<i32>)) {
+        body(&mut EventQueue::new());
+        body(&mut HeapEventQueue::new());
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime::from_nanos(30), 3);
-        q.schedule_at(SimTime::from_nanos(10), 1);
-        q.schedule_at(SimTime::from_nanos(20), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for_both(|q| {
+            q.schedule_at(SimTime::from_nanos(30), 3);
+            q.schedule_at(SimTime::from_nanos(10), 1);
+            q.schedule_at(SimTime::from_nanos(20), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for i in 0..10 {
-            q.schedule_at(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        for_both(|q| {
+            let t = SimTime::from_nanos(5);
+            for i in 0..10 {
+                q.schedule_at(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
+        });
     }
 
     #[test]
@@ -238,43 +678,136 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn heap_scheduling_in_the_past_panics() {
+        let mut q = HeapEventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let h = q.schedule_at(SimTime::from_nanos(1), "a");
-        q.schedule_at(SimTime::from_nanos(2), "b");
-        assert!(q.cancel(h));
-        assert!(!q.cancel(h), "double-cancel should report false");
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        for_both(|q| {
+            let h = q.schedule_at(SimTime::from_nanos(1), 1);
+            q.schedule_at(SimTime::from_nanos(2), 2);
+            assert!(q.cancel(h));
+            assert!(!q.cancel(h), "double-cancel should report false");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        });
+    }
+
+    #[test]
+    fn cancel_after_pop_reports_false() {
+        for_both(|q| {
+            let h = q.schedule_at(SimTime::from_nanos(1), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+            assert!(!q.cancel(h), "the event already ran");
+            assert_eq!(q.len(), 0);
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let h = q.schedule_at(SimTime::from_nanos(1), "a");
-        q.schedule_at(SimTime::from_nanos(7), "b");
-        q.cancel(h);
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        for_both(|q| {
+            let h = q.schedule_at(SimTime::from_nanos(1), 1);
+            q.schedule_at(SimTime::from_nanos(7), 2);
+            q.cancel(h);
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        });
     }
 
     #[test]
     fn schedule_now_runs_at_current_instant() {
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime::from_nanos(4), 1);
-        q.pop();
-        q.schedule_now(2);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t, e), (SimTime::from_nanos(4), 2));
+        for_both(|q| {
+            q.schedule_at(SimTime::from_nanos(4), 1);
+            q.pop();
+            q.schedule_now(2);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, e), (SimTime::from_nanos(4), 2));
+        });
     }
 
     #[test]
     fn empty_len_reporting() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(q.is_empty());
-        let h = q.schedule_now(());
+        for_both(|q| {
+            assert!(q.is_empty());
+            let h = q.schedule_now(0);
+            assert_eq!(q.len(), 1);
+            q.cancel(h);
+            assert!(q.is_empty());
+            assert_eq!(q.pop().map(|(_, e)| e), None);
+        });
+    }
+
+    #[test]
+    fn stale_handles_never_alias_recycled_slots() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_nanos(1), 1);
+        q.pop();
+        // The freed slot is recycled for a new event; the stale handle must
+        // not cancel it.
+        let h2 = q.schedule_at(SimTime::from_nanos(2), 2);
+        assert!(!q.cancel(h));
         assert_eq!(q.len(), 1);
-        q.cancel(h);
-        assert!(q.is_empty());
-        assert_eq!(q.pop(), None);
+        assert!(q.cancel(h2));
+    }
+
+    #[test]
+    fn distant_events_pop_in_order_across_calendar_years() {
+        // Events far apart in time alias into the same buckets (calendar
+        // "years"); the year guard in find_min must keep them ordered.
+        for_both(|q| {
+            let spread = [0u64, 1 << 20, 3, 1 << 30, 1 << 12, (1 << 30) + 1];
+            for (i, &t) in spread.iter().enumerate() {
+                q.schedule_at(SimTime::from_nanos(t), i as i32);
+            }
+            let mut times = Vec::new();
+            while let Some((t, _)) = q.pop() {
+                times.push(t.as_nanos());
+            }
+            let mut sorted = spread.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted);
+        });
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        // Push enough ties + spread to force at least one grow() rebuild.
+        let mut q = EventQueue::new();
+        let n = 4 * INITIAL_BUCKETS as u64 * 4;
+        for i in 0..n {
+            q.schedule_at(SimTime::from_nanos((i % 7) * 1000), i as i32);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            popped.push((t.as_nanos(), e));
+        }
+        let mut expected: Vec<(u64, i32)> =
+            (0..n).map(|i| ((i % 7) * 1000, i as i32)).collect();
+        expected.sort_by_key(|&(t, e)| (t, e));
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn steady_state_recycles_slots() {
+        // A bounded-depth schedule must stop growing the arena: every pop
+        // frees a slot that the next schedule reuses.
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule_at(SimTime::from_nanos(i), ());
+        }
+        for i in 4..10_000u64 {
+            let (t, ()) = q.pop().unwrap();
+            assert_eq!(t.as_nanos(), i - 4);
+            q.schedule_at(SimTime::from_nanos(i), ());
+        }
+        assert!(
+            q.slots.len() <= 8,
+            "arena grew to {} slots for a depth-4 schedule",
+            q.slots.len()
+        );
     }
 }

@@ -7,7 +7,6 @@
 //! used throughout the fabric model; requests must be offered in nondecreasing
 //! arrival order, which the event-driven kernel guarantees.
 
-use crate::stats::BusyTracker;
 use crate::time::{SimDuration, SimTime};
 
 /// A FIFO-served, serially-reusable resource.
@@ -26,7 +25,7 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Clone, Default)]
 pub struct ResourceTimeline {
     busy_until: SimTime,
-    tracker: BusyTracker,
+    busy: SimDuration,
     served: u64,
 }
 
@@ -68,7 +67,9 @@ impl ResourceTimeline {
         let start = arrival.max(self.busy_until);
         let end = start + duration;
         self.busy_until = end;
-        self.tracker.record(start, end);
+        // Granted intervals are disjoint and in nondecreasing order, so a
+        // running sum equals the merged busy time without interval storage.
+        self.busy += duration;
         self.served += 1;
         Grant { start, end }
     }
@@ -81,7 +82,7 @@ impl ResourceTimeline {
 
     /// Total busy time accumulated so far.
     pub fn busy_time(&self) -> SimDuration {
-        self.tracker.busy_time()
+        self.busy
     }
 
     /// Busy fraction over `[0, horizon)`.
@@ -90,7 +91,8 @@ impl ResourceTimeline {
     ///
     /// Panics if `horizon` is zero.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
-        self.tracker.utilization(horizon)
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
     }
 }
 

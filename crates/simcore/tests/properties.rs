@@ -37,6 +37,67 @@ fn queue_cancellation() {
     });
 }
 
+/// Differential test of the two [`EventSchedule`] implementations: over
+/// seeded random schedules — heavy on timestamp ties, interleaved pops, and
+/// cancellations (including double- and after-pop cancels) — the calendar
+/// [`EventQueue`] and the reference [`HeapEventQueue`] must agree on every
+/// observable: pop sequences, peeked times, lengths, clocks, and cancel
+/// results.
+#[test]
+fn calendar_and_heap_queues_are_interchangeable() {
+    run_cases("queue_differential", 256, |g: &mut Gen| {
+        let mut cal: EventQueue<usize> = EventQueue::new();
+        let mut heap: HeapEventQueue<usize> = HeapEventQueue::new();
+        // Parallel handle books: entry i holds the two queues' handles for
+        // the i-th scheduled event.
+        let mut handles: Vec<(EventHandle, EventHandle)> = Vec::new();
+        let mut popped = 0usize;
+        let ops = g.usize_in(10..200);
+        for op in 0..ops {
+            match g.u64_in(0..10) {
+                // Schedule (most common). Small delta range forces ties;
+                // occasionally jump far ahead to cross calendar years.
+                0..=5 => {
+                    let delta = if g.u64_in(0..20) == 0 {
+                        g.u64_in(0..5_000_000)
+                    } else {
+                        g.u64_in(0..8)
+                    };
+                    let at = cal.now() + SimDuration::from_nanos(delta);
+                    let ha = cal.schedule_at(at, op);
+                    let hb = heap.schedule_at(at, op);
+                    handles.push((ha, hb));
+                }
+                // Cancel a random handle — possibly already popped or
+                // already cancelled; both queues must report the same.
+                6..=7 if !handles.is_empty() => {
+                    let i = g.usize_in(0..handles.len());
+                    let (ha, hb) = handles[i];
+                    assert_eq!(cal.cancel(ha), heap.cancel(hb));
+                }
+                // Pop.
+                _ => {
+                    assert_eq!(cal.peek_time(), heap.peek_time());
+                    let (a, b) = (cal.pop(), heap.pop());
+                    assert_eq!(a, b, "pop #{popped} diverged");
+                    popped += 1;
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.now(), heap.now());
+        }
+        // Drain: the tails must match element-for-element.
+        loop {
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    });
+}
+
 /// The RNG's `next_below` is always in range and `range_inclusive` honors
 /// both bounds.
 #[test]

@@ -29,6 +29,12 @@ pub const RULES: &[RuleInfo] = &[
                       or unwaivable rule",
     },
     RuleInfo {
+        id: "hot-path-alloc",
+        description: "no `Box::new`/`Vec::new` inside loop bodies of the event-dispatch hot \
+                      path (queue, sim driver, timelines, fabric engine, sync ring); reuse \
+                      arenas/buffers, or waive for observation-only allocations",
+    },
+    RuleInfo {
         id: "metric-coverage",
         description: "every metric constant in simcore::metrics::name must appear in \
                       bench::expectations::KNOWN_METRICS, and vice versa",
@@ -237,6 +243,7 @@ pub fn token_rules(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<
     wall_clock(info, lexed, out);
     ambient_randomness(info, lexed, out);
     panic_in_library(info, lexed, mask, out);
+    hot_path_alloc(info, lexed, mask, out);
 }
 
 fn diag(info: &FileInfo, rule: &'static str, line: u32, message: String) -> Diagnostic {
@@ -392,6 +399,104 @@ fn panic_in_library(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec
                 format!(
                     "`{name}!` in library code aborts the simulation; return a typed error, \
                      or waive stating why this is unreachable"
+                ),
+            ));
+        }
+    }
+}
+
+/// The event-dispatch hot path: files whose loop bodies run once per event,
+/// transfer, or ring step, where a per-iteration heap allocation is a
+/// steady-state throughput leak.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/cci/src/synccore.rs",
+    "crates/collectives/src/timed.rs",
+    "crates/fabric/src/bandwidth.rs",
+    "crates/fabric/src/engine.rs",
+    "crates/fabric/src/topology.rs",
+    "crates/simcore/src/queue.rs",
+    "crates/simcore/src/sim.rs",
+    "crates/simcore/src/timeline.rs",
+];
+
+/// Rule `hot-path-alloc`: `Box::new(...)` / `Vec::new(...)` inside a loop
+/// body of a [`HOT_PATH_FILES`] source. Loop extents are token-derived: a
+/// `loop`/`while`/`for` keyword (excluding `impl ... for ...` and HRTB
+/// `for<...>`) owns the brace block that follows its header. Allocations
+/// that are genuinely once-per-observation (tracing, critical-path capture)
+/// can be waived with the standard ledger.
+fn hot_path_alloc(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<Diagnostic>) {
+    if !HOT_PATH_FILES.contains(&info.path.as_str()) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    // Mark every token lying inside at least one loop body.
+    let mut in_loop = vec![false; toks.len()];
+    for idx in 0..toks.len() {
+        let Tok::Ident(name) = &toks[idx].tok else {
+            continue;
+        };
+        let is_loop_kw = match name.as_str() {
+            "loop" | "while" => true,
+            "for" => {
+                // `impl Trait for Type` has an identifier or `>` before the
+                // keyword; `for<'a>` bounds are followed by `<`. A real loop
+                // is neither.
+                let prev_disqualifies = idx > 0
+                    && matches!(&toks[idx - 1].tok, Tok::Ident(_))
+                    || idx > 0 && toks[idx - 1].tok == Tok::Punct(b'>');
+                let next_disqualifies =
+                    matches!(toks.get(idx + 1), Some(n) if n.tok == Tok::Punct(b'<'));
+                !(prev_disqualifies || next_disqualifies)
+            }
+            _ => false,
+        };
+        if !is_loop_kw {
+            continue;
+        }
+        // The loop body is the first brace block after the header.
+        let Some(open) = toks[idx..].iter().position(|t| t.tok == Tok::Punct(b'{')) else {
+            continue;
+        };
+        let start = idx + open;
+        let mut depth = 0usize;
+        for (k, t) in toks.iter().enumerate().skip(start) {
+            match t.tok {
+                Tok::Punct(b'{') => depth += 1,
+                Tok::Punct(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        for slot in in_loop.iter_mut().take(k).skip(start) {
+                            *slot = true;
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (idx, t) in toks.iter().enumerate() {
+        if !in_loop[idx] || mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name != "Box" && name != "Vec" {
+            continue;
+        }
+        let path_new = matches!(toks.get(idx + 1), Some(a) if a.tok == Tok::Punct(b':'))
+            && matches!(toks.get(idx + 2), Some(b) if b.tok == Tok::Punct(b':'))
+            && matches!(toks.get(idx + 3), Some(c) if c.tok == Tok::Ident("new".into()))
+            && matches!(toks.get(idx + 4), Some(d) if d.tok == Tok::Punct(b'('));
+        if path_new {
+            out.push(diag(
+                info,
+                "hot-path-alloc",
+                t.line,
+                format!(
+                    "`{name}::new` inside a loop body of the event-dispatch hot path \
+                     allocates per iteration; hoist the allocation or reuse a \
+                     cleared buffer (waive only for observation-only allocations)"
                 ),
             ));
         }

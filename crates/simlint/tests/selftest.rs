@@ -15,6 +15,7 @@ const PANICS_PATH: &str = "crates/trainsim/src/bad_panics.rs";
 const CFG_TEST_PATH: &str = "crates/fabric/src/cfg_test_ok.rs";
 const WAIVERS_PATH: &str = "crates/collectives/src/waivers.rs";
 const PRESET_PATH: &str = "crates/trainsim/tests/bad_preset.rs";
+const HOT_ALLOC_PATH: &str = "crates/simcore/src/sim.rs";
 
 const CONTAINER: &str = include_str!("../fixtures/bad_container.rs");
 const WALL_CLOCK: &str = include_str!("../fixtures/bad_wall_clock.rs");
@@ -26,6 +27,7 @@ const METRICS_DRIFT: &str = include_str!("../fixtures/metrics_drift.rs");
 const EXPECTATIONS_DRIFT: &str = include_str!("../fixtures/expectations_drift.rs");
 const SCENARIO_PRESETS: &str = include_str!("../fixtures/scenario_presets.rs");
 const BAD_PRESET: &str = include_str!("../fixtures/bad_preset.rs");
+const HOT_ALLOC: &str = include_str!("../fixtures/bad_hot_alloc.rs");
 
 fn fx(path: &str, content: &str) -> (String, String) {
     (path.to_string(), content.to_string())
@@ -43,6 +45,7 @@ fn all_fixtures() -> Vec<(String, String)> {
         fx(EXPECTATIONS_PATH, EXPECTATIONS_DRIFT),
         fx(SCENARIO_PATH, SCENARIO_PRESETS),
         fx(PRESET_PATH, BAD_PRESET),
+        fx(HOT_ALLOC_PATH, HOT_ALLOC),
     ]
 }
 
@@ -137,6 +140,24 @@ fn waiver_machinery_polices_itself() {
             "unused-waiver"
         ],
         "{report:?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_findings() {
+    let report = lint_files(&[fx(HOT_ALLOC_PATH, HOT_ALLOC)]);
+    let rules = active_rules(&report, HOT_ALLOC_PATH);
+    // Vec::new + Box::new in the `for` body, Vec::new in the `while` body.
+    // The hoisted allocation and the `impl Clone for` body stay clean.
+    assert_eq!(rules, vec!["hot-path-alloc"; 3], "{report:?}");
+}
+
+#[test]
+fn hot_path_alloc_only_polices_the_allowlist() {
+    let report = lint_files(&[fx("crates/trainsim/src/coarse.rs", HOT_ALLOC)]);
+    assert!(
+        active_rules(&report, "crates/trainsim/src/coarse.rs").is_empty(),
+        "the same loops off the hot path must be clean: {report:?}"
     );
 }
 

@@ -3,6 +3,7 @@
 
 use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
 use coarse_fabric::engine::TransferEngine;
+use coarse_fabric::topology::LinkMask;
 use coarse_fabric::machines::{Machine, Partition};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
@@ -58,7 +59,7 @@ pub fn simulate_allreduce(
         let end = if machine.nodes() > 1 {
             let total: usize = node_rings.iter().map(Vec::len).sum();
             let ready = vec![backward_end; total];
-            hierarchical_allreduce(&mut engine, &node_rings, payload, &ready, |_| true)
+            hierarchical_allreduce(&mut engine, &node_rings, payload, &ready, LinkMask::ALL)
                 // simlint: allow(panic-in-library, reason = "the dense-baseline topology is built fully connected by MachineBuilder")
                 .expect("workers must be connected")
                 .end
@@ -70,7 +71,7 @@ pub fn simulate_allreduce(
                 payload,
                 &ready,
                 RingDirection::Forward,
-                |_| true,
+                LinkMask::ALL,
             )
             // simlint: allow(panic-in-library, reason = "the dense-baseline topology is built fully connected by MachineBuilder")
             .expect("workers must be connected")

@@ -21,7 +21,7 @@ use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
 use coarse_fabric::machines::{Machine, Partition};
 use coarse_fabric::probe;
-use coarse_fabric::topology::{Link, LinkClass, Topology};
+use coarse_fabric::topology::{LinkClass, LinkMask, Topology};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
@@ -42,28 +42,19 @@ use crate::gpu_for;
 /// effective bandwidth).
 const BUCKET_TARGET: ByteSize = ByteSize::mib(32);
 
-fn pcie_only(l: &Link) -> bool {
-    l.class() == LinkClass::Pcie
-}
-
-fn cci_only(l: &Link) -> bool {
-    l.class() == LinkClass::Cci
-}
-
-fn cci_or_network(l: &Link) -> bool {
-    matches!(
-        l.class(),
-        LinkClass::Cci | LinkClass::Network | LinkClass::Pcie
-    )
-}
+const PCIE_ONLY: LinkMask = LinkMask::only(LinkClass::Pcie);
+const CCI_ONLY: LinkMask = LinkMask::only(LinkClass::Cci);
+const CCI_OR_NETWORK: LinkMask = LinkMask::only(LinkClass::Cci)
+    .with(LinkClass::Network)
+    .with(LinkClass::Pcie);
 
 /// Everything fixed about a deployment, shared by pilot and final runs.
 struct Deployment<'a> {
     machine: &'a Machine,
-    /// Link filter for proxy-to-proxy collectives: the dedicated CCI fabric
+    /// Link mask for proxy-to-proxy collectives: the dedicated CCI fabric
     /// normally; the staged PCIe path on machines whose emulation cannot do
     /// peer-to-peer (the paper's AWS T4, §V-D).
-    proxy_filter: fn(&Link) -> bool,
+    proxy_mask: LinkMask,
     deployed: Machine,
     plan: IterationPlan,
     model: &'a ModelProfile,
@@ -265,7 +256,7 @@ impl Deployment<'_> {
                         .topology()
                         .host_cpu(self.deployed.topology().device(worker).node());
                     let rec = engine
-                        .transfer_filtered(cpu, worker, self.input_bytes, start, pcie_only)
+                        .transfer_masked(cpu, worker, self.input_bytes, start, PCIE_ONLY)
                         // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                         .expect("host reaches its workers");
                     next_start = next_start.max(rec.end);
@@ -321,7 +312,7 @@ impl Deployment<'_> {
                                 p.count(prof_region::TRAIN_PUSH, 1);
                             }
                             let rec = engine
-                                .transfer_filtered(worker, dest, s, t, pcie_only)
+                                .transfer_masked(worker, dest, s, t, PCIE_ONLY)
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                                 .expect("worker reaches its proxy");
                             t = rec.end;
@@ -392,7 +383,7 @@ impl Deployment<'_> {
                         &self.node_mem_rings,
                         total,
                         &ready,
-                        cci_or_network,
+                        CCI_OR_NETWORK,
                     )
                     // simlint: allow(panic-in-library, reason = "the memory ring is built from the deployed connected topology")
                     .expect("memory devices are connected")
@@ -406,7 +397,7 @@ impl Deployment<'_> {
                         total,
                         &ready,
                         RingDirection::for_group(round),
-                        self.proxy_filter,
+                        self.proxy_mask,
                     )
                     // simlint: allow(panic-in-library, reason = "the memory ring is built from the deployed connected topology")
                     .expect("memory devices are connected")
@@ -433,7 +424,7 @@ impl Deployment<'_> {
                                 p.count(prof_region::TRAIN_PULL, 1);
                             }
                             let rec = engine
-                                .transfer_filtered(src, worker, s, t, pcie_only)
+                                .transfer_masked(src, worker, s, t, PCIE_ONLY)
                                 // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                                 .expect("proxy reaches its worker");
                             t = rec.end;
@@ -565,7 +556,7 @@ impl Deployment<'_> {
                     &self.node_gpu_rings,
                     gpu_bytes,
                     &vec![backward_end; total],
-                    |_| true,
+                    LinkMask::ALL,
                 )
                 // simlint: allow(panic-in-library, reason = "the worker ring is built from the deployed connected topology")
                 .expect("workers are connected")
@@ -577,7 +568,7 @@ impl Deployment<'_> {
                     gpu_bytes,
                     &vec![backward_end; self.gpu_ring.len()],
                     RingDirection::Forward,
-                    |_| true,
+                    LinkMask::ALL,
                 )
                 // simlint: allow(panic-in-library, reason = "the worker ring is built from the deployed connected topology")
                 .expect("workers are connected")
@@ -811,7 +802,7 @@ impl Deployment<'_> {
                         .topology()
                         .host_cpu(self.deployed.topology().device(worker).node());
                     let rec = engine
-                        .transfer_filtered(cpu, worker, self.input_bytes, start, pcie_only)
+                        .transfer_masked(cpu, worker, self.input_bytes, start, PCIE_ONLY)
                         // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
                         .expect("host reaches its workers");
                     next_start = next_start.max(rec.end);
@@ -847,7 +838,7 @@ impl Deployment<'_> {
                     latest_emit = latest_emit.max(emitted);
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut dest = state.tables[w].route_for(size);
-                        let shards = shard_sizes(size, state.tables[w].shard_size);
+                        let shards: Vec<ByteSize> = shard_sizes(size, state.tables[w].shard_size).collect();
                         let stream = stream_id(k, false, ev.tensor);
                         let mut t = emitted;
                         let mut i = 0;
@@ -938,7 +929,7 @@ impl Deployment<'_> {
                             &state.node_mem_rings,
                             total,
                             &ready,
-                            cci_or_network,
+                            CCI_OR_NETWORK,
                         )
                     } else {
                         let ready: Vec<SimTime> = state
@@ -952,7 +943,7 @@ impl Deployment<'_> {
                             total,
                             &ready,
                             RingDirection::for_group(round),
-                            self.proxy_filter,
+                            self.proxy_mask,
                         )
                     };
                     match attempt {
@@ -1000,7 +991,7 @@ impl Deployment<'_> {
                     let size = model.tensors()[ev.tensor].byte_size();
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut src = state.tables[w].route_for(size);
-                        let shards = shard_sizes(size, state.tables[w].shard_size);
+                        let shards: Vec<ByteSize> = shard_sizes(size, state.tables[w].shard_size).collect();
                         let stream = stream_id(k, true, ev.tensor);
                         let stall = plan.stall(src.index() as u32, sync_end);
                         if stall > SimDuration::ZERO {
@@ -1087,7 +1078,7 @@ impl Deployment<'_> {
                             &self.node_gpu_rings,
                             sync_bytes,
                             &vec![backward_end + delay; total],
-                            |_| true,
+                            LinkMask::ALL,
                         )
                     } else {
                         ring_allreduce(
@@ -1096,7 +1087,7 @@ impl Deployment<'_> {
                             sync_bytes,
                             &vec![backward_end + delay; self.gpu_ring.len()],
                             RingDirection::Forward,
-                            |_| true,
+                            LinkMask::ALL,
                         )
                     };
                     match attempt {
@@ -1255,7 +1246,7 @@ fn resilient_shard_transfer(
             });
         }
         *transfer_seq += 1;
-        match engine.transfer_filtered(src, dst, size, t, pcie_only) {
+        match engine.transfer_masked(src, dst, size, t, PCIE_ONLY) {
             Ok(rec) => {
                 if attempt < MAX_PUSH_ATTEMPTS
                     && plan.corrupts(dst.index() as u32, rec.end, *transfer_seq)
@@ -1605,7 +1596,7 @@ fn prepare_traced<'a>(
             node_mem_rings.push(on_node);
         }
     }
-    let proxy_filter: fn(&Link) -> bool = if emulated_p2p { cci_only } else { pcie_only };
+    let proxy_mask: LinkMask = if emulated_p2p { CCI_ONLY } else { PCIE_ONLY };
 
     // Profile routing tables against the deployed fabric (PCIe paths only,
     // §IV-B), spreading bandwidth ties across clients.
@@ -1624,7 +1615,7 @@ fn prepare_traced<'a>(
             node_mem_rings[0][0],
             node_mem_rings[0][std::cmp::min(1, node_mem_rings[0].len() - 1)],
             ByteSize::mib(64),
-            proxy_filter,
+            proxy_mask,
         );
         let cross = if node_mem_rings.len() > 1 {
             probe::measure_unidirectional(
@@ -1632,7 +1623,7 @@ fn prepare_traced<'a>(
                 node_mem_rings[0][0],
                 node_mem_rings[1][0],
                 ByteSize::mib(64),
-                cci_or_network,
+                CCI_OR_NETWORK,
             )
         } else {
             f64::INFINITY
@@ -1660,7 +1651,7 @@ fn prepare_traced<'a>(
             gpu_ring[0],
             gpu_ring[1],
             ByteSize::mib(64),
-            |_| true,
+            LinkMask::ALL,
         ))
     } else {
         Bandwidth::gib_per_sec(1000.0)
@@ -1690,7 +1681,7 @@ fn prepare_traced<'a>(
 
     let deployment = Deployment {
         machine,
-        proxy_filter,
+        proxy_mask,
         deployed,
         plan,
         model,
@@ -2014,18 +2005,19 @@ pub fn coarse_hotspots(
 }
 
 /// Splits a payload into wire shards of `shard` bytes (remainder last); a
-/// payload smaller than two full shards travels whole.
-fn shard_sizes(size: ByteSize, shard: ByteSize) -> Vec<ByteSize> {
-    if size.as_u64() < 2 * shard.as_u64() {
-        return vec![size];
-    }
-    let full = size.as_u64() / shard.as_u64();
-    let mut v = vec![shard; full as usize];
-    let rem = size.as_u64() % shard.as_u64();
-    if rem > 0 {
-        v.push(ByteSize::bytes(rem));
-    }
-    v
+/// payload smaller than two full shards travels whole. Allocation-free:
+/// push/pull inner loops iterate this once per (tensor, worker).
+fn shard_sizes(size: ByteSize, shard: ByteSize) -> impl Iterator<Item = ByteSize> {
+    let (full, tail) = if size.as_u64() < 2 * shard.as_u64() {
+        (0, Some(size))
+    } else {
+        let rem = size.as_u64() % shard.as_u64();
+        (
+            size.as_u64() / shard.as_u64(),
+            (rem > 0).then(|| ByteSize::bytes(rem)),
+        )
+    };
+    std::iter::repeat(shard).take(full as usize).chain(tail)
 }
 
 #[cfg(test)]
@@ -2039,12 +2031,11 @@ mod tests {
     #[test]
     fn shard_sizes_tile_payload() {
         let total: u64 = shard_sizes(ByteSize::bytes(10_000), ByteSize::bytes(3000))
-            .iter()
             .map(|s| s.as_u64())
             .sum();
         assert_eq!(total, 10_000);
         assert_eq!(
-            shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).len(),
+            shard_sizes(ByteSize::bytes(100), ByteSize::bytes(3000)).count(),
             1
         );
     }

@@ -1,7 +1,5 @@
 //! Experiment configuration and result types.
 
-use coarse_fabric::machines::{Machine, PartitionScheme};
-use coarse_models::profile::ModelProfile;
 use coarse_simcore::time::SimDuration;
 
 /// The parameter-synchronization scheme under test (§V-D).
@@ -30,28 +28,6 @@ impl std::fmt::Display for Scheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
-}
-
-/// One training experiment.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `scenario::Scenario` instead; it is the single entry \
-            point and also carries fault plans"
-)]
-#[derive(Debug, Clone)]
-pub struct TrainConfig {
-    /// The machine (consumed per run; clone the preset).
-    pub machine: Machine,
-    /// Worker / memory-device split.
-    pub partition: PartitionScheme,
-    /// The DL model.
-    pub model: ModelProfile,
-    /// Per-GPU batch size.
-    pub batch_per_gpu: u32,
-    /// Scheme under test.
-    pub scheme: Scheme,
-    /// Iterations to simulate (steady state is measured over the tail).
-    pub iterations: u32,
 }
 
 /// Steady-state results of one simulated training run.

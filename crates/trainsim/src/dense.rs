@@ -15,7 +15,7 @@ use coarse_cci::coherence::sharing_overhead_factor;
 use coarse_core::resilience::ResiliencePolicy;
 use coarse_fabric::machines::{Machine, Partition};
 use coarse_fabric::probe;
-use coarse_fabric::topology::{Link, LinkClass};
+use coarse_fabric::topology::{LinkClass, LinkMask};
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::critpath::{class as crit_class, CritPath, NodeId};
@@ -31,9 +31,7 @@ use crate::gpu_for;
 /// direct DMA at large transfers (Fig. 3: 4× on writes).
 pub const CCI_COHERENT_SLOWDOWN: f64 = 4.0;
 
-fn pcie_only(l: &Link) -> bool {
-    l.class() == LinkClass::Pcie
-}
+const PCIE_ONLY: LinkMask = LinkMask::only(LinkClass::Pcie);
 
 /// Simulates DENSE training. Pushes stream out as the backward pass emits
 /// gradients (they still serialize on the device's single ingress path);
@@ -108,7 +106,7 @@ fn dense_inner(
                 w,
                 device,
                 ByteSize::mib(64),
-                pcie_only,
+                PCIE_ONLY,
             );
             // Coherent-access rate, per the prototype's correlated slowdown
             // plus sharer-dependent coherence traffic.
@@ -249,7 +247,7 @@ pub fn simulate_dense_faulty(
                     w,
                     device,
                     ByteSize::mib(64),
-                    pcie_only,
+                    PCIE_ONLY,
                 );
                 bus / CCI_COHERENT_SLOWDOWN / coherence
             })

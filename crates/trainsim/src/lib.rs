@@ -32,8 +32,6 @@ pub use coarse::{
     simulate_coarse_faulty_observed, simulate_coarse_with_input, trace_coarse, FaultyTrainResult,
     Sabotage,
 };
-#[allow(deprecated)]
-pub use config::TrainConfig;
 pub use config::{Scheme, TrainError, TrainResult};
 pub use dense::{simulate_dense, simulate_dense_explained, simulate_dense_faulty};
 pub use explain::{explain_preset, explain_scenario, ExplainRun, ExplainedScheme};
@@ -60,29 +58,7 @@ pub fn gpu_for(sku: GpuSku) -> GpuCompute {
     }
 }
 
-/// Runs one experiment, checking GPU memory feasibility first: AllReduce
-/// and DENSE keep parameters and optimizer state on the GPU; COARSE
-/// offloads them to the memory devices (§V-D, Fig. 16e).
-///
-/// # Errors
-///
-/// Returns [`TrainError::OutOfMemory`] if the batch does not fit.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `scenario::Scenario` and call `.run()` instead"
-)]
-#[allow(deprecated)]
-pub fn simulate(config: &TrainConfig) -> Result<TrainResult, TrainError> {
-    Scenario::new("adhoc", config.machine.clone(), config.model.clone())
-        .partition(config.partition)
-        .batch_per_gpu(config.batch_per_gpu)
-        .iterations(config.iterations)
-        .scheme(config.scheme)
-        .run()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use coarse_fabric::machines::{aws_v100, PartitionScheme};
@@ -90,28 +66,24 @@ mod tests {
 
     #[test]
     fn oom_detected_for_allreduce_batch4() {
-        let cfg = TrainConfig {
-            machine: aws_v100(),
-            partition: PartitionScheme::OneToOne,
-            model: bert_large(),
-            batch_per_gpu: 4,
-            scheme: Scheme::AllReduce,
-            iterations: 2,
-        };
-        let err = simulate(&cfg).unwrap_err();
+        let err = Scenario::new("adhoc", aws_v100(), bert_large())
+            .partition(PartitionScheme::OneToOne)
+            .batch_per_gpu(4)
+            .iterations(2)
+            .scheme(Scheme::AllReduce)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, TrainError::OutOfMemory { max_batch: 3, .. }));
     }
 
     #[test]
     fn coarse_fits_batch4() {
-        let cfg = TrainConfig {
-            machine: aws_v100(),
-            partition: PartitionScheme::OneToOne,
-            model: bert_large(),
-            batch_per_gpu: 4,
-            scheme: Scheme::Coarse,
-            iterations: 2,
-        };
-        assert!(simulate(&cfg).is_ok());
+        let run = Scenario::new("adhoc", aws_v100(), bert_large())
+            .partition(PartitionScheme::OneToOne)
+            .batch_per_gpu(4)
+            .iterations(2)
+            .scheme(Scheme::Coarse)
+            .run();
+        assert!(run.is_ok());
     }
 }

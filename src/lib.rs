@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the COARSE reproduction workspace.
+pub use coarse_bench as bench;
 pub use coarse_cci as cci;
 pub use coarse_collectives as collectives;
 pub use coarse_core as core;

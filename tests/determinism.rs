@@ -4,6 +4,7 @@
 
 use coarse_repro::fabric::machines::{aws_v100, sdsc_p100, PartitionScheme};
 use coarse_repro::fabric::probe;
+use coarse_repro::fabric::topology::LinkMask;
 use coarse_repro::models::zoo::bert_large;
 use coarse_repro::simcore::units::ByteSize;
 use coarse_repro::trainsim::{
@@ -30,8 +31,8 @@ fn training_simulations_are_reproducible() {
 fn probes_are_reproducible() {
     let machine = sdsc_p100();
     let gpus = machine.gpus().to_vec();
-    let m1 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), |_| true);
-    let m2 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), |_| true);
+    let m1 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
+    let m2 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
     assert_eq!(m1, m2);
 }
 

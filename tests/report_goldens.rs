@@ -1,0 +1,64 @@
+//! Golden-output equality gate for the simulator's report documents.
+//!
+//! The event-core rewrite (calendar queue, route caching, zero-alloc hot
+//! paths) is a pure performance change: the `coarse.run-report/v1` and
+//! `coarse.explain-report/v1` documents for every Fig. 16 preset must stay
+//! **byte-identical** to the pre-rewrite output. The fixtures under
+//! `tests/goldens/` were captured from the reference (`BinaryHeap` +
+//! uncached-Dijkstra) implementation; any timing or ordering drift in the
+//! hot path shows up here as a byte diff.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test report_goldens
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use coarse_trainsim::{explain_preset, Scenario};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `got` against the committed fixture, or rewrites the fixture
+/// when `UPDATE_GOLDENS=1` is set.
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create goldens dir");
+        fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run UPDATE_GOLDENS=1", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "{name} drifted from its golden fixture; the hot-path rewrite must be \
+         byte-identical (regenerate with UPDATE_GOLDENS=1 only for intentional \
+         semantic changes)"
+    );
+}
+
+#[test]
+fn run_reports_match_pre_rewrite_goldens() {
+    for preset in Scenario::presets() {
+        let report = Scenario::preset(preset).report().render();
+        check_golden(&format!("run-report-{preset}.json"), &report);
+    }
+}
+
+#[test]
+fn explain_reports_match_pre_rewrite_goldens() {
+    for preset in Scenario::presets() {
+        let run = explain_preset(preset).expect("preset explains");
+        let mut doc = run.report_json().render_pretty();
+        doc.push('\n');
+        check_golden(&format!("explain-report-{preset}.json"), &doc);
+    }
+}

@@ -1,0 +1,48 @@
+//! Tier-1 gate: the event-core's deterministic throughput counters must
+//! match the committed `BENCH_seed.json` baseline exactly.
+//!
+//! The self-profiler's kernel dispatch/queue counters and per-region event
+//! counts depend only on the simulated program, so any drift against the
+//! baseline is a hard failure — the simulation changed behavior without the
+//! baseline being regenerated. Wall-clock throughput (events/sec) is
+//! machine-dependent and therefore advisory: drift outside the tolerance
+//! band prints a warning but never fails the gate.
+
+use coarse_bench::selfbench::{compare_reports, profile_summary, BENCH_SCHEMA, WALL_TOLERANCE};
+use coarse_simcore::json::JsonValue;
+
+fn committed_baseline() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_seed.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_seed.json is committed at the root");
+    JsonValue::parse(&text).expect("BENCH_seed.json parses")
+}
+
+#[test]
+fn profile_counters_match_committed_bench_baseline() {
+    let baseline = committed_baseline();
+    // Wrap both profile sections in minimal documents: the gate audits the
+    // profiled counters, not the baseline's host-specific bench rows.
+    let base_doc = JsonValue::object()
+        .with(
+            "schema",
+            baseline.get("schema").cloned().unwrap_or(JsonValue::Null),
+        )
+        .with(
+            "profile",
+            baseline.get("profile").cloned().unwrap_or(JsonValue::Null),
+        );
+    let cur_doc = JsonValue::object()
+        .with("schema", JsonValue::str(BENCH_SCHEMA))
+        .with("profile", profile_summary());
+
+    let cmp = compare_reports(&cur_doc, &base_doc, WALL_TOLERANCE);
+    for w in &cmp.warnings {
+        eprintln!("selfbench gate (advisory): {w}");
+    }
+    assert!(
+        cmp.passed(),
+        "deterministic selfbench counters drifted from BENCH_seed.json — the \
+         simulated program changed; regenerate the baseline if intentional:\n{}",
+        cmp.errors.join("\n")
+    );
+}
