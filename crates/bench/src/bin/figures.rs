@@ -492,6 +492,13 @@ fn usage() {
          \x20 faults [scenario]        run a seeded fault-injection scenario over the\n\
          \x20                          fig16d panel and write fault-report-<scenario>.json;\n\
          \x20                          scenarios: {FAULT_SCENARIOS}\n\
+         \x20 recover [preset]         run the recovery harness (reference multi-fault\n\
+         \x20                          schedule, pool checkpoints, oracle battery) over\n\
+         \x20                          a fig16 preset (default fig16d), verify two runs\n\
+         \x20                          render byte-identical reports, and write\n\
+         \x20                          recover-<preset>.json; exit 1 on any violation\n\
+         \x20 recover sweep [preset]   same, across checkpoint intervals; writes the\n\
+         \x20                          cost/recovery matrix recover-sweep-<preset>.json\n\
          \x20 chaos soak [cases]       randomized fault-schedule search with runtime\n\
          \x20                          oracles armed (default 500 cases); failures are\n\
          \x20                          shrunk and written as chaos-repro-<hash>.json\n\
@@ -527,6 +534,10 @@ fn list() {
     }
     println!("\nchaos modes:");
     for s in ["soak", "run", "replay", "selftest"] {
+        println!("  {s}");
+    }
+    println!("\nrecover presets (plus 'sweep <preset>'):");
+    for s in coarse_trainsim::Scenario::presets() {
         println!("  {s}");
     }
     println!("\nprofile scenarios:");
@@ -879,6 +890,151 @@ fn explain(name: &str) {
     println!("wrote {trace_path} (determinism check: two runs matched)");
 }
 
+/// Iterations per recovery run: long enough for the reference schedule's
+/// two dropouts to land in distinct checkpoint epochs, short enough for CI.
+const RECOVER_ITERATIONS: u32 = 6;
+
+/// Checkpoint cadence of the single-run mode (every other iteration).
+const RECOVER_INTERVAL: u32 = 2;
+
+/// Intervals the sweep mode measures (0 = never checkpoint).
+const RECOVER_SWEEP_INTERVALS: &[u32] = &[0, 1, 2, 4];
+
+/// Prints the headline numbers of one recovery report.
+fn recover_summary(r: &coarse_trainsim::RecoveryReport) {
+    println!(
+        "schedule:          {} fault event(s); parameter image {}",
+        r.schedule.specs().len(),
+        r.image_bytes
+    );
+    println!("baseline wall:     {}", r.baseline_wall);
+    println!(
+        "checkpointed wall: {} ({} checkpoint(s), +{:.2}% overhead)",
+        r.checkpointed_wall,
+        r.checkpoints,
+        r.checkpoint_overhead() * 100.0
+    );
+    println!(
+        "pool vs disk:      {} vs {} per checkpoint ({:.1}% of disk)",
+        r.pool_checkpoint_mean(),
+        r.disk_checkpoint(),
+        r.pool_vs_disk() * 100.0
+    );
+    println!("faulty wall:       {}", r.faulty.wall);
+    println!(
+        "recovery:          {} repair(s), {} restore(s), {} lost iteration(s), MTTR {}",
+        r.faulty.repairs, r.faulty.restores, r.faulty.lost_iterations, r.faulty.mttr
+    );
+    println!("goodput:           {:.1}%", r.goodput() * 100.0);
+    if r.violations.is_empty() {
+        println!("oracles:           quiet (membership monotone, re-converged)");
+    } else {
+        for v in &r.violations {
+            println!("VIOLATION {v}");
+        }
+    }
+}
+
+/// `figures -- recover [preset]` / `figures -- recover sweep [preset]`:
+/// runs the recovery harness (reference multi-fault schedule + pool
+/// checkpoints + the full oracle battery) twice over a fig16 preset,
+/// asserts the `coarse.recovery-report/v1` document is byte-identical
+/// across the two runs, prints the goodput accounting, and writes
+/// `recover-<preset>.json` (or `recover-sweep-<preset>.json`). Exits 1 on
+/// any oracle violation, 2 on an unknown preset.
+fn recover(args: &[String]) {
+    use coarse_core::resilience::RecoveryPolicy;
+    use coarse_trainsim::{interval_sweep, recovery_report, TrainError};
+    let unknown = |name: &str| -> ! {
+        eprintln!(
+            "unknown recover preset '{name}'; presets: {}\n",
+            coarse_trainsim::Scenario::presets().join(" ")
+        );
+        usage();
+        std::process::exit(2);
+    };
+    let fail = |e: TrainError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    if args.first().map(String::as_str) == Some("sweep") {
+        let name = args.get(1).map(String::as_str).unwrap_or("fig16d");
+        let policy = RecoveryPolicy::default();
+        hr(&format!(
+            "RECOVER SWEEP — {name} ({RECOVER_ITERATIONS} iterations, intervals {RECOVER_SWEEP_INTERVALS:?})"
+        ));
+        let sweep = match interval_sweep(name, RECOVER_ITERATIONS, RECOVER_SWEEP_INTERVALS, &policy)
+        {
+            Ok(sweep) => sweep,
+            Err(TrainError::UnknownPreset { .. }) => unknown(name),
+            Err(e) => fail(e),
+        };
+        let again = interval_sweep(name, RECOVER_ITERATIONS, RECOVER_SWEEP_INTERVALS, &policy)
+            .expect("second sweep of a known preset");
+        if sweep.render() != again.render() {
+            eprintln!("error: recovery sweeps differ between two runs of '{name}'");
+            std::process::exit(1);
+        }
+        println!(
+            "{:>9} {:>10} {:>9} {:>6} {:>9} {:>16}",
+            "interval", "overhead", "goodput", "lost", "restores", "MTTR"
+        );
+        for r in &sweep.reports {
+            println!(
+                "{:>9} {:>9.2}% {:>8.1}% {:>6} {:>9} {:>16}",
+                r.policy.checkpoint_interval,
+                r.checkpoint_overhead() * 100.0,
+                r.goodput() * 100.0,
+                r.faulty.lost_iterations,
+                r.faulty.restores,
+                r.faulty.mttr.to_string()
+            );
+        }
+        let mut doc = sweep.render();
+        doc.push('\n');
+        let path = format!("recover-sweep-{name}.json");
+        write_artifact(&path, &doc);
+        println!("\nwrote {path} (determinism check: two runs matched)");
+        if sweep.reports.iter().any(|r| !r.violations.is_empty()) {
+            for r in &sweep.reports {
+                for v in &r.violations {
+                    eprintln!("VIOLATION (interval {}) {v}", r.policy.checkpoint_interval);
+                }
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    let name = args.first().map(String::as_str).unwrap_or("fig16d");
+    let policy = RecoveryPolicy {
+        checkpoint_interval: RECOVER_INTERVAL,
+        ..RecoveryPolicy::default()
+    };
+    hr(&format!(
+        "RECOVER — {name} ({RECOVER_ITERATIONS} iterations, checkpoint every {RECOVER_INTERVAL})"
+    ));
+    let report = match recovery_report(name, RECOVER_ITERATIONS, &policy) {
+        Ok(report) => report,
+        Err(TrainError::UnknownPreset { .. }) => unknown(name),
+        Err(e) => fail(e),
+    };
+    let again = recovery_report(name, RECOVER_ITERATIONS, &policy)
+        .expect("second recovery run of a known preset");
+    if report.render() != again.render() {
+        eprintln!("error: recovery reports differ between two runs of '{name}'");
+        std::process::exit(1);
+    }
+    recover_summary(&report);
+    let mut doc = report.render();
+    doc.push('\n');
+    let path = format!("recover-{name}.json");
+    write_artifact(&path, &doc);
+    println!("\nwrote {path} (determinism check: two runs matched)");
+    if !report.violations.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 /// Writes a CLI artifact, exiting 1 with a message instead of panicking
 /// when the filesystem refuses (read-only checkout, missing directory).
 fn write_artifact(path: &str, contents: &str) {
@@ -1202,6 +1358,10 @@ fn main() {
         }
         "chaos" => {
             chaos(&args[1..]);
+            return;
+        }
+        "recover" => {
+            recover(&args[1..]);
             return;
         }
         "validate" => {

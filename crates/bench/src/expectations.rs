@@ -15,8 +15,11 @@
 
 use std::cell::OnceCell;
 
+use coarse_core::resilience::RecoveryPolicy;
 use coarse_simcore::json::JsonValue;
-use coarse_trainsim::{compare_straggler, node_scaling, ScalingPoint, StragglerResult};
+use coarse_trainsim::{
+    compare_straggler, node_scaling, recovery_report, RecoveryReport, ScalingPoint, StragglerResult,
+};
 
 use crate::mechanisms::{self, Fig10, Fig9};
 use crate::micro::{self, Fig13, Fig14, Fig3, Fig8};
@@ -101,6 +104,7 @@ pub struct Measurements {
     crossover: OnceCell<Option<f64>>,
     straggler: OnceCell<Vec<(f64, StragglerResult, StragglerResult)>>,
     scaling: OnceCell<Vec<ScalingPoint>>,
+    recovery: OnceCell<RecoveryReport>,
 }
 
 impl Measurements {
@@ -192,6 +196,15 @@ impl Measurements {
     fn scaling(&self) -> &[ScalingPoint] {
         self.scaling
             .get_or_init(|| node_scaling(&coarse_models::zoo::bert_large(), 2, &[1, 2, 4]))
+    }
+    fn recovery(&self) -> &RecoveryReport {
+        self.recovery.get_or_init(|| {
+            let policy = RecoveryPolicy {
+                checkpoint_interval: 2,
+                ..RecoveryPolicy::default()
+            };
+            recovery_report("fig16d", 6, &policy).expect("fig16d runs under the recovery harness")
+        })
     }
 }
 
@@ -724,6 +737,60 @@ pub static REGISTRY: &[Expectation] = &[
             let p = m.scaling().last().expect("4-node point");
             p.coarse_gain() - 1.0
         },
+    },
+    Expectation {
+        id: "recovery.goodput",
+        scenario: "recovery",
+        description: "COARSE goodput under the reference multi-fault schedule (fig16d)",
+        paper: "SIII-E: training continues through proxy failures",
+        pass: (0.35, 0.60),
+        warn: (0.20, 0.80),
+        extract: |m| m.recovery().goodput(),
+    },
+    Expectation {
+        id: "recovery.restores",
+        scenario: "recovery",
+        description: "pool-checkpoint restores forced by the two scheduled dropouts",
+        paper: "SIII-E: a failed proxy's shards are recovered from pooled memory",
+        pass: (1.5, 2.5),
+        warn: (0.5, 3.5),
+        extract: |m| m.recovery().faulty.restores as f64,
+    },
+    Expectation {
+        id: "recovery.mttr-ms",
+        scenario: "recovery",
+        description: "mean time to restore after a hard proxy dropout (ms)",
+        paper: "SIII-E: recovery is bounded by re-reading the image over CCI",
+        pass: (20.0, 100.0),
+        warn: (5.0, 500.0),
+        extract: |m| m.recovery().faulty.mttr.as_secs_f64() * 1e3,
+    },
+    Expectation {
+        id: "recovery.checkpoint-overhead",
+        scenario: "recovery",
+        description: "fault-free wall-time overhead of checkpointing every 2 iterations",
+        paper: "SIII-E: pooled-memory checkpoints are cheap enough to take often",
+        pass: (0.0, 0.10),
+        warn: (0.0, 0.25),
+        extract: |m| m.recovery().checkpoint_overhead(),
+    },
+    Expectation {
+        id: "recovery.pool-vs-disk",
+        scenario: "recovery",
+        description: "pool-checkpoint cost as a fraction of the disk baseline",
+        paper: "SIII-E: sealed pushes into the pool vs a 1.5 GiB/s disk write",
+        pass: (0.0, 0.20),
+        warn: (0.0, 0.50),
+        extract: |m| m.recovery().pool_vs_disk(),
+    },
+    Expectation {
+        id: "recovery.oracles-quiet",
+        scenario: "recovery",
+        description: "membership monotone and re-converged after the last fault clears",
+        paper: "invariant: recovery must terminate and epochs never regress",
+        pass: TRUE_BAND,
+        warn: TRUE_BAND,
+        extract: |m| bool_metric(m.recovery().violations.is_empty()),
     },
     Expectation {
         id: "capacity.allreduce-max-batch",

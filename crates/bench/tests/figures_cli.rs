@@ -6,8 +6,9 @@ use std::process::Command;
 
 /// Every subcommand `main` dispatches on (figure regenerators ride through
 /// the `<figure>` placeholder and are listed separately by `list`).
-const SUBCOMMANDS: [&str; 10] = [
-    "list", "trace", "faults", "chaos", "validate", "report", "bench", "profile", "explain", "lint",
+const SUBCOMMANDS: [&str; 11] = [
+    "list", "trace", "faults", "chaos", "validate", "report", "bench", "profile", "explain",
+    "lint", "recover",
 ];
 
 fn figures(args: &[&str]) -> std::process::Output {
@@ -53,6 +54,17 @@ fn unknown_subcommand_is_a_usage_error() {
     assert!(
         err.contains("unknown subcommand 'definitely-not-a-subcommand'"),
         "stderr should name the rejected subcommand: {err}"
+    );
+}
+
+#[test]
+fn unknown_recover_preset_is_a_usage_error() {
+    let out = figures(&["recover", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown recover preset 'fig99'"),
+        "stderr should name the rejected preset: {err}"
     );
 }
 

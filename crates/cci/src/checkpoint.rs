@@ -1,0 +1,149 @@
+//! Pool-checkpoint traffic planning and the disk-cost baseline.
+//!
+//! §IV-A: "the memory device takes a snapshot of the current version of all
+//! parameters and saves it as a checkpoint." In a cache-coherent pool the
+//! snapshot never leaves the fabric: each proxy sealed-pushes its shard of
+//! the parameter image to a *mirror* proxy (its ring successor), and a
+//! restore coherently reads the image back. Both directions are therefore
+//! ordinary simulated transfers, so the checkpoint interval becomes a
+//! tunable cost/recovery tradeoff instead of a free byte blob.
+//!
+//! [`DiskModel`] is the analytic baseline the paper's "near-free vs disk"
+//! claim is measured against: a conventional checkpoint funnels the full
+//! image through a host filesystem at sequential-disk bandwidth plus a
+//! fixed per-checkpoint setup cost.
+
+use coarse_simcore::time::SimDuration;
+use coarse_simcore::units::{Bandwidth, ByteSize};
+
+/// One leg of a pool checkpoint: the proxy at member index `src` pushes
+/// `bytes` of its parameter shard to the proxy at member index `mirror`.
+/// Indices are positions in the surviving-membership list, not device ids —
+/// the caller owns the membership → device mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLeg {
+    /// Member index of the shard's owner.
+    pub src: usize,
+    /// Member index of the mirror receiving the copy.
+    pub mirror: usize,
+    /// Shard size.
+    pub bytes: ByteSize,
+}
+
+/// The transfer legs of one pool checkpoint (or, reversed, one restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPlan {
+    /// One leg per surviving proxy, in member order.
+    pub legs: Vec<ShardLeg>,
+    /// Total image size (sum of all legs).
+    pub total: ByteSize,
+}
+
+/// Splits a `total`-byte parameter image across `members` pool proxies and
+/// mirrors each shard to its ring successor. The split is even with the
+/// remainder spread over the lowest member indices, so the plan is a pure
+/// function of `(members, total)`.
+///
+/// # Panics
+///
+/// Panics if `members < 2` — with a single survivor there is no distinct
+/// mirror, and the caller should have degraded to GPU-only already.
+pub fn plan_pool_checkpoint(members: usize, total: ByteSize) -> CheckpointPlan {
+    assert!(members >= 2, "a pool checkpoint needs a distinct mirror");
+    let base = total.as_u64() / members as u64;
+    let rem = total.as_u64() % members as u64;
+    let legs: Vec<ShardLeg> = (0..members)
+        .map(|i| ShardLeg {
+            src: i,
+            mirror: (i + 1) % members,
+            bytes: ByteSize::bytes(base + u64::from((i as u64) < rem)),
+        })
+        .collect();
+    CheckpointPlan { legs, total }
+}
+
+/// Analytic cost model of a conventional disk checkpoint: the full image is
+/// funneled through the host at sequential-storage bandwidth, plus a fixed
+/// per-operation setup cost (file creation, metadata, fsync). The defaults
+/// model a datacenter NVMe volume of the paper's era.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Sustained sequential write bandwidth.
+    pub write_bandwidth: Bandwidth,
+    /// Sustained sequential read bandwidth (restore path).
+    pub read_bandwidth: Bandwidth,
+    /// Fixed per-checkpoint (or per-restore) setup latency.
+    pub setup_latency: SimDuration,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel {
+            write_bandwidth: Bandwidth::gib_per_sec(1.5),
+            read_bandwidth: Bandwidth::gib_per_sec(2.5),
+            setup_latency: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl DiskModel {
+    /// Time to write a `total`-byte checkpoint image to disk.
+    pub fn checkpoint_time(&self, total: ByteSize) -> SimDuration {
+        self.setup_latency + self.write_bandwidth.transfer_time(total)
+    }
+
+    /// Time to read a `total`-byte checkpoint image back from disk.
+    pub fn restore_time(&self, total: ByteSize) -> SimDuration {
+        self.setup_latency + self.read_bandwidth.transfer_time(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_total_and_mirrors_ring_successor() {
+        let plan = plan_pool_checkpoint(3, ByteSize::bytes(10));
+        assert_eq!(plan.total, ByteSize::bytes(10));
+        let sum: ByteSize = plan.legs.iter().map(|l| l.bytes).sum();
+        assert_eq!(sum, ByteSize::bytes(10));
+        // Remainder lands on the lowest indices: 4, 3, 3.
+        assert_eq!(plan.legs[0].bytes, ByteSize::bytes(4));
+        assert_eq!(plan.legs[1].bytes, ByteSize::bytes(3));
+        assert_eq!(plan.legs[2].bytes, ByteSize::bytes(3));
+        for (i, leg) in plan.legs.iter().enumerate() {
+            assert_eq!(leg.src, i);
+            assert_eq!(leg.mirror, (i + 1) % 3);
+            assert_ne!(leg.src, leg.mirror, "a shard never mirrors to itself");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_pool_checkpoint(4, ByteSize::mib(100));
+        let b = plan_pool_checkpoint(4, ByteSize::mib(100));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct mirror")]
+    fn single_member_rejected() {
+        plan_pool_checkpoint(1, ByteSize::mib(1));
+    }
+
+    #[test]
+    fn disk_model_charges_setup_plus_serialization() {
+        let disk = DiskModel {
+            write_bandwidth: Bandwidth::gib_per_sec(1.0),
+            read_bandwidth: Bandwidth::gib_per_sec(2.0),
+            setup_latency: SimDuration::from_millis(10),
+        };
+        let gib = ByteSize::bytes(1 << 30);
+        let write = disk.checkpoint_time(gib);
+        assert!(write > SimDuration::from_millis(1000), "{write}");
+        assert!(write < SimDuration::from_millis(1100), "{write}");
+        let read = disk.restore_time(gib);
+        assert!(read < write, "restore reads faster than it writes");
+    }
+}

@@ -15,12 +15,15 @@
 //! - [`storage`] — versioned copy-on-write parameter storage with
 //!   fine-grained snapshots for checkpointing;
 //! - [`persist`] — the on-disk checkpoint image format;
+//! - [`checkpoint`] — pool-checkpoint shard/mirror traffic planning and
+//!   the disk-cost baseline the recovery engine compares against;
 //! - [`integrity`] — CRC32-sealed shards with end-to-end corruption
 //!   detection (fault injection).
 
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod checkpoint;
 pub mod coherence;
 pub mod device;
 pub mod groupsched;
@@ -31,6 +34,7 @@ pub mod synccore;
 pub mod tensor;
 
 pub use address::{AddressSpace, CciAddr, Region};
+pub use checkpoint::{plan_pool_checkpoint, CheckpointPlan, DiskModel, ShardLeg};
 pub use coherence::{CoherenceCost, Directory};
 pub use device::{AccessDir, AccessMode, MemoryDevice, PrototypeModel};
 pub use groupsched::{GroupScheduleStats, GroupScheduler};

@@ -29,6 +29,9 @@ pub enum DecodeError {
     Truncated,
     /// The image declared a duplicate tensor id.
     DuplicateTensor(TensorId),
+    /// The image carries bytes past the declared contents (a corrupted
+    /// tensor count would otherwise silently drop tensors).
+    TrailingBytes,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -38,6 +41,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             DecodeError::Truncated => write!(f, "checkpoint image is truncated"),
             DecodeError::DuplicateTensor(id) => write!(f, "duplicate tensor {id} in image"),
+            DecodeError::TrailingBytes => write!(f, "checkpoint image has trailing bytes"),
         }
     }
 }
@@ -70,11 +74,14 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.bytes.len() {
+        // Checked: a bit-flipped length field can push `pos + n` past
+        // usize::MAX, and wrapped arithmetic would mis-frame the image.
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
             return Err(DecodeError::Truncated);
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -118,14 +125,18 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<(ParameterStore, u64), DecodeEr
         if !seen.insert(id) {
             return Err(DecodeError::DuplicateTensor(TensorId(id)));
         }
-        let len = r.u64()? as usize;
-        let raw = r.take(len * 4)?;
+        let len = usize::try_from(r.u64()?).map_err(|_| DecodeError::Truncated)?;
+        let byte_len = len.checked_mul(4).ok_or(DecodeError::Truncated)?;
+        let raw = r.take(byte_len)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
             // simlint: allow(panic-in-library, reason = "chunks_exact yields slices of exactly the requested width")
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
         store.insert(&Tensor::new(TensorId(id), data));
+    }
+    if r.pos != bytes.len() {
+        return Err(DecodeError::TrailingBytes);
     }
     Ok((store, epoch))
 }
@@ -199,6 +210,45 @@ mod tests {
         assert_eq!(
             decode_checkpoint(&image).unwrap_err(),
             DecodeError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut store = store_with_data();
+        let mut image = encode_snapshot(&store.snapshot());
+        image.push(0);
+        assert_eq!(
+            decode_checkpoint(&image).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn shrunken_tensor_count_rejected() {
+        let mut store = store_with_data();
+        let mut image = encode_snapshot(&store.snapshot());
+        // The count field sits after magic+version+epoch; halving it leaves
+        // the second tensor's bytes dangling, which must not decode as a
+        // one-tensor image.
+        image[16] = 1;
+        assert_eq!(
+            decode_checkpoint(&image).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn huge_length_field_rejected_without_panic() {
+        let mut store = store_with_data();
+        let mut image = encode_snapshot(&store.snapshot());
+        // First tensor's len field (after magic 4 + version 4 + epoch 8 +
+        // count 8 + id 8 = 32): claim u64::MAX elements. The len*4 multiply
+        // and pos+n add must stay checked rather than wrap.
+        image[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&image).unwrap_err(),
+            DecodeError::Truncated
         );
     }
 

@@ -3,7 +3,7 @@
 //! harness.
 
 use coarse_cci::address::{AddressSpace, CciAddr};
-use coarse_cci::persist::{decode_checkpoint, encode_snapshot};
+use coarse_cci::persist::{decode_checkpoint, encode_snapshot, DecodeError};
 use coarse_cci::storage::ParameterStore;
 use coarse_cci::synccore::{RingDirection, SyncGroup};
 use coarse_cci::tensor::{Tensor, TensorId};
@@ -47,6 +47,64 @@ fn checkpoint_round_trip() {
             assert_eq!(decoded.get(TensorId(id)).unwrap().into_data(), data);
         }
     });
+}
+
+/// Seeded adversarial images: truncations and bit flips of valid checkpoint
+/// images must decode to a typed [`DecodeError`] or a correctly framed
+/// store — never panic, never mis-frame. A flip that only lands in f32
+/// payload bytes may legitimately still decode; the property then checks
+/// the framing arithmetic accounts for every input byte.
+#[test]
+fn decode_survives_truncation_and_bit_flips() {
+    run_cases(
+        "decode_survives_truncation_and_bit_flips",
+        96,
+        |g: &mut Gen| {
+            let tensors = g.vec_of(0..6, |g| {
+                let id = g.u64_in(0..20);
+                let data = g.vec_of(0..64, |g| g.f32_in(-1e6, 1e6));
+                (id, data)
+            });
+            let mut store = ParameterStore::new();
+            for (id, data) in tensors {
+                store.insert(&Tensor::new(TensorId(id), data));
+            }
+            let mut image = encode_snapshot(&store.snapshot());
+            if g.bool() {
+                let cut = g.usize_in(0..image.len() + 1);
+                image.truncate(cut);
+            } else {
+                for _ in 0..g.usize_in(1..8) {
+                    let bit = g.usize_in(0..image.len() * 8);
+                    image[bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+            match decode_checkpoint(&image) {
+                Ok((mut decoded, _epoch)) => {
+                    // A surviving decode must be framed exactly: the header and
+                    // every decoded tensor record account for every input byte.
+                    let records: usize = decoded
+                        .snapshot()
+                        .tensors_sorted()
+                        .iter()
+                        .map(|t| 16 + t.len() * 4)
+                        .sum();
+                    assert_eq!(24 + records, image.len(), "mis-framed decode");
+                }
+                Err(e) => {
+                    assert!(matches!(
+                        e,
+                        DecodeError::BadMagic
+                            | DecodeError::UnsupportedVersion(_)
+                            | DecodeError::Truncated
+                            | DecodeError::DuplicateTensor(_)
+                            | DecodeError::TrailingBytes
+                    ));
+                    assert!(!e.to_string().is_empty());
+                }
+            }
+        },
+    );
 }
 
 /// COW bookkeeping is conserved: copied + in-place + unchanged chunks

@@ -107,16 +107,9 @@ pub fn crossover_payload(
     let ready = vec![SimTime::ZERO; members.len()];
     candidates.iter().copied().find(|&size| {
         let mut e1 = make_engine();
-        let ring = ring_allreduce(
-            &mut e1,
-            members,
-            size,
-            &ready,
-            RingDirection::Forward,
-            mask,
-        )
-        // simlint: allow(panic-in-library, reason = "documented # Panics contract: crossover_payload measures caller-supplied connected topologies")
-        .expect("connected");
+        let ring = ring_allreduce(&mut e1, members, size, &ready, RingDirection::Forward, mask)
+            // simlint: allow(panic-in-library, reason = "documented # Panics contract: crossover_payload measures caller-supplied connected topologies")
+            .expect("connected");
         let mut e2 = make_engine();
         // simlint: allow(panic-in-library, reason = "documented # Panics contract: crossover_payload measures caller-supplied connected topologies")
         let tree = tree_allreduce(&mut e2, members, size, &ready, mask).expect("connected");

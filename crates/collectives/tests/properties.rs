@@ -129,7 +129,8 @@ fn hierarchy_dominated_by_network() {
         let ready2 = vec![SimTime::ZERO; 8];
         let mut e = TransferEngine::new(machine.topology().clone());
         let hier =
-            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, LinkMask::ALL).unwrap();
+            hierarchical_allreduce(&mut e, &[n0.clone(), n1], payload, &ready2, LinkMask::ALL)
+                .unwrap();
         let ready1 = vec![SimTime::ZERO; 4];
         let mut e2 = TransferEngine::new(machine.topology().clone());
         let single = ring_allreduce(

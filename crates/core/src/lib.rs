@@ -48,7 +48,9 @@ pub use dualsync::{DualSyncInputs, DualSyncPlan};
 pub use optim::{Adam, Optimizer, Sgd, SgdMomentum};
 pub use profiler::{build_routing_table, profile_proxies, ProxyProfile};
 pub use proxy::ParameterProxy;
-pub use resilience::{ResiliencePolicy, SyncFaultReport};
+pub use resilience::{
+    FailureKind, RecoveryAction, RecoveryPolicy, ResiliencePolicy, SyncFaultReport,
+};
 pub use routing::RoutingTable;
 pub use service::{
     round_robin_jobs, run_service, run_service_profiled, ServiceJob, ServiceOutcome,

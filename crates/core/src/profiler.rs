@@ -30,8 +30,7 @@ pub struct ProxyProfile {
 /// The profiler's link mask: COARSE measures the serial-bus path (plus
 /// the inter-node network on clusters), disabling NVLink when present
 /// (§IV-B), and never rides the dedicated proxy-to-proxy CCI fabric.
-pub const PROFILER_LINKS: LinkMask =
-    LinkMask::only(LinkClass::Pcie).with(LinkClass::Network);
+pub const PROFILER_LINKS: LinkMask = LinkMask::only(LinkClass::Pcie).with(LinkClass::Network);
 
 /// Measures every proxy from `client` (Fig. 15's data).
 pub fn profile_proxies(

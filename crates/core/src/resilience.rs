@@ -89,6 +89,116 @@ impl SyncFaultReport {
     }
 }
 
+/// The class of a failure the recovery engine must react to. The classes
+/// differ in what survived: a transient outage leaves the pool-resident
+/// parameter shards intact, a proxy dropout loses its in-memory shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A shard's CRC32 seal was rejected at the receiver (transient CCI
+    /// transfer corruption). Data still exists at the sender; retransmit.
+    CorruptStream,
+    /// Every allowed route to the destination is severed (link flap). The
+    /// endpoint is presumed alive; wait for the fabric to heal.
+    RouteOutage,
+    /// A proxy (memory device) stopped answering: its pool shard is gone
+    /// and the parameter state must come back from a checkpoint.
+    ProxyDropout,
+}
+
+/// What the recovery engine does about a [`FailureKind`], chosen by
+/// [`RecoveryPolicy::action_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Try the same operation again (after backoff or a detection timeout).
+    Retry,
+    /// Elastic membership repair: evict the failing member, bump the
+    /// membership epoch, rebuild routing over the survivors, and continue
+    /// without rolling back — the surviving pool shards are intact.
+    Repair,
+    /// Hard recovery: repair membership, then restore the parameter state
+    /// from the last pool checkpoint and replay the lost iterations.
+    Restore,
+}
+
+/// [`ResiliencePolicy`] extended with the recovery-engine knobs: the
+/// checkpoint cadence and the bounded retry budgets that *escalate* to
+/// membership repair instead of spinning forever.
+///
+/// The escalation ladder per failure class:
+///
+/// | failure                        | within budget | budget exhausted |
+/// |--------------------------------|---------------|------------------|
+/// | [`FailureKind::CorruptStream`] | `Retry`       | `Repair`         |
+/// | [`FailureKind::RouteOutage`]   | `Retry`       | `Repair`         |
+/// | [`FailureKind::ProxyDropout`]  | `Restore`     | `Restore`        |
+///
+/// A dropout is always a restore because the dead proxy's pool shard is
+/// unrecoverable in place; corruption and flaps are transient, so they
+/// retry first and escalate to eviction only when the budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// The base retry/backoff/detection mechanics, unchanged from the
+    /// fault-injection layer.
+    pub resilience: ResiliencePolicy,
+    /// Iterations between pool checkpoints (sealed-push snapshot of every
+    /// parameter shard to its ring mirror). `0` disables checkpointing —
+    /// a dropout then rolls back to iteration 0 (the initial sync).
+    pub checkpoint_interval: u32,
+    /// Integrity-rejection budget per shard before the stream's destination
+    /// is declared bad and evicted (escalation instead of spinning).
+    pub max_shard_retries: u32,
+    /// Route-outage waits (one detection timeout each) before the
+    /// unreachable member is evicted.
+    pub max_route_waits: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            resilience: ResiliencePolicy::default(),
+            checkpoint_interval: 2,
+            max_shard_retries: 8,
+            max_route_waits: 64,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Decides how to react to the `attempt`-th occurrence (0-based) of a
+    /// failure class on one operation. See the table on [`RecoveryPolicy`].
+    pub fn action_for(&self, kind: FailureKind, attempt: u32) -> RecoveryAction {
+        match kind {
+            FailureKind::CorruptStream if attempt < self.max_shard_retries => RecoveryAction::Retry,
+            FailureKind::CorruptStream => RecoveryAction::Repair,
+            FailureKind::RouteOutage if attempt < self.max_route_waits => RecoveryAction::Retry,
+            FailureKind::RouteOutage => RecoveryAction::Repair,
+            FailureKind::ProxyDropout => RecoveryAction::Restore,
+        }
+    }
+
+    /// The checkpoint iteration the engine rolls back to after a restore
+    /// decision at committed iteration `completed`: the largest multiple of
+    /// the interval at or below `completed` (iteration 0 when checkpointing
+    /// is disabled).
+    pub fn rollback_target(&self, completed: u32) -> u32 {
+        if self.checkpoint_interval == 0 {
+            0
+        } else {
+            completed - completed % self.checkpoint_interval
+        }
+    }
+
+    /// True when a checkpoint is due after committing iteration `completed`
+    /// (1-based count of finished iterations) of `total`. The final
+    /// iteration never checkpoints: there is nothing left to protect.
+    pub fn checkpoint_due(&self, completed: u32, total: u32) -> bool {
+        self.checkpoint_interval != 0
+            && completed > 0
+            && completed < total
+            && completed.is_multiple_of(self.checkpoint_interval)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +239,83 @@ mod tests {
         assert!(a.degraded_to_gpu);
         assert_eq!(a.recovery_time, SimDuration::from_micros(12));
         assert!(SyncFaultReport::default().is_clean());
+    }
+
+    #[test]
+    fn transient_failures_retry_then_escalate_to_repair() {
+        let p = RecoveryPolicy {
+            max_shard_retries: 2,
+            max_route_waits: 3,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(
+            p.action_for(FailureKind::CorruptStream, 0),
+            RecoveryAction::Retry
+        );
+        assert_eq!(
+            p.action_for(FailureKind::CorruptStream, 1),
+            RecoveryAction::Retry
+        );
+        assert_eq!(
+            p.action_for(FailureKind::CorruptStream, 2),
+            RecoveryAction::Repair
+        );
+        assert_eq!(
+            p.action_for(FailureKind::RouteOutage, 2),
+            RecoveryAction::Retry
+        );
+        assert_eq!(
+            p.action_for(FailureKind::RouteOutage, 3),
+            RecoveryAction::Repair
+        );
+    }
+
+    #[test]
+    fn dropouts_always_restore() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(
+            p.action_for(FailureKind::ProxyDropout, 0),
+            RecoveryAction::Restore
+        );
+        assert_eq!(
+            p.action_for(FailureKind::ProxyDropout, 99),
+            RecoveryAction::Restore
+        );
+    }
+
+    #[test]
+    fn rollback_target_snaps_to_checkpoint_grid() {
+        let p = RecoveryPolicy {
+            checkpoint_interval: 3,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.rollback_target(0), 0);
+        assert_eq!(p.rollback_target(2), 0);
+        assert_eq!(p.rollback_target(3), 3);
+        assert_eq!(p.rollback_target(7), 6);
+        let off = RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(off.rollback_target(7), 0);
+    }
+
+    #[test]
+    fn checkpoint_cadence_skips_endpoints() {
+        let p = RecoveryPolicy {
+            checkpoint_interval: 2,
+            ..RecoveryPolicy::default()
+        };
+        assert!(!p.checkpoint_due(0, 8));
+        assert!(!p.checkpoint_due(1, 8));
+        assert!(p.checkpoint_due(2, 8));
+        assert!(!p.checkpoint_due(3, 8));
+        assert!(p.checkpoint_due(6, 8));
+        assert!(!p.checkpoint_due(8, 8), "final iteration never checkpoints");
+        let off = RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(!off.checkpoint_due(4, 8));
     }
 }

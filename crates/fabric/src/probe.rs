@@ -105,12 +105,7 @@ pub fn measure_bidirectional(
 /// # Panics
 ///
 /// Panics if no allowed route exists between the endpoints.
-pub fn measure_latency(
-    topo: &Topology,
-    a: DeviceId,
-    b: DeviceId,
-    mask: LinkMask,
-) -> SimDuration {
+pub fn measure_latency(topo: &Topology, a: DeviceId, b: DeviceId, mask: LinkMask) -> SimDuration {
     let mut eng = TransferEngine::new(topo.clone());
     let rec = eng
         .transfer_masked(a, b, ByteSize::kib(4), SimTime::ZERO, mask)

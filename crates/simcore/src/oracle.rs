@@ -185,6 +185,14 @@ pub enum OracleEvent {
         /// End instant.
         at: SimTime,
     },
+    /// The proxy-tier membership changed (eviction after repair or
+    /// restore); `epoch` stamps the new membership view.
+    MembershipEpoch {
+        /// The new membership epoch (strictly increasing within a run).
+        epoch: u64,
+        /// When the new view took effect.
+        at: SimTime,
+    },
     /// Result fingerprint of the fault-free reference run.
     ReferenceFingerprint {
         /// Deterministic hash of the reference result.
@@ -870,6 +878,148 @@ impl Oracle for CleanRunEquivalence {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Oracle: membership-epoch monotonicity
+// ---------------------------------------------------------------------------
+
+/// Checks that membership epochs strictly increase and that their stamps
+/// never run backward: a recovery engine that reuses or reorders epochs
+/// would let clients act on a stale membership view.
+#[derive(Debug, Default)]
+pub struct MembershipMonotonicity {
+    last: Option<(u64, SimTime)>,
+    violations: Vec<Violation>,
+}
+
+impl MembershipMonotonicity {
+    /// A fresh checker.
+    pub fn new() -> MembershipMonotonicity {
+        MembershipMonotonicity::default()
+    }
+}
+
+impl Oracle for MembershipMonotonicity {
+    fn name(&self) -> &'static str {
+        "membership-monotonicity"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        if let OracleEvent::MembershipEpoch { epoch, at } = *ev {
+            if let Some((prev_epoch, prev_at)) = self.last {
+                if epoch <= prev_epoch {
+                    push_capped(
+                        &mut self.violations,
+                        "membership-monotonicity",
+                        format!(
+                            "membership epoch {epoch} at {at} does not \
+                             advance past epoch {prev_epoch} at {prev_at}"
+                        ),
+                    );
+                }
+                if at < prev_at {
+                    push_capped(
+                        &mut self.violations,
+                        "membership-monotonicity",
+                        format!(
+                            "membership epoch {epoch} stamped {at}, before \
+                             epoch {prev_epoch}'s stamp {prev_at}"
+                        ),
+                    );
+                }
+            } else if epoch == 0 {
+                push_capped(
+                    &mut self.violations,
+                    "membership-monotonicity",
+                    format!(
+                        "membership epoch 0 announced at {at}: the initial \
+                         view is epoch 0 and is never re-announced"
+                    ),
+                );
+            }
+            self.last = Some((epoch, at));
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: re-convergence after the last fault clears
+// ---------------------------------------------------------------------------
+
+/// Checks that once the last injected fault has cleared (`clear_at`), the
+/// system completes an iteration within `bound` — i.e. recovery actually
+/// re-converges instead of wedging or spinning on stale state. A run that
+/// ends before `clear_at + bound` is vacuously fine (the schedule outlived
+/// the run), as is a run whose final iteration lands before the last fault
+/// window opens.
+#[derive(Debug)]
+pub struct Reconvergence {
+    clear_at: SimTime,
+    bound: SimDuration,
+    converged: bool,
+    violations: Vec<Violation>,
+}
+
+impl Reconvergence {
+    /// A checker for a schedule whose last fault clears at `clear_at`.
+    pub fn new(clear_at: SimTime, bound: SimDuration) -> Reconvergence {
+        Reconvergence {
+            clear_at,
+            bound,
+            converged: false,
+            violations: Vec::new(),
+        }
+    }
+}
+
+impl Oracle for Reconvergence {
+    fn name(&self) -> &'static str {
+        "reconvergence"
+    }
+
+    fn observe(&mut self, ev: &OracleEvent) {
+        match *ev {
+            OracleEvent::IterationEnd { at, .. } if at >= self.clear_at => {
+                if at <= self.clear_at + self.bound {
+                    self.converged = true;
+                } else if !self.converged {
+                    push_capped(
+                        &mut self.violations,
+                        "reconvergence",
+                        format!(
+                            "first iteration after the faults cleared at {} \
+                             finished only at {at}, past the {} re-convergence \
+                             bound",
+                            self.clear_at, self.bound
+                        ),
+                    );
+                    // One verdict per run: later iterations are no less late.
+                    self.converged = true;
+                }
+            }
+            OracleEvent::RunEnd { at } if !self.converged && at > self.clear_at + self.bound => {
+                push_capped(
+                    &mut self.violations,
+                    "reconvergence",
+                    format!(
+                        "run ended at {at} without completing any \
+                         iteration within {} of the faults clearing at {}",
+                        self.bound, self.clear_at
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,6 +1283,80 @@ mod tests {
         o.observe(&OracleEvent::ReferenceFingerprint { hash: 5 });
         o.observe(&OracleEvent::RunFingerprint { hash: 5 });
         o.observe(&OracleEvent::RunEnd { at: t(1) });
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn membership_epochs_must_strictly_increase() {
+        let o = &mut MembershipMonotonicity::new();
+        o.observe(&OracleEvent::MembershipEpoch { epoch: 1, at: t(5) });
+        o.observe(&OracleEvent::MembershipEpoch { epoch: 2, at: t(9) });
+        assert!(o.violations().is_empty());
+        o.observe(&OracleEvent::MembershipEpoch {
+            epoch: 2,
+            at: t(12),
+        });
+        assert_eq!(o.violations().len(), 1, "repeated epoch must fire");
+
+        let o = &mut MembershipMonotonicity::new();
+        o.observe(&OracleEvent::MembershipEpoch { epoch: 1, at: t(9) });
+        o.observe(&OracleEvent::MembershipEpoch { epoch: 2, at: t(5) });
+        assert_eq!(o.violations().len(), 1, "backward stamp must fire");
+
+        let o = &mut MembershipMonotonicity::new();
+        o.observe(&OracleEvent::MembershipEpoch { epoch: 0, at: t(5) });
+        assert_eq!(
+            o.violations().len(),
+            1,
+            "epoch 0 is the implicit initial view"
+        );
+    }
+
+    #[test]
+    fn reconvergence_accepts_timely_recovery() {
+        let o = &mut Reconvergence::new(t(100), SimDuration::from_nanos(50));
+        o.observe(&OracleEvent::IterationEnd {
+            index: 0,
+            at: t(90),
+        });
+        o.observe(&OracleEvent::IterationEnd {
+            index: 1,
+            at: t(130),
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(400) });
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn reconvergence_flags_a_wedged_run() {
+        // No iteration completes after the faults clear.
+        let o = &mut Reconvergence::new(t(100), SimDuration::from_nanos(50));
+        o.observe(&OracleEvent::IterationEnd {
+            index: 0,
+            at: t(90),
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(400) });
+        assert_eq!(o.violations().len(), 1);
+
+        // The first post-clear iteration lands past the bound.
+        let o = &mut Reconvergence::new(t(100), SimDuration::from_nanos(50));
+        o.observe(&OracleEvent::IterationEnd {
+            index: 0,
+            at: t(300),
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(300) });
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn reconvergence_is_vacuous_for_short_runs() {
+        // The run ends before the bound elapses: nothing to prove.
+        let o = &mut Reconvergence::new(t(100), SimDuration::from_nanos(50));
+        o.observe(&OracleEvent::IterationEnd {
+            index: 0,
+            at: t(90),
+        });
+        o.observe(&OracleEvent::RunEnd { at: t(120) });
         assert!(o.violations().is_empty());
     }
 

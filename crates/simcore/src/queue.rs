@@ -785,8 +785,7 @@ mod tests {
         while let Some((t, e)) = q.pop() {
             popped.push((t.as_nanos(), e));
         }
-        let mut expected: Vec<(u64, i32)> =
-            (0..n).map(|i| ((i % 7) * 1000, i as i32)).collect();
+        let mut expected: Vec<(u64, i32)> = (0..n).map(|i| ((i % 7) * 1000, i as i32)).collect();
         expected.sort_by_key(|&(t, e)| (t, e));
         assert_eq!(popped, expected);
     }

@@ -442,8 +442,7 @@ fn hot_path_alloc(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<D
                 // `impl Trait for Type` has an identifier or `>` before the
                 // keyword; `for<'a>` bounds are followed by `<`. A real loop
                 // is neither.
-                let prev_disqualifies = idx > 0
-                    && matches!(&toks[idx - 1].tok, Tok::Ident(_))
+                let prev_disqualifies = idx > 0 && matches!(&toks[idx - 1].tok, Tok::Ident(_))
                     || idx > 0 && toks[idx - 1].tok == Tok::Punct(b'>');
                 let next_disqualifies =
                     matches!(toks.get(idx + 1), Some(n) if n.tok == Tok::Punct(b'<'));

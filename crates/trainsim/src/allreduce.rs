@@ -3,8 +3,8 @@
 
 use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce};
 use coarse_fabric::engine::TransferEngine;
-use coarse_fabric::topology::LinkMask;
 use coarse_fabric::machines::{Machine, Partition};
+use coarse_fabric::topology::LinkMask;
 use coarse_models::profile::ModelProfile;
 use coarse_models::training::IterationPlan;
 use coarse_simcore::time::SimTime;

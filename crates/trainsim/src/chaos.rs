@@ -33,7 +33,7 @@ use coarse_simcore::faults::{
     LinkFlap, ProxyStall, TransientFaults,
 };
 use coarse_simcore::json::JsonValue;
-use coarse_simcore::oracle::{OracleHub, Violation};
+use coarse_simcore::oracle::{MembershipMonotonicity, OracleHub, Reconvergence, Violation};
 use coarse_simcore::time::{SimDuration, SimTime};
 
 use crate::coarse::{
@@ -151,6 +151,11 @@ fn run_case_with_reference(
     let machine = scenario.machine_ref();
     let part = machine.partition(scenario.partition_scheme());
     let hub = OracleHub::with_builtins(WATCHDOG);
+    hub.register(Box::new(MembershipMonotonicity::new()));
+    hub.register(Box::new(Reconvergence::new(
+        crate::recovery::plan_clear_instant(scenario.fault_plan()),
+        WATCHDOG,
+    )));
     let faulty = simulate_coarse_faulty_observed(
         machine,
         &part,
@@ -526,7 +531,7 @@ fn sabotage_label(s: Sabotage) -> &'static str {
     }
 }
 
-fn spec_to_json(spec: &FaultSpec) -> JsonValue {
+pub(crate) fn spec_to_json(spec: &FaultSpec) -> JsonValue {
     match *spec {
         FaultSpec::Degrade(d) => JsonValue::object()
             .with("kind", JsonValue::str("degrade"))

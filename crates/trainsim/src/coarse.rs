@@ -11,11 +11,12 @@
 
 use std::collections::BTreeMap;
 
+use coarse_cci::checkpoint::plan_pool_checkpoint;
 use coarse_cci::synccore::RingDirection;
 use coarse_collectives::timed::{hierarchical_allreduce, ring_allreduce, CollectiveError};
 use coarse_core::dualsync::{self, DualSyncInputs};
 use coarse_core::profiler::build_routing_table_for;
-use coarse_core::resilience::ResiliencePolicy;
+use coarse_core::resilience::{FailureKind, RecoveryAction, RecoveryPolicy, ResiliencePolicy};
 use coarse_core::routing::RoutingTable;
 use coarse_fabric::device::DeviceId;
 use coarse_fabric::engine::{TransferEngine, TransferError};
@@ -838,7 +839,8 @@ impl Deployment<'_> {
                     latest_emit = latest_emit.max(emitted);
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut dest = state.tables[w].route_for(size);
-                        let shards: Vec<ByteSize> = shard_sizes(size, state.tables[w].shard_size).collect();
+                        let shards: Vec<ByteSize> =
+                            shard_sizes(size, state.tables[w].shard_size).collect();
                         let stream = stream_id(k, false, ev.tensor);
                         let mut t = emitted;
                         let mut i = 0;
@@ -991,7 +993,8 @@ impl Deployment<'_> {
                     let size = model.tensors()[ev.tensor].byte_size();
                     for (w, &worker) in self.workers.iter().enumerate() {
                         let mut src = state.tables[w].route_for(size);
-                        let shards: Vec<ByteSize> = shard_sizes(size, state.tables[w].shard_size).collect();
+                        let shards: Vec<ByteSize> =
+                            shard_sizes(size, state.tables[w].shard_size).collect();
                         let stream = stream_id(k, true, ev.tensor);
                         let stall = plan.stall(src.index() as u32, sync_end);
                         if stall > SimDuration::ZERO {
@@ -1133,6 +1136,729 @@ impl Deployment<'_> {
             stats,
         )
     }
+
+    /// The recovery-engine run: like [`run_faulty`](Self::run_faulty) but
+    /// driven by a [`RecoveryPolicy`] — the full detect → decide → recover
+    /// → account protocol:
+    ///
+    /// - **checkpoints are traffic** — every `checkpoint_interval`
+    ///   committed iterations each proxy sealed-pushes its parameter shard
+    ///   to its ring mirror over the proxy fabric, and training waits for
+    ///   the slowest leg;
+    /// - **transient failures repair** — corruption and route-outage
+    ///   budgets escalate to elastic membership eviction (epoch-stamped,
+    ///   routing rebuilt over survivors) instead of spinning;
+    /// - **hard failures restore** — a dropped proxy rolls the run back to
+    ///   the last committed checkpoint: survivors coherently read the image
+    ///   back from their mirrors, the lost iterations are re-executed, and
+    ///   the episode (detection + repair + restore reads) is the MTTR.
+    ///
+    /// Unlike `run_faulty` this handles empty plans: with
+    /// `checkpoint_interval = 0` the run times identically to
+    /// [`run`](Self::run), making checkpoint overhead and fault damage
+    /// separately measurable. Returns the steady-state period plus the full
+    /// recovery accounting (wall time included).
+    fn run_recovering(
+        &self,
+        proxy_budget: ByteSize,
+        iterations: u32,
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> (SimDuration, RecoveryRunStats) {
+        let res = &policy.resilience;
+        let iter_plan = &self.plan;
+        let model = self.model;
+        let mut proxy_path = vec![false; model.tensors().len()];
+        let mut cum = ByteSize::ZERO;
+        for ev in iter_plan.gradients() {
+            if cum < proxy_budget {
+                proxy_path[ev.tensor] = true;
+                cum += model.tensors()[ev.tensor].byte_size();
+            }
+        }
+        let gpu_bytes: ByteSize = model
+            .tensors()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !proxy_path[i])
+            .map(|(_, t)| t.byte_size())
+            .sum();
+
+        // Same mesh deployment as `run_faulty`: survivors of an eviction
+        // must stay pairwise routable. Healthy-path timing is identical.
+        let mut fault_fabric = self.machine.clone();
+        if self.machine.topology().p2p_enabled() {
+            for ring in &self.node_mem_rings {
+                if ring.len() >= 2 {
+                    fault_fabric.augment_cci_mesh(ring);
+                }
+            }
+        }
+        let mut engine = TransferEngine::new(fault_fabric.topology().clone());
+        if !plan.is_empty() {
+            engine.set_fault_plan(plan.clone());
+        }
+        if let Some(m) = &self.metrics {
+            engine.set_metrics(m.clone());
+        }
+        if let Some(hub) = &self.oracles {
+            engine.set_oracles(hub.clone());
+        }
+        let emit = |ev: OracleEvent| {
+            if let Some(hub) = &self.oracles {
+                hub.emit(ev);
+            }
+        };
+        let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
+        if let Some(t) = &tracer {
+            engine.set_tracer(t.clone());
+            let track = t.track("faults: injected");
+            for ev in plan.events() {
+                t.instant(ev.at, category::FAULT, track, &ev.label);
+            }
+        }
+        let note_recovery = |at: SimTime, what: &str| {
+            if let Some(t) = &tracer {
+                let track = t.track("recovery: engine");
+                t.instant(at, category::FAULT, track, what);
+            }
+        };
+
+        let mut state = FaultDeployState {
+            mem_devices: self.mem_devices.clone(),
+            node_mem_rings: self.node_mem_rings.clone(),
+            tables: self.tables.clone(),
+            gpu_only: false,
+        };
+        let mut stats = RecoveryRunStats::default();
+        let mut membership = Membership::default();
+        let mut transfer_seq: u64 = 0;
+        let multi_node = self.machine.nodes() > 1;
+        let total_bytes = model.total_bytes();
+        let topo = self.deployed.topology();
+        let io = PoolIo {
+            topo,
+            workers: &self.workers,
+            proxy_mask: self.proxy_mask,
+            total: total_bytes,
+            plan,
+            policy,
+        };
+        let mut start = SimTime::ZERO;
+        let mut first_period_end = SimTime::ZERO;
+        let mut committed_any = false;
+        let mut run_end = SimTime::ZERO;
+        // Committed iterations: rolled back on restore, so re-executed work
+        // is visible as wall-clock without double-counting progress.
+        let mut completed: u32 = 0;
+        // The committed-iteration index of the last durable pool
+        // checkpoint; iteration 0's initial parameter distribution counts
+        // as checkpoint 0.
+        let mut last_ckpt: u32 = 0;
+        // Execution attempts (monotone): stream ids and iteration-end
+        // indices key off this so a rollback never reuses either.
+        let mut executed: u64 = 0;
+        let stream_id =
+            |e: u64, pull: bool, tensor: usize| (e << 33) | ((pull as u64) << 32) | tensor as u64;
+        'outer: while completed < iterations {
+            // Fresh attempt number per execution attempt: an attempt aborted
+            // by a hard failure must not reuse its stream ids, or the
+            // retry-fifo oracle would see the re-execution as an out-of-order
+            // shard replay.
+            let attempt = executed;
+            executed += 1;
+            // Round-start detection, as in `run_faulty` — but a detected
+            // dropout now triggers a restore episode, not just repair.
+            let detected: Vec<DeviceId> = state
+                .mem_devices
+                .iter()
+                .copied()
+                .filter(|&d| plan.device_down(d.index() as u32, start))
+                .collect();
+            if !detected.is_empty() {
+                let episode_start = start;
+                for dead in detected {
+                    emit(OracleEvent::FaultBite {
+                        kind: BiteKind::Dropout,
+                        at: start,
+                    });
+                    state.evict(topo, &self.workers, dead);
+                    start += res.detect_timeout;
+                    stats.detection_time += res.detect_timeout;
+                    membership.bump(start, self.oracles.as_ref());
+                    note_recovery(
+                        start,
+                        &format!(
+                            "repair: proxy {} lost between rounds (epoch {})",
+                            topo.device(dead).name(),
+                            membership.epoch
+                        ),
+                    );
+                }
+                run_end = run_end.max(start);
+                if !state.gpu_only {
+                    let restore_begin = start;
+                    let end = pool_restore(
+                        &mut engine,
+                        &mut state,
+                        &io,
+                        restore_begin,
+                        &mut membership,
+                        &mut stats,
+                        self.oracles.as_ref(),
+                        &mut transfer_seq,
+                    );
+                    run_end = run_end.max(end);
+                    if !state.gpu_only {
+                        stats.restores += 1;
+                        stats.restore_bytes += total_bytes.as_u64();
+                        stats.restore_time += end.saturating_duration_since(restore_begin);
+                        stats.mttr_total += end.saturating_duration_since(episode_start);
+                        stats.lost_iterations += u64::from(completed - last_ckpt);
+                        completed = last_ckpt;
+                        note_recovery(
+                            end,
+                            &format!("restore: rolled back to iteration {completed}"),
+                        );
+                    }
+                    start = end;
+                }
+                continue 'outer;
+            }
+
+            let forward_end = start + iter_plan.forward_time();
+            let backward_end = forward_end + iter_plan.backward_time();
+            let mut next_start = backward_end;
+            if !self.input_bytes.is_zero() {
+                for &worker in &self.workers {
+                    let cpu = topo.host_cpu(topo.device(worker).node());
+                    let rec = engine
+                        .transfer_masked(cpu, worker, self.input_bytes, start, PCIE_ONLY)
+                        // simlint: allow(panic-in-library, reason = "deployment validation guarantees host-worker-proxy connectivity")
+                        .expect("host reaches its workers");
+                    next_start = next_start.max(rec.end);
+                }
+            }
+
+            let mut buckets: Vec<Vec<&coarse_models::training::GradientEvent>> = Vec::new();
+            let mut bucket_bytes = ByteSize::ZERO;
+            if !state.gpu_only {
+                for ev in iter_plan.gradients() {
+                    if !proxy_path[ev.tensor] {
+                        continue;
+                    }
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    if buckets.is_empty() || bucket_bytes >= BUCKET_TARGET {
+                        buckets.push(Vec::new());
+                        bucket_bytes = ByteSize::ZERO;
+                    }
+                    // simlint: allow(panic-in-library, reason = "the branch above pushed a bucket before this read")
+                    buckets.last_mut().expect("just pushed").push(ev);
+                    bucket_bytes += size;
+                }
+            }
+
+            // A hard failure (dropped proxy) observed mid-iteration: the
+            // iteration is abandoned and a restore episode runs below.
+            let mut hard_failure: Option<SimTime> = None;
+
+            'buckets: for (round, bucket) in buckets.iter().enumerate() {
+                let mut proxy_ready: BTreeMap<DeviceId, SimTime> = BTreeMap::new();
+                let mut latest_emit = forward_end;
+                let mut total = ByteSize::ZERO;
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    total += size;
+                    let emitted = forward_end + ev.ready;
+                    latest_emit = latest_emit.max(emitted);
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let mut dest = state.tables[w].route_for(size);
+                        let shards: Vec<ByteSize> =
+                            shard_sizes(size, state.tables[w].shard_size).collect();
+                        let stream = stream_id(attempt, false, ev.tensor);
+                        let mut t = emitted;
+                        let mut i = 0;
+                        while i < shards.len() {
+                            match recovering_shard_transfer(
+                                &mut engine,
+                                plan,
+                                policy,
+                                worker,
+                                dest,
+                                dest,
+                                shards[i],
+                                t,
+                                &mut transfer_seq,
+                                &mut stats,
+                                &ShardStream {
+                                    hub: self.oracles.as_ref(),
+                                    worker: w as u32,
+                                    stream,
+                                    shard: shard_label(i, shards.len(), self.sabotage),
+                                },
+                            ) {
+                                ShardOutcome::Done(end) => {
+                                    t = end;
+                                    i += 1;
+                                }
+                                ShardOutcome::Evict { device, hard, at } => {
+                                    if !state.mem_devices.contains(&device) {
+                                        // simlint: allow(panic-in-library, reason = "losing a worker GPU is unsurvivable by design (S III-E covers the proxy tier only)")
+                                        panic!("non-proxy device dropped mid-push: unsurvivable");
+                                    }
+                                    let t2 = at + res.detect_timeout;
+                                    stats.detection_time += res.detect_timeout;
+                                    state.evict(topo, &self.workers, device);
+                                    membership.bump(t2, self.oracles.as_ref());
+                                    run_end = run_end.max(t2);
+                                    note_recovery(
+                                        t2,
+                                        &format!(
+                                            "{}: proxy {} evicted mid-push (epoch {})",
+                                            if hard { "restore" } else { "repair" },
+                                            topo.device(device).name(),
+                                            membership.epoch
+                                        ),
+                                    );
+                                    if hard {
+                                        hard_failure = Some(at);
+                                        break 'buckets;
+                                    }
+                                    stats.repairs += 1;
+                                    if state.gpu_only {
+                                        break 'buckets;
+                                    }
+                                    dest = state.tables[w].route_for(size);
+                                    t = t2;
+                                    i = 0;
+                                    emit(OracleEvent::StreamReset {
+                                        worker: w as u32,
+                                        stream,
+                                        at: t,
+                                    });
+                                }
+                            }
+                        }
+                        let stall = plan.stall(dest.index() as u32, t);
+                        if stall > SimDuration::ZERO {
+                            emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Stall,
+                                at: t,
+                            });
+                        }
+                        let t = t + stall;
+                        run_end = run_end.max(t);
+                        let e = proxy_ready.entry(dest).or_insert(t);
+                        *e = (*e).max(t);
+                    }
+                }
+                let ready_of = |d: DeviceId| proxy_ready.get(&d).copied().unwrap_or(latest_emit);
+
+                // Proxy collective: a death here is a hard failure (restore
+                // episode); a severed route is waited out within budget and
+                // then repaired by evicting the unreachable member.
+                let mut collective_delay = SimDuration::ZERO;
+                let mut route_waits = 0u32;
+                let sync_end = loop {
+                    let attempt = if multi_node {
+                        let ready: Vec<SimTime> = state
+                            .node_mem_rings
+                            .iter()
+                            .flatten()
+                            .map(|&d| ready_of(d) + collective_delay)
+                            .collect();
+                        hierarchical_allreduce(
+                            &mut engine,
+                            &state.node_mem_rings,
+                            total,
+                            &ready,
+                            CCI_OR_NETWORK,
+                        )
+                    } else {
+                        let ready: Vec<SimTime> = state
+                            .mem_devices
+                            .iter()
+                            .map(|&d| ready_of(d) + collective_delay)
+                            .collect();
+                        ring_allreduce(
+                            &mut engine,
+                            &state.mem_devices,
+                            total,
+                            &ready,
+                            RingDirection::for_group(round),
+                            self.proxy_mask,
+                        )
+                    };
+                    match attempt {
+                        Ok(res_ok) => break res_ok.end,
+                        Err(CollectiveError::Transfer(TransferError::DeviceDown { device })) => {
+                            let observed = state
+                                .mem_devices
+                                .iter()
+                                .map(|&d| ready_of(d))
+                                .max()
+                                .unwrap_or(latest_emit)
+                                + collective_delay;
+                            let t2 = observed + res.detect_timeout;
+                            stats.detection_time += res.detect_timeout;
+                            state.evict(topo, &self.workers, device);
+                            membership.bump(t2, self.oracles.as_ref());
+                            run_end = run_end.max(t2);
+                            note_recovery(
+                                t2,
+                                &format!(
+                                    "restore: proxy {} died before the collective (epoch {})",
+                                    topo.device(device).name(),
+                                    membership.epoch
+                                ),
+                            );
+                            hard_failure = Some(observed);
+                            break 'buckets;
+                        }
+                        Err(CollectiveError::Transfer(TransferError::NoRoute { src, dst })) => {
+                            match policy.action_for(FailureKind::RouteOutage, route_waits) {
+                                RecoveryAction::Retry => {
+                                    route_waits += 1;
+                                    stats.backoff_time += res.detect_timeout;
+                                    collective_delay += res.detect_timeout;
+                                }
+                                _ => {
+                                    // Budget exhausted: evict whichever
+                                    // endpoint of the severed route is a
+                                    // pool member and retry over survivors.
+                                    let victim = if state.mem_devices.contains(&dst) {
+                                        Some(dst)
+                                    } else if state.mem_devices.contains(&src) {
+                                        Some(src)
+                                    } else {
+                                        None
+                                    };
+                                    match victim {
+                                        Some(v) => {
+                                            let t2 = state
+                                                .mem_devices
+                                                .iter()
+                                                .map(|&d| ready_of(d))
+                                                .max()
+                                                .unwrap_or(latest_emit)
+                                                + collective_delay
+                                                + res.detect_timeout;
+                                            stats.detection_time += res.detect_timeout;
+                                            state.evict(topo, &self.workers, v);
+                                            membership.bump(t2, self.oracles.as_ref());
+                                            stats.repairs += 1;
+                                            run_end = run_end.max(t2);
+                                            note_recovery(
+                                                t2,
+                                                &format!(
+                                                    "repair: proxy {} unreachable, evicted (epoch {})",
+                                                    topo.device(v).name(),
+                                                    membership.epoch
+                                                ),
+                                            );
+                                            if state.gpu_only {
+                                                break 'buckets;
+                                            }
+                                            collective_delay += res.detect_timeout;
+                                            route_waits = 0;
+                                        }
+                                        None => {
+                                            assert!(
+                                                route_waits < MAX_FLAP_WAITS,
+                                                "proxy collective never recovered from its flap"
+                                            );
+                                            route_waits += 1;
+                                            stats.backoff_time += res.detect_timeout;
+                                            collective_delay += res.detect_timeout;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // simlint: allow(panic-in-library, reason = "proxy rings are rebuilt non-empty and evenly shaped by evict; a shape error here is a bug, not a runtime condition")
+                            unreachable!("proxy collective shape violated: {e}")
+                        }
+                    }
+                };
+
+                for ev in bucket {
+                    let size = model.tensors()[ev.tensor].byte_size();
+                    for (w, &worker) in self.workers.iter().enumerate() {
+                        let mut src = state.tables[w].route_for(size);
+                        let shards: Vec<ByteSize> =
+                            shard_sizes(size, state.tables[w].shard_size).collect();
+                        let stream = stream_id(attempt, true, ev.tensor);
+                        let stall = plan.stall(src.index() as u32, sync_end);
+                        if stall > SimDuration::ZERO {
+                            emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Stall,
+                                at: sync_end,
+                            });
+                        }
+                        let mut t = sync_end + stall;
+                        let mut i = 0;
+                        while i < shards.len() {
+                            match recovering_shard_transfer(
+                                &mut engine,
+                                plan,
+                                policy,
+                                src,
+                                worker,
+                                src,
+                                shards[i],
+                                t,
+                                &mut transfer_seq,
+                                &mut stats,
+                                &ShardStream {
+                                    hub: self.oracles.as_ref(),
+                                    worker: w as u32,
+                                    stream,
+                                    shard: shard_label(i, shards.len(), self.sabotage),
+                                },
+                            ) {
+                                ShardOutcome::Done(end) => {
+                                    t = end;
+                                    i += 1;
+                                }
+                                ShardOutcome::Evict { device, hard, at } => {
+                                    if !state.mem_devices.contains(&device) {
+                                        // simlint: allow(panic-in-library, reason = "losing a worker GPU is unsurvivable by design (S III-E covers the proxy tier only)")
+                                        panic!("non-proxy device dropped mid-pull: unsurvivable");
+                                    }
+                                    let t2 = at + res.detect_timeout;
+                                    stats.detection_time += res.detect_timeout;
+                                    state.evict(topo, &self.workers, device);
+                                    membership.bump(t2, self.oracles.as_ref());
+                                    run_end = run_end.max(t2);
+                                    note_recovery(
+                                        t2,
+                                        &format!(
+                                            "{}: proxy {} evicted mid-pull (epoch {})",
+                                            if hard { "restore" } else { "repair" },
+                                            topo.device(device).name(),
+                                            membership.epoch
+                                        ),
+                                    );
+                                    if hard {
+                                        hard_failure = Some(at);
+                                        break 'buckets;
+                                    }
+                                    stats.repairs += 1;
+                                    if state.gpu_only {
+                                        break 'buckets;
+                                    }
+                                    src = state.tables[w].route_for(size);
+                                    t = t2;
+                                    i = 0;
+                                    emit(OracleEvent::StreamReset {
+                                        worker: w as u32,
+                                        stream,
+                                        at: t,
+                                    });
+                                }
+                            }
+                        }
+                        run_end = run_end.max(t);
+                        next_start = next_start.max(t - self.needed[&ev.tensor]);
+                    }
+                }
+            }
+
+            if let Some(fail_at) = hard_failure {
+                if !state.gpu_only {
+                    // The eviction is already done (detection charged at
+                    // the failure site); restore the image and roll back.
+                    let restore_begin = fail_at + res.detect_timeout;
+                    let end = pool_restore(
+                        &mut engine,
+                        &mut state,
+                        &io,
+                        restore_begin,
+                        &mut membership,
+                        &mut stats,
+                        self.oracles.as_ref(),
+                        &mut transfer_seq,
+                    );
+                    run_end = run_end.max(end);
+                    if !state.gpu_only {
+                        stats.restores += 1;
+                        stats.restore_bytes += total_bytes.as_u64();
+                        stats.restore_time += end.saturating_duration_since(restore_begin);
+                        stats.mttr_total += end.saturating_duration_since(fail_at);
+                        stats.lost_iterations += u64::from(completed - last_ckpt);
+                        completed = last_ckpt;
+                        note_recovery(
+                            end,
+                            &format!("restore: rolled back to iteration {completed}"),
+                        );
+                        start = end;
+                        continue 'outer;
+                    }
+                    start = end;
+                    continue 'outer;
+                }
+                // The pool died with its last member: nothing to restore
+                // from. Fall through and finish this iteration GPU-only.
+            }
+
+            let sync_bytes = if state.gpu_only {
+                model.total_bytes()
+            } else {
+                gpu_bytes
+            };
+            let gpu_sync_end = if sync_bytes.is_zero() {
+                backward_end
+            } else if multi_node || self.gpu_ring.len() >= 2 {
+                let mut delay = SimDuration::ZERO;
+                let mut flap_waits = 0u32;
+                loop {
+                    let attempt = if multi_node {
+                        let total: usize = self.node_gpu_rings.iter().map(Vec::len).sum();
+                        hierarchical_allreduce(
+                            &mut engine,
+                            &self.node_gpu_rings,
+                            sync_bytes,
+                            &vec![backward_end + delay; total],
+                            LinkMask::ALL,
+                        )
+                    } else {
+                        ring_allreduce(
+                            &mut engine,
+                            &self.gpu_ring,
+                            sync_bytes,
+                            &vec![backward_end + delay; self.gpu_ring.len()],
+                            RingDirection::Forward,
+                            LinkMask::ALL,
+                        )
+                    };
+                    match attempt {
+                        Ok(res_ok) => break res_ok.end,
+                        Err(CollectiveError::Transfer(TransferError::NoRoute { .. })) => {
+                            // Workers have no failover tier: wait the flap
+                            // out (bounded like `run_faulty`).
+                            assert!(
+                                flap_waits < MAX_FLAP_WAITS,
+                                "worker collective never recovered from its flap"
+                            );
+                            flap_waits += 1;
+                            stats.backoff_time += res.detect_timeout;
+                            delay += res.detect_timeout;
+                        }
+                        Err(e) => {
+                            // simlint: allow(panic-in-library, reason = "losing a worker GPU is unsurvivable by design (S III-E covers the proxy tier only), and gpu rings are shape-validated at construction")
+                            panic!("worker collective cannot continue: {e}")
+                        }
+                    }
+                }
+            } else {
+                backward_end
+            };
+            next_start = next_start.max(gpu_sync_end);
+            run_end = run_end.max(next_start);
+            emit(OracleEvent::IterationEnd {
+                index: attempt as u32,
+                at: next_start,
+            });
+            emit(OracleEvent::Progress { at: next_start });
+            completed += 1;
+            if !committed_any {
+                committed_any = true;
+                first_period_end = next_start;
+            }
+
+            // Pool checkpoint: sealed-push every shard to its mirror and
+            // wait for the slowest leg before the next iteration starts.
+            if policy.checkpoint_due(completed, iterations) && !state.gpu_only {
+                let ckpt_begin = next_start;
+                match pool_checkpoint(
+                    &mut engine,
+                    &mut state,
+                    &io,
+                    ckpt_begin,
+                    &mut membership,
+                    &mut stats,
+                    self.oracles.as_ref(),
+                    &mut transfer_seq,
+                ) {
+                    PoolIoOutcome::Done(end) => {
+                        run_end = run_end.max(end);
+                        if !state.gpu_only {
+                            stats.checkpoints += 1;
+                            stats.checkpoint_bytes += total_bytes.as_u64();
+                            stats.checkpoint_time += end.saturating_duration_since(ckpt_begin);
+                            last_ckpt = completed;
+                        }
+                        start = end;
+                    }
+                    PoolIoOutcome::MemberDown { device, at } => {
+                        // A proxy died with its checkpoint shard in flight:
+                        // the fresh image never committed, so the restore
+                        // rolls back to the previous one.
+                        emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Dropout,
+                            at,
+                        });
+                        let t2 = at + res.detect_timeout;
+                        stats.detection_time += res.detect_timeout;
+                        if !state.mem_devices.contains(&device) {
+                            // simlint: allow(panic-in-library, reason = "checkpoint legs run between pool members only")
+                            panic!("non-member device dropped mid-checkpoint");
+                        }
+                        state.evict(topo, &self.workers, device);
+                        membership.bump(t2, self.oracles.as_ref());
+                        run_end = run_end.max(t2);
+                        note_recovery(
+                            t2,
+                            &format!(
+                                "restore: proxy {} died mid-checkpoint (epoch {})",
+                                topo.device(device).name(),
+                                membership.epoch
+                            ),
+                        );
+                        if state.gpu_only {
+                            start = t2;
+                        } else {
+                            let end = pool_restore(
+                                &mut engine,
+                                &mut state,
+                                &io,
+                                t2,
+                                &mut membership,
+                                &mut stats,
+                                self.oracles.as_ref(),
+                                &mut transfer_seq,
+                            );
+                            run_end = run_end.max(end);
+                            if !state.gpu_only {
+                                stats.restores += 1;
+                                stats.restore_bytes += total_bytes.as_u64();
+                                stats.restore_time += end.saturating_duration_since(t2);
+                                stats.mttr_total += end.saturating_duration_since(at);
+                                stats.lost_iterations += u64::from(completed - last_ckpt);
+                                completed = last_ckpt;
+                                note_recovery(
+                                    end,
+                                    &format!("restore: rolled back to iteration {completed}"),
+                                );
+                            }
+                            start = end;
+                        }
+                    }
+                }
+            } else {
+                start = next_start;
+            }
+        }
+        stats.degraded_to_gpu = state.gpu_only;
+        stats.membership_epoch = membership.epoch;
+        stats.end = run_end.max(start);
+        stats.wall = start.saturating_duration_since(SimTime::ZERO);
+        (
+            (start - first_period_end) / (iterations as u64 - 1).max(1),
+            stats,
+        )
+    }
 }
 
 /// The shard label the oracle is told about: honest under
@@ -1175,13 +1901,21 @@ impl FaultDeployState {
         policy: &ResiliencePolicy,
         stats: &mut FaultRunStats,
     ) {
+        self.evict(topo, workers, dead);
+        stats.failovers += 1;
+        stats.recovery += policy.detect_timeout;
+    }
+
+    /// The membership surgery of [`fail_over`](Self::fail_over) without the
+    /// accounting: removes `dead` and repairs routing over the survivors
+    /// (or collapses to GPU-only below two survivors). The recovery engine
+    /// calls this directly and does its own epoch/time bookkeeping.
+    fn evict(&mut self, topo: &Topology, workers: &[DeviceId], dead: DeviceId) {
         self.mem_devices.retain(|&d| d != dead);
         for ring in &mut self.node_mem_rings {
             ring.retain(|&d| d != dead);
         }
         self.node_mem_rings.retain(|r| !r.is_empty());
-        stats.failovers += 1;
-        stats.recovery += policy.detect_timeout;
         if self.mem_devices.len() < 2 {
             self.gpu_only = true;
         } else {
@@ -1282,6 +2016,380 @@ fn resilient_shard_transfer(
                 attempt += 1;
             }
         }
+    }
+}
+
+/// Accounting of one recovery-engine run.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryRunStats {
+    /// Retransmissions of integrity-rejected sealed pushes.
+    retries: u64,
+    /// Elastic membership repairs (soft evictions, routing rebuilt).
+    repairs: u64,
+    /// Restore episodes (hard failure, rollback to the last checkpoint).
+    restores: u64,
+    /// Final membership epoch (number of membership changes).
+    membership_epoch: u64,
+    /// Pool checkpoints committed.
+    checkpoints: u64,
+    /// Simulated time training stalled on checkpoint pushes.
+    checkpoint_time: SimDuration,
+    /// Bytes sealed-pushed into the pool by committed checkpoints.
+    checkpoint_bytes: u64,
+    /// Simulated time spent coherently reading images back out.
+    restore_time: SimDuration,
+    /// Bytes coherently read back by restores.
+    restore_bytes: u64,
+    /// Committed iterations rolled back and re-executed.
+    lost_iterations: u64,
+    /// Simulated time charged to failure detection.
+    detection_time: SimDuration,
+    /// Simulated time spent backing off and waiting out outages.
+    backoff_time: SimDuration,
+    /// Summed failure-to-recovered episode lengths (MTTR numerator).
+    mttr_total: SimDuration,
+    degraded_to_gpu: bool,
+    /// Total wall time of the run (first iteration start to last commit).
+    wall: SimDuration,
+    /// Latest simulated instant the run touched (RunEnd stamp).
+    end: SimTime,
+}
+
+/// Epoch-stamped proxy membership view of one recovering run. Epoch 0 is
+/// the initial view; every eviction announces a strictly newer epoch.
+#[derive(Debug, Clone, Copy, Default)]
+struct Membership {
+    epoch: u64,
+    stamp: SimTime,
+}
+
+impl Membership {
+    /// Announces the next membership epoch. Concurrent streams are
+    /// simulated in program order, so a later eviction can carry an earlier
+    /// instant; the control plane serializes views, so announced stamps
+    /// never run backward.
+    fn bump(&mut self, at: SimTime, oracles: Option<&OracleHub>) {
+        self.epoch += 1;
+        self.stamp = self.stamp.max(at);
+        if let Some(hub) = oracles {
+            hub.emit(OracleEvent::MembershipEpoch {
+                epoch: self.epoch,
+                at: self.stamp,
+            });
+        }
+    }
+}
+
+/// Immutable context shared by the pool checkpoint/restore helpers.
+struct PoolIo<'a> {
+    topo: &'a Topology,
+    workers: &'a [DeviceId],
+    proxy_mask: LinkMask,
+    /// Full parameter-image size (every checkpoint and restore moves it).
+    total: ByteSize,
+    plan: &'a FaultPlan,
+    policy: &'a RecoveryPolicy,
+}
+
+/// What a pool checkpoint came to.
+enum PoolIoOutcome {
+    /// All legs landed; the image is durable as of this instant.
+    Done(SimTime),
+    /// A pool member died with a leg in flight; the caller escalates to a
+    /// restore episode (this image never committed).
+    MemberDown { device: DeviceId, at: SimTime },
+}
+
+/// What one shard transfer under a [`RecoveryPolicy`] came to.
+enum ShardOutcome {
+    Done(SimTime),
+    /// A device must leave the membership: the transfer's endpoint died
+    /// (`hard`, triggering a restore) or exhausted its retry budget
+    /// (`!hard`, triggering an elastic repair).
+    Evict {
+        device: DeviceId,
+        hard: bool,
+        at: SimTime,
+    },
+}
+
+/// One client-side shard transfer under a [`RecoveryPolicy`]: like
+/// [`resilient_shard_transfer`] but with *bounded* budgets — when the
+/// corruption or route-wait budget runs out the proxy endpoint is handed
+/// back for eviction instead of retrying forever. `proxy` names the
+/// evictable endpoint (the destination for pushes, the source for pulls).
+#[allow(clippy::too_many_arguments)]
+fn recovering_shard_transfer(
+    engine: &mut TransferEngine,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    src: DeviceId,
+    dst: DeviceId,
+    proxy: DeviceId,
+    size: ByteSize,
+    at: SimTime,
+    transfer_seq: &mut u64,
+    stats: &mut RecoveryRunStats,
+    obs: &ShardStream<'_>,
+) -> ShardOutcome {
+    let res = &policy.resilience;
+    let mut t = at;
+    let mut rejects = 0u32;
+    let mut waits = 0u32;
+    loop {
+        if let Some(hub) = obs.hub {
+            hub.emit(OracleEvent::ShardAttempt {
+                worker: obs.worker,
+                stream: obs.stream,
+                shard: obs.shard,
+                attempt: rejects + waits,
+                at: t,
+            });
+        }
+        *transfer_seq += 1;
+        match engine.transfer_masked(src, dst, size, t, PCIE_ONLY) {
+            Ok(rec) => {
+                if plan.corrupts(dst.index() as u32, rec.end, *transfer_seq) {
+                    if let Some(hub) = obs.hub {
+                        hub.emit(OracleEvent::FaultBite {
+                            kind: BiteKind::Corrupt,
+                            at: rec.end,
+                        });
+                    }
+                    match policy.action_for(FailureKind::CorruptStream, rejects) {
+                        RecoveryAction::Retry => {
+                            stats.retries += 1;
+                            let backoff = res.backoff_after(rejects);
+                            stats.backoff_time += backoff;
+                            t = rec.end + backoff;
+                            rejects += 1;
+                            continue;
+                        }
+                        // The seal keeps failing: the proxy's receive path
+                        // is suspect — evict it rather than spin.
+                        _ => {
+                            return ShardOutcome::Evict {
+                                device: proxy,
+                                hard: false,
+                                at: rec.end,
+                            }
+                        }
+                    }
+                }
+                return ShardOutcome::Done(rec.end);
+            }
+            Err(TransferError::DeviceDown { device }) => {
+                return ShardOutcome::Evict {
+                    device,
+                    hard: true,
+                    at: t,
+                }
+            }
+            Err(TransferError::NoRoute { .. }) => {
+                match policy.action_for(FailureKind::RouteOutage, waits) {
+                    RecoveryAction::Retry => {
+                        stats.backoff_time += res.detect_timeout;
+                        t += res.detect_timeout;
+                        waits += 1;
+                    }
+                    _ => {
+                        return ShardOutcome::Evict {
+                            device: proxy,
+                            hard: false,
+                            at: t,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One pool checkpoint: every surviving proxy sealed-pushes its shard of
+/// the parameter image to its ring mirror (per [`plan_pool_checkpoint`]),
+/// all legs in parallel from `at`, and the image commits when the slowest
+/// leg lands. Transient failures follow the policy budgets — corruption
+/// retries with backoff then evicts the mirror, severed routes are waited
+/// out then repaired — and any eviction replans the legs over the shrunken
+/// membership (the image restarts; a half-written image is useless). A
+/// member death aborts: the caller escalates to a restore episode.
+#[allow(clippy::too_many_arguments)]
+fn pool_checkpoint(
+    engine: &mut TransferEngine,
+    state: &mut FaultDeployState,
+    io: &PoolIo<'_>,
+    at: SimTime,
+    membership: &mut Membership,
+    stats: &mut RecoveryRunStats,
+    oracles: Option<&OracleHub>,
+    transfer_seq: &mut u64,
+) -> PoolIoOutcome {
+    let res = &io.policy.resilience;
+    let mut at = at;
+    'replan: loop {
+        let members = state.mem_devices.clone();
+        let legs = plan_pool_checkpoint(members.len(), io.total);
+        let mut end = at;
+        for leg in &legs.legs {
+            let (src, dst) = (members[leg.src], members[leg.mirror]);
+            let mut t = at;
+            let mut rejects = 0u32;
+            let mut waits = 0u32;
+            loop {
+                *transfer_seq += 1;
+                match engine.transfer_masked(src, dst, leg.bytes, t, io.proxy_mask) {
+                    Ok(rec) => {
+                        if io.plan.corrupts(dst.index() as u32, rec.end, *transfer_seq) {
+                            if let Some(hub) = oracles {
+                                hub.emit(OracleEvent::FaultBite {
+                                    kind: BiteKind::Corrupt,
+                                    at: rec.end,
+                                });
+                            }
+                            match io.policy.action_for(FailureKind::CorruptStream, rejects) {
+                                RecoveryAction::Retry => {
+                                    stats.retries += 1;
+                                    let backoff = res.backoff_after(rejects);
+                                    stats.backoff_time += backoff;
+                                    t = rec.end + backoff;
+                                    rejects += 1;
+                                    continue;
+                                }
+                                _ => {
+                                    // The mirror's seal keeps failing:
+                                    // evict it and replan the image.
+                                    stats.detection_time += res.detect_timeout;
+                                    let t2 = rec.end + res.detect_timeout;
+                                    state.evict(io.topo, io.workers, dst);
+                                    membership.bump(t2, oracles);
+                                    stats.repairs += 1;
+                                    if state.gpu_only {
+                                        return PoolIoOutcome::Done(t2);
+                                    }
+                                    at = t2;
+                                    continue 'replan;
+                                }
+                            }
+                        }
+                        end = end.max(rec.end);
+                        break;
+                    }
+                    Err(TransferError::DeviceDown { device }) => {
+                        return PoolIoOutcome::MemberDown { device, at: t };
+                    }
+                    Err(TransferError::NoRoute { .. }) => {
+                        match io.policy.action_for(FailureKind::RouteOutage, waits) {
+                            RecoveryAction::Retry => {
+                                stats.backoff_time += res.detect_timeout;
+                                t += res.detect_timeout;
+                                waits += 1;
+                            }
+                            _ => {
+                                stats.detection_time += res.detect_timeout;
+                                let t2 = t + res.detect_timeout;
+                                state.evict(io.topo, io.workers, dst);
+                                membership.bump(t2, oracles);
+                                stats.repairs += 1;
+                                if state.gpu_only {
+                                    return PoolIoOutcome::Done(t2);
+                                }
+                                at = t2;
+                                continue 'replan;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return PoolIoOutcome::Done(end);
+    }
+}
+
+/// One pool restore: every surviving proxy coherently reads its shard of
+/// the last committed image back from its ring mirror — the reverse of
+/// [`pool_checkpoint`]'s legs, and plain coherent reads rather than sealed
+/// pushes, so there is no corruption check on this path. Members that die
+/// mid-restore are detected, evicted, and the read replanned over the
+/// survivors (membership strictly shrinks, so this terminates); if the
+/// pool collapses to fewer than two members the restore is moot and the
+/// caller finds `state.gpu_only` set. Returns the instant the image (or
+/// the degraded run) is ready.
+#[allow(clippy::too_many_arguments)]
+fn pool_restore(
+    engine: &mut TransferEngine,
+    state: &mut FaultDeployState,
+    io: &PoolIo<'_>,
+    at: SimTime,
+    membership: &mut Membership,
+    stats: &mut RecoveryRunStats,
+    oracles: Option<&OracleHub>,
+    transfer_seq: &mut u64,
+) -> SimTime {
+    let res = &io.policy.resilience;
+    let mut at = at;
+    'replan: loop {
+        if state.gpu_only {
+            return at;
+        }
+        let members = state.mem_devices.clone();
+        let legs = plan_pool_checkpoint(members.len(), io.total);
+        let mut end = at;
+        for leg in &legs.legs {
+            let (src, dst) = (members[leg.mirror], members[leg.src]);
+            let mut t = at;
+            let mut waits = 0u32;
+            loop {
+                *transfer_seq += 1;
+                match engine.transfer_masked(src, dst, leg.bytes, t, io.proxy_mask) {
+                    Ok(rec) => {
+                        end = end.max(rec.end);
+                        break;
+                    }
+                    Err(TransferError::DeviceDown { device }) => {
+                        // Another member died mid-restore: detect, evict,
+                        // and replan the reads over the survivors.
+                        if let Some(hub) = oracles {
+                            hub.emit(OracleEvent::FaultBite {
+                                kind: BiteKind::Dropout,
+                                at: t,
+                            });
+                        }
+                        if !state.mem_devices.contains(&device) {
+                            // simlint: allow(panic-in-library, reason = "restore legs run between pool members only")
+                            panic!("non-member device dropped mid-restore");
+                        }
+                        stats.detection_time += res.detect_timeout;
+                        let t2 = t + res.detect_timeout;
+                        state.evict(io.topo, io.workers, device);
+                        membership.bump(t2, oracles);
+                        at = t2;
+                        continue 'replan;
+                    }
+                    Err(TransferError::NoRoute { .. }) => {
+                        match io.policy.action_for(FailureKind::RouteOutage, waits) {
+                            RecoveryAction::Retry => {
+                                stats.backoff_time += res.detect_timeout;
+                                t += res.detect_timeout;
+                                waits += 1;
+                            }
+                            _ => {
+                                // The mirror is unreachable: evict it and
+                                // replan (its shard is re-read from the
+                                // survivor ring's reshuffled mirrors).
+                                stats.detection_time += res.detect_timeout;
+                                let t2 = t + res.detect_timeout;
+                                state.evict(io.topo, io.workers, src);
+                                membership.bump(t2, oracles);
+                                stats.repairs += 1;
+                                at = t2;
+                                continue 'replan;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return end;
     }
 }
 
@@ -1488,6 +2596,179 @@ pub fn simulate_coarse_faulty_observed(
         hash: result_fingerprint(&result.result),
     });
     hub.emit(OracleEvent::RunEnd { at: end });
+    result
+}
+
+/// Results of a recovery-engine run: the steady-state training result plus
+/// the full detect → decide → recover → account ledger. All simulated-time
+/// fields are exact sums over the run, so the result is byte-deterministic
+/// under its plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveringTrainResult {
+    /// Steady-state training result of the recovering run.
+    pub result: TrainResult,
+    /// Total wall time: first iteration start to last committed iteration,
+    /// including every checkpoint, detection, backoff, restore, and
+    /// re-executed iteration. The goodput denominator.
+    pub wall: SimDuration,
+    /// Number of fault entries in the injected plan.
+    pub injected_faults: usize,
+    /// Retransmissions of integrity-rejected sealed pushes.
+    pub retries: u64,
+    /// Elastic membership repairs (budget-exhausted transient failures:
+    /// the suspect proxy evicted, routing rebuilt over survivors).
+    pub repairs: u64,
+    /// Restore episodes (hard failures: eviction plus rollback to the last
+    /// committed pool checkpoint).
+    pub restores: u64,
+    /// Final membership epoch — the number of membership changes the run
+    /// announced (0 means the initial view survived).
+    pub membership_epoch: u64,
+    /// Pool checkpoints committed.
+    pub checkpoints: u64,
+    /// Simulated time training stalled on checkpoint sealed-pushes.
+    pub checkpoint_time: SimDuration,
+    /// Bytes sealed-pushed into the pool by committed checkpoints.
+    pub checkpoint_bytes: ByteSize,
+    /// Simulated time spent coherently reading images back out.
+    pub restore_time: SimDuration,
+    /// Bytes coherently read back by restores.
+    pub restore_bytes: ByteSize,
+    /// Committed iterations rolled back by restores and re-executed.
+    pub lost_iterations: u64,
+    /// Simulated time charged to failure detection.
+    pub detection_time: SimDuration,
+    /// Simulated time spent backing off and waiting out outages.
+    pub backoff_time: SimDuration,
+    /// Mean time to recovery: failure observation to image restored,
+    /// averaged over restore episodes ([`SimDuration::ZERO`] if none).
+    pub mttr: SimDuration,
+    /// True if the proxy tier was lost and sync degraded to GPU-only.
+    pub degraded_to_gpu: bool,
+}
+
+impl RecoveringTrainResult {
+    /// True if no fault fired and no recovery mechanism engaged (a
+    /// zero-interval, empty-plan run is guaranteed clean and byte-identical
+    /// to [`simulate_coarse`]).
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.repairs == 0
+            && self.restores == 0
+            && self.membership_epoch == 0
+            && self.checkpoints == 0
+            && !self.degraded_to_gpu
+            && self.lost_iterations == 0
+    }
+}
+
+fn recovering_result(
+    deployment: &Deployment<'_>,
+    global_batch: u32,
+    plan: &FaultPlan,
+    period: SimDuration,
+    stats: RecoveryRunStats,
+) -> RecoveringTrainResult {
+    RecoveringTrainResult {
+        result: TrainResult::new(period, deployment.plan.compute_time(), global_batch),
+        wall: stats.wall,
+        injected_faults: plan.len(),
+        retries: stats.retries,
+        repairs: stats.repairs,
+        restores: stats.restores,
+        membership_epoch: stats.membership_epoch,
+        checkpoints: stats.checkpoints,
+        checkpoint_time: stats.checkpoint_time,
+        checkpoint_bytes: ByteSize::bytes(stats.checkpoint_bytes),
+        restore_time: stats.restore_time,
+        restore_bytes: ByteSize::bytes(stats.restore_bytes),
+        lost_iterations: stats.lost_iterations,
+        detection_time: stats.detection_time,
+        backoff_time: stats.backoff_time,
+        mttr: if stats.restores == 0 {
+            SimDuration::ZERO
+        } else {
+            stats.mttr_total / stats.restores
+        },
+        degraded_to_gpu: stats.degraded_to_gpu,
+    }
+}
+
+/// Simulates COARSE training under the full recovery engine: pool
+/// checkpoints every [`RecoveryPolicy::checkpoint_interval`] iterations
+/// become real sealed-push traffic, transient failures repair the
+/// membership elastically (epoch-stamped evictions), and hard failures
+/// restore from the last committed pool checkpoint — rolling the run back
+/// and re-executing the lost iterations, all on the simulated clock.
+///
+/// Unlike [`simulate_coarse_faulty`] there is no empty-plan fast path:
+/// a zero-fault run still pays its checkpoint cadence (that is the
+/// overhead being measured), and with `checkpoint_interval = 0` it times
+/// identically to [`simulate_coarse`]. Byte-deterministic under its plan.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse`], plus a dropped *worker* (the
+/// proxy tier is the only failover domain).
+pub fn simulate_coarse_recovering(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> RecoveringTrainResult {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let (period, stats) = deployment.run_recovering(best_m, iterations, plan, policy);
+    recovering_result(&deployment, global_batch, plan, period, stats)
+}
+
+/// [`simulate_coarse_recovering`] with an [`OracleHub`] armed: alongside
+/// the fault-run event stream the engine announces every membership epoch
+/// ([`OracleEvent::MembershipEpoch`]) for the membership-monotonicity
+/// oracle, and iteration ends keep a monotone index across rollbacks so
+/// re-execution never trips the time or FIFO oracles. `reference` is the
+/// fault-free fingerprint for clean-run equivalence. Observation is
+/// passive: the returned result is byte-identical to
+/// [`simulate_coarse_recovering`]'s.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_coarse_recovering`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_coarse_recovering_observed(
+    machine: &Machine,
+    partition: &Partition,
+    model: &ModelProfile,
+    batch_per_gpu: u32,
+    iterations: u32,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    hub: &OracleHub,
+    reference: Option<u64>,
+) -> RecoveringTrainResult {
+    assert!(
+        iterations >= 2,
+        "need ≥2 iterations for a steady-state period"
+    );
+    let (mut deployment, best_m) = prepare(machine, partition, model, batch_per_gpu);
+    deployment.oracles = Some(hub.clone());
+    if let Some(hash) = reference {
+        hub.emit(OracleEvent::ReferenceFingerprint { hash });
+    }
+    let global_batch = batch_per_gpu * partition.workers.len() as u32;
+    let (period, stats) = deployment.run_recovering(best_m, iterations, plan, policy);
+    let result = recovering_result(&deployment, global_batch, plan, period, stats);
+    hub.emit(OracleEvent::RunFingerprint {
+        hash: result_fingerprint(&result.result),
+    });
+    hub.emit(OracleEvent::RunEnd { at: stats.end });
     result
 }
 
@@ -2294,6 +3575,148 @@ mod tests {
             faulty.result, clean,
             "a never-biting plan must be byte-identical to the clean run"
         );
+    }
+
+    #[test]
+    fn recovering_zero_fault_zero_interval_matches_clean_run() {
+        // The recovery engine with nothing to do must be invisible: no
+        // checkpoint cadence, no faults, and a result byte-identical to
+        // the plain simulator (the zero-perturbation contract).
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let clean = simulate_coarse(&m, &p, &model, 2, 3);
+        let policy = RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        };
+        let r = simulate_coarse_recovering(&m, &p, &model, 2, 3, &FaultPlan::empty(), &policy);
+        assert!(r.is_clean());
+        assert_eq!(r.result, clean, "idle recovery engine must perturb nothing");
+        assert!(r.wall > SimDuration::ZERO, "wall time is always measured");
+    }
+
+    #[test]
+    fn checkpoint_cadence_is_real_simulated_traffic() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let free = RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        };
+        let every2 = RecoveryPolicy {
+            checkpoint_interval: 2,
+            ..RecoveryPolicy::default()
+        };
+        let baseline = simulate_coarse_recovering(&m, &p, &model, 2, 5, &FaultPlan::empty(), &free);
+        let ckpt = simulate_coarse_recovering(&m, &p, &model, 2, 5, &FaultPlan::empty(), &every2);
+        // 5 iterations at interval 2 checkpoint after iterations 2 and 4
+        // (never after the last).
+        assert_eq!(ckpt.checkpoints, 2);
+        assert_eq!(
+            ckpt.checkpoint_bytes,
+            model.total_bytes() * 2,
+            "each checkpoint mirrors the full image"
+        );
+        assert!(ckpt.checkpoint_time > SimDuration::ZERO);
+        assert!(
+            ckpt.wall > baseline.wall,
+            "checkpoint pushes must cost wall time: {} vs {}",
+            ckpt.wall,
+            baseline.wall
+        );
+        assert_eq!(
+            ckpt.wall,
+            baseline.wall + ckpt.checkpoint_time,
+            "a fault-free run's overhead is exactly its checkpoint stalls"
+        );
+    }
+
+    #[test]
+    fn hard_dropout_restores_from_the_pool() {
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let policy = RecoveryPolicy {
+            checkpoint_interval: 1,
+            ..RecoveryPolicy::default()
+        };
+        let victim = p.mem_devices[1].index() as u32;
+        let plan =
+            FaultPlan::new(11).drop_device(victim, SimTime::ZERO + SimDuration::from_millis(1));
+        let a = simulate_coarse_recovering(&m, &p, &model, 2, 3, &plan, &policy);
+        assert_eq!(a.restores, 1, "a dropped proxy is a restore, not a retry");
+        assert_eq!(a.membership_epoch, 1, "one eviction announces one epoch");
+        assert!(!a.degraded_to_gpu, "three survivors keep the proxy tier");
+        assert!(a.mttr > SimDuration::ZERO, "an episode has a length");
+        assert_eq!(
+            a.restore_bytes,
+            model.total_bytes(),
+            "one restore reads the whole image back"
+        );
+        assert!(a.detection_time > SimDuration::ZERO);
+        let b = simulate_coarse_recovering(&m, &p, &model, 2, 3, &plan, &policy);
+        assert_eq!(a, b, "same plan + seed must reproduce exactly");
+    }
+
+    #[test]
+    fn uncheckpointed_work_is_lost_and_reexecuted() {
+        // A dropout after the first commit, with no checkpoint interval,
+        // rolls the run back to iteration 0: the committed iteration is
+        // counted lost and re-executed on the wall clock.
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let clean = simulate_coarse(&m, &p, &model, 2, 3);
+        let mid_second_iter = SimTime::ZERO + clean.iteration_time + clean.iteration_time / 2;
+        let victim = p.mem_devices[2].index() as u32;
+        let plan = FaultPlan::new(5).drop_device(victim, mid_second_iter);
+        let none = RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        };
+        let every = RecoveryPolicy {
+            checkpoint_interval: 1,
+            ..RecoveryPolicy::default()
+        };
+        let lossy = simulate_coarse_recovering(&m, &p, &model, 2, 3, &plan, &none);
+        assert_eq!(lossy.restores, 1);
+        assert!(
+            lossy.lost_iterations >= 1,
+            "work past the last checkpoint is lost: {lossy:?}"
+        );
+        let protected = simulate_coarse_recovering(&m, &p, &model, 2, 3, &plan, &every);
+        assert_eq!(protected.restores, 1);
+        assert!(
+            protected.lost_iterations < lossy.lost_iterations,
+            "a tighter checkpoint interval must save committed work \
+             ({} vs {})",
+            protected.lost_iterations,
+            lossy.lost_iterations
+        );
+    }
+
+    #[test]
+    fn recovering_observed_is_passive_and_epochs_are_monotone() {
+        use coarse_simcore::oracle::{MembershipMonotonicity, OracleHub};
+        let m = aws_v100();
+        let p = m.partition(PartitionScheme::OneToOne);
+        let model = bert_large();
+        let policy = RecoveryPolicy {
+            checkpoint_interval: 1,
+            ..RecoveryPolicy::default()
+        };
+        let victim = p.mem_devices[1].index() as u32;
+        let plan =
+            FaultPlan::new(11).drop_device(victim, SimTime::ZERO + SimDuration::from_millis(1));
+        let bare = simulate_coarse_recovering(&m, &p, &model, 2, 3, &plan, &policy);
+        let hub = OracleHub::with_builtins(SimDuration::from_secs(60));
+        hub.register(Box::new(MembershipMonotonicity::new()));
+        let observed =
+            simulate_coarse_recovering_observed(&m, &p, &model, 2, 3, &plan, &policy, &hub, None);
+        assert_eq!(bare, observed, "observation must not perturb the run");
+        assert!(hub.violations().is_empty(), "{:?}", hub.violations());
     }
 
     #[test]

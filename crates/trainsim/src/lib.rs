@@ -14,6 +14,7 @@ pub mod config;
 pub mod dense;
 pub mod explain;
 pub mod profile;
+pub mod recovery;
 pub mod report;
 pub mod scaling;
 pub mod scenario;
@@ -29,13 +30,18 @@ pub use chaos::{
 pub use coarse::{
     coarse_hotspots, record_coarse_faulty_trace, record_coarse_metrics, record_coarse_profile,
     record_coarse_trace, result_fingerprint, simulate_coarse, simulate_coarse_faulty,
-    simulate_coarse_faulty_observed, simulate_coarse_with_input, trace_coarse, FaultyTrainResult,
-    Sabotage,
+    simulate_coarse_faulty_observed, simulate_coarse_recovering,
+    simulate_coarse_recovering_observed, simulate_coarse_with_input, trace_coarse,
+    FaultyTrainResult, RecoveringTrainResult, Sabotage,
 };
 pub use config::{Scheme, TrainError, TrainResult};
 pub use dense::{simulate_dense, simulate_dense_explained, simulate_dense_faulty};
 pub use explain::{explain_preset, explain_scenario, ExplainRun, ExplainedScheme};
 pub use profile::{profile_preset, profile_scenario, ProfileRun};
+pub use recovery::{
+    interval_sweep, plan_clear_instant, recovery_report, reference_schedule, RecoveryReport,
+    RecoverySweep, RECOVERY_SCHEMA,
+};
 pub use report::{FaultRunSummary, RunReport, SchemeOutcome, SchemeRun};
 pub use scaling::{node_scaling, ScalingPoint};
 pub use scenario::Scenario;

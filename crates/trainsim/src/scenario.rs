@@ -18,7 +18,7 @@
 //! accounting) — an **empty plan is guaranteed byte-identical** to the
 //! fault-free path.
 
-use coarse_core::resilience::ResiliencePolicy;
+use coarse_core::resilience::{RecoveryPolicy, ResiliencePolicy};
 use coarse_fabric::machines::{aws_t4, aws_v100, sdsc_p100, Machine, PartitionScheme};
 use coarse_models::memory::{MemoryModel, Residency};
 use coarse_models::profile::ModelProfile;
@@ -26,7 +26,10 @@ use coarse_models::zoo::{bert_base, bert_large, resnet50};
 use coarse_simcore::faults::FaultPlan;
 
 use crate::allreduce::simulate_allreduce;
-use crate::coarse::{simulate_coarse, simulate_coarse_faulty, FaultyTrainResult};
+use crate::coarse::{
+    simulate_coarse, simulate_coarse_faulty, simulate_coarse_recovering, FaultyTrainResult,
+    RecoveringTrainResult,
+};
 use crate::config::{Scheme, TrainError, TrainResult};
 use crate::dense::simulate_dense_faulty;
 use crate::report::RunReport;
@@ -304,6 +307,44 @@ impl Scenario {
             self.iterations,
             &self.faults,
             &self.policy,
+        ))
+    }
+
+    /// Runs COARSE under the full recovery engine — elastic membership
+    /// repair, pool checkpoints as real traffic, restore-from-checkpoint on
+    /// hard failures — and returns the goodput accounting. The scenario's
+    /// fault plan drives the failures; `policy` sets the checkpoint
+    /// interval and escalation budgets (its embedded resilience settings
+    /// override the scenario's).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] if validation fails or the batch does not
+    /// fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not [`Scheme::Coarse`].
+    pub fn run_recovering(
+        &self,
+        policy: &RecoveryPolicy,
+    ) -> Result<RecoveringTrainResult, TrainError> {
+        assert_eq!(
+            self.scheme,
+            Scheme::Coarse,
+            "run_recovering restores the proxy pool; only COARSE has one"
+        );
+        self.validate()?;
+        self.check_memory()?;
+        let part = self.machine.partition(self.partition);
+        Ok(simulate_coarse_recovering(
+            &self.machine,
+            &part,
+            &self.model,
+            self.batch_per_gpu,
+            self.iterations,
+            &self.faults,
+            policy,
         ))
     }
 

@@ -1,167 +1,100 @@
-//! Fault tolerance with copy-on-write snapshots (§IV-A): train under a
-//! seeded device-dropout fault, roll back to the latest epoch checkpoint,
-//! rebuild the strategy over the surviving memory devices, and verify the
-//! recovered loss trajectory is bit-identical to a clean reference resumed
-//! from the same checkpoint state.
+//! Surviving a proxy failure with pool checkpoints (§III-E, §IV-A): train
+//! BERT-Large on the AWS V100 panel under a hard mid-run proxy dropout,
+//! let the recovery engine restore the parameter image from the surviving
+//! pool mirrors, and bound the measured MTTR.
+//!
+//! The old version of this example drove strategy-level snapshot rollback
+//! by hand; the recovery engine now owns that loop — detection, elastic
+//! eviction, pool restore, and rollback accounting all happen inside
+//! [`Scenario::run_recovering`].
 //!
 //! ```text
 //! cargo run --example checkpoint_recovery
 //! ```
 
-use coarse_repro::cci::tensor::{Tensor, TensorId};
-use coarse_repro::core::optim::Sgd;
-use coarse_repro::core::strategy::CoarseStrategy;
+use coarse_repro::core::resilience::RecoveryPolicy;
 use coarse_repro::fabric::machines::{aws_v100, PartitionScheme};
-use coarse_repro::fabric::DeviceId;
 use coarse_repro::simcore::faults::FaultPlan;
 use coarse_repro::simcore::time::{SimDuration, SimTime};
+use coarse_repro::trainsim::Scenario;
 
-const STEPS_PER_EPOCH: u64 = 3;
-const TOTAL_STEPS: u64 = 8;
-/// Virtual wall-clock length of one training step, used only to map the
-/// fault plan's seeded dropout instant onto a step index.
-const STEP_PERIOD: SimDuration = SimDuration::from_millis(10);
+const ITERATIONS: u32 = 5;
 const SEED: u64 = 0x5EED_CAFE;
 
-/// Deterministic synthetic per-worker gradients for one step.
-fn grads(workers: usize, step: u64) -> Vec<Vec<Tensor>> {
-    (0..workers)
-        .map(|w| {
-            let v = (step as f32 * 0.25 + w as f32 * 0.125).sin();
-            vec![Tensor::new(TensorId(0), vec![v; 1024])]
-        })
-        .collect()
-}
-
-/// A synthetic loss: half the mean squared weight (so SGD steps visibly
-/// move it, and two runs agree only if the weights are bit-identical).
-fn loss_of(weights: &Tensor) -> f32 {
-    let d = weights.data();
-    d.iter().map(|w| w * w).sum::<f32>() / (2.0 * d.len() as f32)
-}
-
-/// Builds a strategy over `mem_devices`, seeds it with `params`, and runs
-/// steps `from..TOTAL_STEPS`, returning the loss after each step.
-fn resume(
-    topo: &coarse_repro::fabric::topology::Topology,
-    workers: &[DeviceId],
-    mem_devices: &[DeviceId],
-    params: &Tensor,
-    from: u64,
-) -> Vec<f32> {
-    let mut strategy = CoarseStrategy::new(topo, workers, mem_devices, STEPS_PER_EPOCH);
-    strategy.set_optimizer(Box::new(Sgd::new(0.1)));
-    strategy.register_parameters(std::slice::from_ref(params));
-    (from..TOTAL_STEPS)
-        .map(|step| {
-            let new_weights = strategy
-                .run_step(&grads(workers.len(), step))
-                .expect("worker count matches");
-            loss_of(&new_weights[0][0])
-        })
-        .collect()
-}
+/// Every committed iteration is at most this far from the nearest
+/// checkpoint, so a restore re-reads one image and re-runs at most one
+/// iteration: MTTR stays bounded by detection + one pool read.
+const MTTR_BOUND: SimDuration = SimDuration::from_millis(100);
 
 fn main() {
-    let machine = aws_v100();
-    let partition = machine.partition(PartitionScheme::OneToOne);
-    let workers = partition.workers.clone();
-
-    // A seeded fault plan picks the victim proxy and the dropout instant.
-    // The window opens after the first epoch checkpoint so recovery always
-    // has a snapshot to roll back to.
-    let candidates: Vec<u32> = partition
-        .mem_devices
-        .iter()
-        .map(|d| d.index() as u32)
-        .collect();
-    let plan = FaultPlan::seeded_dropout(
-        SEED,
-        &candidates,
-        SimTime::ZERO + STEP_PERIOD * STEPS_PER_EPOCH,
-        SimTime::ZERO + STEP_PERIOD * TOTAL_STEPS,
-    );
-    let victim = partition
-        .mem_devices
-        .iter()
-        .copied()
-        .find(|d| plan.dropout_at(d.index() as u32).is_some())
-        .expect("seeded plan drops one device");
-    let dropout_at = plan.dropout_at(victim.index() as u32).unwrap();
-    let failure_step = (dropout_at - SimTime::ZERO).as_nanos() / STEP_PERIOD.as_nanos();
+    let base = Scenario::preset("fig16d").iterations(ITERATIONS);
+    let clean = base.clone().run().expect("fig16d fits in memory");
     println!(
-        "fault plan (seed {SEED:#x}): {} drops out at {dropout_at} -> step {failure_step}",
+        "clean run: iteration {} ({:.1} samples/s)",
+        clean.iteration_time, clean.throughput
+    );
+
+    // Drop the second proxy midway through the third iteration. The
+    // checkpoint cadence (every iteration) guarantees a recent image.
+    let machine = aws_v100();
+    let part = machine.partition(PartitionScheme::OneToOne);
+    let victim = part.mem_devices[1];
+    let at = SimTime::ZERO + clean.iteration_time * 2 + clean.iteration_time / 2;
+    let plan = FaultPlan::new(SEED).drop_device(victim.index() as u32, at);
+    let policy = RecoveryPolicy {
+        checkpoint_interval: 1,
+        ..RecoveryPolicy::default()
+    };
+    println!(
+        "fault plan: {} drops out at {at} (checkpoint every iteration)",
         machine.topology().device(victim).name()
     );
 
-    // Train until the injected dropout, checkpointing each epoch.
-    let mut strategy = CoarseStrategy::new(
-        machine.topology(),
-        &workers,
-        &partition.mem_devices,
-        STEPS_PER_EPOCH,
-    );
-    strategy.set_optimizer(Box::new(Sgd::new(0.1)));
-    let init = Tensor::new(TensorId(0), vec![1.0; 1024]);
-    strategy.register_parameters(std::slice::from_ref(&init));
-    for step in 0..failure_step {
-        let w = strategy
-            .run_step(&grads(workers.len(), step))
-            .expect("worker count matches");
-        println!("step {step}: loss {:.6}", loss_of(&w[0][0]));
-    }
+    let run = base
+        .clone()
+        .faults(plan)
+        .run_recovering(&policy)
+        .expect("faulty run fits in memory");
     println!(
-        "device dropout at step {failure_step} ({} checkpoint(s) on hand)",
-        strategy.checkpoint_count()
+        "faulty run: wall {} vs clean {} ({} checkpoint(s), {} restore(s))",
+        run.wall,
+        clean.iteration_time * u64::from(ITERATIONS),
+        run.checkpoints,
+        run.restores
+    );
+    println!(
+        "recovery:   detection {}, restore read {} ({}), {} iteration(s) lost",
+        run.detection_time, run.restore_time, run.restore_bytes, run.lost_iterations
+    );
+    println!("MTTR:       {} (bound {MTTR_BOUND})", run.mttr);
+
+    assert!(run.restores >= 1, "the dropout must force a pool restore");
+    assert!(
+        !run.degraded_to_gpu,
+        "three proxies survive; the pool must stay up"
+    );
+    assert!(
+        run.lost_iterations <= 1,
+        "checkpointing every iteration bounds the rollback to one iteration"
+    );
+    assert!(
+        run.mttr <= MTTR_BOUND,
+        "MTTR {} exceeded the {MTTR_BOUND} bound",
+        run.mttr
     );
 
-    // Recover: roll parameter storage back to the last epoch snapshot,
-    // then rebuild the strategy over the *surviving* memory devices and
-    // re-register the restored weights.
-    let epoch = strategy.recover().expect("a checkpoint exists");
-    let restored = strategy.stored(TensorId(0)).expect("params are stored");
-    let survivors: Vec<DeviceId> = partition
-        .mem_devices
-        .iter()
-        .copied()
-        .filter(|d| *d != victim)
-        .collect();
-    // Snapshot epochs are 0-based: epoch E is the state after the
-    // (E+1)-th completed epoch, i.e. after (E+1)*STEPS_PER_EPOCH steps.
-    let resume_from = (epoch + 1) * STEPS_PER_EPOCH;
-    println!(
-        "recovered to epoch {epoch} (step {resume_from}); resuming on {} of {} proxies",
-        survivors.len(),
-        partition.mem_devices.len()
+    // Zero-perturbation sanity: the engine with nothing to do reproduces
+    // the clean run bit-for-bit.
+    let idle = base
+        .faults(FaultPlan::empty())
+        .run_recovering(&RecoveryPolicy {
+            checkpoint_interval: 0,
+            ..RecoveryPolicy::default()
+        })
+        .expect("clean run fits in memory");
+    assert_eq!(
+        idle.result, clean,
+        "an idle recovery engine must not perturb the timeline"
     );
-    let recovered = resume(
-        machine.topology(),
-        &workers,
-        &survivors,
-        &restored,
-        resume_from,
-    );
-
-    // Clean reference: the same checkpoint state resumed on the full,
-    // healthy proxy tier. Losing a proxy must not change the math — only
-    // where shards live — so both trajectories must match bit-for-bit.
-    let reference = resume(
-        machine.topology(),
-        &workers,
-        &partition.mem_devices,
-        &restored,
-        resume_from,
-    );
-    for (i, (got, want)) in recovered.iter().zip(&reference).enumerate() {
-        let step = resume_from + i as u64;
-        println!("step {step}: loss {got:.6} (reference {want:.6})");
-        assert_eq!(
-            got, want,
-            "recovered trajectory diverged from the clean reference at step {step}"
-        );
-    }
-    println!(
-        "recovery verified: {} post-recovery steps bit-identical to the clean reference",
-        recovered.len()
-    );
+    println!("recovery verified: MTTR within bound, idle engine byte-identical to clean run");
 }

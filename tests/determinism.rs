@@ -31,8 +31,10 @@ fn training_simulations_are_reproducible() {
 fn probes_are_reproducible() {
     let machine = sdsc_p100();
     let gpus = machine.gpus().to_vec();
-    let m1 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
-    let m2 = probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
+    let m1 =
+        probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
+    let m2 =
+        probe::bidirectional_matrix(machine.topology(), &gpus, ByteSize::mib(16), LinkMask::ALL);
     assert_eq!(m1, m2);
 }
 

@@ -34,11 +34,14 @@ fn check_golden(name: &str, got: &str) {
         fs::write(&path, got).expect("write golden");
         return;
     }
-    let want = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run UPDATE_GOLDENS=1", path.display()));
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; run UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
     assert_eq!(
-        got,
-        want,
+        got, want,
         "{name} drifted from its golden fixture; the hot-path rewrite must be \
          byte-identical (regenerate with UPDATE_GOLDENS=1 only for intentional \
          semantic changes)"
