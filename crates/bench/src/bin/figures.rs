@@ -484,9 +484,10 @@ fn usage() {
          \x20                          write explain-<scenario>.json plus the\n\
          \x20                          critical-path overlay explain-<scenario>.trace.json\n\
          \x20 lint [--json [path]]     run the simlint determinism & simulation-safety\n\
-         \x20                          analyzer over the workspace sources; exit 1 on\n\
+         \x20      [--baseline <file>] analyzer over the workspace sources; exit 1 on\n\
          \x20                          any un-waived diagnostic (default JSON path:\n\
-         \x20                          lint-report.json)\n\
+         \x20                          lint-report.json); with --baseline, fail only\n\
+         \x20                          on findings absent from the given earlier report\n\
          \x20 trace [scenario]         record a traced COARSE run; scenarios:\n\
          \x20                          {TRACE_SCENARIOS}\n\
          \x20 faults [scenario]        run a seeded fault-injection scenario over the\n\
@@ -582,6 +583,9 @@ fn panel_reports() -> Vec<coarse_trainsim::RunReport> {
         .collect()
 }
 
+/// Schema tag for the combined scorecard + run-report document.
+const FIDELITY_SCHEMA: &str = "coarse.fidelity-report/v1";
+
 /// `figures -- report [scenario] [--json <path>]`: the scorecard plus the
 /// per-panel run reports as one versioned, byte-deterministic document.
 fn report(scenario: Option<&str>, json_path: Option<&str>) {
@@ -603,7 +607,7 @@ fn report(scenario: Option<&str>, json_path: Option<&str>) {
         Vec::new()
     };
     let doc = JsonValue::object()
-        .with("schema", JsonValue::str("coarse.fidelity-report/v1"))
+        .with("schema", JsonValue::str(FIDELITY_SCHEMA))
         .with("scorecard", card.to_json())
         .with("run_reports", JsonValue::Array(runs));
     let mut rendered = doc.render_pretty();
@@ -1044,12 +1048,18 @@ fn write_artifact(path: &str, contents: &str) {
     }
 }
 
-/// `figures -- lint [--json [path]]`: runs the simlint static analyzer over
-/// the workspace sources, prints every active (un-waived) diagnostic, and
-/// optionally writes the `coarse.lint-report/v1` JSON artifact. Exits 1 when
-/// any un-waived diagnostic remains, 2 on usage errors.
+/// `figures -- lint [--json [path]] [--baseline <file>]`: runs the simlint
+/// static analyzer over the workspace sources, prints every active
+/// (un-waived) diagnostic, and optionally writes the
+/// `coarse.lint-report/v1` JSON artifact. Without `--baseline`, exits 1
+/// when any un-waived diagnostic remains. With `--baseline`, compares
+/// against a committed earlier report and exits 1 only on findings NOT in
+/// the baseline — so a branch can ratchet down legacy debt without being
+/// blocked by it — while stale (since-fixed) baseline entries are listed
+/// for pruning. Exits 2 on usage errors.
 fn lint(args: &[String]) {
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1059,6 +1069,16 @@ fn lint(args: &[String]) {
                     i += 1;
                 }
                 _ => json_path = Some("lint-report.json".to_string()),
+            },
+            "--baseline" => match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => {
+                    baseline_path = Some(p.clone());
+                    i += 1;
+                }
+                _ => {
+                    eprintln!("--baseline requires a report file path");
+                    std::process::exit(2);
+                }
             },
             other => {
                 eprintln!("unknown lint option '{other}'");
@@ -1085,9 +1105,46 @@ fn lint(args: &[String]) {
         write_artifact(path, &report.render_json());
         println!("wrote {path}");
     }
-    if report.active() > 0 {
-        std::process::exit(1);
+    let Some(bp) = &baseline_path else {
+        if report.active() > 0 {
+            std::process::exit(1);
+        }
+        return;
+    };
+    let text = match std::fs::read_to_string(bp) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {bp}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = match coarse_simlint::baseline::Baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: bad baseline {bp}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = base.new_findings(&report);
+    let stale = base.stale(&report);
+    for (rule, path, message) in &stale {
+        println!("stale baseline entry (fixed — prune it): [{rule}] {path}: {message}");
     }
+    if fresh.is_empty() {
+        println!(
+            "baseline check: no new findings ({} active, all in {bp})",
+            report.active()
+        );
+        return;
+    }
+    println!(
+        "baseline check: {} NEW finding(s) not in {bp}:",
+        fresh.len()
+    );
+    for d in fresh {
+        println!("  {}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+    }
+    std::process::exit(1);
 }
 
 /// Seed for the chaos soak: fixed so CI runs are reproducible; override
@@ -1332,6 +1389,9 @@ fn chaos(args: &[String]) {
 }
 
 fn main() {
+    // The library never reads the environment itself; the CLI boundary is
+    // the one place ambient state becomes an explicit input.
+    coarse_trainsim::coarse::set_pilot_debug(std::env::var("COARSE_DEBUG").is_ok());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(what) = args.first().map(String::as_str) else {
         usage();

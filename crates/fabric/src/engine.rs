@@ -25,6 +25,7 @@ use coarse_simcore::timeline::ResourceTimeline;
 use coarse_simcore::trace::{active, category, SharedTracer};
 use coarse_simcore::units::ByteSize;
 
+// simlint: allow(parallel-ready, reason = "RefCell backs the route memo cache below; !Sync, so the compiler already forbids cross-thread sharing")
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -131,6 +132,7 @@ pub struct TransferEngine {
     /// are shared as `Rc`, so the steady-state transfer path never runs
     /// Dijkstra nor clones a hop list. Bypassed whenever a non-empty fault
     /// plan is active (flaps make routes time-dependent).
+    // simlint: allow(parallel-ready, reason = "memoizes pure Dijkstra results; worst case under races is recomputing an identical route")
     route_cache: RefCell<Vec<Option<Option<Rc<Route>>>>>,
 }
 
@@ -141,6 +143,7 @@ impl TransferEngine {
             .map(|_| ResourceTimeline::new())
             .collect();
         let link_tracks = vec![None; topo.link_count()];
+        // simlint: allow(parallel-ready, reason = "constructor of the waived memo cache; same single-owner discipline")
         let route_cache = RefCell::new(vec![None; topo.device_count().pow(2) * 16]);
         TransferEngine {
             topo,

@@ -24,6 +24,7 @@
 //! fragments and the Chrome-trace overlay — is byte-deterministic whenever
 //! the recorded run is.
 
+// simlint: allow(parallel-ready, reason = "RefCell backs the Rc-shared graph handle below; Rc is !Send, so the type system pins it to one thread")
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -94,6 +95,7 @@ struct CritState {
 /// edges all land in a single graph.
 #[derive(Debug, Clone, Default)]
 pub struct CritPath {
+    // simlint: allow(parallel-ready, reason = "cheap-clone recorder handle; a parallel kernel will shard recording and merge, not share this cell")
     inner: Rc<RefCell<CritState>>,
 }
 

@@ -25,6 +25,7 @@
 //! | gauge | `f64`, last-write-wins | `dualsync.chosen_m_bytes` |
 //! | histogram | [`QuantileEstimator`] samples | `proxy.queue_depth` |
 
+// simlint: allow(parallel-ready, reason = "RefCell backs the Rc-shared registry handle below; Rc is !Send, so the type system pins it to one thread")
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -99,6 +100,7 @@ struct MetricState {
 /// simulation and frozen once at the end.
 #[derive(Debug, Clone, Default)]
 pub struct MetricRegistry {
+    // simlint: allow(parallel-ready, reason = "cheap-clone registry handle; per-worker registries merged at the end replace this under parallel dispatch")
     state: Rc<RefCell<MetricState>>,
 }
 

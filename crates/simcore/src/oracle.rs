@@ -30,6 +30,7 @@
 //! under test (each layer exposes a `set_oracles`-style hook), and collect
 //! [`OracleHub::violations`] at the end of the run.
 
+// simlint: allow(parallel-ready, reason = "RefCell backs the Rc-shared hub handle below; Rc is !Send, so the type system pins it to one thread")
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -239,6 +240,7 @@ pub trait Oracle {
 /// oracles (like `SharedTracer` / `MetricRegistry`).
 #[derive(Clone, Default)]
 pub struct OracleHub {
+    // simlint: allow(parallel-ready, reason = "cheap-clone hub handle; violations are appended in event order, which a parallel kernel must re-establish anyway")
     inner: Rc<RefCell<HubState>>,
 }
 

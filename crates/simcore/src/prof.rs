@@ -38,6 +38,7 @@
 //! assert!(det.contains("\"fabric.link\""));
 //! ```
 
+// simlint: allow(parallel-ready, reason = "RefCell backs the Rc-shared profiler handle below; Rc is !Send, so the type system pins it to one thread")
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -105,6 +106,19 @@ pub mod region {
         ALL.iter().position(|&r| r == name).unwrap_or(COUNT - 1)
     }
 }
+
+/// The closed alphabet of per-event-type dispatch labels: every string any
+/// [`crate::sim::Model::event_label`] impl can return. [`Profiler::dispatch`]
+/// itself accepts any label (its map is a `BTreeMap`), but keeping the
+/// alphabet closed here means profile reports can be diffed across runs and
+/// models without label drift; `simlint`'s `label-registered` rule enforces
+/// the table in both directions.
+pub const DISPATCH_LABELS: &[&str] = &[
+    "core.service.done",
+    "core.service.kick",
+    "event",
+    "straggler.compute_done",
+];
 
 /// A power-of-two bucketed histogram of `u64` observations.
 ///
@@ -327,6 +341,7 @@ impl ProfState {
 /// tests do.
 #[derive(Clone)]
 pub struct Profiler {
+    // simlint: allow(parallel-ready, reason = "cheap-clone profiler handle; self-profiling stays per-thread under a parallel kernel")
     state: Rc<RefCell<ProfState>>,
 }
 
@@ -352,6 +367,7 @@ impl Profiler {
     /// allocations.
     pub fn new() -> Self {
         Profiler {
+            // simlint: allow(parallel-ready, reason = "constructor of the waived profiler handle; same single-thread discipline")
             state: Rc::new(RefCell::new(ProfState::new())),
         }
     }
@@ -605,6 +621,7 @@ impl Profiler {
 
 /// Guard of one open [`Profiler::enter`] region; closes it on drop.
 pub struct RegionGuard {
+    // simlint: allow(parallel-ready, reason = "guard shares the waived profiler handle; closes its region on the same thread that opened it")
     state: Rc<RefCell<ProfState>>,
     #[cfg(feature = "prof-alloc")]
     prev_slot: usize,
@@ -642,14 +659,19 @@ pub fn profiled(p: &Option<Profiler>) -> bool {
 #[cfg(feature = "prof-alloc")]
 pub mod alloc_counter {
     use std::alloc::{GlobalAlloc, Layout, System};
+    // simlint: allow(parallel-ready, reason = "allocator counters must be atomics; a mutex inside the global allocator would deadlock")
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     use super::region;
 
     #[allow(clippy::declare_interior_mutable_const)]
+    // simlint: allow(parallel-ready, reason = "array-initializer constant for the counter tables below")
     const ZERO: AtomicU64 = AtomicU64::new(0);
+    // simlint: allow(parallel-ready, reason = "monotonic per-slot tally; reordered increments sum to the same total")
     static COUNTS: [AtomicU64; region::COUNT] = [ZERO; region::COUNT];
+    // simlint: allow(parallel-ready, reason = "monotonic per-slot tally; reordered increments sum to the same total")
     static BYTES: [AtomicU64; region::COUNT] = [ZERO; region::COUNT];
+    // simlint: allow(parallel-ready, reason = "attribution slot is advisory; a stale read misattributes a sample, never corrupts state")
     static CURRENT: AtomicUsize = AtomicUsize::new(region::COUNT - 1);
 
     /// A point-in-time copy of the per-region allocation counters.
@@ -666,7 +688,9 @@ pub mod alloc_counter {
         let mut counts = [0; region::COUNT];
         let mut bytes = [0; region::COUNT];
         for i in 0..region::COUNT {
+            // simlint: allow(parallel-ready, reason = "counters are independent monotonic cells; no cross-counter ordering to preserve")
             counts[i] = COUNTS[i].load(Ordering::Relaxed);
+            // simlint: allow(parallel-ready, reason = "counters are independent monotonic cells; no cross-counter ordering to preserve")
             bytes[i] = BYTES[i].load(Ordering::Relaxed);
         }
         Snapshot { counts, bytes }
@@ -675,6 +699,7 @@ pub mod alloc_counter {
     /// Sets the attribution slot, returning the previous one (used by
     /// region guards to restore their parent's slot).
     pub fn set_current(slot: usize) -> usize {
+        // simlint: allow(parallel-ready, reason = "slot swap orders nothing else; misattribution under races is tolerated by design")
         CURRENT.swap(slot.min(region::COUNT - 1), Ordering::Relaxed)
     }
 
@@ -683,6 +708,7 @@ pub mod alloc_counter {
 
     // SAFETY: delegates entirely to `System`; the counter updates are
     // lock-free atomics that themselves never allocate.
+    // simlint: allow(parallel-ready, reason = "GlobalAlloc is an unsafe trait; the impl only forwards to System plus lock-free tallies")
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             let p = System.alloc(layout);

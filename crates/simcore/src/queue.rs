@@ -365,7 +365,7 @@ impl<E> EventQueue<E> {
                     continue;
                 }
                 let key = (slot.at, slot.seq);
-                if best.map_or(true, |(_, a, s)| key < (a, s)) {
+                if best.is_none_or(|(_, a, s)| key < (a, s)) {
                     best = Some((pos, slot.at, slot.seq));
                 }
             }
@@ -381,7 +381,7 @@ impl<E> EventQueue<E> {
             for (pos, &idx) in self.buckets[b].iter().enumerate() {
                 let slot = &self.slots[idx as usize];
                 let key = (slot.at, slot.seq);
-                if best.map_or(true, |(_, _, a, s)| key < (a, s)) {
+                if best.is_none_or(|(_, _, a, s)| key < (a, s)) {
                     best = Some((b, pos, slot.at, slot.seq));
                 }
             }

@@ -1,0 +1,23 @@
+//! Fixture: shared-mutable-state constructs the parallel-readiness audit
+//! must flag. Never compiled — linted by tests/selftest.rs under a
+//! synthetic `crates/simcore/src/` path.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut GLOBAL_TICKS: u64 = 0;
+
+pub struct Cache {
+    warm: RefCell<u64>,
+}
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+// simlint: allow(parallel-ready, reason = "fixture: waived unsafe site proving the audit is waivable per-site")
+pub unsafe fn poke() {
+    GLOBAL_TICKS += 1;
+}

@@ -1,0 +1,13 @@
+//! Fixture: schema strings — one re-spelled beside its declaring const,
+//! one declared nowhere at all. Never compiled — linted by
+//! tests/selftest.rs under a synthetic `crates/collectives/src/` path.
+
+pub const DEMO_SCHEMA: &str = "coarse.demo-report/v1";
+
+pub fn tag() -> &'static str {
+    "coarse.demo-report/v1"
+}
+
+pub fn orphan_tag() -> &'static str {
+    "coarse.orphan-report/v1"
+}

@@ -1,0 +1,22 @@
+//! Fixture: two Oracle impls, one forgotten by the registration wiring —
+//! it compiles fine and silently watches nothing. Never compiled — linted
+//! by tests/selftest.rs under a synthetic `crates/simcore/src/` path.
+
+pub struct Counted;
+pub struct Forgotten;
+
+impl Oracle for Counted {
+    fn name(&self) -> &'static str {
+        "counted"
+    }
+}
+
+impl Oracle for Forgotten {
+    fn name(&self) -> &'static str {
+        "forgotten"
+    }
+}
+
+pub fn wire(hub: &OracleHub) {
+    hub.register(Box::new(Counted));
+}

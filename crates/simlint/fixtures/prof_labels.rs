@@ -1,0 +1,5 @@
+//! Fixture: a DISPATCH_LABELS table with an orphan entry no model emits.
+//! Never compiled — linted by tests/selftest.rs under the real
+//! `crates/simcore/src/prof.rs` path so the label-registered rule engages.
+
+pub const DISPATCH_LABELS: &[&str] = &["known.label", "phantom.orphan"];

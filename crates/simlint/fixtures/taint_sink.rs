@@ -1,0 +1,11 @@
+//! Fixture: a metrics sink three call hops from `Instant::now`. No clock
+//! token appears in this file, so every per-file rule sees nothing — only
+//! the determinism-taint dataflow pass reports it, with the full
+//! source→sink call chain. Never compiled — linted by tests/selftest.rs
+//! under a synthetic `crates/trainsim/src/` path.
+
+use coarse_fabric::timeutil::stamp_coarse_ms;
+
+pub fn record_tick(m: &M) {
+    m.observe("tick.latency_ms", stamp_coarse_ms() as f64);
+}

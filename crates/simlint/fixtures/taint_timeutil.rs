@@ -1,0 +1,19 @@
+//! Fixture: a wall-clock read laundered through two helper hops. Never
+//! compiled — linted by tests/selftest.rs under a synthetic
+//! `crates/fabric/src/timeutil.rs` path. The wall-clock token rule flags
+//! `Instant::now` here; the taint selftest proves the *chain* into the
+//! sink file is visible only to the dataflow pass.
+
+pub fn raw_instant() -> u64 {
+    let t0 = std::time::Instant::now();
+    drop(t0);
+    0
+}
+
+pub fn wall_ns() -> u64 {
+    raw_instant() + 1
+}
+
+pub fn stamp_coarse_ms() -> u64 {
+    wall_ns() / 1_000_000
+}

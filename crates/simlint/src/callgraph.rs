@@ -1,0 +1,495 @@
+//! The workspace call graph: functions from [`crate::items`] joined by
+//! resolved call edges.
+//!
+//! Resolution is name-based and deliberately conservative: an edge is added
+//! only when the callee resolves *uniquely* under the caller's visibility
+//! (use-bindings, same module, same crate, then workspace-wide, then glob
+//! imports; method calls resolve only when the method name is unique among
+//! all impl methods). Ambiguous names produce **no** edge — a documented
+//! false-negative class (see DESIGN.md §17) — so taint chains never jump
+//! between unrelated same-named helpers.
+
+use std::collections::BTreeMap;
+
+use crate::items::{self, FileItems, FnItem};
+use crate::lexer::Tok;
+use crate::semantic::LexedFile;
+
+/// One resolved call site.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    /// Callee's index in [`Workspace::fns`].
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Per-file parse results kept alongside the global function table.
+#[derive(Debug)]
+pub struct FileMeta {
+    pub module: Vec<String>,
+    pub items: FileItems,
+}
+
+/// The parsed workspace: every function, every resolved call edge.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<FileMeta>,
+    pub fns: Vec<FnItem>,
+    /// Outgoing edges per function (caller → callees), call-site ordered.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// Incoming edges per function (callee → callers), sorted, deduped.
+    pub callers: Vec<Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Identifiers that look like calls but are control flow, constructors, or
+/// macro-adjacent noise; never resolved.
+const SKIP_NAMES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
+    "unsafe", "await", "Some", "None", "Ok", "Err", "Self",
+];
+
+/// Method names ubiquitous in std (iterators, collections, Option/Result,
+/// strings, numerics). A `.name(...)` call with one of these names is far
+/// more likely to be the std method than a workspace method that happens to
+/// share the name — e.g. every iterator `.collect()` would otherwise
+/// resolve to `RunReport::collect` — so these never produce method edges.
+/// Workspace methods with these names are reachable only via qualified
+/// paths (`Type::collect(...)`); another documented false-negative class.
+const COMMON_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "by_ref",
+    "ceil",
+    "chain",
+    "clamp",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "nth",
+    "ok",
+    "or",
+    "or_else",
+    "or_insert",
+    "parse",
+    "peek",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "remove",
+    "repeat",
+    "replace",
+    "resize",
+    "rev",
+    "reverse",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "zip",
+];
+
+impl Workspace {
+    /// Parses every file and resolves every call site.
+    pub fn build(files: &[LexedFile]) -> Workspace {
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut metas: Vec<FileMeta> = Vec::new();
+        for (idx, f) in files.iter().enumerate() {
+            let items = items::parse_file(idx, &f.info, &f.lexed, &f.mask, &mut fns);
+            metas.push(FileMeta {
+                module: items::module_of(&f.info),
+                items,
+            });
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        let mut ws = Workspace {
+            files: metas,
+            fns,
+            calls: Vec::new(),
+            callers: Vec::new(),
+            by_name,
+        };
+        let mut calls = Vec::with_capacity(ws.fns.len());
+        for id in 0..ws.fns.len() {
+            calls.push(ws.extract_calls(id, files));
+        }
+        let mut callers = vec![Vec::new(); ws.fns.len()];
+        for (caller, edges) in calls.iter().enumerate() {
+            for e in edges {
+                callers[e.callee].push(caller);
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        ws.calls = calls;
+        ws.callers = callers;
+        ws
+    }
+
+    /// Scans one fn body for call sites and resolves them.
+    fn extract_calls(&self, id: usize, files: &[LexedFile]) -> Vec<CallEdge> {
+        let f = &self.fns[id];
+        let Some((open, close)) = f.body else {
+            return Vec::new();
+        };
+        let toks = &files[f.file].lexed.tokens;
+        let mut out = Vec::new();
+        for k in open..=close.min(toks.len().saturating_sub(1)) {
+            let Tok::Ident(name) = &toks[k].tok else {
+                continue;
+            };
+            if !matches!(toks.get(k + 1), Some(t) if t.tok == Tok::Punct(b'(')) {
+                continue;
+            }
+            if SKIP_NAMES.contains(&name.as_str()) {
+                continue;
+            }
+            if k > 0 && toks[k - 1].tok == Tok::Ident("fn".into()) {
+                continue; // nested fn declaration, not a call
+            }
+            let resolved = if k > 0 && toks[k - 1].tok == Tok::PathSep {
+                // Qualified call: walk the path back.
+                let mut segs = vec![items::normalize_seg(name).to_string()];
+                let mut j = k;
+                while j >= 2 && toks[j - 1].tok == Tok::PathSep {
+                    if let Tok::Ident(seg) = &toks[j - 2].tok {
+                        segs.insert(0, items::normalize_seg(seg).to_string());
+                        j -= 2;
+                    } else {
+                        break; // turbofish or `<T as Trait>` — give up on the prefix
+                    }
+                }
+                self.resolve_path(f, &segs)
+            } else if k > 0 && toks[k - 1].tok == Tok::Punct(b'.') {
+                self.resolve_method(name)
+            } else {
+                self.resolve_free(f, name)
+            };
+            if let Some(callee) = resolved {
+                if callee != id {
+                    out.push(CallEdge {
+                        callee,
+                        line: toks[k].line,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn unique(ids: impl Iterator<Item = usize> + Clone) -> Option<usize> {
+        let mut it = ids;
+        let first = it.next()?;
+        if it.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Resolves a fully- or partially-qualified call path.
+    fn resolve_path(&self, caller: &FnItem, segs: &[String]) -> Option<usize> {
+        let base = &self.files[caller.file].module;
+        let segs = items::resolve_relative(segs, base);
+        let (name, prefix) = segs.split_last()?;
+        if prefix.is_empty() {
+            return self.resolve_free(caller, name);
+        }
+        let cands = self.candidates(name);
+        // Exact module match.
+        if let Some(id) = Self::unique(
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].module == prefix),
+        ) {
+            return Some(id);
+        }
+        // `Type::method` — match the impl owner on the last prefix segment.
+        let owner = prefix.last().map(String::as_str);
+        if let Some(id) = Self::unique(
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].owner.as_deref() == owner),
+        ) {
+            return Some(id);
+        }
+        // Module-suffix match (`engine::route` from inside the same crate).
+        Self::unique(
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].module.ends_with(prefix)),
+        )
+    }
+
+    /// Resolves a bare-name call under the caller's scope.
+    fn resolve_free(&self, caller: &FnItem, name: &str) -> Option<usize> {
+        let meta = &self.files[caller.file];
+        // A use-binding shadows everything.
+        if let Some(b) = meta.items.uses.iter().find(|u| u.name == name) {
+            if let Some(id) = self.resolve_path(caller, &b.path) {
+                return Some(id);
+            }
+        }
+        let cands = self.candidates(name);
+        // Same module.
+        if let Some(id) = Self::unique(
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].module == caller.module && self.fns[id].owner.is_none()),
+        ) {
+            return Some(id);
+        }
+        // Same crate, unique.
+        let crate_root = caller.module.first();
+        if let Some(id) = Self::unique(cands.iter().copied().filter(|&id| {
+            self.fns[id].module.first() == crate_root && self.fns[id].owner.is_none()
+        })) {
+            return Some(id);
+        }
+        // Workspace-unique free fn.
+        if let Some(id) = Self::unique(
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].owner.is_none()),
+        ) {
+            return Some(id);
+        }
+        // Glob imports.
+        for glob in &meta.items.glob_uses {
+            if let Some(id) = Self::unique(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].module == *glob),
+            ) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Resolves `.name(...)` by unique method name across all impls, except
+    /// names std makes ubiquitous (see [`COMMON_METHODS`]).
+    fn resolve_method(&self, name: &str) -> Option<usize> {
+        if COMMON_METHODS.contains(&name) {
+            return None;
+        }
+        Self::unique(
+            self.candidates(name)
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].owner.is_some()),
+        )
+    }
+
+    /// Human label for a function: `module::name` or `module::Type::name`.
+    pub fn label(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        let mut s = f.module.join("::");
+        if let Some(o) = &f.owner {
+            s.push_str("::");
+            s.push_str(o);
+        }
+        s.push_str("::");
+        s.push_str(&f.name);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{test_mask, FileInfo};
+
+    fn ws(files: &[(&str, &str)]) -> (Workspace, Vec<LexedFile>) {
+        let lexed: Vec<LexedFile> = files
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                let mask = test_mask(&lexed.tokens);
+                LexedFile {
+                    info: FileInfo::classify(p),
+                    lexed,
+                    mask,
+                }
+            })
+            .collect();
+        (Workspace::build(&lexed), Vec::new())
+    }
+
+    fn edge(w: &Workspace, caller: &str, callee: &str) -> bool {
+        let find = |n: &str| {
+            w.fns
+                .iter()
+                .position(|f| f.name == n)
+                .unwrap_or_else(|| panic!("no fn {n}"))
+        };
+        let (a, b) = (find(caller), find(callee));
+        w.calls[a].iter().any(|e| e.callee == b)
+    }
+
+    #[test]
+    fn same_file_and_cross_file_resolution() {
+        let (w, _) = ws(&[
+            (
+                "crates/fabric/src/a.rs",
+                "use crate::b::helper;\npub fn top() { helper(); local(); }\nfn local() {}\n",
+            ),
+            (
+                "crates/fabric/src/b.rs",
+                "pub fn helper() { leaf(); }\nfn leaf() {}\n",
+            ),
+        ]);
+        assert!(edge(&w, "top", "helper"));
+        assert!(edge(&w, "top", "local"));
+        assert!(edge(&w, "helper", "leaf"));
+    }
+
+    #[test]
+    fn qualified_and_method_calls() {
+        let (w, _) = ws(&[(
+            "crates/cci/src/x.rs",
+            "struct S;\nimpl S {\n    fn only_method(&self) {}\n}\n\
+             mod util { pub fn tick() {} }\n\
+             fn run(s: &S) { s.only_method(); util::tick(); S::only_method(s); }\n",
+        )]);
+        assert!(edge(&w, "run", "only_method"));
+        assert!(edge(&w, "run", "tick"));
+    }
+
+    #[test]
+    fn ambiguous_names_produce_no_edge() {
+        let (w, _) = ws(&[
+            (
+                "crates/fabric/src/a.rs",
+                "pub fn dup() {}\nfn go() { dup(); }\n",
+            ),
+            ("crates/cci/src/b.rs", "pub fn dup() {}\n"),
+        ]);
+        // `go` is in fabric: same-crate unique resolution still finds
+        // fabric's dup even though cci has one too.
+        assert!(edge(&w, "go", "dup"));
+        let (w2, _) = ws(&[
+            ("crates/fabric/src/a.rs", "pub fn dup() {}\n"),
+            (
+                "crates/fabric/src/b.rs",
+                "pub fn dup() {}\nfn go2() { dup(); }\n",
+            ),
+        ]);
+        // Two in the same crate, caller's own module wins.
+        let go2 = w2.fns.iter().position(|f| f.name == "go2").unwrap();
+        let target = w2.calls[go2][0].callee;
+        assert_eq!(w2.fns[target].module, vec!["fabric", "b"]);
+    }
+
+    #[test]
+    fn cross_crate_via_use_binding() {
+        let (w, _) = ws(&[
+            (
+                "crates/trainsim/src/x.rs",
+                "use coarse_fabric::timeutil::stamp;\nfn record() { stamp(); }\n",
+            ),
+            ("crates/fabric/src/timeutil.rs", "pub fn stamp() {}\n"),
+        ]);
+        assert!(edge(&w, "record", "stamp"));
+    }
+
+    #[test]
+    fn callers_are_the_reverse_edges() {
+        let (w, _) = ws(&[(
+            "crates/core/src/x.rs",
+            "fn a() { c(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let c = w.fns.iter().position(|f| f.name == "c").unwrap();
+        assert_eq!(w.callers[c].len(), 2);
+    }
+}

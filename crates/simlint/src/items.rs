@@ -1,0 +1,523 @@
+//! Item extraction: a token-level parser recovering the workspace's `fn`,
+//! `impl`, inline-`mod`, and `use` structure from the [`crate::lexer`]
+//! stream.
+//!
+//! This is deliberately not a full Rust parser. It recovers exactly what the
+//! call graph and the cross-file analyses need — which function starts where,
+//! which impl block (and trait) owns it, what module path it lives under,
+//! and which names the file's `use` declarations bind — and tolerates
+//! anything it does not understand by skipping it. Known approximations:
+//!
+//! * Module paths come from the file's repo-relative path plus inline
+//!   `mod name { ... }` nesting; `#[path]` attributes are ignored.
+//! * Generic parameters are skipped textually; a const-generic default
+//!   containing `{ ... }` in a signature would confuse body detection
+//!   (none exist in this workspace).
+//! * Macro-generated items are invisible (none of the sim crates generate
+//!   functions by macro).
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::rules::{FileInfo, FileKind};
+
+/// One `use` binding: `name` as visible in the file, mapped to the full
+/// normalized path (crate-dir first segment, e.g. `["simcore", "metrics",
+/// "MetricRegistry"]`).
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    pub name: String,
+    pub path: Vec<String>,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the file in the scanned set.
+    pub file: usize,
+    /// Normalized module path, e.g. `["fabric", "engine"]`.
+    pub module: Vec<String>,
+    pub name: String,
+    /// Self-type name when the fn sits in an `impl` block.
+    pub owner: Option<String>,
+    /// Trait name for `impl Trait for Type` blocks.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `[open_brace, close_brace]` of the body, when the
+    /// fn has one (trait method declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// True when the fn sits inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+/// Per-file parse output (the `FnItem`s land in a workspace-global vec).
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub uses: Vec<UseBinding>,
+    /// Prefixes of glob imports (`use a::b::*;`).
+    pub glob_uses: Vec<Vec<String>>,
+}
+
+/// Strips the `coarse_` lib-name prefix so use-paths (`coarse_fabric::x`)
+/// and crate directory names (`fabric`) meet in one namespace.
+pub fn normalize_seg(seg: &str) -> &str {
+    seg.strip_prefix("coarse_").unwrap_or(seg)
+}
+
+/// The module path a file's items live under, derived from its path: crate
+/// directory plus `src/` sub-path for library sources; the file stem alone
+/// for bins, tests, and examples (each is its own crate root).
+pub fn module_of(info: &FileInfo) -> Vec<String> {
+    let mut out = Vec::new();
+    let stem_path = info.path.trim_end_matches(".rs");
+    match info.kind {
+        FileKind::LibSrc => {
+            if let Some(c) = &info.crate_name {
+                out.push(c.clone());
+            } else {
+                out.push("repro".to_string());
+            }
+            let tail = match stem_path.split_once("src/") {
+                Some((_, tail)) => tail,
+                None => "",
+            };
+            for seg in tail.split('/') {
+                if seg.is_empty() || seg == "lib" || seg == "mod" {
+                    continue;
+                }
+                out.push(seg.to_string());
+            }
+        }
+        FileKind::BinSrc | FileKind::TestSrc | FileKind::ExampleSrc => {
+            let stem = stem_path.rsplit('/').next().unwrap_or(stem_path);
+            out.push(stem.to_string());
+        }
+    }
+    out
+}
+
+/// What a brace on the scope stack belongs to.
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod(String),
+    Impl {
+        owner: Option<String>,
+        trait_name: Option<String>,
+    },
+    Other,
+}
+
+/// Parses one lexed file, appending its functions to `fns` (tagged with
+/// `file_idx`) and returning its `use` bindings.
+pub fn parse_file(
+    file_idx: usize,
+    info: &FileInfo,
+    lexed: &Lexed,
+    mask: &[bool],
+    fns: &mut Vec<FnItem>,
+) -> FileItems {
+    let base = module_of(info);
+    let toks = &lexed.tokens;
+    let mut out = FileItems::default();
+    // Scope stack: one entry per currently-open brace.
+    let mut stack: Vec<Scope> = Vec::new();
+    // Scope to attach to the next `{` (set by `mod`/`impl` headers).
+    let mut pending: Option<Scope> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct(b'{') => {
+                stack.push(pending.take().unwrap_or(Scope::Other));
+                i += 1;
+            }
+            Tok::Punct(b'}') => {
+                stack.pop();
+                i += 1;
+            }
+            Tok::Ident(w) if w == "mod" => {
+                // `mod name { ... }` opens a module scope; `mod name;` is an
+                // out-of-line declaration carrying no items here.
+                if let Some(Token {
+                    tok: Tok::Ident(name),
+                    ..
+                }) = toks.get(i + 1)
+                {
+                    if matches!(toks.get(i + 2), Some(t) if t.tok == Tok::Punct(b'{')) {
+                        pending = Some(Scope::Mod(name.clone()));
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "impl" => {
+                let (owner, trait_name, after) = parse_impl_header(toks, i + 1);
+                pending = Some(Scope::Impl { owner, trait_name });
+                i = after;
+            }
+            Tok::Ident(w) if w == "fn" => {
+                let Some(Token {
+                    tok: Tok::Ident(name),
+                    ..
+                }) = toks.get(i + 1)
+                else {
+                    i += 1;
+                    continue;
+                };
+                let mut module = base.clone();
+                let mut owner = None;
+                let mut trait_name = None;
+                for s in &stack {
+                    match s {
+                        Scope::Mod(m) => module.push(m.clone()),
+                        Scope::Impl {
+                            owner: o,
+                            trait_name: t,
+                        } => {
+                            owner = o.clone();
+                            trait_name = t.clone();
+                        }
+                        Scope::Other => {}
+                    }
+                }
+                let body = fn_body_extent(toks, i + 2);
+                fns.push(FnItem {
+                    file: file_idx,
+                    module,
+                    name: name.clone(),
+                    owner,
+                    trait_name,
+                    line: toks[i].line,
+                    body,
+                    in_test: mask.get(i).copied().unwrap_or(false),
+                });
+                // Continue scanning from just after the name so the body's
+                // own braces flow through the scope stack (nested fns and
+                // inline mods inside bodies are still discovered).
+                i += 2;
+            }
+            Tok::Ident(w) if w == "use" => {
+                i = parse_use(toks, i + 1, &base, &mut out);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Finds the fn body's `[open, close]` token range: the first top-level `{`
+/// after the signature, or `None` when a `;` ends a bodiless declaration.
+fn fn_body_extent(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut open = None;
+    for (k, t) in toks.iter().enumerate().skip(from) {
+        match t.tok {
+            Tok::Punct(b'{') => {
+                open = Some(k);
+                break;
+            }
+            Tok::Punct(b';') => return None,
+            _ => {}
+        }
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, toks.len().saturating_sub(1)))
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword. Returns
+/// `(self_type, trait_name, index)` where `index` points at the body's `{`
+/// (or wherever parsing gave up). Handles `impl<T> Trait<U> for Type<T>`,
+/// skipping generic argument lists by angle-bracket matching.
+pub(crate) fn parse_impl_header(
+    toks: &[Token],
+    mut i: usize,
+) -> (Option<String>, Option<String>, usize) {
+    i = skip_generics(toks, i);
+    let (first, after_first) = read_type_head(toks, i);
+    let mut owner = first.clone();
+    let mut trait_name = None;
+    let mut i = after_first;
+    if matches!(toks.get(i), Some(t) if t.tok == Tok::Ident("for".into())) {
+        let (second, after_second) = read_type_head(toks, i + 1);
+        trait_name = first;
+        owner = second;
+        i = after_second;
+    }
+    // Skip any `where` clause up to the opening brace.
+    while i < toks.len() && toks[i].tok != Tok::Punct(b'{') {
+        i += 1;
+    }
+    (owner, trait_name, i)
+}
+
+/// If `toks[i]` opens a `<...>` generic list, returns the index past its
+/// matching `>`; otherwise `i`. Matching is by plain angle-bracket depth,
+/// good enough for parameter lists (no shift operators appear there).
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    if !matches!(toks.get(i), Some(t) if t.tok == Tok::Punct(b'<')) {
+        return i;
+    }
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(i) {
+        match t.tok {
+            Tok::Punct(b'<') => depth += 1,
+            Tok::Punct(b'>') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Reads a type path (`a::b::Name<...>`, possibly `&`/`dyn`-prefixed),
+/// returning the final path segment (the type's own name) and the index
+/// past the head.
+fn read_type_head(toks: &[Token], mut i: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    loop {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct(b'&')) | Some(Tok::Lifetime) => i += 1,
+            Some(Tok::Ident(w)) if w == "dyn" || w == "mut" => i += 1,
+            Some(Tok::Ident(w)) => {
+                last = Some(w.clone());
+                i += 1;
+                i = skip_generics(toks, i);
+                if matches!(toks.get(i), Some(t) if t.tok == Tok::PathSep) {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+/// Parses a `use` declaration starting just past the `use` keyword, through
+/// its `;`. Builds flat bindings for leaf names (honouring `as` renames and
+/// `{...}` groups) and records glob prefixes.
+fn parse_use(toks: &[Token], i: usize, base: &[String], out: &mut FileItems) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    parse_use_tree(toks, i, base, &mut prefix, out)
+}
+
+fn parse_use_tree(
+    toks: &[Token],
+    mut i: usize,
+    base: &[String],
+    prefix: &mut Vec<String>,
+    out: &mut FileItems,
+) -> usize {
+    let depth_in = prefix.len();
+    let mut last: Option<String> = None;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "as" => {
+                // Rename: bind the alias to the path accumulated so far.
+                if let (
+                    Some(orig),
+                    Some(Token {
+                        tok: Tok::Ident(alias),
+                        ..
+                    }),
+                ) = (last.take(), toks.get(i + 1))
+                {
+                    let mut path = prefix.clone();
+                    path.push(orig);
+                    out.uses.push(UseBinding {
+                        name: alias.clone(),
+                        path: resolve_relative(&path, base),
+                    });
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(w) => {
+                last = Some(normalize_seg(w).to_string());
+                i += 1;
+            }
+            Tok::PathSep => {
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                i += 1;
+            }
+            Tok::Punct(b'{') => {
+                i += 1;
+                loop {
+                    i = parse_use_tree(toks, i, base, prefix, out);
+                    match toks.get(i).map(|t| &t.tok) {
+                        Some(Tok::Punct(b',')) => i += 1,
+                        Some(Tok::Punct(b'}')) => {
+                            i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                prefix.truncate(depth_in);
+                return i;
+            }
+            Tok::Punct(b'*') => {
+                out.glob_uses.push(resolve_relative(prefix, base));
+                i += 1;
+            }
+            Tok::Punct(b',') | Tok::Punct(b'}') => break,
+            Tok::Punct(b';') => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(name) = last {
+        let mut path = prefix.clone();
+        // `use a::b::self` (inside a group) binds the module itself.
+        if name != "self" {
+            path.push(name.clone());
+        }
+        let bound = if name == "self" {
+            prefix.last().cloned().unwrap_or(name)
+        } else {
+            name
+        };
+        out.uses.push(UseBinding {
+            name: bound,
+            path: resolve_relative(&path, base),
+        });
+    }
+    prefix.truncate(depth_in);
+    i
+}
+
+/// Resolves `crate`/`self`/`super` prefixes of a path against the file's
+/// base module, and drops a leading `std`/`core`/`alloc` unchanged (they
+/// never resolve to workspace items anyway).
+pub fn resolve_relative(path: &[String], base: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest = path;
+    match path.first().map(String::as_str) {
+        Some("crate") => {
+            out.extend(base.first().cloned());
+            rest = &path[1..];
+        }
+        Some("self") => {
+            out.extend(base.iter().cloned());
+            rest = &path[1..];
+        }
+        Some("super") => {
+            let mut b = base.to_vec();
+            let mut k = 0;
+            while path.get(k).map(String::as_str) == Some("super") {
+                b.pop();
+                k += 1;
+            }
+            out.extend(b);
+            rest = &path[k..];
+        }
+        _ => {}
+    }
+    out.extend(rest.iter().map(|s| normalize_seg(s).to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{test_mask, FileInfo};
+
+    fn parse(path: &str, src: &str) -> (Vec<FnItem>, FileItems) {
+        let info = FileInfo::classify(path);
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let mut fns = Vec::new();
+        let items = parse_file(0, &info, &lexed, &mask, &mut fns);
+        (fns, items)
+    }
+
+    #[test]
+    fn module_paths_from_file_paths() {
+        let m = |p: &str| module_of(&FileInfo::classify(p));
+        assert_eq!(m("crates/fabric/src/engine.rs"), vec!["fabric", "engine"]);
+        assert_eq!(m("crates/fabric/src/lib.rs"), vec!["fabric"]);
+        assert_eq!(
+            m("crates/cci/src/sync/ring.rs"),
+            vec!["cci", "sync", "ring"]
+        );
+        assert_eq!(m("crates/cci/src/sync/mod.rs"), vec!["cci", "sync"]);
+        assert_eq!(m("tests/determinism.rs"), vec!["determinism"]);
+        assert_eq!(m("src/lib.rs"), vec!["repro"]);
+    }
+
+    #[test]
+    fn fns_with_modules_impls_and_traits() {
+        let src = "fn top() {}\n\
+                   mod inner {\n    pub fn nested() {}\n}\n\
+                   struct S;\n\
+                   impl S {\n    fn method(&self) {}\n}\n\
+                   impl<E> Clone for Wrapper<E> {\n    fn clone(&self) -> Self { todo() }\n}\n";
+        let (fns, _) = parse("crates/fabric/src/engine.rs", src);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["top", "nested", "method", "clone"]);
+        assert_eq!(fns[1].module, vec!["fabric", "engine", "inner"]);
+        assert_eq!(fns[2].owner.as_deref(), Some("S"));
+        assert_eq!(fns[2].trait_name, None);
+        assert_eq!(fns[3].owner.as_deref(), Some("Wrapper"));
+        assert_eq!(fns[3].trait_name.as_deref(), Some("Clone"));
+    }
+
+    #[test]
+    fn bodiless_trait_methods_and_test_fns() {
+        let src = "trait T {\n    fn decl(&self);\n    fn with_default(&self) {}\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (fns, _) = parse("crates/cci/src/lib.rs", src);
+        assert_eq!(fns[0].body, None);
+        assert!(fns[1].body.is_some());
+        assert!(fns[2].in_test);
+        assert!(!fns[0].in_test);
+    }
+
+    #[test]
+    fn use_bindings_with_groups_renames_and_globs() {
+        let src = "use coarse_simcore::metrics::{MetricRegistry, metered as m};\n\
+                   use crate::engine::route;\nuse super::shared;\nuse std::fmt::*;\n";
+        let (_, items) = parse("crates/fabric/src/topology.rs", src);
+        let find = |n: &str| items.uses.iter().find(|u| u.name == n).unwrap();
+        assert_eq!(
+            find("MetricRegistry").path,
+            vec!["simcore", "metrics", "MetricRegistry"]
+        );
+        assert_eq!(find("m").path, vec!["simcore", "metrics", "metered"]);
+        assert_eq!(find("route").path, vec!["fabric", "engine", "route"]);
+        assert_eq!(find("shared").path, vec!["fabric", "shared"]);
+        assert_eq!(items.glob_uses, vec![vec!["std", "fmt"]]);
+    }
+
+    #[test]
+    fn fn_bodies_span_their_braces() {
+        let src = "fn f() { if x { y(); } }\nfn g() {}\n";
+        let (fns, _) = parse("crates/core/src/x.rs", src);
+        let lexed = lex(src);
+        let (open, close) = fns[0].body.unwrap();
+        assert_eq!(lexed.tokens[open].tok, Tok::Punct(b'{'));
+        assert_eq!(lexed.tokens[close].tok, Tok::Punct(b'}'));
+        assert!(close > open);
+        assert!(fns[1].body.is_some());
+    }
+}

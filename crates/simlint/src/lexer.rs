@@ -22,6 +22,9 @@ pub enum Tok {
     Lifetime,
     /// Numeric literal, including any type suffix.
     Num,
+    /// The `::` path separator, lexed as one token so path-position rules
+    /// and the item/call-graph parsers never have to re-pair colons.
+    PathSep,
     /// A single punctuation byte.
     Punct(u8),
 }
@@ -124,6 +127,12 @@ impl Lexer<'_> {
                     self.push(Tok::Str(s), line);
                 }
                 b'\'' => self.char_or_lifetime(),
+                b':' if self.at(1) == Some(b':') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::PathSep, line);
+                }
                 b'0'..=b'9' => self.number(),
                 _ if is_ident_start(b) => self.ident_or_prefixed(),
                 _ => {
@@ -468,6 +477,20 @@ mod tests {
     #[test]
     fn raw_identifiers() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let out = lex("a::b::c(x: &y)");
+        let seps = out.tokens.iter().filter(|t| t.tok == Tok::PathSep).count();
+        assert_eq!(seps, 2);
+        // A single colon (type ascription) stays plain punctuation.
+        let single: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct(b':'))
+            .collect();
+        assert_eq!(single.len(), 1);
     }
 
     #[test]

@@ -15,18 +15,37 @@
 //! * `metric-coverage` / `preset-exists` — semantic cross-checks keeping
 //!   `simcore::metrics`, `bench::expectations`, and the `fig16*` presets in
 //!   `trainsim::scenario` mutually consistent.
+//! * `determinism-taint` — whole-workspace dataflow: nondeterminism sources
+//!   (wall clock, randomness, unordered iteration, env vars, thread ids,
+//!   pointer formatting) propagate through the [`callgraph`], and any
+//!   tainted path reaching an event-schedule / metrics / report sink is
+//!   reported with its full source→sink call chain.
+//! * `parallel-ready` — audit of shared-mutable-state constructs
+//!   (`static mut`, `unsafe`, interior mutability, locks, relaxed atomics)
+//!   in the crates the parallel-kernel roadmap item will touch.
+//! * `oracle-registered` / `label-registered` / `schema-single-decl` —
+//!   registration exhaustiveness: every Oracle impl is in a battery, every
+//!   `event_label` string is in the profiler's `DISPATCH_LABELS` alphabet,
+//!   every `coarse.*/v*` schema string has exactly one declaring const.
 //! * `bad-waiver` / `unused-waiver` — the waiver ledger polices itself.
 //!
 //! Findings are waivable inline with
 //! `// simlint: allow(<rule>, reason = "...")` and the report renders as
-//! text or `coarse.lint-report/v1` JSON. The analyzer is itself built from a
-//! hand-rolled lexer (no third-party parser), in the same spirit as
-//! `simcore::check`: offline, deterministic, and small enough to audit.
+//! text or `coarse.lint-report/v1` JSON (now with a per-rule waiver
+//! ledger); [`baseline`] diffs a run against a committed report so CI can
+//! gate on *new* findings only. The analyzer is itself built from a
+//! hand-rolled lexer and item parser (no third-party parser), in the same
+//! spirit as `simcore::check`: offline, deterministic, and small enough to
+//! audit.
 
+pub mod baseline;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod semantic;
+pub mod taint;
 pub mod waiver;
 pub mod walk;
 
@@ -76,12 +95,18 @@ pub fn lint_files(files: &[(String, String)]) -> LintReport {
         waivers.extend(waiver::collect(&f.info.path, &f.lexed, &mut diags));
         rules::token_rules(&f.info, &f.lexed, &f.mask, &mut diags);
     }
+    let ws = callgraph::Workspace::build(&lexed);
+    taint::taint_dataflow(&lexed, &ws, &mut diags);
     semantic::metric_coverage(&lexed, &mut diags);
     semantic::preset_exists(&lexed, &mut diags);
+    semantic::oracle_registered(&lexed, &mut diags);
+    semantic::label_registered(&lexed, &ws, &mut diags);
+    semantic::schema_single_decl(&lexed, &mut diags);
     waiver::apply(&mut diags, &mut waivers);
     let mut report = LintReport {
         files_scanned: files.len(),
         diagnostics: diags,
+        waivers: waiver::stats(&waivers),
     };
     report.normalize();
     report

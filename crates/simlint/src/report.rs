@@ -25,12 +25,31 @@ pub struct Diagnostic {
     pub reason: Option<String>,
 }
 
+/// Per-rule waiver ledger entry: how many inline waivers exist for one rule
+/// and how many actually absorbed a diagnostic. An unused waiver also raises
+/// the `unused-waiver` diagnostic; the ledger makes the count auditable from
+/// the artifact alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverStat {
+    pub rule: String,
+    pub total: usize,
+    pub used: usize,
+}
+
+impl WaiverStat {
+    pub fn unused(&self) -> usize {
+        self.total - self.used
+    }
+}
+
 /// The result of linting a set of files.
 #[derive(Debug)]
 pub struct LintReport {
     pub files_scanned: usize,
     /// Sorted by (path, line, rule, message).
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule waiver ledger, sorted by rule (rules with ≥1 waiver only).
+    pub waivers: Vec<WaiverStat>,
 }
 
 impl LintReport {
@@ -56,6 +75,7 @@ impl LintReport {
         self.diagnostics.sort_by(|a, b| {
             (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
         });
+        self.waivers.sort_by(|a, b| a.rule.cmp(&b.rule));
     }
 
     /// The `coarse.lint-report/v1` JSON tree. Every known rule appears in
@@ -91,6 +111,16 @@ impl LintReport {
             }
             diags.push(obj);
         }
+        let mut waivers = Vec::new();
+        for w in &self.waivers {
+            waivers.push(
+                JsonValue::object()
+                    .with("rule", JsonValue::str(&w.rule))
+                    .with("total", JsonValue::int(w.total as u64))
+                    .with("used", JsonValue::int(w.used as u64))
+                    .with("unused", JsonValue::int(w.unused() as u64)),
+            );
+        }
         JsonValue::object()
             .with("schema", JsonValue::str(SCHEMA))
             .with("files_scanned", JsonValue::int(self.files_scanned as u64))
@@ -102,6 +132,7 @@ impl LintReport {
                     .with("active", JsonValue::int(self.active() as u64)),
             )
             .with("rules", JsonValue::Array(rules))
+            .with("waivers", JsonValue::Array(waivers))
             .with("diagnostics", JsonValue::Array(diags))
     }
 

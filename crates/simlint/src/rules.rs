@@ -29,10 +29,24 @@ pub const RULES: &[RuleInfo] = &[
                       or unwaivable rule",
     },
     RuleInfo {
+        id: "determinism-taint",
+        description: "no call chain from a nondeterminism source (wall clock, ambient \
+                      randomness, unordered iteration, pointer formatting, env vars, thread \
+                      ids) into a determinism-critical sink (event scheduling, metrics \
+                      recording, report serialization); the diagnostic prints the full \
+                      source→sink chain",
+    },
+    RuleInfo {
         id: "hot-path-alloc",
         description: "no `Box::new`/`Vec::new` inside loop bodies of the event-dispatch hot \
                       path (queue, sim driver, timelines, fabric engine, sync ring); reuse \
                       arenas/buffers, or waive for observation-only allocations",
+    },
+    RuleInfo {
+        id: "label-registered",
+        description: "every string a `Model::event_label` impl returns must appear in \
+                      simcore::prof's DISPATCH_LABELS taxonomy, and vice versa, so the \
+                      profiler's per-event-type counters keep a closed, documented alphabet",
     },
     RuleInfo {
         id: "metric-coverage",
@@ -40,14 +54,31 @@ pub const RULES: &[RuleInfo] = &[
                       bench::expectations::KNOWN_METRICS, and vice versa",
     },
     RuleInfo {
+        id: "oracle-registered",
+        description: "every `impl Oracle for X` must be registered somewhere (`register(\
+                      Box::new(X...)`) — an unregistered oracle silently watches nothing",
+    },
+    RuleInfo {
         id: "panic-in-library",
         description: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library \
                       code outside #[cfg(test)]; return typed errors or waive with the invariant",
     },
     RuleInfo {
+        id: "parallel-ready",
+        description: "inventory of shared-state hazards ahead of the parallel kernel: \
+                      `static mut`, `unsafe`, interior mutability (RefCell/Cell/UnsafeCell), \
+                      locks, atomics, and `Ordering::Relaxed` in simulation crates; each \
+                      site needs a waiver arguing why it stays sound under parallel dispatch",
+    },
+    RuleInfo {
         id: "preset-exists",
         description: "every `fig16*` string literal outside trainsim::scenario must name a real \
                       Scenario preset",
+    },
+    RuleInfo {
+        id: "schema-single-decl",
+        description: "every `coarse.*/v*` schema string must be declared by exactly one \
+                      `const`; re-spelled literals drift when the schema version bumps",
     },
     RuleInfo {
         id: "unordered-container",
@@ -77,6 +108,18 @@ pub fn is_known_rule(id: &str) -> bool {
 /// Crates whose in-memory state drives simulation outcomes: any iteration
 /// order leak here breaks byte-identical replays.
 const SIM_CRATES: &[&str] = &["cci", "collectives", "core", "fabric", "trainsim"];
+
+/// The crates the parallel-readiness audit and taint dataflow police:
+/// [`SIM_CRATES`] plus `simcore`, whose kernel/queue/profiler state a
+/// parallel event kernel will share across worker threads.
+pub const PARALLEL_CRATES: &[&str] = &[
+    "cci",
+    "collectives",
+    "core",
+    "fabric",
+    "simcore",
+    "trainsim",
+];
 
 /// What kind of compilation target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +287,7 @@ pub fn token_rules(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<
     ambient_randomness(info, lexed, out);
     panic_in_library(info, lexed, mask, out);
     hot_path_alloc(info, lexed, mask, out);
+    parallel_ready(info, lexed, mask, out);
 }
 
 fn diag(info: &FileInfo, rule: &'static str, line: u32, message: String) -> Diagnostic {
@@ -292,7 +336,7 @@ const WALL_CLOCK_IDENTS: &[&str] = &["SystemTime", "UNIX_EPOCH"];
 /// section (which is both feature-gated behind `prof-wallclock` and kept
 /// out of the report's deterministic half). Everything else — including
 /// the rest of `crates/bench` — must use simulated time.
-const WALL_CLOCK_ALLOWED: &[&str] = &[
+pub const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/bench/src/harness.rs",
     "crates/bench/src/selfbench.rs",
     "crates/simcore/src/prof.rs",
@@ -312,8 +356,7 @@ fn wall_clock(info: &FileInfo, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
     let toks = &lexed.tokens;
     for (idx, t) in toks.iter().enumerate() {
         if let Tok::Ident(name) = &t.tok {
-            let path_position = matches!(toks.get(idx + 1), Some(a) if a.tok == Tok::Punct(b':'))
-                && matches!(toks.get(idx + 2), Some(b) if b.tok == Tok::Punct(b':'));
+            let path_position = matches!(toks.get(idx + 1), Some(a) if a.tok == Tok::PathSep);
             if WALL_CLOCK_IDENTS.contains(&name.as_str()) || (name == "Instant" && path_position) {
                 out.push(diag(
                     info,
@@ -442,8 +485,9 @@ fn hot_path_alloc(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<D
                 // `impl Trait for Type` has an identifier or `>` before the
                 // keyword; `for<'a>` bounds are followed by `<`. A real loop
                 // is neither.
-                let prev_disqualifies = idx > 0 && matches!(&toks[idx - 1].tok, Tok::Ident(_))
-                    || idx > 0 && toks[idx - 1].tok == Tok::Punct(b'>');
+                let prev_disqualifies = idx > 0
+                    && (matches!(&toks[idx - 1].tok, Tok::Ident(_))
+                        || toks[idx - 1].tok == Tok::Punct(b'>'));
                 let next_disqualifies =
                     matches!(toks.get(idx + 1), Some(n) if n.tok == Tok::Punct(b'<'));
                 !(prev_disqualifies || next_disqualifies)
@@ -483,10 +527,9 @@ fn hot_path_alloc(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<D
         if name != "Box" && name != "Vec" {
             continue;
         }
-        let path_new = matches!(toks.get(idx + 1), Some(a) if a.tok == Tok::Punct(b':'))
-            && matches!(toks.get(idx + 2), Some(b) if b.tok == Tok::Punct(b':'))
-            && matches!(toks.get(idx + 3), Some(c) if c.tok == Tok::Ident("new".into()))
-            && matches!(toks.get(idx + 4), Some(d) if d.tok == Tok::Punct(b'('));
+        let path_new = matches!(toks.get(idx + 1), Some(a) if a.tok == Tok::PathSep)
+            && matches!(toks.get(idx + 2), Some(c) if c.tok == Tok::Ident("new".into()))
+            && matches!(toks.get(idx + 3), Some(d) if d.tok == Tok::Punct(b'('));
         if path_new {
             out.push(diag(
                 info,
@@ -499,6 +542,111 @@ fn hot_path_alloc(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<D
                 ),
             ));
         }
+    }
+}
+
+/// Construct classes the parallel-readiness audit inventories. One finding
+/// per `(line, class)` keeps the waiver burden proportional to real sites.
+const INTERIOR_MUT: &[&str] = &["Cell", "OnceCell", "RefCell", "UnsafeCell"];
+const LOCKS: &[&str] = &["Condvar", "Mutex", "RwLock"];
+
+/// Rule `parallel-ready`: an inventory of everything a deterministic
+/// parallel kernel must reckon with — `static mut`, `unsafe` items/blocks,
+/// interior mutability, locks, atomics, and `Ordering::Relaxed` — across
+/// the library sources of [`PARALLEL_CRATES`]. Each finding is waivable
+/// per-site with an argument for why it stays sound under parallel
+/// dispatch, so the parallel-kernel PR starts from a zero-surprise
+/// baseline. Everything lexically inside an already-flagged `unsafe`
+/// item/block counts as part of that one site.
+fn parallel_ready(info: &FileInfo, lexed: &Lexed, mask: &[bool], out: &mut Vec<Diagnostic>) {
+    let in_scope = info.kind == FileKind::LibSrc
+        && matches!(&info.crate_name, Some(c) if PARALLEL_CRATES.contains(&c.as_str()));
+    if !in_scope {
+        return;
+    }
+    let toks = &lexed.tokens;
+    // First pass: flag `unsafe` and mark each unsafe item/block's extent so
+    // constructs inside it are subsumed into the one finding.
+    let mut in_unsafe = vec![false; toks.len()];
+    for (idx, t) in toks.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) || in_unsafe[idx] {
+            continue;
+        }
+        if t.tok == Tok::Ident("unsafe".into()) {
+            out.push(diag(
+                info,
+                "parallel-ready",
+                t.line,
+                "`unsafe` in a simulation crate: audit for data races before the parallel \
+                 kernel shares this state across workers"
+                    .to_string(),
+            ));
+            let end = item_extent(toks, idx);
+            for slot in in_unsafe.iter_mut().take(end.min(toks.len())).skip(idx) {
+                *slot = true;
+            }
+        }
+    }
+    // Second pass: the remaining construct classes, deduped per (line, class).
+    let mut last: Option<(u32, &'static str)> = None;
+    let mut hits: Vec<(u32, &'static str, String)> = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) || in_unsafe[idx] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let next_sep = matches!(toks.get(idx + 1), Some(n) if n.tok == Tok::PathSep);
+        let (class, detail) = if name == "static"
+            && matches!(toks.get(idx + 1), Some(n) if n.tok == Tok::Ident("mut".into()))
+        {
+            (
+                "static-mut",
+                "`static mut` is a data race waiting for the second thread; use an \
+                 explicit handle or atomic"
+                    .to_string(),
+            )
+        } else if INTERIOR_MUT.contains(&name.as_str()) {
+            (
+                "interior-mutability",
+                format!(
+                    "`{name}` hides mutation from the borrow checker; the parallel kernel \
+                     needs this single-threaded assumption stated"
+                ),
+            )
+        } else if LOCKS.contains(&name.as_str()) {
+            (
+                "lock",
+                format!(
+                    "`{name}` in a simulation crate: lock acquisition order becomes a \
+                     determinism hazard under parallel dispatch"
+                ),
+            )
+        } else if name.starts_with("Atomic") && name.len() > "Atomic".len() {
+            (
+                "atomic",
+                format!("`{name}` shared-state atomic; document its ordering contract"),
+            )
+        } else if name == "Ordering"
+            && next_sep
+            && matches!(toks.get(idx + 2), Some(n) if n.tok == Tok::Ident("Relaxed".into()))
+        {
+            (
+                "relaxed-ordering",
+                "`Ordering::Relaxed` gives no cross-thread visibility guarantee; justify \
+                 or strengthen before parallel dispatch"
+                    .to_string(),
+            )
+        } else {
+            continue;
+        };
+        if last == Some((t.line, class)) {
+            continue;
+        }
+        last = Some((t.line, class));
+        hits.push((t.line, class, detail));
+    }
+    for (line, _class, detail) in hits {
+        out.push(diag(info, "parallel-ready", line, detail));
     }
 }
 

@@ -1,17 +1,21 @@
-//! Cross-file semantic checks: metric-name coverage and preset existence.
+//! Cross-file semantic checks: registration exhaustiveness between the
+//! layers the token rules cannot see.
 //!
-//! These rules read *relationships* the token rules cannot see: the metric
-//! constants declared in `simcore::metrics::name` must be mirrored by
-//! `bench::expectations::KNOWN_METRICS` (so every recorded series has a
-//! declared consumer), and every `fig16*` string literal in the workspace
-//! must name a real `trainsim::Scenario` preset (so tests and CLI wiring
-//! cannot drift from the presets they claim to exercise).
+//! * metric constants in `simcore::metrics::name` ↔ `bench::expectations::
+//!   KNOWN_METRICS` (every recorded series has a declared consumer);
+//! * `fig16*` string literals ↔ real `trainsim::Scenario` presets;
+//! * every `impl Oracle for X` ↔ a `register(Box::new(X...))` call (an
+//!   unregistered oracle silently watches nothing);
+//! * `Model::event_label` strings ↔ the profiler's `DISPATCH_LABELS`
+//!   taxonomy (the per-event-type counters keep a closed alphabet);
+//! * every `coarse.*/v*` schema string ↔ exactly one `const` declaration.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::Workspace;
 use crate::lexer::{Lexed, Tok};
 use crate::report::Diagnostic;
-use crate::rules::FileInfo;
+use crate::rules::{FileInfo, FileKind};
 
 /// Path of the file declaring the metric-name constants.
 pub const METRICS_PATH: &str = "crates/simcore/src/metrics.rs";
@@ -19,6 +23,8 @@ pub const METRICS_PATH: &str = "crates/simcore/src/metrics.rs";
 pub const EXPECTATIONS_PATH: &str = "crates/bench/src/expectations.rs";
 /// Path of the file defining Scenario presets.
 pub const SCENARIO_PATH: &str = "crates/trainsim/src/scenario.rs";
+/// Path of the profiler, which declares the `DISPATCH_LABELS` taxonomy.
+pub const PROF_PATH: &str = "crates/simcore/src/prof.rs";
 
 /// One classified, lexed file (shared by the engine and these checks).
 pub struct LexedFile {
@@ -208,6 +214,264 @@ fn is_preset_shaped(s: &str) -> bool {
     }
 }
 
+/// Rule `oracle-registered`: every `impl Oracle for X` in library code must
+/// have a matching `register(Box::new(X ...))` call somewhere in library
+/// code. An unregistered oracle compiles fine and silently watches nothing,
+/// which is exactly the failure mode an invariant battery must not have.
+/// Test-gated impls and registrations (`#[cfg(test)]`) are ignored: a
+/// test-only oracle is the test's business.
+pub fn oracle_registered(files: &[LexedFile], out: &mut Vec<Diagnostic>) {
+    let mut impls: Vec<(String, String, u32)> = Vec::new();
+    let mut registered: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.info.kind != FileKind::LibSrc {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Tok::Ident(w) = &toks[i].tok else {
+                continue;
+            };
+            if w == "impl" {
+                let (owner, trait_name, _) = crate::items::parse_impl_header(toks, i + 1);
+                if trait_name.as_deref() == Some("Oracle") {
+                    if let Some(owner) = owner {
+                        impls.push((owner, f.info.path.clone(), toks[i].line));
+                    }
+                }
+            } else if w == "register" {
+                // register ( Box :: new ( TypeName
+                let shape = matches!(toks.get(i + 1), Some(t) if t.tok == Tok::Punct(b'('))
+                    && matches!(toks.get(i + 2), Some(t) if t.tok == Tok::Ident("Box".into()))
+                    && matches!(toks.get(i + 3), Some(t) if t.tok == Tok::PathSep)
+                    && matches!(toks.get(i + 4), Some(t) if t.tok == Tok::Ident("new".into()))
+                    && matches!(toks.get(i + 5), Some(t) if t.tok == Tok::Punct(b'('));
+                if shape {
+                    if let Some(Tok::Ident(ty)) = toks.get(i + 6).map(|t| &t.tok) {
+                        registered.insert(ty.clone());
+                    }
+                }
+            }
+        }
+    }
+    for (ty, path, line) in impls {
+        if !registered.contains(&ty) {
+            out.push(Diagnostic {
+                rule: "oracle-registered",
+                path,
+                line,
+                message: format!(
+                    "oracle `{ty}` implements Oracle but no library code registers it \
+                     (`register(Box::new({ty}...))`); it silently watches nothing"
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// Rule `label-registered`: every string a non-test `Model::event_label`
+/// impl returns must appear in the profiler's `DISPATCH_LABELS` table, and
+/// every table entry must be returned by some impl. Keeps the per-event-type
+/// dispatch counters a closed alphabet so profile reports diff cleanly
+/// across runs and models. Skipped when prof.rs is absent (fixture runs).
+pub fn label_registered(files: &[LexedFile], ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(prof) = files.iter().find(|f| f.info.path == PROF_PATH) else {
+        return;
+    };
+    let toks = &prof.lexed.tokens;
+    let Some(at) = toks
+        .iter()
+        .position(|t| t.tok == Tok::Ident("DISPATCH_LABELS".into()))
+    else {
+        out.push(Diagnostic {
+            rule: "label-registered",
+            path: PROF_PATH.to_string(),
+            line: 1,
+            message: "prof.rs declares no DISPATCH_LABELS table; the event_label alphabet \
+                      must be closed there"
+                .to_string(),
+            waived: false,
+            reason: None,
+        });
+        return;
+    };
+    let mut table: Vec<(String, u32)> = Vec::new();
+    for t in toks.iter().skip(at) {
+        match &t.tok {
+            Tok::Punct(b';') => break,
+            Tok::Str(v) => table.push((v.clone(), t.line)),
+            _ => {}
+        }
+    }
+    let table_set: BTreeSet<&str> = table.iter().map(|(v, _)| v.as_str()).collect();
+    let mut returned: BTreeSet<String> = BTreeSet::new();
+    for f in &ws.fns {
+        if f.name != "event_label" || f.in_test {
+            continue;
+        }
+        let file = &files[f.file];
+        if file.info.kind != FileKind::LibSrc {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let body = &file.lexed.tokens[open..=close.min(file.lexed.tokens.len() - 1)];
+        let masked = &file.mask[open..open + body.len()];
+        for (t, m) in body.iter().zip(masked) {
+            if *m {
+                continue;
+            }
+            if let Tok::Str(v) = &t.tok {
+                returned.insert(v.clone());
+                if !table_set.contains(v.as_str()) {
+                    out.push(Diagnostic {
+                        rule: "label-registered",
+                        path: file.info.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "event_label returns \"{v}\" but prof.rs DISPATCH_LABELS does \
+                             not list it; the dispatch-label alphabet must stay closed"
+                        ),
+                        waived: false,
+                        reason: None,
+                    });
+                }
+            }
+        }
+    }
+    for (v, line) in &table {
+        if !returned.contains(v) {
+            out.push(Diagnostic {
+                rule: "label-registered",
+                path: PROF_PATH.to_string(),
+                line: *line,
+                message: format!(
+                    "DISPATCH_LABELS entry \"{v}\" is returned by no Model::event_label \
+                     impl; remove it or wire the model that emits it"
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// Rule `schema-single-decl`: every `coarse.<name>/v<N>` schema string must
+/// be declared by exactly one `const NAME: &str = "..."` and every other
+/// spelling of it must reference that constant. Re-spelled literals are how
+/// schema strings drift apart between writer and checker. Test-gated
+/// literals are ignored (goldens assert on the rendered bytes).
+pub fn schema_single_decl(files: &[LexedFile], out: &mut Vec<Diagnostic>) {
+    // value → (decls, uses); each entry is (path, line, const_name).
+    type Sites = (Vec<(String, u32, String)>, Vec<(String, u32)>);
+    let mut by_value: BTreeMap<String, Sites> = BTreeMap::new();
+    for f in files {
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Tok::Str(v) = &toks[i].tok else { continue };
+            if !is_schema_shaped(v) {
+                continue;
+            }
+            // const NAME : & str = "value"
+            let decl_name = if i >= 6
+                && toks[i - 1].tok == Tok::Punct(b'=')
+                && toks[i - 2].tok == Tok::Ident("str".into())
+                && toks[i - 3].tok == Tok::Punct(b'&')
+                && toks[i - 4].tok == Tok::Punct(b':')
+                && matches!(&toks[i - 6].tok, Tok::Ident(k) if k == "const" || k == "static")
+            {
+                match &toks[i - 5].tok {
+                    Tok::Ident(n) => Some(n.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let entry = by_value.entry(v.clone()).or_default();
+            match decl_name {
+                Some(n) => entry.0.push((f.info.path.clone(), toks[i].line, n)),
+                None => entry.1.push((f.info.path.clone(), toks[i].line)),
+            }
+        }
+    }
+    for (value, (decls, uses)) in &by_value {
+        match decls.as_slice() {
+            [] => {
+                for (path, line) in uses {
+                    out.push(Diagnostic {
+                        rule: "schema-single-decl",
+                        path: path.clone(),
+                        line: *line,
+                        message: format!(
+                            "schema \"{value}\" is spelled inline with no `const NAME: &str` \
+                             declaration anywhere; declare it once and reference the constant"
+                        ),
+                        waived: false,
+                        reason: None,
+                    });
+                }
+            }
+            [(decl_path, decl_line, decl_name)] => {
+                for (path, line) in uses {
+                    out.push(Diagnostic {
+                        rule: "schema-single-decl",
+                        path: path.clone(),
+                        line: *line,
+                        message: format!(
+                            "schema \"{value}\" re-spells the literal declared as \
+                             `{decl_name}` at {decl_path}:{decl_line}; use the constant"
+                        ),
+                        waived: false,
+                        reason: None,
+                    });
+                }
+            }
+            many => {
+                for (path, line, _) in many {
+                    out.push(Diagnostic {
+                        rule: "schema-single-decl",
+                        path: path.clone(),
+                        line: *line,
+                        message: format!(
+                            "schema \"{value}\" is declared {} times; exactly one const may \
+                             own a schema string",
+                            many.len()
+                        ),
+                        waived: false,
+                        reason: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `coarse.` + dotted lowercase body + `/v<digits>`, e.g.
+/// `coarse.lint-report/v1`.
+fn is_schema_shaped(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("coarse.") else {
+        return false;
+    };
+    let Some((body, ver)) = rest.rsplit_once("/v") else {
+        return false;
+    };
+    !body.is_empty()
+        && body
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'-')
+        && !ver.is_empty()
+        && ver.bytes().all(|b| b.is_ascii_digit())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +538,87 @@ mod tests {
         let mut out = Vec::new();
         metric_coverage(&[metrics], &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unregistered_oracle_is_flagged() {
+        let lib = file(
+            "crates/simcore/src/oracle.rs",
+            "pub struct A; pub struct B;\n\
+             impl Oracle for A { fn name(&self) -> &str { \"a\" } }\n\
+             impl Oracle for B { fn name(&self) -> &str { \"b\" } }\n\
+             fn wire(hub: &Hub) { hub.register(Box::new(A::new())); }\n",
+        );
+        let mut out = Vec::new();
+        oracle_registered(&[lib], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`B`"), "{}", out[0].message);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn test_gated_oracles_are_ignored() {
+        let lib = file(
+            "crates/simcore/src/oracle.rs",
+            "#[cfg(test)]\nmod tests {\n    struct T;\n    impl Oracle for T {}\n}\n",
+        );
+        let mut out = Vec::new();
+        oracle_registered(&[lib], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn label_alphabet_is_checked_both_ways() {
+        let prof = file(
+            PROF_PATH,
+            "pub const DISPATCH_LABELS: &[&str] = &[\"known.label\", \"phantom.orphan\"];\n",
+        );
+        let model = file(
+            "crates/trainsim/src/m.rs",
+            "impl Model for M {\n    fn event_label(&self, ev: &Ev) -> &'static str {\n        \
+             match ev { Ev::A => \"known.label\", Ev::B => \"ghost.label\" }\n    }\n}\n",
+        );
+        let files = vec![prof, model];
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        label_registered(&files, &ws, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("ghost.label") && d.path == "crates/trainsim/src/m.rs"));
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("phantom.orphan") && d.path == PROF_PATH));
+    }
+
+    #[test]
+    fn schema_shape() {
+        assert!(is_schema_shaped("coarse.lint-report/v1"));
+        assert!(is_schema_shaped("coarse.chaos.repro/v1"));
+        assert!(!is_schema_shaped("coarse.lint-report"));
+        assert!(!is_schema_shaped("other.report/v1"));
+        assert!(!is_schema_shaped("coarse./v1"));
+    }
+
+    #[test]
+    fn schema_decl_counting() {
+        let a = file(
+            "crates/simcore/src/report.rs",
+            "pub const SCHEMA: &str = \"coarse.x-report/v1\";\n",
+        );
+        let b = file(
+            "crates/bench/src/bin/figures.rs",
+            "fn f() { doc.set(\"schema\", \"coarse.x-report/v1\"); \
+             let s = \"coarse.orphan-report/v2\"; }\n",
+        );
+        let mut out = Vec::new();
+        schema_single_decl(&[a, b], &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("re-spells") && d.message.contains("`SCHEMA`")));
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("no `const NAME: &str` declaration")));
     }
 }

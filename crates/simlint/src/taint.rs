@@ -1,0 +1,355 @@
+//! Determinism-taint dataflow over the workspace call graph.
+//!
+//! A function is a **taint source** when its body reads something the host
+//! environment controls: the wall clock, ambient randomness, unordered
+//! container iteration, pointer formatting, environment variables, or
+//! thread identity. Taint propagates from a callee to every (transitive)
+//! caller — nondeterministic data returned by a helper infects whatever
+//! incorporates it. A **finding** is a function that both reaches a source
+//! through the call graph and feeds a determinism-critical **sink**: event
+//! scheduling ([`EventSchedule`]), `simcore::metrics` recording, or
+//! report/JSON serialization. The diagnostic prints the full source→sink
+//! call chain, which is exactly what the per-file token rules cannot see —
+//! a helper three calls away that launders `Instant::now()` into a metric.
+//!
+//! Two deliberate suppressions keep the pass quiet where other rules or
+//! design contracts already govern:
+//!
+//! * Functions in the wall-clock allowlist files (the bench harness,
+//!   selfbench, and `simcore::prof`) are **barriers**: their clock reads
+//!   are feature-gated and sealed out of every deterministic report
+//!   section, so taint neither originates in nor propagates through them.
+//! * Zero-hop wall-clock/randomness chains (source and sink in the same
+//!   function) are skipped — the `wall-clock` and `ambient-randomness`
+//!   token rules already flag the source itself at file granularity.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::Workspace;
+use crate::lexer::Tok;
+use crate::report::Diagnostic;
+use crate::rules::{FileKind, PARALLEL_CRATES, WALL_CLOCK_ALLOWED};
+use crate::semantic::LexedFile;
+
+/// Rule id of the taint pass.
+pub const RULE: &str = "determinism-taint";
+
+/// One nondeterminism source inside a fn body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    pub kind: &'static str,
+    pub what: String,
+    pub line: u32,
+}
+
+/// One determinism-critical sink inside a fn body.
+#[derive(Debug, Clone)]
+pub struct SinkSite {
+    pub kind: &'static str,
+    pub what: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+struct FnTaint {
+    sources: Vec<SourceSite>,
+    sinks: Vec<SinkSite>,
+}
+
+const RANDOMNESS: &[&str] = &[
+    "thread_rng",
+    "OsRng",
+    "from_entropy",
+    "RandomState",
+    "getrandom",
+];
+const HASH_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
+const ITERATORS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "drain",
+    "retain",
+];
+const SCHEDULE_SINKS: &[&str] = &["schedule_at", "schedule_after", "schedule_now"];
+const METRIC_SINKS: &[&str] = &["inc", "gauge", "observe"];
+const JSON_SINKS: &[&str] = &["to_json", "render_json", "render_pretty"];
+
+/// Scans one fn body for sources and sinks (skipping `#[cfg(test)]` spans).
+fn scan_fn(files: &[LexedFile], ws: &Workspace, id: usize) -> FnTaint {
+    let f = &ws.fns[id];
+    let mut out = FnTaint::default();
+    let Some((open, close)) = f.body else {
+        return out;
+    };
+    if f.in_test || WALL_CLOCK_ALLOWED.contains(&files[f.file].info.path.as_str()) {
+        return out;
+    }
+    let file = &files[f.file];
+    let toks = &file.lexed.tokens;
+    let mut has_hash: Option<u32> = None;
+    let mut has_iter = false;
+    for k in open..=close.min(toks.len().saturating_sub(1)) {
+        if file.mask.get(k).copied().unwrap_or(false) {
+            continue;
+        }
+        let prev_dot = k > 0 && toks[k - 1].tok == Tok::Punct(b'.');
+        let next_sep = matches!(toks.get(k + 1), Some(t) if t.tok == Tok::PathSep);
+        let next_paren = matches!(toks.get(k + 1), Some(t) if t.tok == Tok::Punct(b'('));
+        let prev_fn = k > 0 && toks[k - 1].tok == Tok::Ident("fn".into());
+        match &toks[k].tok {
+            Tok::Ident(w) => {
+                let w = w.as_str();
+                let src = |kind: &'static str, what: &str| SourceSite {
+                    kind,
+                    what: what.to_string(),
+                    line: toks[k].line,
+                };
+                if (w == "Instant" && next_sep) || w == "SystemTime" || w == "UNIX_EPOCH" {
+                    out.sources.push(src("wall-clock", w));
+                } else if RANDOMNESS.contains(&w) {
+                    out.sources.push(src("randomness", w));
+                } else if w == "env" && next_sep {
+                    if let Some(Tok::Ident(m)) = toks.get(k + 2).map(|t| &t.tok) {
+                        if matches!(m.as_str(), "var" | "var_os" | "vars" | "args" | "args_os") {
+                            out.sources.push(src("env-var", &format!("env::{m}")));
+                        }
+                    }
+                } else if (w == "thread"
+                    && next_sep
+                    && matches!(toks.get(k + 2).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "current"))
+                    || w == "ThreadId"
+                {
+                    out.sources.push(src("thread-id", w));
+                } else if HASH_CONTAINERS.contains(&w) {
+                    has_hash.get_or_insert(toks[k].line);
+                } else if ITERATORS.contains(&w) && prev_dot {
+                    has_iter = true;
+                }
+                let sink = |kind: &'static str, what: String| SinkSite {
+                    kind,
+                    what,
+                    line: toks[k].line,
+                };
+                if SCHEDULE_SINKS.contains(&w) && next_paren && !prev_fn {
+                    out.sinks.push(sink("event-schedule", format!("{w}()")));
+                } else if METRIC_SINKS.contains(&w) && next_paren && prev_dot {
+                    out.sinks.push(sink("metrics", format!(".{w}()")));
+                } else if w == "JsonValue" || (JSON_SINKS.contains(&w) && next_paren && !prev_fn) {
+                    let what = if w == "JsonValue" {
+                        "JsonValue".to_string()
+                    } else {
+                        format!("{w}()")
+                    };
+                    out.sinks.push(sink("report-serialization", what));
+                }
+            }
+            Tok::Str(s) if s.contains(":p}") => {
+                out.sources.push(SourceSite {
+                    kind: "pointer-format",
+                    what: "{:p}".to_string(),
+                    line: toks[k].line,
+                });
+            }
+            _ => {}
+        }
+    }
+    if let (Some(line), true) = (has_hash, has_iter) {
+        out.sources.push(SourceSite {
+            kind: "unordered-iter",
+            what: "HashMap/HashSet iteration".to_string(),
+            line,
+        });
+    }
+    // Deduplicate sinks per (kind, line) so one waiver covers one site.
+    out.sinks
+        .sort_by(|a, b| (a.line, a.kind).cmp(&(b.line, b.kind)));
+    out.sinks
+        .dedup_by(|a, b| a.line == b.line && a.kind == b.kind);
+    out
+}
+
+/// Runs the taint pass: scans every fn, propagates taint from sources up
+/// the reverse call graph, and reports every tainted sink in a simulation
+/// crate's library sources with its full call chain.
+pub fn taint_dataflow(files: &[LexedFile], ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.fns.len();
+    let per_fn: Vec<FnTaint> = (0..n).map(|id| scan_fn(files, ws, id)).collect();
+    // Multi-source BFS over reverse edges (callee → caller). `next` points
+    // one hop toward the source; `origin` is the source-bearing fn.
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut origin: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    let traversable = |id: usize| {
+        let f = &ws.fns[id];
+        !f.in_test && !WALL_CLOCK_ALLOWED.contains(&files[f.file].info.path.as_str())
+    };
+    for id in 0..n {
+        if !per_fn[id].sources.is_empty() {
+            origin[id] = Some(id);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &caller in &ws.callers[id] {
+            if origin[caller].is_none() && traversable(caller) {
+                origin[caller] = origin[id];
+                next[caller] = Some(id);
+                queue.push_back(caller);
+            }
+        }
+    }
+    for id in 0..n {
+        let Some(src_fn) = origin[id] else { continue };
+        if per_fn[id].sinks.is_empty() {
+            continue;
+        }
+        let f = &ws.fns[id];
+        let info = &files[f.file].info;
+        let in_scope = info.kind == FileKind::LibSrc
+            && matches!(&info.crate_name, Some(c) if PARALLEL_CRATES.contains(&c.as_str()));
+        if !in_scope {
+            continue;
+        }
+        // Origin fns always hold at least one source, but stay panic-free.
+        let Some(source) = per_fn[src_fn]
+            .sources
+            .iter()
+            .min_by_key(|s| (s.line, s.kind))
+        else {
+            continue;
+        };
+        // Zero-hop wall-clock/randomness is the token rules' jurisdiction.
+        if src_fn == id && matches!(source.kind, "wall-clock" | "randomness") {
+            continue;
+        }
+        let mut chain = vec![ws.label(id)];
+        let mut cur = id;
+        while let Some(step) = next[cur] {
+            chain.push(ws.label(step));
+            cur = step;
+        }
+        let src_path = &files[ws.fns[src_fn].file].info.path;
+        for sink in &per_fn[id].sinks {
+            out.push(Diagnostic {
+                rule: RULE,
+                path: info.path.clone(),
+                line: sink.line,
+                message: format!(
+                    "{} sink `{}` receives {}-tainted data (`{}` at {src_path}:{}); \
+                     call chain: {}",
+                    sink.kind,
+                    sink.what,
+                    source.kind,
+                    source.what,
+                    source.line,
+                    chain.join(" -> "),
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{test_mask, FileInfo};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let lexed: Vec<LexedFile> = files
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                let mask = test_mask(&lexed.tokens);
+                LexedFile {
+                    info: FileInfo::classify(p),
+                    lexed,
+                    mask,
+                }
+            })
+            .collect();
+        let ws = Workspace::build(&lexed);
+        let mut out = Vec::new();
+        taint_dataflow(&lexed, &ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn one_hop_clock_to_metric_chain() {
+        let diags = run(&[(
+            "crates/trainsim/src/x.rs",
+            "fn wall() -> u64 { std::time::Instant::now(); 0 }\n\
+             fn record(m: &M) { m.observe(\"lat\", wall() as f64); }\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE);
+        assert_eq!(diags[0].line, 2);
+        assert!(
+            diags[0].message.contains("record -> "),
+            "{}",
+            diags[0].message
+        );
+        assert!(diags[0].message.contains("wall"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn zero_hop_wall_clock_left_to_token_rules() {
+        let diags = run(&[(
+            "crates/trainsim/src/x.rs",
+            "fn bad(m: &M) { let t = std::time::Instant::now(); m.observe(\"x\", 0.0); }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_hop_env_var_is_reported() {
+        let diags = run(&[(
+            "crates/core/src/x.rs",
+            "fn cfg(q: &mut Q) { let n = std::env::var(\"N\"); q.schedule_now(n); }\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("env-var"));
+    }
+
+    #[test]
+    fn barrier_files_do_not_propagate() {
+        let diags = run(&[
+            (
+                "crates/simcore/src/prof.rs",
+                "pub fn wall_ns() -> u64 { std::time::Instant::now(); 0 }\n",
+            ),
+            (
+                "crates/trainsim/src/x.rs",
+                "use coarse_simcore::prof::wall_ns;\n\
+                 fn record(m: &M) { m.observe(\"lat\", wall_ns() as f64); }\n",
+            ),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sinks_outside_sim_crates_are_ignored() {
+        let diags = run(&[(
+            "crates/bench/src/micro.rs",
+            "fn wall() -> u64 { std::time::Instant::now(); 0 }\n\
+             fn record(m: &M) { m.observe(\"lat\", wall() as f64); }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_iteration_taints() {
+        let diags = run(&[(
+            "crates/fabric/src/x.rs",
+            "fn order() -> Vec<u32> { let m: HashMap<u32, u32> = make(); m.keys().copied().collect() }\n\
+             fn emit(q: &mut Q, o: &[u32]) { for _ in order() { q.schedule_now(0); } }\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("unordered-iter"));
+    }
+}

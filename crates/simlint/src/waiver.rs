@@ -8,8 +8,10 @@
 //! `unused-waiver` rule fires — and malformed waivers raise `bad-waiver`,
 //! so the waiver ledger can only shrink, never rot.
 
+use std::collections::BTreeMap;
+
 use crate::lexer::{Comment, Lexed};
-use crate::report::Diagnostic;
+use crate::report::{Diagnostic, WaiverStat};
 use crate::rules::{is_known_rule, UNWAIVABLE};
 
 /// One parsed waiver, located and aimed.
@@ -167,6 +169,27 @@ pub fn apply(diags: &mut Vec<Diagnostic>, waivers: &mut [Waiver]) {
             reason: None,
         });
     }
+}
+
+/// Per-rule ledger counts for the report's `waivers` section (call after
+/// [`apply`] so `used` flags are final).
+pub fn stats(waivers: &[Waiver]) -> Vec<WaiverStat> {
+    let mut by_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for w in waivers {
+        let e = by_rule.entry(w.rule.as_str()).or_default();
+        e.0 += 1;
+        if w.used {
+            e.1 += 1;
+        }
+    }
+    by_rule
+        .into_iter()
+        .map(|(rule, (total, used))| WaiverStat {
+            rule: rule.to_string(),
+            total,
+            used,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 use coarse_simlint::lint_files;
 use coarse_simlint::report::LintReport;
 use coarse_simlint::rules::RULES;
-use coarse_simlint::semantic::{EXPECTATIONS_PATH, METRICS_PATH, SCENARIO_PATH};
+use coarse_simlint::semantic::{EXPECTATIONS_PATH, METRICS_PATH, PROF_PATH, SCENARIO_PATH};
 
 const CONTAINER_PATH: &str = "crates/fabric/src/bad_container.rs";
 const WALL_CLOCK_PATH: &str = "crates/cci/src/bad_wall_clock.rs";
@@ -16,6 +16,12 @@ const CFG_TEST_PATH: &str = "crates/fabric/src/cfg_test_ok.rs";
 const WAIVERS_PATH: &str = "crates/collectives/src/waivers.rs";
 const PRESET_PATH: &str = "crates/trainsim/tests/bad_preset.rs";
 const HOT_ALLOC_PATH: &str = "crates/simcore/src/sim.rs";
+const PARALLEL_PATH: &str = "crates/simcore/src/bad_parallel.rs";
+const TAINT_SRC_PATH: &str = "crates/fabric/src/timeutil.rs";
+const TAINT_SINK_PATH: &str = "crates/trainsim/src/taint_sink.rs";
+const ORACLE_PATH: &str = "crates/simcore/src/bad_oracle.rs";
+const LABELS_PATH: &str = "crates/trainsim/src/bad_labels.rs";
+const SCHEMA_PATH: &str = "crates/collectives/src/bad_schema.rs";
 
 const CONTAINER: &str = include_str!("../fixtures/bad_container.rs");
 const WALL_CLOCK: &str = include_str!("../fixtures/bad_wall_clock.rs");
@@ -28,6 +34,13 @@ const EXPECTATIONS_DRIFT: &str = include_str!("../fixtures/expectations_drift.rs
 const SCENARIO_PRESETS: &str = include_str!("../fixtures/scenario_presets.rs");
 const BAD_PRESET: &str = include_str!("../fixtures/bad_preset.rs");
 const HOT_ALLOC: &str = include_str!("../fixtures/bad_hot_alloc.rs");
+const PARALLEL: &str = include_str!("../fixtures/bad_parallel.rs");
+const TAINT_SRC: &str = include_str!("../fixtures/taint_timeutil.rs");
+const TAINT_SINK: &str = include_str!("../fixtures/taint_sink.rs");
+const ORACLE_DRIFT: &str = include_str!("../fixtures/oracle_drift.rs");
+const PROF_LABELS: &str = include_str!("../fixtures/prof_labels.rs");
+const BAD_LABELS: &str = include_str!("../fixtures/bad_labels.rs");
+const BAD_SCHEMA: &str = include_str!("../fixtures/bad_schema.rs");
 
 fn fx(path: &str, content: &str) -> (String, String) {
     (path.to_string(), content.to_string())
@@ -46,6 +59,13 @@ fn all_fixtures() -> Vec<(String, String)> {
         fx(SCENARIO_PATH, SCENARIO_PRESETS),
         fx(PRESET_PATH, BAD_PRESET),
         fx(HOT_ALLOC_PATH, HOT_ALLOC),
+        fx(PARALLEL_PATH, PARALLEL),
+        fx(TAINT_SRC_PATH, TAINT_SRC),
+        fx(TAINT_SINK_PATH, TAINT_SINK),
+        fx(ORACLE_PATH, ORACLE_DRIFT),
+        fx(PROF_PATH, PROF_LABELS),
+        fx(LABELS_PATH, BAD_LABELS),
+        fx(SCHEMA_PATH, BAD_SCHEMA),
     ]
 }
 
@@ -190,6 +210,148 @@ fn preset_exists_findings() {
     assert_eq!(diags[0].rule, "preset-exists");
     assert_eq!(diags[0].line, 8);
     assert!(active_rules(&report, SCENARIO_PATH).is_empty());
+}
+
+#[test]
+fn taint_chain_three_hops_across_files() {
+    let report = lint_files(&[
+        fx(TAINT_SRC_PATH, TAINT_SRC),
+        fx(TAINT_SINK_PATH, TAINT_SINK),
+    ]);
+    // The source file carries only the wall-clock token finding; the sink
+    // file carries only the taint finding.
+    assert_eq!(active_rules(&report, TAINT_SRC_PATH), vec!["wall-clock"]);
+    assert_eq!(
+        active_rules(&report, TAINT_SINK_PATH),
+        vec!["determinism-taint"],
+        "{report:?}"
+    );
+    let d = report
+        .active_diagnostics()
+        .find(|d| d.rule == "determinism-taint")
+        .unwrap();
+    assert_eq!(d.path, TAINT_SINK_PATH);
+    assert!(d.message.contains("wall-clock"), "{}", d.message);
+    assert!(
+        d.message.contains("crates/fabric/src/timeutil.rs"),
+        "{}",
+        d.message
+    );
+    // The full three-hop chain, sink to source.
+    assert!(
+        d.message.contains(
+            "trainsim::taint_sink::record_tick -> fabric::timeutil::stamp_coarse_ms -> \
+             fabric::timeutil::wall_ns -> fabric::timeutil::raw_instant"
+        ),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn taint_sink_file_alone_is_invisible_to_token_rules() {
+    // Without the dataflow pass (or with only this file in view) nothing
+    // fires: the nondeterminism lives three calls away in another file.
+    let report = lint_files(&[fx(TAINT_SINK_PATH, TAINT_SINK)]);
+    assert_eq!(report.total(), 0, "{report:?}");
+}
+
+#[test]
+fn parallel_ready_findings() {
+    let report = lint_files(&[fx(PARALLEL_PATH, PARALLEL)]);
+    // use RefCell + use AtomicU64, static mut, RefCell field, AtomicU64
+    // static (two mentions, one line, deduped), Ordering::Relaxed — six
+    // active; the waived `unsafe fn` makes seven total.
+    let active = active_rules(&report, PARALLEL_PATH);
+    assert_eq!(active, vec!["parallel-ready"; 6], "{report:?}");
+    let waived: Vec<_> = report.diagnostics.iter().filter(|d| d.waived).collect();
+    assert_eq!(waived.len(), 1, "{report:?}");
+    assert!(waived[0].message.contains("unsafe"));
+    for needle in ["static mut", "RefCell", "AtomicU64", "Ordering::Relaxed"] {
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains(needle)),
+            "no finding mentions {needle}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_ready_only_polices_sim_crates() {
+    let report = lint_files(&[fx("crates/bench/src/bad_parallel.rs", PARALLEL)]);
+    // bench is out of scope, so the fixture's waiver has nothing to absorb.
+    assert_eq!(
+        active_rules(&report, "crates/bench/src/bad_parallel.rs"),
+        vec!["unused-waiver"],
+        "{report:?}"
+    );
+}
+
+#[test]
+fn unregistered_oracle_findings() {
+    let report = lint_files(&[fx(ORACLE_PATH, ORACLE_DRIFT)]);
+    let diags: Vec<_> = report
+        .active_diagnostics()
+        .filter(|d| d.path == ORACLE_PATH)
+        .collect();
+    assert_eq!(diags.len(), 1, "{report:?}");
+    assert_eq!(diags[0].rule, "oracle-registered");
+    assert!(diags[0].message.contains("`Forgotten`"));
+}
+
+#[test]
+fn label_registered_findings() {
+    let report = lint_files(&[fx(PROF_PATH, PROF_LABELS), fx(LABELS_PATH, BAD_LABELS)]);
+    assert_eq!(
+        active_rules(&report, LABELS_PATH),
+        vec!["label-registered"],
+        "{report:?}"
+    );
+    assert_eq!(
+        active_rules(&report, PROF_PATH),
+        vec!["label-registered"],
+        "{report:?}"
+    );
+    assert!(report
+        .active_diagnostics()
+        .any(|d| d.message.contains("ghost.label")));
+    assert!(report
+        .active_diagnostics()
+        .any(|d| d.message.contains("phantom.orphan")));
+}
+
+#[test]
+fn schema_single_decl_findings() {
+    let report = lint_files(&[fx(SCHEMA_PATH, BAD_SCHEMA)]);
+    let diags: Vec<_> = report
+        .active_diagnostics()
+        .filter(|d| d.path == SCHEMA_PATH)
+        .collect();
+    assert_eq!(diags.len(), 2, "{report:?}");
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("re-spells") && d.message.contains("`DEMO_SCHEMA`")));
+    // Needle deliberately lacks the `coarse.` prefix so this test file does
+    // not itself spell a schema-shaped literal.
+    assert!(diags.iter().any(|d| d.message.contains("orphan-report/v1")));
+}
+
+#[test]
+fn waiver_ledger_counts_per_rule() {
+    let report = lint_files(&all_fixtures());
+    let stat = |rule: &str| report.waivers.iter().find(|w| w.rule == rule);
+    // bad_parallel.rs carries one used parallel-ready waiver.
+    let pr = stat("parallel-ready").expect("parallel-ready in ledger");
+    assert_eq!((pr.total, pr.used), (1, 1));
+    // waivers.rs carries one used unordered-container waiver and one
+    // mis-aimed wall-clock waiver.
+    let uc = stat("unordered-container").expect("unordered-container in ledger");
+    assert_eq!((uc.total, uc.used), (1, 1));
+    let wc = stat("wall-clock").expect("wall-clock in ledger");
+    assert_eq!(wc.used, 0);
+    assert!(wc.unused() > 0);
 }
 
 #[test]

@@ -37,6 +37,23 @@ use coarse_simcore::units::{Bandwidth, ByteSize};
 use crate::config::TrainResult;
 use crate::gpu_for;
 
+/// Pilot-phase debug logging, set once at process startup by the CLI
+/// front-end (the `COARSE_DEBUG` environment variable) instead of read
+/// ambiently here, so library behaviour is a pure function of its inputs.
+// simlint: allow(parallel-ready, reason = "write-once SeqCst flag, set at startup before any simulation runs")
+static PILOT_DEBUG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable or disable pilot-run debug prints. Binaries call this once at
+/// startup after consulting `COARSE_DEBUG`; the library never reads the
+/// environment itself.
+pub fn set_pilot_debug(on: bool) {
+    PILOT_DEBUG.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn pilot_debug() -> bool {
+    PILOT_DEBUG.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 /// Proxy-path gradients are fused into buckets of at least this many bytes
 /// before the cross-device collective (the standard gradient-fusion
 /// optimization; keeps ring segments large enough to run links at full
@@ -2991,7 +3008,7 @@ fn prepare_traced<'a>(
     candidates.sort_unstable();
     candidates.dedup();
     let pilot_runs = candidates.len();
-    let debug = std::env::var("COARSE_DEBUG").is_ok();
+    let debug = pilot_debug();
     let best_m = candidates
         .into_iter()
         .map(|m| {
@@ -3029,7 +3046,7 @@ fn prepare_traced<'a>(
         m.gauge(metric::DUALSYNC_PILOT_RUNS, pilot_runs as f64);
     }
 
-    if std::env::var("COARSE_DEBUG").is_ok() {
+    if pilot_debug() {
         eprintln!(
             "[coarse] {}: proxy_bw={:.1}GiB/s gpu_bw={:.1}GiB/s analytic_m={} chosen_m={} of n={}",
             machine.name(),
@@ -3298,7 +3315,7 @@ fn shard_sizes(size: ByteSize, shard: ByteSize) -> impl Iterator<Item = ByteSize
             (rem > 0).then(|| ByteSize::bytes(rem)),
         )
     };
-    std::iter::repeat(shard).take(full as usize).chain(tail)
+    std::iter::repeat_n(shard, full as usize).chain(tail)
 }
 
 #[cfg(test)]
